@@ -1,0 +1,78 @@
+"""Experiment X-CG — the iterative solver the dslash feeds (Section II-A).
+
+"A significant fraction of time-to-solution of LQCD applications is
+spent in solving a linear set of equations, for which iterative solvers
+like Conjugate Gradient are used."
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.tables import Table
+from repro.grid.cartesian import GridCartesian
+from repro.grid.random import random_gauge, random_spinor
+from repro.grid.solver import bicgstab, solve_wilson_cgne
+from repro.grid.wilson import WilsonDirac
+from repro.simd import get_backend
+
+DIMS = [4, 4, 4, 8]
+
+
+def _system(key="avx512", mass=0.2):
+    grid = GridCartesian(DIMS, get_backend(key))
+    w = WilsonDirac(random_gauge(grid, seed=11), mass=mass)
+    b = random_spinor(grid, seed=5)
+    return w, b
+
+
+@pytest.mark.parametrize("key", ["sse4", "avx512"])
+def test_cgne_solve(benchmark, key):
+    w, b = _system(key)
+    res = benchmark.pedantic(
+        solve_wilson_cgne, args=(w, b),
+        kwargs=dict(tol=1e-8, max_iter=500), iterations=1, rounds=2,
+    )
+    assert res.converged and res.residual < 1e-6
+
+
+def test_bicgstab_solve(benchmark):
+    w, b = _system()
+    res = benchmark.pedantic(
+        bicgstab, args=(w.apply, b), kwargs=dict(tol=1e-8, max_iter=500),
+        iterations=1, rounds=2,
+    )
+    assert res.converged
+
+
+def test_solver_comparison_report(show):
+    table = Table(
+        ["solver", "mass", "iterations", "operator applies",
+         "final |r|/|b|"],
+        title=f"Wilson solves on {DIMS} (backend avx512)",
+        align=["l", "r", "r", "r", "r"],
+    )
+    for mass in (0.5, 0.2, 0.05):
+        w, b = _system(mass=mass)
+        cg = solve_wilson_cgne(w, b, tol=1e-8, max_iter=2000)
+        bi = bicgstab(w.apply, b, tol=1e-8, max_iter=2000)
+        table.add("CGNE", mass, cg.iterations, 2 * cg.iterations + 1,
+                  cg.residual)
+        table.add("BiCGSTAB", mass, bi.iterations, 2 * bi.iterations,
+                  bi.residual)
+        assert cg.converged and bi.converged
+    show(table)
+
+
+def test_iteration_count_vs_mass_report(show):
+    """Lighter quarks -> worse conditioning -> more iterations: the
+    shape that drives all LQCD solver research."""
+    iters = {}
+    for mass in (1.0, 0.5, 0.2, 0.1):
+        w, b = _system(mass=mass)
+        iters[mass] = solve_wilson_cgne(w, b, tol=1e-8,
+                                        max_iter=3000).iterations
+    show("CGNE iterations by mass: "
+         + ", ".join(f"m={m}: {n}" for m, n in iters.items()))
+    masses = sorted(iters, reverse=True)
+    counts = [iters[m] for m in masses]
+    assert counts == sorted(counts), "iterations grow as mass falls"

@@ -1,0 +1,99 @@
+"""Experiment F1 — Fig. 1: decomposing a sub-lattice over virtual nodes.
+
+Regenerates the figure's content as a table: for lane counts 1..8 over
+an 8^3 x 16 local lattice, the virtual-node block sizes, the fraction
+of outer sites whose neighbour access needs a lane permute (exactly
+1/odims[d] per vectorized dimension), and the cshift cost with and
+without boundary permutes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.tables import Table
+from repro.grid.cartesian import GridCartesian, default_simd_layout
+from repro.grid.cshift import cshift
+from repro.grid.lattice import Lattice
+from repro.grid.stencil import HaloStencil
+from repro.simd import get_backend
+
+DIMS = [8, 8, 8, 16]
+
+SWEEP = [("sse4", 1), ("avx", 2), ("avx512", 4), ("generic1024", 8)]
+
+
+def _lattice(key, rng):
+    grid = GridCartesian(DIMS, get_backend(key))
+    lat = Lattice(grid, (3,))
+    lat.from_canonical(rng.normal(size=(grid.lsites, 3)) + 0j)
+    return grid, lat
+
+
+def test_fig1_decomposition_report(show):
+    rng = np.random.default_rng(0)
+    table = Table(
+        ["lanes", "simd layout", "block (virtual-node sub-lattice)",
+         "outer sites", "permute fraction dim0", "permute fraction dim3"],
+        title="Fig. 1: sub-lattice decomposition over virtual nodes",
+        align=["r", "l", "l", "r", "r", "r"],
+    )
+    for key, lanes in SWEEP:
+        grid, _ = _lattice(key, rng)
+        assert grid.nlanes == lanes
+        st = HaloStencil(grid)
+        table.add(
+            lanes,
+            "x".join(map(str, grid.simd_layout)),
+            "x".join(map(str, grid.odims)),
+            grid.osites,
+            f"{st.plans[(0, 1)].permute_fraction:.3f}",
+            f"{st.plans[(3, 1)].permute_fraction:.3f}",
+        )
+    show(table)
+
+
+def test_fig1_neighbours_in_different_vectors(show):
+    """The layout property the figure illustrates: with chunky blocks,
+    nearest neighbours live at different outer sites (same lane), not
+    in the same vector."""
+    grid = GridCartesian(DIMS, get_backend("avx512"))
+    same_lane = 0
+    checked = 0
+    for x in range(0, grid.ldims[0] - 1):
+        o1, l1 = grid.osite_lane_of((x, 0, 0, 0))
+        o2, l2 = grid.osite_lane_of((x + 1, 0, 0, 0))
+        checked += 1
+        if l1 == l2:
+            same_lane += 1
+            assert o1 != o2
+    # All but the block-boundary crossing stay in-lane.
+    assert same_lane == checked - (grid.simd_layout[0] - 1)
+
+
+@pytest.mark.parametrize("key,lanes", SWEEP, ids=[k for k, _ in SWEEP])
+def test_fig1_cshift_cost(benchmark, key, lanes):
+    """cshift throughput across lane counts (the permute overhead is
+    amortised over the 1/odims boundary fraction)."""
+    rng = np.random.default_rng(0)
+    grid, lat = _lattice(key, rng)
+    out = benchmark(cshift, lat, 0, +1)
+    assert np.isclose(out.norm2(), lat.norm2())
+
+
+@pytest.mark.parametrize("layout,label", [
+    ([1, 1, 1, 4], "lanes-in-t"),
+    ([4, 1, 1, 1], "lanes-in-x"),
+    ([2, 2, 1, 1], "lanes-in-xy"),
+])
+def test_fig1_layout_choice(benchmark, layout, label):
+    """Different distributions of the same 4 lanes: the physics is
+    identical, only the permute pattern changes."""
+    rng = np.random.default_rng(0)
+    grid = GridCartesian(DIMS, get_backend("avx512"), simd_layout=layout)
+    lat = Lattice(grid, (3,))
+    can = rng.normal(size=(grid.lsites, 3)) + 0j
+    lat.from_canonical(can)
+    shifted = benchmark(cshift, lat, 3, +1)
+    resh = can.reshape(tuple(reversed(grid.ldims)) + (3,))
+    want = np.roll(resh, -1, axis=0).reshape(grid.lsites, 3)
+    assert np.allclose(shifted.to_canonical(), want)

@@ -1,0 +1,100 @@
+"""Experiment X-FP16 — fp16 communication compression (Section V-B).
+
+"Grid does not support calculations using 16-bit floating-point
+numbers.  This data type is used only for data compression upon data
+exchange over the communications network."  This bench measures the
+wire-volume reduction, the round-trip error, and the effect on a
+distributed dslash.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.tables import Table
+from repro.grid import compression
+from repro.grid.cartesian import GridCartesian
+from repro.grid.comms import DistributedLattice
+from repro.grid.dist_wilson import DistributedWilson, distribute_gauge
+from repro.grid.random import random_gauge, random_spinor
+from repro.grid.wilson import WilsonDirac
+from repro.simd import get_backend
+
+DIMS = [4, 4, 4, 8]
+MPI = [2, 1, 1, 2]
+
+
+@pytest.fixture(scope="module")
+def dist_setup():
+    be = get_backend("avx")
+    grid = GridCartesian(DIMS, be)
+    links = random_gauge(grid, seed=11)
+    psi = random_spinor(grid, seed=7)
+    want = WilsonDirac(links, mass=0.1).dhop(psi).to_canonical()
+    return be, links, psi, want
+
+
+def _dist_dhop(be, links, psi, compress):
+    dlinks = distribute_gauge(links, DIMS, be, MPI, compress_halos=compress)
+    dpsi = DistributedLattice(DIMS, be, MPI, (4, 3),
+                              compress_halos=compress)
+    dpsi.scatter(psi.to_canonical())
+    w = DistributedWilson(dlinks, mass=0.1)
+    out = w.dhop(dpsi)
+    return out.gather(), dpsi.stats
+
+
+def test_volume_and_error_report(dist_setup, show):
+    be, links, psi, want = dist_setup
+    got_plain, stats_plain = _dist_dhop(be, links, psi, compress=False)
+    got_comp, stats_comp = _dist_dhop(be, links, psi, compress=True)
+    err_plain = np.abs(got_plain - want).max()
+    err_comp = np.abs(got_comp - want).max()
+    scale = np.abs(want).max()
+    table = Table(
+        ["halo codec", "wire bytes", "volume ratio", "max |err| / |D psi|"],
+        title=f"fp16 halo compression, {DIMS} over ranks {MPI}",
+        align=["l", "r", "r", "r"],
+    )
+    table.add("float64 (none)", stats_plain.bytes_sent, "1.00x",
+              err_plain / scale)
+    table.add("float16 (Section V-B)", stats_comp.bytes_sent,
+              f"{stats_plain.bytes_sent / stats_comp.bytes_sent:.2f}x",
+              err_comp / scale)
+    show(table)
+    assert err_plain == 0.0
+    assert stats_plain.bytes_sent == 4 * stats_comp.bytes_sent
+    assert 0 < err_comp / scale < 5e-3
+
+
+def test_error_bound_honoured(rng_seed=0):
+    rng = np.random.default_rng(rng_seed)
+    buf = rng.normal(size=4096) + 1j * rng.normal(size=4096)
+    wire = compression.compress_complex(buf)
+    back = compression.decompress_complex(wire)
+    bound = compression.compression_error_bound(buf)
+    assert np.abs(back - buf).max() <= 2 * bound
+
+
+def test_compress_throughput(benchmark):
+    rng = np.random.default_rng(1)
+    buf = rng.normal(size=1 << 16) + 1j * rng.normal(size=1 << 16)
+    wire = benchmark(compression.compress_complex, buf)
+    assert wire.nbytes == buf.nbytes // 4
+
+
+def test_decompress_throughput(benchmark):
+    rng = np.random.default_rng(2)
+    buf = rng.normal(size=1 << 16) + 1j * rng.normal(size=1 << 16)
+    wire = compression.compress_complex(buf)
+    back = benchmark(compression.decompress_complex, wire)
+    assert back.dtype == np.complex128
+
+
+@pytest.mark.parametrize("compress", [False, True],
+                         ids=["halo-f64", "halo-f16"])
+def test_distributed_dslash(benchmark, dist_setup, compress):
+    be, links, psi, want = dist_setup
+    got, _ = benchmark.pedantic(_dist_dhop, args=(be, links, psi, compress),
+                                iterations=1, rounds=2)
+    scale = np.abs(want).max()
+    assert np.abs(got - want).max() <= (0 if not compress else 5e-3 * scale)

@@ -1,0 +1,82 @@
+"""Experiment L-IVD — the Section IV-D listing: vector-length-specific
+complex multiply (no loop).
+
+"For small arrays of the size of the SVE vector length it is possible
+to omit the loop overhead implied by the VLA programming model" — the
+pattern Grid's ``vec<T>`` kernels use (Section V-A) — at the price that
+"the resulting binaries will only be operating correctly on matching
+SVE hardware".
+"""
+
+import numpy as np
+import pytest
+
+from repro.armie import run_kernel
+from repro.bench.tables import Table
+from repro.sve.vl import POW2_VLS, VL
+from repro.vectorizer import ir
+from repro.vectorizer.autovec import vectorize, vectorize_fixed
+
+
+def _data(vl_bits, seed=3):
+    rng = np.random.default_rng(seed)
+    nc = VL(vl_bits).complex_lanes(8)
+    x = rng.normal(size=nc) + 1j * rng.normal(size=nc)
+    y = rng.normal(size=nc) + 1j * rng.normal(size=nc)
+    return nc, x, y
+
+
+def test_no_loop_overhead_report(show):
+    """Instruction count: fixed kernel vs one VLA-loop traversal of the
+    same register-sized array."""
+    k = ir.mult_cplx_kernel()
+    fixed = vectorize_fixed(k, complex_isa=True)
+    vla = vectorize(k, complex_isa=True)
+    table = Table(
+        ["VL (bits)", "complex elems", "fixed retired", "VLA retired",
+         "loop overhead"],
+        title="Listing IV-D: register-sized kernel vs VLA loop",
+    )
+    for vl in POW2_VLS:
+        nc, x, y = _data(vl)
+        rf = run_kernel(fixed, k, [x, y], vl, n=nc)
+        rv = run_kernel(vla, k, [x, y], vl, n=nc)
+        assert np.allclose(rf.output, x * y, rtol=1e-13)
+        assert np.allclose(rv.output, x * y, rtol=1e-13)
+        table.add(vl, nc, rf.retired, rv.retired,
+                  rv.retired - rf.retired)
+        assert rf.retired < rv.retired
+    show(table)
+
+
+def test_fixed_kernel_static_shape(show):
+    hist = vectorize_fixed(ir.mult_cplx_kernel(),
+                           complex_isa=True).static_histogram()
+    # ptrue, 2x ld1d, zero + copy, 2x fcmla, st1d, ret — the listing.
+    assert hist["ptrue"] == 1 and hist["fcmla"] == 2
+    assert "whilelo" not in hist and "incd" not in hist
+    assert "b.lo" not in hist and "b.mi" not in hist
+    show(f"L-IVD: static mix {dict(hist)} — no loop control at all")
+
+
+def test_wrong_hardware_breaks(show):
+    """The portability caveat, demonstrated."""
+    k = ir.mult_cplx_kernel()
+    prog = vectorize_fixed(k, complex_isa=True)
+    nc, x, y = _data(512)
+    ok = run_kernel(prog, k, [x, y], 512, n=nc)
+    assert np.allclose(ok.output, x * y)
+    wrong = run_kernel(prog, k, [x, y], 128, n=nc)
+    assert not np.allclose(wrong.output, x * y)
+    show("L-IVD: binary compiled for VL512 computes only the first "
+         f"{VL(128).complex_lanes(8)} elements on VL128 hardware "
+         "('only operating correctly on matching SVE hardware')")
+
+
+@pytest.mark.parametrize("vl", POW2_VLS)
+def test_listing_ivd_emulation(benchmark, vl):
+    k = ir.mult_cplx_kernel()
+    prog = vectorize_fixed(k, complex_isa=True)
+    nc, x, y = _data(vl)
+    res = benchmark(run_kernel, prog, k, [x, y], vl, n=nc)
+    assert np.allclose(res.output, x * y, rtol=1e-13)

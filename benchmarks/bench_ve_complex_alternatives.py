@@ -1,0 +1,133 @@
+"""Experiment V-E — Section V-E: alternative implementation of complex
+arithmetic.
+
+"It is not guaranteed that the FCMLA instruction outperforms
+alternative implementations ... Therefore, we have also implemented
+complex arithmetics based on instructions for real arithmetics at the
+cost of higher instruction count."
+
+This bench quantifies that trade-off: per-operation instruction counts
+for both Grid SVE backends, estimated cycles under both silicon
+hypotheses of the cost model (FCMLA full-rate vs microcoded), and the
+crossover — on slow-FCMLA silicon the real-arithmetic path wins.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.tables import Table
+from repro.sve.costmodel import FAST_FCMLA, SLOW_FCMLA, estimate_cycles
+from repro.simd import get_backend
+
+VL = 512
+
+
+def _fresh_backends():
+    return get_backend(f"sve{VL}-acle"), get_backend(f"sve{VL}-real")
+
+
+def _rows(be, rng, n=1):
+    cl = be.clanes()
+    return rng.normal(size=(n, cl)) + 1j * rng.normal(size=(n, cl))
+
+
+OPS = [
+    ("MultComplex", lambda be, x, y, z: be.mul(x, y)),
+    ("MaddComplex", lambda be, x, y, z: be.madd(z, x, y)),
+    ("ConjMadd", lambda be, x, y, z: be.conj_madd(z, x, y)),
+    ("MultRealPart", lambda be, x, y, z: be.mul_real_part(x, y)),
+    ("TimesI", lambda be, x, y, z: be.times_i(x)),
+]
+
+
+def test_instruction_count_report(show):
+    rng = np.random.default_rng(5)
+    table = Table(
+        ["operation", "fcmla-path insns", "real-path insns", "ratio"],
+        title="V-E: per-operation data-processing instruction counts "
+              f"(VL{VL}, one vector register)",
+        align=["l", "r", "r", "r"],
+    )
+    loads = {"ld1d", "st1d", "ld1w", "st1w"}
+    for name, fn in OPS:
+        acle_be, real_be = _fresh_backends()
+        x, y, z = (_rows(acle_be, rng) for _ in range(3))
+        ra = fn(acle_be, x, y, z)
+        rr = fn(real_be, x, y, z)
+        assert np.allclose(ra, rr)
+        ca = sum(n for m, n in acle_be.instruction_counts().items()
+                 if m not in loads)
+        cr = sum(n for m, n in real_be.instruction_counts().items()
+                 if m not in loads)
+        table.add(name, ca, cr, f"{cr / ca:.2f}x")
+        assert cr >= ca, name
+    show(table)
+
+
+def test_multcomplex_counts_exact(show):
+    """The headline numbers: 2 FCMLA vs 6 real-arithmetic instructions
+    per complex multiply."""
+    rng = np.random.default_rng(5)
+    acle_be, real_be = _fresh_backends()
+    x = _rows(acle_be, rng)
+    acle_be.mul(x, x)
+    real_be.mul(x, x)
+    a = acle_be.instruction_counts()
+    r = real_be.instruction_counts()
+    assert a["fcmla"] == 2
+    real_data = sum(r[m] for m in ("trn1", "trn2", "tbl", "fmla", "fmls",
+                                   "fmul"))
+    assert real_data == 6
+    show(f"V-E MultComplex: FCMLA path = 2 data insns {dict(a)}; "
+         f"real path = {real_data} data insns {dict(r)}")
+
+
+def test_cost_model_crossover(show):
+    """Who wins depends on silicon: fast-FCMLA silicon favours the ACLE
+    path, microcoded FCMLA favours the real-arithmetic alternative —
+    the very uncertainty Section V-E hedges against."""
+    rng = np.random.default_rng(6)
+    table = Table(
+        ["silicon hypothesis", "fcmla-path cycles", "real-path cycles",
+         "winner"],
+        title="V-E: estimated cycles for 1000 MultComplex "
+              f"(VL{VL} vectors)",
+        align=["l", "r", "r", "l"],
+    )
+    acle_be, real_be = _fresh_backends()
+    x = _rows(acle_be, rng)
+    acle_be.mul(x, x)
+    real_be.mul(x, x)
+    a_hist = {m: 1000 * n for m, n in acle_be.instruction_counts().items()}
+    r_hist = {m: 1000 * n for m, n in real_be.instruction_counts().items()}
+    winners = {}
+    for profile in (FAST_FCMLA, SLOW_FCMLA):
+        ca = estimate_cycles(a_hist, profile)
+        cr = estimate_cycles(r_hist, profile)
+        winner = "fcmla-path" if ca < cr else "real-path"
+        winners[profile.name] = winner
+        table.add(profile.name, ca, cr, winner)
+    show(table)
+    assert winners["fast-fcmla"] == "fcmla-path"
+    assert winners["slow-fcmla"] == "real-path"
+
+
+@pytest.mark.parametrize("strategy", ["acle", "real"])
+def test_multcomplex_throughput(benchmark, strategy):
+    rng = np.random.default_rng(7)
+    be = get_backend(f"sve{VL}-{strategy}")
+    x = _rows(be, rng, n=16)
+    y = _rows(be, rng, n=16)
+    out = benchmark(be.mul, x, y)
+    assert np.allclose(out, x * y)
+
+
+@pytest.mark.parametrize("strategy", ["acle", "real"])
+def test_dslash_both_strategies(benchmark, strategy):
+    """The full Wilson dslash runs identically on either complex
+    strategy (tiny lattice; the backends are lane-accurate simulators)."""
+    from repro.bench.workloads import dslash_setup
+
+    setup = dslash_setup(f"sve{VL}-{strategy}", dims=(2, 2, 2, 2))
+    out = benchmark.pedantic(setup.run, iterations=1, rounds=2)
+    assert out.norm2() > 0

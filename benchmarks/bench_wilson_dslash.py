@@ -1,0 +1,92 @@
+"""Experiment X-DSLASH — the Wilson hopping term (Eq. 1) across backends.
+
+"The most compute-intensive task typically is the product of the
+lattice Dirac operator and a quark field" (Section II-A).  This bench
+measures dslash on every Table I backend (numpy-speed) and reports the
+instruction profile on the SVE backends (simulator-speed, small
+lattice), converting timings with the standard 1320 flop/site count.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.tables import Table
+from repro.bench.workloads import dslash_setup
+from repro.grid.checksum import field_checksum
+
+NUMPY_KEYS = ["sse4", "avx", "avx512", "qpx", "neon", "generic256"]
+
+
+@pytest.mark.parametrize("key", NUMPY_KEYS)
+def test_dslash_table1_backends(benchmark, key):
+    setup = dslash_setup(key, dims=(8, 8, 8, 8))
+    out = benchmark(setup.run)
+    assert out.norm2() > 0
+    benchmark.extra_info["flops_per_call"] = setup.flops
+
+
+def test_dslash_backend_agreement_report(show):
+    """All backends produce the identical dslash field."""
+    table = Table(["backend", "lanes", "checksum"],
+                  title="Wilson dslash: backend agreement (8^4 lattice)",
+                  align=["l", "r", "l"])
+    sums = set()
+    for key in NUMPY_KEYS:
+        setup = dslash_setup(key, dims=(8, 8, 8, 8))
+        ck = field_checksum(setup.run())
+        sums.add(ck)
+        table.add(key, setup.grid.nlanes, ck)
+    show(table)
+    assert len(sums) == 1
+
+
+@pytest.mark.parametrize("key", ["sve128-acle", "sve256-acle",
+                                 "sve512-acle"])
+def test_dslash_sve_emulated(benchmark, key):
+    """The SVE backends run the same dslash lane-accurately through the
+    intrinsics layer (tiny lattice: this measures the simulator, not
+    hypothetical silicon — the paper makes no performance claims)."""
+    setup = dslash_setup(key, dims=(2, 2, 2, 2))
+    out = benchmark.pedantic(setup.run, iterations=1, rounds=2)
+    assert out.norm2() > 0
+
+
+def test_dslash_sve_instruction_profile(show):
+    """FCMLA dominates the SVE dslash instruction mix — the reason the
+    paper targets it."""
+    table = Table(
+        ["VL (bits)", "fcmla", "fcadd", "fadd+fsub", "tbl (permutes)",
+         "ld1d", "st1d"],
+        title="Wilson dslash instruction profile (sve-acle backends, "
+              "2^4 lattice)",
+    )
+    for vl in (128, 256, 512):
+        setup = dslash_setup(f"sve{vl}-acle", dims=(2, 2, 2, 2))
+        be = setup.grid.backend
+        be.instruction_counts().clear()
+        setup.run()
+        c = be.instruction_counts()
+        table.add(vl, c.get("fcmla", 0), c.get("fcadd", 0),
+                  c.get("fadd", 0) + c.get("fsub", 0), c.get("tbl", 0),
+                  c.get("ld1d", 0), c.get("st1d", 0))
+        assert c.get("fcmla", 0) > 0
+    show(table)
+
+
+def test_dslash_flops_report(show):
+    import time
+
+    table = Table(["backend", "lattice", "time/call (ms)", "MFlop/s"],
+                  title="Wilson dslash throughput (numpy backends; "
+                        "absolute numbers are host-dependent)",
+                  align=["l", "l", "r", "r"])
+    for key in ("sse4", "avx512"):
+        setup = dslash_setup(key, dims=(8, 8, 8, 8))
+        setup.run()  # warm
+        t0 = time.perf_counter()
+        reps = 3
+        for _ in range(reps):
+            setup.run()
+        dt = (time.perf_counter() - t0) / reps
+        table.add(key, "8^4", dt * 1e3, setup.flops / dt / 1e6)
+    show(table)

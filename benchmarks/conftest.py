@@ -1,0 +1,17 @@
+"""Shared benchmark fixtures and report-printing helpers."""
+
+import pytest
+
+
+@pytest.fixture
+def show(capsys):
+    """Print a report table to the real terminal (alongside the
+    pytest-benchmark timing table)."""
+
+    def _show(renderable) -> None:
+        text = renderable.render() if hasattr(renderable, "render") else str(
+            renderable)
+        with capsys.disabled():
+            print("\n" + text)
+
+    return _show

@@ -1,0 +1,84 @@
+"""Multi-level parallelism: rank decomposition over the virtual-node
+SIMD layout, with fp16-compressed halo exchange.
+
+Section II-A: "for the coarsest level a set of sub-lattices is
+distributed over (a very large number of) different processes ...
+Further parallelization within a process is achieved through ...
+vectorization at the instruction level."  Section V-B: fp16 "is used
+only for data compression upon data exchange over the communications
+network."
+
+This example splits one lattice over a simulated rank grid, applies the
+distributed Wilson operator, and shows (a) bit-identical agreement with
+the single-rank result, (b) the wire-volume saving and bounded error of
+fp16 halos.
+
+Usage::
+
+    python examples/distributed_halo.py
+"""
+
+import numpy as np
+
+from repro.bench.tables import Table
+from repro.grid.cartesian import GridCartesian
+from repro.grid.comms import DistributedLattice
+from repro.grid.dist_wilson import DistributedWilson, distribute_gauge
+from repro.grid.random import random_gauge, random_spinor
+from repro.grid.wilson import WilsonDirac
+from repro.simd import get_backend
+
+DIMS = [4, 4, 4, 8]
+
+
+def main() -> None:
+    be = get_backend("avx")
+    grid = GridCartesian(DIMS, be)
+    links = random_gauge(grid, seed=11)
+    psi = random_spinor(grid, seed=7)
+    reference = WilsonDirac(links, mass=0.1).dhop(psi).to_canonical()
+
+    table = Table(
+        ["rank grid", "ranks", "local volume", "max |diff| vs 1 rank",
+         "wire bytes"],
+        title="Distributed Wilson dslash (float64 halos)",
+        align=["l", "r", "l", "r", "r"],
+    )
+    for mpi in ([1, 1, 1, 1], [2, 1, 1, 1], [2, 1, 1, 2], [2, 2, 2, 2]):
+        dlinks = distribute_gauge(links, DIMS, be, mpi)
+        dpsi = DistributedLattice(DIMS, be, mpi, (4, 3))
+        dpsi.scatter(psi.to_canonical())
+        got = DistributedWilson(dlinks, mass=0.1).dhop(dpsi).gather()
+        local = [d // r for d, r in zip(DIMS, mpi)]
+        table.add("x".join(map(str, mpi)), int(np.prod(mpi)),
+                  "x".join(map(str, local)),
+                  np.abs(got - reference).max(), dpsi.stats.bytes_sent)
+        assert np.array_equal(got, reference)
+    print(table.render())
+    print("\nEvery decomposition reproduces the single-rank dslash "
+          "bit for bit.\n")
+
+    table = Table(
+        ["halo codec", "wire bytes", "max rel. error"],
+        title="fp16 halo compression (rank grid 2x1x1x2), Section V-B",
+        align=["l", "r", "r"],
+    )
+    scale = np.abs(reference).max()
+    for compress in (False, True):
+        dlinks = distribute_gauge(links, DIMS, be, [2, 1, 1, 2],
+                                  compress_halos=compress)
+        dpsi = DistributedLattice(DIMS, be, [2, 1, 1, 2], (4, 3),
+                                  compress_halos=compress)
+        dpsi.scatter(psi.to_canonical())
+        got = DistributedWilson(dlinks, mass=0.1).dhop(dpsi).gather()
+        err = np.abs(got - reference).max() / scale
+        table.add("float16" if compress else "float64",
+                  dpsi.stats.bytes_sent, f"{err:.2e}")
+    print(table.render())
+    print("\n4x less traffic for ~1e-4 relative halo error — the "
+          "compression Grid\napplies on the network (working precision "
+          "stays float64 throughout).")
+
+
+if __name__ == "__main__":
+    main()

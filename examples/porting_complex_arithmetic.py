@@ -1,0 +1,94 @@
+"""The paper's core analysis, reproduced end to end: three ways to
+compile complex multiplication for SVE (Sections IV-B, IV-C, IV-D).
+
+For ``z[i] = x[i] * y[i]`` over complex doubles this script
+
+1. "compiles" it with the LLVM-5-like backend (no complex-ISA support):
+   structure loads + real arithmetic, **no FCMLA** — Section IV-B;
+2. compiles it with the complex-aware lowering (what the paper reached
+   via ACLE intrinsics): interleaved loads + chained FCMLA —
+   Section IV-C;
+3. compiles the loop-free, vector-length-specific variant used by
+   Grid's register-sized kernels — Section IV-D;
+
+then runs all three on the emulator across vector lengths and prints
+the generated assembly, the instruction mixes, and the verification
+results — the content of the paper's Section IV.
+
+Usage::
+
+    python examples/porting_complex_arithmetic.py
+"""
+
+import numpy as np
+
+from repro.armie import run_kernel
+from repro.bench.tables import Table
+from repro.sve.vl import POW2_VLS, VL
+from repro.vectorizer import ir
+from repro.vectorizer.autovec import vectorize, vectorize_fixed
+
+
+def show_listing(title: str, prog) -> None:
+    print(f"--- {title} " + "-" * max(0, 60 - len(title)))
+    print(prog.listing())
+    print()
+
+
+def main() -> None:
+    kernel = ir.mult_cplx_kernel()
+    rng = np.random.default_rng(42)
+    n = 333
+    x = rng.normal(size=n) + 1j * rng.normal(size=n)
+    y = rng.normal(size=n) + 1j * rng.normal(size=n)
+
+    autovec = vectorize(kernel, complex_isa=False)
+    fcmla = vectorize(kernel, complex_isa=True)
+    fixed = vectorize_fixed(kernel, complex_isa=True)
+
+    print("The same C++-level loop, three lowerings:\n")
+    show_listing("Section IV-B: auto-vectorized (LLVM 5: no complex ISA)",
+                 autovec)
+    show_listing("Section IV-C: ACLE intrinsics -> FCMLA", fcmla)
+    show_listing("Section IV-D: vector-length-specific, no loop", fixed)
+
+    print("Static instruction mixes:")
+    for name, prog in (("IV-B", autovec), ("IV-C", fcmla), ("IV-D", fixed)):
+        hist = prog.static_histogram()
+        fc = hist.get("fcmla", 0)
+        print(f"  {name}: {dict(hist)}")
+        if name == "IV-B":
+            assert fc == 0
+            print("        ^ no fcmla: 'the compiler does not exploit the "
+                  "full SVE ISA' (LLVM 5)")
+    print()
+
+    table = Table(
+        ["VL (bits)", "IV-B retired", "IV-C retired", "IV-C fcmla",
+         "IV-B ok", "IV-C ok"],
+        title=f"Emulated at every vector length (n={n})",
+    )
+    for vl in POW2_VLS:
+        rb = run_kernel(autovec, kernel, [x, y], vl)
+        rc = run_kernel(fcmla, kernel, [x, y], vl)
+        table.add(vl, rb.retired, rc.retired, rc.histogram["fcmla"],
+                  "yes" if np.allclose(rb.output, x * y) else "NO",
+                  "yes" if np.allclose(rc.output, x * y) else "NO")
+    print(table.render())
+    print()
+
+    # The fixed-VL variant: correct only on matching hardware.
+    nc = VL(512).complex_lanes(8)
+    xs, ys = x[:nc], y[:nc]
+    ok = run_kernel(fixed, kernel, [xs, ys], 512, n=nc)
+    wrong = run_kernel(fixed, kernel, [xs, ys], 128, n=nc)
+    print("Section IV-D portability caveat:")
+    print(f"  compiled-for-VL512 kernel on VL512 hardware: "
+          f"correct={np.allclose(ok.output, xs * ys)}")
+    print(f"  same binary on VL128 hardware:               "
+          f"correct={np.allclose(wrong.output, xs * ys)}  "
+          "('only operating correctly on matching SVE hardware')")
+
+
+if __name__ == "__main__":
+    main()

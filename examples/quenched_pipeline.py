@@ -1,0 +1,83 @@
+"""The full quenched-QCD pipeline, end to end.
+
+Generate gauge configurations with Metropolis Monte Carlo, measure
+gauge observables (plaquette, Wilson loops, Polyakov line), then
+compute a pion correlator on the thermalized configuration — the
+complete workflow a lattice collaboration runs, in miniature, on the
+reproduced Grid stack.
+
+Usage::
+
+    python examples/quenched_pipeline.py
+"""
+
+import time
+
+import numpy as np
+
+from repro.bench.tables import Table
+from repro.grid.cartesian import GridCartesian
+from repro.grid.montecarlo import Metropolis
+from repro.grid.observables import polyakov_loop, wilson_loop
+from repro.grid.propagator import effective_mass, pion_correlator
+from repro.grid.su3 import max_unitarity_defect, plaquette, unit_gauge
+from repro.grid.wilson import WilsonDirac
+from repro.simd import get_backend
+
+DIMS = [4, 4, 4, 4]
+BETA = 6.0
+SWEEPS = 4
+
+
+def main() -> None:
+    grid = GridCartesian(DIMS, get_backend("avx512"))
+    links = unit_gauge(grid)
+    print(f"Lattice {DIMS}, beta = {BETA}, backend {grid.backend.name}\n")
+
+    # --- 1. Generate -------------------------------------------------
+    mc = Metropolis(beta=BETA, spread=0.2, hits=4,
+                    rng=np.random.default_rng(2024))
+    print("Thermalizing from a cold start:")
+    t0 = time.perf_counter()
+    history = mc.thermalize(
+        links, grid, sweeps=SWEEPS,
+        observer=lambda i, p: print(f"  sweep {i + 1}: plaquette = {p:.4f}"),
+    )
+    print(f"  ({time.perf_counter() - t0:.1f} s, acceptance "
+          f"{mc.stats.acceptance:.0%})")
+    assert max_unitarity_defect(links[0]) < 1e-9
+
+    # --- 2. Measure gauge observables --------------------------------
+    table = Table(["observable", "value"],
+                  title="Gauge observables on the thermalized configuration",
+                  align=["l", "r"])
+    table.add("plaquette (1x1)", plaquette(links, grid))
+    table.add("Wilson loop 2x1", wilson_loop(links, grid, 0, 3, 2, 1))
+    table.add("Wilson loop 2x2", wilson_loop(links, grid, 0, 3, 2, 2))
+    p = polyakov_loop(links, grid)
+    table.add("Polyakov |P|", abs(p))
+    print()
+    print(table.render())
+    w21 = wilson_loop(links, grid, 0, 3, 2, 1)
+    w22 = wilson_loop(links, grid, 0, 3, 2, 2)
+    print("\nLarger loops are smaller (area-law-like decay): "
+          f"W(2,1)={w21:.3f} > W(2,2)={w22:.3f}")
+
+    # --- 3. Measure the pion ----------------------------------------
+    print("\nComputing the pion correlator (12 CGNE solves)...")
+    dirac = WilsonDirac(links, mass=0.8)
+    t0 = time.perf_counter()
+    corr = pion_correlator(dirac, tol=1e-8, max_iter=2000)
+    print(f"  ({time.perf_counter() - t0:.1f} s)")
+    meff = effective_mass(corr)
+    for t, c in enumerate(corr):
+        extra = f"   m_eff = {meff[t]:.3f}" if t < corr.size - 1 else ""
+        print(f"  C(t={t}) = {c:.4e}{extra}")
+    assert np.all(corr > 0)
+    print("\nGenerated -> measured -> solved: the full pipeline runs on "
+          "the\nreproduced stack (swap the backend key for 'sve256-acle' "
+          "to push every\ncomplex multiply through simulated FCMLA).")
+
+
+if __name__ == "__main__":
+    main()

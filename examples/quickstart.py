@@ -1,0 +1,104 @@
+"""Quickstart: a ten-minute tour of the reproduction stack.
+
+Runs, in order:
+
+1. the paper's Section IV-A assembly listing on the SVE simulator at
+   two vector lengths (the ArmIE workflow),
+2. the Section IV-C complex multiplication written with ACLE
+   intrinsics (vector-length agnostic: same code, any VL),
+3. a Wilson-dslash + Conjugate-Gradient solve on a small lattice with
+   the SVE-enabled Grid backend.
+
+Usage::
+
+    python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import acle
+from repro.armie import run_kernel
+from repro.grid.cartesian import GridCartesian
+from repro.grid.random import random_gauge, random_spinor
+from repro.grid.solver import solve_wilson_cgne
+from repro.grid.wilson import WilsonDirac
+from repro.simd import get_backend
+from repro.vectorizer import ir
+from repro.sve.decoder import assemble
+from repro.verification.cases import LISTING_IVA
+
+
+def demo_1_run_paper_listing() -> None:
+    print("=" * 72)
+    print("1. The paper's Section IV-A listing on the emulator")
+    print("=" * 72)
+    prog = assemble(LISTING_IVA)
+    print(prog.listing())
+    rng = np.random.default_rng(0)
+    x, y = rng.normal(size=1001), rng.normal(size=1001)
+    kernel = ir.mult_real_kernel()
+    for vl in (256, 2048):
+        res = run_kernel(prog, kernel, [x, y], vl)
+        ok = np.array_equal(res.output, x * y)
+        print(f"  VL{vl:<5} -> {res.retired:5d} retired instructions, "
+              f"correct={ok}")
+    print("  Same binary, 8x fewer instructions at 8x the vector length:")
+    print("  that is the Vector-Length Agnostic model.\n")
+
+
+def demo_2_acle_complex_multiply() -> None:
+    print("=" * 72)
+    print("2. Complex multiplication with ACLE intrinsics (Section IV-C)")
+    print("=" * 72)
+    rng = np.random.default_rng(1)
+    n = 100
+    xc = rng.normal(size=n) + 1j * rng.normal(size=n)
+    yc = rng.normal(size=n) + 1j * rng.normal(size=n)
+    # numpy's complex layout is already the FCMLA interleaved layout.
+    x64 = np.ascontiguousarray(xc).view(np.float64)
+    y64 = np.ascontiguousarray(yc).view(np.float64)
+    for vl in (128, 512):
+        z64 = np.zeros(2 * n)
+        with acle.SVEContext(vl) as ctx:
+            zero = acle.svdup_f64(0.0)
+            i = 0
+            while i < 2 * n:
+                pg = acle.svwhilelt_b64(i, 2 * n)
+                sx = acle.svld1(pg, x64, i)
+                sy = acle.svld1(pg, y64, i)
+                sz = acle.svcmla_x(pg, zero, sx, sy, 90)
+                sz = acle.svcmla_x(pg, sz, sx, sy, 0)
+                acle.svst1(pg, z64, i, sz)
+                i += acle.svcntd()
+        zc = z64[0::2] + 1j * z64[1::2]
+        print(f"  VL{vl:<5} -> {ctx.counts['fcmla']:3d} FCMLA issued, "
+              f"max error {np.abs(zc - xc * yc).max():.2e}")
+    print("  Two chained FCMLAs = one complex multiply-add (Eq. (2)).\n")
+
+
+def demo_3_wilson_solve() -> None:
+    print("=" * 72)
+    print("3. Wilson Dirac operator + CG on the SVE-enabled Grid")
+    print("=" * 72)
+    # The SVE backend is a lane-accurate simulator: keep the lattice
+    # small.  Swap "sve256-acle" for "avx512" to run at numpy speed.
+    grid = GridCartesian([2, 2, 2, 2], get_backend("sve256-acle"))
+    print(f"  grid: {grid}")
+    links = random_gauge(grid, seed=11)
+    dirac = WilsonDirac(links, mass=0.5)
+    rhs = random_spinor(grid, seed=7)
+    result = solve_wilson_cgne(dirac, rhs, tol=1e-6, max_iter=200)
+    print(f"  CGNE converged={result.converged} in {result.iterations} "
+          f"iterations, true residual {result.residual:.2e}")
+    counts = grid.backend.instruction_counts()
+    print(f"  SVE instructions issued by the whole solve: "
+          f"fcmla={counts['fcmla']}, fcadd={counts['fcadd']}, "
+          f"fadd+fsub={counts['fadd'] + counts['fsub']}")
+    print("  Every complex multiply in the solve went through FCMLA —")
+    print("  the Section V-C implementation strategy.\n")
+
+
+if __name__ == "__main__":
+    demo_1_run_paper_listing()
+    demo_2_acle_complex_multiply()
+    demo_3_wilson_solve()

@@ -1,0 +1,102 @@
+"""A complete lattice-QCD workflow on the reproduced Grid.
+
+The workloads the paper's introduction motivates (Section II-A): build
+a gauge configuration, measure the plaquette, apply the Wilson Dirac
+operator of Eq. (1), and solve ``M psi = b`` with Conjugate Gradient —
+on several SIMD backends from Table I plus both SVE strategies, with
+bit-identical physics asserted throughout.
+
+Usage::
+
+    python examples/wilson_solver.py [lattice_extent]
+"""
+
+import sys
+import time
+
+import numpy as np
+
+from repro.bench.tables import Table
+from repro.grid.cartesian import GridCartesian
+from repro.grid.checksum import field_checksum
+from repro.grid.random import random_gauge, random_spinor
+from repro.grid.solver import bicgstab, solve_wilson_cgne
+from repro.grid.su3 import max_unitarity_defect, plaquette
+from repro.grid.wilson import WilsonDirac
+from repro.simd import get_backend
+
+#: numpy-speed backends swept at full lattice size; the SVE backends
+#: are lane-accurate simulators and run on a reduced lattice.
+NUMPY_BACKENDS = ["sse4", "avx", "avx512", "generic1024"]
+SVE_BACKENDS = ["sve256-acle", "sve256-real"]
+
+
+def main(extent: int = 4) -> None:
+    dims = [extent] * 4
+    mass = 0.2
+
+    print(f"Lattice {dims}, Wilson mass {mass}\n")
+
+    table = Table(
+        ["backend", "lanes", "plaquette", "dslash checksum",
+         "CG iters", "|r|/|b|", "dslash ms"],
+        title="Wilson workflow across SIMD backends",
+        align=["l", "r", "r", "l", "r", "r", "r"],
+    )
+    checksums = set()
+    for key in NUMPY_BACKENDS:
+        grid = GridCartesian(dims, get_backend(key))
+        links = random_gauge(grid, seed=11)
+        assert max_unitarity_defect(links[0]) < 1e-12
+        plaq = plaquette(links, grid)
+        dirac = WilsonDirac(links, mass=mass)
+        psi = random_spinor(grid, seed=7)
+        t0 = time.perf_counter()
+        hop = dirac.dhop(psi)
+        dt = time.perf_counter() - t0
+        ck = field_checksum(hop)
+        checksums.add((round(plaq, 12), ck))
+        res = solve_wilson_cgne(dirac, psi, tol=1e-8, max_iter=500)
+        table.add(key, grid.nlanes, plaq, ck, res.iterations,
+                  f"{res.residual:.1e}", f"{dt * 1e3:.2f}")
+    print(table.render())
+    assert len(checksums) == 1, "backends disagree!"
+    print("\nAll Table I backends produce identical physics "
+          "(one plaquette, one checksum).\n")
+
+    # The SVE backends, lane-accurate through the intrinsics layer.
+    sve_dims = [2, 2, 2, 2]
+    print(f"SVE backends (simulated, lattice {sve_dims}):")
+    sve_table = Table(
+        ["backend", "dslash checksum", "fcmla", "fmla+fmls", "tbl"],
+        title="Section V-C (FCMLA) vs Section V-E (real arithmetic)",
+        align=["l", "l", "r", "r", "r"],
+    )
+    sve_sums = set()
+    for key in SVE_BACKENDS:
+        grid = GridCartesian(sve_dims, get_backend(key))
+        links = random_gauge(grid, seed=11)
+        psi = random_spinor(grid, seed=7)
+        hop = WilsonDirac(links, mass=mass).dhop(psi)
+        ck = field_checksum(hop)
+        sve_sums.add(ck)
+        c = grid.backend.instruction_counts()
+        sve_table.add(key, ck, c.get("fcmla", 0),
+                      c.get("fmla", 0) + c.get("fmls", 0), c.get("tbl", 0))
+    print(sve_table.render())
+    assert len(sve_sums) == 1
+    print("\nSame dslash, two instruction mixes — the Section V-E "
+          "trade-off:\nFCMLA-dense vs real-arithmetic-dense, chosen per "
+          "silicon.\n")
+
+    # BiCGSTAB as the non-hermitian alternative.
+    grid = GridCartesian(dims, get_backend("avx512"))
+    dirac = WilsonDirac(random_gauge(grid, seed=11), mass=mass)
+    b = random_spinor(grid, seed=7)
+    bi = bicgstab(dirac.apply, b, tol=1e-8, max_iter=500)
+    print(f"BiCGSTAB on M directly: {bi.iterations} iterations "
+          f"(vs CGNE above), residual {bi.residual:.1e}")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 4)

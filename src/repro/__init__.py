@@ -1,0 +1,54 @@
+"""repro — reproduction of "SVE-enabling Lattice QCD Codes" (CLUSTER/REV-A 2018).
+
+The package is organised as the paper's system stack, bottom up:
+
+``repro.sve``
+    A functional simulator for the ARM Scalable Vector Extension (SVE)
+    ISA: vector/predicate/scalar register files, flat memory, and
+    lane-accurate semantics for the instructions used by lattice-QCD
+    kernels (predicated loads/stores, structure loads, FMA chains, the
+    FCMLA/FCADD complex-arithmetic instructions, permutes, precision
+    conversion).  A textual assembler and machine executor allow the
+    paper's assembly listings to run verbatim.
+
+``repro.acle``
+    The ARM C Language Extensions (ACLE) intrinsics surface
+    (``svld1``, ``svcmla_x``, ``svcntd`` ...) implemented on top of the
+    simulator semantics, following the vector-length-agnostic (VLA)
+    programming model.
+
+``repro.vectorizer``
+    A miniature loop auto-vectorizer that compiles a small scalar-loop
+    IR to SVE assembly.  Its ``complex_isa`` feature flag reproduces the
+    armclang 18 / LLVM 5 behaviour analysed in the paper: without the
+    flag, complex loops lower to structure loads + real arithmetic
+    (Section IV-B); FCMLA is only reachable via intrinsics
+    (Sections IV-C/IV-D).
+
+``repro.armie``
+    An ArmIE-like emulator front-end: run an assembled program at a
+    command-line-selected vector length, with instruction tracing and
+    optional toolchain-fault injection (Section V-D).
+
+``repro.simd``
+    Grid's machine-specific abstraction layer: pluggable SIMD backends
+    (generic, the fixed-width families of Table I, and the two SVE
+    complex-arithmetic strategies of Sections V-C and V-E).
+
+``repro.grid``
+    A Grid-like lattice QCD framework: cartesian grids with
+    virtual-node SIMD decomposition, vectorized SU(3)/spinor tensors,
+    circular shifts with lane permutes, the Wilson hopping term of
+    Eq. (1), Krylov solvers, a simulated rank decomposition with halo
+    exchange, and fp16 communication compression.
+
+``repro.verification``
+    The Section V-D verification harness: a battery of representative
+    Grid tests/benchmarks run across SVE vector lengths.
+"""
+
+from repro.sve.vl import VL, LEGAL_VLS
+
+__all__ = ["VL", "LEGAL_VLS", "__version__"]
+
+__version__ = "1.0.0"

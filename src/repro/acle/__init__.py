@@ -1,0 +1,115 @@
+"""The ARM C Language Extensions (ACLE) for SVE, in Python.
+
+"Convenient access to features of SIMD extensions is typically provided
+by intrinsics" (Section III-A).  This package mirrors the ACLE surface
+the paper uses — ``svld1``, ``svst1``, ``svcmla_x``, ``svcntd``,
+``svwhilelt`` ... — on top of the instruction semantics of
+:mod:`repro.sve.ops`, so the intrinsics path and the assembly path are
+backed by the same code.
+
+Vector-length agnosticism is modelled with an explicit
+:class:`~repro.acle.context.SVEContext`: intrinsics may only be called
+inside a context, mirroring the ACLE rule that sizeless types cannot
+escape into static storage (Section III-C).  Inside the context,
+``svcntd()`` etc. report the context's vector length; the same kernel
+code runs unmodified at any legal VL — the VLA property the paper's
+Section IV-C loop demonstrates.
+
+Example (the paper's Section IV-C complex multiplication)::
+
+    from repro import acle
+
+    with acle.SVEContext(512):
+        pg = acle.svptrue_b64()
+        zero = acle.svdup_f64(0.0)
+        i = 0
+        while i < 2 * n:
+            sx = acle.svld1(acle.svwhilelt_b64(i, 2 * n), x, i)
+            ...
+            i += acle.svcntd()
+"""
+
+from repro.acle.context import SVEContext, current_context, intrinsic_counts
+from repro.acle.pred import (
+    svbool_t,
+    svcntp_b64,
+    svpfalse_b,
+    svptrue_b16,
+    svptrue_b32,
+    svptrue_b64,
+    svptrue_b8,
+    svwhilelt_b16,
+    svwhilelt_b32,
+    svwhilelt_b64,
+)
+from repro.acle.vector import svvector_t
+from repro.acle.intrinsics import (
+    svcmpeq,
+    svcmpne,
+    svcmplt,
+    svcmple,
+    svcmpgt,
+    svcmpge,
+    svld1_gather_index,
+    svprfd,
+    svstnt1,
+    svst1_scatter_index,
+    svabs_x,
+    svadd_x,
+    svadda,
+    svaddv,
+    svcadd_x,
+    svcmla_x,
+    svcntb,
+    svcntd,
+    svcnth,
+    svcntw,
+    svcompact,
+    svcvt_f16_x,
+    svcvt_f32_x,
+    svcvt_f64_x,
+    svdiv_x,
+    svdup_f16,
+    svdup_f32,
+    svdup_f64,
+    svdup_lane,
+    svdup_s32,
+    svext,
+    svindex_s32,
+    svindex_s64,
+    svld1,
+    svld2,
+    svld3,
+    svld4,
+    svmad_x,
+    svmax_x,
+    svmaxv,
+    svmin_x,
+    svminv,
+    svmla_x,
+    svmls_x,
+    svmul_x,
+    svneg_x,
+    svrev,
+    svsel,
+    svsplice,
+    svsqrt_x,
+    svst1,
+    svst2,
+    svst3,
+    svst4,
+    svsub_x,
+    svtbl,
+    svtrn1,
+    svtrn2,
+    svuzp1,
+    svuzp2,
+    svzip1,
+    svzip2,
+)
+
+__all__ = [name for name in dir() if name.startswith("sv")] + [
+    "SVEContext",
+    "current_context",
+    "intrinsic_counts",
+]

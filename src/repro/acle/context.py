@@ -1,0 +1,88 @@
+"""The vector-length context for ACLE intrinsics.
+
+SVE ACLE data types are "sizeless": their size is unknown at compile
+time and they may not be stored in classes, unions, statics or
+thread-locals (Section III-C of the paper).  We model the consequence —
+vector values exist only *within* a dynamic extent that knows the
+vector length — with an explicit context manager.  Intrinsics raise
+:class:`NoSVEContext` when called outside one, the moral equivalent of
+the C compiler rejecting a sizeless type at file scope.
+
+The context also counts intrinsic calls (by the instruction each one
+maps to) so benchmarks can compare instruction mixes between the ACLE
+path and the real-arithmetic alternative of Section V-E without
+re-assembling anything.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import Counter
+from typing import Optional, Union
+
+from repro.sve.vl import VL
+
+_tls = threading.local()
+
+
+class NoSVEContext(RuntimeError):
+    """Raised when an intrinsic is used outside an :class:`SVEContext`."""
+
+
+class SVEContext:
+    """Dynamic extent in which ACLE intrinsics are usable.
+
+    Parameters
+    ----------
+    vl:
+        The vector length (``VL`` instance or bits as an int) — the
+        value the hardware (here: the simulator) implements.
+    count_instructions:
+        When true (default), each intrinsic call increments a
+        per-instruction counter available as :attr:`counts`.
+
+    Contexts nest; the innermost wins (e.g. a test may re-enter at a
+    different VL to prove a kernel is VLA-correct).
+    """
+
+    def __init__(self, vl: Union[VL, int], count_instructions: bool = True) -> None:
+        self.vl = vl if isinstance(vl, VL) else VL(vl)
+        self.count_instructions = count_instructions
+        self.counts: Counter = Counter()
+        self._token: Optional[list] = None
+
+    def __enter__(self) -> "SVEContext":
+        stack = getattr(_tls, "stack", None)
+        if stack is None:
+            stack = []
+            _tls.stack = stack
+        stack.append(self)
+        return self
+
+    def __exit__(self, *exc) -> None:
+        _tls.stack.pop()
+
+    def record(self, mnemonic: str) -> None:
+        if self.count_instructions:
+            self.counts[mnemonic] += 1
+
+
+def current_context() -> SVEContext:
+    """The innermost active :class:`SVEContext`."""
+    stack = getattr(_tls, "stack", None)
+    if not stack:
+        raise NoSVEContext(
+            "ACLE intrinsics require an active SVEContext (SVE ACLE types "
+            "are sizeless: the vector length must be in dynamic scope)"
+        )
+    return stack[-1]
+
+
+def current_vl() -> VL:
+    """The vector length of the innermost context."""
+    return current_context().vl
+
+
+def intrinsic_counts() -> Counter:
+    """The instruction counter of the innermost context."""
+    return current_context().counts

@@ -1,0 +1,652 @@
+"""The ACLE intrinsic functions.
+
+Naming follows the ACLE specification [6] with the type suffix dropped
+where Python's dynamic typing makes it redundant (``svld1`` instead of
+``svld1_f64`` — the dtype comes from the source array).  The ``_x``
+suffix marks the "don't care" predication forms the paper's Grid code
+uses (``svcmla_x``); we implement ``_x`` as merging with the first
+vector operand, one of the architecturally-permitted results.
+
+Memory operands are numpy arrays (+ element offset): the moral
+equivalent of the C pointer arguments.  Predicated loads may read past
+the end of an array as long as the excess lanes are inactive — the
+property that lets VLA loops skip tail processing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.acle.context import current_context
+from repro.acle.pred import svbool_t
+from repro.acle.vector import check_pred, check_same_shape, svvector_t
+from repro.sve.ops import arith, cplx, convert, permute, reduce
+
+
+# ----------------------------------------------------------------------
+# Element counts
+# ----------------------------------------------------------------------
+
+def svcntd() -> int:
+    """``svcntd``: number of 64-bit lanes ("the SVE vector register
+    length (in double)", Section IV-C)."""
+    ctx = current_context()
+    ctx.record("cntd")
+    return ctx.vl.lanes(8)
+
+
+def svcntw() -> int:
+    """``svcntw``: number of 32-bit lanes."""
+    ctx = current_context()
+    ctx.record("cntw")
+    return ctx.vl.lanes(4)
+
+
+def svcnth() -> int:
+    """``svcnth``: number of 16-bit lanes."""
+    ctx = current_context()
+    ctx.record("cnth")
+    return ctx.vl.lanes(2)
+
+
+def svcntb() -> int:
+    """``svcntb``: vector length in bytes (``SVE_VECTOR_LENGTH``)."""
+    ctx = current_context()
+    ctx.record("cntb")
+    return ctx.vl.bytes
+
+
+# ----------------------------------------------------------------------
+# Broadcast / index
+# ----------------------------------------------------------------------
+
+def _svdup(value, dtype) -> svvector_t:
+    ctx = current_context()
+    ctx.record("dup")
+    lanes = ctx.vl.lanes(np.dtype(dtype).itemsize)
+    return svvector_t.from_array(arith.dup(lanes, dtype, value))
+
+
+def svdup_f64(value: float) -> svvector_t:
+    """``svdup_n_f64``: broadcast a double to all lanes."""
+    return _svdup(value, np.float64)
+
+
+def svdup_f32(value: float) -> svvector_t:
+    """``svdup_n_f32``."""
+    return _svdup(value, np.float32)
+
+
+def svdup_f16(value: float) -> svvector_t:
+    """``svdup_n_f16``."""
+    return _svdup(value, np.float16)
+
+
+def svdup_s32(value: int) -> svvector_t:
+    """``svdup_n_s32``."""
+    return _svdup(value, np.int32)
+
+
+def svindex_s64(base: int, step: int) -> svvector_t:
+    """``svindex_s64``: lane *i* gets ``base + i*step``."""
+    ctx = current_context()
+    ctx.record("index")
+    return svvector_t.from_array(arith.index(ctx.vl.lanes(8), np.int64, base, step))
+
+
+def svindex_s32(base: int, step: int) -> svvector_t:
+    """``svindex_s32``."""
+    ctx = current_context()
+    ctx.record("index")
+    return svvector_t.from_array(arith.index(ctx.vl.lanes(4), np.int32, base, step))
+
+
+# ----------------------------------------------------------------------
+# Loads and stores
+# ----------------------------------------------------------------------
+
+def _flat(array: np.ndarray, writable: bool = False) -> np.ndarray:
+    flat = np.ascontiguousarray(array).reshape(-1)
+    if writable and not np.shares_memory(flat, array):
+        raise TypeError(
+            "store target must be a C-contiguous array (got a layout that "
+            "would require copying, so stores would be lost)"
+        )
+    return flat
+
+
+def svld1(pg: svbool_t, array: np.ndarray, offset: int = 0) -> svvector_t:
+    """``svld1``: predicated contiguous load from ``array[offset:]``.
+
+    Inactive lanes are zero and never access memory, so the final
+    partial iteration of a VLA loop is safe without a scalar tail.
+    """
+    ctx = current_context()
+    flat = _flat(array)
+    ctx.record({8: "ld1d", 4: "ld1w", 2: "ld1h", 1: "ld1b"}[flat.dtype.itemsize])
+    lanes = ctx.vl.lanes(flat.dtype.itemsize)
+    if pg.lanes != lanes or pg.esize != flat.dtype.itemsize:
+        raise TypeError(
+            f"predicate ({pg.esize}-byte x {pg.lanes}) does not match load "
+            f"of {flat.dtype.itemsize}-byte x {lanes} elements"
+        )
+    mask = pg.mask
+    out = np.zeros(lanes, dtype=flat.dtype)
+    idx = offset + np.nonzero(mask)[0]
+    if idx.size and (idx[0] < 0 or idx[-1] >= flat.size):
+        raise IndexError(
+            f"active lanes [{idx[0]}, {idx[-1]}] outside array of "
+            f"{flat.size} elements"
+        )
+    out[mask] = flat[idx]
+    return svvector_t.from_array(out)
+
+
+def svst1(pg: svbool_t, array: np.ndarray, offset: int, vec: svvector_t) -> None:
+    """``svst1``: predicated contiguous store into ``array[offset:]``."""
+    ctx = current_context()
+    flat = _flat(array, writable=True)
+    ctx.record({8: "st1d", 4: "st1w", 2: "st1h", 1: "st1b"}[flat.dtype.itemsize])
+    mask = check_pred(pg, vec)
+    idx = offset + np.nonzero(mask)[0]
+    if idx.size and (idx[0] < 0 or idx[-1] >= flat.size):
+        raise IndexError(
+            f"active lanes [{idx[0]}, {idx[-1]}] outside array of "
+            f"{flat.size} elements"
+        )
+    flat[idx] = vec.values[mask]
+
+
+def _svldn(pg: svbool_t, array: np.ndarray, offset: int, n: int):
+    ctx = current_context()
+    flat = _flat(array)
+    ctx.record(f"ld{n}" + {8: "d", 4: "w", 2: "h", 1: "b"}[flat.dtype.itemsize])
+    lanes = ctx.vl.lanes(flat.dtype.itemsize)
+    if pg.lanes != lanes:
+        raise TypeError("predicate lane count does not match load width")
+    mask = pg.mask
+    outs = [np.zeros(lanes, dtype=flat.dtype) for _ in range(n)]
+    act = np.nonzero(mask)[0]
+    if act.size:
+        first = offset + int(act[0]) * n
+        last = offset + (int(act[-1]) + 1) * n
+        if first < 0 or last > flat.size:
+            raise IndexError("active structure lanes outside array")
+        for k in range(n):
+            for i in act:
+                outs[k][i] = flat[offset + int(i) * n + k]
+    return tuple(svvector_t.from_array(o) for o in outs)
+
+
+def svld2(pg: svbool_t, array: np.ndarray, offset: int = 0):
+    """``svld2``: de-interleave 2-element structures into two vectors
+    (what the auto-vectorizer used for ``std::complex`` arrays,
+    Section IV-B)."""
+    return _svldn(pg, array, offset, 2)
+
+
+def svld3(pg: svbool_t, array: np.ndarray, offset: int = 0):
+    """``svld3``: 3-element structure load (colour vectors)."""
+    return _svldn(pg, array, offset, 3)
+
+
+def svld4(pg: svbool_t, array: np.ndarray, offset: int = 0):
+    """``svld4``: 4-element structure load."""
+    return _svldn(pg, array, offset, 4)
+
+
+def _svstn(pg: svbool_t, array: np.ndarray, offset: int, vecs) -> None:
+    ctx = current_context()
+    n = len(vecs)
+    flat = _flat(array, writable=True)
+    ctx.record(f"st{n}" + {8: "d", 4: "w", 2: "h", 1: "b"}[flat.dtype.itemsize])
+    mask = check_pred(pg, vecs[0])
+    for i in np.nonzero(mask)[0]:
+        base = offset + int(i) * n
+        if base < 0 or base + n > flat.size:
+            raise IndexError("active structure lanes outside array")
+        for k in range(n):
+            flat[base + k] = vecs[k].values[i]
+
+
+def svst2(pg: svbool_t, array: np.ndarray, offset: int, v0, v1) -> None:
+    """``svst2``: interleave two vectors into 2-element structures."""
+    _svstn(pg, array, offset, (v0, v1))
+
+
+def svst3(pg: svbool_t, array: np.ndarray, offset: int, v0, v1, v2) -> None:
+    """``svst3``."""
+    _svstn(pg, array, offset, (v0, v1, v2))
+
+
+def svst4(pg: svbool_t, array: np.ndarray, offset: int, v0, v1, v2, v3) -> None:
+    """``svst4``."""
+    _svstn(pg, array, offset, (v0, v1, v2, v3))
+
+
+# ----------------------------------------------------------------------
+# Real arithmetic
+# ----------------------------------------------------------------------
+
+def _binop(mnemonic: str, fn, pg: svbool_t, a: svvector_t, b) -> svvector_t:
+    ctx = current_context()
+    ctx.record(mnemonic)
+    if not isinstance(b, svvector_t):  # scalar operand form
+        b = svvector_t.from_array(
+            arith.dup(a.lanes, np.dtype(a.dtype), b)
+        )
+    check_same_shape(a, b)
+    mask = check_pred(pg, a)
+    return svvector_t.from_array(fn(a.values, b.values, pred=mask, old=a.values))
+
+
+def svadd_x(pg, a, b):
+    """``svadd_x``: lane-wise ``a + b``."""
+    return _binop("fadd" if np.dtype(a.dtype).kind == "f" else "add",
+                  arith.fadd, pg, a, b)
+
+
+def svsub_x(pg, a, b):
+    """``svsub_x``: lane-wise ``a - b``."""
+    return _binop("fsub" if np.dtype(a.dtype).kind == "f" else "sub",
+                  arith.fsub, pg, a, b)
+
+
+def svmul_x(pg, a, b):
+    """``svmul_x``: lane-wise ``a * b``."""
+    return _binop("fmul" if np.dtype(a.dtype).kind == "f" else "mul",
+                  arith.fmul, pg, a, b)
+
+
+def svdiv_x(pg, a, b):
+    """``svdiv_x``: lane-wise ``a / b``."""
+    return _binop("fdiv", arith.fdiv, pg, a, b)
+
+
+def svmax_x(pg, a, b):
+    """``svmax_x``."""
+    return _binop("fmax", arith.fmax, pg, a, b)
+
+
+def svmin_x(pg, a, b):
+    """``svmin_x``."""
+    return _binop("fmin", arith.fmin, pg, a, b)
+
+
+def svneg_x(pg, a):
+    """``svneg_x``."""
+    ctx = current_context()
+    ctx.record("fneg")
+    mask = check_pred(pg, a)
+    return svvector_t.from_array(arith.fneg(a.values, pred=mask, old=a.values))
+
+
+def svabs_x(pg, a):
+    """``svabs_x``."""
+    ctx = current_context()
+    ctx.record("fabs")
+    mask = check_pred(pg, a)
+    return svvector_t.from_array(arith.fabs_(a.values, pred=mask, old=a.values))
+
+
+def svsqrt_x(pg, a):
+    """``svsqrt_x``."""
+    ctx = current_context()
+    ctx.record("fsqrt")
+    mask = check_pred(pg, a)
+    return svvector_t.from_array(arith.fsqrt(a.values, pred=mask, old=a.values))
+
+
+def svmla_x(pg, acc, a, b):
+    """``svmla_x``: ``acc + a*b`` (FMLA)."""
+    ctx = current_context()
+    ctx.record("fmla")
+    check_same_shape(acc, a, b)
+    mask = check_pred(pg, acc)
+    return svvector_t.from_array(arith.fmla(acc.values, a.values, b.values, pred=mask))
+
+
+def svmls_x(pg, acc, a, b):
+    """``svmls_x``: ``acc - a*b`` (FMLS)."""
+    ctx = current_context()
+    ctx.record("fmls")
+    check_same_shape(acc, a, b)
+    mask = check_pred(pg, acc)
+    return svvector_t.from_array(arith.fmls(acc.values, a.values, b.values, pred=mask))
+
+
+def svmad_x(pg, a, b, addend):
+    """``svmad_x``: ``a*b + addend`` (FMAD)."""
+    ctx = current_context()
+    ctx.record("fmad")
+    check_same_shape(a, b, addend)
+    mask = check_pred(pg, a)
+    return svvector_t.from_array(arith.fmad(a.values, b.values, addend.values, pred=mask))
+
+
+# ----------------------------------------------------------------------
+# Complex arithmetic (Section III-D)
+# ----------------------------------------------------------------------
+
+def svcmla_x(pg, acc, x, y, rot: int) -> svvector_t:
+    """``svcmla_x``: the FCMLA intrinsic.
+
+    Interleaved complex layout (re in even lanes, im in odd lanes);
+    ``rot`` ∈ {0, 90, 180, 270}.  Two chained calls implement a full
+    complex multiply-add (Eq. (2) of the paper); see
+    :func:`repro.sve.ops.cplx.fcmla` for the per-rotation semantics.
+    """
+    ctx = current_context()
+    ctx.record("fcmla")
+    check_same_shape(acc, x, y)
+    mask = check_pred(pg, acc)
+    return svvector_t.from_array(
+        cplx.fcmla(acc.values, x.values, y.values, rot, pred=mask)
+    )
+
+
+def svcadd_x(pg, a, b, rot: int) -> svvector_t:
+    """``svcadd_x``: the FCADD intrinsic — ``a ± i*b``."""
+    ctx = current_context()
+    ctx.record("fcadd")
+    check_same_shape(a, b)
+    mask = check_pred(pg, a)
+    return svvector_t.from_array(cplx.fcadd(a.values, b.values, rot, pred=mask))
+
+
+# ----------------------------------------------------------------------
+# Permutes
+# ----------------------------------------------------------------------
+
+def _perm2(mnemonic: str, fn, a: svvector_t, b: svvector_t) -> svvector_t:
+    ctx = current_context()
+    ctx.record(mnemonic)
+    check_same_shape(a, b)
+    return svvector_t.from_array(fn(a.values, b.values))
+
+
+def svzip1(a, b):
+    """``svzip1``."""
+    return _perm2("zip1", permute.zip1, a, b)
+
+
+def svzip2(a, b):
+    """``svzip2``."""
+    return _perm2("zip2", permute.zip2, a, b)
+
+
+def svuzp1(a, b):
+    """``svuzp1``."""
+    return _perm2("uzp1", permute.uzp1, a, b)
+
+
+def svuzp2(a, b):
+    """``svuzp2``."""
+    return _perm2("uzp2", permute.uzp2, a, b)
+
+
+def svtrn1(a, b):
+    """``svtrn1``."""
+    return _perm2("trn1", permute.trn1, a, b)
+
+
+def svtrn2(a, b):
+    """``svtrn2``."""
+    return _perm2("trn2", permute.trn2, a, b)
+
+
+def svrev(a):
+    """``svrev``."""
+    ctx = current_context()
+    ctx.record("rev")
+    return svvector_t.from_array(permute.rev(a.values))
+
+
+def svext(a, b, nelem: int):
+    """``svext``: rotate the concatenation ``a:b`` by ``nelem`` elements.
+
+    ACLE's svext counts *elements*; the underlying EXT instruction
+    counts bytes.
+    """
+    ctx = current_context()
+    ctx.record("ext")
+    check_same_shape(a, b)
+    return svvector_t.from_array(
+        permute.ext(a.values, b.values, nelem * a.esize, a.esize)
+    )
+
+
+def svtbl(a, indices):
+    """``svtbl``: per-lane table lookup."""
+    ctx = current_context()
+    ctx.record("tbl")
+    return svvector_t.from_array(
+        permute.tbl(a.values, indices.values).astype(np.dtype(a.dtype))
+    )
+
+
+def svdup_lane(a, lane: int):
+    """``svdup_lane``: broadcast one lane."""
+    ctx = current_context()
+    ctx.record("dup")
+    return svvector_t.from_array(permute.dup_lane(a.values, lane))
+
+
+def svsel(pg, a, b):
+    """``svsel``: per-lane select."""
+    ctx = current_context()
+    ctx.record("sel")
+    check_same_shape(a, b)
+    mask = check_pred(pg, a)
+    return svvector_t.from_array(permute.sel(mask, a.values, b.values))
+
+
+def svsplice(pg, a, b):
+    """``svsplice``."""
+    ctx = current_context()
+    ctx.record("splice")
+    check_same_shape(a, b)
+    mask = check_pred(pg, a)
+    return svvector_t.from_array(permute.splice(mask, a.values, b.values))
+
+
+def svcompact(pg, a):
+    """``svcompact``."""
+    ctx = current_context()
+    ctx.record("compact")
+    mask = check_pred(pg, a)
+    return svvector_t.from_array(permute.compact(mask, a.values))
+
+
+# ----------------------------------------------------------------------
+# Reductions
+# ----------------------------------------------------------------------
+
+def svaddv(pg, a):
+    """``svaddv``: tree-order sum of active lanes."""
+    ctx = current_context()
+    ctx.record("faddv")
+    mask = check_pred(pg, a)
+    return float(reduce.faddv(mask, a.values))
+
+
+def svadda(pg, init, a):
+    """``svadda``: strictly-ordered sum of active lanes."""
+    ctx = current_context()
+    ctx.record("fadda")
+    mask = check_pred(pg, a)
+    return float(reduce.fadda(mask, init, a.values))
+
+
+def svmaxv(pg, a):
+    """``svmaxv``."""
+    ctx = current_context()
+    ctx.record("fmaxv")
+    mask = check_pred(pg, a)
+    return float(reduce.fmaxv(mask, a.values))
+
+
+def svminv(pg, a):
+    """``svminv``."""
+    ctx = current_context()
+    ctx.record("fminv")
+    mask = check_pred(pg, a)
+    return float(reduce.fminv(mask, a.values))
+
+
+# ----------------------------------------------------------------------
+# Precision conversion (element-wise ACLE forms)
+# ----------------------------------------------------------------------
+
+def _cvt(a: svvector_t, dtype, pg) -> svvector_t:
+    ctx = current_context()
+    ctx.record("fcvt")
+    mask = check_pred(pg, a)
+    # ACLE conversion intrinsics keep the *lane count* of the source
+    # half/same/double as appropriate; for Grid's compression use we
+    # expose the element-wise value conversion and let the caller
+    # manage packing (repro.grid.compression models the layout).
+    vals = convert.fcvt(a.values, dtype, pred=mask,
+                        old=np.zeros(a.lanes, np.dtype(dtype)))
+    out = np.zeros(current_context().vl.lanes(np.dtype(dtype).itemsize),
+                   dtype=np.dtype(dtype))
+    n = min(out.size, vals.size)
+    out[:n] = vals[:n]
+    return svvector_t.from_array(out)
+
+
+def svcvt_f64_x(pg, a):
+    """``svcvt_f64_x``: widen to f64 (low lanes)."""
+    return _cvt(a, np.float64, pg)
+
+
+def svcvt_f32_x(pg, a):
+    """``svcvt_f32_x``: convert to f32 (low lanes)."""
+    return _cvt(a, np.float32, pg)
+
+
+def svcvt_f16_x(pg, a):
+    """``svcvt_f16_x``: narrow to f16 (low lanes)."""
+    return _cvt(a, np.float16, pg)
+
+
+# ----------------------------------------------------------------------
+# Gather/scatter (per-lane indexed access)
+# ----------------------------------------------------------------------
+
+def svld1_gather_index(pg: svbool_t, array: np.ndarray,
+                       indices: svvector_t) -> svvector_t:
+    """``svld1_gather_index``: lane *i* loads ``array[indices[i]]``.
+
+    Inactive lanes are zero and never access memory.
+    """
+    ctx = current_context()
+    flat = _flat(array)
+    ctx.record({8: "ld1d", 4: "ld1w", 2: "ld1h", 1: "ld1b"}[
+        flat.dtype.itemsize])
+    mask = pg.mask
+    if pg.lanes != indices.lanes:
+        raise TypeError("predicate/index lane mismatch")
+    out = np.zeros(ctx.vl.lanes(flat.dtype.itemsize), dtype=flat.dtype)
+    idx = indices.values
+    for i in np.nonzero(mask)[0]:
+        j = int(idx[i])
+        if not 0 <= j < flat.size:
+            raise IndexError(f"gather lane {i} index {j} out of bounds")
+        out[i] = flat[j]
+    return svvector_t.from_array(out)
+
+
+def svst1_scatter_index(pg: svbool_t, array: np.ndarray,
+                        indices: svvector_t, vec: svvector_t) -> None:
+    """``svst1_scatter_index``: lane *i* stores to ``array[indices[i]]``."""
+    ctx = current_context()
+    flat = _flat(array, writable=True)
+    ctx.record({8: "st1d", 4: "st1w", 2: "st1h", 1: "st1b"}[
+        flat.dtype.itemsize])
+    mask = check_pred(pg, vec)
+    idx = indices.values
+    vals = vec.values
+    for i in np.nonzero(mask)[0]:
+        j = int(idx[i])
+        if not 0 <= j < flat.size:
+            raise IndexError(f"scatter lane {i} index {j} out of bounds")
+        flat[j] = vals[i]
+
+
+# ----------------------------------------------------------------------
+# Vector compares (predicate-producing)
+# ----------------------------------------------------------------------
+
+def _svcmp(mnemonic: str, fn, pg: svbool_t, a: svvector_t, b) -> svbool_t:
+    ctx = current_context()
+    ctx.record(mnemonic)
+    if not isinstance(b, svvector_t):
+        b = svvector_t.from_array(
+            arith.dup(a.lanes, np.dtype(a.dtype), b)
+        )
+    check_same_shape(a, b)
+    mask = check_pred(pg, a)
+    return svbool_t.from_mask(mask & fn(a.values, b.values), a.esize)
+
+
+def svcmpeq(pg, a, b):
+    """``svcmpeq``: active where ``a == b``."""
+    return _svcmp("fcmeq", np.equal, pg, a, b)
+
+
+def svcmpne(pg, a, b):
+    """``svcmpne``: active where ``a != b``."""
+    return _svcmp("fcmne", np.not_equal, pg, a, b)
+
+
+def svcmplt(pg, a, b):
+    """``svcmplt``: active where ``a < b``."""
+    return _svcmp("fcmlt", np.less, pg, a, b)
+
+
+def svcmple(pg, a, b):
+    """``svcmple``: active where ``a <= b``."""
+    return _svcmp("fcmle", np.less_equal, pg, a, b)
+
+
+def svcmpgt(pg, a, b):
+    """``svcmpgt``: active where ``a > b``."""
+    return _svcmp("fcmgt", np.greater, pg, a, b)
+
+
+def svcmpge(pg, a, b):
+    """``svcmpge``: active where ``a >= b``."""
+    return _svcmp("fcmge", np.greater_equal, pg, a, b)
+
+
+# ----------------------------------------------------------------------
+# Memory hints: prefetch and streaming (non-temporal) stores.
+# "load, store, memory prefetch, streaming memory access" are on the
+# paper's list of machine-specific operations (Section II-C).
+# ----------------------------------------------------------------------
+
+def svprfd(pg: svbool_t, array: np.ndarray, offset: int = 0) -> None:
+    """``svprfd``: prefetch hint — functionally a no-op, but counted so
+    instruction profiles show the memory-system traffic a real port
+    would schedule."""
+    current_context().record("prfd")
+
+
+def svstnt1(pg: svbool_t, array: np.ndarray, offset: int,
+            vec: svvector_t) -> None:
+    """``svstnt1``: non-temporal (streaming) store.
+
+    Same architectural result as :func:`svst1`; the non-temporal hint
+    (bypass the cache for write-once data, e.g. halo send buffers) is
+    recorded under its own mnemonic.
+    """
+    ctx = current_context()
+    flat = _flat(array, writable=True)
+    ctx.record({8: "stnt1d", 4: "stnt1w", 2: "stnt1h", 1: "stnt1b"}[
+        flat.dtype.itemsize])
+    mask = check_pred(pg, vec)
+    idx = offset + np.nonzero(mask)[0]
+    if idx.size and (idx[0] < 0 or idx[-1] >= flat.size):
+        raise IndexError("active lanes outside array")
+    flat[idx] = vec.values[mask]

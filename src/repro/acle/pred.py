@@ -1,0 +1,104 @@
+"""ACLE predicate type and constructors (``svbool_t``)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.acle.context import current_context
+from repro.sve import predicate as predops
+
+
+@dataclass(frozen=True)
+class svbool_t:
+    """An element-granular predicate bound to an element size.
+
+    ACLE's ``svbool_t`` is byte-granular; the governed element size is
+    determined by the consuming intrinsic.  We carry the element size
+    chosen by the constructor (``svptrue_b64`` -> 8-byte elements) and
+    check it at use sites, which catches the class of mixed-width
+    predication bugs Section V-D attributes to the early toolchain.
+    """
+
+    active: tuple
+    esize: int
+
+    @property
+    def mask(self) -> np.ndarray:
+        return np.array(self.active, dtype=bool)
+
+    @property
+    def lanes(self) -> int:
+        return len(self.active)
+
+    def count(self) -> int:
+        return int(sum(self.active))
+
+    @staticmethod
+    def from_mask(mask: np.ndarray, esize: int) -> "svbool_t":
+        return svbool_t(tuple(bool(b) for b in np.asarray(mask, dtype=bool)),
+                        esize)
+
+
+def _ptrue(esize: int, pattern: str) -> svbool_t:
+    ctx = current_context()
+    ctx.record("ptrue")
+    lanes = ctx.vl.lanes(esize)
+    return svbool_t.from_mask(predops.ptrue(lanes, pattern), esize)
+
+
+def svptrue_b64(pattern: str = "all") -> svbool_t:
+    """``svptrue_b64``: all 64-bit lanes active."""
+    return _ptrue(8, pattern)
+
+
+def svptrue_b32(pattern: str = "all") -> svbool_t:
+    """``svptrue_b32``: all 32-bit lanes active."""
+    return _ptrue(4, pattern)
+
+
+def svptrue_b16(pattern: str = "all") -> svbool_t:
+    """``svptrue_b16``: all 16-bit lanes active."""
+    return _ptrue(2, pattern)
+
+
+def svptrue_b8(pattern: str = "all") -> svbool_t:
+    """``svptrue_b8``: all byte lanes active."""
+    return _ptrue(1, pattern)
+
+
+def svpfalse_b() -> svbool_t:
+    """``svpfalse_b``: no lanes active (byte granularity)."""
+    ctx = current_context()
+    ctx.record("pfalse")
+    return svbool_t.from_mask(predops.pfalse(ctx.vl.lanes(1)), 1)
+
+
+def _whilelt(esize: int, base: int, limit: int) -> svbool_t:
+    ctx = current_context()
+    ctx.record("whilelt")
+    lanes = ctx.vl.lanes(esize)
+    return svbool_t.from_mask(predops.whilelt(lanes, base, limit), esize)
+
+
+def svwhilelt_b64(base: int, limit: int) -> svbool_t:
+    """``svwhilelt_b64``: 64-bit lane *i* active iff ``base + i < limit``."""
+    return _whilelt(8, base, limit)
+
+
+def svwhilelt_b32(base: int, limit: int) -> svbool_t:
+    """``svwhilelt_b32``: 32-bit lane variant."""
+    return _whilelt(4, base, limit)
+
+
+def svwhilelt_b16(base: int, limit: int) -> svbool_t:
+    """``svwhilelt_b16``: 16-bit lane variant."""
+    return _whilelt(2, base, limit)
+
+
+def svcntp_b64(pg: svbool_t, pn: svbool_t) -> int:
+    """``svcntp_b64``: count active 64-bit lanes of ``pn`` under ``pg``."""
+    ctx = current_context()
+    ctx.record("cntp")
+    return predops.cntp(pg.mask, pn.mask)

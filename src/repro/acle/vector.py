@@ -1,0 +1,74 @@
+"""ACLE vector value type (``svfloat64_t`` and friends)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.acle.context import current_vl
+
+
+@dataclass(frozen=True)
+class svvector_t:
+    """A sizeless vector value: one SVE register's worth of elements.
+
+    Immutable by design — ACLE intrinsics are functional (they return
+    new values), and immutability enforces the "no storing into
+    long-lived objects" discipline of sizeless types.
+    """
+
+    data: tuple
+    dtype: str
+
+    @property
+    def values(self) -> np.ndarray:
+        return np.array(self.data, dtype=np.dtype(self.dtype))
+
+    @property
+    def lanes(self) -> int:
+        return len(self.data)
+
+    @property
+    def esize(self) -> int:
+        return np.dtype(self.dtype).itemsize
+
+    @staticmethod
+    def from_array(values: np.ndarray) -> "svvector_t":
+        values = np.asarray(values)
+        expected = current_vl().lanes(values.dtype.itemsize)
+        if values.shape != (expected,):
+            raise ValueError(
+                f"vector of dtype {values.dtype} must have {expected} lanes "
+                f"at VL{current_vl().bits}, got {values.shape}"
+            )
+        return svvector_t(tuple(values.tolist()), values.dtype.str)
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+
+def check_same_shape(*vecs: svvector_t) -> None:
+    """Intrinsic argument validation: same dtype and lane count."""
+    first = vecs[0]
+    for v in vecs[1:]:
+        if v.dtype != first.dtype or v.lanes != first.lanes:
+            raise TypeError(
+                f"mismatched vector operands: {first.dtype}x{first.lanes} "
+                f"vs {v.dtype}x{v.lanes}"
+            )
+
+
+def check_pred(pg, vec: svvector_t) -> np.ndarray:
+    """Validate a predicate against a vector operand; return the mask."""
+    if pg.esize != vec.esize:
+        raise TypeError(
+            f"predicate for {pg.esize}-byte elements used with "
+            f"{vec.esize}-byte vector"
+        )
+    if pg.lanes != vec.lanes:
+        raise TypeError(
+            f"predicate with {pg.lanes} lanes used with {vec.lanes}-lane "
+            f"vector (mixed vector lengths?)"
+        )
+    return pg.mask

@@ -1,0 +1,16 @@
+"""ArmIE-like emulator front-end.
+
+"For verification of the SVE binary code we used the ARM instruction
+emulator (ArmIE) 18.1 ... The SVE vector length is supplied to ArmIE as
+a command-line parameter.  We tested our examples emulating multiple
+vector lengths." (Section IV)
+
+:func:`run_kernel` is the library face (execute a compiled kernel at a
+chosen VL against numpy arrays); ``python -m repro.armie`` is the
+command-line face (run an ``.s`` file with a ``--vl`` flag, like
+``armie -vl``).
+"""
+
+from repro.armie.emulator import EmulationResult, run_kernel, run_program, sweep_vls
+
+__all__ = ["EmulationResult", "run_kernel", "run_program", "sweep_vls"]

@@ -1,0 +1,6 @@
+"""``python -m repro.armie`` entry point."""
+
+from repro.armie.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,90 @@
+"""``repro-armie`` — a command-line front-end shaped like ``armie``.
+
+Usage::
+
+    repro-armie --vl 512 program.s --args 100,4096,8192,12288
+    repro-armie --vl 512 program.s --trace
+
+Runs an SVE assembly file at the requested vector length with the
+integer arguments placed in x0..x7, then prints x0 and the dynamic
+instruction histogram.  ``--faulty-toolchain`` enables the Section V-D
+fault model.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.sve.decoder import assemble
+from repro.sve.faults import armclang_18_3
+from repro.sve.machine import Machine
+from repro.sve.memory import Memory
+from repro.sve.tracer import Tracer
+from repro.sve.vl import LEGAL_VLS, VL
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro-armie",
+        description="Functional SVE emulator (ArmIE-alike) for textual "
+        "assembly programs.",
+    )
+    p.add_argument("program", help="path to an SVE assembly (.s) file")
+    p.add_argument(
+        "--vl", type=int, default=512, choices=LEGAL_VLS, metavar="BITS",
+        help="SVE vector length in bits (multiple of 128, up to 2048)",
+    )
+    p.add_argument(
+        "--args", default="",
+        help="comma-separated integer arguments for x0..x7",
+    )
+    p.add_argument(
+        "--memory", type=int, default=1 << 22,
+        help="simulated memory size in bytes",
+    )
+    p.add_argument(
+        "--max-steps", type=int, default=10_000_000,
+        help="instruction budget before aborting",
+    )
+    p.add_argument(
+        "--trace", action="store_true",
+        help="print every retired instruction",
+    )
+    p.add_argument(
+        "--faulty-toolchain", action="store_true",
+        help="enable the Section V-D toolchain fault model",
+    )
+    return p
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    with open(args.program) as f:
+        program = assemble(f.read())
+    vl = VL(args.vl)
+    call_args = [int(a, 0) for a in args.args.split(",") if a.strip()]
+    tracer = Tracer(record_stream=args.trace)
+    machine = Machine(
+        vl,
+        memory=Memory(args.memory),
+        tracer=tracer,
+        fault_model=armclang_18_3() if args.faulty_toolchain else None,
+    )
+    result = machine.call(program, *call_args, max_steps=args.max_steps)
+    if args.trace:
+        for line in tracer.stream:
+            print(line)
+    print(f"# vl       : {vl.bits} bits ({vl.lanes(8)} doubles/vector)")
+    print(f"# retired  : {tracer.total} instructions")
+    print(f"# x0       : {result}")
+    print("# histogram:")
+    for mnem, n in tracer.by_mnemonic.most_common():
+        print(f"#   {mnem:<10} {n}")
+    if machine.faults is not None and machine.faults.fired:
+        print(f"# faults fired: {machine.faults.fired}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

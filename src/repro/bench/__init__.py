@@ -1,0 +1,10 @@
+"""Shared benchmark infrastructure: table formatting and workloads."""
+
+from repro.bench.tables import Table
+from repro.bench.workloads import (
+    complex_arrays,
+    dslash_setup,
+    real_arrays,
+)
+
+__all__ = ["Table", "complex_arrays", "real_arrays", "dslash_setup"]

@@ -1,0 +1,64 @@
+"""Monospace table rendering for benchmark reports.
+
+Benchmarks print the same rows the paper reports (Table I, the
+instruction-mix comparisons, the verification matrix); this helper
+keeps the output uniform and diff-friendly for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+
+class Table:
+    """A simple left/right-aligned monospace table."""
+
+    def __init__(self, columns: Sequence[str], title: str = "",
+                 align: Optional[Sequence[str]] = None) -> None:
+        self.title = title
+        self.columns = list(columns)
+        self.align = list(align) if align else (
+            ["l"] + ["r"] * (len(self.columns) - 1)
+        )
+        if len(self.align) != len(self.columns):
+            raise ValueError("align length must match columns")
+        self.rows: list[list[str]] = []
+
+    def add(self, *cells) -> None:
+        if len(cells) != len(self.columns):
+            raise ValueError(
+                f"expected {len(self.columns)} cells, got {len(cells)}"
+            )
+        self.rows.append([self._fmt(c) for c in cells])
+
+    @staticmethod
+    def _fmt(cell) -> str:
+        if isinstance(cell, float):
+            if cell == 0:
+                return "0"
+            if abs(cell) >= 1e5 or abs(cell) < 1e-3:
+                return f"{cell:.3e}"
+            return f"{cell:.4g}"
+        return str(cell)
+
+    def render(self) -> str:
+        widths = [len(c) for c in self.columns]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        def line(cells):
+            parts = []
+            for cell, w, a in zip(cells, widths, self.align):
+                parts.append(cell.ljust(w) if a == "l" else cell.rjust(w))
+            return "  ".join(parts)
+        out = []
+        if self.title:
+            out.append(f"== {self.title} ==")
+        out.append(line(self.columns))
+        out.append("-" * (sum(widths) + 2 * (len(widths) - 1)))
+        for row in self.rows:
+            out.append(line(row))
+        return "\n".join(out)
+
+    def show(self) -> None:
+        print("\n" + self.render() + "\n")

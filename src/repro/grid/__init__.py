@@ -1,0 +1,44 @@
+"""A Grid-like lattice QCD framework (the port target of the paper).
+
+Reproduces, in miniature but faithfully, the parts of Grid [4] the
+paper's port touches:
+
+* the **data layout**: cartesian grids whose sub-lattice is decomposed
+  over virtual nodes so that "neighboring lattice sites will be
+  assigned to different vectors" (Section II-B, Fig. 1);
+* the **machine-specific abstraction layer** (Section II-C), consumed
+  here through :mod:`repro.simd` backends;
+* the **main computational task**: the Wilson hopping term of Eq. (1)
+  and the Wilson Dirac operator built on it, plus the iterative
+  solvers it feeds (Section II-A);
+* the coarser parallelization levels: a simulated rank decomposition
+  with halo exchange, including the fp16 compression Grid applies to
+  network data (Section V-B).
+"""
+
+from repro.grid.cartesian import GridCartesian, default_simd_layout
+from repro.grid.lattice import Lattice
+from repro.grid.cshift import cshift
+from repro.grid.gamma import GAMMA, GAMMA5, NDIRS
+from repro.grid.su3 import random_su3_field, unit_gauge
+from repro.grid.wilson import WilsonDirac
+from repro.grid.solver import bicgstab, conjugate_gradient, minimal_residual
+from repro.grid.random import random_gauge, random_spinor
+
+__all__ = [
+    "GridCartesian",
+    "default_simd_layout",
+    "Lattice",
+    "cshift",
+    "GAMMA",
+    "GAMMA5",
+    "NDIRS",
+    "random_su3_field",
+    "unit_gauge",
+    "WilsonDirac",
+    "conjugate_gradient",
+    "bicgstab",
+    "minimal_residual",
+    "random_gauge",
+    "random_spinor",
+]

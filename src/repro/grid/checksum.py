@@ -1,0 +1,33 @@
+"""Deterministic lattice checksums for verification reporting.
+
+The Section V-D verification harness compares runs across vector
+lengths and backends; a short stable digest of the canonical field
+content makes mismatches reportable without dumping whole fields.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+from repro.grid.lattice import Lattice
+
+
+def field_checksum(lat: Lattice, ndigits: int = 12) -> str:
+    """SHA-256 over the canonical bytes, rounded to ``ndigits``.
+
+    Rounding makes the digest robust against the last-bit differences
+    legitimate reorderings (e.g. different summation trees) can
+    produce, while still catching real defects.
+    """
+    can = lat.to_canonical()
+    rounded = np.round(can.view(np.float64), ndigits)
+    return hashlib.sha256(rounded.tobytes()).hexdigest()[:16]
+
+
+def scalar_checksum(value: complex, ndigits: int = 10) -> str:
+    """Digest of a scalar observable."""
+    v = complex(value)
+    payload = f"{round(v.real, ndigits)}:{round(v.imag, ndigits)}"
+    return hashlib.sha256(payload.encode()).hexdigest()[:16]

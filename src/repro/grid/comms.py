@@ -1,0 +1,215 @@
+"""Simulated rank-level domain decomposition with halo exchange.
+
+The coarsest parallelization level of Section II-A: "a set of
+sub-lattices is distributed over (a very large number of) different
+processes, e.g., different MPI ranks."  Here the "ranks" are in-process
+sub-lattices of one :class:`DistributedLattice`; the exchange is a
+deterministic buffer copy, optionally through the fp16 compression Grid
+applies to network data (Section V-B), with the transferred volume
+accounted so benchmarks can report wire bytes.
+
+The distributed circular shift reuses :func:`repro.grid.cshift.
+cshift_local`, handing it the +dim neighbour rank's field for the
+boundary lanes — so the virtual-node lane permutes and the rank halo
+logic compose exactly as they do in Grid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.grid import compression
+from repro.grid.cartesian import GridCartesian
+from repro.grid.coordinates import coordinate_table, index_of, indices_of
+from repro.grid.cshift import cshift_local
+from repro.grid.lattice import Lattice
+
+
+@dataclass
+class CommsStats:
+    """Accounting of simulated network traffic."""
+
+    messages: int = 0
+    complex_sent: int = 0
+    bytes_sent: int = 0
+
+    def record(self, n_complex: int, compressed: bool, dtype) -> None:
+        self.messages += 1
+        self.complex_sent += n_complex
+        self.bytes_sent += compression.wire_bytes(n_complex, compressed, dtype)
+
+
+class RankGeometry:
+    """The process grid: rank coordinate <-> rank index."""
+
+    def __init__(self, mpi_layout) -> None:
+        self.mpi_layout = [int(r) for r in mpi_layout]
+        self.nranks = int(np.prod(self.mpi_layout))
+        self._coors = coordinate_table(self.mpi_layout)
+
+    def coor_of(self, rank: int):
+        return tuple(int(c) for c in self._coors[rank])
+
+    def rank_of(self, coor) -> int:
+        coor = [c % r for c, r in zip(coor, self.mpi_layout)]
+        return index_of(coor, self.mpi_layout)
+
+    def neighbour(self, rank: int, dim: int, step: int) -> int:
+        coor = list(self.coor_of(rank))
+        coor[dim] += step
+        return self.rank_of(coor)
+
+
+class DistributedLattice:
+    """One logical lattice split over simulated ranks.
+
+    Each rank holds a :class:`Lattice` over a local
+    :class:`GridCartesian` (same backend and SIMD layout everywhere).
+    """
+
+    def __init__(self, gdims, backend, mpi_layout, tensor_shape,
+                 simd_layout=None, compress_halos: bool = False,
+                 dtype=np.complex128) -> None:
+        self.ranks = RankGeometry(mpi_layout)
+        self.compress_halos = compress_halos
+        self.stats = CommsStats()
+        self.grids = []
+        self.locals: list[Lattice] = []
+        for r in range(self.ranks.nranks):
+            grid = GridCartesian(gdims, backend, simd_layout=simd_layout,
+                                 mpi_layout=mpi_layout, dtype=dtype)
+            self.grids.append(grid)
+            self.locals.append(Lattice(grid, tensor_shape))
+        self.gdims = self.grids[0].gdims
+        self.tensor_shape = self.locals[0].tensor_shape
+
+    # ------------------------------------------------------------------
+    # Global <-> local data movement
+    # ------------------------------------------------------------------
+    def scatter(self, global_canonical: np.ndarray) -> "DistributedLattice":
+        """Load a canonical global array ``(gsites, *tensor)``."""
+        g0 = self.grids[0]
+        expected = (g0.gsites,) + self.tensor_shape
+        global_canonical = np.asarray(global_canonical, dtype=g0.dtype)
+        if global_canonical.shape != expected:
+            raise ValueError(
+                f"global canonical shape {global_canonical.shape} != "
+                f"{expected}"
+            )
+        local_coors = coordinate_table(g0.ldims)
+        for r, lat in enumerate(self.locals):
+            rc = self.ranks.coor_of(r)
+            offs = np.array([c * ld for c, ld in zip(rc, g0.ldims)])
+            idx = indices_of(local_coors + offs[None, :], self.gdims)
+            lat.from_canonical(global_canonical[idx])
+        return self
+
+    def gather(self) -> np.ndarray:
+        """Export to a canonical global array (inverse of scatter)."""
+        g0 = self.grids[0]
+        out = np.empty((g0.gsites,) + self.tensor_shape, dtype=g0.dtype)
+        local_coors = coordinate_table(g0.ldims)
+        for r, lat in enumerate(self.locals):
+            rc = self.ranks.coor_of(r)
+            offs = np.array([c * ld for c, ld in zip(rc, g0.ldims)])
+            idx = indices_of(local_coors + offs[None, :], self.gdims)
+            out[idx] = lat.to_canonical()
+        return out
+
+    # ------------------------------------------------------------------
+    # Halo exchange + shift
+    # ------------------------------------------------------------------
+    def _exchanged_field(self, src_rank: int, dim: int) -> np.ndarray:
+        """The +dim neighbour's local field, through the (optionally
+        compressing) wire.  Volume is accounted as the genuine halo —
+        one boundary slab — although the simulation hands over the full
+        array for simplicity."""
+        nbr = self.ranks.neighbour(src_rank, dim, +1)
+        data = self.locals[nbr].data
+        grid = self.grids[src_rank]
+        halo_sites = grid.lsites // grid.ldims[dim]
+        n_complex = halo_sites * int(np.prod(self.tensor_shape))
+        self.stats.record(n_complex, self.compress_halos, grid.dtype)
+        if not self.compress_halos:
+            return data
+        wire = compression.compress_complex(data)
+        return compression.decompress_complex(wire, grid.dtype).reshape(
+            data.shape
+        )
+
+    def cshift(self, dim: int, shift: int) -> "DistributedLattice":
+        """Distributed circular shift: ``out(x) = in(x + shift e_dim)``.
+
+        Shifts are normalised into ``[0, ldims[dim])`` plus whole-rank
+        steps, so arbitrary shifts work; each rank then shifts locally
+        with its +dim neighbour's data covering the boundary lanes.
+        """
+        g0 = self.grids[0]
+        gshift = shift % self.gdims[dim]
+        rank_steps, local_shift = divmod(gshift, g0.ldims[dim])
+        out = DistributedLattice.__new__(DistributedLattice)
+        out.ranks = self.ranks
+        out.compress_halos = self.compress_halos
+        out.stats = self.stats
+        out.grids = self.grids
+        out.gdims = self.gdims
+        out.tensor_shape = self.tensor_shape
+        out.locals = []
+        for r in range(self.ranks.nranks):
+            # The data for rank r comes from the rank `rank_steps`
+            # ahead (plus a local shift with that rank's +dim halo).
+            src = self.ranks.neighbour(r, dim, rank_steps)
+            boundary = None
+            if local_shift != 0:
+                boundary = self._fetch_for(src, dim)
+            shifted = cshift_local(self.locals[src], dim, local_shift,
+                                   boundary_from=boundary)
+            out.locals.append(shifted)
+        return out
+
+    def _fetch_for(self, rank: int, dim: int) -> np.ndarray:
+        return self._exchanged_field(rank, dim)
+
+    # ------------------------------------------------------------------
+    # Field arithmetic (rank-local + allreduce)
+    # ------------------------------------------------------------------
+    def binary(self, other: "DistributedLattice", fn) -> "DistributedLattice":
+        out = DistributedLattice.__new__(DistributedLattice)
+        out.ranks = self.ranks
+        out.compress_halos = self.compress_halos
+        out.stats = self.stats
+        out.grids = self.grids
+        out.gdims = self.gdims
+        out.tensor_shape = self.tensor_shape
+        out.locals = [fn(a, b) for a, b in zip(self.locals, other.locals)]
+        return out
+
+    def __add__(self, other):
+        return self.binary(other, lambda a, b: a + b)
+
+    def __sub__(self, other):
+        return self.binary(other, lambda a, b: a - b)
+
+    def __mul__(self, scalar):
+        out = DistributedLattice.__new__(DistributedLattice)
+        out.ranks = self.ranks
+        out.compress_halos = self.compress_halos
+        out.stats = self.stats
+        out.grids = self.grids
+        out.gdims = self.gdims
+        out.tensor_shape = self.tensor_shape
+        out.locals = [a * scalar for a in self.locals]
+        return out
+
+    __rmul__ = __mul__
+
+    def inner_product(self, other: "DistributedLattice") -> complex:
+        """Rank-local inner products + simulated allreduce."""
+        return sum(a.inner_product(b)
+                   for a, b in zip(self.locals, other.locals))
+
+    def norm2(self) -> float:
+        return float(self.inner_product(self).real)

@@ -1,0 +1,63 @@
+"""Lexicographic coordinate utilities.
+
+Convention throughout the package: dimension 0 is fastest-varying
+(Grid's own lexicographic order), i.e. for dims ``[Lx, Ly, Lz, Lt]``
+the index of coordinate ``(x, y, z, t)`` is
+``x + Lx*(y + Ly*(z + Lz*t))``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def index_of(coor, dims) -> int:
+    """Lexicographic index of one coordinate tuple."""
+    idx = 0
+    stride = 1
+    for c, d in zip(coor, dims):
+        if not 0 <= c < d:
+            raise ValueError(f"coordinate {tuple(coor)} outside dims {list(dims)}")
+        idx += c * stride
+        stride *= d
+    return idx
+
+
+def coor_of(index: int, dims) -> tuple:
+    """Coordinate tuple of a lexicographic index."""
+    total = int(np.prod(dims))
+    if not 0 <= index < total:
+        raise ValueError(f"index {index} outside volume {total}")
+    coor = []
+    for d in dims:
+        coor.append(index % d)
+        index //= d
+    return tuple(coor)
+
+
+def coordinate_table(dims) -> np.ndarray:
+    """(volume, ndim) array of all coordinates in lexicographic order."""
+    dims = list(dims)
+    vol = int(np.prod(dims))
+    table = np.empty((vol, len(dims)), dtype=np.int64)
+    idx = np.arange(vol)
+    for k, d in enumerate(dims):
+        table[:, k] = idx % d
+        idx = idx // d
+    return table
+
+
+def indices_of(coors: np.ndarray, dims) -> np.ndarray:
+    """Vectorized :func:`index_of` on an (N, ndim) coordinate array."""
+    coors = np.asarray(coors)
+    out = np.zeros(coors.shape[0], dtype=np.int64)
+    stride = 1
+    for k, d in enumerate(dims):
+        out += coors[:, k] * stride
+        stride *= d
+    return out
+
+
+def parity(coor) -> int:
+    """Even/odd checkerboard parity of a coordinate (0 = even)."""
+    return int(sum(int(c) for c in coor) % 2)

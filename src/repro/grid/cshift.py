@@ -1,0 +1,107 @@
+"""Circular shifts on SIMD-decomposed lattices.
+
+The subtlety the virtual-node layout introduces (Section II-B): a
+nearest-neighbour access usually lands at a different *outer site* in
+the same lane, but when it crosses a virtual-node block boundary the
+data lives in a *different lane* — requiring one of the machine-specific
+lane permutations (Section II-C).  Concretely, for a shift by ``s``
+along dimension ``d`` with block extent ``L = odims[d]`` and lane
+extent ``S = simd_layout[d]``, outer sites split into groups by
+``k = (o + s) // L``: group *k* sources from outer coordinate
+``(o + s) mod L`` with its lanes rotated by ``k`` in dimension ``d``'s
+lane sub-axis.
+
+When ``S == 2`` (Grid's common case) and the rotation is by one, the
+lane rotation *is* the block-swap ``Permute<level>`` and is routed
+through the backend, so the instruction shows up in the machine-specific
+instruction counts; other rotations use the general extract/merge path
+(as Grid's ``Cshift_comms_simd`` does).
+
+For distributed lattices, an output slot (outer ``o`` in group ``k``,
+lane with dim-coordinate ``v``) sources across the rank boundary
+exactly when ``v + k >= S`` — the wrap is per *lane*, not per group.
+``cshift_local`` therefore accepts the +dim neighbour rank's field and
+blends it in lane-wise.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.grid.coordinates import indices_of
+from repro.grid.lattice import Lattice
+
+
+def _lane_rotation_map(grid, dim: int, k: int) -> np.ndarray:
+    """Lane map for a rotation by ``k`` virtual nodes along ``dim``:
+    output lane sources from the lane whose dim-coordinate is
+    ``(v + k) mod S``."""
+    vc = grid.vcoor_table()
+    vc[:, dim] = (vc[:, dim] + k) % grid.simd_layout[dim]
+    return indices_of(vc, grid.simd_layout)
+
+
+def _apply_lane_rotation(lat_data: np.ndarray, grid, dim: int, k: int) -> np.ndarray:
+    """Rotate lanes by ``k`` virtual nodes along ``dim``."""
+    S = grid.simd_layout[dim]
+    k %= S
+    if k == 0:
+        return lat_data
+    if S == 2:
+        # Block permute — the machine-specific op, counted by the backend.
+        return grid.backend.permute(lat_data, grid.permute_level(dim))
+    # General rotation: Grid's extract/merge path.
+    src = _lane_rotation_map(grid, dim, k)
+    return np.take(lat_data, src, axis=-1)
+
+
+def cshift_local(lat: Lattice, dim: int, shift: int,
+                 boundary_from: Optional[np.ndarray] = None) -> Lattice:
+    """``out(x) = in(x + shift * e_dim)`` with periodic wrap.
+
+    ``boundary_from`` (used by the distributed layer) is the full local
+    field of the **+dim neighbour rank**; slots whose source crosses
+    the local boundary gather from it instead of wrapping around.
+    (Shifts are normalised into ``[0, ldims[dim])``, so only the +dim
+    neighbour is ever needed.)
+    """
+    grid = lat.grid
+    if not 0 <= dim < grid.ndim:
+        raise ValueError(f"no dimension {dim} in {grid.ndim}-d grid")
+    L = grid.odims[dim]
+    S = grid.simd_layout[dim]
+    ld = grid.ldims[dim]
+    s = shift % ld
+    out = lat.new_like()
+    if s == 0 and boundary_from is None:
+        out.data = lat.data.copy()
+        return out
+
+    ocoor = grid.ocoor_table()
+    o_d = ocoor[:, dim]
+    vc_d = grid.vcoor_table()[:, dim]
+
+    for k in np.unique((o_d + s) // L):
+        k = int(k)
+        sel = np.nonzero((o_d + s) // L == k)[0]
+        src_ocoor = ocoor[sel].copy()
+        src_ocoor[:, dim] = (o_d[sel] + s) - k * L
+        src_osites = indices_of(src_ocoor, grid.odims)
+        rotated = _apply_lane_rotation(lat.data[src_osites], grid, dim, k)
+        if boundary_from is not None and k > 0:
+            rotated_nbr = _apply_lane_rotation(
+                boundary_from[src_osites], grid, dim, k
+            )
+            # Output lane (dim-coordinate v) crossed the rank boundary
+            # iff v + k >= S.
+            nbr_lanes = (vc_d + k) >= S
+            rotated = np.where(nbr_lanes, rotated_nbr, rotated)
+        out.data[sel] = rotated
+    return out
+
+
+def cshift(lat: Lattice, dim: int, shift: int) -> Lattice:
+    """Periodic circular shift of a single-rank lattice."""
+    return cshift_local(lat, dim, shift)

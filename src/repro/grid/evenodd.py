@@ -1,0 +1,122 @@
+"""Even-odd (red-black) preconditioning of the Wilson operator.
+
+The standard LQCD solver optimization (used throughout Grid): the
+hopping term of Eq. (1) only couples sites of opposite checkerboard
+parity, so in the parity-ordered basis the Wilson matrix is
+
+    M = [ Mee  Meo ]      Mee = Moo = (4 + m) * 1
+        [ Moe  Moo ]      Meo/Moe = -(1/2) D_h restricted
+
+and solving ``M psi = b`` reduces to a half-volume Schur-complement
+system on the odd sites,
+
+    S = Moo - Moe Mee^{-1} Meo,
+    S psi_o = b_o - Moe Mee^{-1} b_e,
+
+followed by back-substitution for ``psi_e``.  ``S`` inherits
+gamma5-hermiticity, so CGNE applies; the Krylov space halves and the
+condition number improves — fewer iterations for the same physics,
+which the tests assert.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.grid.lattice import Lattice
+from repro.grid.solver import SolverResult, conjugate_gradient
+from repro.grid.wilson import SPINOR, WilsonDirac
+
+
+class SchurWilson:
+    """Schur-preconditioned Wilson solves on a checkerboarded lattice.
+
+    Parity projection is implemented with site masks over the
+    (osites, lanes) geometry — the virtual-node layout interleaves
+    parities across lanes, so a mask (rather than a half-sized grid)
+    keeps the SIMD layout intact, exactly the complication a
+    vectorized checkerboard implementation has to handle.
+    """
+
+    def __init__(self, dirac: WilsonDirac) -> None:
+        self.dirac = dirac
+        self.grid = dirac.grid
+        self.diag = 4.0 + dirac.mass
+        parity = self.grid.parity_mask()  # (osites, nlanes), 0 = even
+        shape = (self.grid.osites,) + tuple(1 for _ in SPINOR) + \
+            (self.grid.nlanes,)
+        par = parity.reshape(self.grid.osites, *(1 for _ in SPINOR),
+                             self.grid.nlanes)
+        self._even = (par == 0)
+        self._odd = (par == 1)
+
+    # ------------------------------------------------------------------
+    # Parity projections
+    # ------------------------------------------------------------------
+    def project(self, psi: Lattice, parity: str) -> Lattice:
+        """Zero the sites of the other parity."""
+        mask = self._even if parity == "even" else self._odd
+        out = psi.new_like()
+        out.data = np.where(mask, psi.data, 0.0)
+        return out
+
+    def _hop(self, psi: Lattice) -> Lattice:
+        """The off-diagonal block action: ``-(1/2) D_h psi``.
+
+        Applied to a single-parity field this lands entirely on the
+        other parity (asserted by the tests — it is the checkerboard
+        property itself).
+        """
+        return self.dirac.dhop(psi) * (-0.5)
+
+    # ------------------------------------------------------------------
+    # The Schur operator on odd-support fields
+    # ------------------------------------------------------------------
+    def schur(self, psi_o: Lattice) -> Lattice:
+        """``S psi_o = (4+m) psi_o - Moe Mee^-1 Meo psi_o``."""
+        meo = self.project(self._hop(psi_o), "even")
+        moe = self.project(self._hop(meo), "odd")
+        return psi_o * self.diag - moe * (1.0 / self.diag)
+
+    def schur_dagger(self, psi_o: Lattice) -> Lattice:
+        """``S^dagger`` via gamma5-hermiticity (gamma5 commutes with
+        the parity projection)."""
+        from repro.grid import gamma as g
+
+        be = self.grid.backend
+        tmp = Lattice(self.grid, SPINOR, g.gamma5_apply(be, psi_o.data))
+        tmp = self.schur(tmp)
+        return Lattice(self.grid, SPINOR, g.gamma5_apply(be, tmp.data))
+
+    def schur_norm(self, psi_o: Lattice) -> Lattice:
+        """``S^dagger S`` — hermitian positive definite on odd sites."""
+        return self.schur_dagger(self.schur(psi_o))
+
+    # ------------------------------------------------------------------
+    # The full preconditioned solve
+    # ------------------------------------------------------------------
+    def solve(self, b: Lattice, tol: float = 1e-8,
+              max_iter: int = 1000) -> SolverResult:
+        """Solve ``M psi = b`` through the odd-site Schur system."""
+        b_e = self.project(b, "even")
+        b_o = self.project(b, "odd")
+        # RHS of the Schur system: b_o - Moe Mee^-1 b_e.
+        rhs = b_o - self.project(self._hop(b_e), "odd") * (1.0 / self.diag)
+        # CGNE on S (gamma5-hermitian, like M itself).
+        rhs_n = self.schur_dagger(rhs)
+        inner = conjugate_gradient(self.schur_norm, rhs_n, tol=tol,
+                                   max_iter=max_iter)
+        psi_o = self.project(inner.x, "odd")
+        # Back-substitution: psi_e = Mee^-1 (b_e - Meo psi_o).
+        psi_e = (b_e - self.project(self._hop(psi_o), "even")) \
+            * (1.0 / self.diag)
+        psi = psi_e + psi_o
+        true_res = (b - self.dirac.apply(psi)).norm2() ** 0.5 \
+            / b.norm2() ** 0.5
+        return SolverResult(
+            x=psi,
+            converged=inner.converged and true_res < 10 * tol,
+            iterations=inner.iterations,
+            residual=true_res,
+            residual_history=inner.residual_history,
+        )

@@ -1,0 +1,161 @@
+"""Dirac gamma matrices and Wilson spin projection.
+
+Chiral (Weyl) basis, Grid's convention.  The hopping term of Eq. (1)
+applies ``(1 + gamma_mu)`` to the forward neighbour and
+``(1 - gamma_mu)`` to the backward neighbour; because these projectors
+have rank 2, the standard optimization projects the 4-spinor to a
+2-component half-spinor before the SU(3) multiplication and
+reconstructs afterwards — halving the colour arithmetic.  The
+projection/reconstruction formulas below use only the machine-specific
+operations of Section II-C (add, sub, ``TimesI``, ``TimesMinusI``),
+which is why they matter for an ISA port.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Number of space-time directions.
+NDIRS = 4
+
+_I = 1j
+
+#: Dirac matrices in the chiral basis, indexed mu = 0(x),1(y),2(z),3(t).
+GAMMA = np.array([
+    # gamma_x
+    [[0, 0, 0, _I],
+     [0, 0, _I, 0],
+     [0, -_I, 0, 0],
+     [-_I, 0, 0, 0]],
+    # gamma_y
+    [[0, 0, 0, -1],
+     [0, 0, 1, 0],
+     [0, 1, 0, 0],
+     [-1, 0, 0, 0]],
+    # gamma_z
+    [[0, 0, _I, 0],
+     [0, 0, 0, -_I],
+     [-_I, 0, 0, 0],
+     [0, _I, 0, 0]],
+    # gamma_t
+    [[0, 0, 1, 0],
+     [0, 0, 0, 1],
+     [1, 0, 0, 0],
+     [0, 1, 0, 0]],
+], dtype=np.complex128)
+
+#: gamma_5 = gamma_x gamma_y gamma_z gamma_t (diagonal in this basis).
+GAMMA5 = np.diag([1.0, 1.0, -1.0, -1.0]).astype(np.complex128)
+
+
+def spin_matrix_apply(backend, mat: np.ndarray, psi: np.ndarray) -> np.ndarray:
+    """Dense 4x4 spin-matrix application via backend ops.
+
+    ``psi`` has shape ``(osites, 4, 3, nlanes)``; the matrix acts on
+    the spin axis.  Used by tests and the unoptimized operator paths.
+    """
+    out = np.zeros_like(psi)
+    for i in range(4):
+        for j in range(4):
+            c = complex(mat[i, j])
+            if c == 0:
+                continue
+            if c == 1:
+                out[:, i] = backend.add(out[:, i], psi[:, j])
+            elif c == -1:
+                out[:, i] = backend.sub(out[:, i], psi[:, j])
+            elif c == _I:
+                out[:, i] = backend.add(out[:, i], backend.times_i(psi[:, j]))
+            elif c == -_I:
+                out[:, i] = backend.add(out[:, i],
+                                        backend.times_minus_i(psi[:, j]))
+            else:
+                out[:, i] = backend.add(out[:, i],
+                                        backend.scale(psi[:, j], c))
+    return out
+
+
+# ----------------------------------------------------------------------
+# Half-spinor projection:  h = P^{±}_mu psi  (2 spin components)
+#
+# Derived from the GAMMA matrices above; each case uses only
+# add/sub/times_i — Grid's spProjXp/spProjXm etc.
+# ----------------------------------------------------------------------
+
+def project(backend, psi: np.ndarray, mu: int, sign: int) -> np.ndarray:
+    """``(1 + sign*gamma_mu) psi`` reduced to its 2 independent spin
+    components; shape ``(osites, 2, 3, nlanes)``."""
+    if sign not in (+1, -1):
+        raise ValueError("sign must be +1 or -1")
+    p0, p1, p2, p3 = psi[:, 0], psi[:, 1], psi[:, 2], psi[:, 3]
+    ti, tmi = backend.times_i, backend.times_minus_i
+    add, sub = backend.add, backend.sub
+    if mu == 0:  # gamma_x
+        if sign > 0:
+            h0, h1 = add(p0, ti(p3)), add(p1, ti(p2))
+        else:
+            h0, h1 = sub(p0, ti(p3)), sub(p1, ti(p2))
+    elif mu == 1:  # gamma_y
+        if sign > 0:
+            h0, h1 = sub(p0, p3), add(p1, p2)
+        else:
+            h0, h1 = add(p0, p3), sub(p1, p2)
+    elif mu == 2:  # gamma_z
+        if sign > 0:
+            h0, h1 = add(p0, ti(p2)), add(p1, tmi(p3))
+        else:
+            h0, h1 = sub(p0, ti(p2)), sub(p1, tmi(p3))
+    elif mu == 3:  # gamma_t
+        if sign > 0:
+            h0, h1 = add(p0, p2), add(p1, p3)
+        else:
+            h0, h1 = sub(p0, p2), sub(p1, p3)
+    else:
+        raise ValueError(f"no direction {mu}")
+    return np.stack([h0, h1], axis=1)
+
+
+def reconstruct(backend, h: np.ndarray, mu: int, sign: int) -> np.ndarray:
+    """Rebuild the full 4-spinor from a projected half-spinor.
+
+    The lower two spin components of ``(1 + sign*gamma_mu) psi`` are
+    fixed linear images of the upper two.
+    """
+    if sign not in (+1, -1):
+        raise ValueError("sign must be +1 or -1")
+    h0, h1 = h[:, 0], h[:, 1]
+    ti, tmi = backend.times_i, backend.times_minus_i
+    neg = backend.neg
+    if mu == 0:
+        # (1+gx): psi2 = -i h1, psi3 = -i h0 ; (1-gx): +i
+        f = tmi if sign > 0 else ti
+        p2, p3 = f(h1), f(h0)
+    elif mu == 1:
+        # (1+gy): psi2 = h1, psi3 = -h0 ; (1-gy): psi2 = -h1, psi3 = h0
+        if sign > 0:
+            p2, p3 = h1, neg(h0)
+        else:
+            p2, p3 = neg(h1), h0
+    elif mu == 2:
+        # (1+gz): psi2 = -i h0, psi3 = +i h1 ; (1-gz): opposite
+        if sign > 0:
+            p2, p3 = tmi(h0), ti(h1)
+        else:
+            p2, p3 = ti(h0), tmi(h1)
+    elif mu == 3:
+        # (1+gt): psi2 = h0, psi3 = h1 ; (1-gt): negated
+        if sign > 0:
+            p2, p3 = h0, h1
+        else:
+            p2, p3 = neg(h0), neg(h1)
+    else:
+        raise ValueError(f"no direction {mu}")
+    return np.stack([h0, h1, p2, p3], axis=1)
+
+
+def gamma5_apply(backend, psi: np.ndarray) -> np.ndarray:
+    """``gamma_5 psi`` (diagonal in the chiral basis)."""
+    return np.stack(
+        [psi[:, 0], psi[:, 1], backend.neg(psi[:, 2]), backend.neg(psi[:, 3])],
+        axis=1,
+    )

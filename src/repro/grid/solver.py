@@ -1,0 +1,159 @@
+"""Krylov solvers for the Wilson system.
+
+"A significant fraction of time-to-solution of LQCD applications is
+spent in solving a linear set of equations, for which iterative solvers
+like Conjugate Gradient are used" (Section II-A).  CG requires a
+hermitian positive-definite operator, so the Wilson system ``M x = b``
+is solved through the normal equations ``M^dagger M x = M^dagger b``
+(CGNE); BiCGSTAB and MR work on ``M`` directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.grid.lattice import Lattice
+
+
+@dataclass
+class SolverResult:
+    """Convergence record of one solve."""
+
+    x: Lattice
+    converged: bool
+    iterations: int
+    residual: float
+    residual_history: list = field(default_factory=list)
+
+
+def conjugate_gradient(
+    op: Callable[[Lattice], Lattice],
+    b: Lattice,
+    x0: Lattice = None,
+    tol: float = 1e-8,
+    max_iter: int = 1000,
+) -> SolverResult:
+    """CG for a hermitian positive-definite ``op``.
+
+    Terminates when ``|r| / |b| <= tol``.
+    """
+    x = b.new_like() if x0 is None else x0.copy()
+    r = b - op(x) if x0 is not None else b.copy()
+    p = r.copy()
+    rr = r.norm2()
+    bnorm = b.norm2() ** 0.5
+    if bnorm == 0.0:
+        return SolverResult(x=b.new_like(), converged=True, iterations=0,
+                            residual=0.0)
+    history = [rr ** 0.5 / bnorm]
+    for it in range(1, max_iter + 1):
+        ap = op(p)
+        alpha = rr / p.inner_product(ap).real
+        x = x + p * alpha
+        r = r - ap * alpha
+        rr_new = r.norm2()
+        rel = rr_new ** 0.5 / bnorm
+        history.append(rel)
+        if rel <= tol:
+            return SolverResult(x=x, converged=True, iterations=it,
+                                residual=rel, residual_history=history)
+        beta = rr_new / rr
+        p = r + p * beta
+        rr = rr_new
+    return SolverResult(x=x, converged=False, iterations=max_iter,
+                        residual=history[-1], residual_history=history)
+
+
+def solve_wilson_cgne(dirac, b: Lattice, tol: float = 1e-8,
+                      max_iter: int = 1000) -> SolverResult:
+    """Solve ``M x = b`` via CG on the normal equations."""
+    rhs = dirac.apply_dagger(b)
+    result = conjugate_gradient(dirac.mdag_m, rhs, tol=tol,
+                                max_iter=max_iter)
+    # Report the true residual of the original system.
+    true_r = (b - dirac.apply(result.x)).norm2() ** 0.5 / b.norm2() ** 0.5
+    result.residual = true_r
+    return result
+
+
+def bicgstab(
+    op: Callable[[Lattice], Lattice],
+    b: Lattice,
+    x0: Lattice = None,
+    tol: float = 1e-8,
+    max_iter: int = 1000,
+) -> SolverResult:
+    """BiCGSTAB for a general (non-hermitian) operator."""
+    x = b.new_like() if x0 is None else x0.copy()
+    r = b - op(x) if x0 is not None else b.copy()
+    r0 = r.copy()
+    rho = alpha = omega = 1.0 + 0j
+    v = b.new_like()
+    p = b.new_like()
+    bnorm = b.norm2() ** 0.5
+    if bnorm == 0.0:
+        return SolverResult(x=b.new_like(), converged=True, iterations=0,
+                            residual=0.0)
+    history = [r.norm2() ** 0.5 / bnorm]
+    for it in range(1, max_iter + 1):
+        rho_new = r0.inner_product(r)
+        if rho_new == 0:
+            break
+        beta = (rho_new / rho) * (alpha / omega)
+        p = r + (p - v * omega) * beta
+        v = op(p)
+        alpha = rho_new / r0.inner_product(v)
+        s = r - v * alpha
+        if s.norm2() ** 0.5 / bnorm <= tol:
+            x = x + p * alpha
+            history.append(s.norm2() ** 0.5 / bnorm)
+            return SolverResult(x=x, converged=True, iterations=it,
+                                residual=history[-1],
+                                residual_history=history)
+        t = op(s)
+        omega = t.inner_product(s) / t.inner_product(t)
+        x = x + p * alpha + s * omega
+        r = s - t * omega
+        rel = r.norm2() ** 0.5 / bnorm
+        history.append(rel)
+        if rel <= tol:
+            return SolverResult(x=x, converged=True, iterations=it,
+                                residual=rel, residual_history=history)
+        rho = rho_new
+    return SolverResult(x=x, converged=False, iterations=max_iter,
+                        residual=history[-1], residual_history=history)
+
+
+def minimal_residual(
+    op: Callable[[Lattice], Lattice],
+    b: Lattice,
+    x0: Lattice = None,
+    tol: float = 1e-8,
+    max_iter: int = 2000,
+    overrelax: float = 1.0,
+) -> SolverResult:
+    """Minimal-residual iteration (simple, for small well-conditioned
+    systems and as a smoother)."""
+    x = b.new_like() if x0 is None else x0.copy()
+    r = b - op(x) if x0 is not None else b.copy()
+    bnorm = b.norm2() ** 0.5
+    if bnorm == 0.0:
+        return SolverResult(x=b.new_like(), converged=True, iterations=0,
+                            residual=0.0)
+    history = [r.norm2() ** 0.5 / bnorm]
+    for it in range(1, max_iter + 1):
+        ar = op(r)
+        denom = ar.norm2()
+        if denom == 0:
+            break
+        alpha = overrelax * ar.inner_product(r) / denom
+        x = x + r * alpha
+        r = r - ar * alpha
+        rel = r.norm2() ** 0.5 / bnorm
+        history.append(rel)
+        if rel <= tol:
+            return SolverResult(x=x, converged=True, iterations=it,
+                                residual=rel, residual_history=history)
+    return SolverResult(x=x, converged=False, iterations=max_iter,
+                        residual=history[-1], residual_history=history)

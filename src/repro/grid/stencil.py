@@ -1,0 +1,110 @@
+"""Precomputed nearest-neighbour stencil.
+
+Grid's high-performance operators don't call ``Cshift`` per
+application; they precompute, once per (grid, direction, displacement),
+the gather table — which outer site to read and whether a virtual-node
+lane permutation is needed — and replay it each time.  This module is
+that optimization: :class:`HaloStencil` precomputes per-direction
+gather plans, and :meth:`HaloStencil.gather` applies one.
+
+The plan makes the paper's Fig. 1 story concrete and inspectable: the
+fraction of outer sites that need a permute along dimension ``d`` is
+exactly ``1 / odims[d]`` (only the block-boundary layer), which the
+Fig. 1 benchmark reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.grid.cartesian import GridCartesian
+from repro.grid.coordinates import indices_of
+from repro.grid.cshift import _lane_rotation_map
+from repro.grid.lattice import Lattice
+
+
+@dataclass(frozen=True)
+class GatherPlan:
+    """One direction's precomputed shift-by-±1 plan.
+
+    ``src_osites``: source outer site per destination outer site.
+    ``permute_sel``: destination outer sites whose lanes rotate.
+    ``rotation``: virtual-node rotation amount (0 or ±1 mod S).
+    ``lane_map``: the lane permutation for those sites.
+    ``permute_level``: Grid permute level when ``S == 2``, else -1.
+    """
+
+    dim: int
+    shift: int
+    src_osites: np.ndarray
+    permute_sel: np.ndarray
+    rotation: int
+    lane_map: np.ndarray
+    permute_level: int
+
+    @property
+    def permute_fraction(self) -> float:
+        """Fraction of outer sites requiring a lane permutation."""
+        return self.permute_sel.size / self.src_osites.size
+
+
+class HaloStencil:
+    """Per-grid gather plans for all ±1 displacements."""
+
+    def __init__(self, grid: GridCartesian) -> None:
+        self.grid = grid
+        self.plans: dict[tuple[int, int], GatherPlan] = {}
+        for dim in range(grid.ndim):
+            for shift in (+1, -1):
+                self.plans[(dim, shift)] = self._build(dim, shift)
+
+    def _build(self, dim: int, shift: int) -> GatherPlan:
+        grid = self.grid
+        L = grid.odims[dim]
+        s = shift % grid.ldims[dim]
+        ocoor = grid.ocoor_table()
+        o_d = ocoor[:, dim]
+        k = (o_d + s) // L
+        src_ocoor = ocoor.copy()
+        src_ocoor[:, dim] = (o_d + s) - k * L
+        src_osites = indices_of(src_ocoor, grid.odims)
+        S = grid.simd_layout[dim]
+        rotation = int(np.unique(k[k > 0])[0] % S) if (k > 0).any() else 0
+        permute_sel = np.nonzero((k % S) != 0)[0]
+        lane_map = _lane_rotation_map(grid, dim, rotation)
+        level = -1
+        if S == 2 and rotation:
+            level = grid.permute_level(dim)
+        return GatherPlan(
+            dim=dim, shift=shift, src_osites=src_osites,
+            permute_sel=permute_sel, rotation=rotation,
+            lane_map=lane_map, permute_level=level,
+        )
+
+    def gather(self, lat: Lattice, dim: int, shift: int) -> np.ndarray:
+        """Neighbour field data: ``out(x) = in(x + shift e_dim)``.
+
+        Equivalent to :func:`repro.grid.cshift.cshift` for ±1 shifts,
+        but replaying the precomputed plan.
+        """
+        plan = self.plans[(dim, shift)]
+        grid = self.grid
+        out = lat.data[plan.src_osites]
+        if plan.permute_sel.size:
+            block = out[plan.permute_sel]
+            if plan.permute_level >= 0:
+                block = grid.backend.permute(block, plan.permute_level)
+            else:
+                block = np.take(block, plan.lane_map, axis=-1)
+            out[plan.permute_sel] = block
+        return out
+
+
+def stencil_cshift(stencil: HaloStencil, lat: Lattice, dim: int,
+                   shift: int) -> Lattice:
+    """A Lattice-returning wrapper over :meth:`HaloStencil.gather`."""
+    out = lat.new_like()
+    out.data = stencil.gather(lat, dim, shift)
+    return out

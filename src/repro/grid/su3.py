@@ -1,0 +1,104 @@
+"""SU(3) gauge-field utilities.
+
+Gauge matrices ``U_{x,mu}`` live on links and are "represented by 3x3
+matrices with complex entries" (Section II-A).  This module provides
+construction (cold/unit, random), reunitarisation, and verification
+helpers (unitarity / determinant deviations).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.grid.cartesian import GridCartesian
+from repro.grid.lattice import Lattice
+from repro.grid.pauli import random_su3
+
+
+def unit_gauge(grid: GridCartesian) -> list:
+    """Cold configuration: ``U_{x,mu} = 1`` for all links."""
+    links = []
+    for _mu in range(grid.ndim):
+        lat = Lattice(grid, (3, 3))
+        lat.data[:, 0, 0, :] = 1.0
+        lat.data[:, 1, 1, :] = 1.0
+        lat.data[:, 2, 2, :] = 1.0
+        links.append(lat)
+    return links
+
+
+def random_su3_field(grid: GridCartesian, rng: np.random.Generator,
+                     spread: float = 1.0) -> Lattice:
+    """A lattice of independent random SU(3) matrices.
+
+    Generated in canonical site order so the field is identical for
+    any SIMD layout or rank decomposition (layout-equivalence tests
+    rely on this).
+    """
+    canonical = np.empty((grid.lsites, 3, 3), dtype=np.complex128)
+    for s in range(grid.lsites):
+        canonical[s] = random_su3(rng, spread)
+    lat = Lattice(grid, (3, 3))
+    lat.from_canonical(canonical)
+    return lat
+
+
+def reunitarize(mat: np.ndarray) -> np.ndarray:
+    """Project a 3x3 complex matrix to SU(3) (Gram-Schmidt + det fix)."""
+    m = np.asarray(mat, dtype=np.complex128).copy()
+    # Gram-Schmidt on rows.
+    m[0] /= np.linalg.norm(m[0])
+    m[1] -= m[0] * np.vdot(m[0], m[1])
+    m[1] /= np.linalg.norm(m[1])
+    m[2] = np.conj(np.cross(m[0], m[1]))
+    # Fix the determinant phase.
+    det = np.linalg.det(m)
+    m *= det ** (-1.0 / 3.0)
+    return m
+
+
+def unitarity_defect(mat: np.ndarray) -> float:
+    """``max |U U^dagger - 1|`` over the matrix entries."""
+    m = np.asarray(mat)
+    return float(np.abs(m @ m.conj().T - np.eye(3)).max())
+
+
+def max_unitarity_defect(lat: Lattice) -> float:
+    """Largest unitarity defect over a gauge lattice."""
+    can = lat.to_canonical()  # (lsites, 3, 3)
+    prod = np.einsum("sab,scb->sac", can, can.conj())
+    return float(np.abs(prod - np.eye(3)).max())
+
+
+def max_det_defect(lat: Lattice) -> float:
+    """Largest ``|det U - 1|`` over a gauge lattice."""
+    can = lat.to_canonical()
+    return float(np.abs(np.linalg.det(can) - 1.0).max())
+
+
+def plaquette(links: list, grid: GridCartesian) -> float:
+    """Average plaquette ``Re tr(U_mu(x) U_nu(x+mu) U_mu(x+nu)^+ U_nu(x)^+)/3``.
+
+    The standard first observable of any lattice gauge code; equals 1
+    on a cold configuration.
+    """
+    from repro.grid.cshift import cshift
+    from repro.grid.tensor import (
+        colour_mm, colour_mm_dagger_right, colour_trace_re,
+    )
+
+    total = 0.0
+    count = 0
+    for mu in range(grid.ndim):
+        for nu in range(mu + 1, grid.ndim):
+            u_mu = links[mu]
+            u_nu = links[nu]
+            u_nu_xpmu = cshift(u_nu, mu, +1)
+            u_mu_xpnu = cshift(u_mu, nu, +1)
+            # staple = U_mu(x) U_nu(x+mu) (U_mu(x+nu))^+ (U_nu(x))^+
+            m1 = colour_mm(grid.backend, u_mu.data, u_nu_xpmu.data)
+            m2 = colour_mm_dagger_right(grid.backend, m1, u_mu_xpnu.data)
+            m3 = colour_mm_dagger_right(grid.backend, m2, u_nu.data)
+            total += colour_trace_re(grid.backend, m3)
+            count += grid.lsites
+    return total / (3.0 * count)

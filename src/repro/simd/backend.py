@@ -1,0 +1,231 @@
+"""The abstract SIMD backend interface.
+
+A backend operates on *row batches*: numpy complex arrays whose last
+axis is the complex lane count of one vector register (Grid's
+``vComplexD``/``vComplexF``).  The Grid layer above flattens lattice
+tensors into such batches, so one backend call processes every outer
+site at once — numpy backends vectorize over the batch, while the SVE
+backends iterate rows through the intrinsics layer lane-accurately.
+
+The operation set is exactly the machine-specific surface Grid needs
+(Section II-C): real/complex arithmetic, element permutations, and
+precision conversion.  ``MultComplex`` is the structure the paper's
+Section V-C code example implements.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+#: Bits per complex element by numpy dtype.
+_COMPLEX_BITS = {np.dtype(np.complex128): 128, np.dtype(np.complex64): 64}
+
+
+class SimdBackend(abc.ABC):
+    """Abstract vector backend.
+
+    Concrete backends define :attr:`name`, :attr:`width_bits` and the
+    arithmetic kernels.  All arithmetic methods are *pure* (returning
+    new arrays) and operate lane-wise on ``(..., clanes)`` complex
+    arrays.
+    """
+
+    #: Short identifier (registry key).
+    name: str = "abstract"
+    #: Vector register width in bits.
+    width_bits: int = 0
+
+    # ------------------------------------------------------------------
+    # Geometry
+    # ------------------------------------------------------------------
+    def clanes(self, dtype=np.complex128) -> int:
+        """Complex lanes per register for the given precision
+        (Grid's ``Nsimd``)."""
+        return self.width_bits // _COMPLEX_BITS[np.dtype(dtype)]
+
+    def validate(self, x: np.ndarray, dtype=None) -> np.ndarray:
+        """Check that ``x`` has a full register's worth of lanes."""
+        x = np.asarray(x)
+        if x.dtype not in _COMPLEX_BITS:
+            raise TypeError(f"backend rows must be complex, got {x.dtype}")
+        expected = self.clanes(x.dtype)
+        if x.shape[-1] != expected:
+            raise ValueError(
+                f"{self.name}: rows need {expected} complex lanes for "
+                f"{x.dtype}, got {x.shape[-1]}"
+            )
+        return x
+
+    # ------------------------------------------------------------------
+    # Complex arithmetic (the heart of the paper)
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def mul(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        """``MultComplex``: lane-wise ``x * y``."""
+
+    @abc.abstractmethod
+    def madd(self, acc: np.ndarray, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        """``MaddComplex``: lane-wise ``acc + x * y``."""
+
+    @abc.abstractmethod
+    def msub(self, acc: np.ndarray, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        """lane-wise ``acc - x * y``."""
+
+    @abc.abstractmethod
+    def conj_mul(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        """lane-wise ``conj(x) * y`` (inner-product kernel)."""
+
+    @abc.abstractmethod
+    def conj_madd(self, acc: np.ndarray, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        """lane-wise ``acc + conj(x) * y``."""
+
+    # ------------------------------------------------------------------
+    # Real-part arithmetic (Grid's MultRealPart/MaddRealPart)
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def mul_real_part(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        """``MultRealPart``: ``Re(x) * y`` lane-wise."""
+
+    @abc.abstractmethod
+    def madd_real_part(self, acc: np.ndarray, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        """``MaddRealPart``: ``acc + Re(x) * y``."""
+
+    # ------------------------------------------------------------------
+    # Additive / structural
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def add(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        """lane-wise ``x + y``."""
+
+    @abc.abstractmethod
+    def sub(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        """lane-wise ``x - y``."""
+
+    @abc.abstractmethod
+    def times_i(self, x: np.ndarray) -> np.ndarray:
+        """``TimesI``: lane-wise ``i * x`` (spin-projection building block)."""
+
+    @abc.abstractmethod
+    def times_minus_i(self, x: np.ndarray) -> np.ndarray:
+        """``TimesMinusI``: lane-wise ``-i * x``."""
+
+    @abc.abstractmethod
+    def conj(self, x: np.ndarray) -> np.ndarray:
+        """lane-wise complex conjugation."""
+
+    @abc.abstractmethod
+    def neg(self, x: np.ndarray) -> np.ndarray:
+        """lane-wise negation."""
+
+    @abc.abstractmethod
+    def scale(self, x: np.ndarray, s: complex) -> np.ndarray:
+        """multiply by a scalar constant."""
+
+    # ------------------------------------------------------------------
+    # Permutes (virtual-node boundary exchange, Section II-B)
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def permute(self, x: np.ndarray, level: int) -> np.ndarray:
+        """Grid ``Permute<level>``: swap lane blocks of size
+        ``clanes / 2^(level+1)`` (an involution)."""
+
+    # ------------------------------------------------------------------
+    # Reductions and conversions
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def reduce_sum(self, x: np.ndarray) -> complex:
+        """Sum over all rows and lanes (norms / inner products)."""
+
+    def to_half(self, x: np.ndarray) -> np.ndarray:
+        """Compress to IEEE fp16 pairs (comms compression, Section V-B).
+
+        Returns a float16 array of shape ``(..., 2*clanes)`` with
+        interleaved re/im.
+        """
+        x = self.validate(x)
+        view_dtype = np.float64 if x.dtype == np.complex128 else np.float32
+        flat = np.ascontiguousarray(x).view(view_dtype)
+        return flat.astype(np.float16)
+
+    def from_half(self, h: np.ndarray, dtype=np.complex128) -> np.ndarray:
+        """Decompress fp16 pairs back to complex lanes."""
+        dtype = np.dtype(dtype)
+        view_dtype = np.float64 if dtype == np.complex128 else np.float32
+        wide = np.asarray(h, dtype=np.float16).astype(view_dtype)
+        return np.ascontiguousarray(wide).view(dtype)
+
+    # ------------------------------------------------------------------
+    # Bookkeeping
+    # ------------------------------------------------------------------
+    def instruction_counts(self):
+        """Per-instruction counts for instruction-counting backends
+        (``None`` for numpy backends)."""
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.name} {self.width_bits}b>"
+
+
+class NumpyArithmeticMixin:
+    """Shared numpy implementations for non-instruction-counting backends."""
+
+    def mul(self, x, y):
+        return self.validate(x) * self.validate(y)
+
+    def madd(self, acc, x, y):
+        return self.validate(acc) + self.validate(x) * self.validate(y)
+
+    def msub(self, acc, x, y):
+        return self.validate(acc) - self.validate(x) * self.validate(y)
+
+    def conj_mul(self, x, y):
+        return np.conj(self.validate(x)) * self.validate(y)
+
+    def conj_madd(self, acc, x, y):
+        return self.validate(acc) + np.conj(self.validate(x)) * self.validate(y)
+
+    def mul_real_part(self, x, y):
+        return self.validate(x).real * self.validate(y)
+
+    def madd_real_part(self, acc, x, y):
+        return self.validate(acc) + self.validate(x).real * self.validate(y)
+
+    def add(self, x, y):
+        return self.validate(x) + self.validate(y)
+
+    def sub(self, x, y):
+        return self.validate(x) - self.validate(y)
+
+    def times_i(self, x):
+        x = self.validate(x)
+        return x * x.dtype.type(1j)  # dtype-preserving (no promotion)
+
+    def times_minus_i(self, x):
+        x = self.validate(x)
+        return x * x.dtype.type(-1j)
+
+    def conj(self, x):
+        return np.conj(self.validate(x))
+
+    def neg(self, x):
+        return -self.validate(x)
+
+    def scale(self, x, s):
+        x = self.validate(x)
+        return x * x.dtype.type(s)
+
+    def permute(self, x, level):
+        x = self.validate(x)
+        lanes = x.shape[-1]
+        block = lanes >> (level + 1)
+        if block < 1:
+            raise ValueError(
+                f"permute level {level} too deep for {lanes} lanes"
+            )
+        shape = x.shape[:-1] + (lanes // (2 * block), 2, block)
+        return x.reshape(shape)[..., ::-1, :].reshape(x.shape).copy()
+
+    def reduce_sum(self, x):
+        return complex(self.validate(x).sum())

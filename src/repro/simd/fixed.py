@@ -1,0 +1,66 @@
+"""Fixed-width SIMD families — Table I of the paper.
+
+==================  ============
+SIMD family         vector length
+==================  ============
+Intel SSE4          128 bit
+Intel AVX/AVX2      256 bit
+Intel ICMI/AVX-512  512 bit
+IBM QPX             256 bit
+ARM NEONv8          128 bit
+==================  ============
+
+Functionally these backends are all the same mathematics (that is the
+point of Grid's abstraction layer); what differs is the register
+geometry, which changes the virtual-node decomposition and the
+outer-site loop count.  Modelling them separately lets the Table I
+benchmark show exactly that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.simd.backend import NumpyArithmeticMixin, SimdBackend
+
+
+@dataclass(frozen=True)
+class SimdFamily:
+    """One row of Table I."""
+
+    key: str
+    display: str
+    width_bits: int
+    vendor: str
+
+
+#: The architectures supported by Grid at the time of the paper
+#: (Table I), minus the generic row (see ``GenericBackend``).
+FIXED_FAMILIES: tuple[SimdFamily, ...] = (
+    SimdFamily("sse4", "Intel SSE4", 128, "Intel"),
+    SimdFamily("avx", "Intel AVX/AVX2", 256, "Intel"),
+    SimdFamily("avx512", "Intel ICMI, AVX-512", 512, "Intel"),
+    SimdFamily("qpx", "IBM QPX", 256, "IBM"),
+    SimdFamily("neon", "ARM NEONv8", 128, "ARM"),
+)
+
+_BY_KEY = {f.key: f for f in FIXED_FAMILIES}
+
+
+class FixedWidthBackend(NumpyArithmeticMixin, SimdBackend):
+    """A Table I fixed-width backend."""
+
+    def __init__(self, key: str) -> None:
+        try:
+            fam = _BY_KEY[key]
+        except KeyError:
+            raise ValueError(
+                f"unknown SIMD family {key!r}; known: {sorted(_BY_KEY)}"
+            ) from None
+        self.family = fam
+        self.name = fam.key
+        self.width_bits = fam.width_bits
+
+    @property
+    def display_name(self) -> str:
+        return self.family.display

@@ -1,0 +1,25 @@
+"""The architecture-independent backend.
+
+Table I's last row: "generic C/C++ — architecture independent,
+user-defined array size".  Grid's generic implementation is plain C++
+over a fixed-size array, relying on compiler auto-vectorization; ours
+is numpy over the lane axis.  The register width (and hence the
+virtual-node count) is a constructor parameter.
+"""
+
+from __future__ import annotations
+
+from repro.simd.backend import NumpyArithmeticMixin, SimdBackend
+
+
+class GenericBackend(NumpyArithmeticMixin, SimdBackend):
+    """Architecture-independent numpy backend with user-defined width."""
+
+    def __init__(self, width_bits: int = 256) -> None:
+        if width_bits % 128 or width_bits < 128:
+            raise ValueError(
+                "generic width must be a positive multiple of 128 bits "
+                "(one complex double)"
+            )
+        self.width_bits = width_bits
+        self.name = f"generic{width_bits}"

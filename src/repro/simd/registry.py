@@ -1,0 +1,52 @@
+"""Backend registry: Grid's compile-time ``--enable-simd=`` switch.
+
+Keys:
+
+* ``generic`` / ``generic<bits>`` — architecture-independent numpy,
+* ``sse4``, ``avx``, ``avx512``, ``qpx``, ``neon`` — Table I families,
+* ``sve<bits>-acle`` — FCMLA complex arithmetic (Section V-C),
+* ``sve<bits>-real`` — real-instruction complex arithmetic (Section V-E),
+
+where ``<bits>`` is a legal SVE vector length (the paper enables 128,
+256 and 512 in Grid; wider lengths work here too).
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.simd.backend import SimdBackend
+from repro.simd.fixed import FIXED_FAMILIES, FixedWidthBackend
+from repro.simd.generic import GenericBackend
+from repro.simd.sve_acle import SveAcleBackend
+from repro.simd.sve_real import SveRealBackend
+
+_SVE_RE = re.compile(r"^sve(\d+)-(acle|real)$")
+_GENERIC_RE = re.compile(r"^generic(\d*)$")
+
+
+def available_backends(sve_vls=(128, 256, 512)) -> list[str]:
+    """All registry keys (SVE keys for the given vector lengths)."""
+    keys = ["generic"] + [f.key for f in FIXED_FAMILIES]
+    for bits in sve_vls:
+        keys.append(f"sve{bits}-acle")
+        keys.append(f"sve{bits}-real")
+    return keys
+
+
+def get_backend(key: str) -> SimdBackend:
+    """Instantiate a backend from its registry key."""
+    m = _GENERIC_RE.match(key)
+    if m:
+        bits = int(m.group(1)) if m.group(1) else 256
+        return GenericBackend(bits)
+    if key in {f.key for f in FIXED_FAMILIES}:
+        return FixedWidthBackend(key)
+    m = _SVE_RE.match(key)
+    if m:
+        bits = int(m.group(1))
+        cls = SveAcleBackend if m.group(2) == "acle" else SveRealBackend
+        return cls(bits)
+    raise ValueError(
+        f"unknown SIMD backend {key!r}; known: {available_backends()}"
+    )

@@ -1,0 +1,119 @@
+"""The SVE backend using FCMLA complex arithmetic (Sections V-B/V-C).
+
+This is the implementation the paper chose for Grid: "Current compiler
+heuristics are not good enough to generate SVE instructions for complex
+arithmetic ... Therefore we decided to use ACLE to enable hardware
+support for complex arithmetics."  Each complex operation is two (or
+one) chained FCMLA instructions over interleaved registers, exactly
+the ``MultComplex`` code example of Section V-C.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import acle
+from repro.simd.sve_base import SveBackendBase
+
+
+class SveAcleBackend(SveBackendBase):
+    """SVE via ACLE with hardware complex arithmetic (FCMLA/FCADD)."""
+
+    def __init__(self, vl=512) -> None:
+        super().__init__(vl)
+        self.name = f"sve{self.vl.bits}-acle"
+
+    # -- internal: acc +/- (conj?)(x) * y via chained FCMLA ------------
+    def _fcmla_rows(self, acc_rows, x, y, rotations):
+        xr, yr = self._rows(x), self._rows(y)
+        out, orows = self._alloc_like(self.validate(x))
+        with self._ctx:
+            pg = self._pg_all(xr.dtype.itemsize)
+            for i in range(xr.shape[0]):
+                a = acle.svld1(pg, xr[i])
+                b = acle.svld1(pg, yr[i])
+                if acc_rows is None:
+                    r = (acle.svdup_f64(0.0) if xr.dtype == np.float64
+                         else acle.svdup_f32(0.0))
+                else:
+                    r = acle.svld1(pg, acc_rows[i])
+                for rot in rotations:
+                    r = acle.svcmla_x(pg, r, a, b, rot)
+                acle.svst1(pg, orows[i], 0, r)
+        return out
+
+    # -- complex arithmetic (Eq. (2) rotation pairs) -------------------
+    def mul(self, x, y):
+        return self._fcmla_rows(None, x, y, (90, 0))
+
+    def madd(self, acc, x, y):
+        return self._fcmla_rows(self._rows(acc), x, y, (90, 0))
+
+    def msub(self, acc, x, y):
+        return self._fcmla_rows(self._rows(acc), x, y, (270, 180))
+
+    def conj_mul(self, x, y):
+        return self._fcmla_rows(None, x, y, (270, 0))
+
+    def conj_madd(self, acc, x, y):
+        return self._fcmla_rows(self._rows(acc), x, y, (270, 0))
+
+    def mul_real_part(self, x, y):
+        # FCMLA rotation 0 alone accumulates Re(x) * y (Section III-D).
+        return self._fcmla_rows(None, x, y, (0,))
+
+    def madd_real_part(self, acc, x, y):
+        return self._fcmla_rows(self._rows(acc), x, y, (0,))
+
+    # -- i-multiplications via FCADD ------------------------------------
+    def _fcadd_zero(self, x, rot):
+        xr = self._rows(x)
+        out, orows = self._alloc_like(self.validate(x))
+        with self._ctx:
+            pg = self._pg_all(xr.dtype.itemsize)
+            for i in range(xr.shape[0]):
+                a = acle.svld1(pg, xr[i])
+                zero = (acle.svdup_f64(0.0) if xr.dtype == np.float64
+                        else acle.svdup_f32(0.0))
+                acle.svst1(pg, orows[i], 0, acle.svcadd_x(pg, zero, a, rot))
+        return out
+
+    def times_i(self, x):
+        """``i*x`` = FCADD(0, x, 90)."""
+        return self._fcadd_zero(x, 90)
+
+    def times_minus_i(self, x):
+        """``-i*x`` = FCADD(0, x, 270)."""
+        return self._fcadd_zero(x, 270)
+
+    def scale(self, x, s):
+        s = complex(s)
+        x = self.validate(x)
+        const = np.full(x.shape[-1], s, dtype=x.dtype)
+        crow = np.ascontiguousarray(const).view(self._real_view_dtype(x))
+        xr = self._rows(x)
+        out, orows = self._alloc_like(x)
+        with self._ctx:
+            pg = self._pg_all(xr.dtype.itemsize)
+            c = acle.svld1(pg, crow)
+            for i in range(xr.shape[0]):
+                a = acle.svld1(pg, xr[i])
+                r = (acle.svdup_f64(0.0) if xr.dtype == np.float64
+                     else acle.svdup_f32(0.0))
+                r = acle.svcmla_x(pg, r, c, a, 90)
+                r = acle.svcmla_x(pg, r, c, a, 0)
+                acle.svst1(pg, orows[i], 0, r)
+        return out
+
+    # -- precision conversion (fp16 comms compression) ------------------
+    def to_half(self, x):
+        xr = self._rows(x)
+        n_half = 2 * self.validate(x).shape[-1]
+        out = np.zeros(xr.shape[:-1] + (n_half,), dtype=np.float16)
+        with self._ctx:
+            pg = self._pg_all(xr.dtype.itemsize)
+            for i in range(xr.shape[0]):
+                a = acle.svld1(pg, xr[i])
+                h = acle.svcvt_f16_x(pg, a)
+                out[i] = h.values[:n_half]
+        return out.reshape(np.asarray(x).shape[:-1] + (n_half,))

@@ -1,0 +1,166 @@
+"""Shared machinery for the two SVE backends.
+
+Both SVE backends follow the paper's implementation scheme
+(Section V-A/V-B): the vector length is fixed per backend instance
+(``SVE_VECTOR_LENGTH``), data lives in ordinary arrays, and ACLE
+intrinsics are used "only for data processing within functions",
+operating on arrays of exactly the size of the vector registers
+(the Section IV-D pattern — no VLA loop inside the kernels).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import acle
+from repro.acle.context import SVEContext
+from repro.acle.pred import svbool_t
+from repro.acle.vector import svvector_t
+from repro.simd.backend import SimdBackend
+from repro.sve.ops.permute import permute_indices
+from repro.sve.vl import VL
+
+
+class SveBackendBase(SimdBackend):
+    """Common state and helpers for SVE backends at a fixed VL."""
+
+    def __init__(self, vl) -> None:
+        self.vl = vl if isinstance(vl, VL) else VL(vl)
+        self.width_bits = self.vl.bits
+        # One persistent context accumulates intrinsic counts across
+        # calls; entered per-operation.
+        self._ctx = SVEContext(self.vl)
+
+    # ------------------------------------------------------------------
+    # Row marshalling: complex (..., clanes) <-> interleaved real rows
+    # ------------------------------------------------------------------
+    def _real_view_dtype(self, x: np.ndarray):
+        return np.float64 if x.dtype == np.complex128 else np.float32
+
+    def _rows(self, x: np.ndarray) -> np.ndarray:
+        """Flatten to (N, vl_lanes) interleaved real rows.
+
+        numpy's complex memory layout *is* the FCMLA layout (re in even,
+        im in odd positions), so a dtype reinterpretation is exactly the
+        ``svld1`` of interleaved data in the paper's Section IV-C.
+        """
+        x = self.validate(x)
+        rdtype = self._real_view_dtype(x)
+        flat = np.ascontiguousarray(x).view(rdtype)
+        return flat.reshape(-1, 2 * x.shape[-1])
+
+    def _alloc_like(self, x: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """An output array shaped like ``x`` plus its row view."""
+        x = np.asarray(x)
+        out = np.zeros(x.shape, dtype=x.dtype)  # always C-contiguous
+        rows = out.view(self._real_view_dtype(x)).reshape(-1, 2 * x.shape[-1])
+        return out, rows
+
+    # ------------------------------------------------------------------
+    # Predicates (hoisted per call; constructed once per dtype)
+    # ------------------------------------------------------------------
+    def _pg_all(self, esize: int) -> svbool_t:
+        return svbool_t.from_mask(np.ones(self.vl.lanes(esize), dtype=bool),
+                                  esize)
+
+    def _pg_even(self, esize: int) -> svbool_t:
+        m = np.zeros(self.vl.lanes(esize), dtype=bool)
+        m[0::2] = True
+        return svbool_t.from_mask(m, esize)
+
+    def _pg_odd(self, esize: int) -> svbool_t:
+        m = np.zeros(self.vl.lanes(esize), dtype=bool)
+        m[1::2] = True
+        return svbool_t.from_mask(m, esize)
+
+    def _swap_index(self, esize: int) -> svvector_t:
+        """TBL index vector exchanging re/im within each pair."""
+        lanes = self.vl.lanes(esize)
+        idx = np.arange(lanes, dtype=np.int64 if esize == 8 else np.int32)
+        idx = idx ^ 1
+        return svvector_t(tuple(idx.tolist()), idx.dtype.str)
+
+    def _permute_index(self, level: int, esize: int) -> svvector_t:
+        """TBL index vector for Grid Permute<level> on complex pairs."""
+        lanes = self.vl.lanes(esize)
+        cperm = permute_indices(lanes // 2, level)
+        idx = np.empty(lanes, dtype=np.int64 if esize == 8 else np.int32)
+        idx[0::2] = 2 * cperm
+        idx[1::2] = 2 * cperm + 1
+        return svvector_t(tuple(idx.tolist()), idx.dtype.str)
+
+    # ------------------------------------------------------------------
+    # Shared ops implemented with real instructions in both backends
+    # ------------------------------------------------------------------
+    def add(self, x, y):
+        xr, yr = self._rows(x), self._rows(y)
+        out, orows = self._alloc_like(self.validate(x))
+        with self._ctx:
+            pg = self._pg_all(xr.dtype.itemsize)
+            for i in range(xr.shape[0]):
+                a = acle.svld1(pg, xr[i])
+                b = acle.svld1(pg, yr[i])
+                acle.svst1(pg, orows[i], 0, acle.svadd_x(pg, a, b))
+        return out
+
+    def sub(self, x, y):
+        xr, yr = self._rows(x), self._rows(y)
+        out, orows = self._alloc_like(self.validate(x))
+        with self._ctx:
+            pg = self._pg_all(xr.dtype.itemsize)
+            for i in range(xr.shape[0]):
+                a = acle.svld1(pg, xr[i])
+                b = acle.svld1(pg, yr[i])
+                acle.svst1(pg, orows[i], 0, acle.svsub_x(pg, a, b))
+        return out
+
+    def neg(self, x):
+        xr = self._rows(x)
+        out, orows = self._alloc_like(self.validate(x))
+        with self._ctx:
+            pg = self._pg_all(xr.dtype.itemsize)
+            for i in range(xr.shape[0]):
+                a = acle.svld1(pg, xr[i])
+                acle.svst1(pg, orows[i], 0, acle.svneg_x(pg, a))
+        return out
+
+    def conj(self, x):
+        """Conjugation = negate the imaginary (odd) lanes."""
+        xr = self._rows(x)
+        out, orows = self._alloc_like(self.validate(x))
+        with self._ctx:
+            pg = self._pg_all(xr.dtype.itemsize)
+            podd = self._pg_odd(xr.dtype.itemsize)
+            for i in range(xr.shape[0]):
+                a = acle.svld1(pg, xr[i])
+                acle.svst1(pg, orows[i], 0, acle.svneg_x(podd, a))
+        return out
+
+    def permute(self, x, level):
+        xr = self._rows(x)
+        out, orows = self._alloc_like(self.validate(x))
+        with self._ctx:
+            esize = xr.dtype.itemsize
+            pg = self._pg_all(esize)
+            idx = self._permute_index(level, esize)
+            for i in range(xr.shape[0]):
+                a = acle.svld1(pg, xr[i])
+                acle.svst1(pg, orows[i], 0, acle.svtbl(a, idx))
+        return out
+
+    def reduce_sum(self, x):
+        xr = self._rows(x)
+        re = im = 0.0
+        with self._ctx:
+            esize = xr.dtype.itemsize
+            pg = self._pg_all(esize)
+            peven = self._pg_even(esize)
+            podd = self._pg_odd(esize)
+            for i in range(xr.shape[0]):
+                a = acle.svld1(pg, xr[i])
+                re += acle.svaddv(peven, a)
+                im += acle.svaddv(podd, a)
+        return complex(re, im)
+
+    def instruction_counts(self):
+        return self._ctx.counts

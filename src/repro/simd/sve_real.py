@@ -1,0 +1,168 @@
+"""The SVE backend implementing complex arithmetic with real instructions.
+
+Section V-E: "It is not guaranteed that the FCMLA instruction
+outperforms alternative implementations of complex arithmetics.
+Therefore, we have also implemented complex arithmetics based on
+instructions for real arithmetics at the cost of higher instruction
+count and cutting down on the effectiveness of SVE vector register
+usage."
+
+The data layout stays interleaved (so the two backends are drop-in
+interchangeable); each complex multiply becomes:
+
+* ``trn1``/``trn2`` broadcasts of ``Re(y)``/``Im(y)`` into both slots
+  of each pair,
+* a ``tbl`` swap of re/im within pairs of ``x``,
+* an ``fmul``/``fmla`` + two half-predicated FMAs combining the four
+  partial products,
+
+6 data-processing instructions versus the 2 FCMLAs of
+:class:`~repro.simd.sve_acle.SveAcleBackend` — the instruction-count
+cost the paper describes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import acle
+from repro.simd.sve_base import SveBackendBase
+
+
+class SveRealBackend(SveBackendBase):
+    """SVE with complex arithmetic built from real instructions."""
+
+    def __init__(self, vl=512) -> None:
+        super().__init__(vl)
+        self.name = f"sve{self.vl.bits}-real"
+
+    # -- the partial-product engine -------------------------------------
+    def _cmul_rows(self, acc_rows, x, y, conj_x: bool, negate: bool):
+        """acc ± (conj?)(x) * y over interleaved rows, real instructions.
+
+        With ``yr = trn1(y, y)`` (Re(y) in both slots), ``yi = trn2(y, y)``
+        (Im(y) in both slots) and ``xs = tbl(x, swap)``:
+
+        * ``x*y``:        even ``+x*yr - xs*yi``, odd ``+x*yr + xs*yi``
+        * ``conj(x)*y``:  even ``+x*yr + xs*yi``, odd ``-x*yr + xs*yi``
+        """
+        xr, yrows = self._rows(x), self._rows(y)
+        out, orows = self._alloc_like(self.validate(x))
+        with self._ctx:
+            esize = xr.dtype.itemsize
+            pg = self._pg_all(esize)
+            peven = self._pg_even(esize)
+            podd = self._pg_odd(esize)
+            swap = self._swap_index(esize)
+            for i in range(xr.shape[0]):
+                a = acle.svld1(pg, xr[i])
+                b = acle.svld1(pg, yrows[i])
+                yr = acle.svtrn1(b, b)
+                yi = acle.svtrn2(b, b)
+                xs = acle.svtbl(a, swap)
+                if acc_rows is None:
+                    acc = (acle.svdup_f64(0.0) if xr.dtype == np.float64
+                           else acle.svdup_f32(0.0))
+                else:
+                    acc = acle.svld1(pg, acc_rows[i])
+                s = -1.0 if negate else 1.0
+                if not conj_x:
+                    # t1 = x*yr in both slots; t2 = xs*yi with -/+ signs.
+                    r = (acle.svmla_x(pg, acc, a, yr) if not negate
+                         else acle.svmls_x(pg, acc, a, yr))
+                    if s > 0:
+                        r = acle.svmls_x(peven, r, xs, yi)
+                        r = acle.svmla_x(podd, r, xs, yi)
+                    else:
+                        r = acle.svmla_x(peven, r, xs, yi)
+                        r = acle.svmls_x(podd, r, xs, yi)
+                else:
+                    # t2 = xs*yi in both slots; t1 = x*yr with +/- signs.
+                    r = (acle.svmla_x(pg, acc, xs, yi) if not negate
+                         else acle.svmls_x(pg, acc, xs, yi))
+                    if s > 0:
+                        r = acle.svmla_x(peven, r, a, yr)
+                        r = acle.svmls_x(podd, r, a, yr)
+                    else:
+                        r = acle.svmls_x(peven, r, a, yr)
+                        r = acle.svmla_x(podd, r, a, yr)
+                acle.svst1(pg, orows[i], 0, r)
+        return out
+
+    # -- complex arithmetic ---------------------------------------------
+    def mul(self, x, y):
+        return self._cmul_rows(None, x, y, conj_x=False, negate=False)
+
+    def madd(self, acc, x, y):
+        return self._cmul_rows(self._rows(acc), x, y, conj_x=False,
+                               negate=False)
+
+    def msub(self, acc, x, y):
+        return self._cmul_rows(self._rows(acc), x, y, conj_x=False,
+                               negate=True)
+
+    def conj_mul(self, x, y):
+        return self._cmul_rows(None, x, y, conj_x=True, negate=False)
+
+    def conj_madd(self, acc, x, y):
+        return self._cmul_rows(self._rows(acc), x, y, conj_x=True,
+                               negate=False)
+
+    # -- real-part arithmetic -------------------------------------------
+    def mul_real_part(self, x, y):
+        """``Re(x) * y`` = fmul with trn1-broadcast Re(x)."""
+        xr, yrows = self._rows(x), self._rows(y)
+        out, orows = self._alloc_like(self.validate(x))
+        with self._ctx:
+            pg = self._pg_all(xr.dtype.itemsize)
+            for i in range(xr.shape[0]):
+                a = acle.svld1(pg, xr[i])
+                b = acle.svld1(pg, yrows[i])
+                ar = acle.svtrn1(a, a)
+                acle.svst1(pg, orows[i], 0, acle.svmul_x(pg, ar, b))
+        return out
+
+    def madd_real_part(self, acc, x, y):
+        xr, yrows = self._rows(x), self._rows(y)
+        acc_rows = self._rows(acc)
+        out, orows = self._alloc_like(self.validate(x))
+        with self._ctx:
+            pg = self._pg_all(xr.dtype.itemsize)
+            for i in range(xr.shape[0]):
+                a = acle.svld1(pg, xr[i])
+                b = acle.svld1(pg, yrows[i])
+                c = acle.svld1(pg, acc_rows[i])
+                ar = acle.svtrn1(a, a)
+                acle.svst1(pg, orows[i], 0, acle.svmla_x(pg, c, ar, b))
+        return out
+
+    # -- i-multiplications: swap + half-predicated negate ----------------
+    def _times_pm_i(self, x, negate_even: bool):
+        xr = self._rows(x)
+        out, orows = self._alloc_like(self.validate(x))
+        with self._ctx:
+            esize = xr.dtype.itemsize
+            pg = self._pg_all(esize)
+            half = self._pg_even(esize) if negate_even else self._pg_odd(esize)
+            swap = self._swap_index(esize)
+            for i in range(xr.shape[0]):
+                a = acle.svld1(pg, xr[i])
+                xs = acle.svtbl(a, swap)
+                acle.svst1(pg, orows[i], 0, acle.svneg_x(half, xs))
+        return out
+
+    def times_i(self, x):
+        """``i*(a+bi) = -b + ai``: swap then negate even slots."""
+        return self._times_pm_i(x, negate_even=True)
+
+    def times_minus_i(self, x):
+        """``-i*(a+bi) = b - ai``: swap then negate odd slots."""
+        return self._times_pm_i(x, negate_even=False)
+
+    def scale(self, x, s):
+        s = complex(s)
+        x = self.validate(x)
+        const = np.ascontiguousarray(
+            np.broadcast_to(np.full(x.shape[-1], s, dtype=x.dtype), x.shape)
+        )
+        return self._cmul_rows(None, const, x, conj_x=False, negate=False)

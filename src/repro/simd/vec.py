@@ -1,0 +1,165 @@
+"""The paper's ``vec<T>`` structure and functor kernels (Section V-C).
+
+A Python rendering of the C++ in the paper, as literal as the language
+allows::
+
+    template <typename T>
+    struct vec {
+        alignas(SVE_VECTOR_LENGTH) T v[SVE_VECTOR_LENGTH / sizeof(T)];
+    };
+
+    struct MultComplex {
+        template <typename T>
+        inline vec<T> operator()(const vec<T> &x, const vec<T> &y) { ... }
+    };
+
+The key porting decision reproduced here (Section V-A): SVE ACLE data
+types are sizeless and "may not be used as data members of ...
+classes", so the class member is an *ordinary array* of exactly
+``SVE_VECTOR_LENGTH`` bytes, and ACLE intrinsics appear only inside the
+operator bodies, loading/processing/storing one full register
+(the Section IV-D pattern — no VLA loop).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import acle
+from repro.acle.context import SVEContext, current_context
+from repro.sve.vl import VL
+
+
+class Vec:
+    """``vec<T>``: an ordinary aligned array of one register's bytes.
+
+    Parameters
+    ----------
+    vl:
+        The compile-time ``SVE_VECTOR_LENGTH`` (in bits here).
+    dtype:
+        The element type ``T`` (float64, float32, float16 or int32 —
+        the specializations Section V-B lists).
+    """
+
+    SUPPORTED = (np.float64, np.float32, np.float16, np.int32)
+
+    def __init__(self, vl, dtype=np.float64, values=None) -> None:
+        self.vl = vl if isinstance(vl, VL) else VL(vl)
+        self.dtype = np.dtype(dtype)
+        if self.dtype not in [np.dtype(t) for t in self.SUPPORTED]:
+            raise TypeError(
+                f"vec<T> specializations support {self.SUPPORTED}, "
+                f"got {self.dtype}"
+            )
+        lanes = self.vl.bytes // self.dtype.itemsize
+        self.v = np.zeros(lanes, dtype=self.dtype)
+        if values is not None:
+            values = np.asarray(values, dtype=self.dtype)
+            if values.shape != (lanes,):
+                raise ValueError(
+                    f"vec<{self.dtype}> at VL{self.vl.bits} holds {lanes} "
+                    f"elements, got {values.shape}"
+                )
+            self.v[:] = values
+
+    @property
+    def lanes(self) -> int:
+        return self.v.size
+
+    def complex_view(self) -> np.ndarray:
+        """The interleaved array seen as complex numbers."""
+        ctype = np.complex128 if self.dtype == np.float64 else np.complex64
+        return self.v.view(ctype)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"vec<{self.dtype}>[{self.lanes}]@VL{self.vl.bits}"
+
+
+def _pg_for(x: Vec):
+    if x.dtype == np.float64:
+        return acle.svptrue_b64()
+    if x.dtype == np.float32:
+        return acle.svptrue_b32()
+    return acle.svptrue_b16()
+
+
+def _check_vl(x: Vec) -> None:
+    ctx = current_context()
+    if ctx.vl.bits != x.vl.bits:
+        raise ValueError(
+            f"vec<T> compiled for VL{x.vl.bits} run on VL{ctx.vl.bits} "
+            "hardware — 'not necessarily portable across different "
+            "platforms' (Section V-B)"
+        )
+
+
+class MultComplex:
+    """The paper's ``MultComplex`` functor: two chained FCMLAs."""
+
+    def __call__(self, x: Vec, y: Vec) -> Vec:
+        _check_vl(x)
+        out = Vec(x.vl, x.dtype)
+        pg1 = _pg_for(x)
+        x_v = acle.svld1(pg1, x.v)
+        y_v = acle.svld1(pg1, y.v)
+        z_v = (acle.svdup_f64(0.0) if x.dtype == np.float64
+               else acle.svdup_f32(0.0))
+        r_v = acle.svcmla_x(pg1, z_v, x_v, y_v, 90)
+        r_v = acle.svcmla_x(pg1, r_v, x_v, y_v, 0)
+        acle.svst1(pg1, out.v, 0, r_v)
+        return out
+
+
+class MaddComplex:
+    """``z + x*y`` — accumulate instead of starting from zero."""
+
+    def __call__(self, z: Vec, x: Vec, y: Vec) -> Vec:
+        _check_vl(x)
+        out = Vec(x.vl, x.dtype)
+        pg1 = _pg_for(x)
+        x_v = acle.svld1(pg1, x.v)
+        y_v = acle.svld1(pg1, y.v)
+        r_v = acle.svld1(pg1, z.v)
+        r_v = acle.svcmla_x(pg1, r_v, x_v, y_v, 90)
+        r_v = acle.svcmla_x(pg1, r_v, x_v, y_v, 0)
+        acle.svst1(pg1, out.v, 0, r_v)
+        return out
+
+
+class TimesI:
+    """``i * x`` via FCADD."""
+
+    def __call__(self, x: Vec) -> Vec:
+        _check_vl(x)
+        out = Vec(x.vl, x.dtype)
+        pg1 = _pg_for(x)
+        x_v = acle.svld1(pg1, x.v)
+        zero = (acle.svdup_f64(0.0) if x.dtype == np.float64
+                else acle.svdup_f32(0.0))
+        acle.svst1(pg1, out.v, 0, acle.svcadd_x(pg1, zero, x_v, 90))
+        return out
+
+
+class Permute:
+    """Grid's ``Permute<level>`` on a ``vec<T>`` of complex pairs."""
+
+    def __init__(self, level: int) -> None:
+        self.level = level
+
+    def __call__(self, x: Vec) -> Vec:
+        from repro.acle.vector import svvector_t
+        from repro.sve.ops.permute import permute_indices
+
+        _check_vl(x)
+        out = Vec(x.vl, x.dtype)
+        pg1 = _pg_for(x)
+        x_v = acle.svld1(pg1, x.v)
+        cperm = permute_indices(x.lanes // 2, self.level)
+        idx = np.empty(x.lanes,
+                       dtype=np.int64 if x.dtype == np.float64 else np.int32)
+        idx[0::2] = 2 * cperm
+        idx[1::2] = 2 * cperm + 1
+        table = svvector_t(tuple(idx.tolist()), idx.dtype.str)
+        acle.svst1(pg1, out.v, 0, acle.svtbl(x_v, table))
+        return out

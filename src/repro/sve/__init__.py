@@ -1,0 +1,34 @@
+"""Functional simulator for the ARM Scalable Vector Extension (SVE) ISA.
+
+The simulator plays the role that SVE silicon (and the ArmIE emulator)
+played in the paper: it provides lane-accurate semantics for the SVE
+instructions relevant to lattice QCD, at any legal vector length from
+128 to 2048 bits.
+
+Layering
+--------
+
+* :mod:`repro.sve.vl` / :mod:`repro.sve.types` — the vector-length model
+  and element types.
+* :mod:`repro.sve.ops` — *pure-function* instruction semantics operating
+  on numpy arrays and boolean predicate masks.  These are shared between
+  the machine executor and the ACLE intrinsics layer so that both paths
+  are guaranteed to agree.
+* :mod:`repro.sve.regfile`, :mod:`repro.sve.memory`,
+  :mod:`repro.sve.predicate` — architectural state.
+* :mod:`repro.sve.decoder`, :mod:`repro.sve.program`,
+  :mod:`repro.sve.machine` — a textual assembler and a fetch/decode/
+  execute machine, enough to run the paper's assembly listings verbatim.
+* :mod:`repro.sve.tracer`, :mod:`repro.sve.costmodel` — dynamic
+  instruction statistics and a simple cycle model.
+* :mod:`repro.sve.faults` — injectable "toolchain bugs" that reproduce
+  the vector-length-dependent failures reported in Section V-D.
+"""
+
+from repro.sve.vl import VL, LEGAL_VLS
+from repro.sve.types import EType
+from repro.sve.machine import Machine
+from repro.sve.program import Program
+from repro.sve.decoder import assemble
+
+__all__ = ["VL", "LEGAL_VLS", "EType", "Machine", "Program", "assemble"]

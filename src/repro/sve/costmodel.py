@@ -1,0 +1,111 @@
+"""A simple per-instruction cycle-cost model.
+
+The paper explicitly makes **no** performance claims ("it is not yet
+possible to perform a reliable assessment of the performance"), and
+notes that "the performance signatures of the instructions might differ
+across different SVE platforms" (Section V-E) — which is *why* the
+authors keep both the FCMLA and the real-arithmetic complex
+implementations.
+
+This model exists to quantify that trade-off space, not to predict any
+silicon: it assigns each instruction class a latency/throughput cost so
+benchmarks can report *estimated cycles* and the VL-scaling shape
+(dynamic instruction count ~ 1/VL for VLA loops).  Costs are
+per-profile so the FCMLA-favourable and FCMLA-unfavourable silicon
+hypotheses of Section V-E can both be evaluated.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class CostProfile:
+    """Issue costs (in cycles, throughput-reciprocal) per instruction class."""
+
+    name: str
+    load: float = 1.0
+    store: float = 1.0
+    structure_ldst: float = 2.0
+    fp: float = 0.5
+    fma: float = 0.5
+    fcmla: float = 0.5
+    fcadd: float = 0.5
+    permute: float = 1.0
+    predicate: float = 0.5
+    convert: float = 1.0
+    scalar: float = 0.25
+    control: float = 0.25
+
+    def cost_of(self, mnemonic: str) -> float:
+        if mnemonic in ("fcmla",):
+            return self.fcmla
+        if mnemonic in ("fcadd",):
+            return self.fcadd
+        if mnemonic.startswith(("ld2", "ld3", "ld4", "st2", "st3", "st4")):
+            return self.structure_ldst
+        if mnemonic.startswith("ld"):
+            return self.load
+        if mnemonic.startswith("st"):
+            return self.store
+        if mnemonic in ("fmla", "fmls", "fnmla", "fnmls", "fmad", "fmsb"):
+            return self.fma
+        if mnemonic.startswith("f"):
+            return self.fp
+        if mnemonic in ("zip1", "zip2", "uzp1", "uzp2", "trn1", "trn2",
+                        "rev", "ext", "tbl", "sel", "splice", "compact",
+                        "insr", "dup"):
+            return self.permute
+        if mnemonic in ("ptrue", "pfalse", "whilelo", "whilelt", "brkn",
+                        "brkns", "brka", "brkb", "pnext", "pfirst", "ptest",
+                        "cntp"):
+            return self.predicate
+        if mnemonic in ("fcvt", "scvtf", "fcvtzs"):
+            return self.convert
+        if mnemonic in ("b", "cbz", "cbnz", "ret", "cmp", "nop"):
+            return self.control
+        return self.scalar
+
+
+#: Silicon where FCMLA is full-rate — the hypothesis under which the
+#: ACLE FCMLA path (Section V-C) wins outright.
+FAST_FCMLA = CostProfile(name="fast-fcmla", fcmla=0.5, fcadd=0.5)
+
+#: Silicon where FCMLA is microcoded/slow — the hypothesis motivating
+#: the real-arithmetic alternative (Section V-E).
+SLOW_FCMLA = CostProfile(name="slow-fcmla", fcmla=3.0, fcadd=2.0)
+
+#: A neutral profile with uniform vector-op cost.
+UNIFORM = CostProfile(
+    name="uniform", load=1, store=1, structure_ldst=1, fp=1, fma=1,
+    fcmla=1, fcadd=1, permute=1, predicate=1, convert=1, scalar=1, control=1,
+)
+
+PROFILES: dict[str, CostProfile] = {
+    p.name: p for p in (FAST_FCMLA, SLOW_FCMLA, UNIFORM)
+}
+
+
+@dataclass
+class CostReport:
+    """Estimated cycles for a retired-instruction histogram."""
+
+    profile: CostProfile
+    cycles: float = 0.0
+    by_mnemonic: Counter = field(default_factory=Counter)
+
+    @classmethod
+    def from_histogram(cls, hist: Counter, profile: CostProfile) -> "CostReport":
+        rep = cls(profile=profile)
+        for mnem, n in hist.items():
+            c = profile.cost_of(mnem) * n
+            rep.by_mnemonic[mnem] = c
+            rep.cycles += c
+        return rep
+
+
+def estimate_cycles(hist: Counter, profile: CostProfile = FAST_FCMLA) -> float:
+    """Estimated cycles for a per-mnemonic retired-instruction histogram."""
+    return CostReport.from_histogram(hist, profile).cycles

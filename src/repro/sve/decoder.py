@@ -1,0 +1,323 @@
+"""Textual SVE assembly parser.
+
+Parses the AArch64+SVE assembly dialect that armclang emits — the
+dialect of the paper's listings — into structured
+:class:`Instruction` objects.  We decode *text* rather than machine
+encodings; the semantics executed are identical, and text is what the
+paper publishes.
+
+Supported operand forms::
+
+    x8  xzr  sp                     general-purpose registers
+    d0  s0  h0                      FP scalar views (low element of z0)
+    z0.d  z3.s  z7                  vector registers (+ element suffix)
+    p0.d  p1/z  p0/m                predicate registers (+ qualifier)
+    {z0.d}  {z2.d, z3.d}            register lists (structure ld/st)
+    #3  #90  #0.5                   immediates
+    [x1]  [x1, x8, lsl #3]          memory: base + scaled index
+    [x0, #1, mul vl]                memory: base + imm * VL bytes
+    .LBB0_4                         label references
+    all  vl4  pow2                  PTRUE patterns
+    lsl #1                          shift specifier (trailing operand)
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+# ----------------------------------------------------------------------
+# Operand types
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class XOp:
+    """General-purpose register operand (``x8``, ``xzr``, ``sp``)."""
+
+    idx: int  # 31 == xzr
+    is_sp: bool = False
+
+
+@dataclass(frozen=True)
+class VOp:
+    """FP scalar register operand (``d0`` = low 64 bits of ``z0``)."""
+
+    idx: int
+    suffix: str  # d, s, h
+
+
+@dataclass(frozen=True)
+class ZOp:
+    """Vector register operand with optional element suffix."""
+
+    idx: int
+    suffix: Optional[str] = None  # d, s, h, b or None (movprfx z7, z4)
+
+
+@dataclass(frozen=True)
+class POp:
+    """Predicate register operand with optional suffix and qualifier."""
+
+    idx: int
+    suffix: Optional[str] = None
+    qualifier: Optional[str] = None  # 'z' (zeroing), 'm' (merging)
+
+
+@dataclass(frozen=True)
+class Imm:
+    """Immediate operand."""
+
+    value: Union[int, float]
+
+
+@dataclass(frozen=True)
+class MemOp:
+    """Memory operand: ``[base]``, ``[base, xi, lsl #s]``,
+    ``[base, #i, mul vl]``, or the gather/scatter form ``[base, zi.d]``
+    / ``[base, zi.d, lsl #s]`` with a vector of per-lane offsets."""
+
+    base: XOp
+    index: Optional[XOp] = None
+    shift: int = 0
+    imm: int = 0
+    mul_vl: bool = False
+    zindex: Optional[ZOp] = None
+
+
+@dataclass(frozen=True)
+class RegList:
+    """Structure load/store register list."""
+
+    regs: tuple[ZOp, ...]
+
+
+@dataclass(frozen=True)
+class LabelRef:
+    """Branch target."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class Pattern:
+    """PTRUE/INC pattern keyword (``all``, ``vl4``, ``pow2``, ...)."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class ShiftSpec:
+    """Trailing shift specifier, e.g. the ``lsl #1`` in ``add x0, x1, x2, lsl #1``."""
+
+    kind: str
+    amount: int
+
+
+Operand = Union[XOp, VOp, ZOp, POp, Imm, MemOp, RegList, LabelRef, Pattern, ShiftSpec]
+
+
+@dataclass
+class Instruction:
+    """One decoded instruction."""
+
+    mnemonic: str
+    cond: Optional[str] = None  # for b.<cond>
+    operands: list = field(default_factory=list)
+    text: str = ""
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.text or self.mnemonic
+
+
+# ----------------------------------------------------------------------
+# Tokenising helpers
+# ----------------------------------------------------------------------
+
+_X_RE = re.compile(r"^(?:x(\d+)|xzr|sp|wzr|w(\d+))$")
+_Z_RE = re.compile(r"^z(\d+)(?:\.([bhsd]))?$")
+_P_RE = re.compile(r"^p(\d+)(?:\.([bhsd]))?(?:/([zm]))?$")
+_V_RE = re.compile(r"^([dsh])(\d+)$")
+_PATTERNS = {
+    "all", "pow2", "mul3", "mul4",
+    "vl1", "vl2", "vl3", "vl4", "vl5", "vl6", "vl7", "vl8",
+    "vl16", "vl32", "vl64", "vl128", "vl256",
+}
+
+
+class AsmSyntaxError(ValueError):
+    """Raised for unparsable assembly."""
+
+
+def _split_operands(s: str) -> list[str]:
+    """Split an operand string on commas not inside (), [], {}."""
+    parts: list[str] = []
+    depth = 0
+    cur = []
+    for ch in s:
+        if ch in "([{":
+            depth += 1
+        elif ch in ")]}":
+            depth -= 1
+        if ch == "," and depth == 0:
+            parts.append("".join(cur).strip())
+            cur = []
+        else:
+            cur.append(ch)
+    tail = "".join(cur).strip()
+    if tail:
+        parts.append(tail)
+    return parts
+
+
+def _parse_imm(tok: str) -> Imm:
+    body = tok[1:] if tok.startswith("#") else tok
+    body = body.strip()
+    try:
+        if body.lower().startswith("0x"):
+            return Imm(int(body, 16))
+        if re.search(r"[.eE]", body) and not body.lower().startswith("0x"):
+            return Imm(float(body))
+        return Imm(int(body))
+    except ValueError:
+        raise AsmSyntaxError(f"bad immediate {tok!r}") from None
+
+
+def _parse_mem(tok: str) -> MemOp:
+    inner = tok[1:-1].strip()
+    parts = [p.strip() for p in inner.split(",")]
+    base_m = _X_RE.match(parts[0])
+    if not base_m:
+        raise AsmSyntaxError(f"bad memory base in {tok!r}")
+    base = _x_from_match(parts[0], base_m)
+    if len(parts) == 1:
+        return MemOp(base=base)
+    if len(parts) == 3 and parts[2].replace(" ", "") == "mulvl":
+        imm = _parse_imm(parts[1]).value
+        return MemOp(base=base, imm=int(imm), mul_vl=True)
+    if len(parts) == 2 and parts[1].startswith("#"):
+        return MemOp(base=base, imm=int(_parse_imm(parts[1]).value))
+    shift = 0
+    if len(parts) == 3:
+        m = re.match(r"^lsl\s+#(\d+)$", parts[2])
+        if not m:
+            raise AsmSyntaxError(f"bad shift in {tok!r}")
+        shift = int(m.group(1))
+    # Gather/scatter form: [base, zi.T(, lsl #s)]
+    z_m = _Z_RE.match(parts[1])
+    if z_m:
+        zindex = ZOp(int(z_m.group(1)), z_m.group(2))
+        return MemOp(base=base, shift=shift, zindex=zindex)
+    # [base, xi] or [base, xi, lsl #s]
+    idx_m = _X_RE.match(parts[1])
+    if not idx_m:
+        raise AsmSyntaxError(f"bad index register in {tok!r}")
+    index = _x_from_match(parts[1], idx_m)
+    return MemOp(base=base, index=index, shift=shift)
+
+
+def _x_from_match(tok: str, m: re.Match) -> XOp:
+    if tok == "xzr" or tok == "wzr":
+        return XOp(31)
+    if tok == "sp":
+        return XOp(31, is_sp=True)
+    num = m.group(1) or m.group(2)
+    return XOp(int(num))
+
+
+def parse_operand(tok: str) -> Operand:
+    """Parse a single operand token."""
+    tok = tok.strip()
+    if tok.startswith("{"):
+        inner = tok[1:-1]
+        regs = []
+        for sub in _split_operands(inner):
+            m = _Z_RE.match(sub)
+            if not m:
+                raise AsmSyntaxError(f"bad register list element {sub!r}")
+            regs.append(ZOp(int(m.group(1)), m.group(2)))
+        return RegList(tuple(regs))
+    if tok.startswith("["):
+        return _parse_mem(tok)
+    if tok.startswith("#"):
+        return _parse_imm(tok)
+    if tok.startswith("."):
+        return LabelRef(tok)
+    m = _Z_RE.match(tok)
+    if m:
+        return ZOp(int(m.group(1)), m.group(2))
+    m = _P_RE.match(tok)
+    if m:
+        return POp(int(m.group(1)), m.group(2), m.group(3))
+    m = _X_RE.match(tok)
+    if m:
+        return _x_from_match(tok, m)
+    m = _V_RE.match(tok)
+    if m:
+        return VOp(int(m.group(2)), m.group(1))
+    if tok.lower() in _PATTERNS:
+        return Pattern(tok.lower())
+    m = re.match(r"^(lsl|lsr|asr|mul)\s+#(\d+)$", tok)
+    if m:
+        return ShiftSpec(m.group(1), int(m.group(2)))
+    # Malformed register names must not fall through to the bare-label
+    # case (e.g. "z0.q" with an illegal element suffix).
+    if re.match(r"^[zpx]\d", tok, re.IGNORECASE):
+        raise AsmSyntaxError(f"malformed register {tok!r}")
+    # bare label (no leading dot)
+    if re.match(r"^[A-Za-z_][\w.$]*$", tok):
+        return LabelRef(tok)
+    raise AsmSyntaxError(f"cannot parse operand {tok!r}")
+
+
+_LABEL_RE = re.compile(r"^([.\w$]+):$")
+
+
+def parse_line(line: str) -> tuple[Optional[str], Optional[Instruction]]:
+    """Parse one assembly line into (label, instruction)."""
+    # strip comments: //, ;, and @ to end of line
+    line = re.split(r"//|;", line, maxsplit=1)[0].rstrip()
+    stripped = line.strip()
+    if not stripped:
+        return None, None
+    label = None
+    m = _LABEL_RE.match(stripped)
+    if m:
+        return m.group(1), None
+    # label and instruction on one line: "label: insn"
+    m = re.match(r"^([.\w$]+):\s+(.*)$", stripped)
+    if m:
+        label = m.group(1)
+        stripped = m.group(2).strip()
+    parts = stripped.split(None, 1)
+    mnemonic = parts[0].lower()
+    cond = None
+    if mnemonic.startswith("b.") and len(mnemonic) <= 5:
+        cond = mnemonic[2:]
+        mnemonic = "b"
+    operands = []
+    if len(parts) > 1:
+        operands = [parse_operand(t) for t in _split_operands(parts[1])]
+    return label, Instruction(mnemonic=mnemonic, cond=cond, operands=operands,
+                              text=stripped)
+
+
+def assemble(source: str) -> "Program":
+    """Assemble a multi-line source string into a :class:`Program`."""
+    from repro.sve.program import Program
+
+    instructions: list[Instruction] = []
+    labels: dict[str, int] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        try:
+            label, insn = parse_line(line)
+        except AsmSyntaxError as e:
+            raise AsmSyntaxError(f"line {lineno}: {e}") from None
+        if label is not None:
+            if label in labels:
+                raise AsmSyntaxError(f"line {lineno}: duplicate label {label!r}")
+            labels[label] = len(instructions)
+        if insn is not None:
+            instructions.append(insn)
+    return Program(instructions=instructions, labels=labels, source=source)

@@ -1,0 +1,149 @@
+"""Injectable "toolchain bugs" reproducing the Section V-D failures.
+
+The paper reports that when verifying the SVE-enabled Grid with
+ArmIE 18.1, *"some tests fail due to incorrect results for some choices
+of the SVE vector length and implementations of the predication. We
+attribute the failing tests to minor issues of the ARM SVE toolchain,
+which is still under development."*
+
+We model that immature toolchain as a set of deterministic predicate
+corruptions, each active only for specific (instruction, vector-length)
+combinations.  Running the verification suite with
+:data:`PRISTINE` reproduces "majority of tests complete with success";
+running it with :data:`ARMCLANG_18_3` reproduces the observed pattern of
+vector-length-dependent failures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.sve.vl import VL
+
+
+@dataclass(frozen=True)
+class PredicateFault:
+    """One toolchain defect affecting a predicate-generating instruction.
+
+    Parameters
+    ----------
+    name:
+        Identifier used in reports.
+    mnemonics:
+        The predicate-generating instructions affected.
+    vls:
+        Vector lengths (bits) at which the defect manifests.
+    corrupt:
+        Function mapping the architecturally-correct element predicate
+        to the buggy one.
+    description:
+        What the hypothetical toolchain got wrong.
+    """
+
+    name: str
+    mnemonics: tuple[str, ...]
+    vls: tuple[int, ...]
+    corrupt: Callable[[np.ndarray], np.ndarray]
+    description: str = ""
+
+
+def _drop_first_partial(active: np.ndarray) -> np.ndarray:
+    """Deactivate lane 0 of a *partial* predicate (full vectors are
+    unaffected, so only ragged loop tails go wrong)."""
+    out = active.copy()
+    if out.size and out[0] and not out.all():
+        out[0] = False
+    return out
+
+
+def _drop_last_partial(active: np.ndarray) -> np.ndarray:
+    """Deactivate the last lane of a *partial* predicate."""
+    out = active.copy()
+    idx = np.nonzero(active)[0]
+    if idx.size and not active.all():
+        out[idx[-1]] = False
+    return out
+
+
+def _collapse_nonfull(active: np.ndarray) -> np.ndarray:
+    """Collapse any non-full predicate to all-false (broken BRKN)."""
+    if active.all():
+        return active.copy()
+    return np.zeros_like(active)
+
+
+@dataclass
+class FaultModel:
+    """A set of :class:`PredicateFault` applied by the machine.
+
+    The model also counts how often each fault fired so verification
+    reports can attribute failures.
+    """
+
+    faults: tuple[PredicateFault, ...] = ()
+    fired: dict = field(default_factory=dict)
+
+    def filter_predicate(
+        self, mnemonic: str, active: np.ndarray, vl: VL
+    ) -> np.ndarray:
+        for f in self.faults:
+            if mnemonic in f.mnemonics and vl.bits in f.vls:
+                corrupted = f.corrupt(active)
+                if not np.array_equal(corrupted, active):
+                    self.fired[f.name] = self.fired.get(f.name, 0) + 1
+                active = corrupted
+        return active
+
+    @property
+    def is_pristine(self) -> bool:
+        return not self.faults
+
+
+#: A correct toolchain: no defects.
+PRISTINE = FaultModel()
+
+
+def armclang_18_3() -> FaultModel:
+    """The defect set we use to model the armclang 18.3 + ArmIE 18.1 stack.
+
+    The specific defects are our reconstruction (the paper does not
+    enumerate them); they are chosen so that, as in the paper, failures
+    appear only for *some* vector lengths and only in kernels whose
+    trip counts exercise partial predicates.
+    """
+    return FaultModel(faults=(
+        PredicateFault(
+            name="whilelo-dropfirst-vl1024",
+            mnemonics=("whilelo", "whilelt"),
+            vls=(1024,),
+            corrupt=_drop_first_partial,
+            description=(
+                "WHILELO deactivates the first lane of a partial predicate "
+                "when the trip count is not a lane-count multiple "
+                "(1024-bit only)"
+            ),
+        ),
+        PredicateFault(
+            name="whilelo-shorttail-vl2048",
+            mnemonics=("whilelo", "whilelt"),
+            vls=(2048,),
+            corrupt=_drop_last_partial,
+            description=(
+                "WHILELO drops the last active lane of a partial predicate "
+                "(2048-bit only)"
+            ),
+        ),
+        PredicateFault(
+            name="brkn-collapse-vl384",
+            mnemonics=("brkn", "brkns"),
+            vls=(384, 768, 1536),
+            corrupt=_collapse_nonfull,
+            description=(
+                "BRKN collapses non-full predicates to false at the "
+                "non-power-of-two vector lengths"
+            ),
+        ),
+    ))

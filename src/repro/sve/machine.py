@@ -1,0 +1,971 @@
+"""The SVE machine executor.
+
+Fetch/decode/execute loop over a :class:`repro.sve.program.Program` at a
+fixed vector length — the role ArmIE played in the paper
+(Section V-D): *"The emulator allows for functional code verification
+by emulating SVE instructions ... The SVE vector length is supplied to
+ArmIE as a command-line parameter."*
+
+The machine owns the architectural state (Z/P/X registers, NZCV,
+memory) and dispatches each mnemonic to a handler that unpacks
+registers, calls the pure semantics in :mod:`repro.sve.ops`, and writes
+results back.  A :class:`repro.sve.tracer.Tracer` observes every retired
+instruction; a :class:`repro.sve.faults.FaultModel` may corrupt
+predicate-generating instructions to model the immature-toolchain
+failures of Section V-D.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.sve import predicate as predops
+from repro.sve.decoder import (
+    Imm,
+    Instruction,
+    LabelRef,
+    MemOp,
+    Pattern,
+    POp,
+    RegList,
+    ShiftSpec,
+    VOp,
+    XOp,
+    ZOp,
+)
+from repro.sve.memory import Memory
+from repro.sve.ops import arith, cplx, convert, loadstore, permute, reduce
+from repro.sve.program import Program
+from repro.sve.regfile import Flags, PRegisterFile, XRegisterFile, ZRegisterFile
+from repro.sve.types import (
+    FLOAT_BY_SUFFIX,
+    INT_BY_SUFFIX,
+    SIZE_BY_SUFFIX,
+    UINT_BY_SUFFIX,
+)
+from repro.sve.vl import VL
+
+_MASK64 = (1 << 64) - 1
+
+
+class SimulationError(RuntimeError):
+    """Raised for unimplemented instructions or runaway programs."""
+
+
+class Machine:
+    """Architectural state + executor for one SVE hardware thread."""
+
+    def __init__(
+        self,
+        vl: VL,
+        memory: Optional[Memory] = None,
+        tracer=None,
+        fault_model=None,
+    ) -> None:
+        self.vl = vl
+        self.mem = memory if memory is not None else Memory()
+        self.z = ZRegisterFile(vl)
+        self.p = PRegisterFile(vl)
+        self.x = XRegisterFile()
+        self.flags = Flags()
+        self.tracer = tracer
+        self.faults = fault_model
+        self.pc = 0
+        self.steps = 0
+        self._dispatch: dict[str, Callable[[Instruction], Optional[int]]] = {}
+        self._build_dispatch()
+
+    # ==================================================================
+    # Public API
+    # ==================================================================
+    def run(self, program: Program, max_steps: int = 10_000_000) -> int:
+        """Execute ``program`` from instruction 0 until ``ret``.
+
+        Returns the number of retired instructions.
+        """
+        self.pc = 0
+        start_steps = self.steps
+        while True:
+            if self.pc >= len(program):
+                break  # fell off the end: treat as return
+            insn = program.instructions[self.pc]
+            if insn.mnemonic == "ret":
+                self.steps += 1
+                if self.tracer is not None:
+                    self.tracer.record(insn, self.vl)
+                break
+            next_pc = self.execute(insn, program)
+            self.steps += 1
+            if self.steps - start_steps > max_steps:
+                raise SimulationError(
+                    f"program exceeded {max_steps} steps (infinite loop?)"
+                )
+            self.pc = self.pc + 1 if next_pc is None else next_pc
+        return self.steps - start_steps
+
+    def call(self, program: Program, *args: int, max_steps: int = 10_000_000) -> int:
+        """AAPCS-style call: integer args in x0..x7, result from x0."""
+        if len(args) > 8:
+            raise ValueError("at most 8 integer arguments supported")
+        for i, a in enumerate(args):
+            self.x.write(i, a)
+        self.run(program, max_steps=max_steps)
+        return self.x.read(0)
+
+    def execute(self, insn: Instruction, program: Program) -> Optional[int]:
+        """Execute one instruction; returns the next pc for branches."""
+        self._program = program
+        handler = self._dispatch.get(insn.mnemonic)
+        if handler is None:
+            raise SimulationError(f"unimplemented instruction: {insn.text!r}")
+        result = handler(insn)
+        if self.tracer is not None:
+            self.tracer.record(insn, self.vl)
+        return result
+
+    # ==================================================================
+    # Operand helpers
+    # ==================================================================
+    def _esize(self, op) -> int:
+        if getattr(op, "suffix", None) is None:
+            raise SimulationError(f"operand {op} needs an element suffix")
+        return SIZE_BY_SUFFIX[op.suffix]
+
+    def _zf(self, op: ZOp) -> np.ndarray:
+        """Read a Z register as float elements per its suffix."""
+        return self.z.read(op.idx, FLOAT_BY_SUFFIX[op.suffix])
+
+    def _zi(self, op: ZOp) -> np.ndarray:
+        """Read a Z register as signed integers per its suffix."""
+        return self.z.read(op.idx, INT_BY_SUFFIX[op.suffix])
+
+    def _zu(self, op: ZOp) -> np.ndarray:
+        """Read a Z register as raw unsigned elements per its suffix."""
+        return self.z.read(op.idx, UINT_BY_SUFFIX[op.suffix])
+
+    def _wzf(self, op: ZOp, values: np.ndarray) -> None:
+        self.z.write(op.idx, FLOAT_BY_SUFFIX[op.suffix], values)
+
+    def _wzi(self, op: ZOp, values: np.ndarray) -> None:
+        self.z.write(op.idx, INT_BY_SUFFIX[op.suffix], values)
+
+    def _wzu(self, op: ZOp, values: np.ndarray) -> None:
+        self.z.write(op.idx, UINT_BY_SUFFIX[op.suffix], values)
+
+    def _pred(self, op: POp, esize: int) -> np.ndarray:
+        return self.p.read_elements(op.idx, esize)
+
+    def _address(self, mem: MemOp, esize: int) -> int:
+        addr = self.x.sp if mem.base.is_sp else self.x.read(mem.base.idx)
+        if mem.index is not None:
+            addr += self.x.read(mem.index.idx) << mem.shift
+        if mem.mul_vl:
+            addr += mem.imm * self.vl.bytes
+        else:
+            addr += mem.imm
+        return addr & _MASK64
+
+    def _branch(self, label: LabelRef) -> int:
+        return self._program.target(label.name)
+
+    def _maybe_fault_pred(self, mnemonic: str, active: np.ndarray) -> np.ndarray:
+        if self.faults is not None:
+            return self.faults.filter_predicate(mnemonic, active, self.vl)
+        return active
+
+    # ==================================================================
+    # Dispatch construction
+    # ==================================================================
+    def _build_dispatch(self) -> None:
+        d = self._dispatch
+        # Scalar control / ALU.
+        d["mov"] = self._i_mov
+        d["movprfx"] = self._i_movprfx
+        d["add"] = self._i_add
+        d["sub"] = self._i_sub
+        d["mul"] = self._i_mul
+        d["lsl"] = self._i_lsl
+        d["lsr"] = self._i_lsr
+        d["cmp"] = self._i_cmp
+        d["b"] = self._i_b
+        d["cbz"] = self._i_cbz
+        d["cbnz"] = self._i_cbnz
+        d["nop"] = lambda insn: None
+        d["rdvl"] = self._i_rdvl
+        d["ldr"] = self._i_ldr
+        d["str"] = self._i_str
+        # Predicate generation / logic.
+        d["ptrue"] = self._i_ptrue
+        d["pfalse"] = self._i_pfalse
+        d["whilelo"] = self._i_whilelo
+        d["whilelt"] = self._i_whilelt
+        d["brkn"] = self._i_brkn
+        d["brkns"] = self._i_brkn
+        d["brka"] = self._i_brka
+        d["brkas"] = self._i_brka
+        d["brkb"] = self._i_brkb
+        d["brkbs"] = self._i_brkb
+        d["pnext"] = self._i_pnext
+        d["pfirst"] = self._i_pfirst
+        d["ptest"] = self._i_ptest
+        d["cntp"] = self._i_cntp
+        d["and"] = self._i_and
+        d["orr"] = self._i_orr
+        d["eor"] = self._i_eor
+        d["bic"] = self._i_bic
+        d["ands"] = self._i_and
+        d["orrs"] = self._i_orr
+        d["eors"] = self._i_eor
+        d["bics"] = self._i_bic
+        # Element counters.
+        for suf in "bhwd":
+            d[f"cnt{suf}"] = self._i_cntx
+            d[f"inc{suf}"] = self._i_incx
+            d[f"dec{suf}"] = self._i_decx
+        # Vector moves / immediates.
+        d["dup"] = self._i_dup
+        d["fdup"] = self._i_fdup
+        d["fmov"] = self._i_fdup
+        d["index"] = self._i_index
+        d["sel"] = self._i_sel
+        # FP arithmetic.
+        d["fadd"] = self._i_fbin(arith.fadd)
+        d["fsub"] = self._i_fbin(arith.fsub)
+        d["fmul"] = self._i_fbin(arith.fmul)
+        d["fdiv"] = self._i_fbin(arith.fdiv)
+        d["fmax"] = self._i_fbin(arith.fmax)
+        d["fmin"] = self._i_fbin(arith.fmin)
+        d["fneg"] = self._i_funary(arith.fneg)
+        d["fabs"] = self._i_funary(arith.fabs_)
+        d["fsqrt"] = self._i_funary(arith.fsqrt)
+        d["fmla"] = self._i_fma(arith.fmla)
+        d["fmls"] = self._i_fma(arith.fmls)
+        d["fnmla"] = self._i_fma(arith.fnmla)
+        d["fnmls"] = self._i_fma(arith.fnmls)
+        d["fmad"] = self._i_fma(arith.fmad)
+        d["fmsb"] = self._i_fma(arith.fmsb)
+        # Complex arithmetic.
+        d["fcmla"] = self._i_fcmla
+        d["fcadd"] = self._i_fcadd
+        # Vector compares -> predicates (all set NZCV).
+        import operator
+
+        for mnem, fn, is_fp in (
+            ("fcmeq", operator.eq, True), ("fcmne", operator.ne, True),
+            ("fcmgt", operator.gt, True), ("fcmge", operator.ge, True),
+            ("fcmlt", operator.lt, True), ("fcmle", operator.le, True),
+            ("cmpeq", operator.eq, False), ("cmpne", operator.ne, False),
+            ("cmpgt", operator.gt, False), ("cmpge", operator.ge, False),
+            ("cmplt", operator.lt, False), ("cmple", operator.le, False),
+        ):
+            d[mnem] = self._i_vcompare(fn, is_fp)
+        for mnem, fn in (("cmplo", np.less), ("cmpls", np.less_equal),
+                         ("cmphi", np.greater), ("cmphs", np.greater_equal)):
+            d[mnem] = self._i_vcompare(fn, is_fp=False, unsigned=True)
+        # Conversions.
+        d["fcvt"] = self._i_fcvt
+        d["scvtf"] = self._i_scvtf
+        d["fcvtzs"] = self._i_fcvtzs
+        # Loads/stores (contiguous + structure), prefetches as no-ops.
+        for n in "1234":
+            for suf in "bhwd":
+                d[f"ld{n}{suf}"] = self._i_ldn
+                d[f"st{n}{suf}"] = self._i_stn
+        for suf in "bhwd":
+            d[f"prf{suf}"] = lambda insn: None
+            d[f"stnt1{suf}"] = self._i_stn
+            d[f"ldnt1{suf}"] = self._i_ldn
+        # Permutes.
+        d["zip1"] = self._i_perm2(permute.zip1)
+        d["zip2"] = self._i_perm2(permute.zip2)
+        d["uzp1"] = self._i_perm2(permute.uzp1)
+        d["uzp2"] = self._i_perm2(permute.uzp2)
+        d["trn1"] = self._i_perm2(permute.trn1)
+        d["trn2"] = self._i_perm2(permute.trn2)
+        d["rev"] = self._i_rev
+        d["ext"] = self._i_ext
+        d["tbl"] = self._i_tbl
+        d["splice"] = self._i_splice
+        d["compact"] = self._i_compact
+        d["insr"] = self._i_insr
+        d["lasta"] = self._i_lasta
+        d["lastb"] = self._i_lastb
+        # Reductions.
+        d["faddv"] = self._i_faddv
+        d["fadda"] = self._i_fadda
+        d["fmaxv"] = self._i_freduce(reduce.fmaxv)
+        d["fminv"] = self._i_freduce(reduce.fminv)
+        d["saddv"] = self._i_saddv
+        d["uaddv"] = self._i_saddv
+
+    # ==================================================================
+    # Scalar handlers
+    # ==================================================================
+    def _i_mov(self, insn: Instruction) -> None:
+        dst, src = insn.operands[0], insn.operands[-1]
+        if isinstance(dst, XOp):
+            if isinstance(src, XOp):
+                self.x.write(dst.idx, self.x.read(src.idx))
+            elif isinstance(src, Imm):
+                self.x.write(dst.idx, int(src.value))
+            else:
+                raise SimulationError(f"bad mov: {insn.text!r}")
+        elif isinstance(dst, ZOp):
+            if isinstance(src, Imm):
+                lanes = self.vl.lanes(self._esize(dst))
+                if isinstance(src.value, float):
+                    self._wzf(dst, arith.dup(lanes, FLOAT_BY_SUFFIX[dst.suffix].dtype, src.value))
+                else:
+                    self._wzi(dst, arith.dup(lanes, INT_BY_SUFFIX[dst.suffix].dtype, src.value))
+            elif isinstance(src, ZOp):
+                self.z.write_bytes(dst.idx, self.z.read_bytes(src.idx))
+            elif isinstance(src, XOp):
+                lanes = self.vl.lanes(self._esize(dst))
+                val = self.x.read(src.idx) & ((1 << (self._esize(dst) * 8)) - 1)
+                self._wzu(dst, arith.dup(lanes, UINT_BY_SUFFIX[dst.suffix].dtype, val))
+            else:
+                raise SimulationError(f"bad mov: {insn.text!r}")
+        elif isinstance(dst, POp):
+            if not isinstance(src, POp):
+                raise SimulationError(f"bad mov: {insn.text!r}")
+            self.p.write_bits(dst.idx, self.p.read_bits(src.idx))
+        else:
+            raise SimulationError(f"bad mov: {insn.text!r}")
+
+    def _i_movprfx(self, insn: Instruction) -> None:
+        dst, src = insn.operands[0], insn.operands[-1]
+        # movprfx zd, zn  /  movprfx zd.T, pg/z|m, zn.T — a plain copy
+        # functionally (the zeroing form also zeroes inactive lanes).
+        if len(insn.operands) == 3 and isinstance(insn.operands[1], POp):
+            pg = insn.operands[1]
+            esize = self._esize(dst)
+            active = self._pred(pg, esize)
+            src_v = self._zu(src)
+            if pg.qualifier == "z":
+                old = np.zeros_like(src_v)
+            else:
+                old = self._zu(ZOp(dst.idx, dst.suffix))
+            self._wzu(dst, np.where(active, src_v, old))
+        else:
+            self.z.write_bytes(dst.idx, self.z.read_bytes(src.idx))
+
+    def _scalar_binop(self, insn: Instruction, fn) -> None:
+        dst, a = insn.operands[0], insn.operands[1]
+        b = insn.operands[2]
+        av = self.x.read(a.idx)
+        if isinstance(b, Imm):
+            bv = int(b.value)
+        else:
+            bv = self.x.read(b.idx)
+            if len(insn.operands) == 4 and isinstance(insn.operands[3], ShiftSpec):
+                spec = insn.operands[3]
+                if spec.kind == "lsl":
+                    bv = (bv << spec.amount) & _MASK64
+                elif spec.kind == "lsr":
+                    bv >>= spec.amount
+        self.x.write(dst.idx, fn(av, bv))
+
+    def _i_add(self, insn: Instruction) -> None:
+        if isinstance(insn.operands[0], ZOp):
+            self._vec_int_binop(insn, arith.add)
+        else:
+            self._scalar_binop(insn, lambda a, b: a + b)
+
+    def _i_sub(self, insn: Instruction) -> None:
+        if isinstance(insn.operands[0], ZOp):
+            self._vec_int_binop(insn, arith.sub)
+        else:
+            self._scalar_binop(insn, lambda a, b: a - b)
+
+    def _i_mul(self, insn: Instruction) -> None:
+        if isinstance(insn.operands[0], ZOp):
+            self._vec_int_binop(insn, arith.mul)
+        else:
+            self._scalar_binop(insn, lambda a, b: a * b)
+
+    def _i_lsl(self, insn: Instruction) -> None:
+        if isinstance(insn.operands[0], ZOp):
+            dst, a, sh = insn.operands
+            self._wzu(dst, arith.lsl(self._zu(a), int(sh.value)))
+            return
+        self._scalar_binop(insn, lambda a, b: (a << b) & _MASK64)
+
+    def _i_lsr(self, insn: Instruction) -> None:
+        if isinstance(insn.operands[0], ZOp):
+            dst, a, sh = insn.operands
+            self._wzu(dst, arith.lsr(self._zi(a), int(sh.value)))
+            return
+        self._scalar_binop(insn, lambda a, b: a >> b)
+
+    def _i_cmp(self, insn: Instruction) -> None:
+        a, b = insn.operands
+        av = self.x.read(a.idx)
+        bv = int(b.value) if isinstance(b, Imm) else self.x.read(b.idx)
+        self.flags.set_from_sub(av, bv)
+
+    def _i_b(self, insn: Instruction) -> Optional[int]:
+        label = insn.operands[0]
+        if insn.cond is None or self.flags.condition(insn.cond):
+            return self._branch(label)
+        return None
+
+    def _i_cbz(self, insn: Instruction) -> Optional[int]:
+        reg, label = insn.operands
+        return self._branch(label) if self.x.read(reg.idx) == 0 else None
+
+    def _i_cbnz(self, insn: Instruction) -> Optional[int]:
+        reg, label = insn.operands
+        return self._branch(label) if self.x.read(reg.idx) != 0 else None
+
+    def _i_rdvl(self, insn: Instruction) -> None:
+        dst, imm = insn.operands
+        self.x.write(dst.idx, self.vl.bytes * int(imm.value))
+
+    def _i_ldr(self, insn: Instruction) -> None:
+        dst, mem = insn.operands
+        if isinstance(dst, XOp):
+            addr = self._address(mem, 8)
+            self.x.write(dst.idx, int(self.mem.read_array(addr, np.uint64, 1)[0]))
+        elif isinstance(dst, ZOp) or isinstance(dst, POp):
+            raise SimulationError("ldr z/p: use ld1 in this simulator")
+        else:
+            raise SimulationError(f"bad ldr: {insn.text!r}")
+
+    def _i_str(self, insn: Instruction) -> None:
+        src, mem = insn.operands
+        if isinstance(src, XOp):
+            addr = self._address(mem, 8)
+            self.mem.write_array(addr, np.array([self.x.read(src.idx)], dtype=np.uint64))
+        else:
+            raise SimulationError(f"bad str: {insn.text!r}")
+
+    # ==================================================================
+    # Predicate handlers
+    # ==================================================================
+    def _i_ptrue(self, insn: Instruction) -> None:
+        dst = insn.operands[0]
+        pattern = "all"
+        if len(insn.operands) > 1 and isinstance(insn.operands[1], Pattern):
+            pattern = insn.operands[1].name
+        esize = self._esize(dst)
+        active = predops.ptrue(self.vl.lanes(esize), pattern)
+        active = self._maybe_fault_pred("ptrue", active)
+        self.p.write_elements(dst.idx, esize, active)
+        if insn.mnemonic == "ptrues":
+            self.flags.set_from_predicate(active)
+
+    def _i_pfalse(self, insn: Instruction) -> None:
+        dst = insn.operands[0]
+        self.p.write_elements(dst.idx, self._esize(dst) if dst.suffix else 1,
+                              predops.pfalse(self.vl.lanes(self._esize(dst) if dst.suffix else 1)))
+
+    def _while(self, insn: Instruction, fn) -> None:
+        dst, a, b = insn.operands
+        esize = self._esize(dst)
+        lanes = self.vl.lanes(esize)
+        active = fn(lanes, self.x.read(a.idx), self.x.read(b.idx))
+        active = self._maybe_fault_pred(insn.mnemonic, active)
+        self.p.write_elements(dst.idx, esize, active)
+        self.flags.set_from_predicate(active)
+
+    def _i_whilelo(self, insn: Instruction) -> None:
+        self._while(insn, predops.whilelo)
+
+    def _i_whilelt(self, insn: Instruction) -> None:
+        self._while(insn, predops.whilelt)
+
+    def _i_brkn(self, insn: Instruction) -> None:
+        dst, pg, pn, pdm = insn.operands
+        esize = 1  # brkn operates at byte granularity
+        governing = self.p.read_elements(pg.idx, esize)
+        res = predops.brkn(
+            governing,
+            self.p.read_elements(pn.idx, esize),
+            self.p.read_elements(pdm.idx, esize),
+        )
+        res = self._maybe_fault_pred(insn.mnemonic, res)
+        self.p.write_elements(dst.idx, esize, res)
+        if insn.mnemonic.endswith("s"):
+            self.flags.set_from_predicate(res)
+
+    def _brk_ab(self, insn: Instruction, fn) -> None:
+        dst, pg, pn = insn.operands
+        esize = 1
+        governing = self.p.read_elements(pg.idx, esize)
+        merging = pg.qualifier == "m"
+        old = self.p.read_elements(dst.idx, esize)
+        res = fn(governing, self.p.read_elements(pn.idx, esize),
+                 merging=merging, pd_old=old)
+        res = self._maybe_fault_pred(insn.mnemonic, res)
+        self.p.write_elements(dst.idx, esize, res)
+        if insn.mnemonic.endswith("s"):
+            self.flags.set_from_predicate(res)
+
+    def _i_brka(self, insn: Instruction) -> None:
+        self._brk_ab(insn, predops.brka)
+
+    def _i_brkb(self, insn: Instruction) -> None:
+        self._brk_ab(insn, predops.brkb)
+
+    def _i_pnext(self, insn: Instruction) -> None:
+        dst, pg, _pdn = insn.operands
+        esize = self._esize(dst)
+        res = predops.pnext(
+            self.p.read_elements(pg.idx, esize),
+            self.p.read_elements(dst.idx, esize),
+        )
+        self.p.write_elements(dst.idx, esize, res)
+        self.flags.set_from_predicate(res)
+
+    def _i_pfirst(self, insn: Instruction) -> None:
+        dst, pg, _pdn = insn.operands
+        esize = 1
+        res = predops.pfirst(
+            self.p.read_elements(pg.idx, esize),
+            self.p.read_elements(dst.idx, esize),
+        )
+        self.p.write_elements(dst.idx, esize, res)
+        self.flags.set_from_predicate(res)
+
+    def _i_ptest(self, insn: Instruction) -> None:
+        pg, pn = insn.operands
+        governing = self.p.read_elements(pg.idx, 1)
+        tested = self.p.read_elements(pn.idx, 1)
+        self.flags.set_from_predicate(governing & tested)
+
+    def _i_cntp(self, insn: Instruction) -> None:
+        dst, pg, pn = insn.operands
+        esize = self._esize(pn)
+        n = predops.cntp(
+            self.p.read_elements(pg.idx, esize),
+            self.p.read_elements(pn.idx, esize),
+        )
+        self.x.write(dst.idx, n)
+
+    def _pred_or_vec_logic(self, insn: Instruction, fn) -> None:
+        dst = insn.operands[0]
+        if isinstance(dst, POp):
+            _, pg, pn, pm = insn.operands
+            g = self.p.read_bits(pg.idx)
+            res = fn(self.p.read_bits(pn.idx), self.p.read_bits(pm.idx))
+            res = res & g  # zeroing predication for predicate logic
+            self.p.write_bits(dst.idx, res)
+            if insn.mnemonic.endswith("s"):
+                self.flags.set_from_predicate(res)
+        elif isinstance(dst, XOp):
+            self._scalar_binop(insn, lambda a, b: int(fn(np.uint64(a), np.uint64(b))))
+        else:
+            self._vec_int_binop(insn, lambda a, b, **kw: fn(a, b))
+
+    def _i_and(self, insn: Instruction) -> None:
+        self._pred_or_vec_logic(insn, lambda a, b: a & b)
+
+    def _i_orr(self, insn: Instruction) -> None:
+        # `mov p1.b, p2.b` decodes as mov; plain orr here.
+        self._pred_or_vec_logic(insn, lambda a, b: a | b)
+
+    def _i_eor(self, insn: Instruction) -> None:
+        self._pred_or_vec_logic(insn, lambda a, b: a ^ b)
+
+    def _i_bic(self, insn: Instruction) -> None:
+        self._pred_or_vec_logic(insn, lambda a, b: a & ~b)
+
+    # ==================================================================
+    # Element counters
+    # ==================================================================
+    _SUFFIX_FROM_CNT = {"b": 1, "h": 2, "w": 4, "d": 8}
+
+    def _cnt_amount(self, insn: Instruction) -> int:
+        esize = self._SUFFIX_FROM_CNT[insn.mnemonic[-1]]
+        lanes = self.vl.lanes(esize)
+        pattern = "all"
+        mul = 1
+        for op in insn.operands[1:]:
+            if isinstance(op, Pattern):
+                pattern = op.name
+            elif isinstance(op, ShiftSpec) and op.kind == "mul":
+                mul = op.amount
+            elif isinstance(op, Imm):
+                mul = int(op.value)
+        count = int(predops.ptrue(lanes, pattern).sum())
+        return count * mul
+
+    def _i_cntx(self, insn: Instruction) -> None:
+        dst = insn.operands[0]
+        self.x.write(dst.idx, self._cnt_amount(insn))
+
+    def _i_incx(self, insn: Instruction) -> None:
+        dst = insn.operands[0]
+        amount = self._cnt_amount(insn)
+        if isinstance(dst, XOp):
+            self.x.write(dst.idx, self.x.read(dst.idx) + amount)
+        else:  # vector form: add the element count to every element
+            self._wzi(dst, arith.add(self._zi(dst), amount))
+
+    def _i_decx(self, insn: Instruction) -> None:
+        dst = insn.operands[0]
+        amount = self._cnt_amount(insn)
+        if isinstance(dst, XOp):
+            self.x.write(dst.idx, self.x.read(dst.idx) - amount)
+        else:
+            self._wzi(dst, arith.sub(self._zi(dst), amount))
+
+    # ==================================================================
+    # Vector moves / immediates
+    # ==================================================================
+    def _i_dup(self, insn: Instruction) -> None:
+        dst, src = insn.operands
+        lanes = self.vl.lanes(self._esize(dst))
+        if isinstance(src, Imm):
+            if isinstance(src.value, float):
+                self._wzf(dst, arith.dup(lanes, FLOAT_BY_SUFFIX[dst.suffix].dtype, src.value))
+            else:
+                self._wzi(dst, arith.dup(lanes, INT_BY_SUFFIX[dst.suffix].dtype, src.value))
+        elif isinstance(src, XOp):
+            mask = (1 << (self._esize(dst) * 8)) - 1
+            self._wzu(dst, arith.dup(lanes, UINT_BY_SUFFIX[dst.suffix].dtype,
+                                     self.x.read(src.idx) & mask))
+        else:
+            raise SimulationError(f"bad dup: {insn.text!r}")
+
+    def _i_fdup(self, insn: Instruction) -> None:
+        dst, src = insn.operands
+        lanes = self.vl.lanes(self._esize(dst))
+        self._wzf(dst, arith.dup(lanes, FLOAT_BY_SUFFIX[dst.suffix].dtype,
+                                 float(src.value)))
+
+    def _i_index(self, insn: Instruction) -> None:
+        dst, base, step = insn.operands
+        lanes = self.vl.lanes(self._esize(dst))
+        bv = int(base.value) if isinstance(base, Imm) else self.x.read_signed(base.idx)
+        sv = int(step.value) if isinstance(step, Imm) else self.x.read_signed(step.idx)
+        self._wzi(dst, arith.index(lanes, INT_BY_SUFFIX[dst.suffix].dtype, bv, sv))
+
+    def _i_sel(self, insn: Instruction) -> None:
+        dst, pg, a, b = insn.operands
+        esize = self._esize(dst)
+        active = self._pred(pg, esize)
+        self._wzu(dst, permute.sel(active, self._zu(a), self._zu(b)))
+
+    # ==================================================================
+    # FP arithmetic handler factories
+    # ==================================================================
+    def _i_fbin(self, fn):
+        def handler(insn: Instruction) -> None:
+            ops = insn.operands
+            if len(ops) == 3 and not isinstance(ops[1], POp):
+                dst, a, b = ops
+                bv = (arith.dup(self.vl.lanes(self._esize(dst)),
+                                FLOAT_BY_SUFFIX[dst.suffix].dtype, float(b.value))
+                      if isinstance(b, Imm) else self._zf(b))
+                self._wzf(dst, fn(self._zf(a), bv))
+            else:  # predicated destructive: fop zd.T, pg/m, zd.T, zm.T|#imm
+                dst, pg, a, b = ops
+                esize = self._esize(dst)
+                active = self._pred(pg, esize)
+                av = self._zf(a)
+                bv = (arith.dup(self.vl.lanes(esize),
+                                FLOAT_BY_SUFFIX[dst.suffix].dtype, float(b.value))
+                      if isinstance(b, Imm) else self._zf(b))
+                old = self._zf(ZOp(dst.idx, dst.suffix))
+                self._wzf(dst, fn(av, bv, pred=active, old=old))
+        return handler
+
+    def _i_funary(self, fn):
+        def handler(insn: Instruction) -> None:
+            if len(insn.operands) == 2:
+                dst, a = insn.operands
+                self._wzf(dst, fn(self._zf(a)))
+            else:
+                dst, pg, a = insn.operands
+                esize = self._esize(dst)
+                active = self._pred(pg, esize)
+                old = self._zf(ZOp(dst.idx, dst.suffix))
+                self._wzf(dst, fn(self._zf(a), pred=active, old=old))
+        return handler
+
+    def _i_fma(self, fn):
+        def handler(insn: Instruction) -> None:
+            dst, pg, a, b = insn.operands
+            esize = self._esize(dst)
+            active = self._pred(pg, esize)
+            acc = self._zf(ZOp(dst.idx, dst.suffix))
+            self._wzf(dst, fn(acc, self._zf(a), self._zf(b), pred=active))
+        return handler
+
+    def _vec_int_binop(self, insn: Instruction, fn) -> None:
+        ops = insn.operands
+        if len(ops) == 3 and not isinstance(ops[1], POp):
+            dst, a, b = ops
+            bv = (int(b.value) if isinstance(b, Imm) else self._zi(b))
+            self._wzi(dst, fn(self._zi(a), bv))
+        else:
+            dst, pg, a, b = ops
+            esize = self._esize(dst)
+            active = self._pred(pg, esize)
+            bv = (int(b.value) if isinstance(b, Imm) else self._zi(b))
+            old = self._zi(ZOp(dst.idx, dst.suffix))
+            self._wzi(dst, np.where(active, fn(self._zi(a), bv), old))
+
+    def _i_vcompare(self, fn, is_fp: bool, unsigned: bool = False):
+        """Vector compare: ``cmp<cc> pd.T, pg/z, zn.T, zm.T|#imm``."""
+
+        def handler(insn: Instruction) -> None:
+            dst, pg, a, b = insn.operands
+            esize = self._esize(dst)
+            governing = self._pred(pg, esize)
+            if is_fp:
+                av = self._zf(a)
+                bv = (np.full_like(av, float(b.value))
+                      if isinstance(b, Imm) else self._zf(b))
+            elif unsigned:
+                av = self._zu(a)
+                bv = (np.full_like(av, int(b.value))
+                      if isinstance(b, Imm) else self._zu(b))
+            else:
+                av = self._zi(a)
+                bv = (np.full_like(av, int(b.value))
+                      if isinstance(b, Imm) else self._zi(b))
+            active = governing & np.asarray(fn(av, bv), dtype=bool)
+            active = self._maybe_fault_pred(insn.mnemonic, active)
+            self.p.write_elements(dst.idx, esize, active)
+            self.flags.set_from_predicate(active)
+
+        return handler
+
+    # ==================================================================
+    # Complex arithmetic
+    # ==================================================================
+    def _i_fcmla(self, insn: Instruction) -> None:
+        dst, pg, a, b, rot = insn.operands
+        esize = self._esize(dst)
+        active = self._pred(pg, esize)
+        acc = self._zf(ZOp(dst.idx, dst.suffix))
+        self._wzf(dst, cplx.fcmla(acc, self._zf(a), self._zf(b),
+                                  int(rot.value), pred=active))
+
+    def _i_fcadd(self, insn: Instruction) -> None:
+        dst, pg, a, b, rot = insn.operands
+        esize = self._esize(dst)
+        active = self._pred(pg, esize)
+        self._wzf(dst, cplx.fcadd(self._zf(a), self._zf(b),
+                                  int(rot.value), pred=active))
+
+    # ==================================================================
+    # Conversions
+    # ==================================================================
+    def _i_fcvt(self, insn: Instruction) -> None:
+        dst, pg, src = insn.operands
+        dst_et = FLOAT_BY_SUFFIX[dst.suffix]
+        src_et = FLOAT_BY_SUFFIX[src.suffix]
+        src_v = self.z.read(src.idx, src_et)
+        if dst_et.size < src_et.size:
+            packed = convert.fcvt_narrow_pack(src_v, dst_et.dtype)
+            self.z.write(dst.idx, dst_et, packed)
+        elif dst_et.size > src_et.size:
+            widened = convert.fcvt_widen_unpack(src_v, dst_et.dtype)
+            self.z.write(dst.idx, dst_et, widened)
+        else:
+            self.z.write(dst.idx, dst_et, src_v)
+
+    def _i_scvtf(self, insn: Instruction) -> None:
+        dst, pg, src = insn.operands
+        active = self._pred(pg, self._esize(dst))
+        old = self._zf(ZOp(dst.idx, dst.suffix))
+        self._wzf(dst, convert.scvtf(self._zi(src),
+                                     FLOAT_BY_SUFFIX[dst.suffix].dtype,
+                                     pred=active, old=old))
+
+    def _i_fcvtzs(self, insn: Instruction) -> None:
+        dst, pg, src = insn.operands
+        active = self._pred(pg, self._esize(dst))
+        old = self._zi(ZOp(dst.idx, dst.suffix))
+        self._wzi(dst, convert.fcvtzs(self._zf(src),
+                                      INT_BY_SUFFIX[dst.suffix].dtype,
+                                      pred=active, old=old))
+
+    # ==================================================================
+    # Loads and stores
+    # ==================================================================
+    _MEM_ESIZE = {"b": 1, "h": 2, "w": 4, "d": 8}
+
+    def _ldst_parts(self, insn: Instruction):
+        reglist, pg, mem = insn.operands
+        # "stnt1d" (non-temporal/streaming store) parses like "st1d";
+        # the memory-ordering hint has no functional effect here.
+        mnem = insn.mnemonic.replace("nt", "", 1)
+        n = int(mnem[2])
+        esize = self._MEM_ESIZE[mnem[3]]
+        if len(reglist.regs) != n:
+            raise SimulationError(
+                f"{insn.mnemonic} needs {n} registers: {insn.text!r}"
+            )
+        return reglist.regs, pg, mem, n, esize
+
+    def _i_ldn(self, insn: Instruction) -> None:
+        regs, pg, mem, n, esize = self._ldst_parts(insn)
+        active = self._pred(pg, esize)
+        addr = self._address(mem, esize)
+        etype = UINT_BY_SUFFIX[regs[0].suffix or "d"]
+        if etype.size != esize:
+            # e.g. ld1w into .d lanes would be an extending load; the
+            # paper's kernels never need those.
+            raise SimulationError(f"extending loads unsupported: {insn.text!r}")
+        if mem.zindex is not None:
+            if n != 1:
+                raise SimulationError(
+                    f"gather addressing needs a single register: {insn.text!r}"
+                )
+            base = self.x.sp if mem.base.is_sp else self.x.read(mem.base.idx)
+            offsets = self.z.read(mem.zindex.idx, INT_BY_SUFFIX[
+                mem.zindex.suffix or regs[0].suffix or "d"])
+            values = loadstore.ld1_gather(
+                self.mem, base, offsets, active, etype.dtype,
+                scale=1 << mem.shift,
+            )
+            self.z.write(regs[0].idx, etype, values)
+            return
+        if n == 1:
+            values = loadstore.ld1(self.mem, addr, active, etype.dtype)
+            self.z.write(regs[0].idx, etype, values)
+        else:
+            vecs = loadstore.ldn(self.mem, addr, active, etype.dtype, n)
+            for reg, v in zip(regs, vecs):
+                self.z.write(reg.idx, etype, v)
+
+    def _i_stn(self, insn: Instruction) -> None:
+        regs, pg, mem, n, esize = self._ldst_parts(insn)
+        active = self._pred(pg, esize)
+        addr = self._address(mem, esize)
+        etype = UINT_BY_SUFFIX[regs[0].suffix or "d"]
+        if etype.size != esize:
+            raise SimulationError(f"truncating stores unsupported: {insn.text!r}")
+        if mem.zindex is not None:
+            if n != 1:
+                raise SimulationError(
+                    f"scatter addressing needs a single register: {insn.text!r}"
+                )
+            base = self.x.sp if mem.base.is_sp else self.x.read(mem.base.idx)
+            offsets = self.z.read(mem.zindex.idx, INT_BY_SUFFIX[
+                mem.zindex.suffix or regs[0].suffix or "d"])
+            loadstore.st1_scatter(
+                self.mem, base, offsets, active,
+                self.z.read(regs[0].idx, etype), scale=1 << mem.shift,
+            )
+            return
+        if n == 1:
+            loadstore.st1(self.mem, addr, active, self.z.read(regs[0].idx, etype))
+        else:
+            vecs = [self.z.read(r.idx, etype) for r in regs]
+            loadstore.stn(self.mem, addr, active, vecs)
+
+    # ==================================================================
+    # Permutes
+    # ==================================================================
+    def _i_perm2(self, fn):
+        def handler(insn: Instruction) -> None:
+            dst, a, b = insn.operands
+            self._wzu(dst, fn(self._zu(a), self._zu(b)))
+        return handler
+
+    def _i_rev(self, insn: Instruction) -> None:
+        dst, a = insn.operands
+        self._wzu(dst, permute.rev(self._zu(a)))
+
+    def _i_ext(self, insn: Instruction) -> None:
+        dst, a, b, imm = insn.operands
+        esize = self._esize(dst) if dst.suffix else 1
+        self._wzu(dst, permute.ext(self._zu(ZOp(a.idx, dst.suffix or "b")),
+                                   self._zu(ZOp(b.idx, dst.suffix or "b")),
+                                   int(imm.value), esize))
+
+    def _i_tbl(self, insn: Instruction) -> None:
+        dst, a, idx = insn.operands
+        self._wzu(dst, permute.tbl(self._zu(a), self._zu(idx)))
+
+    def _i_splice(self, insn: Instruction) -> None:
+        dst, pg, a, b = insn.operands
+        active = self._pred(pg, self._esize(dst))
+        self._wzu(dst, permute.splice(active, self._zu(a), self._zu(b)))
+
+    def _i_compact(self, insn: Instruction) -> None:
+        dst, pg, a = insn.operands
+        active = self._pred(pg, self._esize(dst))
+        self._wzu(dst, permute.compact(active, self._zu(a)))
+
+    def _i_insr(self, insn: Instruction) -> None:
+        dst, src = insn.operands
+        if isinstance(src, XOp):
+            val = self.x.read(src.idx) & ((1 << (self._esize(dst) * 8)) - 1)
+            self._wzu(dst, permute.insr(self._zu(dst), val))
+        else:
+            raise SimulationError(f"bad insr: {insn.text!r}")
+
+    def _lastab(self, insn: Instruction, fn) -> None:
+        dst, pg, a = insn.operands
+        esize = self._esize(a)
+        active = self._pred(pg, esize)
+        val = fn(active, self._zu(a))
+        if isinstance(dst, XOp):
+            self.x.write(dst.idx, int(val))
+        else:  # FP scalar destination: low element of the z register
+            self._write_fp_scalar(dst, float(self.z.read(a.idx, FLOAT_BY_SUFFIX[a.suffix])[0]))
+
+    def _i_lasta(self, insn: Instruction) -> None:
+        self._lastab(insn, permute.lasta)
+
+    def _i_lastb(self, insn: Instruction) -> None:
+        self._lastab(insn, permute.lastb)
+
+    # ==================================================================
+    # Reductions (scalar FP destination = low element of z, rest zeroed)
+    # ==================================================================
+    def _write_fp_scalar(self, dst: VOp, value: float) -> None:
+        et = FLOAT_BY_SUFFIX[dst.suffix]
+        lanes = self.vl.lanes(et.size)
+        vec = np.zeros(lanes, dtype=et.dtype)
+        vec[0] = value
+        self.z.write(dst.idx, et, vec)
+
+    def read_fp_scalar(self, idx: int, suffix: str = "d") -> float:
+        """Read a ``d<idx>``/``s<idx>`` scalar (low element of z<idx>)."""
+        return float(self.z.read(idx, FLOAT_BY_SUFFIX[suffix])[0])
+
+    def _i_faddv(self, insn: Instruction) -> None:
+        dst, pg, src = insn.operands
+        esize = self._esize(src)
+        active = self._pred(pg, esize)
+        val = reduce.faddv(active, self._zf(src))
+        self._write_fp_scalar(VOp(dst.idx, dst.suffix), float(val))
+
+    def _i_fadda(self, insn: Instruction) -> None:
+        dst, pg, init, src = insn.operands
+        esize = self._esize(src)
+        active = self._pred(pg, esize)
+        init_v = self.read_fp_scalar(init.idx, init.suffix)
+        val = reduce.fadda(active, init_v, self._zf(src))
+        self._write_fp_scalar(VOp(dst.idx, dst.suffix), float(val))
+
+    def _i_freduce(self, fn):
+        def handler(insn: Instruction) -> None:
+            dst, pg, src = insn.operands
+            esize = self._esize(src)
+            active = self._pred(pg, esize)
+            val = fn(active, self._zf(src))
+            self._write_fp_scalar(VOp(dst.idx, dst.suffix), float(val))
+        return handler
+
+    def _i_saddv(self, insn: Instruction) -> None:
+        dst, pg, src = insn.operands
+        esize = self._esize(src)
+        active = self._pred(pg, esize)
+        val = reduce.saddv(active, self._zi(src))
+        if isinstance(dst, VOp):
+            lanes = self.vl.lanes(8)
+            vec = np.zeros(lanes, dtype=np.uint64)
+            vec[0] = val
+            self.z.write(dst.idx, UINT_BY_SUFFIX["d"], vec)
+        else:
+            self.x.write(dst.idx, val)

@@ -1,0 +1,112 @@
+"""Flat little-endian memory for the SVE simulator.
+
+A single byte-addressable array with typed accessors, plus a trivial
+bump allocator so test programs and the ArmIE front-end can place
+arrays without a linker.  Loads of inactive (predicated-off) lanes
+never touch memory, so programs may legally read "past the end" of an
+array as long as the governing predicate masks the excess lanes — the
+property that lets SVE's VLA loops omit scalar tail processing
+(Section IV-A of the paper).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class MemoryError_(Exception):
+    """Raised on out-of-bounds *active* accesses."""
+
+
+class Memory:
+    """Byte-addressable little-endian memory."""
+
+    def __init__(self, size: int = 1 << 20) -> None:
+        self.size = size
+        self._bytes = np.zeros(size, dtype=np.uint8)
+        self._brk = 64  # never hand out address 0 (null)
+
+    # ------------------------------------------------------------------
+    # Allocation
+    # ------------------------------------------------------------------
+    def alloc(self, nbytes: int, align: int = 64) -> int:
+        """Bump-allocate ``nbytes`` with the requested alignment."""
+        addr = (self._brk + align - 1) // align * align
+        if addr + nbytes > self.size:
+            raise MemoryError_(
+                f"out of simulated memory: need {nbytes} at {addr}, "
+                f"size {self.size}"
+            )
+        self._brk = addr + nbytes
+        return addr
+
+    def alloc_array(self, values: np.ndarray, align: int = 64) -> int:
+        """Allocate and initialise from a numpy array; returns the address."""
+        values = np.ascontiguousarray(values)
+        addr = self.alloc(values.nbytes, align)
+        self.write_array(addr, values)
+        return addr
+
+    # ------------------------------------------------------------------
+    # Typed access
+    # ------------------------------------------------------------------
+    def read_array(self, addr: int, dtype: np.dtype, count: int) -> np.ndarray:
+        dtype = np.dtype(dtype)
+        nbytes = dtype.itemsize * count
+        self._check(addr, nbytes)
+        return self._bytes[addr : addr + nbytes].view(dtype).copy()
+
+    def write_array(self, addr: int, values: np.ndarray) -> None:
+        values = np.ascontiguousarray(values)
+        self._check(addr, values.nbytes)
+        self._bytes[addr : addr + values.nbytes] = values.view(np.uint8).ravel()
+
+    def read_bytes(self, addr: int, nbytes: int) -> np.ndarray:
+        self._check(addr, nbytes)
+        return self._bytes[addr : addr + nbytes].copy()
+
+    def write_bytes(self, addr: int, raw: np.ndarray) -> None:
+        raw = np.asarray(raw, dtype=np.uint8)
+        self._check(addr, raw.size)
+        self._bytes[addr : addr + raw.size] = raw
+
+    # ------------------------------------------------------------------
+    # Predicated element access (the load/store unit)
+    # ------------------------------------------------------------------
+    def gather_elements(
+        self, addrs: np.ndarray, active: np.ndarray, dtype: np.dtype
+    ) -> np.ndarray:
+        """Read one element per lane from per-lane byte addresses.
+
+        Inactive lanes return 0 without touching memory (predicated
+        loads zero inactive destination elements: ``pg/z``).
+        """
+        dtype = np.dtype(dtype)
+        addrs = np.asarray(addrs, dtype=np.int64)
+        active = np.asarray(active, dtype=bool)
+        out = np.zeros(addrs.shape, dtype=dtype)
+        for i in np.nonzero(active)[0]:
+            a = int(addrs[i])
+            self._check(a, dtype.itemsize)
+            out[i] = self._bytes[a : a + dtype.itemsize].view(dtype)[0]
+        return out
+
+    def scatter_elements(
+        self, addrs: np.ndarray, active: np.ndarray, values: np.ndarray
+    ) -> None:
+        """Write one element per active lane to per-lane byte addresses."""
+        values = np.ascontiguousarray(values)
+        addrs = np.asarray(addrs, dtype=np.int64)
+        active = np.asarray(active, dtype=bool)
+        itemsize = values.dtype.itemsize
+        for i in np.nonzero(active)[0]:
+            a = int(addrs[i])
+            self._check(a, itemsize)
+            self._bytes[a : a + itemsize] = values[i : i + 1].view(np.uint8)
+
+    def _check(self, addr: int, nbytes: int) -> None:
+        if addr < 0 or addr + nbytes > self.size:
+            raise MemoryError_(
+                f"access [{addr}, {addr + nbytes}) outside memory of size "
+                f"{self.size}"
+            )

@@ -1,0 +1,24 @@
+"""Pure-function semantics for the SVE instructions.
+
+Every function here takes/returns plain numpy arrays plus an
+element-granular boolean predicate, with no machine state.  The same
+functions back two consumers:
+
+* the :class:`repro.sve.machine.Machine` executor (textual assembly),
+* the :mod:`repro.acle` intrinsics layer (the VLA programming surface).
+
+Sharing the semantics guarantees that the "compiler output" path and
+the "intrinsics" path the paper compares cannot diverge functionally.
+
+Predication conventions follow the architecture:
+
+* ``merging`` (``pg/m``): inactive lanes keep the destination's old
+  value, passed as ``old``.
+* ``zeroing`` (``pg/z``): inactive lanes become zero.
+* ``dont_care`` (ACLE ``_x`` forms): we implement as merging with the
+  first operand, which is one of the architecturally-allowed outcomes.
+"""
+
+from repro.sve.ops import arith, cplx, convert, loadstore, permute, reduce
+
+__all__ = ["arith", "cplx", "convert", "loadstore", "permute", "reduce"]

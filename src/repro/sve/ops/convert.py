@@ -1,0 +1,87 @@
+"""Floating-point precision conversion semantics.
+
+"Conversion of floating-point precision" is one of the machine-specific
+operations Grid requires (Section II-C), and 16-bit floats are used by
+Grid "only for data compression upon data exchange over the
+communications network" (Section V-B).  SVE's ``FCVT`` converts between
+f16/f32/f64 within a register: converting to a narrower type packs the
+results into the lower-numbered even sub-elements; converting to a
+wider type reads them from there.
+
+We model the packing convention explicitly because the Grid comms
+compression path depends on it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+_FLOAT_SIZES = {2: np.float16, 4: np.float32, 8: np.float64}
+
+
+def fcvt(values: np.ndarray, to_dtype, pred=None, old=None) -> np.ndarray:
+    """Element-wise precision conversion (the arithmetic core of FCVT).
+
+    IEEE 754 round-to-nearest-even, overflow to infinity — numpy's
+    ``astype`` semantics match the hardware for these types.
+    """
+    to_dtype = np.dtype(to_dtype)
+    with np.errstate(over="ignore"):
+        r = np.asarray(values).astype(to_dtype)
+    if pred is None:
+        return r
+    pred = np.asarray(pred, dtype=bool)
+    if old is None:
+        old = np.zeros_like(r)
+    return np.where(pred, r, old)
+
+
+def fcvt_narrow_pack(wide: np.ndarray, to_dtype) -> np.ndarray:
+    """Convert to a narrower type and pack into even sub-element slots.
+
+    A register of N wide elements becomes a register of 2N (or 4N)
+    narrow elements in which only the slots at stride
+    ``wide_size/narrow_size`` are meaningful; remaining slots are zero.
+    This mirrors how an in-register ``FCVT zd.h, pg/m, zn.d`` lays out
+    its results.
+    """
+    wide = np.asarray(wide)
+    to_dtype = np.dtype(to_dtype)
+    ratio = wide.dtype.itemsize // to_dtype.itemsize
+    if ratio < 2:
+        raise ValueError("fcvt_narrow_pack needs a strictly narrower target")
+    out = np.zeros(wide.size * ratio, dtype=to_dtype)
+    with np.errstate(over="ignore"):
+        out[::ratio] = wide.astype(to_dtype)
+    return out
+
+
+def fcvt_widen_unpack(narrow: np.ndarray, to_dtype) -> np.ndarray:
+    """Convert strided narrow slots up to a wider type (inverse layout)."""
+    narrow = np.asarray(narrow)
+    to_dtype = np.dtype(to_dtype)
+    ratio = to_dtype.itemsize // narrow.dtype.itemsize
+    if ratio < 2:
+        raise ValueError("fcvt_widen_unpack needs a strictly wider target")
+    return narrow[::ratio].astype(to_dtype)
+
+
+def scvtf(values: np.ndarray, to_dtype, pred=None, old=None) -> np.ndarray:
+    """``SCVTF``: signed integer -> floating point."""
+    return fcvt(np.asarray(values), to_dtype, pred, old)
+
+
+def fcvtzs(values: np.ndarray, to_dtype, pred=None, old=None) -> np.ndarray:
+    """``FCVTZS``: floating point -> signed integer, round toward zero."""
+    to_dtype = np.dtype(to_dtype)
+    v = np.trunc(np.asarray(values, dtype=np.float64))
+    info = np.iinfo(to_dtype)
+    v = np.clip(v, info.min, info.max)
+    r = v.astype(to_dtype)
+    if pred is None:
+        return r
+    pred = np.asarray(pred, dtype=bool)
+    if old is None:
+        old = np.zeros_like(r)
+    return np.where(pred, r, old)

@@ -1,0 +1,192 @@
+"""Vector permutation semantics.
+
+"Permutations of vector elements" are one of the machine-specific
+operations Grid requires from every architecture backend
+(Section II-C): circular shifts across virtual-node boundaries are
+implemented as lane permutations.  SVE provides a rich permute set;
+Grid's ``Permute0``..``Permute3`` (exchange halves, quarters, ...) map
+onto ``EXT``/``TBL`` patterns.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def zip1(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """``ZIP1``: interleave the low halves of ``a`` and ``b``."""
+    a, b = np.asarray(a), np.asarray(b)
+    h = a.size // 2
+    out = np.empty_like(a)
+    out[0::2] = a[:h]
+    out[1::2] = b[:h]
+    return out
+
+
+def zip2(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """``ZIP2``: interleave the high halves of ``a`` and ``b``."""
+    a, b = np.asarray(a), np.asarray(b)
+    h = a.size // 2
+    out = np.empty_like(a)
+    out[0::2] = a[h:]
+    out[1::2] = b[h:]
+    return out
+
+
+def uzp1(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """``UZP1``: even elements of the concatenation ``a:b``."""
+    a, b = np.asarray(a), np.asarray(b)
+    return np.concatenate([a[0::2], b[0::2]])
+
+
+def uzp2(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """``UZP2``: odd elements of the concatenation ``a:b``."""
+    a, b = np.asarray(a), np.asarray(b)
+    return np.concatenate([a[1::2], b[1::2]])
+
+
+def trn1(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """``TRN1``: even lanes from ``a``'s even, odd lanes from ``b``'s even."""
+    a, b = np.asarray(a), np.asarray(b)
+    out = np.empty_like(a)
+    out[0::2] = a[0::2]
+    out[1::2] = b[0::2]
+    return out
+
+
+def trn2(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """``TRN2``: even lanes from ``a``'s odd, odd lanes from ``b``'s odd."""
+    a, b = np.asarray(a), np.asarray(b)
+    out = np.empty_like(a)
+    out[0::2] = a[1::2]
+    out[1::2] = b[1::2]
+    return out
+
+
+def rev(a: np.ndarray) -> np.ndarray:
+    """``REV``: reverse all elements."""
+    return np.asarray(a)[::-1].copy()
+
+
+def ext(a: np.ndarray, b: np.ndarray, nbytes: int, esize: int) -> np.ndarray:
+    """``EXT``: extract a vector from the byte-concatenation ``a:b``.
+
+    ``nbytes`` is the byte offset of the first extracted byte; the
+    element size converts it to a lane rotation.  ``EXT`` with offset
+    ``VL/2`` swaps vector halves — Grid's ``Permute0``.
+    """
+    a, b = np.asarray(a), np.asarray(b)
+    if nbytes % esize:
+        raise ValueError(
+            f"EXT offset {nbytes} not a multiple of element size {esize}"
+        )
+    shift = nbytes // esize
+    if not 0 <= shift <= a.size:
+        raise ValueError(f"EXT offset out of range: {nbytes} bytes")
+    return np.concatenate([a[shift:], b[:shift]])
+
+
+def tbl(a: np.ndarray, indices: np.ndarray) -> np.ndarray:
+    """``TBL``: table lookup; out-of-range indices produce zero."""
+    a = np.asarray(a)
+    idx = np.asarray(indices).astype(np.int64)
+    out = np.zeros_like(a)
+    ok = (idx >= 0) & (idx < a.size)
+    out[ok] = a[idx[ok]]
+    return out
+
+
+def dup_lane(a: np.ndarray, lane: int) -> np.ndarray:
+    """``DUP (indexed)``: broadcast one lane to all lanes."""
+    a = np.asarray(a)
+    return np.full_like(a, a[lane])
+
+
+def sel(pred: np.ndarray, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """``SEL``: per-lane select, ``pred ? a : b``."""
+    return np.where(np.asarray(pred, dtype=bool), np.asarray(a), np.asarray(b))
+
+
+def splice(pred: np.ndarray, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """``SPLICE``: active segment of ``a`` followed by lanes of ``b``.
+
+    Extracts the segment of ``a`` from the first to the last active
+    lane of ``pred``, places it at the bottom, and fills the remainder
+    from the low lanes of ``b``.
+    """
+    pred = np.asarray(pred, dtype=bool)
+    a, b = np.asarray(a), np.asarray(b)
+    act = np.nonzero(pred)[0]
+    if act.size:
+        seg = a[act[0] : act[-1] + 1]
+    else:
+        seg = a[:0]
+    out = np.concatenate([seg, b[: a.size - seg.size]])
+    return out
+
+
+def compact(pred: np.ndarray, a: np.ndarray) -> np.ndarray:
+    """``COMPACT``: pack active lanes to the bottom, zero-fill the rest."""
+    pred = np.asarray(pred, dtype=bool)
+    a = np.asarray(a)
+    out = np.zeros_like(a)
+    vals = a[pred]
+    out[: vals.size] = vals
+    return out
+
+
+def insr(a: np.ndarray, value) -> np.ndarray:
+    """``INSR``: shift lanes up by one and insert ``value`` at lane 0."""
+    a = np.asarray(a)
+    out = np.empty_like(a)
+    out[0] = value
+    out[1:] = a[:-1]
+    return out
+
+
+def lasta(pred: np.ndarray, a: np.ndarray):
+    """``LASTA``: element *after* the last active lane (wrapping)."""
+    pred = np.asarray(pred, dtype=bool)
+    a = np.asarray(a)
+    act = np.nonzero(pred)[0]
+    idx = (int(act[-1]) + 1) % a.size if act.size else 0
+    return a[idx]
+
+
+def lastb(pred: np.ndarray, a: np.ndarray):
+    """``LASTB``: the last active element (lane VL-1 if none active)."""
+    pred = np.asarray(pred, dtype=bool)
+    a = np.asarray(a)
+    act = np.nonzero(pred)[0]
+    idx = int(act[-1]) if act.size else a.size - 1
+    return a[idx]
+
+
+# ----------------------------------------------------------------------
+# Grid-style permutes.  ``PermuteN`` exchanges blocks of 2^-(N+1) of the
+# register: Permute0 swaps halves, Permute1 swaps quarters within
+# halves, etc.  On SVE these are EXT/TBL patterns; we expose the
+# abstract semantics here and let the backends count the instructions.
+# ----------------------------------------------------------------------
+
+def permute_block(a: np.ndarray, level: int) -> np.ndarray:
+    """Grid ``Permute<level>`` on a lane array.
+
+    Level 0 swaps the two halves of the register, level 1 swaps
+    adjacent quarters, ..., level k swaps adjacent blocks of
+    ``lanes / 2^(k+1)`` lanes.  Applying the same permute twice is the
+    identity (an involution), which the cshift tests rely on.
+    """
+    a = np.asarray(a)
+    block = a.size >> (level + 1)
+    if block < 1:
+        raise ValueError(
+            f"permute level {level} too deep for {a.size} lanes"
+        )
+    v = a.reshape(-1, 2, block)
+    return v[:, ::-1, :].reshape(a.size).copy()
+
+
+def permute_indices(lanes: int, level: int) -> np.ndarray:
+    """The TBL index vector implementing :func:`permute_block`."""
+    return permute_block(np.arange(lanes), level)

@@ -1,0 +1,54 @@
+"""Horizontal reduction semantics.
+
+Reductions appear in the LQCD solvers (inner products and norms of the
+Conjugate Gradient iteration, Section II-A).  SVE provides predicated
+reductions to a scalar; ``FADDA`` is the strictly-ordered variant.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def faddv(pred: np.ndarray, a: np.ndarray):
+    """``FADDV``: sum of active lanes (pairwise tree order)."""
+    pred = np.asarray(pred, dtype=bool)
+    a = np.asarray(a)
+    return a.dtype.type(a[pred].sum())
+
+
+def fadda(pred: np.ndarray, init, a: np.ndarray):
+    """``FADDA``: strictly-ordered sum of active lanes starting at ``init``.
+
+    Unlike :func:`faddv`, the accumulation order is lane 0 upward,
+    which matters for reproducibility studies of solver residuals.
+    """
+    pred = np.asarray(pred, dtype=bool)
+    a = np.asarray(a)
+    acc = a.dtype.type(init)
+    for i in np.nonzero(pred)[0]:
+        acc = a.dtype.type(acc + a[i])
+    return acc
+
+
+def fmaxv(pred: np.ndarray, a: np.ndarray):
+    """``FMAXV``: maximum of active lanes."""
+    pred = np.asarray(pred, dtype=bool)
+    a = np.asarray(a)
+    vals = a[pred]
+    return a.dtype.type(vals.max()) if vals.size else a.dtype.type(-np.inf)
+
+
+def fminv(pred: np.ndarray, a: np.ndarray):
+    """``FMINV``: minimum of active lanes."""
+    pred = np.asarray(pred, dtype=bool)
+    a = np.asarray(a)
+    vals = a[pred]
+    return a.dtype.type(vals.min()) if vals.size else a.dtype.type(np.inf)
+
+
+def saddv(pred: np.ndarray, a: np.ndarray) -> int:
+    """``SADDV``/``UADDV``: integer sum of active lanes (64-bit result)."""
+    pred = np.asarray(pred, dtype=bool)
+    a = np.asarray(a)
+    return int(a[pred].sum(dtype=np.int64)) & ((1 << 64) - 1)

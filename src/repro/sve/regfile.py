@@ -1,0 +1,222 @@
+"""Architectural register files for the SVE simulator.
+
+State modelled:
+
+* ``z0``..``z31`` — scalable vector registers, each :class:`~repro.sve.vl.VL`
+  bits wide, stored as raw little-endian bytes so that re-interpreting a
+  register at a different element size (``z0.d`` vs ``z0.s``) behaves
+  exactly like hardware.
+* ``p0``..``p15`` — predicate registers with one bit per *byte* of the
+  vector registers.  For an element size of *n* bytes, the element is
+  governed by the bit of its lowest-addressed byte (the remaining
+  ``n - 1`` bits are zero in canonical predicates, as produced by
+  ``PTRUE``/``WHILELO``).
+* ``x0``..``x30`` plus ``xzr``/``sp`` — 64-bit general-purpose registers.
+* ``v0``..``v31`` scalar FP views — architecturally, ``d0`` is the low
+  64 bits of ``z0``; reductions such as ``FADDV`` write the low element
+  and zero the rest, which is how we model them.
+* The NZCV condition flags, set by scalar compares and by the
+  flag-setting predicate instructions (``WHILELO``, ``BRKNS``,
+  ``PTEST`` ...).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sve.types import EType
+from repro.sve.vl import VL
+
+_MASK64 = (1 << 64) - 1
+
+
+class ZRegisterFile:
+    """The 32 scalable vector registers, stored as raw bytes."""
+
+    NREGS = 32
+
+    def __init__(self, vl: VL) -> None:
+        self.vl = vl
+        self._data = np.zeros((self.NREGS, vl.bytes), dtype=np.uint8)
+
+    def read(self, idx: int, etype: EType) -> np.ndarray:
+        """Return a *copy* of register ``idx`` viewed as ``etype`` elements."""
+        self._check(idx)
+        return self._data[idx].view(etype.dtype).copy()
+
+    def write(self, idx: int, etype: EType, values: np.ndarray) -> None:
+        """Overwrite register ``idx`` with ``values`` of type ``etype``."""
+        self._check(idx)
+        lanes = self.vl.lanes(etype.size)
+        arr = np.asarray(values, dtype=etype.dtype)
+        if arr.shape != (lanes,):
+            raise ValueError(
+                f"z{idx}.{etype.suffix} expects {lanes} lanes, got {arr.shape}"
+            )
+        self._data[idx] = arr.view(np.uint8)
+
+    def read_bytes(self, idx: int) -> np.ndarray:
+        """Raw little-endian bytes of register ``idx`` (a copy)."""
+        self._check(idx)
+        return self._data[idx].copy()
+
+    def write_bytes(self, idx: int, raw: np.ndarray) -> None:
+        self._check(idx)
+        raw = np.asarray(raw, dtype=np.uint8)
+        if raw.shape != (self.vl.bytes,):
+            raise ValueError(f"z{idx} expects {self.vl.bytes} bytes")
+        self._data[idx] = raw
+
+    def zero(self, idx: int) -> None:
+        self._check(idx)
+        self._data[idx] = 0
+
+    def _check(self, idx: int) -> None:
+        if not 0 <= idx < self.NREGS:
+            raise IndexError(f"no such vector register z{idx}")
+
+
+class PRegisterFile:
+    """The 16 predicate registers: one boolean per vector-register byte."""
+
+    NREGS = 16
+
+    def __init__(self, vl: VL) -> None:
+        self.vl = vl
+        self._bits = np.zeros((self.NREGS, vl.bytes), dtype=bool)
+
+    def read_bits(self, idx: int) -> np.ndarray:
+        """Per-byte predicate bits (a copy)."""
+        self._check(idx)
+        return self._bits[idx].copy()
+
+    def write_bits(self, idx: int, bits: np.ndarray) -> None:
+        self._check(idx)
+        bits = np.asarray(bits, dtype=bool)
+        if bits.shape != (self.vl.bytes,):
+            raise ValueError(f"p{idx} expects {self.vl.bytes} predicate bits")
+        self._bits[idx] = bits
+
+    def read_elements(self, idx: int, esize: int) -> np.ndarray:
+        """Element-granular view: bit of each element's lowest byte."""
+        self._check(idx)
+        return self._bits[idx][::esize].copy()
+
+    def write_elements(self, idx: int, esize: int, active: np.ndarray) -> None:
+        """Write a canonical element-granular predicate.
+
+        Sets the lowest-byte bit of each active element and clears all
+        other bits — the encoding ``PTRUE``/``WHILELO`` produce.
+        """
+        self._check(idx)
+        active = np.asarray(active, dtype=bool)
+        lanes = self.vl.lanes(esize)
+        if active.shape != (lanes,):
+            raise ValueError(f"p{idx}.{esize}B expects {lanes} elements")
+        bits = np.zeros(self.vl.bytes, dtype=bool)
+        bits[::esize] = active
+        self._bits[idx] = bits
+
+    def _check(self, idx: int) -> None:
+        if not 0 <= idx < self.NREGS:
+            raise IndexError(f"no such predicate register p{idx}")
+
+
+class XRegisterFile:
+    """The 64-bit general-purpose registers.
+
+    Index 31 is context-dependent in AArch64 (``xzr`` or ``sp``); the
+    simulator keeps a separate ``sp`` and treats index 31 as the
+    always-zero register, which is what the paper's listings use.
+    """
+
+    NREGS = 31
+    XZR = 31
+
+    def __init__(self) -> None:
+        self._regs = [0] * self.NREGS
+        self.sp = 0
+
+    def read(self, idx: int) -> int:
+        if idx == self.XZR:
+            return 0
+        self._check(idx)
+        return self._regs[idx]
+
+    def read_signed(self, idx: int) -> int:
+        v = self.read(idx)
+        return v - (1 << 64) if v >= (1 << 63) else v
+
+    def write(self, idx: int, value: int) -> None:
+        if idx == self.XZR:
+            return  # writes to xzr are discarded
+        self._check(idx)
+        self._regs[idx] = int(value) & _MASK64
+
+    def _check(self, idx: int) -> None:
+        if not 0 <= idx < self.NREGS:
+            raise IndexError(f"no such general-purpose register x{idx}")
+
+
+class Flags:
+    """The NZCV condition flags.
+
+    Scalar ``CMP`` sets them the AArch64 way; the flag-setting SVE
+    predicate instructions set them from the resulting predicate:
+    ``N`` = first element active, ``Z`` = no element active,
+    ``C`` = *not* (last element active), ``V`` = 0.
+    """
+
+    def __init__(self) -> None:
+        self.n = False
+        self.z = True
+        self.c = True
+        self.v = False
+
+    def set_from_predicate(self, active: np.ndarray) -> None:
+        active = np.asarray(active, dtype=bool)
+        any_active = bool(active.any())
+        self.n = bool(active[0]) if active.size else False
+        self.z = not any_active
+        self.c = not (bool(active[-1]) if active.size else False)
+        self.v = False
+
+    def set_from_sub(self, a: int, b: int) -> None:
+        """Flags for ``CMP a, b`` (i.e. ``SUBS xzr, a, b``), 64-bit."""
+        a &= _MASK64
+        b &= _MASK64
+        result = (a - b) & _MASK64
+        sa = a - (1 << 64) if a >= (1 << 63) else a
+        sb = b - (1 << 64) if b >= (1 << 63) else b
+        sr = sa - sb
+        self.n = bool(result >> 63)
+        self.z = result == 0
+        self.c = a >= b  # no borrow
+        self.v = not (-(1 << 63) <= sr < (1 << 63))
+
+    def condition(self, cond: str) -> bool:
+        """Evaluate an AArch64 condition code mnemonic."""
+        cond = cond.lower()
+        table = {
+            "eq": self.z,
+            "ne": not self.z,
+            "cs": self.c,
+            "hs": self.c,
+            "cc": not self.c,
+            "lo": not self.c,
+            "mi": self.n,
+            "pl": not self.n,
+            "vs": self.v,
+            "vc": not self.v,
+            "hi": self.c and not self.z,
+            "ls": not (self.c and not self.z),
+            "ge": self.n == self.v,
+            "lt": self.n != self.v,
+            "gt": (not self.z) and self.n == self.v,
+            "le": self.z or self.n != self.v,
+            "al": True,
+        }
+        try:
+            return table[cond]
+        except KeyError:
+            raise ValueError(f"unknown condition code {cond!r}") from None

@@ -1,0 +1,93 @@
+"""SVE element types.
+
+SVE instructions interpret vector registers as arrays of 8-, 16-, 32-
+or 64-bit elements.  The assembly syntax carries the interpretation as
+a suffix on register names (``z0.d`` = 64-bit elements, ``z0.s`` =
+32-bit, ``z0.h`` = 16-bit, ``z0.b`` = 8-bit).  The paper's kernels use
+``.d`` (double precision) throughout; Grid additionally needs ``.s``
+(single precision) and ``.h`` (half precision, used only for
+communication compression, Section V-B).
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+
+class EType(enum.Enum):
+    """An SVE element interpretation: (suffix, size in bytes, numpy dtype)."""
+
+    # Floating point.
+    F64 = ("d", 8, np.float64)
+    F32 = ("s", 4, np.float32)
+    F16 = ("h", 2, np.float16)
+    # Integer.  SVE distinguishes signedness per instruction, not per
+    # register; we default the suffix interpretations used by the
+    # integer instructions we implement.
+    I64 = ("d", 8, np.int64)
+    I32 = ("s", 4, np.int32)
+    I16 = ("h", 2, np.int16)
+    I8 = ("b", 1, np.int8)
+    U64 = ("d", 8, np.uint64)
+    U32 = ("s", 4, np.uint32)
+    U16 = ("h", 2, np.uint16)
+    U8 = ("b", 1, np.uint8)
+
+    def __init__(self, suffix: str, size: int, dtype: type) -> None:
+        self.suffix = suffix
+        self.size = size
+        self.dtype = np.dtype(dtype)
+
+    @property
+    def is_float(self) -> bool:
+        return self.dtype.kind == "f"
+
+    @property
+    def is_signed(self) -> bool:
+        return self.dtype.kind in ("f", "i")
+
+    @property
+    def bits(self) -> int:
+        return self.size * 8
+
+
+#: Suffix -> float interpretation (what ``fmul z0.d, ...`` means).
+FLOAT_BY_SUFFIX: dict[str, EType] = {
+    "d": EType.F64,
+    "s": EType.F32,
+    "h": EType.F16,
+}
+
+#: Suffix -> default signed-integer interpretation.
+INT_BY_SUFFIX: dict[str, EType] = {
+    "d": EType.I64,
+    "s": EType.I32,
+    "h": EType.I16,
+    "b": EType.I8,
+}
+
+#: Suffix -> unsigned-integer interpretation (raw-bit moves, permutes).
+UINT_BY_SUFFIX: dict[str, EType] = {
+    "d": EType.U64,
+    "s": EType.U32,
+    "h": EType.U16,
+    "b": EType.U8,
+}
+
+#: Suffix -> element size in bytes.
+SIZE_BY_SUFFIX: dict[str, int] = {"d": 8, "s": 4, "h": 2, "b": 1}
+
+#: Element size in bytes -> suffix.
+SUFFIX_BY_SIZE: dict[int, str] = {8: "d", 4: "s", 2: "h", 1: "b"}
+
+
+def float_etype(esize_bytes: int) -> EType:
+    """The floating-point :class:`EType` for an element size in bytes."""
+    return FLOAT_BY_SUFFIX[SUFFIX_BY_SIZE[esize_bytes]]
+
+
+def uint_etype(esize_bytes: int) -> EType:
+    """The raw-bits (unsigned) :class:`EType` for an element size."""
+    return UINT_BY_SUFFIX[SUFFIX_BY_SIZE[esize_bytes]]

@@ -1,0 +1,89 @@
+"""The SVE vector-length model.
+
+SVE does not fix the vector-register size; it constrains it to a
+multiple of 128 bits between 128 and 2048 bits (Section III-B of the
+paper).  The silicon provider chooses the implemented length, and the
+vector-length-agnostic (VLA) programming model lets a single binary
+adapt at run time.
+
+In this reproduction the "silicon provider" is the user: a :class:`VL`
+value is threaded through the simulator, the ACLE layer, and the Grid
+SVE backends, exactly as ``armie -vl <n>`` supplied it to the emulator
+in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: The legal SVE vector lengths in bits: multiples of 128 up to 2048.
+LEGAL_VLS: tuple[int, ...] = tuple(range(128, 2049, 128))
+
+#: The vector lengths the paper's Grid port enables
+#: (Section V-B: "SVE is enabled in Grid for 128-bit, 256-bit, and
+#: 512-bit vector implementations").
+GRID_ENABLED_VLS: tuple[int, ...] = (128, 256, 512)
+
+#: The power-of-two lengths most relevant in practice (and the ones the
+#: verification suite sweeps, like the paper swept ArmIE's ``-vl``).
+POW2_VLS: tuple[int, ...] = (128, 256, 512, 1024, 2048)
+
+
+@dataclass(frozen=True)
+class VL:
+    """An SVE vector length.
+
+    Parameters
+    ----------
+    bits:
+        The register width in bits.  Must be a multiple of 128 in
+        ``[128, 2048]``.
+
+    Examples
+    --------
+    >>> vl = VL(512)
+    >>> vl.bytes, vl.lanes(8), vl.lanes(4)
+    (64, 8, 16)
+    """
+
+    bits: int
+
+    def __post_init__(self) -> None:
+        if self.bits not in LEGAL_VLS:
+            raise ValueError(
+                f"illegal SVE vector length {self.bits}: must be a multiple "
+                f"of 128 bits in [128, 2048]"
+            )
+
+    @property
+    def bytes(self) -> int:
+        """Register width in bytes (the value of ``SVE_VECTOR_LENGTH``)."""
+        return self.bits // 8
+
+    def lanes(self, esize_bytes: int) -> int:
+        """Number of elements of ``esize_bytes`` bytes per register.
+
+        This is what the ``CNTB``/``CNTH``/``CNTW``/``CNTD``
+        instructions (and the ``svcntb``..``svcntd`` intrinsics) return.
+        """
+        if esize_bytes not in (1, 2, 4, 8):
+            raise ValueError(f"illegal element size {esize_bytes}")
+        return self.bytes // esize_bytes
+
+    def complex_lanes(self, esize_bytes: int) -> int:
+        """Number of *complex* elements (re/im interleaved pairs).
+
+        For the FCMLA data layout the real components occupy even
+        elements and the imaginary components odd elements
+        (Section III-D), so a register holds half as many complex
+        numbers as real elements.
+        """
+        return self.lanes(esize_bytes) // 2
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"VL{self.bits}"
+
+
+def pick_vl(bits: int) -> VL:
+    """Validate-and-construct helper mirroring ``armie -vl``."""
+    return VL(bits)

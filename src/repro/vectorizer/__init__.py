@@ -1,0 +1,40 @@
+"""A miniature loop auto-vectorizer targeting SVE.
+
+The paper's Section IV contrasts what the armclang 18.3 / LLVM 5
+compiler *can* auto-vectorize with what requires intrinsics:
+
+* real element-wise loops vectorize into the predicated VLA loop of
+  Section IV-A;
+* ``std::complex`` loops vectorize into **structure loads + real
+  arithmetic** (Section IV-B) because "the compiler does not exploit
+  the full SVE ISA ... The reason is the lack of support for complex
+  arithmetics in the LLVM 5 backend";
+* the FCMLA complex instructions are reachable only through ACLE
+  intrinsics (Sections IV-C/IV-D).
+
+This package reproduces that compiler: :func:`vectorize` compiles a
+small element-wise kernel IR (:mod:`repro.vectorizer.ir`) to SVE
+assembly.  The ``complex_isa`` flag selects the backend generation:
+``False`` models LLVM 5 (ld2d/st2d + fmul/fmla/fnmls, never fcmla);
+``True`` models a complex-aware backend (interleaved ld1d + fcmla
+pairs, the code a human wrote with intrinsics in the paper).
+"""
+
+from repro.vectorizer.ir import (
+    Add,
+    Array,
+    Conj,
+    Const,
+    Kernel,
+    Load,
+    Mul,
+    Neg,
+    Sub,
+    reference_eval,
+)
+from repro.vectorizer.autovec import VectorizeError, vectorize
+
+__all__ = [
+    "Add", "Array", "Conj", "Const", "Kernel", "Load", "Mul", "Neg", "Sub",
+    "reference_eval", "vectorize", "VectorizeError",
+]

@@ -1,0 +1,664 @@
+"""IR -> SVE assembly code generation.
+
+Three generators, matching the paper's three code shapes:
+
+* :func:`vectorize` with a real kernel — the predicated VLA loop of
+  Section IV-A (``whilelo``/``brkns`` loop control, ``ld1``/``st1``).
+* :func:`vectorize` with a complex kernel and ``complex_isa=False`` —
+  the LLVM 5 auto-vectorizer behaviour of Section IV-B: structure
+  loads (``ld2d``) splitting real/imaginary parts, complex arithmetic
+  expanded to ``fmul``/``fmla``/``fnmls`` (+ ``movprfx``), **no
+  fcmla**.
+* :func:`vectorize` with ``complex_isa=True`` — the code a
+  complex-aware backend (or a human with ACLE intrinsics,
+  Section IV-C) produces: interleaved ``ld1d`` and chained ``fcmla``
+  pairs, with the ``whilelo``-at-top / ``cmp``+``b.lo``-at-bottom loop
+  of the paper's listing.
+
+:func:`vectorize_fixed` emits the loop-free, vector-length-specific
+variant of Section IV-D used by Grid's ``vec<T>`` kernels.
+
+Generated programs follow a simple calling convention: ``x0`` = element
+count (complex elements for complex kernels), ``x1..`` = input array
+base addresses in order, then the output address.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.sve.decoder import assemble
+from repro.sve.program import Program
+from repro.vectorizer import ir
+
+
+class VectorizeError(ValueError):
+    """Raised when a kernel cannot be lowered (e.g. bare Conj on the
+    FCMLA path, which has no single-instruction lowering)."""
+
+
+class _RegAlloc:
+    """Trivial z-register allocator with pinning."""
+
+    def __init__(self) -> None:
+        self._free = list(range(31, -1, -1))
+        self.pinned: set[int] = set()
+
+    def alloc(self, pin: bool = False) -> int:
+        if not self._free:
+            raise VectorizeError("expression too deep: out of vector registers")
+        r = self._free.pop()
+        if pin:
+            self.pinned.add(r)
+        return r
+
+    def free(self, reg: int) -> None:
+        if reg in self.pinned:
+            return
+        self._free.append(reg)
+
+
+class _Builder:
+    """Accumulates assembly lines."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.lines: list[str] = []
+        self._label = 0
+
+    def emit(self, line: str) -> None:
+        self.lines.append(f"    {line}")
+
+    def label(self, prefix: str = "L") -> str:
+        self._label += 1
+        return f".{prefix}{self.name}_{self._label}"
+
+    def place(self, label: str) -> None:
+        self.lines.append(f"{label}:")
+
+    def source(self) -> str:
+        return "\n".join(self.lines) + "\n"
+
+
+def _suffix(kernel: ir.Kernel) -> str:
+    return "d" if kernel.real_dtype.itemsize == 8 else "s"
+
+
+def _shift(kernel: ir.Kernel) -> int:
+    return 3 if kernel.real_dtype.itemsize == 8 else 2
+
+
+def _msuf(suffix: str) -> str:
+    """Memory-access mnemonic suffix: .d loads are ld1d, .s loads ld1w."""
+    return {"d": "d", "s": "w"}[suffix]
+
+
+# ======================================================================
+# Real kernels — Section IV-A shape
+# ======================================================================
+
+class _RealGen:
+    """Real-arithmetic expression lowering over single registers."""
+
+    def __init__(self, b: _Builder, ra: _RegAlloc, kernel: ir.Kernel,
+                 pred: str) -> None:
+        self.b = b
+        self.ra = ra
+        self.k = kernel
+        self.pred = pred  # load predicate register name, e.g. "p1"
+        self.suf = _suffix(kernel)
+        self.sh = _shift(kernel)
+        self.loaded: dict[int, int] = {}
+        self.consts: dict[float, int] = {}
+
+    def hoist_consts(self, e: ir.Expr) -> None:
+        """Materialise loop-invariant constants before the loop."""
+        if isinstance(e, ir.Const):
+            v = float(e.value)
+            if v not in self.consts:
+                r = self.ra.alloc(pin=True)
+                self.b.emit(f"fmov z{r}.{self.suf}, #{v!r}")
+                self.consts[v] = r
+        elif isinstance(e, (ir.Add, ir.Sub, ir.Mul)):
+            self.hoist_consts(e.a)
+            self.hoist_consts(e.b)
+        elif isinstance(e, (ir.Neg, ir.Conj)):
+            self.hoist_consts(e.a)
+
+    def load(self, arg: int, index_reg: str) -> int:
+        if arg in self.loaded:
+            return self.loaded[arg]
+        r = self.ra.alloc(pin=True)  # pinned for the iteration (CSE)
+        self.b.emit(
+            f"ld1{_msuf(self.suf)} {{z{r}.{self.suf}}}, {self.pred}/z, "
+            f"[x{arg + 1}, {index_reg}, lsl #{self.sh}]"
+        )
+        self.loaded[arg] = r
+        return r
+
+    def begin_iteration(self) -> None:
+        for r in self.loaded.values():
+            self.ra.pinned.discard(r)
+            self.ra.free(r)
+        self.loaded.clear()
+
+    def eval(self, e: ir.Expr, index_reg: str) -> int:
+        s = self.suf
+        if isinstance(e, ir.Load):
+            # Copy so destructive consumers don't clobber the CSE'd load.
+            src = self.load(e.arg, index_reg)
+            return src
+        if isinstance(e, ir.Const):
+            return self.consts[float(e.value)]
+        if isinstance(e, ir.Add):
+            # FMA fusion: a + b*c -> fmla (the vectorizer's strength).
+            fused = self._try_fma(e.a, e.b, "fmla", index_reg)
+            if fused is None:
+                fused = self._try_fma(e.b, e.a, "fmla", index_reg)
+            if fused is not None:
+                return fused
+            ra_, rb = self.eval(e.a, index_reg), self.eval(e.b, index_reg)
+            rd = self._fresh()
+            self.b.emit(f"fadd z{rd}.{s}, z{ra_}.{s}, z{rb}.{s}")
+            self._drop(ra_, rb)
+            return rd
+        if isinstance(e, ir.Sub):
+            fused = self._try_fma(e.a, e.b, "fmls", index_reg)
+            if fused is not None:
+                return fused
+            ra_, rb = self.eval(e.a, index_reg), self.eval(e.b, index_reg)
+            rd = self._fresh()
+            self.b.emit(f"fsub z{rd}.{s}, z{ra_}.{s}, z{rb}.{s}")
+            self._drop(ra_, rb)
+            return rd
+        if isinstance(e, ir.Mul):
+            ra_, rb = self.eval(e.a, index_reg), self.eval(e.b, index_reg)
+            rd = self._fresh()
+            self.b.emit(f"fmul z{rd}.{s}, z{ra_}.{s}, z{rb}.{s}")
+            self._drop(ra_, rb)
+            return rd
+        if isinstance(e, ir.Neg):
+            ra_ = self.eval(e.a, index_reg)
+            rd = self._fresh()
+            self.b.emit(f"fneg z{rd}.{s}, z{ra_}.{s}")
+            self._drop(ra_)
+            return rd
+        raise VectorizeError(f"cannot lower {e!r} in a real kernel")
+
+    def _try_fma(self, acc_e: ir.Expr, mul_e: ir.Expr, op: str,
+                 index_reg: str) -> Optional[int]:
+        """Lower ``acc ± b*c`` to a single predicated FMA."""
+        if not isinstance(mul_e, ir.Mul):
+            return None
+        s = self.suf
+        r_acc = self.eval(acc_e, index_reg)
+        rb = self.eval(mul_e.a, index_reg)
+        rc = self.eval(mul_e.b, index_reg)
+        rd = self._fresh()
+        self.b.emit(f"movprfx z{rd}, z{r_acc}")
+        self.b.emit(f"{op} z{rd}.{s}, {self.pred}/m, z{rb}.{s}, z{rc}.{s}")
+        self._drop(r_acc, rb, rc)
+        return rd
+
+    def _fresh(self) -> int:
+        return self.ra.alloc()
+
+    def _drop(self, *regs: int) -> None:
+        for r in regs:
+            if r not in self.ra.pinned:
+                self.ra.free(r)
+
+
+def _gen_real(kernel: ir.Kernel) -> Program:
+    b = _Builder(kernel.name)
+    ra = _RegAlloc()
+    out_x = len(kernel.inputs) + 1
+    s = _suffix(kernel)
+    gen = _RealGen(b, ra, kernel, pred="p1")
+    # Constants hoisted before the loop (loop-invariant code motion).
+    gen.hoist_consts(kernel.expr)
+    # Loop scaffolding — exactly the Section IV-A structure.
+    b.emit("mov x8, xzr")
+    b.emit(f"whilelo p1.{s}, xzr, x0")
+    b.emit(f"ptrue p0.{s}")
+    loop = b.label("LBB_")
+    b.place(loop)
+    gen.begin_iteration()
+    r = gen.eval(kernel.expr, "x8")
+    b.emit(f"st1{_msuf(s)} {{z{r}.{s}}}, p1, [x{out_x}, x8, lsl #{_shift(kernel)}]")
+    b.emit(f"inc{'d' if s == 'd' else 'w'} x8")
+    b.emit(f"whilelo p2.{s}, x8, x0")
+    b.emit("brkns p2.b, p0/z, p1.b, p2.b")
+    b.emit("mov p1.b, p2.b")
+    b.emit(f"b.mi {loop}")
+    b.emit("ret")
+    return assemble(b.source())
+
+
+# ======================================================================
+# Complex kernels without complex ISA — Section IV-B shape
+# ======================================================================
+
+class _CplxRealGen:
+    """Complex expression lowering over (re, im) register pairs."""
+
+    def __init__(self, b: _Builder, ra: _RegAlloc, kernel: ir.Kernel,
+                 pred: str, full_pred: str, use_movprfx: bool) -> None:
+        self.b = b
+        self.ra = ra
+        self.k = kernel
+        self.pred = pred            # loop predicate (loads/stores)
+        self.full = full_pred      # ptrue predicate (FMA merging)
+        self.movprfx = use_movprfx
+        self.suf = _suffix(kernel)
+        self.sh = _shift(kernel)
+        self.loaded: dict[int, tuple[int, int]] = {}
+        self.consts: dict[complex, tuple[int, int]] = {}
+
+    def hoist_consts(self, e: ir.Expr) -> None:
+        if isinstance(e, ir.Const):
+            v = complex(e.value)
+            if v not in self.consts:
+                rr = self.ra.alloc(pin=True)
+                ri = self.ra.alloc(pin=True)
+                self.b.emit(f"fmov z{rr}.{self.suf}, #{v.real!r}")
+                self.b.emit(f"fmov z{ri}.{self.suf}, #{v.imag!r}")
+                self.consts[v] = (rr, ri)
+        elif isinstance(e, (ir.Add, ir.Sub, ir.Mul)):
+            self.hoist_consts(e.a)
+            self.hoist_consts(e.b)
+        elif isinstance(e, (ir.Neg, ir.Conj)):
+            self.hoist_consts(e.a)
+
+    def begin_iteration(self) -> None:
+        for rr, ri in self.loaded.values():
+            for r in (rr, ri):
+                self.ra.pinned.discard(r)
+                self.ra.free(r)
+        self.loaded.clear()
+
+    def load(self, arg: int, index_reg: str) -> tuple[int, int]:
+        if arg in self.loaded:
+            return self.loaded[arg]
+        rr = self.ra.alloc(pin=True)
+        ri = self.ra.alloc(pin=True)
+        s = self.suf
+        self.b.emit(
+            f"ld2{_msuf(s)} {{z{rr}.{s}, z{ri}.{s}}}, {self.pred}/z, "
+            f"[x{arg + 1}, {index_reg}, lsl #{self.sh}]"
+        )
+        self.loaded[arg] = (rr, ri)
+        return rr, ri
+
+    def eval(self, e: ir.Expr, index_reg: str) -> tuple[int, int]:
+        s = self.suf
+        if isinstance(e, ir.Load):
+            return self.load(e.arg, index_reg)
+        if isinstance(e, ir.Const):
+            return self.consts[complex(e.value)]
+        if isinstance(e, ir.Add):
+            (ar, ai), (br, bi) = self.eval(e.a, index_reg), self.eval(e.b, index_reg)
+            rr, ri = self._fresh(), self._fresh()
+            self.b.emit(f"fadd z{rr}.{s}, z{ar}.{s}, z{br}.{s}")
+            self.b.emit(f"fadd z{ri}.{s}, z{ai}.{s}, z{bi}.{s}")
+            self._drop(ar, ai, br, bi)
+            return rr, ri
+        if isinstance(e, ir.Sub):
+            (ar, ai), (br, bi) = self.eval(e.a, index_reg), self.eval(e.b, index_reg)
+            rr, ri = self._fresh(), self._fresh()
+            self.b.emit(f"fsub z{rr}.{s}, z{ar}.{s}, z{br}.{s}")
+            self.b.emit(f"fsub z{ri}.{s}, z{ai}.{s}, z{bi}.{s}")
+            self._drop(ar, ai, br, bi)
+            return rr, ri
+        if isinstance(e, ir.Mul):
+            return self._mul(e.a, e.b, index_reg)
+        if isinstance(e, ir.Neg):
+            ar, ai = self.eval(e.a, index_reg)
+            rr, ri = self._fresh(), self._fresh()
+            self.b.emit(f"fneg z{rr}.{s}, z{ar}.{s}")
+            self.b.emit(f"fneg z{ri}.{s}, z{ai}.{s}")
+            self._drop(ar, ai)
+            return rr, ri
+        if isinstance(e, ir.Conj):
+            ar, ai = self.eval(e.a, index_reg)
+            ri = self._fresh()
+            self.b.emit(f"fneg z{ri}.{s}, z{ai}.{s}")
+            self._drop(ai)
+            return ar, ri
+        raise VectorizeError(f"cannot lower {e!r}")
+
+    def _mul(self, ea: ir.Expr, eb: ir.Expr, index_reg: str) -> tuple[int, int]:
+        """Complex multiply via real arithmetic — the Section IV-B mix:
+        2x fmul + movprfx+fmla + movprfx+fnmls.
+
+        re = -(ai*bi) + ar*br   (fnmls with acc = ai*bi)
+        im =  (ai*br) + ar*bi   (fmla  with acc = ai*br)
+        """
+        s = self.suf
+        (ar, ai) = self.eval(ea, index_reg)
+        (br, bi) = self.eval(eb, index_reg)
+        t1, t2 = self._fresh(), self._fresh()
+        self.b.emit(f"fmul z{t1}.{s}, z{ai}.{s}, z{bi}.{s}")
+        self.b.emit(f"fmul z{t2}.{s}, z{ai}.{s}, z{br}.{s}")
+        if self.movprfx:
+            rr, ri = self._fresh(), self._fresh()
+            self.b.emit(f"movprfx z{ri}, z{t2}")
+            self.b.emit(f"fmla z{ri}.{s}, {self.full}/m, z{ar}.{s}, z{bi}.{s}")
+            self.b.emit(f"movprfx z{rr}, z{t1}")
+            self.b.emit(f"fnmls z{rr}.{s}, {self.full}/m, z{ar}.{s}, z{br}.{s}")
+            self._drop(t1, t2)
+        else:
+            rr, ri = t1, t2
+            self.b.emit(f"fmla z{ri}.{s}, {self.full}/m, z{ar}.{s}, z{bi}.{s}")
+            self.b.emit(f"fnmls z{rr}.{s}, {self.full}/m, z{ar}.{s}, z{br}.{s}")
+        self._drop(ar, ai, br, bi)
+        return rr, ri
+
+    def _fresh(self) -> int:
+        return self.ra.alloc()
+
+    def _drop(self, *regs: int) -> None:
+        for r in regs:
+            if r not in self.ra.pinned:
+                self.ra.free(r)
+
+
+def _gen_cplx_real(kernel: ir.Kernel, use_movprfx: bool) -> Program:
+    b = _Builder(kernel.name)
+    ra = _RegAlloc()
+    out_x = len(kernel.inputs) + 1
+    s = _suffix(kernel)
+    gen = _CplxRealGen(b, ra, kernel, pred="p0", full_pred="p1",
+                       use_movprfx=use_movprfx)
+    gen.hoist_consts(kernel.expr)
+    # Section IV-B loop scaffolding: predicate over complex elements,
+    # byte index doubled via x9 = x8 << 1.
+    b.emit("mov x8, xzr")
+    b.emit(f"whilelo p0.{s}, xzr, x0")
+    b.emit(f"ptrue p1.{s}")
+    loop = b.label("LBB_")
+    b.place(loop)
+    gen.begin_iteration()
+    b.emit("lsl x9, x8, #1")
+    rr, ri = gen.eval(kernel.expr, "x9")
+    b.emit(f"st2{_msuf(s)} {{z{rr}.{s}, z{ri}.{s}}}, p0, "
+           f"[x{out_x}, x9, lsl #{_shift(kernel)}]")
+    b.emit(f"inc{'d' if s == 'd' else 'w'} x8")
+    b.emit(f"whilelo p2.{s}, x8, x0")
+    b.emit("brkns p2.b, p1/z, p0.b, p2.b")
+    b.emit("mov p0.b, p2.b")
+    b.emit(f"b.mi {loop}")
+    b.emit("ret")
+    return assemble(b.source())
+
+
+# ======================================================================
+# Complex kernels with complex ISA — Section IV-C shape (FCMLA)
+# ======================================================================
+
+class _CplxIsaGen:
+    """Complex expression lowering over interleaved registers + FCMLA."""
+
+    def __init__(self, b: _Builder, ra: _RegAlloc, kernel: ir.Kernel,
+                 pred: str) -> None:
+        self.b = b
+        self.ra = ra
+        self.k = kernel
+        self.pred = pred
+        self.suf = _suffix(kernel)
+        self.sh = _shift(kernel)
+        self.zero: Optional[int] = None
+        self.loaded: dict[int, int] = {}
+        self.consts: dict[complex, int] = {}
+
+    def hoist(self, e: ir.Expr) -> None:
+        """Hoist the zero register and interleaved constants."""
+        if isinstance(e, ir.Mul):
+            # Conservative: a Mul may lower as accumulate-onto-zero
+            # (exact only when unfused, but hoisting is free).
+            self._ensure_zero()
+        if isinstance(e, ir.Const):
+            v = complex(e.value)
+            if v not in self.consts:
+                rr = self.ra.alloc()
+                ri = self.ra.alloc()
+                rc = self.ra.alloc(pin=True)
+                s = self.suf
+                self.b.emit(f"fmov z{rr}.{s}, #{v.real!r}")
+                self.b.emit(f"fmov z{ri}.{s}, #{v.imag!r}")
+                self.b.emit(f"zip1 z{rc}.{s}, z{rr}.{s}, z{ri}.{s}")
+                self.ra.free(rr)
+                self.ra.free(ri)
+                self.consts[v] = rc
+        if isinstance(e, (ir.Add, ir.Sub, ir.Mul)):
+            self.hoist(e.a)
+            self.hoist(e.b)
+        elif isinstance(e, (ir.Neg, ir.Conj)):
+            self.hoist(e.a)
+
+    def _ensure_zero(self) -> None:
+        if self.zero is None:
+            self.zero = self.ra.alloc(pin=True)
+            self.b.emit(f"mov z{self.zero}.{self.suf}, #0")
+
+    def begin_iteration(self) -> None:
+        for r in self.loaded.values():
+            self.ra.pinned.discard(r)
+            self.ra.free(r)
+        self.loaded.clear()
+
+    def load(self, arg: int, index_reg: str) -> int:
+        if arg in self.loaded:
+            return self.loaded[arg]
+        r = self.ra.alloc(pin=True)
+        s = self.suf
+        self.b.emit(
+            f"ld1{_msuf(s)} {{z{r}.{s}}}, {self.pred}/z, "
+            f"[x{arg + 1}, {index_reg}, lsl #{self.sh}]"
+        )
+        self.loaded[arg] = r
+        return r
+
+    def eval(self, e: ir.Expr, index_reg: str) -> int:
+        s = self.suf
+        if isinstance(e, ir.Load):
+            return self.load(e.arg, index_reg)
+        if isinstance(e, ir.Const):
+            return self.consts[complex(e.value)]
+        if isinstance(e, ir.Add):
+            # Fusion: c + a*b -> copy c, two FCMLAs accumulate into it.
+            fused = self._try_cfma(e.a, e.b, negate=False, index_reg=index_reg)
+            if fused is None:
+                fused = self._try_cfma(e.b, e.a, negate=False, index_reg=index_reg)
+            if fused is not None:
+                return fused
+            ra_, rb = self.eval(e.a, index_reg), self.eval(e.b, index_reg)
+            rd = self._fresh()
+            self.b.emit(f"fadd z{rd}.{s}, z{ra_}.{s}, z{rb}.{s}")
+            self._drop(ra_, rb)
+            return rd
+        if isinstance(e, ir.Sub):
+            fused = self._try_cfma(e.a, e.b, negate=True, index_reg=index_reg)
+            if fused is not None:
+                return fused
+            ra_, rb = self.eval(e.a, index_reg), self.eval(e.b, index_reg)
+            rd = self._fresh()
+            self.b.emit(f"fsub z{rd}.{s}, z{ra_}.{s}, z{rb}.{s}")
+            self._drop(ra_, rb)
+            return rd
+        if isinstance(e, ir.Mul):
+            self._ensure_zero()
+            return self._fcmla_acc(self.zero, e, negate=False,
+                                   index_reg=index_reg)
+        if isinstance(e, ir.Neg):
+            ra_ = self.eval(e.a, index_reg)
+            rd = self._fresh()
+            self.b.emit(f"fneg z{rd}.{s}, z{ra_}.{s}")
+            self._drop(ra_)
+            return rd
+        if isinstance(e, ir.Conj):
+            raise VectorizeError(
+                "bare Conj has no FCMLA lowering (conjugation is only "
+                "available fused into a multiply, Eq. (2) of the paper); "
+                "rewrite as Mul(Conj(x), y)"
+            )
+        raise VectorizeError(f"cannot lower {e!r}")
+
+    def _try_cfma(self, acc_e: ir.Expr, mul_e: ir.Expr, negate: bool,
+                  index_reg: str) -> Optional[int]:
+        if not isinstance(mul_e, ir.Mul):
+            return None
+        r_acc = self.eval(acc_e, index_reg)
+        return self._fcmla_acc(r_acc, mul_e, negate, index_reg)
+
+    def _fcmla_acc(self, r_acc: int, mul_e: ir.Mul, negate: bool,
+                   index_reg: str) -> int:
+        """acc ± x*y (or ± conj(x)*y) via two chained FCMLAs (Eq. (2))."""
+        s = self.suf
+        ex, ey = mul_e.a, mul_e.b
+        conj = False
+        if isinstance(ex, ir.Conj):
+            conj, ex = True, ex.a
+        elif isinstance(ey, ir.Conj):
+            # x * conj(y) == conj(conj(x) * y) has no two-FCMLA form;
+            # but conj(y)*x reverses operand roles, which FCMLA allows.
+            conj, ex, ey = True, ey.a, ex
+        rx = self.eval(ex, index_reg)
+        ry = self.eval(ey, index_reg)
+        rd = self._fresh()
+        self.b.emit(f"mov z{rd}.{s}, z{r_acc}.{s}")
+        #            +x*y      -x*y        +conj(x)*y   -conj(x)*y
+        rots = {(False, False): (90, 0), (True, False): (270, 180),
+                (False, True): (270, 0), (True, True): (90, 180)}[
+                    (negate, conj)]
+        for rot in rots:
+            self.b.emit(
+                f"fcmla z{rd}.{s}, {self.pred}/m, z{rx}.{s}, z{ry}.{s}, #{rot}"
+            )
+        self._drop(r_acc, rx, ry)
+        return rd
+
+    def _fresh(self) -> int:
+        return self.ra.alloc()
+
+    def _drop(self, *regs: int) -> None:
+        for r in regs:
+            if r not in self.ra.pinned:
+                self.ra.free(r)
+
+
+def _gen_cplx_isa(kernel: ir.Kernel) -> Program:
+    b = _Builder(kernel.name)
+    ra = _RegAlloc()
+    out_x = len(kernel.inputs) + 1
+    s = _suffix(kernel)
+    gen = _CplxIsaGen(b, ra, kernel, pred="p0")
+    # Section IV-C loop scaffolding: iterate over 2n real elements of
+    # the interleaved layout; whilelo at the top, cmp/b.lo at the bottom.
+    b.emit("mov x9, xzr")
+    gen.hoist(kernel.expr)
+    b.emit("lsl x8, x0, #1")
+    loop = b.label("LBB_")
+    b.place(loop)
+    gen.begin_iteration()
+    b.emit(f"whilelo p0.{s}, x9, x8")
+    r = gen.eval(kernel.expr, "x9")
+    b.emit(f"st1{_msuf(s)} {{z{r}.{s}}}, p0, [x{out_x}, x9, lsl #{_shift(kernel)}]")
+    b.emit(f"inc{'d' if s == 'd' else 'w'} x9")
+    b.emit("cmp x9, x8")
+    b.emit(f"b.lo {loop}")
+    b.emit("ret")
+    return assemble(b.source())
+
+
+# ======================================================================
+# Public entry points
+# ======================================================================
+
+def vectorize(kernel: ir.Kernel, complex_isa: bool = False,
+              use_movprfx: bool = True) -> Program:
+    """Compile a kernel to an SVE VLA loop.
+
+    ``complex_isa`` selects the complex-arithmetic lowering for complex
+    kernels (ignored for real kernels): ``False`` = the LLVM 5
+    behaviour (Section IV-B), ``True`` = FCMLA (Section IV-C).
+    """
+    if kernel.is_complex:
+        if complex_isa:
+            return _gen_cplx_isa(kernel)
+        return _gen_cplx_real(kernel, use_movprfx)
+    return _gen_real(kernel)
+
+
+def vectorize_fixed(kernel: ir.Kernel, complex_isa: bool = True) -> Program:
+    """Compile the loop-free, register-sized variant (Section IV-D).
+
+    The kernel is assumed to process exactly one vector register of
+    data ("eminently suitable for small arrays of the size of vector
+    registers"); the resulting binary "will only be operating correctly
+    on matching SVE hardware".
+    """
+    b = _Builder(kernel.name + "_vlf")
+    ra = _RegAlloc()
+    out_x = len(kernel.inputs) + 1
+    s = _suffix(kernel)
+    b.emit(f"ptrue p0.{s}")
+    if kernel.is_complex and complex_isa:
+        gen = _CplxIsaGen(b, ra, kernel, pred="p0")
+        gen.hoist(kernel.expr)
+        # Loads use no index register: [xN] directly.
+        gen.load = _fixed_load_interleaved(gen)  # type: ignore[assignment]
+        r = gen.eval(kernel.expr, "xzr")
+        b.emit(f"st1{_msuf(s)} {{z{r}.{s}}}, p0, [x{out_x}]")
+    elif kernel.is_complex:
+        gen2 = _CplxRealGen(b, ra, kernel, pred="p0", full_pred="p0",
+                            use_movprfx=True)
+        gen2.hoist_consts(kernel.expr)
+        gen2.load = _fixed_load_structure(gen2)  # type: ignore[assignment]
+        rr, ri = gen2.eval(kernel.expr, "xzr")
+        b.emit(f"st2{_msuf(s)} {{z{rr}.{s}, z{ri}.{s}}}, p0, [x{out_x}]")
+    else:
+        gen3 = _RealGen(b, ra, kernel, pred="p0")
+        gen3.hoist_consts(kernel.expr)
+        gen3.load = _fixed_load_real(gen3)  # type: ignore[assignment]
+        r = gen3.eval(kernel.expr, "xzr")
+        b.emit(f"st1{_msuf(s)} {{z{r}.{s}}}, p0, [x{out_x}]")
+    b.emit("ret")
+    return assemble(b.source())
+
+
+def _fixed_load_interleaved(gen: _CplxIsaGen):
+    def load(arg: int, index_reg: str) -> int:
+        if arg in gen.loaded:
+            return gen.loaded[arg]
+        r = gen.ra.alloc(pin=True)
+        s = gen.suf
+        gen.b.emit(f"ld1{_msuf(s)} {{z{r}.{s}}}, {gen.pred}/z, [x{arg + 1}]")
+        gen.loaded[arg] = r
+        return r
+    return load
+
+
+def _fixed_load_structure(gen: _CplxRealGen):
+    def load(arg: int, index_reg: str) -> tuple[int, int]:
+        if arg in gen.loaded:
+            return gen.loaded[arg]
+        rr = gen.ra.alloc(pin=True)
+        ri = gen.ra.alloc(pin=True)
+        s = gen.suf
+        gen.b.emit(f"ld2{_msuf(s)} {{z{rr}.{s}, z{ri}.{s}}}, {gen.pred}/z, [x{arg + 1}]")
+        gen.loaded[arg] = (rr, ri)
+        return rr, ri
+    return load
+
+
+def _fixed_load_real(gen: _RealGen):
+    def load(arg: int, index_reg: str) -> int:
+        if arg in gen.loaded:
+            return gen.loaded[arg]
+        r = gen.ra.alloc(pin=True)
+        s = gen.suf
+        gen.b.emit(f"ld1{_msuf(s)} {{z{r}.{s}}}, {gen.pred}/z, [x{arg + 1}]")
+        gen.loaded[arg] = r
+        return r
+    return load

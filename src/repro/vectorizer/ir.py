@@ -1,0 +1,251 @@
+"""The scalar-loop IR consumed by the auto-vectorizer.
+
+A :class:`Kernel` is an element-wise loop::
+
+    for i in range(n):
+        out[i] = expr(in0[i], in1[i], ...)
+
+over arrays of one scalar type (``f64``, ``f32``, ``c128``, ``c64``) —
+the shape of the paper's examples (``z[i] = x[i] * y[i]``) and of the
+hot inner operations of Grid's expression templates.
+
+Expression nodes: :class:`Load` (an input array element),
+:class:`Const`, :class:`Add`, :class:`Sub`, :class:`Mul`, :class:`Neg`,
+and :class:`Conj` (complex conjugation, complex kernels only).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+import numpy as np
+
+#: IR scalar types -> numpy dtypes.
+SCALAR_DTYPES = {
+    "f64": np.float64,
+    "f32": np.float32,
+    "c128": np.complex128,
+    "c64": np.complex64,
+}
+
+#: The element type of the *registers* that hold each scalar type
+#: (complex numbers are interleaved pairs of reals).
+REAL_DTYPES = {
+    "f64": np.float64,
+    "f32": np.float32,
+    "c128": np.float64,
+    "c64": np.float32,
+}
+
+
+def is_complex(scalar_type: str) -> bool:
+    return scalar_type.startswith("c")
+
+
+@dataclass(frozen=True)
+class Array:
+    """A kernel array argument."""
+
+    name: str
+    const: bool = True  # inputs are const; the output is not
+
+
+class Expr:
+    """Base class for expression nodes."""
+
+    def __add__(self, other: "Expr") -> "Add":
+        return Add(self, _as_expr(other))
+
+    def __sub__(self, other: "Expr") -> "Sub":
+        return Sub(self, _as_expr(other))
+
+    def __mul__(self, other: "Expr") -> "Mul":
+        return Mul(self, _as_expr(other))
+
+    def __neg__(self) -> "Neg":
+        return Neg(self)
+
+
+def _as_expr(v) -> "Expr":
+    if isinstance(v, Expr):
+        return v
+    if isinstance(v, (int, float, complex)):
+        return Const(v)
+    raise TypeError(f"cannot use {type(v).__name__} in a kernel expression")
+
+
+@dataclass(frozen=True)
+class Load(Expr):
+    """``in<k>[i]``: element *i* of input array *k*."""
+
+    arg: int
+
+
+@dataclass(frozen=True)
+class Const(Expr):
+    """A loop-invariant scalar constant."""
+
+    value: Union[float, complex]
+
+
+@dataclass(frozen=True)
+class Add(Expr):
+    a: Expr
+    b: Expr
+
+
+@dataclass(frozen=True)
+class Sub(Expr):
+    a: Expr
+    b: Expr
+
+
+@dataclass(frozen=True)
+class Mul(Expr):
+    a: Expr
+    b: Expr
+
+
+@dataclass(frozen=True)
+class Neg(Expr):
+    a: Expr
+
+
+@dataclass(frozen=True)
+class Conj(Expr):
+    """Complex conjugation (complex kernels only)."""
+
+    a: Expr
+
+
+@dataclass
+class Kernel:
+    """An element-wise loop kernel.
+
+    Parameters
+    ----------
+    name:
+        Symbol name (cosmetic).
+    scalar_type:
+        One of ``f64``, ``f32``, ``c128``, ``c64``.
+    inputs:
+        The input arrays; ``Load(k)`` refers to ``inputs[k]``.
+    expr:
+        The per-element expression.
+    output:
+        The destination array.
+    """
+
+    name: str
+    scalar_type: str
+    inputs: list = field(default_factory=list)
+    expr: Expr = None
+    output: Array = None
+
+    def __post_init__(self) -> None:
+        if self.scalar_type not in SCALAR_DTYPES:
+            raise ValueError(f"unknown scalar type {self.scalar_type!r}")
+        if self.output is None:
+            self.output = Array("out", const=False)
+        self._validate(self.expr)
+
+    def _validate(self, e: Expr) -> None:
+        if isinstance(e, Load):
+            if not 0 <= e.arg < len(self.inputs):
+                raise ValueError(f"Load({e.arg}) out of range")
+        elif isinstance(e, Const):
+            if isinstance(e.value, complex) and not is_complex(self.scalar_type):
+                raise ValueError("complex constant in a real kernel")
+        elif isinstance(e, (Add, Sub, Mul)):
+            self._validate(e.a)
+            self._validate(e.b)
+        elif isinstance(e, (Neg, Conj)):
+            if isinstance(e, Conj) and not is_complex(self.scalar_type):
+                raise ValueError("Conj in a real kernel")
+            self._validate(e.a)
+        else:
+            raise TypeError(f"not an expression node: {e!r}")
+
+    @property
+    def dtype(self):
+        return np.dtype(SCALAR_DTYPES[self.scalar_type])
+
+    @property
+    def real_dtype(self):
+        return np.dtype(REAL_DTYPES[self.scalar_type])
+
+    @property
+    def is_complex(self) -> bool:
+        return is_complex(self.scalar_type)
+
+
+def reference_eval(kernel: Kernel, arrays: list) -> np.ndarray:
+    """Evaluate the kernel with numpy — the scalar-loop oracle."""
+
+    def ev(e: Expr) -> np.ndarray:
+        if isinstance(e, Load):
+            return np.asarray(arrays[e.arg], dtype=kernel.dtype)
+        if isinstance(e, Const):
+            return np.asarray(e.value, dtype=kernel.dtype)
+        if isinstance(e, Add):
+            return ev(e.a) + ev(e.b)
+        if isinstance(e, Sub):
+            return ev(e.a) - ev(e.b)
+        if isinstance(e, Mul):
+            return ev(e.a) * ev(e.b)
+        if isinstance(e, Neg):
+            return -ev(e.a)
+        if isinstance(e, Conj):
+            return np.conj(ev(e.a))
+        raise TypeError(f"not an expression node: {e!r}")
+
+    return ev(kernel.expr).astype(kernel.dtype)
+
+
+# ----------------------------------------------------------------------
+# Ready-made kernels used across tests, benches and examples
+# ----------------------------------------------------------------------
+
+def mult_real_kernel(scalar_type: str = "f64") -> Kernel:
+    """Section IV-A: ``z[i] = x[i] * y[i]`` over reals."""
+    return Kernel(
+        name="mult_real",
+        scalar_type=scalar_type,
+        inputs=[Array("x"), Array("y")],
+        expr=Mul(Load(0), Load(1)),
+        output=Array("z", const=False),
+    )
+
+
+def mult_cplx_kernel(scalar_type: str = "c128") -> Kernel:
+    """Sections IV-B/C/D: ``z[i] = x[i] * y[i]`` over complexes."""
+    return Kernel(
+        name="mult_cplx",
+        scalar_type=scalar_type,
+        inputs=[Array("x"), Array("y")],
+        expr=Mul(Load(0), Load(1)),
+        output=Array("z", const=False),
+    )
+
+
+def axpy_kernel(alpha, scalar_type: str = "c128") -> Kernel:
+    """``z[i] = alpha * x[i] + y[i]`` — the CG update kernel."""
+    return Kernel(
+        name="axpy",
+        scalar_type=scalar_type,
+        inputs=[Array("x"), Array("y")],
+        expr=Add(Mul(Const(alpha), Load(0)), Load(1)),
+        output=Array("z", const=False),
+    )
+
+
+def conj_mul_kernel(scalar_type: str = "c128") -> Kernel:
+    """``z[i] = conj(x[i]) * y[i]`` — the inner-product kernel shape."""
+    return Kernel(
+        name="conj_mul",
+        scalar_type=scalar_type,
+        inputs=[Array("x"), Array("y")],
+        expr=Mul(Conj(Load(0)), Load(1)),
+        output=Array("z", const=False),
+    )

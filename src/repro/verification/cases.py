@@ -1,0 +1,890 @@
+"""The 40 representative verification cases.
+
+Each case is a self-checking function run at a given SVE vector length,
+optionally under a toolchain fault model (which only affects cases that
+execute *assembled programs* on the machine — the moral equivalent of
+compiler-generated binaries under ArmIE; ACLE/backend/grid cases model
+hand-written intrinsics code paths).
+
+Categories mirror what Grid's own test battery covers:
+
+* ``kernel`` — compiled VLA kernels run on the emulator,
+* ``acle``  — intrinsics-level semantics,
+* ``simd``  — the machine-specific backend layer,
+* ``grid``  — lattice containers, shifts, gamma algebra, SU(3),
+* ``physics`` — Dirac operator, solvers, distributed equivalence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro import acle
+from repro.armie import run_kernel
+from repro.grid import gamma as gmod
+from repro.grid.cartesian import GridCartesian
+from repro.grid.cshift import cshift
+from repro.grid.lattice import Lattice
+from repro.simd import get_backend
+from repro.vectorizer import ir
+from repro.vectorizer.autovec import vectorize, vectorize_fixed
+from repro.sve.decoder import assemble
+from repro.sve.vl import VL
+
+
+@dataclass(frozen=True)
+class Case:
+    """One verification case."""
+
+    name: str
+    category: str
+    fn: Callable
+    fault_sensitive: bool = False
+
+    def run(self, vl_bits: int, fault_model=None) -> None:
+        """Execute; raises on failure."""
+        self.fn(vl_bits, fault_model if self.fault_sensitive else None)
+
+
+_REGISTRY: list[Case] = []
+
+
+def _case(category: str, fault_sensitive: bool = False):
+    def deco(fn):
+        _REGISTRY.append(Case(
+            name=fn.__name__.replace("case_", ""),
+            category=category,
+            fn=fn,
+            fault_sensitive=fault_sensitive,
+        ))
+        return fn
+    return deco
+
+
+def _rng(vl_bits: int, salt: int = 0) -> np.random.Generator:
+    return np.random.default_rng(1000 + vl_bits + salt)
+
+
+# ======================================================================
+# kernel: compiled VLA programs on the emulator (fault-sensitive)
+# ======================================================================
+
+def _check_kernel(kernel, arrays, ref, vl_bits, fault_model, **kw):
+    res = run_kernel(vectorize(kernel, **kw), kernel, arrays, vl_bits,
+                     fault_model=fault_model)
+    if not np.allclose(res.output, ref, rtol=1e-12, atol=1e-12):
+        bad = int(np.sum(~np.isclose(res.output, ref, rtol=1e-12, atol=1e-12)))
+        raise AssertionError(
+            f"kernel {kernel.name} wrong at VL{vl_bits}: {bad}/{ref.size} "
+            f"elements differ (faults fired: {res.faults_fired})"
+        )
+
+
+@_case("kernel", fault_sensitive=True)
+def case_mult_real_even_trip(vl_bits, fm):
+    rng = _rng(vl_bits)
+    x, y = rng.normal(size=1024), rng.normal(size=1024)
+    _check_kernel(ir.mult_real_kernel(), [x, y], x * y, vl_bits, fm)
+
+
+@_case("kernel", fault_sensitive=True)
+def case_mult_real_partial_tail(vl_bits, fm):
+    rng = _rng(vl_bits, 1)
+    x, y = rng.normal(size=1001), rng.normal(size=1001)
+    _check_kernel(ir.mult_real_kernel(), [x, y], x * y, vl_bits, fm)
+
+
+@_case("kernel", fault_sensitive=True)
+def case_mult_real_single_element(vl_bits, fm):
+    rng = _rng(vl_bits, 2)
+    x, y = rng.normal(size=1), rng.normal(size=1)
+    _check_kernel(ir.mult_real_kernel(), [x, y], x * y, vl_bits, fm)
+
+
+def _cplx(rng, n):
+    return rng.normal(size=n) + 1j * rng.normal(size=n)
+
+
+@_case("kernel", fault_sensitive=True)
+def case_mult_cplx_autovec_even(vl_bits, fm):
+    rng = _rng(vl_bits, 3)
+    x, y = _cplx(rng, 512), _cplx(rng, 512)
+    _check_kernel(ir.mult_cplx_kernel(), [x, y], x * y, vl_bits, fm,
+                  complex_isa=False)
+
+
+@_case("kernel", fault_sensitive=True)
+def case_mult_cplx_autovec_tail(vl_bits, fm):
+    rng = _rng(vl_bits, 4)
+    x, y = _cplx(rng, 333), _cplx(rng, 333)
+    _check_kernel(ir.mult_cplx_kernel(), [x, y], x * y, vl_bits, fm,
+                  complex_isa=False)
+
+
+@_case("kernel", fault_sensitive=True)
+def case_mult_cplx_acle_even(vl_bits, fm):
+    rng = _rng(vl_bits, 5)
+    x, y = _cplx(rng, 512), _cplx(rng, 512)
+    _check_kernel(ir.mult_cplx_kernel(), [x, y], x * y, vl_bits, fm,
+                  complex_isa=True)
+
+
+@_case("kernel", fault_sensitive=True)
+def case_mult_cplx_acle_tail(vl_bits, fm):
+    rng = _rng(vl_bits, 6)
+    x, y = _cplx(rng, 257), _cplx(rng, 257)
+    _check_kernel(ir.mult_cplx_kernel(), [x, y], x * y, vl_bits, fm,
+                  complex_isa=True)
+
+
+@_case("kernel", fault_sensitive=True)
+def case_axpy_real_fused(vl_bits, fm):
+    rng = _rng(vl_bits, 7)
+    x, y = rng.normal(size=777), rng.normal(size=777)
+    k = ir.axpy_kernel(1.5, "f64")
+    _check_kernel(k, [x, y], 1.5 * x + y, vl_bits, fm)
+
+
+@_case("kernel", fault_sensitive=True)
+def case_axpy_cplx_autovec(vl_bits, fm):
+    rng = _rng(vl_bits, 8)
+    a = 0.5 - 0.25j
+    x, y = _cplx(rng, 300), _cplx(rng, 300)
+    _check_kernel(ir.axpy_kernel(a), [x, y], a * x + y, vl_bits, fm,
+                  complex_isa=False)
+
+
+@_case("kernel", fault_sensitive=True)
+def case_axpy_cplx_acle(vl_bits, fm):
+    rng = _rng(vl_bits, 9)
+    a = -1.25 + 2.0j
+    x, y = _cplx(rng, 301), _cplx(rng, 301)
+    _check_kernel(ir.axpy_kernel(a), [x, y], a * x + y, vl_bits, fm,
+                  complex_isa=True)
+
+
+@_case("kernel", fault_sensitive=True)
+def case_conj_mul_acle(vl_bits, fm):
+    rng = _rng(vl_bits, 10)
+    x, y = _cplx(rng, 129), _cplx(rng, 129)
+    _check_kernel(ir.conj_mul_kernel(), [x, y], np.conj(x) * y, vl_bits, fm,
+                  complex_isa=True)
+
+
+@_case("kernel", fault_sensitive=True)
+def case_expression_tree_real(vl_bits, fm):
+    rng = _rng(vl_bits, 11)
+    x, y = rng.normal(size=450), rng.normal(size=450)
+    k = ir.Kernel(
+        name="tree", scalar_type="f64",
+        inputs=[ir.Array("x"), ir.Array("y")],
+        expr=ir.Sub(ir.Mul(ir.Load(0), ir.Load(0)),
+                    ir.Mul(ir.Load(1), ir.Const(2.0))),
+        output=ir.Array("z", const=False),
+    )
+    _check_kernel(k, [x, y], x * x - 2.0 * y, vl_bits, fm)
+
+
+#: The paper's Section IV-A listing, verbatim (OCR artifacts fixed).
+LISTING_IVA = """
+    mov     x8, xzr
+    whilelo p1.d, xzr, x0
+    ptrue   p0.d
+.LBB0_4:
+    ld1d    {z0.d}, p1/z, [x1, x8, lsl #3]
+    ld1d    {z1.d}, p1/z, [x2, x8, lsl #3]
+    fmul    z0.d, z0.d, z1.d
+    st1d    {z0.d}, p1, [x3, x8, lsl #3]
+    incd    x8
+    whilelo p2.d, x8, x0
+    brkns   p2.b, p0/z, p1.b, p2.b
+    mov     p1.b, p2.b
+    b.mi    .LBB0_4
+    ret
+"""
+
+#: The paper's Section IV-C listing, verbatim (limit 2n precomputed in
+#: x8, as the surrounding compiler output did).
+LISTING_IVC = """
+    lsl     x8, x0, #1
+    mov     x9, xzr
+    mov     z0.d, #0
+.LBB3_2:
+    whilelo p0.d, x9, x8
+    ld1d    {z1.d}, p0/z, [x1, x9, lsl #3]
+    ld1d    {z2.d}, p0/z, [x2, x9, lsl #3]
+    mov     z3.d, z0.d
+    fcmla   z3.d, p0/m, z1.d, z2.d, #90
+    fcmla   z3.d, p0/m, z1.d, z2.d, #0
+    st1d    {z3.d}, p0, [x3, x9, lsl #3]
+    incd    x9
+    cmp     x9, x8
+    b.lo    .LBB3_2
+    ret
+"""
+
+
+@_case("kernel", fault_sensitive=True)
+def case_paper_listing_iva(vl_bits, fm):
+    rng = _rng(vl_bits, 12)
+    x, y = rng.normal(size=1001), rng.normal(size=1001)
+    res = run_kernel(assemble(LISTING_IVA), ir.mult_real_kernel(), [x, y],
+                     vl_bits, fault_model=fm)
+    assert np.array_equal(res.output, x * y), \
+        f"paper listing IV-A wrong at VL{vl_bits}"
+
+
+@_case("kernel", fault_sensitive=True)
+def case_paper_listing_ivc(vl_bits, fm):
+    rng = _rng(vl_bits, 13)
+    x, y = _cplx(rng, 333), _cplx(rng, 333)
+    res = run_kernel(assemble(LISTING_IVC), ir.mult_cplx_kernel(), [x, y],
+                     vl_bits, fault_model=fm)
+    assert np.allclose(res.output, x * y, rtol=1e-13), \
+        f"paper listing IV-C wrong at VL{vl_bits}"
+
+
+#: Hand-written dot product: predicated VLA loop, FMLA accumulator,
+#: FADDV reduction, result bits returned in x0.
+LISTING_DOT = """
+    mov     x8, xzr
+    whilelo p1.d, xzr, x0
+    ptrue   p0.d
+    mov     z2.d, #0
+.Ldot_loop:
+    ld1d    {z0.d}, p1/z, [x1, x8, lsl #3]
+    ld1d    {z1.d}, p1/z, [x2, x8, lsl #3]
+    fmla    z2.d, p1/m, z0.d, z1.d
+    incd    x8
+    whilelo p2.d, x8, x0
+    brkns   p2.b, p0/z, p1.b, p2.b
+    mov     p1.b, p2.b
+    b.mi    .Ldot_loop
+    ptrue   p0.d
+    faddv   d0, p0, z2.d
+    st1d    {z0.d}, p1, [x3]
+    ret
+"""
+
+
+@_case("kernel", fault_sensitive=True)
+def case_dot_product_asm(vl_bits, fm):
+    from repro.sve.machine import Machine
+    from repro.sve.memory import Memory
+
+    rng = _rng(vl_bits, 14)
+    n = 517
+    x, y = rng.normal(size=n), rng.normal(size=n)
+    mem = Memory(1 << 20)
+    ax, ay = mem.alloc_array(x), mem.alloc_array(y)
+    az = mem.alloc(VL(vl_bits).bytes)
+    m = Machine(VL(vl_bits), memory=mem, fault_model=fm)
+    m.call(assemble(LISTING_DOT), n, ax, ay, az)
+    got = m.read_fp_scalar(0)
+    want = float(x @ y)
+    assert np.isclose(got, want, rtol=1e-10), \
+        f"dot product {got} != {want} at VL{vl_bits}"
+
+
+@_case("kernel", fault_sensitive=True)
+def case_fixed_vl_kernel(vl_bits, fm):
+    rng = _rng(vl_bits, 15)
+    nc = VL(vl_bits).complex_lanes(8)
+    x, y = _cplx(rng, nc), _cplx(rng, nc)
+    k = ir.mult_cplx_kernel()
+    res = run_kernel(vectorize_fixed(k, complex_isa=True), k, [x, y],
+                     vl_bits, n=nc, fault_model=fm)
+    assert np.allclose(res.output, x * y, rtol=1e-13)
+
+
+# ======================================================================
+# acle: intrinsics-level semantics
+# ======================================================================
+
+@_case("acle")
+def case_acle_fcmla_rotations(vl_bits, fm):
+    rng = _rng(vl_bits, 16)
+    with acle.SVEContext(vl_bits):
+        lanes = acle.svcntd()
+        pg = acle.svptrue_b64()
+        xv = rng.normal(size=lanes)
+        yv = rng.normal(size=lanes)
+        x = acle.svld1(pg, xv)
+        y = acle.svld1(pg, yv)
+        zero = acle.svdup_f64(0.0)
+        xc = xv[0::2] + 1j * xv[1::2]
+        yc = yv[0::2] + 1j * yv[1::2]
+        r = acle.svcmla_x(pg, acle.svcmla_x(pg, zero, x, y, 90), x, y, 0)
+        got = r.values[0::2] + 1j * r.values[1::2]
+        assert np.allclose(got, xc * yc)
+        r = acle.svcmla_x(pg, acle.svcmla_x(pg, zero, x, y, 270), x, y, 0)
+        got = r.values[0::2] + 1j * r.values[1::2]
+        assert np.allclose(got, np.conj(xc) * yc)
+
+
+@_case("acle")
+def case_acle_structure_loads(vl_bits, fm):
+    rng = _rng(vl_bits, 17)
+    with acle.SVEContext(vl_bits):
+        lanes = acle.svcntd()
+        pg = acle.svptrue_b64()
+        buf = rng.normal(size=2 * lanes)
+        re, im = acle.svld2(pg, buf)
+        assert np.allclose(re.values, buf[0::2])
+        assert np.allclose(im.values, buf[1::2])
+        out = np.zeros(2 * lanes)
+        acle.svst2(pg, out, 0, re, im)
+        assert np.allclose(out, buf)
+
+
+@_case("acle")
+def case_acle_vla_loop_tail(vl_bits, fm):
+    rng = _rng(vl_bits, 18)
+    n = 2 * VL(vl_bits).lanes(8) + 3  # guaranteed ragged tail
+    x = rng.normal(size=n)
+    out = np.zeros(n)
+    with acle.SVEContext(vl_bits):
+        i = 0
+        while i < n:
+            pg = acle.svwhilelt_b64(i, n)
+            v = acle.svld1(pg, x, i)
+            acle.svst1(pg, out, i, acle.svmul_x(pg, v, 2.0))
+            i += acle.svcntd()
+    assert np.allclose(out, 2.0 * x)
+
+
+@_case("acle")
+def case_acle_ordered_reduction(vl_bits, fm):
+    rng = _rng(vl_bits, 19)
+    with acle.SVEContext(vl_bits):
+        lanes = acle.svcntd()
+        pg = acle.svptrue_b64()
+        xv = rng.normal(size=lanes)
+        v = acle.svld1(pg, xv)
+        tree = acle.svaddv(pg, v)
+        ordered = acle.svadda(pg, 0.0, v)
+        assert np.isclose(tree, xv.sum())
+        assert np.isclose(ordered, np.add.reduce(xv))
+
+
+@_case("acle")
+def case_acle_permutes(vl_bits, fm):
+    rng = _rng(vl_bits, 20)
+    with acle.SVEContext(vl_bits):
+        lanes = acle.svcntd()
+        pg = acle.svptrue_b64()
+        a = acle.svld1(pg, rng.normal(size=lanes))
+        b = acle.svld1(pg, rng.normal(size=lanes))
+        # zip/uzp round trip
+        lo, hi = acle.svzip1(a, b), acle.svzip2(a, b)
+        assert np.allclose(acle.svuzp1(lo, hi).values, a.values)
+        assert np.allclose(acle.svuzp2(lo, hi).values, b.values)
+        # ext rotation identity
+        r = acle.svext(a, a, lanes // 2)
+        r = acle.svext(r, r, lanes - lanes // 2)
+        assert np.allclose(r.values, a.values)
+
+
+@_case("acle")
+def case_acle_fp16_conversion(vl_bits, fm):
+    rng = _rng(vl_bits, 21)
+    with acle.SVEContext(vl_bits):
+        lanes = acle.svcntd()
+        pg = acle.svptrue_b64()
+        xv = rng.normal(size=lanes)
+        v = acle.svld1(pg, xv)
+        h = acle.svcvt_f16_x(pg, v)
+        assert np.allclose(h.values[:lanes], xv, rtol=2e-3, atol=1e-4)
+
+
+@_case("acle")
+def case_acle_sizeless_discipline(vl_bits, fm):
+    """Intrinsics outside a context must fail (Section III-C)."""
+    from repro.acle.context import NoSVEContext
+    try:
+        acle.svcntd()
+    except NoSVEContext:
+        return
+    raise AssertionError("svcntd without a context should raise")
+
+
+# ======================================================================
+# simd: the machine-specific backend layer
+# ======================================================================
+
+def _sve_backends(vl_bits):
+    return [get_backend(f"sve{vl_bits}-acle"), get_backend(f"sve{vl_bits}-real")]
+
+
+def _rand_rows(rng, backend, rows=3):
+    cl = backend.clanes()
+    return (rng.normal(size=(rows, cl)) + 1j * rng.normal(size=(rows, cl)))
+
+
+@_case("simd")
+def case_backend_mult_complex(vl_bits, fm):
+    rng = _rng(vl_bits, 22)
+    for be in _sve_backends(vl_bits):
+        x, y, z = (_rand_rows(rng, be) for _ in range(3))
+        assert np.allclose(be.mul(x, y), x * y), be.name
+        assert np.allclose(be.madd(z, x, y), z + x * y), be.name
+        assert np.allclose(be.msub(z, x, y), z - x * y), be.name
+
+
+@_case("simd")
+def case_backend_conj_ops(vl_bits, fm):
+    rng = _rng(vl_bits, 23)
+    for be in _sve_backends(vl_bits):
+        x, y, z = (_rand_rows(rng, be) for _ in range(3))
+        assert np.allclose(be.conj_mul(x, y), np.conj(x) * y), be.name
+        assert np.allclose(be.conj_madd(z, x, y), z + np.conj(x) * y), be.name
+        assert np.allclose(be.conj(x), np.conj(x)), be.name
+
+
+@_case("simd")
+def case_backend_realpart_ops(vl_bits, fm):
+    rng = _rng(vl_bits, 24)
+    for be in _sve_backends(vl_bits):
+        x, y, z = (_rand_rows(rng, be) for _ in range(3))
+        assert np.allclose(be.mul_real_part(x, y), x.real * y), be.name
+        assert np.allclose(be.madd_real_part(z, x, y), z + x.real * y), be.name
+
+
+@_case("simd")
+def case_backend_times_i(vl_bits, fm):
+    rng = _rng(vl_bits, 25)
+    for be in _sve_backends(vl_bits):
+        x = _rand_rows(rng, be)
+        assert np.allclose(be.times_i(x), 1j * x), be.name
+        assert np.allclose(be.times_minus_i(x), -1j * x), be.name
+
+
+@_case("simd")
+def case_backend_permutes(vl_bits, fm):
+    rng = _rng(vl_bits, 26)
+    for be in _sve_backends(vl_bits):
+        if be.clanes() < 2:
+            continue
+        x = _rand_rows(rng, be)
+        ref = get_backend(f"generic{vl_bits}")
+        levels = int(np.log2(be.clanes()))
+        for level in range(levels):
+            assert np.allclose(be.permute(x, level), ref.permute(x, level)), \
+                (be.name, level)
+            assert np.allclose(be.permute(be.permute(x, level), level), x), \
+                (be.name, level)
+
+
+@_case("simd")
+def case_backend_fp16_pack(vl_bits, fm):
+    rng = _rng(vl_bits, 27)
+    for be in _sve_backends(vl_bits):
+        x = _rand_rows(rng, be)
+        h = be.to_half(x)
+        assert h.dtype == np.float16
+        back = be.from_half(h)
+        assert np.allclose(back, x, rtol=2e-3, atol=1e-4), be.name
+
+
+@_case("simd")
+def case_backend_cross_equivalence(vl_bits, fm):
+    """All Table I backends + both SVE strategies agree bit-for-bit on
+    a random arithmetic expression."""
+    rng = _rng(vl_bits, 28)
+    gen = get_backend(f"generic{vl_bits}")
+    x, y, z = (_rand_rows(rng, gen) for _ in range(3))
+    want = (z + np.conj(x) * y) * (0.5 + 0.5j) + 1j * x
+    for be in _sve_backends(vl_bits) + [gen]:
+        got = be.add(be.scale(be.conj_madd(z, x, y), 0.5 + 0.5j),
+                     be.times_i(x))
+        assert np.allclose(got, want), be.name
+
+
+# ======================================================================
+# grid: lattice machinery on the SVE backends
+# ======================================================================
+
+def _small_grid(vl_bits, backend=None):
+    be = backend or get_backend(f"sve{vl_bits}-acle")
+    # 2^4 keeps SVE-backend runtime small while still exercising every
+    # virtual-node boundary (all odims small or 1).
+    return GridCartesian([2, 2, 2, 2], be)
+
+
+@_case("grid")
+def case_lattice_canonical_roundtrip(vl_bits, fm):
+    rng = _rng(vl_bits, 29)
+    g = _small_grid(vl_bits, get_backend(f"generic{vl_bits}"))
+    lat = Lattice(g, (4, 3))
+    can = rng.normal(size=(g.lsites, 4, 3)) + 1j * rng.normal(size=(g.lsites, 4, 3))
+    lat.from_canonical(can)
+    assert np.allclose(lat.to_canonical(), can)
+
+
+@_case("grid")
+def case_cshift_vs_roll(vl_bits, fm):
+    rng = _rng(vl_bits, 30)
+    g = _small_grid(vl_bits, get_backend(f"generic{vl_bits}"))
+    lat = Lattice(g, (3,))
+    can = rng.normal(size=(g.lsites, 3)) + 1j * rng.normal(size=(g.lsites, 3))
+    lat.from_canonical(can)
+    resh = can.reshape(tuple(reversed(g.ldims)) + (3,))
+    for dim in range(4):
+        for s in (1, -1):
+            got = cshift(lat, dim, s).to_canonical()
+            want = np.roll(resh, -s, axis=3 - dim).reshape(g.lsites, 3)
+            assert np.allclose(got, want), (dim, s)
+
+
+@_case("grid")
+def case_cshift_sve_backend(vl_bits, fm):
+    """cshift on the SVE backend: the lane permutes run through the
+    intrinsics layer."""
+    rng = _rng(vl_bits, 31)
+    g = _small_grid(vl_bits)
+    lat = Lattice(g, ())
+    can = rng.normal(size=(g.lsites,)) + 1j * rng.normal(size=(g.lsites,))
+    lat.from_canonical(can.reshape(g.lsites))
+    resh = can.reshape(tuple(reversed(g.ldims)))
+    for dim in range(4):
+        got = cshift(lat, dim, 1).to_canonical()
+        want = np.roll(resh, -1, axis=3 - dim).reshape(g.lsites)
+        assert np.allclose(got, want), dim
+
+
+@_case("grid")
+def case_stencil_equals_cshift(vl_bits, fm):
+    from repro.grid.stencil import HaloStencil, stencil_cshift
+
+    rng = _rng(vl_bits, 32)
+    g = _small_grid(vl_bits, get_backend(f"generic{vl_bits}"))
+    lat = Lattice(g, (3,))
+    lat.from_canonical(
+        rng.normal(size=(g.lsites, 3)) + 1j * rng.normal(size=(g.lsites, 3))
+    )
+    st = HaloStencil(g)
+    for dim in range(4):
+        for s in (+1, -1):
+            a = stencil_cshift(st, lat, dim, s).to_canonical()
+            b = cshift(lat, dim, s).to_canonical()
+            assert np.allclose(a, b), (dim, s)
+
+
+@_case("grid")
+def case_gamma_algebra(vl_bits, fm):
+    for mu in range(4):
+        for nu in range(4):
+            anti = gmod.GAMMA[mu] @ gmod.GAMMA[nu] + gmod.GAMMA[nu] @ gmod.GAMMA[mu]
+            assert np.allclose(anti, 2 * np.eye(4) * (mu == nu))
+        assert np.allclose(gmod.GAMMA[mu].conj().T, gmod.GAMMA[mu])
+    g5 = gmod.GAMMA[0] @ gmod.GAMMA[1] @ gmod.GAMMA[2] @ gmod.GAMMA[3]
+    assert np.allclose(g5, gmod.GAMMA5)
+
+
+@_case("grid")
+def case_spin_project_reconstruct(vl_bits, fm):
+    rng = _rng(vl_bits, 33)
+    be = get_backend(f"sve{vl_bits}-acle")
+    g = _small_grid(vl_bits, be)
+    psi = Lattice(g, (4, 3))
+    psi.from_canonical(
+        rng.normal(size=(g.lsites, 4, 3)) + 1j * rng.normal(size=(g.lsites, 4, 3))
+    )
+    for mu in range(4):
+        for sign in (+1, -1):
+            h = gmod.project(be, psi.data, mu, sign)
+            rec = gmod.reconstruct(be, h, mu, sign)
+            dense = gmod.spin_matrix_apply(
+                be, np.eye(4) + sign * gmod.GAMMA[mu], psi.data
+            )
+            assert np.allclose(rec, dense), (mu, sign)
+
+
+@_case("grid")
+def case_su3_random_field_unitary(vl_bits, fm):
+    from repro.grid.random import random_gauge
+    from repro.grid.su3 import max_det_defect, max_unitarity_defect
+
+    g = _small_grid(vl_bits, get_backend(f"generic{vl_bits}"))
+    links = random_gauge(g, seed=11)
+    for u in links:
+        assert max_unitarity_defect(u) < 1e-12
+        assert max_det_defect(u) < 1e-12
+
+
+@_case("grid")
+def case_plaquette_cold(vl_bits, fm):
+    from repro.grid.su3 import plaquette, unit_gauge
+
+    g = _small_grid(vl_bits, get_backend(f"generic{vl_bits}"))
+    assert np.isclose(plaquette(unit_gauge(g), g), 1.0)
+
+
+@_case("grid")
+def case_inner_product_linearity(vl_bits, fm):
+    rng = _rng(vl_bits, 34)
+    be = get_backend(f"sve{vl_bits}-acle")
+    g = _small_grid(vl_bits, be)
+    a, b = Lattice(g, (3,)), Lattice(g, (3,))
+    a.from_canonical(_cplx(rng, g.lsites * 3).reshape(g.lsites, 3))
+    b.from_canonical(_cplx(rng, g.lsites * 3).reshape(g.lsites, 3))
+    ref_a, ref_b = a.to_canonical().ravel(), b.to_canonical().ravel()
+    assert np.isclose(a.inner_product(b), np.vdot(ref_a, ref_b))
+    assert np.isclose(a.norm2(), np.vdot(ref_a, ref_a).real)
+
+
+# ======================================================================
+# physics: the Dirac operator and above
+# ======================================================================
+
+@_case("physics")
+def case_dhop_vs_reference_sve(vl_bits, fm):
+    from repro.grid.dhop_ref import dhop_reference
+    from repro.grid.random import random_gauge, random_spinor
+    from repro.grid.wilson import WilsonDirac
+
+    be = get_backend(f"sve{vl_bits}-acle")
+    g = _small_grid(vl_bits, be)
+    psi = random_spinor(g, seed=7)
+    links = random_gauge(g, seed=11)
+    got = WilsonDirac(links, mass=0.1).dhop(psi).to_canonical()
+    ref = dhop_reference([u.to_canonical() for u in links],
+                         psi.to_canonical(), g.gdims)
+    assert np.allclose(got, ref, rtol=1e-12, atol=1e-12)
+
+
+@_case("physics")
+def case_dhop_sve_real_alternative(vl_bits, fm):
+    """The Section V-E real-arithmetic backend produces the same dslash."""
+    from repro.grid.dhop_ref import dhop_reference
+    from repro.grid.random import random_gauge, random_spinor
+    from repro.grid.wilson import WilsonDirac
+
+    be = get_backend(f"sve{vl_bits}-real")
+    g = _small_grid(vl_bits, be)
+    psi = random_spinor(g, seed=7)
+    links = random_gauge(g, seed=11)
+    got = WilsonDirac(links, mass=0.1).dhop(psi).to_canonical()
+    ref = dhop_reference([u.to_canonical() for u in links],
+                         psi.to_canonical(), g.gdims)
+    assert np.allclose(got, ref, rtol=1e-12, atol=1e-12)
+
+
+@_case("physics")
+def case_wilson_g5_hermiticity(vl_bits, fm):
+    from repro.grid.random import random_gauge, random_spinor
+    from repro.grid.wilson import WilsonDirac
+
+    be = get_backend(f"generic{vl_bits}")
+    g = GridCartesian([4, 4, 4, 4], be)
+    w = WilsonDirac(random_gauge(g, seed=11), mass=0.1)
+    a = random_spinor(g, seed=20)
+    c = random_spinor(g, seed=21)
+    lhs = a.inner_product(w.apply(c))
+    rhs = w.apply_dagger(a).inner_product(c)
+    assert np.isclose(lhs, rhs, rtol=1e-10)
+
+
+@_case("physics")
+def case_cg_solver_converges(vl_bits, fm):
+    from repro.grid.random import random_gauge, random_spinor
+    from repro.grid.solver import solve_wilson_cgne
+    from repro.grid.wilson import WilsonDirac
+
+    be = get_backend(f"generic{vl_bits}")
+    g = GridCartesian([4, 4, 4, 4], be)
+    w = WilsonDirac(random_gauge(g, seed=11), mass=0.3)
+    rhs = random_spinor(g, seed=5)
+    res = solve_wilson_cgne(w, rhs, tol=1e-7, max_iter=300)
+    assert res.converged and res.residual < 1e-6
+
+
+@_case("physics")
+def case_distributed_dhop_equivalence(vl_bits, fm):
+    from repro.grid.comms import DistributedLattice
+    from repro.grid.dist_wilson import DistributedWilson, distribute_gauge
+    from repro.grid.random import random_gauge, random_spinor
+    from repro.grid.wilson import WilsonDirac
+
+    be = get_backend(f"generic{vl_bits}")
+    dims = [4, 4, 4, 4]
+    g = GridCartesian(dims, be)
+    psi = random_spinor(g, seed=7)
+    links = random_gauge(g, seed=11)
+    want = WilsonDirac(links, mass=0.1).dhop(psi).to_canonical()
+    mpi = [2, 1, 1, 2]
+    dlinks = distribute_gauge(links, dims, be, mpi)
+    dpsi = DistributedLattice(dims, be, mpi, (4, 3)).scatter(psi.to_canonical())
+    got = DistributedWilson(dlinks, mass=0.1).dhop(dpsi).gather()
+    assert np.allclose(got, want, rtol=1e-12, atol=1e-12)
+
+
+@_case("physics")
+def case_fp16_halo_accuracy(vl_bits, fm):
+    """fp16-compressed halo exchange changes the dslash only within the
+    fp16 error bound (Section V-B usage)."""
+    from repro.grid.comms import DistributedLattice
+    from repro.grid.dist_wilson import DistributedWilson, distribute_gauge
+    from repro.grid.random import random_gauge, random_spinor
+    from repro.grid.wilson import WilsonDirac
+
+    be = get_backend(f"generic{vl_bits}")
+    dims = [4, 4, 4, 4]
+    g = GridCartesian(dims, be)
+    psi = random_spinor(g, seed=7)
+    links = random_gauge(g, seed=11)
+    want = WilsonDirac(links, mass=0.1).dhop(psi).to_canonical()
+    mpi = [2, 1, 1, 1]
+    dlinks = distribute_gauge(links, dims, be, mpi, compress_halos=True)
+    dpsi = DistributedLattice(dims, be, mpi, (4, 3),
+                              compress_halos=True).scatter(psi.to_canonical())
+    got = DistributedWilson(dlinks, mass=0.1).dhop(dpsi).gather()
+    err = np.abs(got - want).max()
+    scale = np.abs(want).max()
+    assert err < 5e-3 * scale, f"fp16 halo error {err} too large"
+    assert err > 0.0, "compression should not be bit-exact"
+
+
+ALL_CASES: tuple[Case, ...] = tuple(_REGISTRY)
+
+
+# ======================================================================
+# Additional cases: extensions beyond the paper's minimum scope
+# ======================================================================
+
+@_case("kernel", fault_sensitive=True)
+def case_dot_reduction_kernel(vl_bits, fm):
+    from repro.vectorizer.reductions import run_dot
+
+    rng = _rng(vl_bits, 40)
+    x, y = rng.normal(size=213), rng.normal(size=213)
+    got = run_dot(x, y, vl_bits, fault_model=fm)
+    assert np.isclose(got, x @ y, rtol=1e-10), \
+        f"dot reduction wrong at VL{vl_bits}"
+
+
+@_case("kernel", fault_sensitive=True)
+def case_cplx_dot_reduction_kernel(vl_bits, fm):
+    from repro.vectorizer.reductions import run_dot
+
+    rng = _rng(vl_bits, 41)
+    x, y = _cplx(rng, 101), _cplx(rng, 101)
+    got = run_dot(x, y, vl_bits, fault_model=fm)
+    assert np.isclose(got, np.vdot(x, y), rtol=1e-10)
+
+
+@_case("acle")
+def case_acle_gather_scatter(vl_bits, fm):
+    rng = _rng(vl_bits, 42)
+    with acle.SVEContext(vl_bits):
+        lanes = acle.svcntd()
+        pg = acle.svptrue_b64()
+        data = rng.normal(size=4 * lanes)
+        idx = acle.svindex_s64(0, 4)
+        v = acle.svld1_gather_index(pg, data, idx)
+        assert np.allclose(v.values, data[0::4][:lanes])
+        out = np.zeros(4 * lanes)
+        acle.svst1_scatter_index(pg, out, idx, v)
+        assert np.allclose(out[0::4][:lanes], v.values)
+
+
+@_case("acle")
+def case_acle_compare_select(vl_bits, fm):
+    rng = _rng(vl_bits, 43)
+    with acle.SVEContext(vl_bits):
+        lanes = acle.svcntd()
+        pg = acle.svptrue_b64()
+        xv = rng.normal(size=lanes)
+        v = acle.svld1(pg, xv)
+        zero = acle.svdup_f64(0.0)
+        relu = acle.svsel(acle.svcmpgt(pg, v, zero), v, zero)
+        assert np.allclose(relu.values, np.maximum(xv, 0.0))
+
+
+@_case("physics")
+def case_evenodd_schur_solve(vl_bits, fm):
+    from repro.grid.evenodd import SchurWilson
+    from repro.grid.random import random_gauge, random_spinor
+    from repro.grid.wilson import WilsonDirac
+
+    be = get_backend(f"generic{vl_bits}")
+    g = GridCartesian([4, 4, 4, 4], be)
+    dirac = WilsonDirac(random_gauge(g, seed=11), mass=0.3)
+    b = random_spinor(g, seed=5)
+    res = SchurWilson(dirac).solve(b, tol=1e-7, max_iter=400)
+    assert res.converged and res.residual < 1e-6
+
+
+@_case("physics")
+def case_mixed_precision_solve(vl_bits, fm):
+    from repro.grid.mixedprec import mixed_precision_cgne
+    from repro.grid.random import random_gauge, random_spinor
+    from repro.grid.wilson import WilsonDirac
+
+    be = get_backend(f"generic{vl_bits}")
+    g = GridCartesian([4, 4, 4, 4], be)
+    dirac = WilsonDirac(random_gauge(g, seed=11), mass=0.3)
+    b = random_spinor(g, seed=5)
+    res = mixed_precision_cgne(dirac, b, tol=1e-9, inner_tol=1e-4)
+    assert res.converged and res.residual < 1e-9
+
+
+@_case("grid")
+def case_wilson_loops(vl_bits, fm):
+    from repro.grid.observables import average_plaquette, wilson_loop
+    from repro.grid.random import random_gauge
+    from repro.grid.su3 import plaquette, unit_gauge
+
+    be = get_backend(f"generic{vl_bits}")
+    g = GridCartesian([4, 4, 4, 4], be)
+    cold = unit_gauge(g)
+    assert np.isclose(wilson_loop(cold, g, 0, 3, 2, 2), 1.0)
+    hot = random_gauge(g, seed=11)
+    assert np.isclose(average_plaquette(hot, g), plaquette(hot, g))
+
+
+# Rebuild the exported tuple to include the late additions.
+ALL_CASES = tuple(_REGISTRY)
+
+
+@_case("physics")
+def case_clover_operator(vl_bits, fm):
+    from repro.grid.clover import WilsonClover
+    from repro.grid.random import random_gauge, random_spinor
+    from repro.grid.su3 import unit_gauge
+    from repro.grid.wilson import WilsonDirac
+
+    be = get_backend(f"generic{vl_bits}")
+    g = GridCartesian([4, 4, 4, 4], be)
+    cold = unit_gauge(g)
+    psi = random_spinor(g, seed=7)
+    w = WilsonDirac(cold, mass=0.1).apply(psi)
+    c = WilsonClover(cold, mass=0.1, c_sw=1.0).apply(psi)
+    assert np.allclose(w.data, c.data, atol=1e-13)
+    hot = random_gauge(g, seed=11)
+    clover = WilsonClover(hot, mass=0.1, c_sw=1.0)
+    a, b = random_spinor(g, seed=20), random_spinor(g, seed=21)
+    lhs = a.inner_product(clover.apply(b))
+    rhs = clover.apply_dagger(a).inner_product(b)
+    assert np.isclose(lhs, rhs, rtol=1e-10)
+
+
+@_case("grid")
+def case_vec_structure_kernels(vl_bits, fm):
+    from repro.acle.context import SVEContext
+    from repro.simd.vec import MultComplex, Vec
+
+    rng = _rng(vl_bits, 44)
+    lanes = vl_bits // 64
+    x = Vec(vl_bits, np.float64, rng.normal(size=lanes))
+    y = Vec(vl_bits, np.float64, rng.normal(size=lanes))
+    with SVEContext(vl_bits):
+        out = MultComplex()(x, y)
+    assert np.allclose(out.complex_view(),
+                       x.complex_view() * y.complex_view())
+
+
+ALL_CASES = tuple(_REGISTRY)

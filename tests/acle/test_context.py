@@ -1,0 +1,70 @@
+"""SVEContext tests: the sizeless-type discipline (Section III-C)."""
+
+import pytest
+
+from repro import acle
+from repro.acle.context import NoSVEContext, SVEContext, current_vl
+
+
+class TestContextDiscipline:
+    def test_intrinsic_outside_context_raises(self):
+        with pytest.raises(NoSVEContext, match="sizeless"):
+            acle.svcntd()
+
+    def test_context_provides_vl(self):
+        with SVEContext(512):
+            assert acle.svcntd() == 8
+            assert acle.svcntw() == 16
+            assert acle.svcnth() == 32
+            assert acle.svcntb() == 64
+
+    def test_nested_contexts_innermost_wins(self):
+        with SVEContext(512):
+            assert acle.svcntd() == 8
+            with SVEContext(128):
+                assert acle.svcntd() == 2
+            assert acle.svcntd() == 8
+
+    def test_context_exit_restores_nothing(self):
+        with SVEContext(256):
+            pass
+        with pytest.raises(NoSVEContext):
+            acle.svcntd()
+
+    def test_vl_validation(self):
+        with pytest.raises(ValueError):
+            SVEContext(100)
+
+    def test_current_vl(self):
+        with SVEContext(1024):
+            assert current_vl().bits == 1024
+
+
+class TestInstructionCounting:
+    def test_counts_accumulate(self):
+        with SVEContext(512) as ctx:
+            pg = acle.svptrue_b64()
+            x = acle.svdup_f64(1.0)
+            acle.svmla_x(pg, x, x, x)
+            acle.svcmla_x(pg, x, x, x, 0)
+        assert ctx.counts["ptrue"] == 1
+        assert ctx.counts["dup"] == 1
+        assert ctx.counts["fmla"] == 1
+        assert ctx.counts["fcmla"] == 1
+
+    def test_counts_survive_reentry(self):
+        ctx = SVEContext(256)
+        for _ in range(3):
+            with ctx:
+                acle.svcntd()
+        assert ctx.counts["cntd"] == 3
+
+    def test_counting_disabled(self):
+        with SVEContext(512, count_instructions=False) as ctx:
+            acle.svcntd()
+        assert not ctx.counts
+
+    def test_intrinsic_counts_helper(self):
+        with SVEContext(512) as ctx:
+            acle.svdup_f64(0.0)
+            assert acle.intrinsic_counts() is ctx.counts

@@ -1,0 +1,244 @@
+"""ACLE intrinsic semantics tests."""
+
+import numpy as np
+import pytest
+
+from repro import acle
+from repro.acle.context import SVEContext
+
+
+@pytest.fixture
+def ctx512():
+    with SVEContext(512) as c:
+        yield c
+
+
+def _ld(pg, arr):
+    return acle.svld1(pg, np.asarray(arr, dtype=np.float64))
+
+
+class TestLoadsStores:
+    def test_svld1_full(self, ctx512, rng):
+        pg = acle.svptrue_b64()
+        vals = rng.normal(size=8)
+        assert np.array_equal(_ld(pg, vals).values, vals)
+
+    def test_svld1_partial_zeroes(self, ctx512, rng):
+        vals = rng.normal(size=3)
+        pg = acle.svwhilelt_b64(0, 3)
+        out = acle.svld1(pg, vals)
+        assert np.array_equal(out.values[:3], vals)
+        assert np.all(out.values[3:] == 0.0)
+
+    def test_svld1_offset(self, ctx512, rng):
+        vals = rng.normal(size=20)
+        pg = acle.svptrue_b64()
+        out = acle.svld1(pg, vals, 4)
+        assert np.array_equal(out.values, vals[4:12])
+
+    def test_svld1_active_oob_raises(self, ctx512):
+        pg = acle.svptrue_b64()
+        with pytest.raises(IndexError):
+            acle.svld1(pg, np.zeros(5))
+
+    def test_svst1_partial(self, ctx512, rng):
+        out = np.full(8, -1.0)
+        pg = acle.svwhilelt_b64(0, 2)
+        acle.svst1(pg, out, 0, acle.svdup_f64(3.0))
+        assert np.array_equal(out, [3, 3, -1, -1, -1, -1, -1, -1])
+
+    def test_svst1_noncontiguous_rejected(self, ctx512):
+        buf = np.zeros((8, 2))[:, 0]  # strided view
+        pg = acle.svptrue_b64()
+        with pytest.raises(TypeError, match="contiguous"):
+            acle.svst1(pg, buf, 0, acle.svdup_f64(1.0))
+
+    def test_svld2_svst2(self, ctx512, rng):
+        buf = rng.normal(size=16)
+        pg = acle.svptrue_b64()
+        re, im = acle.svld2(pg, buf)
+        assert np.array_equal(re.values, buf[0::2])
+        assert np.array_equal(im.values, buf[1::2])
+        out = np.zeros(16)
+        acle.svst2(pg, out, 0, re, im)
+        assert np.array_equal(out, buf)
+
+    def test_svld3_svld4(self, ctx512, rng):
+        buf3 = rng.normal(size=24)
+        pg = acle.svptrue_b64()
+        a, b, c = acle.svld3(pg, buf3)
+        assert np.array_equal(b.values, buf3[1::3])
+        buf4 = rng.normal(size=32)
+        vs = acle.svld4(pg, buf4)
+        assert np.array_equal(vs[3].values, buf4[3::4])
+        out = np.zeros(32)
+        acle.svst4(pg, out, 0, *vs)
+        assert np.array_equal(out, buf4)
+
+    def test_float32_loads(self):
+        with SVEContext(256):
+            vals = np.arange(8, dtype=np.float32)
+            pg = acle.svptrue_b32()
+            out = acle.svld1(pg, vals)
+            assert out.values.dtype == np.float32
+            assert np.array_equal(out.values, vals)
+
+
+class TestArithmetic:
+    def test_binary_ops(self, ctx512, rng):
+        pg = acle.svptrue_b64()
+        a, b = rng.normal(size=8), rng.normal(size=8)
+        va, vb = _ld(pg, a), _ld(pg, b)
+        assert np.allclose(acle.svadd_x(pg, va, vb).values, a + b)
+        assert np.allclose(acle.svsub_x(pg, va, vb).values, a - b)
+        assert np.allclose(acle.svmul_x(pg, va, vb).values, a * b)
+        assert np.allclose(acle.svdiv_x(pg, va, vb).values, a / b)
+        assert np.allclose(acle.svmax_x(pg, va, vb).values, np.maximum(a, b))
+        assert np.allclose(acle.svmin_x(pg, va, vb).values, np.minimum(a, b))
+
+    def test_scalar_operand_form(self, ctx512, rng):
+        pg = acle.svptrue_b64()
+        a = rng.normal(size=8)
+        out = acle.svmul_x(pg, _ld(pg, a), 2.0)
+        assert np.allclose(out.values, 2 * a)
+
+    def test_unary_ops(self, ctx512, rng):
+        pg = acle.svptrue_b64()
+        a = rng.normal(size=8)
+        va = _ld(pg, a)
+        assert np.allclose(acle.svneg_x(pg, va).values, -a)
+        assert np.allclose(acle.svabs_x(pg, va).values, np.abs(a))
+        assert np.allclose(acle.svsqrt_x(pg, _ld(pg, np.abs(a))).values,
+                           np.sqrt(np.abs(a)))
+
+    def test_fma_family(self, ctx512, rng):
+        pg = acle.svptrue_b64()
+        acc, a, b = (rng.normal(size=8) for _ in range(3))
+        vacc, va, vb = _ld(pg, acc), _ld(pg, a), _ld(pg, b)
+        assert np.allclose(acle.svmla_x(pg, vacc, va, vb).values, acc + a * b)
+        assert np.allclose(acle.svmls_x(pg, vacc, va, vb).values, acc - a * b)
+        assert np.allclose(acle.svmad_x(pg, va, vb, vacc).values, a * b + acc)
+
+    def test_predicated_merge(self, ctx512, rng):
+        a = rng.normal(size=8)
+        pg = acle.svwhilelt_b64(0, 4)
+        va = _ld(acle.svptrue_b64(), a)
+        out = acle.svneg_x(pg, va)
+        assert np.allclose(out.values[:4], -a[:4])
+        assert np.allclose(out.values[4:], a[4:])  # _x merges with operand
+
+    def test_index_and_dup(self, ctx512):
+        assert np.array_equal(acle.svindex_s64(3, 2).values,
+                              3 + 2 * np.arange(8))
+        assert np.all(acle.svdup_f64(1.5).values == 1.5)
+        assert acle.svdup_s32(7).values.dtype == np.int32
+
+
+class TestComplexIntrinsics:
+    def test_svcmla_matches_ops(self, ctx512, rng):
+        from repro.sve.ops import cplx
+
+        pg = acle.svptrue_b64()
+        acc, x, y = (rng.normal(size=8) for _ in range(3))
+        for rot in (0, 90, 180, 270):
+            got = acle.svcmla_x(pg, _ld(pg, acc), _ld(pg, x), _ld(pg, y),
+                                rot)
+            assert np.allclose(got.values, cplx.fcmla(acc, x, y, rot)), rot
+
+    def test_svcadd(self, ctx512, rng):
+        from repro.sve.ops import cplx
+
+        pg = acle.svptrue_b64()
+        a, b = rng.normal(size=8), rng.normal(size=8)
+        for rot in (90, 270):
+            got = acle.svcadd_x(pg, _ld(pg, a), _ld(pg, b), rot)
+            assert np.allclose(got.values, cplx.fcadd(a, b, rot)), rot
+
+    def test_paper_section_vc_multcomplex(self, grid_vl, rng):
+        """The Section V-C MultComplex kernel written with intrinsics."""
+        with SVEContext(grid_vl):
+            lanes = acle.svcntd()
+            x = rng.normal(size=lanes)
+            y = rng.normal(size=lanes)
+            out = np.zeros(lanes)
+            pg1 = acle.svptrue_b64()
+            x_v = acle.svld1(pg1, x)
+            y_v = acle.svld1(pg1, y)
+            z_v = acle.svdup_f64(0.0)
+            r_v = acle.svcmla_x(pg1, z_v, x_v, y_v, 90)
+            r_v = acle.svcmla_x(pg1, r_v, x_v, y_v, 0)
+            acle.svst1(pg1, out, 0, r_v)
+        xc, yc = x[0::2] + 1j * x[1::2], y[0::2] + 1j * y[1::2]
+        assert np.allclose(out[0::2] + 1j * out[1::2], xc * yc)
+
+
+class TestPermutesAndReductions:
+    def test_permutes_match_ops(self, ctx512, rng):
+        from repro.sve.ops import permute as pm
+
+        pg = acle.svptrue_b64()
+        a, b = rng.normal(size=8), rng.normal(size=8)
+        va, vb = _ld(pg, a), _ld(pg, b)
+        assert np.array_equal(acle.svzip1(va, vb).values, pm.zip1(a, b))
+        assert np.array_equal(acle.svuzp2(va, vb).values, pm.uzp2(a, b))
+        assert np.array_equal(acle.svtrn1(va, vb).values, pm.trn1(a, b))
+        assert np.array_equal(acle.svrev(va).values, a[::-1])
+        assert np.array_equal(acle.svext(va, vb, 3).values,
+                              np.concatenate([a[3:], b[:3]]))
+
+    def test_svtbl(self, ctx512, rng):
+        pg = acle.svptrue_b64()
+        a = rng.normal(size=8)
+        idx = acle.svindex_s64(7, -1)
+        out = acle.svtbl(_ld(pg, a), idx)
+        assert np.array_equal(out.values, a[::-1])
+
+    def test_svdup_lane(self, ctx512, rng):
+        pg = acle.svptrue_b64()
+        a = rng.normal(size=8)
+        assert np.all(acle.svdup_lane(_ld(pg, a), 3).values == a[3])
+
+    def test_svsel_svsplice_svcompact(self, ctx512, rng):
+        a, b = rng.normal(size=8), rng.normal(size=8)
+        pg_all = acle.svptrue_b64()
+        pg = acle.svwhilelt_b64(0, 4)
+        va, vb = _ld(pg_all, a), _ld(pg_all, b)
+        sel = acle.svsel(pg, va, vb)
+        assert np.array_equal(sel.values[:4], a[:4])
+        assert np.array_equal(sel.values[4:], b[4:])
+        spl = acle.svsplice(pg, va, vb)
+        assert np.array_equal(spl.values, np.concatenate([a[:4], b[:4]]))
+        cmp = acle.svcompact(pg, va)
+        assert np.array_equal(cmp.values[:4], a[:4])
+        assert np.all(cmp.values[4:] == 0.0)
+
+    def test_reductions(self, ctx512, rng):
+        a = rng.normal(size=8)
+        pg = acle.svptrue_b64()
+        va = _ld(pg, a)
+        assert np.isclose(acle.svaddv(pg, va), a.sum())
+        assert np.isclose(acle.svadda(pg, 1.0, va), 1.0 + np.add.reduce(a))
+        assert acle.svmaxv(pg, va) == a.max()
+        assert acle.svminv(pg, va) == a.min()
+
+    def test_partial_reduction(self, ctx512, rng):
+        a = rng.normal(size=8)
+        pg = acle.svwhilelt_b64(0, 3)
+        assert np.isclose(acle.svaddv(pg, _ld(acle.svptrue_b64(), a)),
+                          a[:3].sum())
+
+
+class TestConversions:
+    def test_f64_to_f16_and_back(self, ctx512, rng):
+        a = rng.normal(size=8)
+        pg = acle.svptrue_b64()
+        h = acle.svcvt_f16_x(pg, _ld(pg, a))
+        assert h.values.dtype == np.float16
+        assert np.allclose(h.values[:8], a, rtol=2e-3, atol=1e-4)
+
+    def test_f64_to_f32(self, ctx512, rng):
+        a = rng.normal(size=8)
+        pg = acle.svptrue_b64()
+        s = acle.svcvt_f32_x(pg, _ld(pg, a))
+        assert s.values.dtype == np.float32
+        assert np.allclose(s.values[:8], a, rtol=1e-6)

@@ -1,0 +1,97 @@
+"""svbool_t / svvector_t type tests."""
+
+import numpy as np
+import pytest
+
+from repro import acle
+from repro.acle.context import SVEContext
+from repro.acle.vector import svvector_t
+
+
+class TestPredicateConstructors:
+    def test_ptrue_widths(self, grid_vl):
+        with SVEContext(grid_vl):
+            assert acle.svptrue_b64().lanes == grid_vl.lanes(8)
+            assert acle.svptrue_b32().lanes == grid_vl.lanes(4)
+            assert acle.svptrue_b16().lanes == grid_vl.lanes(2)
+            assert acle.svptrue_b8().lanes == grid_vl.lanes(1)
+
+    def test_ptrue_pattern(self):
+        with SVEContext(512):
+            pg = acle.svptrue_b64("vl4")
+            assert pg.count() == 4
+
+    def test_pfalse(self):
+        with SVEContext(512):
+            assert acle.svpfalse_b().count() == 0
+
+    def test_whilelt(self, grid_vl):
+        with SVEContext(grid_vl):
+            lanes = grid_vl.lanes(8)
+            pg = acle.svwhilelt_b64(0, 3)
+            assert pg.count() == min(3, lanes)
+            assert acle.svwhilelt_b64(5, 5).count() == 0
+
+    def test_whilelt_negative_base(self):
+        with SVEContext(512):
+            pg = acle.svwhilelt_b64(-2, 1)
+            assert pg.count() == min(3, 8)
+
+    def test_cntp(self):
+        with SVEContext(512):
+            pg = acle.svptrue_b64()
+            pn = acle.svwhilelt_b64(0, 5)
+            assert acle.svcntp_b64(pg, pn) == 5
+
+    def test_mask_is_copy(self):
+        with SVEContext(512):
+            pg = acle.svptrue_b64()
+            m = pg.mask
+            m[:] = False
+            assert pg.count() == 8
+
+
+class TestVectorType:
+    def test_from_array_validates_lanes(self):
+        with SVEContext(512):
+            with pytest.raises(ValueError, match="lanes"):
+                svvector_t.from_array(np.zeros(7))
+            v = svvector_t.from_array(np.zeros(8))
+            assert v.lanes == 8 and v.esize == 8
+
+    def test_values_roundtrip(self, rng):
+        with SVEContext(256):
+            vals = rng.normal(size=4)
+            v = svvector_t.from_array(vals)
+            assert np.array_equal(v.values, vals)
+
+    def test_immutable(self):
+        with SVEContext(256):
+            v = svvector_t.from_array(np.zeros(4))
+            with pytest.raises(Exception):
+                v.data = (1, 2, 3, 4)
+
+    def test_mixed_width_predicate_rejected(self):
+        """A 32-bit predicate on 64-bit data is a type error — the bug
+        class the early SVE toolchain got wrong (Section V-D)."""
+        with SVEContext(512):
+            pg32 = acle.svwhilelt_b32(0, 100)
+            x = acle.svdup_f64(1.0)
+            with pytest.raises(TypeError):
+                acle.svadd_x(pg32, x, x)
+
+    def test_mixed_vl_rejected(self):
+        with SVEContext(512):
+            x512 = acle.svdup_f64(1.0)
+        with SVEContext(256):
+            pg256 = acle.svptrue_b64()
+            with pytest.raises(TypeError):
+                acle.svneg_x(pg256, x512)
+
+    def test_mismatched_operands_rejected(self):
+        with SVEContext(512):
+            pg = acle.svptrue_b64()
+            x = acle.svdup_f64(1.0)
+            y = acle.svdup_f32(1.0)
+            with pytest.raises(TypeError):
+                acle.svadd_x(pg, x, y)

@@ -1,0 +1,74 @@
+"""Command-line front-end tests (the ``armie -vl`` work-alike)."""
+
+import numpy as np
+import pytest
+
+from repro.armie.cli import build_parser, main
+
+PROG = """
+    mov x1, #6
+    mul x0, x0, x1
+    ret
+"""
+
+VEC_PROG = """
+    ptrue p0.d
+    cntd x0
+    ret
+"""
+
+
+@pytest.fixture
+def asm_file(tmp_path):
+    f = tmp_path / "prog.s"
+    f.write_text(PROG)
+    return str(f)
+
+
+class TestParser:
+    def test_defaults(self, asm_file):
+        args = build_parser().parse_args([asm_file])
+        assert args.vl == 512 and not args.trace
+
+    def test_rejects_illegal_vl(self, asm_file):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([asm_file, "--vl", "100"])
+
+
+class TestMain:
+    def test_runs_and_prints(self, asm_file, capsys):
+        rc = main([asm_file, "--vl", "256", "--args", "7"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "x0       : 42" in out
+        assert "retired" in out
+
+    def test_vl_visible_to_program(self, tmp_path, capsys):
+        f = tmp_path / "v.s"
+        f.write_text(VEC_PROG)
+        main([str(f), "--vl", "1024"])
+        out = capsys.readouterr().out
+        assert "x0       : 16" in out  # 1024 bits = 16 doubles
+
+    def test_trace_stream(self, asm_file, capsys):
+        main([asm_file, "--trace", "--args", "1"])
+        out = capsys.readouterr().out
+        assert "mul x0, x0, x1" in out
+
+    def test_hex_args(self, asm_file, capsys):
+        main([asm_file, "--args", "0x10"])
+        assert "x0       : 96" in capsys.readouterr().out
+
+    def test_faulty_toolchain_flag(self, tmp_path, capsys):
+        f = tmp_path / "w.s"
+        f.write_text("""
+            mov x0, #3
+            whilelo p0.d, xzr, x0
+            cntp x0, p0, p0.d
+            ret
+        """)
+        main([str(f), "--vl", "1024", "--faulty-toolchain"])
+        out = capsys.readouterr().out
+        # The drop-first fault removes one active lane: 3 -> 2.
+        assert "x0       : 2" in out
+        assert "faults fired" in out

@@ -1,0 +1,79 @@
+"""Emulator front-end tests."""
+
+import numpy as np
+import pytest
+
+from repro.armie import run_kernel, run_program, sweep_vls
+from repro.sve.decoder import assemble
+from repro.sve.faults import armclang_18_3
+from repro.vectorizer import ir
+from repro.vectorizer.autovec import vectorize
+
+
+@pytest.fixture(scope="module")
+def setup():
+    rng = np.random.default_rng(3)
+    k = ir.mult_real_kernel()
+    return k, vectorize(k), rng.normal(size=100), rng.normal(size=100)
+
+
+class TestRunKernel:
+    def test_output_and_histogram(self, setup):
+        k, prog, x, y = setup
+        res = run_kernel(prog, k, [x, y], 512)
+        assert np.array_equal(res.output, x * y)
+        assert res.retired > 0
+        assert res.histogram["fmul"] == -(-100 // 8)
+        assert res.count("ld1d", "st1d") == 3 * -(-100 // 8)
+
+    def test_vl_accepts_int_or_vl(self, setup):
+        from repro.sve.vl import VL
+
+        k, prog, x, y = setup
+        a = run_kernel(prog, k, [x, y], 256)
+        b = run_kernel(prog, k, [x, y], VL(256))
+        assert np.array_equal(a.output, b.output)
+
+    def test_wrong_arity_rejected(self, setup):
+        k, prog, x, y = setup
+        with pytest.raises(ValueError, match="takes 2"):
+            run_kernel(prog, k, [x], 512)
+
+    def test_complex_marshalling(self):
+        rng = np.random.default_rng(4)
+        k = ir.mult_cplx_kernel()
+        prog = vectorize(k, complex_isa=True)
+        x = rng.normal(size=33) + 1j * rng.normal(size=33)
+        y = rng.normal(size=33) + 1j * rng.normal(size=33)
+        res = run_kernel(prog, k, [x, y], 512)
+        assert res.output.dtype == np.complex128
+        assert np.allclose(res.output, x * y)
+
+    def test_explicit_n(self, setup):
+        k, prog, x, y = setup
+        res = run_kernel(prog, k, [x, y], 512, n=10)
+        assert np.array_equal(res.output, (x * y)[:10])
+
+    def test_fault_model_recorded(self, setup):
+        k, prog, x, y = setup
+        res = run_kernel(prog, k, [x, y], 1024, fault_model=armclang_18_3())
+        assert "whilelo-dropfirst-vl1024" in res.faults_fired
+
+
+class TestSweep:
+    def test_sweep_defaults(self, setup):
+        k, prog, x, y = setup
+        results = sweep_vls(prog, k, [x, y])
+        assert sorted(results) == [128, 256, 512, 1024, 2048]
+        for res in results.values():
+            assert np.array_equal(res.output, x * y)
+
+
+class TestRunProgram:
+    def test_args_in_x_registers(self):
+        m = run_program(assemble("add x0, x0, x1\nret\n"), 128, args=(3, 4))
+        assert m.x.read(0) == 7
+
+    def test_tracer_attached(self):
+        m = run_program(assemble("mov x0, #1\nret\n"), 128)
+        assert m.tracer.total == 2

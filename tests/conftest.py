@@ -1,0 +1,29 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.sve.vl import VL
+
+#: The vector lengths most tests sweep (the paper's Grid-enabled set).
+GRID_VLS = (128, 256, 512)
+
+#: The full power-of-two sweep used by simulator-level tests.
+POW2_VLS = (128, 256, 512, 1024, 2048)
+
+
+@pytest.fixture(params=POW2_VLS)
+def vl(request) -> VL:
+    """A vector length, parameterized over the power-of-two sweep."""
+    return VL(request.param)
+
+
+@pytest.fixture(params=GRID_VLS)
+def grid_vl(request) -> VL:
+    """A vector length from the paper's Grid-enabled set."""
+    return VL(request.param)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)

@@ -1,0 +1,157 @@
+"""Boundary-phase and configuration-I/O tests."""
+
+import numpy as np
+import pytest
+
+from repro.grid.boundary import (
+    ANTIPERIODIC_TIME,
+    TwistedWilson,
+    apply_boundary_phases,
+)
+from repro.grid.cartesian import GridCartesian
+from repro.grid.io import ConfigFormatError, ConfigHeader, load_gauge, \
+    save_gauge
+from repro.grid.random import random_gauge, random_spinor
+from repro.grid.su3 import max_unitarity_defect, plaquette, unit_gauge
+from repro.grid.wilson import WilsonDirac
+from repro.simd import get_backend
+
+DIMS = [4, 4, 4, 4]
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return GridCartesian(DIMS, get_backend("avx512"))
+
+
+@pytest.fixture(scope="module")
+def hot(grid):
+    return random_gauge(grid, seed=11)
+
+
+class TestBoundaryPhases:
+    def test_periodic_phases_are_identity(self, grid, hot):
+        out = apply_boundary_phases(hot, grid, (1, 1, 1, 1))
+        for a, b in zip(out, hot):
+            assert np.array_equal(a.data, b.data)
+
+    def test_only_boundary_slice_touched(self, grid, hot):
+        out = apply_boundary_phases(hot, grid, ANTIPERIODIC_TIME)
+        lt = grid.ldims[3]
+        a = out[3].to_canonical().reshape(lt, -1, 3, 3)
+        b = hot[3].to_canonical().reshape(lt, -1, 3, 3)
+        assert np.array_equal(a[: lt - 1], b[: lt - 1])
+        assert np.array_equal(a[lt - 1], -b[lt - 1])
+        # Spatial links untouched.
+        for mu in range(3):
+            assert np.array_equal(out[mu].data, hot[mu].data)
+
+    def test_phases_stay_unitary(self, grid, hot):
+        out = apply_boundary_phases(hot, grid, (1, -1, 1j, -1))
+        for u in out:
+            assert max_unitarity_defect(u) < 1e-12
+
+    def test_non_phase_rejected(self, grid, hot):
+        with pytest.raises(ValueError, match="pure phase"):
+            apply_boundary_phases(hot, grid, (1, 1, 1, 2.0))
+        with pytest.raises(ValueError, match="phases"):
+            apply_boundary_phases(hot, grid, (1, 1, 1))
+
+    def test_twisted_operator_differs(self, grid, hot):
+        psi = random_spinor(grid, seed=7)
+        per = WilsonDirac(hot, mass=0.1).apply(psi)
+        anti = TwistedWilson(hot, mass=0.1).apply(psi)
+        assert not np.allclose(per.data, anti.data)
+
+    def test_twist_preserves_gamma5_hermiticity(self, grid, hot):
+        w = TwistedWilson(hot, mass=0.1)
+        a = random_spinor(grid, seed=20)
+        b = random_spinor(grid, seed=21)
+        assert np.isclose(a.inner_product(w.apply(b)),
+                          w.apply_dagger(a).inner_product(b), rtol=1e-10)
+
+    def test_free_field_zero_mode_lifted(self, grid):
+        """With m=0 on a cold gauge field, the periodic operator
+        annihilates the constant mode; the anti-periodic one does not
+        (the physics reason for the twist)."""
+        from repro.grid.lattice import Lattice
+        from repro.grid.wilson import SPINOR
+
+        cold = unit_gauge(grid)
+        psi = Lattice(grid, SPINOR)
+        psi.from_canonical(np.ones((grid.lsites, 4, 3)) + 0j)
+        per = WilsonDirac(cold, mass=0.0).apply(psi)
+        anti = TwistedWilson(cold, mass=0.0).apply(psi)
+        assert per.norm2() < 1e-20 * psi.norm2()
+        assert anti.norm2() > 1e-3 * psi.norm2()
+
+    def test_original_links_untouched(self, grid, hot):
+        before = [u.data.copy() for u in hot]
+        TwistedWilson(hot, mass=0.1)
+        for u, b in zip(hot, before):
+            assert np.array_equal(u.data, b)
+
+
+class TestConfigIO:
+    def test_roundtrip(self, grid, hot, tmp_path):
+        path = tmp_path / "conf.dat"
+        header = save_gauge(path, hot, grid, note="test config")
+        back = load_gauge(path, grid)
+        for a, b in zip(back, hot):
+            assert np.array_equal(a.data, b.data)
+        assert np.isclose(header.plaquette, plaquette(hot, grid))
+
+    def test_cross_layout_roundtrip(self, hot, grid, tmp_path):
+        """Written under one SIMD layout, read under another."""
+        path = tmp_path / "conf.dat"
+        save_gauge(path, hot, grid)
+        other = GridCartesian(DIMS, get_backend("sse4"))
+        back = load_gauge(path, other)
+        for a, b in zip(back, hot):
+            assert np.array_equal(a.to_canonical(), b.to_canonical())
+
+    def test_header_parse_roundtrip(self):
+        h = ConfigHeader(dims=[4, 4, 4, 8], dtype="complex128",
+                         plaquette=0.58765, checksums=["a", "b", "c", "d"],
+                         note="hello world")
+        h2 = ConfigHeader.parse(h.render())
+        assert h2 == h
+
+    def test_corruption_detected(self, grid, hot, tmp_path):
+        path = tmp_path / "conf.dat"
+        save_gauge(path, hot, grid)
+        raw = bytearray(path.read_bytes())
+        raw[-9] ^= 0xFF  # flip a payload bit
+        path.write_bytes(bytes(raw))
+        with pytest.raises(ConfigFormatError):
+            load_gauge(path, grid)
+
+    def test_verify_can_be_skipped(self, grid, hot, tmp_path):
+        path = tmp_path / "conf.dat"
+        save_gauge(path, hot, grid)
+        raw = bytearray(path.read_bytes())
+        raw[-9] ^= 0xFF
+        path.write_bytes(bytes(raw))
+        links = load_gauge(path, grid, verify=False)  # no exception
+        assert len(links) == 4
+
+    def test_wrong_dims_rejected(self, grid, hot, tmp_path):
+        path = tmp_path / "conf.dat"
+        save_gauge(path, hot, grid)
+        other = GridCartesian([4, 4, 4, 8], get_backend("avx512"))
+        with pytest.raises(ConfigFormatError, match="dims"):
+            load_gauge(path, other)
+
+    def test_truncated_payload_rejected(self, grid, hot, tmp_path):
+        path = tmp_path / "conf.dat"
+        save_gauge(path, hot, grid)
+        raw = path.read_bytes()
+        path.write_bytes(raw[:-100])
+        with pytest.raises(ConfigFormatError, match="payload"):
+            load_gauge(path, grid)
+
+    def test_garbage_rejected(self, grid, tmp_path):
+        path = tmp_path / "junk.dat"
+        path.write_bytes(b"not a config at all")
+        with pytest.raises(ConfigFormatError):
+            load_gauge(path, grid)

@@ -1,0 +1,164 @@
+"""Grid geometry tests: the virtual-node decomposition (Fig. 1)."""
+
+import numpy as np
+import pytest
+
+from repro.grid.cartesian import GridCartesian, default_simd_layout
+from repro.simd import get_backend
+
+
+class TestDefaultSimdLayout:
+    def test_single_lane(self):
+        assert default_simd_layout([4, 4, 4, 4], 1) == [1, 1, 1, 1]
+
+    def test_spreads_over_largest_dims(self):
+        layout = default_simd_layout([4, 4, 4, 8], 4)
+        assert int(np.prod(layout)) == 4
+        assert layout[3] >= 2  # the time dimension is largest
+
+    def test_many_lanes(self):
+        layout = default_simd_layout([8, 8, 8, 8], 16)
+        assert int(np.prod(layout)) == 16
+        assert all(s <= 8 for s in layout)
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ValueError, match="power of two"):
+            default_simd_layout([4, 4], 3)
+
+    def test_impossible_layout_rejected(self):
+        with pytest.raises(ValueError, match="odd"):
+            default_simd_layout([3, 3], 4)
+
+
+class TestGridConstruction:
+    def test_basic_geometry(self):
+        g = GridCartesian([4, 4, 4, 8], get_backend("avx512"))
+        assert g.nlanes == 4
+        assert g.lsites == 512 and g.gsites == 512
+        assert g.osites * g.nlanes == g.lsites
+        assert [o * s for o, s in zip(g.odims, g.simd_layout)] == g.ldims
+
+    def test_explicit_simd_layout(self):
+        g = GridCartesian([4, 4, 4, 4], get_backend("avx512"),
+                          simd_layout=[1, 2, 2, 1])
+        assert g.odims == [4, 2, 2, 4]
+
+    def test_layout_product_must_match_lanes(self):
+        with pytest.raises(ValueError, match="lanes"):
+            GridCartesian([4, 4, 4, 4], get_backend("avx512"),
+                          simd_layout=[2, 1, 1, 1])
+
+    def test_indivisible_dims_rejected(self):
+        with pytest.raises(ValueError, match="divisible"):
+            GridCartesian([3, 3, 3, 3], get_backend("avx512"),
+                          simd_layout=[2, 2, 1, 1])
+
+    def test_mpi_layout(self):
+        g = GridCartesian([8, 4, 4, 8], get_backend("avx"),
+                          mpi_layout=[2, 1, 1, 2])
+        assert g.ldims == [4, 4, 4, 4]
+        assert g.nranks == 4
+        assert g.gsites == 1024 and g.lsites == 256
+
+    def test_mpi_indivisible_rejected(self):
+        with pytest.raises(ValueError, match="divisible"):
+            GridCartesian([6, 4, 4, 4], get_backend("avx"),
+                          mpi_layout=[4, 1, 1, 1])
+
+    def test_single_precision_lanes(self):
+        g = GridCartesian([4, 4, 4, 8], get_backend("avx512"),
+                          dtype=np.complex64)
+        assert g.nlanes == 8
+
+
+class TestSiteMapping:
+    @pytest.fixture
+    def grid(self):
+        return GridCartesian([4, 4, 4, 4], get_backend("avx512"),
+                             simd_layout=[2, 2, 1, 1])
+
+    def test_roundtrip_all_sites(self, grid):
+        seen = set()
+        for osite in range(grid.osites):
+            for lane in range(grid.nlanes):
+                coor = grid.local_coor(osite, lane)
+                assert grid.osite_lane_of(coor) == (osite, lane)
+                seen.add(coor)
+        assert len(seen) == grid.lsites
+
+    def test_virtual_nodes_own_contiguous_blocks(self, grid):
+        """Fig. 1: each virtual node's sites form a contiguous block."""
+        for lane in range(grid.nlanes):
+            coors = np.array([grid.local_coor(o, lane)
+                              for o in range(grid.osites)])
+            for d in range(4):
+                lo, hi = coors[:, d].min(), coors[:, d].max()
+                assert hi - lo + 1 == grid.odims[d]
+
+    def test_neighbouring_sites_in_different_vectors(self, grid):
+        """Section II-B: within a block, +1 neighbours stay at the same
+        lane but a different outer site — the whole point of the
+        virtual-node layout."""
+        osite, lane = grid.osite_lane_of((0, 0, 0, 0))
+        osite2, lane2 = grid.osite_lane_of((0, 0, 0, 1))
+        assert lane2 == lane and osite2 != osite
+
+    def test_block_boundary_changes_lane(self, grid):
+        """Crossing a virtual-node block boundary changes the lane."""
+        L0 = grid.odims[0]
+        _, lane_a = grid.osite_lane_of((L0 - 1, 0, 0, 0))
+        _, lane_b = grid.osite_lane_of((L0, 0, 0, 0))
+        assert lane_a != lane_b
+
+    def test_out_of_range(self, grid):
+        with pytest.raises(ValueError):
+            grid.osite_lane_of((4, 0, 0, 0))
+
+    def test_local_coor_tables(self, grid):
+        tables = grid.local_coor_tables()
+        assert tables.shape == (grid.osites, grid.nlanes, 4)
+        assert tuple(tables[3, 1]) == grid.local_coor(3, 1)
+
+
+class TestPermuteLevel:
+    def test_levels_by_dim(self):
+        g = GridCartesian([4, 4, 4, 4], get_backend("avx512"),
+                          simd_layout=[2, 2, 1, 1])
+        # lanes = 4; dim0 stride 1 -> level log2(4/2)=1 ; dim1 stride 2
+        # -> level 0.
+        assert g.permute_level(0) == 1
+        assert g.permute_level(1) == 0
+
+    def test_permute_level_requires_extent_2(self):
+        g = GridCartesian([8, 4, 4, 4], get_backend("generic1024"),
+                          simd_layout=[4, 2, 1, 1])
+        with pytest.raises(ValueError):
+            g.permute_level(0)
+        assert g.permute_level(1) == 0
+
+    def test_permute_level_consistent_with_lane_map(self):
+        """Toggling the lane bit of dimension d must equal the Grid
+        block permute at the computed level."""
+        from repro.sve.ops.permute import permute_indices
+
+        g = GridCartesian([4, 4, 4, 4], get_backend("generic1024"),
+                          simd_layout=[2, 2, 2, 1])
+        vc = g.vcoor_table()
+        for d in range(3):
+            level = g.permute_level(d)
+            perm = permute_indices(g.nlanes, level)
+            # lane i maps to the lane with vcoor[d] toggled
+            for lane in range(g.nlanes):
+                want = vc[lane].copy()
+                want[d] ^= 1
+                got = vc[perm[lane]]
+                assert np.array_equal(got, want), (d, lane)
+
+
+class TestParityMask:
+    def test_checkerboard(self):
+        g = GridCartesian([4, 4, 4, 4], get_backend("avx512"))
+        mask = g.parity_mask()
+        assert mask.shape == (g.osites, g.nlanes)
+        # Exactly half the sites are even on an even-volume lattice.
+        assert mask.sum() == g.lsites // 2

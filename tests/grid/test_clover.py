@@ -1,0 +1,142 @@
+"""Wilson-clover operator tests."""
+
+import numpy as np
+import pytest
+
+from repro.grid.cartesian import GridCartesian
+from repro.grid.clover import (
+    SIGMA_MUNU,
+    WilsonClover,
+    clover_leaves,
+    field_strength,
+)
+from repro.grid.gamma import GAMMA, GAMMA5
+from repro.grid.random import random_gauge, random_spinor
+from repro.grid.su3 import unit_gauge
+from repro.grid.wilson import WilsonDirac
+from repro.simd import get_backend
+
+DIMS = [4, 4, 4, 4]
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return GridCartesian(DIMS, get_backend("avx512"))
+
+
+@pytest.fixture(scope="module")
+def hot(grid):
+    return random_gauge(grid, seed=11)
+
+
+class TestSigma:
+    def test_antisymmetric(self):
+        for mu in range(4):
+            assert np.allclose(SIGMA_MUNU[mu, mu], 0)
+            for nu in range(4):
+                assert np.allclose(SIGMA_MUNU[mu, nu],
+                                   -SIGMA_MUNU[nu, mu])
+
+    def test_hermitian(self):
+        for mu in range(4):
+            for nu in range(4):
+                s = SIGMA_MUNU[mu, nu]
+                assert np.allclose(s, s.conj().T)
+
+    def test_commutes_with_gamma5(self):
+        for mu in range(4):
+            for nu in range(4):
+                s = SIGMA_MUNU[mu, nu]
+                assert np.allclose(GAMMA5 @ s, s @ GAMMA5)
+
+    def test_definition(self):
+        for mu in range(4):
+            for nu in range(4):
+                want = 0.5j * (GAMMA[mu] @ GAMMA[nu]
+                               - GAMMA[nu] @ GAMMA[mu])
+                assert np.allclose(SIGMA_MUNU[mu, nu], want)
+
+
+class TestFieldStrength:
+    def test_cold_gauge_vanishes(self, grid):
+        cold = unit_gauge(grid)
+        for mu in range(4):
+            for nu in range(mu + 1, 4):
+                f = field_strength(cold, grid, mu, nu)
+                assert np.abs(f).max() < 1e-14, (mu, nu)
+
+    def test_cold_leaves_are_four(self, grid):
+        cold = unit_gauge(grid)
+        q = clover_leaves(cold, grid, 0, 1)
+        can = q.reshape(grid.osites, 3, 3, grid.nlanes)
+        assert np.allclose(can[:, 0, 0], 4.0)
+        assert np.allclose(can[:, 0, 1], 0.0)
+
+    def test_hermitian_in_colour(self, grid, hot):
+        f = field_strength(hot, grid, 0, 3)
+        assert np.allclose(f, np.conj(np.swapaxes(f, 1, 2)), atol=1e-13)
+
+    def test_nonzero_on_rough_field(self, grid, hot):
+        f = field_strength(hot, grid, 1, 2)
+        assert np.abs(f).max() > 0.1
+
+    def test_smooth_field_small(self, grid):
+        smooth = random_gauge(grid, seed=11, spread=0.02)
+        f = field_strength(smooth, grid, 0, 1)
+        assert np.abs(f).max() < 0.3
+
+
+class TestWilsonClover:
+    def test_reduces_to_wilson_on_cold_gauge(self, grid):
+        cold = unit_gauge(grid)
+        psi = random_spinor(grid, seed=7)
+        w = WilsonDirac(cold, mass=0.1).apply(psi)
+        c = WilsonClover(cold, mass=0.1, c_sw=1.0).apply(psi)
+        assert np.allclose(w.data, c.data, atol=1e-13)
+
+    def test_csw_zero_is_plain_wilson(self, grid, hot):
+        psi = random_spinor(grid, seed=7)
+        w = WilsonDirac(hot, mass=0.1).apply(psi)
+        c = WilsonClover(hot, mass=0.1, c_sw=0.0).apply(psi)
+        assert np.allclose(w.data, c.data)
+
+    def test_clover_term_changes_result(self, grid, hot):
+        psi = random_spinor(grid, seed=7)
+        w = WilsonDirac(hot, mass=0.1).apply(psi)
+        c = WilsonClover(hot, mass=0.1, c_sw=1.0).apply(psi)
+        assert not np.allclose(w.data, c.data)
+
+    def test_clover_term_hermitian(self, grid, hot):
+        """sigma.F is hermitian: <a, C b> == <C a, b>."""
+        clover = WilsonClover(hot, mass=0.1, c_sw=1.0)
+        a = random_spinor(grid, seed=20)
+        b = random_spinor(grid, seed=21)
+        lhs = a.inner_product(clover.clover_term(b))
+        rhs = np.conj(b.inner_product(clover.clover_term(a)))
+        assert np.isclose(lhs, rhs, rtol=1e-10)
+
+    def test_gamma5_hermiticity(self, grid, hot):
+        clover = WilsonClover(hot, mass=0.1, c_sw=1.0)
+        a = random_spinor(grid, seed=20)
+        b = random_spinor(grid, seed=21)
+        lhs = a.inner_product(clover.apply(b))
+        rhs = clover.apply_dagger(a).inner_product(b)
+        assert np.isclose(lhs, rhs, rtol=1e-10)
+
+    def test_solvable(self, grid, hot):
+        from repro.grid.solver import solve_wilson_cgne
+
+        clover = WilsonClover(hot, mass=0.3, c_sw=1.0)
+        b = random_spinor(grid, seed=5)
+        res = solve_wilson_cgne(clover, b, tol=1e-7, max_iter=600)
+        assert res.converged and res.residual < 1e-6
+
+    def test_layout_independent(self, hot):
+        outs = []
+        for key in ("sse4", "avx512"):
+            g = GridCartesian(DIMS, get_backend(key))
+            links = random_gauge(g, seed=11)
+            psi = random_spinor(g, seed=7)
+            c = WilsonClover(links, mass=0.1, c_sw=1.3)
+            outs.append(c.apply(psi).to_canonical())
+        assert np.allclose(outs[0], outs[1], atol=1e-12)

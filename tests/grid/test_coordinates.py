@@ -1,0 +1,47 @@
+"""Coordinate utility tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.grid import coordinates as co
+
+
+class TestIndexCoor:
+    def test_dim0_fastest(self):
+        dims = [4, 3, 2]
+        assert co.index_of([1, 0, 0], dims) == 1
+        assert co.index_of([0, 1, 0], dims) == 4
+        assert co.index_of([0, 0, 1], dims) == 12
+        assert co.index_of([3, 2, 1], dims) == 3 + 4 * 2 + 12
+
+    @given(st.integers(0, 4 * 3 * 5 - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip(self, idx):
+        dims = [4, 3, 5]
+        assert co.index_of(co.coor_of(idx, dims), dims) == idx
+
+    def test_bounds(self):
+        with pytest.raises(ValueError):
+            co.index_of([4, 0], [4, 4])
+        with pytest.raises(ValueError):
+            co.coor_of(16, [4, 4])
+
+    def test_table_matches_scalar(self):
+        dims = [3, 2, 2]
+        table = co.coordinate_table(dims)
+        assert table.shape == (12, 3)
+        for idx in range(12):
+            assert tuple(table[idx]) == co.coor_of(idx, dims)
+
+    def test_indices_of_vectorized(self):
+        dims = [3, 4]
+        table = co.coordinate_table(dims)
+        assert np.array_equal(co.indices_of(table, dims), np.arange(12))
+
+    def test_parity(self):
+        assert co.parity([0, 0, 0, 0]) == 0
+        assert co.parity([1, 0, 0, 0]) == 1
+        assert co.parity([1, 1, 0, 0]) == 0
+        assert co.parity([3, 2, 1, 1]) == 1

@@ -1,0 +1,135 @@
+"""Circular-shift tests — the virtual-node lane-permute machinery."""
+
+import numpy as np
+import pytest
+
+from repro.grid.cartesian import GridCartesian
+from repro.grid.cshift import cshift
+from repro.grid.lattice import Lattice
+from repro.simd import get_backend
+
+
+def _roll_canonical(can, ldims, dim, shift, tensor_ndim=1):
+    resh = can.reshape(tuple(reversed(ldims)) + can.shape[1:])
+    axis = len(ldims) - 1 - dim
+    return np.roll(resh, -shift, axis=axis).reshape(can.shape)
+
+
+def _rand_lat(grid, rng, tensor=(3,)):
+    lat = Lattice(grid, tensor)
+    shape = (grid.lsites,) + tensor
+    lat.from_canonical(rng.normal(size=shape) + 1j * rng.normal(size=shape))
+    return lat
+
+
+LAYOUTS = [
+    ("sse4", [4, 4, 4, 4], None),            # no virtual nodes
+    ("avx", [4, 4, 4, 4], None),             # 2 lanes
+    ("avx512", [4, 4, 4, 4], [2, 2, 1, 1]),  # 4 lanes, 2 dims
+    ("avx512", [4, 4, 4, 4], [1, 1, 1, 4]),  # 4 lanes in one dim
+    ("generic1024", [4, 4, 4, 4], [2, 2, 2, 1]),
+    ("generic2048", [2, 2, 2, 2], [2, 2, 2, 2]),  # odims all 1
+]
+
+
+class TestCshiftVsRoll:
+    @pytest.mark.parametrize("key,dims,layout", LAYOUTS)
+    def test_unit_shifts(self, key, dims, layout, rng):
+        g = GridCartesian(dims, get_backend(key), simd_layout=layout)
+        lat = _rand_lat(g, rng)
+        can = lat.to_canonical()
+        for dim in range(4):
+            for s in (+1, -1):
+                got = cshift(lat, dim, s).to_canonical()
+                want = _roll_canonical(can, g.ldims, dim, s)
+                assert np.allclose(got, want), (key, layout, dim, s)
+
+    @pytest.mark.parametrize("key,dims,layout", LAYOUTS[:3])
+    def test_arbitrary_shifts(self, key, dims, layout, rng):
+        g = GridCartesian(dims, get_backend(key), simd_layout=layout)
+        lat = _rand_lat(g, rng)
+        can = lat.to_canonical()
+        for dim in (0, 3):
+            for s in (0, 2, 3, 5, -2, g.ldims[dim], 2 * g.ldims[dim] + 1):
+                got = cshift(lat, dim, s).to_canonical()
+                want = _roll_canonical(can, g.ldims, dim, s)
+                assert np.allclose(got, want), (dim, s)
+
+    def test_invalid_dim(self, rng):
+        g = GridCartesian([4, 4, 4, 4], get_backend("sse4"))
+        with pytest.raises(ValueError):
+            cshift(_rand_lat(g, rng), 4, 1)
+
+
+class TestShiftAlgebra:
+    @pytest.fixture
+    def lat(self, rng):
+        g = GridCartesian([4, 4, 4, 4], get_backend("avx512"),
+                          simd_layout=[2, 2, 1, 1])
+        return _rand_lat(g, rng)
+
+    def test_inverse_shifts_compose_to_identity(self, lat):
+        for dim in range(4):
+            back = cshift(cshift(lat, dim, +1), dim, -1)
+            assert np.allclose(back.data, lat.data)
+
+    def test_full_cycle_is_identity(self, lat):
+        L = lat.grid.ldims[2]
+        out = lat
+        for _ in range(L):
+            out = cshift(out, 2, +1)
+        assert np.allclose(out.data, lat.data)
+
+    def test_shifts_commute_across_dims(self, lat):
+        a = cshift(cshift(lat, 0, 1), 1, 1)
+        b = cshift(cshift(lat, 1, 1), 0, 1)
+        assert np.allclose(a.data, b.data)
+
+    def test_shift_additivity(self, lat):
+        a = cshift(lat, 0, 2)
+        b = cshift(cshift(lat, 0, 1), 0, 1)
+        assert np.allclose(a.data, b.data)
+
+    def test_norm_preserved(self, lat):
+        assert np.isclose(cshift(lat, 1, 1).norm2(), lat.norm2())
+
+
+class TestMachineSpecificPermutes:
+    def test_sve_backend_counts_permutes(self, rng):
+        """With simd extent 2, the boundary exchange routes through the
+        backend permute (a TBL on the ACLE path) — the machine-specific
+        op of Section II-C."""
+        be = get_backend("sve256-acle")
+        g = GridCartesian([4, 4, 4, 4], be, simd_layout=[2, 1, 1, 1])
+        lat = _rand_lat(g, rng, tensor=())
+        before = be.instruction_counts().get("tbl", 0)
+        cshift(lat, 0, +1)
+        after = be.instruction_counts().get("tbl", 0)
+        assert after > before
+        # And the result is still right.
+        can = lat.to_canonical()
+        got = cshift(lat, 0, 1).to_canonical()
+        assert np.allclose(got, _roll_canonical(can, g.ldims, 0, 1))
+
+    def test_no_permute_in_unvectorized_dim(self, rng):
+        """Shifting along a dimension with simd extent 1 needs no lane
+        traffic at all."""
+        be = get_backend("sve256-acle")
+        g = GridCartesian([4, 4, 4, 4], be, simd_layout=[2, 1, 1, 1])
+        lat = _rand_lat(g, rng, tensor=())
+        before = be.instruction_counts().get("tbl", 0)
+        cshift(lat, 3, +1)
+        assert be.instruction_counts().get("tbl", 0) == before
+
+    def test_permute_fraction(self, rng):
+        """Only the block-boundary layer of outer sites permutes:
+        fraction 1/odims[dim] (the Fig. 1 geometry)."""
+        from repro.grid.stencil import HaloStencil
+
+        g = GridCartesian([8, 4, 4, 4], get_backend("avx"),
+                          simd_layout=[2, 1, 1, 1])
+        st = HaloStencil(g)
+        plan = st.plans[(0, +1)]
+        assert np.isclose(plan.permute_fraction, 1.0 / g.odims[0])
+        plan3 = st.plans[(3, +1)]
+        assert plan3.permute_fraction == 0.0

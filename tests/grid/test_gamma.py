@@ -1,0 +1,119 @@
+"""Gamma-matrix algebra and spin projection tests."""
+
+import numpy as np
+import pytest
+
+from repro.grid import gamma as g
+from repro.grid.cartesian import GridCartesian
+from repro.grid.lattice import Lattice
+from repro.simd import get_backend
+
+
+class TestGammaAlgebra:
+    def test_anticommutation(self):
+        """{gamma_mu, gamma_nu} = 2 delta_munu."""
+        for mu in range(4):
+            for nu in range(4):
+                anti = g.GAMMA[mu] @ g.GAMMA[nu] + g.GAMMA[nu] @ g.GAMMA[mu]
+                assert np.allclose(anti, 2 * np.eye(4) * (mu == nu)), (mu, nu)
+
+    def test_hermitian(self):
+        for mu in range(4):
+            assert np.allclose(g.GAMMA[mu], g.GAMMA[mu].conj().T)
+
+    def test_squares_to_identity(self):
+        for mu in range(4):
+            assert np.allclose(g.GAMMA[mu] @ g.GAMMA[mu], np.eye(4))
+
+    def test_gamma5(self):
+        assert np.allclose(
+            g.GAMMA[0] @ g.GAMMA[1] @ g.GAMMA[2] @ g.GAMMA[3], g.GAMMA5
+        )
+        assert np.allclose(g.GAMMA5 @ g.GAMMA5, np.eye(4))
+        for mu in range(4):
+            anti = g.GAMMA5 @ g.GAMMA[mu] + g.GAMMA[mu] @ g.GAMMA5
+            assert np.allclose(anti, 0)
+
+    def test_projector_rank(self):
+        """(1 ± gamma_mu) has rank 2 — the basis of half-spinor
+        projection."""
+        for mu in range(4):
+            for sign in (+1, -1):
+                p = np.eye(4) + sign * g.GAMMA[mu]
+                assert np.linalg.matrix_rank(p) == 2
+
+    def test_projector_idempotent_over_2(self):
+        for mu in range(4):
+            p = (np.eye(4) + g.GAMMA[mu]) / 2
+            assert np.allclose(p @ p, p)
+
+
+@pytest.fixture
+def psi(rng):
+    grid = GridCartesian([4, 4, 4, 4], get_backend("avx512"))
+    lat = Lattice(grid, (4, 3))
+    lat.from_canonical(rng.normal(size=(grid.lsites, 4, 3))
+                       + 1j * rng.normal(size=(grid.lsites, 4, 3)))
+    return lat
+
+
+class TestSpinProjection:
+    def test_project_reconstruct_equals_dense(self, psi):
+        be = psi.backend
+        for mu in range(4):
+            for sign in (+1, -1):
+                h = g.project(be, psi.data, mu, sign)
+                assert h.shape == (psi.grid.osites, 2, 3, psi.grid.nlanes)
+                rec = g.reconstruct(be, h, mu, sign)
+                dense = g.spin_matrix_apply(
+                    be, np.eye(4) + sign * g.GAMMA[mu], psi.data
+                )
+                assert np.allclose(rec, dense), (mu, sign)
+
+    def test_projection_halves_dof(self, psi):
+        """Projected then reconstructed spinors span rank-2 spin space:
+        re-projecting with the opposite sign annihilates them."""
+        be = psi.backend
+        for mu in range(4):
+            h = g.project(be, psi.data, mu, +1)
+            full = g.reconstruct(be, h, mu, +1)
+            killed = g.spin_matrix_apply(be, np.eye(4) - g.GAMMA[mu], full)
+            # (1-g)(1+g) = 1 - g^2 = 0
+            assert np.allclose(killed, 0.0, atol=1e-12), mu
+
+    def test_invalid_sign(self, psi):
+        with pytest.raises(ValueError):
+            g.project(psi.backend, psi.data, 0, 2)
+        with pytest.raises(ValueError):
+            g.reconstruct(psi.backend, psi.data[:, :2], 0, 0)
+
+    def test_invalid_direction(self, psi):
+        with pytest.raises(ValueError):
+            g.project(psi.backend, psi.data, 4, 1)
+
+    def test_gamma5_apply(self, psi):
+        be = psi.backend
+        got = g.gamma5_apply(be, psi.data)
+        want = g.spin_matrix_apply(be, g.GAMMA5, psi.data)
+        assert np.allclose(got, want)
+
+    def test_spin_matrix_apply_general_coefficient(self, psi):
+        """Coefficients outside {0, ±1, ±i} route through scale()."""
+        be = psi.backend
+        m = 0.5j * g.GAMMA[2] + 0.25 * np.eye(4)
+        got = g.spin_matrix_apply(be, m, psi.data)
+        want = np.einsum("ij,xjcl->xicl", m, psi.data)
+        assert np.allclose(got, want)
+
+    def test_projection_on_sve_backend(self, rng):
+        """The projection tricks (add/sub/times_i only) work unchanged
+        on the SVE backend."""
+        be = get_backend("sve128-acle")
+        grid = GridCartesian([2, 2, 2, 2], be)
+        lat = Lattice(grid, (4, 3))
+        lat.from_canonical(rng.normal(size=(grid.lsites, 4, 3))
+                           + 1j * rng.normal(size=(grid.lsites, 4, 3)))
+        h = g.project(be, lat.data, 0, +1)
+        rec = g.reconstruct(be, h, 0, +1)
+        dense = g.spin_matrix_apply(be, np.eye(4) + g.GAMMA[0], lat.data)
+        assert np.allclose(rec, dense)

@@ -1,0 +1,139 @@
+"""Lattice container tests."""
+
+import numpy as np
+import pytest
+
+from repro.grid.cartesian import GridCartesian
+from repro.grid.lattice import Lattice
+from repro.simd import get_backend
+
+
+@pytest.fixture
+def grid():
+    return GridCartesian([4, 4, 4, 4], get_backend("avx512"))
+
+
+def _rand_lattice(grid, tensor, rng):
+    lat = Lattice(grid, tensor)
+    shape = (grid.lsites,) + tensor
+    lat.from_canonical(rng.normal(size=shape) + 1j * rng.normal(size=shape))
+    return lat
+
+
+class TestConstruction:
+    def test_shape(self, grid):
+        lat = Lattice(grid, (4, 3))
+        assert lat.data.shape == (grid.osites, 4, 3, grid.nlanes)
+        assert lat.data.dtype == np.complex128
+
+    def test_zero_initialised(self, grid):
+        assert Lattice(grid, (3,)).norm2() == 0.0
+
+    def test_data_shape_validated(self, grid):
+        with pytest.raises(ValueError, match="shape"):
+            Lattice(grid, (3,), data=np.zeros((2, 3, 4)))
+
+    def test_copy_independent(self, grid, rng):
+        a = _rand_lattice(grid, (3,), rng)
+        b = a.copy()
+        b.data[:] = 0
+        assert a.norm2() > 0
+
+    def test_single_precision(self):
+        g = GridCartesian([4, 4, 4, 4], get_backend("avx512"),
+                          dtype=np.complex64)
+        lat = Lattice(g, (3,))
+        assert lat.data.dtype == np.complex64
+
+
+class TestArithmetic:
+    def test_add_sub_neg(self, grid, rng):
+        a = _rand_lattice(grid, (3,), rng)
+        b = _rand_lattice(grid, (3,), rng)
+        assert np.allclose((a + b).data, a.data + b.data)
+        assert np.allclose((a - b).data, a.data - b.data)
+        assert np.allclose((-a).data, -a.data)
+
+    def test_scalar_mul(self, grid, rng):
+        a = _rand_lattice(grid, (3,), rng)
+        assert np.allclose((a * (2 - 1j)).data, (2 - 1j) * a.data)
+        assert np.allclose(((2 - 1j) * a).data, (2 - 1j) * a.data)
+
+    def test_axpy(self, grid, rng):
+        a = _rand_lattice(grid, (3,), rng)
+        b = _rand_lattice(grid, (3,), rng)
+        assert np.allclose(a.axpy(0.5, b).data, a.data + 0.5 * b.data)
+
+    def test_conj(self, grid, rng):
+        a = _rand_lattice(grid, (3,), rng)
+        assert np.allclose(a.conj().data, np.conj(a.data))
+
+    def test_tensor_mismatch_rejected(self, grid):
+        with pytest.raises(ValueError, match="tensor"):
+            Lattice(grid, (3,)) + Lattice(grid, (4, 3))
+
+    def test_grid_mismatch_rejected(self, rng):
+        g1 = GridCartesian([4, 4, 4, 4], get_backend("avx512"))
+        g2 = GridCartesian([4, 4, 4, 8], get_backend("avx512"))
+        with pytest.raises(ValueError, match="grids"):
+            Lattice(g1, (3,)) + Lattice(g2, (3,))
+
+
+class TestReductions:
+    def test_inner_product_matches_vdot(self, grid, rng):
+        a = _rand_lattice(grid, (4, 3), rng)
+        b = _rand_lattice(grid, (4, 3), rng)
+        want = np.vdot(a.to_canonical(), b.to_canonical())
+        assert np.isclose(a.inner_product(b), want)
+
+    def test_norm2_matches_canonical(self, grid, rng):
+        a = _rand_lattice(grid, (3,), rng)
+        assert a.norm2() > 0
+        assert np.isclose(a.norm2(), (np.abs(a.to_canonical()) ** 2).sum())
+
+    def test_inner_product_conjugate_symmetry(self, grid, rng):
+        a = _rand_lattice(grid, (3,), rng)
+        b = _rand_lattice(grid, (3,), rng)
+        assert np.isclose(a.inner_product(b),
+                          np.conj(b.inner_product(a)))
+
+    def test_sum(self, grid, rng):
+        a = _rand_lattice(grid, (3,), rng)
+        assert np.isclose(a.sum(), a.to_canonical().sum())
+
+
+class TestCanonical:
+    @pytest.mark.parametrize("backend_key", ["sse4", "avx", "avx512",
+                                             "generic1024"])
+    def test_roundtrip_every_layout(self, backend_key, rng):
+        g = GridCartesian([4, 4, 4, 4], get_backend(backend_key))
+        lat = Lattice(g, (2, 3))
+        can = rng.normal(size=(g.lsites, 2, 3)) + 0j
+        lat.from_canonical(can)
+        assert np.allclose(lat.to_canonical(), can)
+
+    def test_same_physics_all_layouts(self, rng):
+        """The same canonical field imported under different SIMD
+        layouts is physically identical (inner products agree)."""
+        can = rng.normal(size=(256, 3)) + 1j * rng.normal(size=(256, 3))
+        norms = []
+        for key in ("sse4", "avx", "avx512"):
+            g = GridCartesian([4, 4, 4, 4], get_backend(key))
+            lat = Lattice(g, (3,)).from_canonical(can)
+            norms.append(lat.norm2())
+        assert np.allclose(norms, norms[0])
+
+    def test_wrong_canonical_shape(self, grid):
+        with pytest.raises(ValueError):
+            Lattice(grid, (3,)).from_canonical(np.zeros((7, 3)))
+
+
+class TestPointAccess:
+    def test_peek_poke(self, grid, rng):
+        lat = Lattice(grid, (3,))
+        val = rng.normal(size=3) + 1j * rng.normal(size=3)
+        lat.poke_site((1, 2, 3, 0), val)
+        assert np.allclose(lat.peek_site((1, 2, 3, 0)), val)
+        # Exactly one canonical site is non-zero.
+        can = lat.to_canonical()
+        assert (np.abs(can).sum(axis=1) > 0).sum() == 1

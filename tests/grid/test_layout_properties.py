@@ -1,0 +1,99 @@
+"""Hypothesis property tests over randomized lattice layouts.
+
+The virtual-node decomposition (Fig. 1) must be *transparent*: any
+choice of lattice dims, lane count, and lane distribution yields the
+same physics.  These properties are what the cross-VL verification of
+Section V-D rests on.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.grid.cartesian import GridCartesian, default_simd_layout
+from repro.grid.cshift import cshift
+from repro.grid.lattice import Lattice
+from repro.simd import GenericBackend
+
+
+@st.composite
+def layouts(draw):
+    """A random consistent (dims, simd_layout) pair."""
+    dims = [draw(st.sampled_from([2, 4, 8])) for _ in range(4)]
+    # Build a legal layout by repeatedly halving random dims.
+    layout = [1, 1, 1, 1]
+    blocks = list(dims)
+    for _ in range(draw(st.integers(0, 4))):
+        candidates = [i for i, b in enumerate(blocks) if b % 2 == 0]
+        if not candidates:
+            break
+        i = draw(st.sampled_from(candidates))
+        blocks[i] //= 2
+        layout[i] *= 2
+    return dims, layout
+
+
+def _grid(dims, layout):
+    lanes = int(np.prod(layout))
+    return GridCartesian(dims, GenericBackend(lanes * 128),
+                         simd_layout=layout)
+
+
+class TestLayoutProperties:
+    @given(data=layouts(), seed=st.integers(0, 5))
+    @settings(max_examples=40, deadline=None)
+    def test_canonical_roundtrip(self, data, seed):
+        dims, layout = data
+        g = _grid(dims, layout)
+        rng = np.random.default_rng(seed)
+        can = rng.normal(size=(g.lsites, 2)) + 1j * rng.normal(
+            size=(g.lsites, 2))
+        lat = Lattice(g, (2,)).from_canonical(can)
+        assert np.array_equal(lat.to_canonical(), can)
+
+    @given(data=layouts(), dim=st.integers(0, 3), shift=st.integers(-5, 5),
+           seed=st.integers(0, 3))
+    @settings(max_examples=60, deadline=None)
+    def test_cshift_matches_roll(self, data, dim, shift, seed):
+        dims, layout = data
+        g = _grid(dims, layout)
+        rng = np.random.default_rng(seed)
+        can = rng.normal(size=g.lsites) + 1j * rng.normal(size=g.lsites)
+        lat = Lattice(g, ()).from_canonical(can)
+        got = cshift(lat, dim, shift).to_canonical()
+        resh = can.reshape(tuple(reversed(g.ldims)))
+        want = np.roll(resh, -shift, axis=3 - dim).reshape(g.lsites)
+        assert np.allclose(got, want)
+
+    @given(data=layouts(), seed=st.integers(0, 3))
+    @settings(max_examples=30, deadline=None)
+    def test_every_slot_maps_to_unique_site(self, data, seed):
+        dims, layout = data
+        g = _grid(dims, layout)
+        coors = {g.local_coor(o, l)
+                 for o in range(g.osites) for l in range(g.nlanes)}
+        assert len(coors) == g.lsites
+
+    @given(data=layouts())
+    @settings(max_examples=30, deadline=None)
+    def test_parity_balanced(self, data):
+        dims, layout = data
+        g = _grid(dims, layout)
+        mask = g.parity_mask()
+        assert mask.sum() == g.lsites // 2
+
+    @given(dims=st.lists(st.sampled_from([2, 4, 6, 8]), min_size=4,
+                         max_size=4),
+           lanes=st.sampled_from([1, 2, 4, 8]))
+    @settings(max_examples=40, deadline=None)
+    def test_default_layout_is_legal(self, dims, lanes):
+        try:
+            layout = default_simd_layout(dims, lanes)
+        except ValueError:
+            # Legitimately impossible (e.g. too many lanes for the
+            # even factors available) — nothing more to check.
+            return
+        assert int(np.prod(layout)) == lanes
+        for d, s in zip(dims, layout):
+            assert d % s == 0

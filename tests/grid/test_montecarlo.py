@@ -1,0 +1,107 @@
+"""Quenched Monte Carlo tests."""
+
+import numpy as np
+import pytest
+
+from repro.grid.cartesian import GridCartesian
+from repro.grid.lattice import Lattice
+from repro.grid.montecarlo import Metropolis, local_action, staple_field
+from repro.grid.random import random_gauge
+from repro.grid.su3 import max_unitarity_defect, plaquette, unit_gauge
+from repro.grid.tensor import colour_mm
+from repro.simd import get_backend
+
+DIMS = [4, 4, 4, 4]
+
+
+@pytest.fixture
+def grid():
+    return GridCartesian(DIMS, get_backend("avx"))
+
+
+class TestStaples:
+    def test_action_consistency_with_plaquette(self, grid):
+        """``sum_x,mu Re tr U_mu V_mu`` counts every plaquette once per
+        participating link (4), so it equals
+        ``4 * 3 * Nplanes * V * <plaq>``."""
+        links = random_gauge(grid, seed=11)
+        total = 0.0
+        be = grid.backend
+        for mu in range(4):
+            v = staple_field(links, grid, mu)
+            uv = colour_mm(be, links[mu].data, v)
+            # trace per site, summed:
+            for a in range(3):
+                total += be.reduce_sum(uv[:, a, a]).real
+        nplanes = 6
+        expected = 4 * 3 * nplanes * grid.lsites * plaquette(links, grid)
+        assert np.isclose(total, expected, rtol=1e-10)
+
+    def test_cold_staples(self, grid):
+        cold = unit_gauge(grid)
+        v = staple_field(cold, grid, 0)
+        can = Lattice(grid, (3, 3), v).to_canonical()
+        # 3 other directions x 2 staples each = 6 identity matrices.
+        assert np.allclose(can, 6 * np.eye(3))
+
+    def test_local_action_cold(self, grid):
+        cold = unit_gauge(grid)
+        v = staple_field(cold, grid, 0)
+        can_v = Lattice(grid, (3, 3), v).to_canonical()
+        s = local_action(np.eye(3, dtype=complex), can_v[0], beta=6.0)
+        assert np.isclose(s, -(6.0 / 3) * 3 * 6)
+
+
+class TestMetropolis:
+    def test_links_stay_unitary(self, grid):
+        links = unit_gauge(grid)
+        mc = Metropolis(beta=5.5, rng=np.random.default_rng(0))
+        mc.sweep(links, grid)
+        for u in links:
+            assert max_unitarity_defect(u) < 1e-10
+
+    def test_acceptance_reasonable(self, grid):
+        links = unit_gauge(grid)
+        mc = Metropolis(beta=5.5, spread=0.15,
+                        rng=np.random.default_rng(0))
+        mc.sweep(links, grid)
+        assert 0.3 < mc.stats.acceptance < 0.95
+
+    def test_hot_start_plaquette_rises(self, grid):
+        """From a disordered start at strong beta the plaquette must
+        grow toward its equilibrium value."""
+        links = random_gauge(grid, seed=7)  # hot (disordered) start
+        p0 = plaquette(links, grid)
+        mc = Metropolis(beta=6.0, spread=0.2, hits=6,
+                        rng=np.random.default_rng(1))
+        history = mc.thermalize(links, grid, sweeps=3)
+        assert history[-1] > p0 + 0.1
+        # And monotone-ish growth sweep over sweep.
+        assert history[2] > history[0]
+
+    def test_cold_start_plaquette_falls(self, grid):
+        """From the ordered start the plaquette must drop below 1
+        (thermal fluctuations)."""
+        links = unit_gauge(grid)
+        mc = Metropolis(beta=5.5, rng=np.random.default_rng(2))
+        history = mc.thermalize(links, grid, sweeps=2)
+        assert 0.0 < history[-1] < 0.99
+
+    def test_beta_ordering(self, grid):
+        """Larger beta -> larger equilibrium plaquette (asymptotic
+        freedom's lattice shadow)."""
+        finals = {}
+        for beta in (2.0, 9.0):
+            links = unit_gauge(grid)
+            mc = Metropolis(beta=beta, spread=0.2,
+                            rng=np.random.default_rng(3))
+            finals[beta] = mc.thermalize(links, grid, sweeps=3)[-1]
+        assert finals[9.0] > finals[2.0]
+
+    def test_deterministic_given_rng(self, grid):
+        hist = []
+        for _ in range(2):
+            links = unit_gauge(grid)
+            mc = Metropolis(beta=5.5, rng=np.random.default_rng(42))
+            hist.append(mc.thermalize(links, grid, sweeps=1)[-1])
+        assert hist[0] == hist[1]

@@ -1,0 +1,117 @@
+"""Propagator and pion-correlator tests."""
+
+import numpy as np
+import pytest
+
+from repro.grid.cartesian import GridCartesian
+from repro.grid.propagator import (
+    effective_mass,
+    pion_correlator,
+    point_source,
+    propagator,
+    timeslice_sums,
+)
+from repro.grid.random import random_gauge
+from repro.grid.su3 import unit_gauge
+from repro.grid.wilson import WilsonDirac
+from repro.simd import get_backend
+
+DIMS = [2, 2, 2, 4]
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return GridCartesian(DIMS, get_backend("avx"))
+
+
+@pytest.fixture(scope="module")
+def dirac(grid):
+    return WilsonDirac(random_gauge(grid, seed=11, spread=0.3), mass=0.8)
+
+
+class TestPointSource:
+    def test_single_component(self, grid):
+        src = point_source(grid, (1, 0, 1, 2), spin=2, colour=1)
+        can = src.to_canonical()
+        assert np.isclose(src.norm2(), 1.0)
+        nonzero = np.nonzero(np.abs(can) > 0)
+        assert len(nonzero[0]) == 1
+        assert nonzero[1][0] == 2 and nonzero[2][0] == 1
+
+
+class TestTimesliceSums:
+    def test_partition_of_norm(self, grid):
+        from repro.grid.random import random_spinor
+
+        psi = random_spinor(grid, seed=3)
+        sums = timeslice_sums(psi)
+        assert sums.shape == (4,)
+        assert np.isclose(sums.sum(), psi.norm2())
+
+    def test_localised_field(self, grid):
+        src = point_source(grid, (0, 0, 0, 2), 0, 0)
+        sums = timeslice_sums(src)
+        assert sums[2] == 1.0 and sums.sum() == 1.0
+
+
+class TestPropagator:
+    def test_columns_solve_the_dirac_equation(self, dirac, grid):
+        columns, results = propagator(dirac, (0, 0, 0, 0), tol=1e-8)
+        assert len(results) == 12
+        src = point_source(grid, (0, 0, 0, 0), 1, 2)
+        back = dirac.apply(columns[1][2])
+        rel = (back - src).norm2() ** 0.5
+        assert rel < 1e-6
+
+    def test_nonconvergence_raises(self, grid):
+        bad = WilsonDirac(random_gauge(grid, seed=11), mass=0.8)
+        with pytest.raises(RuntimeError, match="converge"):
+            propagator(bad, (0, 0, 0, 0), tol=1e-14, max_iter=2)
+
+
+class TestPionCorrelator:
+    @pytest.fixture(scope="class")
+    def corr(self, dirac):
+        return pion_correlator(dirac, (0, 0, 0, 0), tol=1e-9)
+
+    def test_positive(self, corr):
+        assert np.all(corr > 0)
+
+    def test_source_dominates(self, corr):
+        assert corr[0] == corr.max()
+
+    def test_time_reflection_symmetry(self, corr, grid):
+        """On a time-reflection-invariant background (free field) the
+        periodic correlator is exactly symmetric, C(t) = C(T-t); on a
+        single random configuration only approximately."""
+        free = WilsonDirac(unit_gauge(grid), mass=0.8)
+        c = pion_correlator(free, tol=1e-10)
+        lt = c.size
+        for t in range(1, lt // 2):
+            assert np.isclose(c[t], c[lt - t], rtol=1e-7), t
+        for t in range(1, corr.size // 2):
+            assert np.isclose(corr[t], corr[corr.size - t], rtol=0.5), t
+
+    def test_decays_to_midpoint(self, corr):
+        lt = corr.size
+        assert corr[0] > corr[1] > corr[lt // 2]
+
+    def test_source_shift_rolls_correlator(self, dirac):
+        a = pion_correlator(dirac, (0, 0, 0, 0), tol=1e-8)
+        b = pion_correlator(dirac, (0, 0, 0, 1), tol=1e-8)
+        # Translation invariance is only statistical on one random
+        # configuration, but the source must sit at t=0 in both.
+        assert a[0] == a.max() and b[0] == b.max()
+
+    def test_effective_mass_positive_in_first_half(self, corr):
+        meff = effective_mass(corr)
+        assert np.all(meff[: corr.size // 2] > 0)
+
+    def test_free_field_heavier_mass_decays_faster(self, grid):
+        corrs = {}
+        for m in (0.5, 2.0):
+            dirac = WilsonDirac(unit_gauge(grid), mass=m)
+            corrs[m] = pion_correlator(dirac, tol=1e-9)
+        meff_light = effective_mass(corrs[0.5])[0]
+        meff_heavy = effective_mass(corrs[2.0])[0]
+        assert meff_heavy > meff_light

@@ -1,0 +1,121 @@
+"""Krylov solver tests."""
+
+import numpy as np
+import pytest
+
+from repro.grid.cartesian import GridCartesian
+from repro.grid.random import random_gauge, random_spinor
+from repro.grid.solver import (
+    bicgstab,
+    conjugate_gradient,
+    minimal_residual,
+    solve_wilson_cgne,
+)
+from repro.grid.wilson import WilsonDirac
+from repro.simd import get_backend
+
+
+@pytest.fixture(scope="module")
+def system():
+    grid = GridCartesian([4, 4, 4, 4], get_backend("avx512"))
+    links = random_gauge(grid, seed=11)
+    w = WilsonDirac(links, mass=0.3)
+    b = random_spinor(grid, seed=5)
+    return grid, w, b
+
+
+class TestCG:
+    def test_converges_on_mdagm(self, system):
+        _, w, b = system
+        res = conjugate_gradient(w.mdag_m, b, tol=1e-8, max_iter=400)
+        assert res.converged
+        check = (w.mdag_m(res.x) - b).norm2() ** 0.5 / b.norm2() ** 0.5
+        assert check < 1e-7
+
+    def test_residual_history_decreasing_overall(self, system):
+        _, w, b = system
+        res = conjugate_gradient(w.mdag_m, b, tol=1e-8, max_iter=400)
+        hist = res.residual_history
+        assert hist[-1] < hist[0] * 1e-6
+
+    def test_zero_rhs(self, system):
+        _, w, b = system
+        zero = b.new_like()
+        res = conjugate_gradient(w.mdag_m, zero)
+        assert res.converged and res.iterations == 0
+
+    def test_initial_guess(self, system):
+        _, w, b = system
+        exact = conjugate_gradient(w.mdag_m, b, tol=1e-10, max_iter=500).x
+        warm = conjugate_gradient(w.mdag_m, b, x0=exact, tol=1e-8)
+        assert warm.converged and warm.iterations <= 2
+
+    def test_max_iter_reports_nonconvergence(self, system):
+        _, w, b = system
+        res = conjugate_gradient(w.mdag_m, b, tol=1e-14, max_iter=3)
+        assert not res.converged and res.iterations == 3
+
+
+class TestCGNE:
+    def test_solves_wilson_system(self, system):
+        _, w, b = system
+        res = solve_wilson_cgne(w, b, tol=1e-8, max_iter=500)
+        assert res.converged
+        true_res = (b - w.apply(res.x)).norm2() ** 0.5 / b.norm2() ** 0.5
+        assert true_res < 1e-6
+        assert np.isclose(res.residual, true_res)
+
+    def test_heavier_mass_converges_faster(self, system):
+        grid, _, b = system
+        links = random_gauge(grid, seed=11)
+        it = {}
+        for mass in (0.1, 1.0):
+            w = WilsonDirac(links, mass=mass)
+            it[mass] = solve_wilson_cgne(w, b, tol=1e-8,
+                                         max_iter=800).iterations
+        assert it[1.0] < it[0.1]
+
+
+class TestBiCGSTAB:
+    def test_solves_nonhermitian_directly(self, system):
+        _, w, b = system
+        res = bicgstab(w.apply, b, tol=1e-9, max_iter=400)
+        assert res.converged
+        true_res = (b - w.apply(res.x)).norm2() ** 0.5 / b.norm2() ** 0.5
+        assert true_res < 1e-7
+
+    def test_fewer_operator_applications_than_cgne(self, system):
+        """BiCGSTAB on M usually beats CG on M^dag M in operator
+        applications for well-conditioned Wilson systems."""
+        _, w, b = system
+        cg = solve_wilson_cgne(w, b, tol=1e-8, max_iter=500)
+        bi = bicgstab(w.apply, b, tol=1e-8, max_iter=500)
+        assert 2 * bi.iterations < 2 * 2 * cg.iterations
+
+
+class TestMR:
+    def test_converges_on_heavy_mass(self, system):
+        grid, _, b = system
+        links = random_gauge(grid, seed=11)
+        w = WilsonDirac(links, mass=2.0)  # heavy: well-conditioned
+        res = minimal_residual(w.apply, b, tol=1e-7, max_iter=2000)
+        assert res.converged
+        true_res = (b - w.apply(res.x)).norm2() ** 0.5 / b.norm2() ** 0.5
+        assert true_res < 1e-6
+
+    def test_zero_rhs(self, system):
+        _, w, b = system
+        res = minimal_residual(w.apply, b.new_like())
+        assert res.converged and res.iterations == 0
+
+
+class TestSolverBackendIndependence:
+    def test_same_iteration_count_on_all_numpy_backends(self):
+        counts = {}
+        for key in ("sse4", "avx512"):
+            grid = GridCartesian([4, 4, 4, 4], get_backend(key))
+            w = WilsonDirac(random_gauge(grid, seed=11), mass=0.3)
+            b = random_spinor(grid, seed=5)
+            counts[key] = solve_wilson_cgne(w, b, tol=1e-8,
+                                            max_iter=400).iterations
+        assert counts["sse4"] == counts["avx512"]

@@ -1,0 +1,81 @@
+"""Precomputed-stencil tests."""
+
+import numpy as np
+import pytest
+
+from repro.grid.cartesian import GridCartesian
+from repro.grid.cshift import cshift
+from repro.grid.lattice import Lattice
+from repro.grid.stencil import HaloStencil, stencil_cshift
+from repro.simd import get_backend
+
+
+@pytest.fixture
+def grid():
+    return GridCartesian([4, 4, 4, 4], get_backend("avx512"),
+                         simd_layout=[2, 2, 1, 1])
+
+
+@pytest.fixture
+def lat(grid, rng):
+    lat = Lattice(grid, (3,))
+    lat.from_canonical(rng.normal(size=(grid.lsites, 3))
+                       + 1j * rng.normal(size=(grid.lsites, 3)))
+    return lat
+
+
+class TestPlans:
+    def test_all_directions_built(self, grid):
+        st = HaloStencil(grid)
+        assert set(st.plans) == {(d, s) for d in range(4) for s in (1, -1)}
+
+    def test_src_osites_is_permutation(self, grid):
+        st = HaloStencil(grid)
+        for plan in st.plans.values():
+            assert sorted(plan.src_osites) == list(range(grid.osites))
+
+    def test_permute_level_set_for_extent2(self, grid):
+        st = HaloStencil(grid)
+        assert st.plans[(0, 1)].permute_level == grid.permute_level(0)
+        assert st.plans[(2, 1)].permute_level == -1  # extent 1: no permute
+        assert st.plans[(2, 1)].permute_sel.size == 0
+
+    def test_lane_map_is_bijection(self, grid):
+        st = HaloStencil(grid)
+        for plan in st.plans.values():
+            assert sorted(plan.lane_map) == list(range(grid.nlanes))
+
+
+class TestGatherEquivalence:
+    def test_matches_cshift(self, lat):
+        st = HaloStencil(lat.grid)
+        for dim in range(4):
+            for s in (+1, -1):
+                a = stencil_cshift(st, lat, dim, s)
+                b = cshift(lat, dim, s)
+                assert np.allclose(a.data, b.data), (dim, s)
+
+    def test_does_not_mutate_source(self, lat):
+        st = HaloStencil(lat.grid)
+        before = lat.data.copy()
+        st.gather(lat, 0, 1)
+        assert np.array_equal(lat.data, before)
+
+    def test_reusable_across_fields(self, lat, rng):
+        """One stencil serves any field on the grid (the point of
+        precomputation)."""
+        st = HaloStencil(lat.grid)
+        other = Lattice(lat.grid, (3,))
+        other.from_canonical(rng.normal(size=(lat.grid.lsites, 3)) + 0j)
+        for field in (lat, other):
+            assert np.allclose(st.gather(field, 1, -1),
+                               cshift(field, 1, -1).data)
+
+    def test_wide_lane_dim_uses_lane_map(self, rng):
+        g = GridCartesian([4, 4, 4, 4], get_backend("avx512"),
+                          simd_layout=[4, 1, 1, 1])
+        st = HaloStencil(g)
+        lat = Lattice(g, ())
+        lat.from_canonical(rng.normal(size=g.lsites) + 0j)
+        assert st.plans[(0, 1)].permute_level == -1  # extent 4: general map
+        assert np.allclose(st.gather(lat, 0, 1), cshift(lat, 0, 1).data)

@@ -1,0 +1,175 @@
+"""SU(3) utilities and colour tensor contraction tests."""
+
+import numpy as np
+import pytest
+
+from repro.grid import tensor as tn
+from repro.grid.cartesian import GridCartesian
+from repro.grid.lattice import Lattice
+from repro.grid.pauli import SIGMA, embed_su2, random_su2, random_su3
+from repro.grid.random import random_gauge, random_spinor
+from repro.grid.su3 import (
+    max_det_defect,
+    max_unitarity_defect,
+    plaquette,
+    random_su3_field,
+    reunitarize,
+    unit_gauge,
+    unitarity_defect,
+)
+from repro.simd import get_backend
+
+
+@pytest.fixture
+def grid():
+    return GridCartesian([4, 4, 4, 4], get_backend("avx512"))
+
+
+class TestPauli:
+    def test_sigma_algebra(self):
+        for k in range(3):
+            assert np.allclose(SIGMA[k] @ SIGMA[k], np.eye(2))
+            assert np.allclose(SIGMA[k], SIGMA[k].conj().T)
+        assert np.allclose(SIGMA[0] @ SIGMA[1], 1j * SIGMA[2])
+
+    def test_random_su2_unitary(self, rng):
+        for _ in range(10):
+            u = random_su2(rng)
+            assert np.allclose(u @ u.conj().T, np.eye(2), atol=1e-12)
+            assert np.isclose(np.linalg.det(u), 1.0)
+
+    def test_spread_biases_to_identity(self, rng):
+        near = [random_su2(rng, spread=0.05) for _ in range(20)]
+        far = [random_su2(rng, spread=1.0) for _ in range(20)]
+        d_near = np.mean([np.abs(u - np.eye(2)).max() for u in near])
+        d_far = np.mean([np.abs(u - np.eye(2)).max() for u in far])
+        assert d_near < d_far
+
+    def test_embed_su2_unitary(self, rng):
+        for sg in ((0, 1), (0, 2), (1, 2)):
+            m = embed_su2(random_su2(rng), sg)
+            assert unitarity_defect(m) < 1e-12
+            assert np.isclose(np.linalg.det(m), 1.0)
+
+    def test_random_su3(self, rng):
+        for _ in range(10):
+            m = random_su3(rng)
+            assert unitarity_defect(m) < 1e-12
+            assert np.isclose(np.linalg.det(m), 1.0)
+
+
+class TestSu3Fields:
+    def test_unit_gauge(self, grid):
+        links = unit_gauge(grid)
+        assert len(links) == 4
+        for u in links:
+            assert max_unitarity_defect(u) < 1e-15
+            can = u.to_canonical()
+            assert np.allclose(can, np.eye(3))
+
+    def test_random_field_unitary(self, grid, rng):
+        u = random_su3_field(grid, rng)
+        assert max_unitarity_defect(u) < 1e-12
+        assert max_det_defect(u) < 1e-12
+
+    def test_reunitarize_restores(self, rng):
+        m = random_su3(rng) + 0.05 * (rng.normal(size=(3, 3))
+                                      + 1j * rng.normal(size=(3, 3)))
+        fixed = reunitarize(m)
+        assert unitarity_defect(fixed) < 1e-12
+        assert np.isclose(np.linalg.det(fixed), 1.0)
+
+    def test_random_gauge_layout_independent(self):
+        """Same seed, different SIMD layout -> same canonical links."""
+        g1 = GridCartesian([4, 4, 4, 4], get_backend("sse4"))
+        g2 = GridCartesian([4, 4, 4, 4], get_backend("avx512"))
+        u1 = random_gauge(g1, seed=3)
+        u2 = random_gauge(g2, seed=3)
+        for a, b in zip(u1, u2):
+            assert np.allclose(a.to_canonical(), b.to_canonical())
+
+
+class TestPlaquette:
+    def test_cold_is_one(self, grid):
+        assert np.isclose(plaquette(unit_gauge(grid), grid), 1.0)
+
+    def test_random_is_small(self, grid):
+        links = random_gauge(grid, seed=11)
+        p = plaquette(links, grid)
+        assert abs(p) < 0.2  # strong-coupling-like: near zero
+
+    def test_smooth_field_near_one(self, grid):
+        links = random_gauge(grid, seed=11, spread=0.02)
+        p = plaquette(links, grid)
+        assert 0.9 < p <= 1.0
+
+    def test_gauge_invariant_observable_backend_independent(self, rng):
+        vals = []
+        for key in ("sse4", "avx512"):
+            g = GridCartesian([4, 4, 4, 4], get_backend(key))
+            vals.append(plaquette(random_gauge(g, seed=9), g))
+        assert np.isclose(vals[0], vals[1])
+
+
+class TestTensorContractions:
+    def test_su3_mul_vec_matches_einsum(self, grid, rng):
+        u = random_gauge(grid, seed=1)[0]
+        psi = random_spinor(grid, seed=2)
+        h = psi.data[:, :2]  # half spinor
+        got = tn.su3_mul_vec(grid.backend, u.data, h)
+        want = np.einsum("xabl,xsbl->xsal", u.data, h)
+        assert np.allclose(got, want)
+
+    def test_su3_dagger_mul_vec(self, grid, rng):
+        u = random_gauge(grid, seed=1)[0]
+        psi = random_spinor(grid, seed=2)
+        h = psi.data[:, :2]
+        got = tn.su3_dagger_mul_vec(grid.backend, u.data, h)
+        want = np.einsum("xbal,xsbl->xsal", u.data.conj(), h)
+        assert np.allclose(got, want)
+
+    def test_dagger_inverts_for_unitary(self, grid):
+        """U^+ (U psi) = psi for SU(3) links."""
+        u = random_gauge(grid, seed=4)[0]
+        psi = random_spinor(grid, seed=5)
+        h = psi.data[:, :2]
+        round_trip = tn.su3_dagger_mul_vec(
+            grid.backend, u.data, tn.su3_mul_vec(grid.backend, u.data, h)
+        )
+        assert np.allclose(round_trip, h, atol=1e-12)
+
+    def test_colour_mm(self, grid):
+        a = random_gauge(grid, seed=6)[0]
+        b = random_gauge(grid, seed=7)[0]
+        got = tn.colour_mm(grid.backend, a.data, b.data)
+        want = np.einsum("xabl,xbcl->xacl", a.data, b.data)
+        assert np.allclose(got, want)
+
+    def test_colour_mm_dagger_right(self, grid):
+        a = random_gauge(grid, seed=6)[0]
+        b = random_gauge(grid, seed=7)[0]
+        got = tn.colour_mm_dagger_right(grid.backend, a.data, b.data)
+        want = np.einsum("xabl,xcbl->xacl", a.data, b.data.conj())
+        assert np.allclose(got, want)
+
+    def test_u_udagger_is_identity(self, grid):
+        u = random_gauge(grid, seed=8)[0]
+        prod = tn.colour_mm_dagger_right(grid.backend, u.data, u.data)
+        can = Lattice(grid, (3, 3), prod).to_canonical()
+        assert np.allclose(can, np.eye(3), atol=1e-12)
+
+    def test_colour_trace_re(self, grid):
+        u = random_gauge(grid, seed=9)[0]
+        got = tn.colour_trace_re(grid.backend, u.data)
+        want = np.einsum("xaal->", u.data).real
+        assert np.isclose(got, want)
+
+    def test_works_on_sve_backend(self, rng):
+        be = get_backend("sve256-acle")
+        g = GridCartesian([2, 2, 2, 2], be)
+        u = random_gauge(g, seed=1)[0]
+        psi = random_spinor(g, seed=2)
+        h = psi.data[:, :2]
+        got = tn.su3_mul_vec(be, u.data, h)
+        want = np.einsum("xabl,xsbl->xsal", u.data, h)
+        assert np.allclose(got, want)

@@ -1,0 +1,229 @@
+"""SIMD backend layer tests: geometry, Table I, equivalence."""
+
+import numpy as np
+import pytest
+
+from repro.simd import (
+    FIXED_FAMILIES,
+    FixedWidthBackend,
+    GenericBackend,
+    SveAcleBackend,
+    SveRealBackend,
+    available_backends,
+    get_backend,
+)
+
+#: Backend keys exercised in the equivalence sweep.
+EQUIV_KEYS = ["generic512", "sse4", "avx", "avx512", "qpx", "neon",
+              "sve128-acle", "sve256-acle", "sve512-acle",
+              "sve128-real", "sve512-real"]
+
+
+def _rand(be, rng, rows=4, dtype=np.complex128):
+    cl = be.clanes(dtype)
+    x = rng.normal(size=(rows, cl)) + 1j * rng.normal(size=(rows, cl))
+    return x.astype(dtype)
+
+
+class TestGeometry:
+    def test_clanes_double(self):
+        assert GenericBackend(512).clanes() == 4
+        assert GenericBackend(128).clanes() == 1
+
+    def test_clanes_single(self):
+        assert GenericBackend(512).clanes(np.complex64) == 8
+
+    def test_validate_lane_count(self):
+        be = GenericBackend(256)
+        with pytest.raises(ValueError, match="lanes"):
+            be.validate(np.zeros((3, 3), dtype=np.complex128))
+
+    def test_validate_dtype(self):
+        be = GenericBackend(256)
+        with pytest.raises(TypeError, match="complex"):
+            be.validate(np.zeros((3, 2)))
+
+    def test_generic_width_validation(self):
+        with pytest.raises(ValueError):
+            GenericBackend(100)
+        with pytest.raises(ValueError):
+            GenericBackend(0)
+
+
+class TestTableI:
+    """The architectures of Table I with their vector lengths."""
+
+    @pytest.mark.parametrize("key,bits", [
+        ("sse4", 128), ("avx", 256), ("avx512", 512), ("qpx", 256),
+        ("neon", 128),
+    ])
+    def test_widths(self, key, bits):
+        be = FixedWidthBackend(key)
+        assert be.width_bits == bits
+
+    def test_display_names(self):
+        assert FixedWidthBackend("avx512").display_name == \
+            "Intel ICMI, AVX-512"
+        assert FixedWidthBackend("neon").display_name == "ARM NEONv8"
+
+    def test_vendors(self):
+        vendors = {f.vendor for f in FIXED_FAMILIES}
+        assert vendors == {"Intel", "IBM", "ARM"}
+
+    def test_unknown_family(self):
+        with pytest.raises(ValueError, match="unknown"):
+            FixedWidthBackend("altivec")
+
+
+class TestRegistry:
+    def test_all_keys_instantiate(self):
+        for key in available_backends():
+            be = get_backend(key)
+            assert be.width_bits >= 128
+
+    def test_generic_default_width(self):
+        assert get_backend("generic").width_bits == 256
+
+    def test_sve_keys(self):
+        assert isinstance(get_backend("sve512-acle"), SveAcleBackend)
+        assert isinstance(get_backend("sve512-real"), SveRealBackend)
+        assert get_backend("sve1024-acle").width_bits == 1024
+
+    def test_unknown_key(self):
+        with pytest.raises(ValueError, match="unknown"):
+            get_backend("sve512")  # missing strategy suffix
+
+
+class TestEquivalence:
+    """All backends implement the same mathematics — the correctness
+    contract of Grid's abstraction layer (Section II-C)."""
+
+    @pytest.mark.parametrize("key", EQUIV_KEYS)
+    def test_complex_ops(self, key, rng):
+        be = get_backend(key)
+        x, y, z = (_rand(be, rng) for _ in range(3))
+        assert np.allclose(be.mul(x, y), x * y)
+        assert np.allclose(be.madd(z, x, y), z + x * y)
+        assert np.allclose(be.msub(z, x, y), z - x * y)
+        assert np.allclose(be.conj_mul(x, y), np.conj(x) * y)
+        assert np.allclose(be.conj_madd(z, x, y), z + np.conj(x) * y)
+
+    @pytest.mark.parametrize("key", EQUIV_KEYS)
+    def test_structural_ops(self, key, rng):
+        be = get_backend(key)
+        x, y = _rand(be, rng), _rand(be, rng)
+        assert np.allclose(be.add(x, y), x + y)
+        assert np.allclose(be.sub(x, y), x - y)
+        assert np.allclose(be.neg(x), -x)
+        assert np.allclose(be.conj(x), np.conj(x))
+        assert np.allclose(be.times_i(x), 1j * x)
+        assert np.allclose(be.times_minus_i(x), -1j * x)
+        assert np.allclose(be.scale(x, 1.5 - 0.5j), (1.5 - 0.5j) * x)
+
+    @pytest.mark.parametrize("key", EQUIV_KEYS)
+    def test_realpart_ops(self, key, rng):
+        be = get_backend(key)
+        x, y, z = (_rand(be, rng) for _ in range(3))
+        assert np.allclose(be.mul_real_part(x, y), x.real * y)
+        assert np.allclose(be.madd_real_part(z, x, y), z + x.real * y)
+
+    @pytest.mark.parametrize("key", ["generic512", "avx512", "sve512-acle",
+                                     "sve512-real"])
+    def test_permute_levels(self, key, rng):
+        be = get_backend(key)
+        x = _rand(be, rng)
+        ref = GenericBackend(be.width_bits)
+        for level in range(int(np.log2(be.clanes()))):
+            assert np.allclose(be.permute(x, level), ref.permute(x, level))
+            assert np.allclose(be.permute(be.permute(x, level), level), x)
+
+    def test_permute_too_deep(self, rng):
+        be = get_backend("sse4")  # one complex lane
+        x = _rand(be, rng)
+        with pytest.raises(ValueError):
+            be.permute(x, 0)
+
+    @pytest.mark.parametrize("key", EQUIV_KEYS)
+    def test_reduce_sum(self, key, rng):
+        be = get_backend(key)
+        x = _rand(be, rng)
+        assert np.isclose(be.reduce_sum(x), x.sum())
+
+    @pytest.mark.parametrize("key", ["generic512", "sve256-acle",
+                                     "sve256-real"])
+    def test_complex64(self, key, rng):
+        be = get_backend(key)
+        x = _rand(be, rng, dtype=np.complex64)
+        y = _rand(be, rng, dtype=np.complex64)
+        assert np.allclose(be.mul(x, y), x * y, rtol=1e-5)
+        assert np.allclose(be.times_i(x), 1j * x, rtol=1e-6)
+
+
+class TestFp16Conversion:
+    @pytest.mark.parametrize("key", ["generic512", "sve512-acle"])
+    def test_roundtrip_error_bounded(self, key, rng):
+        be = get_backend(key)
+        x = _rand(be, rng)
+        h = be.to_half(x)
+        assert h.dtype == np.float16
+        assert h.shape[-1] == 2 * be.clanes()
+        assert np.allclose(be.from_half(h), x, rtol=2e-3, atol=1e-4)
+
+    def test_volume_reduction(self, rng):
+        be = get_backend("generic512")
+        x = _rand(be, rng)
+        assert be.to_half(x).nbytes == x.nbytes // 4
+
+
+class TestInstructionCounts:
+    def test_numpy_backends_do_not_count(self):
+        assert get_backend("generic").instruction_counts() is None
+        assert get_backend("avx512").instruction_counts() is None
+
+    def test_acle_mul_is_two_fcmla(self, rng):
+        be = get_backend("sve512-acle")
+        x = _rand(be, rng, rows=1)
+        be.mul(x, x)
+        counts = be.instruction_counts()
+        assert counts["fcmla"] == 2
+        assert counts["ld1d"] == 2 and counts["st1d"] == 1
+
+    def test_real_mul_higher_instruction_count(self, rng):
+        """Section V-E: the real-arithmetic alternative costs more
+        instructions per complex multiply."""
+        acle_be = get_backend("sve512-acle")
+        real_be = get_backend("sve512-real")
+        x = _rand(acle_be, rng, rows=1)
+        acle_be.mul(x, x)
+        real_be.mul(x, x)
+
+        def data_ops(counts):
+            skip = {"ld1d", "st1d", "ld1w", "st1w", "ptrue", "whilelt"}
+            return sum(n for m, n in counts.items() if m not in skip)
+
+        assert data_ops(real_be.instruction_counts()) > \
+            data_ops(acle_be.instruction_counts())
+
+    def test_real_backend_uses_no_complex_isa(self, rng):
+        be = get_backend("sve256-real")
+        x, y, z = (_rand(be, rng) for _ in range(3))
+        be.mul(x, y)
+        be.madd(z, x, y)
+        be.conj_madd(z, x, y)
+        be.times_i(x)
+        counts = be.instruction_counts()
+        assert counts.get("fcmla", 0) == 0
+        assert counts.get("fcadd", 0) == 0
+
+    def test_mul_real_part_single_fcmla(self, rng):
+        """FCMLA rotation 0 alone is MultRealPart (Section III-D)."""
+        be = get_backend("sve512-acle")
+        x = _rand(be, rng, rows=1)
+        be.mul_real_part(x, x)
+        assert be.instruction_counts()["fcmla"] == 1
+
+    def test_times_i_is_one_fcadd(self, rng):
+        be = get_backend("sve512-acle")
+        x = _rand(be, rng, rows=1)
+        be.times_i(x)
+        assert be.instruction_counts()["fcadd"] == 1

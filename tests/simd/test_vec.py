@@ -1,0 +1,98 @@
+"""Tests for the paper's ``vec<T>`` structure (Section V-C verbatim)."""
+
+import numpy as np
+import pytest
+
+from repro.acle.context import SVEContext
+from repro.simd.vec import MaddComplex, MultComplex, Permute, TimesI, Vec
+
+
+def _cvec(vl_bits, rng):
+    lanes = vl_bits // 64
+    vals = rng.normal(size=lanes)
+    return Vec(vl_bits, np.float64, vals)
+
+
+class TestVecStructure:
+    def test_sized_by_vector_length(self):
+        assert Vec(512, np.float64).lanes == 8
+        assert Vec(512, np.float32).lanes == 16
+        assert Vec(512, np.float16).lanes == 32
+        assert Vec(128, np.int32).lanes == 4
+
+    def test_supported_specializations_only(self):
+        """Section V-B: f64/f32/f16/i32 specializations exist."""
+        with pytest.raises(TypeError):
+            Vec(512, np.complex128)
+        with pytest.raises(TypeError):
+            Vec(512, np.int64)
+
+    def test_initial_values(self, rng):
+        vals = rng.normal(size=8)
+        v = Vec(512, np.float64, vals)
+        assert np.array_equal(v.v, vals)
+        with pytest.raises(ValueError):
+            Vec(512, np.float64, np.zeros(7))
+
+    def test_complex_view_interleaved(self):
+        v = Vec(256, np.float64, [1, 2, 3, 4])
+        assert np.array_equal(v.complex_view(), [1 + 2j, 3 + 4j])
+
+
+class TestSectionVCKernels:
+    @pytest.mark.parametrize("vl", (128, 256, 512))
+    def test_mult_complex(self, vl, rng):
+        x, y = _cvec(vl, rng), _cvec(vl, rng)
+        with SVEContext(vl) as ctx:
+            out = MultComplex()(x, y)
+        assert np.allclose(out.complex_view(),
+                           x.complex_view() * y.complex_view())
+        assert ctx.counts["fcmla"] == 2  # the paper's exact kernel
+
+    def test_madd_complex(self, rng):
+        x, y, z = (_cvec(512, rng) for _ in range(3))
+        with SVEContext(512):
+            out = MaddComplex()(z, x, y)
+        assert np.allclose(out.complex_view(),
+                           z.complex_view()
+                           + x.complex_view() * y.complex_view())
+
+    def test_times_i(self, rng):
+        x = _cvec(256, rng)
+        with SVEContext(256):
+            out = TimesI()(x)
+        assert np.allclose(out.complex_view(), 1j * x.complex_view())
+
+    def test_permute(self, rng):
+        x = _cvec(512, rng)  # 4 complex lanes
+        with SVEContext(512):
+            out = Permute(0)(x)
+            back = Permute(0)(out)
+        assert np.allclose(out.complex_view(),
+                           np.roll(x.complex_view(), 2))
+        assert np.allclose(back.complex_view(), x.complex_view())
+
+    def test_float32_kernel(self, rng):
+        lanes = 512 // 32
+        x = Vec(512, np.float32, rng.normal(size=lanes))
+        y = Vec(512, np.float32, rng.normal(size=lanes))
+        with SVEContext(512):
+            out = MultComplex()(x, y)
+        assert np.allclose(out.complex_view(),
+                           x.complex_view() * y.complex_view(), rtol=1e-5)
+
+    def test_vl_mismatch_rejected(self, rng):
+        """Section V-B: 'the Grid binaries are not necessarily portable
+        across different platforms' — a vec<T> compiled for one VL must
+        not silently run at another."""
+        x = _cvec(512, rng)
+        with SVEContext(256):
+            with pytest.raises(ValueError, match="portable"):
+                MultComplex()(x, x)
+
+    def test_intrinsics_only_inside_functions(self, rng):
+        """The vec<T> object itself carries no sizeless state: it can
+        be constructed, stored and copied outside any SVE context."""
+        x = _cvec(512, rng)  # no context active here
+        stored = [x, Vec(512, np.float64)]  # storable in containers
+        assert stored[0].lanes == 8

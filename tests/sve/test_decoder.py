@@ -1,0 +1,166 @@
+"""Assembly-parser tests: every operand form the paper's listings use."""
+
+import pytest
+
+from repro.sve.decoder import (
+    AsmSyntaxError,
+    Imm,
+    LabelRef,
+    MemOp,
+    Pattern,
+    POp,
+    RegList,
+    ShiftSpec,
+    VOp,
+    XOp,
+    ZOp,
+    assemble,
+    parse_line,
+    parse_operand,
+)
+
+
+class TestOperandParsing:
+    def test_x_registers(self):
+        assert parse_operand("x8") == XOp(8)
+        assert parse_operand("xzr") == XOp(31)
+        assert parse_operand("sp") == XOp(31, is_sp=True)
+
+    def test_z_registers(self):
+        assert parse_operand("z0.d") == ZOp(0, "d")
+        assert parse_operand("z31.b") == ZOp(31, "b")
+        assert parse_operand("z7") == ZOp(7, None)
+
+    def test_p_registers(self):
+        assert parse_operand("p0.d") == POp(0, "d", None)
+        assert parse_operand("p1/z") == POp(1, None, "z")
+        assert parse_operand("p0/m") == POp(0, None, "m")
+        assert parse_operand("p2.b") == POp(2, "b", None)
+
+    def test_fp_scalars(self):
+        assert parse_operand("d0") == VOp(0, "d")
+        assert parse_operand("s3") == VOp(3, "s")
+
+    def test_immediates(self):
+        assert parse_operand("#3") == Imm(3)
+        assert parse_operand("#90") == Imm(90)
+        assert parse_operand("#-2") == Imm(-2)
+        assert parse_operand("#0.5") == Imm(0.5)
+        assert parse_operand("#0x10") == Imm(16)
+
+    def test_memory_operands(self):
+        m = parse_operand("[x1, x8, lsl #3]")
+        assert m == MemOp(base=XOp(1), index=XOp(8), shift=3)
+        assert parse_operand("[x1]") == MemOp(base=XOp(1))
+        assert parse_operand("[x0, #16]") == MemOp(base=XOp(0), imm=16)
+        mv = parse_operand("[x0, #1, mul vl]")
+        assert mv == MemOp(base=XOp(0), imm=1, mul_vl=True)
+
+    def test_register_lists(self):
+        rl = parse_operand("{z2.d, z3.d}")
+        assert rl == RegList((ZOp(2, "d"), ZOp(3, "d")))
+        assert parse_operand("{z0.d}") == RegList((ZOp(0, "d"),))
+
+    def test_labels_and_patterns(self):
+        assert parse_operand(".LBB0_4") == LabelRef(".LBB0_4")
+        assert parse_operand("all") == Pattern("all")
+        assert parse_operand("vl4") == Pattern("vl4")
+
+    def test_shift_specs(self):
+        assert parse_operand("lsl #1") == ShiftSpec("lsl", 1)
+        assert parse_operand("mul #2") == ShiftSpec("mul", 2)
+
+    def test_garbage_rejected(self):
+        with pytest.raises(AsmSyntaxError):
+            parse_operand("##")
+        with pytest.raises(AsmSyntaxError):
+            parse_operand("[not_a_reg]")
+
+
+class TestLineParsing:
+    def test_plain_instruction(self):
+        label, insn = parse_line("    fmul z0.d, z0.d, z1.d")
+        assert label is None
+        assert insn.mnemonic == "fmul"
+        assert len(insn.operands) == 3
+
+    def test_label_only(self):
+        label, insn = parse_line(".LBB0_4:")
+        assert label == ".LBB0_4" and insn is None
+
+    def test_label_with_instruction(self):
+        label, insn = parse_line(".Lx: incd x8")
+        assert label == ".Lx" and insn.mnemonic == "incd"
+
+    def test_conditional_branch(self):
+        _, insn = parse_line("b.mi .LBB0_4")
+        assert insn.mnemonic == "b" and insn.cond == "mi"
+        _, insn = parse_line("b.lo .Lq")
+        assert insn.cond == "lo"
+
+    def test_comments_stripped(self):
+        _, insn = parse_line("incd x8 // bump by vector length")
+        assert insn.mnemonic == "incd" and len(insn.operands) == 1
+        label, insn = parse_line("  ; pure comment")
+        assert label is None and insn is None
+
+    def test_blank(self):
+        assert parse_line("   ") == (None, None)
+
+
+class TestAssemble:
+    SRC = """
+        mov x8, xzr
+    .Ltop:
+        incd x8
+        b.mi .Ltop
+        ret
+    """
+
+    def test_labels_resolve(self):
+        prog = assemble(self.SRC)
+        assert len(prog) == 4
+        assert prog.target(".Ltop") == 1
+
+    def test_undefined_label(self):
+        prog = assemble(self.SRC)
+        with pytest.raises(KeyError):
+            prog.target(".Lnope")
+
+    def test_duplicate_label(self):
+        with pytest.raises(AsmSyntaxError):
+            assemble(".La:\n.La:\nret\n")
+
+    def test_syntax_error_reports_line(self):
+        with pytest.raises(AsmSyntaxError, match="line 2"):
+            assemble("ret\nfmul z0.q, z1.d, z2.d\n")
+
+    def test_static_histogram(self):
+        prog = assemble(self.SRC)
+        hist = prog.static_histogram()
+        assert hist == {"mov": 1, "incd": 1, "b.mi": 1, "ret": 1}
+
+    def test_listing_roundtrips(self):
+        prog = assemble(self.SRC)
+        relisted = assemble(prog.listing())
+        assert [i.text for i in relisted] == [i.text for i in prog]
+        assert relisted.labels == prog.labels
+
+    def test_paper_listing_iva_parses(self):
+        from repro.verification.cases import LISTING_IVA
+
+        prog = assemble(LISTING_IVA)
+        hist = prog.static_histogram()
+        # The instruction mix of the paper's Section IV-A listing.
+        assert hist["ld1d"] == 2 and hist["st1d"] == 1
+        assert hist["fmul"] == 1 and hist["whilelo"] == 2
+        assert hist["brkns"] == 1 and hist["b.mi"] == 1
+
+    def test_paper_listing_ivc_parses(self):
+        from repro.verification.cases import LISTING_IVC
+
+        prog = assemble(LISTING_IVC)
+        hist = prog.static_histogram()
+        assert hist["fcmla"] == 2
+        assert hist["ld1d"] == 2 and hist["st1d"] == 1
+        assert hist["b.lo"] == 1

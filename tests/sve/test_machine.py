@@ -1,0 +1,444 @@
+"""Machine-executor tests: instruction handlers, branches, loops."""
+
+import numpy as np
+import pytest
+
+from repro.sve.decoder import assemble
+from repro.sve.machine import Machine, SimulationError
+from repro.sve.memory import Memory
+from repro.sve.types import EType
+from repro.sve.vl import VL
+
+
+def run(src: str, vl_bits: int = 512, args=(), mem=None) -> Machine:
+    m = Machine(VL(vl_bits), memory=mem)
+    m.call(assemble(src), *args)
+    return m
+
+
+class TestScalarOps:
+    def test_mov_and_alu(self):
+        m = run("""
+            mov x0, #10
+            mov x1, x0
+            add x2, x1, #5
+            sub x3, x2, x0
+            mul x4, x2, x3
+            lsl x5, x0, #2
+            lsr x6, x5, #1
+            ret
+        """)
+        assert m.x.read(2) == 15
+        assert m.x.read(3) == 5
+        assert m.x.read(4) == 75
+        assert m.x.read(5) == 40
+        assert m.x.read(6) == 20
+
+    def test_add_with_shifted_register(self):
+        m = run("""
+            mov x0, #3
+            mov x1, #4
+            add x2, x0, x1, lsl #2
+            ret
+        """)
+        assert m.x.read(2) == 19
+
+    def test_conditional_branch_taken(self):
+        m = run("""
+            mov x0, #0
+            mov x1, #5
+        .Lloop:
+            add x0, x0, #1
+            cmp x0, x1
+            b.lo .Lloop
+            ret
+        """)
+        assert m.x.read(0) == 5
+
+    def test_cbz_cbnz(self):
+        m = run("""
+            mov x0, #2
+            mov x1, #0
+        .Ldec:
+            sub x0, x0, #1
+            add x1, x1, #10
+            cbnz x0, .Ldec
+            ret
+        """)
+        assert m.x.read(1) == 20
+
+    def test_rdvl(self, vl):
+        m = run("rdvl x0, #2\nret\n", vl.bits)
+        assert m.x.read(0) == 2 * vl.bytes
+
+    def test_ldr_str(self):
+        mem = Memory()
+        addr = mem.alloc(8)
+        m = Machine(VL(128), memory=mem)
+        m.call(assemble("""
+            mov x1, #123
+            str x1, [x0]
+            ldr x2, [x0]
+            ret
+        """), addr)
+        assert m.x.read(2) == 123
+
+    def test_unknown_instruction(self):
+        with pytest.raises(SimulationError, match="unimplemented"):
+            run("frobnicate x0, x1\nret\n")
+
+    def test_runaway_loop_detected(self):
+        with pytest.raises(SimulationError, match="steps"):
+            m = Machine(VL(128))
+            m.run(assemble(".La:\nb .La\nret\n"), max_steps=100)
+
+    def test_fall_off_end(self):
+        m = run("mov x0, #1\n")  # no ret
+        assert m.x.read(0) == 1
+
+
+class TestVectorMoves:
+    def test_mov_z_immediate(self, vl):
+        m = run("mov z0.d, #0\nmov z1.d, #7\nret\n", vl.bits)
+        assert np.all(m.z.read(0, EType.F64) == 0.0)
+        assert np.all(m.z.read(1, EType.I64) == 7)
+
+    def test_mov_z_copy(self, vl):
+        m = run("""
+            mov z0.d, #3
+            mov z1.d, z0.d
+            ret
+        """, vl.bits)
+        assert np.array_equal(m.z.read(1, EType.I64), m.z.read(0, EType.I64))
+
+    def test_dup_from_x(self, vl):
+        m = run("mov x0, #9\ndup z0.d, x0\nret\n", vl.bits)
+        assert np.all(m.z.read(0, EType.I64) == 9)
+
+    def test_fmov_float(self, vl):
+        m = run("fmov z0.d, #0.5\nret\n", vl.bits)
+        assert np.all(m.z.read(0, EType.F64) == 0.5)
+
+    def test_index(self, vl):
+        m = run("index z0.d, #2, #3\nret\n", vl.bits)
+        lanes = vl.lanes(8)
+        assert np.array_equal(m.z.read(0, EType.I64),
+                              2 + 3 * np.arange(lanes))
+
+    def test_mov_predicate(self, vl):
+        m = run("""
+            ptrue p0.d
+            mov p1.b, p0.b
+            ret
+        """, vl.bits)
+        assert np.array_equal(m.p.read_bits(1), m.p.read_bits(0))
+
+    def test_movprfx(self, vl):
+        m = run("""
+            mov z4.d, #5
+            movprfx z7, z4
+            ret
+        """, vl.bits)
+        assert np.all(m.z.read(7, EType.I64) == 5)
+
+
+class TestPredicateInstructions:
+    def test_ptrue_pattern(self, vl):
+        m = run("ptrue p0.d, vl2\nret\n", vl.bits)
+        elems = m.p.read_elements(0, 8)
+        assert elems[:2].all() and not elems[2:].any()
+
+    def test_whilelo_sets_flags(self):
+        m = run("""
+            mov x0, #3
+            whilelo p0.d, xzr, x0
+            ret
+        """, 512)
+        elems = m.p.read_elements(0, 8)
+        assert elems[:3].all() and not elems[3:].any()
+        assert m.flags.n  # first element active -> b.mi would branch
+
+    def test_cntp(self):
+        m = run("""
+            mov x0, #5
+            whilelo p1.d, xzr, x0
+            ptrue p0.d
+            cntp x2, p0, p1.d
+            ret
+        """, 1024)
+        assert m.x.read(2) == 5
+
+    def test_pred_logic(self, vl):
+        m = run("""
+            mov x0, #2
+            whilelo p1.d, xzr, x0
+            ptrue p0.d
+            eor p2.b, p0/z, p1.b, p0.b
+            ret
+        """, vl.bits)
+        lanes = vl.lanes(8)
+        elems = m.p.read_elements(2, 8)
+        # complement of the first-2 predicate
+        expected = np.ones(lanes, dtype=bool)
+        expected[: min(2, lanes)] = False
+        assert np.array_equal(elems, expected)
+
+    def test_ptest(self):
+        m = run("""
+            pfalse p1.b
+            ptrue p0.b
+            ptest p0, p1.b
+            ret
+        """, 256)
+        assert m.flags.z
+
+
+class TestCounters:
+    def test_cnt_family(self, vl):
+        m = run("""
+            cntd x0
+            cntw x1
+            cnth x2
+            cntb x3
+            ret
+        """, vl.bits)
+        assert m.x.read(0) == vl.lanes(8)
+        assert m.x.read(1) == vl.lanes(4)
+        assert m.x.read(2) == vl.lanes(2)
+        assert m.x.read(3) == vl.bytes
+
+    def test_incd_decd(self, vl):
+        m = run("""
+            mov x0, #100
+            incd x0
+            incd x0, all, mul #2
+            decd x0
+            ret
+        """, vl.bits)
+        assert m.x.read(0) == 100 + 2 * vl.lanes(8)
+
+    def test_incd_vector_form(self, vl):
+        m = run("""
+            mov z0.d, #10
+            incd z0.d
+            ret
+        """, vl.bits)
+        assert np.all(m.z.read(0, EType.I64) == 10 + vl.lanes(8))
+
+
+class TestFPArithmetic:
+    def test_unpredicated_binary(self, vl):
+        m = run("""
+            fmov z0.d, #3.0
+            fmov z1.d, #2.0
+            fmul z2.d, z0.d, z1.d
+            fadd z3.d, z0.d, z1.d
+            fsub z4.d, z0.d, z1.d
+            fdiv z5.d, z0.d, z1.d
+            ret
+        """, vl.bits)
+        assert np.all(m.z.read(2, EType.F64) == 6.0)
+        assert np.all(m.z.read(3, EType.F64) == 5.0)
+        assert np.all(m.z.read(4, EType.F64) == 1.0)
+        assert np.all(m.z.read(5, EType.F64) == 1.5)
+
+    def test_predicated_destructive(self):
+        m = run("""
+            mov x0, #2
+            whilelo p0.d, xzr, x0
+            fmov z0.d, #1.0
+            fmov z1.d, #10.0
+            fadd z0.d, p0/m, z0.d, z1.d
+            ret
+        """, 512)
+        out = m.z.read(0, EType.F64)
+        assert np.all(out[:2] == 11.0) and np.all(out[2:] == 1.0)
+
+    def test_fma_chain(self, vl):
+        m = run("""
+            ptrue p0.d
+            fmov z0.d, #2.0
+            fmov z1.d, #3.0
+            fmov z2.d, #10.0
+            fmla z2.d, p0/m, z0.d, z1.d
+            fnmls z2.d, p0/m, z0.d, z1.d
+            ret
+        """, vl.bits)
+        # fmla: 10 + 6 = 16 ; fnmls: -16 + 6 = -10
+        assert np.all(m.z.read(2, EType.F64) == -10.0)
+
+    def test_unary(self, vl):
+        m = run("""
+            ptrue p0.d
+            fmov z0.d, #-4.0
+            fneg z1.d, z0.d
+            fabs z2.d, z0.d
+            fsqrt z3.d, p0/m, z1.d
+            ret
+        """, vl.bits)
+        assert np.all(m.z.read(1, EType.F64) == 4.0)
+        assert np.all(m.z.read(2, EType.F64) == 4.0)
+        assert np.all(m.z.read(3, EType.F64) == 2.0)
+
+
+class TestComplexInstructions:
+    def test_fcmla_pair_is_complex_multiply(self, vl, rng):
+        lanes = vl.lanes(8)
+        x = rng.normal(size=lanes)
+        y = rng.normal(size=lanes)
+        mem = Memory()
+        ax, ay = mem.alloc_array(x), mem.alloc_array(y)
+        az = mem.alloc(lanes * 8)
+        m = Machine(vl, memory=mem)
+        m.call(assemble("""
+            ptrue p0.d
+            ld1d {z0.d}, p0/z, [x0]
+            ld1d {z1.d}, p0/z, [x1]
+            mov z2.d, #0
+            fcmla z2.d, p0/m, z0.d, z1.d, #90
+            fcmla z2.d, p0/m, z0.d, z1.d, #0
+            st1d {z2.d}, p0, [x2]
+            ret
+        """), ax, ay, az)
+        out = mem.read_array(az, np.float64, lanes)
+        xc = x[0::2] + 1j * x[1::2]
+        yc = y[0::2] + 1j * y[1::2]
+        zc = out[0::2] + 1j * out[1::2]
+        assert np.allclose(zc, xc * yc)
+
+    def test_fcadd(self, vl, rng):
+        lanes = vl.lanes(8)
+        a = rng.normal(size=lanes)
+        b = rng.normal(size=lanes)
+        mem = Memory()
+        aa, ab = mem.alloc_array(a), mem.alloc_array(b)
+        az = mem.alloc(lanes * 8)
+        m = Machine(vl, memory=mem)
+        m.call(assemble("""
+            ptrue p0.d
+            ld1d {z0.d}, p0/z, [x0]
+            ld1d {z1.d}, p0/z, [x1]
+            fcadd z0.d, p0/m, z0.d, z1.d, #90
+            st1d {z0.d}, p0, [x2]
+            ret
+        """), aa, ab, az)
+        out = mem.read_array(az, np.float64, lanes)
+        ac = a[0::2] + 1j * a[1::2]
+        bc = b[0::2] + 1j * b[1::2]
+        assert np.allclose(out[0::2] + 1j * out[1::2], ac + 1j * bc)
+
+
+class TestLoadsStores:
+    def test_ld2d_st2d_roundtrip(self, vl, rng):
+        lanes = vl.lanes(8)
+        data = rng.normal(size=2 * lanes)
+        mem = Memory()
+        src = mem.alloc_array(data)
+        dst = mem.alloc(2 * lanes * 8)
+        m = Machine(vl, memory=mem)
+        m.call(assemble("""
+            ptrue p0.d
+            ld2d {z0.d, z1.d}, p0/z, [x0]
+            st2d {z0.d, z1.d}, p0, [x1]
+            ret
+        """), src, dst)
+        assert np.array_equal(mem.read_array(dst, np.float64, 2 * lanes),
+                              data)
+        assert np.array_equal(m.z.read(0, EType.F64), data[0::2])
+        assert np.array_equal(m.z.read(1, EType.F64), data[1::2])
+
+    def test_mul_vl_addressing(self, vl, rng):
+        data = rng.normal(size=2 * vl.lanes(8))
+        mem = Memory()
+        addr = mem.alloc_array(data)
+        m = Machine(vl, memory=mem)
+        m.call(assemble("""
+            ptrue p0.d
+            ld1d {z0.d}, p0/z, [x0, #1, mul vl]
+            ret
+        """), addr)
+        assert np.array_equal(m.z.read(0, EType.F64), data[vl.lanes(8):])
+
+    def test_prefetch_is_noop(self):
+        run("prfd x0\nret\n")
+
+    def test_reglist_arity_checked(self):
+        with pytest.raises(SimulationError):
+            run("ptrue p0.d\nld2d {z0.d}, p0/z, [x0]\nret\n")
+
+
+class TestPermutesAndReductions:
+    def test_machine_permutes(self, vl, rng):
+        lanes = vl.lanes(8)
+        data = rng.normal(size=lanes)
+        mem = Memory()
+        addr = mem.alloc_array(data)
+        m = Machine(vl, memory=mem)
+        m.call(assemble("""
+            ptrue p0.d
+            ld1d {z0.d}, p0/z, [x0]
+            rev z1.d, z0.d
+            zip1 z2.d, z0.d, z0.d
+            trn1 z3.d, z0.d, z0.d
+            ret
+        """), addr)
+        assert np.array_equal(m.z.read(1, EType.F64), data[::-1])
+        h = lanes // 2
+        assert np.array_equal(m.z.read(2, EType.F64)[0::2], data[:h])
+        assert np.array_equal(m.z.read(3, EType.F64)[1::2], data[0::2])
+
+    def test_faddv(self, vl, rng):
+        lanes = vl.lanes(8)
+        data = rng.normal(size=lanes)
+        mem = Memory()
+        addr = mem.alloc_array(data)
+        m = Machine(vl, memory=mem)
+        m.call(assemble("""
+            ptrue p0.d
+            ld1d {z1.d}, p0/z, [x0]
+            faddv d0, p0, z1.d
+            ret
+        """), addr)
+        assert np.isclose(m.read_fp_scalar(0), data.sum())
+        # Reduction zeroes the rest of the destination register.
+        assert np.all(m.z.read(0, EType.F64)[1:] == 0.0)
+
+    def test_sel(self, vl):
+        m = run("""
+            mov x0, #1
+            whilelo p0.d, xzr, x0
+            fmov z0.d, #1.0
+            fmov z1.d, #2.0
+            sel z2.d, p0, z0.d, z1.d
+            ret
+        """, vl.bits)
+        out = m.z.read(2, EType.F64)
+        assert out[0] == 1.0 and np.all(out[1:] == 2.0)
+
+
+class TestConversions:
+    def test_fcvt_narrow_widen(self, vl, rng):
+        lanes = vl.lanes(8)
+        data = rng.normal(size=lanes)
+        mem = Memory()
+        addr = mem.alloc_array(data)
+        m = Machine(vl, memory=mem)
+        m.call(assemble("""
+            ptrue p0.d
+            ld1d {z0.d}, p0/z, [x0]
+            fcvt z1.s, p0/m, z0.d
+            fcvt z2.d, p0/m, z1.s
+            ret
+        """), addr)
+        back = m.z.read(2, EType.F64)
+        assert np.allclose(back, data, rtol=1e-7)
+
+    def test_scvtf_fcvtzs(self, vl):
+        m = run("""
+            ptrue p0.d
+            index z0.d, #-2, #1
+            scvtf z1.d, p0/m, z0.d
+            fcvtzs z2.d, p0/m, z1.d
+            ret
+        """, vl.bits)
+        assert np.array_equal(m.z.read(2, EType.I64), m.z.read(0, EType.I64))

@@ -1,0 +1,231 @@
+"""Vector compares and gather/scatter addressing on the machine."""
+
+import numpy as np
+import pytest
+
+from repro.sve.decoder import assemble, parse_operand
+from repro.sve.machine import Machine, SimulationError
+from repro.sve.memory import Memory
+from repro.sve.types import EType
+from repro.sve.vl import VL
+
+
+class TestVectorCompares:
+    def test_fcmgt(self, vl):
+        m = Machine(vl)
+        m.run(assemble("""
+            ptrue p0.d
+            index z0.d, #0, #1
+            scvtf z1.d, p0/m, z0.d
+            fmov z2.d, #2.0
+            fcmgt p1.d, p0/z, z1.d, z2.d
+            ret
+        """))
+        elems = m.p.read_elements(1, 8)
+        want = np.arange(vl.lanes(8)) > 2
+        assert np.array_equal(elems, want)
+
+    def test_fcmeq_immediate(self):
+        m = Machine(VL(512))
+        m.run(assemble("""
+            ptrue p0.d
+            index z0.d, #0, #1
+            scvtf z1.d, p0/m, z0.d
+            fcmeq p1.d, p0/z, z1.d, #3.0
+            ret
+        """))
+        elems = m.p.read_elements(1, 8)
+        assert elems[3] and elems.sum() == 1
+
+    def test_int_compare_signed_vs_unsigned(self):
+        m = Machine(VL(256))
+        m.run(assemble("""
+            ptrue p0.d
+            index z0.d, #-2, #1
+            mov z1.d, #0
+            cmplt p1.d, p0/z, z0.d, z1.d
+            cmplo p2.d, p0/z, z0.d, z1.d
+            ret
+        """))
+        # Signed: -2, -1 < 0; unsigned: nothing is below 0.
+        assert m.p.read_elements(1, 8).sum() == 2
+        assert m.p.read_elements(2, 8).sum() == 0
+
+    def test_compare_respects_governing(self):
+        m = Machine(VL(512))
+        m.run(assemble("""
+            mov x0, #2
+            whilelo p0.d, xzr, x0
+            index z0.d, #0, #1
+            cmpge p1.d, p0/z, z0.d, z0.d
+            ret
+        """))
+        assert m.p.read_elements(1, 8).sum() == 2  # governed lanes only
+
+    def test_compare_sets_flags(self):
+        m = Machine(VL(256))
+        m.run(assemble("""
+            ptrue p0.d
+            mov z0.d, #1
+            mov z1.d, #2
+            cmpeq p1.d, p0/z, z0.d, z1.d
+            ret
+        """))
+        assert m.flags.z  # no element equal -> none active
+
+    def test_loop_with_vector_compare(self):
+        """A vectorized clamp: out[i] = min(x[i], 10) via predication."""
+        rng = np.random.default_rng(0)
+        x = rng.uniform(0, 20, size=37)
+        mem = Memory()
+        ax = mem.alloc_array(x)
+        az = mem.alloc(37 * 8 + 256)
+        m = Machine(VL(512), memory=mem)
+        m.call(assemble("""
+            mov x8, xzr
+            whilelo p1.d, xzr, x0
+            ptrue p0.d
+            fmov z3.d, #10.0
+        .Lc:
+            ld1d {z0.d}, p1/z, [x1, x8, lsl #3]
+            fcmgt p3.d, p1/z, z0.d, z3.d
+            sel z1.d, p3, z3.d, z0.d
+            st1d {z1.d}, p1, [x2, x8, lsl #3]
+            incd x8
+            whilelo p2.d, x8, x0
+            brkns p2.b, p0/z, p1.b, p2.b
+            mov p1.b, p2.b
+            b.mi .Lc
+            ret
+        """), 37, ax, az)
+        got = mem.read_array(az, np.float64, 37)
+        assert np.allclose(got, np.minimum(x, 10.0))
+
+
+class TestGatherScatter:
+    def test_mem_operand_parses(self):
+        m = parse_operand("[x0, z1.d]")
+        assert m.zindex is not None and m.zindex.idx == 1
+        m = parse_operand("[x0, z1.d, lsl #3]")
+        assert m.shift == 3
+
+    def test_gather_load(self, rng):
+        vals = rng.normal(size=32)
+        mem = Memory()
+        base = mem.alloc_array(vals)
+        m = Machine(VL(512), memory=mem)
+        m.call(assemble("""
+            ptrue p0.d
+            index z1.d, #0, #4
+            ld1d {z0.d}, p0/z, [x0, z1.d, lsl #3]
+            ret
+        """), base)
+        assert np.array_equal(m.z.read(0, EType.F64), vals[0:32:4])
+
+    def test_gather_reversal(self, rng):
+        vals = rng.normal(size=8)
+        mem = Memory()
+        base = mem.alloc_array(vals)
+        m = Machine(VL(512), memory=mem)
+        m.call(assemble("""
+            ptrue p0.d
+            index z1.d, #7, #-1
+            ld1d {z0.d}, p0/z, [x0, z1.d, lsl #3]
+            ret
+        """), base)
+        assert np.array_equal(m.z.read(0, EType.F64), vals[::-1])
+
+    def test_scatter_store(self, rng):
+        mem = Memory()
+        base = mem.alloc(64 * 8)
+        m = Machine(VL(512), memory=mem)
+        m.call(assemble("""
+            ptrue p0.d
+            index z1.d, #0, #2
+            fmov z0.d, #1.0
+            st1d {z0.d}, p0, [x0, z1.d, lsl #3]
+            ret
+        """), base)
+        out = mem.read_array(base, np.float64, 16)
+        assert np.all(out[0::2] == 1.0) and np.all(out[1::2] == 0.0)
+
+    def test_gather_inactive_oob_safe(self):
+        mem = Memory(size=256)
+        base = mem.alloc_array(np.ones(2))
+        m = Machine(VL(128), memory=mem)
+        m.call(assemble("""
+            mov x1, #1
+            whilelo p0.d, xzr, x1
+            index z1.d, #0, #100
+            ld1d {z0.d}, p0/z, [x0, z1.d, lsl #3]
+            ret
+        """), base)
+        assert m.z.read(0, EType.F64)[0] == 1.0
+
+    def test_gather_with_structure_registers_rejected(self):
+        m = Machine(VL(512))
+        with pytest.raises(SimulationError, match="gather"):
+            m.run(assemble("""
+                ptrue p0.d
+                ld2d {z0.d, z1.d}, p0/z, [x0, z2.d]
+                ret
+            """))
+
+
+class TestAcleGatherCompare:
+    def test_svld1_gather_index(self, rng):
+        from repro import acle
+
+        vals = rng.normal(size=64)
+        with acle.SVEContext(512):
+            pg = acle.svptrue_b64()
+            idx = acle.svindex_s64(0, 8)
+            out = acle.svld1_gather_index(pg, vals, idx)
+            assert np.array_equal(out.values, vals[0:64:8])
+
+    def test_svst1_scatter_index(self, rng):
+        from repro import acle
+
+        out = np.zeros(32)
+        with acle.SVEContext(512):
+            pg = acle.svptrue_b64()
+            idx = acle.svindex_s64(1, 4)
+            acle.svst1_scatter_index(pg, out, idx,
+                                     acle.svdup_f64(2.5))
+        assert np.all(out[1:32:4] == 2.5)
+        assert out.sum() == 8 * 2.5
+
+    def test_gather_oob_raises(self):
+        from repro import acle
+
+        with acle.SVEContext(512):
+            pg = acle.svptrue_b64()
+            idx = acle.svindex_s64(0, 100)
+            with pytest.raises(IndexError):
+                acle.svld1_gather_index(pg, np.zeros(8), idx)
+
+    def test_svcmp_family(self, rng):
+        from repro import acle
+
+        with acle.SVEContext(512):
+            pg = acle.svptrue_b64()
+            a = acle.svld1(pg, np.arange(8, dtype=np.float64))
+            b = acle.svdup_f64(4.0)
+            assert acle.svcmplt(pg, a, b).count() == 4
+            assert acle.svcmple(pg, a, b).count() == 5
+            assert acle.svcmpgt(pg, a, b).count() == 3
+            assert acle.svcmpge(pg, a, b).count() == 4
+            assert acle.svcmpeq(pg, a, 4.0).count() == 1
+            assert acle.svcmpne(pg, a, 4.0).count() == 7
+
+    def test_compare_then_select_idiom(self, rng):
+        """The predicated-max idiom built from compare + sel."""
+        from repro import acle
+
+        x = rng.normal(size=8)
+        with acle.SVEContext(512):
+            pg = acle.svptrue_b64()
+            v = acle.svld1(pg, x)
+            zero = acle.svdup_f64(0.0)
+            relu = acle.svsel(acle.svcmpgt(pg, v, zero), v, zero)
+            assert np.allclose(relu.values, np.maximum(x, 0.0))

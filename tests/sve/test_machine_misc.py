@@ -1,0 +1,256 @@
+"""Machine coverage: the remaining instruction handlers."""
+
+import numpy as np
+import pytest
+
+from repro.sve.decoder import assemble
+from repro.sve.machine import Machine, SimulationError
+from repro.sve.memory import Memory
+from repro.sve.types import EType
+from repro.sve.vl import VL
+
+
+def run(src, vl_bits=512, args=(), mem=None):
+    m = Machine(VL(vl_bits), memory=mem)
+    m.call(assemble(src), *args)
+    return m
+
+
+class TestMorePermutes:
+    def test_splice(self):
+        m = run("""
+            mov x0, #2
+            whilelo p0.d, xzr, x0
+            index z0.d, #0, #1
+            index z1.d, #100, #1
+            splice z2.d, p0, z0.d, z1.d
+            ret
+        """)
+        out = m.z.read(2, EType.I64)
+        assert out[0] == 0 and out[1] == 1 and out[2] == 100
+
+    def test_compact(self):
+        m = run("""
+            ptrue p1.d
+            index z0.d, #0, #1
+            mov z1.d, #0
+            and z2.d, z0.d, #1
+            cmpeq p0.d, p1/z, z2.d, z1.d
+            compact z3.d, p0, z0.d
+            ret
+        """)
+        out = m.z.read(3, EType.I64)
+        lanes = 8
+        assert np.array_equal(out[: lanes // 2],
+                              np.arange(0, lanes, 2))
+        assert np.all(out[lanes // 2:] == 0)
+
+    def test_insr(self):
+        m = run("""
+            index z0.d, #0, #1
+            mov x0, #99
+            insr z0.d, x0
+            ret
+        """)
+        out = m.z.read(0, EType.I64)
+        assert out[0] == 99 and out[1] == 0
+
+    def test_lastb_to_x(self):
+        m = run("""
+            mov x0, #3
+            whilelo p0.d, xzr, x0
+            index z0.d, #10, #10
+            lastb x1, p0, z0.d
+            ret
+        """)
+        assert m.x.read(1) == 30
+
+    def test_lasta_to_x(self):
+        m = run("""
+            mov x0, #3
+            whilelo p0.d, xzr, x0
+            index z0.d, #10, #10
+            lasta x1, p0, z0.d
+            ret
+        """)
+        assert m.x.read(1) == 40
+
+    def test_ext_machine(self):
+        m = run("""
+            index z0.d, #0, #1
+            index z1.d, #100, #1
+            ext z2.d, z0.d, z1.d, #16
+            ret
+        """)
+        out = m.z.read(2, EType.I64)
+        assert out[0] == 2 and out[-1] == 101
+
+    def test_tbl_machine(self):
+        m = run("""
+            index z0.d, #10, #10
+            index z1.d, #7, #-1
+            tbl z2.d, z0.d, z1.d
+            ret
+        """)
+        out = m.z.read(2, EType.I64)
+        assert out[0] == 80 and out[7] == 10
+
+
+class TestMoreReductions:
+    def test_fadda_machine(self):
+        m = run("""
+            ptrue p0.d
+            fmov z0.d, #1.5
+            fmov z1.d, #10.0
+            faddv d1, p0, z1.d
+            fadda d1, p0, d1, z0.d
+            ret
+        """)
+        # d1 = 8*10 + 8*1.5 = 92
+        assert m.read_fp_scalar(1) == 92.0
+
+    def test_fmaxv_fminv_machine(self):
+        m = run("""
+            ptrue p0.d
+            index z0.d, #3, #-1
+            scvtf z1.d, p0/m, z0.d
+            fmaxv d2, p0, z1.d
+            fminv d3, p0, z1.d
+            ret
+        """)
+        assert m.read_fp_scalar(2) == 3.0
+        assert m.read_fp_scalar(3) == 3.0 - 7
+
+    def test_saddv_machine(self):
+        m = run("""
+            ptrue p0.d
+            index z0.d, #1, #1
+            saddv x1, p0, z0.d
+            ret
+        """)
+        assert m.x.read(1) == sum(range(1, 9))
+
+
+class TestPredicateExtras:
+    def test_pnext_machine(self):
+        m = run("""
+            ptrue p0.d
+            pfalse p1.b
+            pnext p1.d, p0, p1.d
+            pnext p1.d, p0, p1.d
+            ret
+        """)
+        elems = m.p.read_elements(1, 8)
+        assert elems[1] and elems.sum() == 1
+
+    def test_pfirst_machine(self):
+        m = run("""
+            ptrue p0.b
+            pfalse p1.b
+            pfirst p1.b, p0, p1.b
+            ret
+        """)
+        assert m.p.read_elements(1, 1)[0]
+
+    def test_brka_machine(self):
+        m = run("""
+            ptrue p0.d
+            index z0.d, #0, #1
+            mov z1.d, #3
+            cmpeq p1.d, p0/z, z0.d, z1.d
+            brka p2.b, p0/z, p1.b
+            ret
+        """)
+        elems = m.p.read_elements(2, 8)
+        assert elems[:4].all() and not elems[4:].any()
+
+    def test_brkb_machine(self):
+        m = run("""
+            ptrue p0.d
+            index z0.d, #0, #1
+            mov z1.d, #3
+            cmpeq p1.d, p0/z, z0.d, z1.d
+            brkb p2.b, p0/z, p1.b
+            ret
+        """)
+        elems = m.p.read_elements(2, 8)
+        assert elems[:3].all() and not elems[3:].any()
+
+
+class TestVectorIntOps:
+    def test_vector_add_sub_mul(self):
+        m = run("""
+            index z0.d, #1, #1
+            index z1.d, #10, #0
+            add z2.d, z0.d, z1.d
+            sub z3.d, z1.d, z0.d
+            mul z4.d, z0.d, z0.d
+            ret
+        """)
+        base = np.arange(1, 9)
+        assert np.array_equal(m.z.read(2, EType.I64), base + 10)
+        assert np.array_equal(m.z.read(3, EType.I64), 10 - base)
+        assert np.array_equal(m.z.read(4, EType.I64), base ** 2)
+
+    def test_vector_shift(self):
+        m = run("""
+            index z0.d, #1, #1
+            lsl z1.d, z0.d, #4
+            ret
+        """)
+        assert np.array_equal(m.z.read(1, EType.I64),
+                              np.arange(1, 9) * 16)
+
+    def test_vector_bitwise_with_registers(self):
+        m = run("""
+            index z0.d, #0, #1
+            mov z1.d, #6
+            and z2.d, z0.d, z1.d
+            orr z3.d, z0.d, z1.d
+            eor z4.d, z0.d, z1.d
+            ret
+        """)
+        base = np.arange(8)
+        assert np.array_equal(m.z.read(2, EType.I64), base & 6)
+        assert np.array_equal(m.z.read(3, EType.I64), base | 6)
+        assert np.array_equal(m.z.read(4, EType.I64), base ^ 6)
+
+
+class TestMovprfxPredicated:
+    def test_zeroing_form(self):
+        m = run("""
+            mov x0, #2
+            whilelo p0.d, xzr, x0
+            fmov z1.d, #5.0
+            movprfx z2.d, p0/z, z1.d
+            ret
+        """)
+        out = m.z.read(2, EType.F64)
+        assert np.all(out[:2] == 5.0) and np.all(out[2:] == 0.0)
+
+    def test_merging_form(self):
+        m = run("""
+            mov x0, #2
+            whilelo p0.d, xzr, x0
+            fmov z1.d, #5.0
+            fmov z2.d, #1.0
+            movprfx z2.d, p0/m, z1.d
+            ret
+        """)
+        out = m.z.read(2, EType.F64)
+        assert np.all(out[:2] == 5.0) and np.all(out[2:] == 1.0)
+
+
+class TestErrors:
+    def test_extending_load_rejected(self):
+        with pytest.raises(SimulationError, match="extending"):
+            run("ptrue p0.d\nld1w {z0.d}, p0/z, [x0]\nret\n")
+
+    def test_bad_mov(self):
+        with pytest.raises(SimulationError):
+            run("mov z0.d, p0\nret\n")
+
+    def test_too_many_call_args(self):
+        m = Machine(VL(128))
+        with pytest.raises(ValueError, match="8"):
+            m.call(assemble("ret\n"), *range(9))

@@ -1,0 +1,102 @@
+"""Simulated-memory tests."""
+
+import numpy as np
+import pytest
+
+from repro.sve.memory import Memory, MemoryError_
+
+
+class TestAllocation:
+    def test_alignment(self):
+        mem = Memory()
+        a = mem.alloc(10, align=64)
+        assert a % 64 == 0
+        b = mem.alloc(10, align=64)
+        assert b % 64 == 0 and b >= a + 10
+
+    def test_never_null(self):
+        mem = Memory()
+        assert mem.alloc(1) != 0
+
+    def test_out_of_memory(self):
+        mem = Memory(size=256)
+        with pytest.raises(MemoryError_):
+            mem.alloc(1 << 20)
+
+    def test_alloc_array_initialises(self, rng):
+        mem = Memory()
+        vals = rng.normal(size=17)
+        addr = mem.alloc_array(vals)
+        assert np.array_equal(mem.read_array(addr, np.float64, 17), vals)
+
+
+class TestTypedAccess:
+    def test_roundtrip_dtypes(self, rng):
+        mem = Memory()
+        for dtype in (np.float64, np.float32, np.float16, np.int32,
+                      np.uint8, np.complex128):
+            vals = rng.normal(size=9).astype(dtype)
+            addr = mem.alloc(vals.nbytes)
+            mem.write_array(addr, vals)
+            assert np.array_equal(mem.read_array(addr, dtype, 9), vals)
+
+    def test_little_endian_layout(self):
+        mem = Memory()
+        addr = mem.alloc(8)
+        mem.write_array(addr, np.array([1], dtype=np.uint64))
+        raw = mem.read_bytes(addr, 8)
+        assert raw[0] == 1 and not raw[1:].any()
+
+    def test_oob_read(self):
+        mem = Memory(size=128)
+        with pytest.raises(MemoryError_):
+            mem.read_array(120, np.float64, 2)
+
+    def test_oob_write(self):
+        mem = Memory(size=128)
+        with pytest.raises(MemoryError_):
+            mem.write_array(127, np.zeros(1))
+
+    def test_negative_address(self):
+        mem = Memory()
+        with pytest.raises(MemoryError_):
+            mem.read_bytes(-8, 8)
+
+
+class TestPredicatedElementAccess:
+    def test_gather_inactive_lanes_zero(self, rng):
+        mem = Memory()
+        vals = rng.normal(size=8)
+        addr = mem.alloc_array(vals)
+        addrs = addr + 8 * np.arange(8)
+        active = np.array([True, False] * 4)
+        out = mem.gather_elements(addrs, active, np.float64)
+        assert np.array_equal(out[active], vals[active])
+        assert np.all(out[~active] == 0.0)
+
+    def test_gather_inactive_oob_is_safe(self):
+        """Inactive lanes never touch memory — the property predicated
+        VLA loops rely on for tail-free operation."""
+        mem = Memory(size=128)
+        addrs = np.array([64, 10 ** 9])  # second address far out of bounds
+        active = np.array([True, False])
+        out = mem.gather_elements(addrs, active, np.float64)
+        assert out.shape == (2,)
+
+    def test_gather_active_oob_faults(self):
+        mem = Memory(size=128)
+        with pytest.raises(MemoryError_):
+            mem.gather_elements(np.array([1024]), np.array([True]),
+                                np.float64)
+
+    def test_scatter_partial(self, rng):
+        mem = Memory()
+        addr = mem.alloc(64)
+        vals = rng.normal(size=8)
+        addrs = addr + 8 * np.arange(8)
+        active = np.zeros(8, dtype=bool)
+        active[2] = active[5] = True
+        mem.scatter_elements(addrs, active, vals)
+        back = mem.read_array(addr, np.float64, 8)
+        assert back[2] == vals[2] and back[5] == vals[5]
+        assert back[0] == 0.0

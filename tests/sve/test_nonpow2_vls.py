@@ -1,0 +1,84 @@
+"""Non-power-of-two vector lengths.
+
+SVE permits any multiple of 128 bits up to 2048; real silicon shipped
+at 512 (A64FX), but the VLA model must hold at 384, 640, ... too.  The
+paper swept ArmIE across lengths; we sweep the odd ones here — they
+are also where our modelled BRKN toolchain defect lives.
+"""
+
+import numpy as np
+import pytest
+
+from repro import acle
+from repro.acle.context import SVEContext
+from repro.armie import run_kernel
+from repro.sve.faults import armclang_18_3
+from repro.sve.vl import VL
+from repro.vectorizer import ir
+from repro.vectorizer.autovec import vectorize
+
+ODD_VLS = (384, 640, 896, 1152, 1664, 1920)
+
+
+class TestOddVectorLengths:
+    @pytest.mark.parametrize("vl", ODD_VLS)
+    def test_lane_counts(self, vl):
+        v = VL(vl)
+        assert v.lanes(8) == vl // 64
+        assert v.complex_lanes(8) == vl // 128
+
+    @pytest.mark.parametrize("vl", ODD_VLS)
+    def test_real_kernel(self, vl, rng):
+        k = ir.mult_real_kernel()
+        x, y = rng.normal(size=101), rng.normal(size=101)
+        res = run_kernel(vectorize(k), k, [x, y], vl)
+        assert np.array_equal(res.output, x * y)
+
+    @pytest.mark.parametrize("vl", (384, 1152))
+    def test_fcmla_kernel(self, vl, rng):
+        k = ir.mult_cplx_kernel()
+        x = rng.normal(size=77) + 1j * rng.normal(size=77)
+        y = rng.normal(size=77) + 1j * rng.normal(size=77)
+        res = run_kernel(vectorize(k, complex_isa=True), k, [x, y], vl)
+        assert np.allclose(res.output, x * y, rtol=1e-13)
+
+    @pytest.mark.parametrize("vl", (384, 640))
+    def test_acle_vla_loop(self, vl, rng):
+        n = 50
+        x = rng.normal(size=n)
+        out = np.zeros(n)
+        with SVEContext(vl):
+            i = 0
+            while i < n:
+                pg = acle.svwhilelt_b64(i, n)
+                acle.svst1(pg, out, i,
+                           acle.svmul_x(pg, acle.svld1(pg, x, i), 3.0))
+                i += acle.svcntd()
+        assert np.allclose(out, 3 * x)
+
+    def test_brkn_defect_fires_at_nonpow2(self, rng):
+        """The modelled 'brkn collapses non-full predicates' defect is
+        specific to the non-power-of-two lengths (384/768/1536)."""
+        k = ir.mult_real_kernel()
+        x, y = rng.normal(size=100), rng.normal(size=100)
+        prog = vectorize(k)
+        bad = run_kernel(prog, k, [x, y], 384, fault_model=armclang_18_3())
+        # The brkn defect kills the loop-continuation predicate after
+        # the first iteration: most of the output is never written.
+        assert not np.array_equal(bad.output, x * y)
+        assert "brkn-collapse-vl384" in bad.faults_fired
+        good = run_kernel(prog, k, [x, y], 384)
+        assert np.array_equal(good.output, x * y)
+
+    def test_grid_backend_at_odd_vl(self, rng):
+        """A 384-bit SVE backend: 3 complex lanes — a layout no x86
+        family can produce (and why lane counts must not be assumed
+        power-of-two anywhere below the grid layer)."""
+        from repro.simd import get_backend
+
+        be = get_backend("sve384-acle")
+        assert be.clanes() == 3
+        x = rng.normal(size=(2, 3)) + 1j * rng.normal(size=(2, 3))
+        y = rng.normal(size=(2, 3)) + 1j * rng.normal(size=(2, 3))
+        assert np.allclose(be.mul(x, y), x * y)
+        assert np.allclose(be.times_i(x), 1j * x)

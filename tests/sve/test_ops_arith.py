@@ -1,0 +1,116 @@
+"""Real-arithmetic instruction semantics, with hypothesis properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.sve.ops import arith
+
+_f64s = hnp.arrays(np.float64, 8,
+                   elements=st.floats(-1e6, 1e6, allow_nan=False))
+_preds = hnp.arrays(np.bool_, 8)
+
+
+class TestBinaryOps:
+    @given(a=_f64s, b=_f64s)
+    @settings(max_examples=50, deadline=None)
+    def test_unpredicated_match_numpy(self, a, b):
+        assert np.array_equal(arith.fadd(a, b), a + b)
+        assert np.array_equal(arith.fsub(a, b), a - b)
+        assert np.array_equal(arith.fmul(a, b), a * b)
+        assert np.array_equal(arith.fmax(a, b), np.maximum(a, b))
+        assert np.array_equal(arith.fmin(a, b), np.minimum(a, b))
+
+    @given(a=_f64s, b=_f64s, pred=_preds)
+    @settings(max_examples=50, deadline=None)
+    def test_merging_predication(self, a, b, pred):
+        old = np.full(8, 7.5)
+        out = arith.fadd(a, b, pred=pred, old=old)
+        assert np.array_equal(out[pred], (a + b)[pred])
+        assert np.all(out[~pred] == 7.5)
+
+    @given(a=_f64s, b=_f64s, pred=_preds)
+    @settings(max_examples=50, deadline=None)
+    def test_zeroing_predication(self, a, b, pred):
+        out = arith.fmul(a, b, pred=pred, old=None)
+        assert np.all(out[~pred] == 0.0)
+
+    def test_fdiv_inactive_lanes_never_fault(self):
+        a = np.ones(4)
+        b = np.array([1.0, 0.0, 2.0, 0.0])
+        pred = np.array([True, False, True, False])
+        out = arith.fdiv(a, b, pred=pred, old=np.zeros(4))
+        assert np.array_equal(out, [1.0, 0.0, 0.5, 0.0])
+
+
+class TestUnaryOps:
+    @given(a=_f64s)
+    @settings(max_examples=50, deadline=None)
+    def test_match_numpy(self, a):
+        assert np.array_equal(arith.fneg(a), -a)
+        assert np.array_equal(arith.fabs_(a), np.abs(a))
+
+    def test_fsqrt_predicated_negative_safe(self):
+        a = np.array([4.0, -1.0, 9.0, -5.0])
+        pred = np.array([True, False, True, False])
+        out = arith.fsqrt(a, pred=pred, old=np.zeros(4))
+        assert np.array_equal(out, [2.0, 0.0, 3.0, 0.0])
+
+
+class TestFMA:
+    @given(acc=_f64s, a=_f64s, b=_f64s)
+    @settings(max_examples=50, deadline=None)
+    def test_fma_family(self, acc, a, b):
+        assert np.allclose(arith.fmla(acc, a, b), acc + a * b)
+        assert np.allclose(arith.fmls(acc, a, b), acc - a * b)
+        assert np.allclose(arith.fnmla(acc, a, b), -acc - a * b)
+        assert np.allclose(arith.fnmls(acc, a, b), -acc + a * b)
+        assert np.allclose(arith.fmad(a, b, acc), a * b + acc)
+        assert np.allclose(arith.fmsb(a, b, acc), acc - a * b)
+
+    def test_fma_merging_keeps_acc(self):
+        acc = np.array([1.0, 2.0, 3.0, 4.0])
+        pred = np.array([True, False, True, False])
+        out = arith.fmla(acc, np.ones(4), np.ones(4), pred=pred)
+        assert np.array_equal(out, [2.0, 2.0, 4.0, 4.0])
+
+    def test_fnmls_is_the_autovec_real_part(self):
+        """Section IV-B: re(z) = fnmls(acc=im(x)*im(y), re(x), re(y))."""
+        rng = np.random.default_rng(0)
+        xr, xi, yr, yi = rng.normal(size=(4, 8))
+        re = arith.fnmls(arith.fmul(xi, yi), xr, yr)
+        assert np.allclose(re, ((xr + 1j * xi) * (yr + 1j * yi)).real)
+
+
+class TestIntegerOps:
+    def test_modular_wraparound(self):
+        a = np.array([np.iinfo(np.int64).max], dtype=np.int64)
+        out = arith.add(a, np.array([1], dtype=np.int64))
+        assert out[0] == np.iinfo(np.int64).min
+
+    def test_bitwise(self):
+        a = np.array([0b1100], dtype=np.int64)
+        b = np.array([0b1010], dtype=np.int64)
+        assert arith.and_(a, b)[0] == 0b1000
+        assert arith.orr(a, b)[0] == 0b1110
+        assert arith.eor(a, b)[0] == 0b0110
+        assert arith.bic(a, b)[0] == 0b0100
+
+    def test_shifts(self):
+        a = np.array([4], dtype=np.int64)
+        assert arith.lsl(a, 2)[0] == 16
+        assert arith.lsr(np.array([-8], dtype=np.int64), 1)[0] > 0  # logical
+
+    def test_index(self):
+        out = arith.index(5, np.int64, 3, 2)
+        assert np.array_equal(out, [3, 5, 7, 9, 11])
+
+    def test_index_negative_step(self):
+        out = arith.index(4, np.int32, 10, -3)
+        assert np.array_equal(out, [10, 7, 4, 1])
+
+    def test_dup(self):
+        out = arith.dup(6, np.float64, 2.5)
+        assert out.shape == (6,) and np.all(out == 2.5)

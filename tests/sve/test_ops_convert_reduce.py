@@ -1,0 +1,106 @@
+"""Precision-conversion and reduction semantics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.sve.ops import convert, reduce
+
+
+class TestFcvt:
+    def test_f64_to_f32(self, rng):
+        v = rng.normal(size=8)
+        out = convert.fcvt(v, np.float32)
+        assert out.dtype == np.float32
+        assert np.allclose(out, v, rtol=1e-7)
+
+    def test_f64_to_f16_error_bound(self, rng):
+        v = rng.normal(size=64)
+        out = convert.fcvt(v, np.float16)
+        assert np.allclose(out.astype(np.float64), v, rtol=2e-3, atol=1e-4)
+
+    def test_f16_overflow_to_inf(self):
+        out = convert.fcvt(np.array([1e6]), np.float16)
+        assert np.isinf(out[0])
+
+    def test_predicated(self):
+        v = np.array([1.0, 2.0, 3.0, 4.0])
+        pred = np.array([True, False, True, False])
+        out = convert.fcvt(v, np.float32, pred=pred,
+                           old=np.full(4, -1.0, np.float32))
+        assert np.array_equal(out, np.array([1, -1, 3, -1], np.float32))
+
+    def test_narrow_pack_layout(self):
+        """FCVT to a narrower type packs into strided slots."""
+        v = np.array([1.0, 2.0])
+        out = convert.fcvt_narrow_pack(v, np.float32)
+        assert out.shape == (4,)
+        assert out[0] == 1.0 and out[2] == 2.0
+        assert out[1] == 0.0 and out[3] == 0.0
+
+    def test_pack_unpack_inverse(self, rng):
+        v = rng.normal(size=4)
+        packed = convert.fcvt_narrow_pack(v, np.float32)
+        back = convert.fcvt_widen_unpack(packed, np.float64)
+        assert np.allclose(back, v, rtol=1e-7)
+
+    def test_pack_requires_narrower(self):
+        with pytest.raises(ValueError):
+            convert.fcvt_narrow_pack(np.zeros(4), np.float64)
+        with pytest.raises(ValueError):
+            convert.fcvt_widen_unpack(np.zeros(4, np.float32), np.float32)
+
+
+class TestIntConversions:
+    def test_scvtf(self):
+        out = convert.scvtf(np.array([-3, 0, 7], dtype=np.int64), np.float64)
+        assert np.array_equal(out, [-3.0, 0.0, 7.0])
+
+    def test_fcvtzs_truncates_toward_zero(self):
+        out = convert.fcvtzs(np.array([1.9, -1.9, 0.5]), np.int64)
+        assert np.array_equal(out, [1, -1, 0])
+
+    def test_fcvtzs_saturates(self):
+        out = convert.fcvtzs(np.array([1e30, -1e30]), np.int32)
+        assert out[0] == np.iinfo(np.int32).max
+        assert out[1] == np.iinfo(np.int32).min
+
+
+class TestReductions:
+    @given(v=hnp.arrays(np.float64, 8, elements=st.floats(-1e3, 1e3)),
+           pred=hnp.arrays(np.bool_, 8))
+    @settings(max_examples=50, deadline=None)
+    def test_faddv(self, v, pred):
+        assert np.isclose(reduce.faddv(pred, v), v[pred].sum())
+
+    def test_fadda_strict_order(self):
+        """FADDA accumulates lane 0 upward; with floats the order is
+        observable."""
+        v = np.array([1e16, 1.0, -1e16, 1.0])
+        pred = np.ones(4, dtype=bool)
+        ordered = reduce.fadda(pred, 0.0, v)
+        # (1e16 + 1) loses the 1; then -1e16 + 1 -> 1.0
+        assert ordered == 1.0
+
+    def test_fadda_init(self):
+        v = np.arange(4, dtype=np.float64)
+        assert reduce.fadda(np.ones(4, dtype=bool), 10.0, v) == 16.0
+
+    def test_fmaxv_fminv(self):
+        v = np.array([3.0, -1.0, 7.0, 2.0])
+        pred = np.array([True, True, False, True])
+        assert reduce.fmaxv(pred, v) == 3.0
+        assert reduce.fminv(pred, v) == -1.0
+
+    def test_empty_reductions(self):
+        v = np.zeros(4)
+        none = np.zeros(4, dtype=bool)
+        assert reduce.fmaxv(none, v) == -np.inf
+        assert reduce.fminv(none, v) == np.inf
+        assert reduce.faddv(none, v) == 0.0
+
+    def test_saddv_wraps_to_u64(self):
+        v = np.array([-1], dtype=np.int64)
+        assert reduce.saddv(np.array([True]), v) == (1 << 64) - 1

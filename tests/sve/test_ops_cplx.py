@@ -1,0 +1,146 @@
+"""FCMLA/FCADD semantics — the heart of the paper (Section III-D)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.sve.ops import cplx
+
+_vecs = hnp.arrays(np.float64, 8,
+                   elements=st.floats(-1e3, 1e3, allow_nan=False))
+
+
+def _c(v):
+    return v[0::2] + 1j * v[1::2]
+
+
+class TestFcmlaRotations:
+    @given(acc=_vecs, x=_vecs, y=_vecs)
+    @settings(max_examples=100, deadline=None)
+    def test_rotation_0_is_rex_times_y(self, acc, x, y):
+        out = cplx.fcmla(acc, x, y, 0)
+        assert np.allclose(_c(out), _c(acc) + _c(x).real * _c(y))
+
+    @given(acc=_vecs, x=_vecs, y=_vecs)
+    @settings(max_examples=100, deadline=None)
+    def test_rotation_90_is_i_imx_times_y(self, acc, x, y):
+        out = cplx.fcmla(acc, x, y, 90)
+        assert np.allclose(_c(out), _c(acc) + 1j * _c(x).imag * _c(y))
+
+    @given(acc=_vecs, x=_vecs, y=_vecs)
+    @settings(max_examples=100, deadline=None)
+    def test_rotation_180_270_negate(self, acc, x, y):
+        out180 = cplx.fcmla(acc, x, y, 180)
+        assert np.allclose(_c(out180), _c(acc) - _c(x).real * _c(y))
+        out270 = cplx.fcmla(acc, x, y, 270)
+        assert np.allclose(_c(out270), _c(acc) - 1j * _c(x).imag * _c(y))
+
+    def test_illegal_rotation(self):
+        v = np.zeros(8)
+        with pytest.raises(ValueError):
+            cplx.fcmla(v, v, v, 45)
+
+    def test_odd_lane_count_rejected(self):
+        v = np.zeros(7)
+        with pytest.raises(ValueError):
+            cplx.fcmla(v, v, v, 0)
+
+    def test_predication_merges_accumulator(self):
+        acc = np.arange(8, dtype=np.float64)
+        x = np.ones(8)
+        y = np.ones(8)
+        pred = np.array([True, True, False, False] * 2)
+        out = cplx.fcmla(acc, x, y, 0, pred=pred)
+        assert np.array_equal(out[~pred], acc[~pred])
+        full = cplx.fcmla(acc, x, y, 0)
+        assert np.array_equal(out[pred], full[pred])
+
+
+class TestEq2Composites:
+    """The composite operations of the paper's Eq. (2): two chained
+    FCMLAs per complex multiply-add."""
+
+    @given(acc=_vecs, x=_vecs, y=_vecs)
+    @settings(max_examples=100, deadline=None)
+    def test_cmadd(self, acc, x, y):
+        assert np.allclose(_c(cplx.cmadd(acc, x, y)),
+                           _c(acc) + _c(x) * _c(y))
+
+    @given(acc=_vecs, x=_vecs, y=_vecs)
+    @settings(max_examples=100, deadline=None)
+    def test_cmsub(self, acc, x, y):
+        assert np.allclose(_c(cplx.cmsub(acc, x, y)),
+                           _c(acc) - _c(x) * _c(y))
+
+    @given(acc=_vecs, x=_vecs, y=_vecs)
+    @settings(max_examples=100, deadline=None)
+    def test_conj_cmadd(self, acc, x, y):
+        assert np.allclose(_c(cplx.conj_cmadd(acc, x, y)),
+                           _c(acc) + np.conj(_c(x)) * _c(y))
+
+    @given(acc=_vecs, x=_vecs, y=_vecs)
+    @settings(max_examples=100, deadline=None)
+    def test_conj_cmsub(self, acc, x, y):
+        assert np.allclose(_c(cplx.conj_cmsub(acc, x, y)),
+                           _c(acc) - np.conj(_c(x)) * _c(y))
+
+    @given(x=_vecs, y=_vecs)
+    @settings(max_examples=100, deadline=None)
+    def test_cmul_via_zero_acc(self, x, y):
+        """Section III-D: "Complex multiplication is achieved by
+        setting z_i = 0"."""
+        assert np.allclose(_c(cplx.cmul(x, y)), _c(x) * _c(y))
+
+    def test_rotation_order_commutes(self):
+        """(0,90) and (90,0) produce the same multiply-add."""
+        rng = np.random.default_rng(1)
+        acc, x, y = rng.normal(size=(3, 8))
+        a = cplx.fcmla(cplx.fcmla(acc, x, y, 0), x, y, 90)
+        b = cplx.fcmla(cplx.fcmla(acc, x, y, 90), x, y, 0)
+        assert np.allclose(a, b)
+
+
+class TestFcadd:
+    @given(a=_vecs, b=_vecs)
+    @settings(max_examples=100, deadline=None)
+    def test_rotations(self, a, b):
+        assert np.allclose(_c(cplx.fcadd(a, b, 90)), _c(a) + 1j * _c(b))
+        assert np.allclose(_c(cplx.fcadd(a, b, 270)), _c(a) - 1j * _c(b))
+
+    def test_illegal_rotation(self):
+        v = np.zeros(8)
+        with pytest.raises(ValueError):
+            cplx.fcadd(v, v, 0)
+
+    def test_inverse_pair(self):
+        rng = np.random.default_rng(2)
+        a, b = rng.normal(size=(2, 8))
+        roundtrip = cplx.fcadd(cplx.fcadd(a, b, 90), b, 270)
+        assert np.allclose(roundtrip, a)
+
+
+class TestInterleave:
+    @given(re=hnp.arrays(np.float64, 5, elements=st.floats(-10, 10)),
+           im=hnp.arrays(np.float64, 5, elements=st.floats(-10, 10)))
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip(self, re, im):
+        z = re + 1j * im
+        v = cplx.interleave_complex(z)
+        assert np.array_equal(v[0::2], re)
+        assert np.array_equal(v[1::2], im)
+        assert np.array_equal(cplx.deinterleave_complex(v), z)
+
+    def test_float32_layout(self):
+        z = np.array([1 + 2j], dtype=np.complex64)
+        v = cplx.interleave_complex(z, np.float32)
+        assert v.dtype == np.float32
+        back = cplx.deinterleave_complex(v)
+        assert back.dtype == np.complex64
+
+    def test_numpy_complex_memory_is_interleaved(self):
+        """The identity the SVE backends exploit: numpy's complex128
+        layout is exactly the FCMLA interleaved layout."""
+        z = np.array([1 + 2j, 3 + 4j])
+        assert np.array_equal(z.view(np.float64), [1, 2, 3, 4])

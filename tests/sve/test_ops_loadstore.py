@@ -1,0 +1,134 @@
+"""Load/store semantics: contiguous, structure, gather/scatter."""
+
+import numpy as np
+import pytest
+
+from repro.sve.memory import Memory, MemoryError_
+from repro.sve.ops import loadstore as ls
+
+
+@pytest.fixture
+def mem():
+    return Memory(1 << 16)
+
+
+class TestLd1St1:
+    def test_full_roundtrip(self, mem, rng):
+        vals = rng.normal(size=8)
+        addr = mem.alloc_array(vals)
+        pred = np.ones(8, dtype=bool)
+        assert np.array_equal(ls.ld1(mem, addr, pred, np.float64), vals)
+
+    def test_partial_load_zeroes_inactive(self, mem, rng):
+        vals = rng.normal(size=8)
+        addr = mem.alloc_array(vals)
+        pred = np.array([True] * 5 + [False] * 3)
+        out = ls.ld1(mem, addr, pred, np.float64)
+        assert np.array_equal(out[:5], vals[:5])
+        assert np.all(out[5:] == 0.0)
+
+    def test_partial_load_past_end_is_safe(self, mem, rng):
+        """A predicated load at the end of an array must not fault on
+        inactive lanes — the tail-free VLA loop guarantee."""
+        small = Memory(size=128)
+        vals = rng.normal(size=3)
+        addr = small.alloc_array(vals, align=64)
+        # 8-lane load: lanes 3..7 would be out of bounds if touched.
+        pred = np.array([True, True, True] + [False] * 5)
+        out = ls.ld1(small, addr, pred, np.float64)
+        assert np.array_equal(out[:3], vals)
+
+    def test_partial_store_preserves_memory(self, mem, rng):
+        addr = mem.alloc(64)
+        mem.write_array(addr, np.full(8, -1.0))
+        vals = rng.normal(size=8)
+        pred = np.array([False, True] * 4)
+        ls.st1(mem, addr, pred, vals)
+        back = mem.read_array(addr, np.float64, 8)
+        assert np.array_equal(back[pred], vals[pred])
+        assert np.all(back[~pred] == -1.0)
+
+    def test_empty_predicate_noop(self, mem):
+        addr = mem.alloc(64)
+        out = ls.ld1(mem, addr, np.zeros(8, dtype=bool), np.float64)
+        assert np.all(out == 0.0)
+
+    def test_float32(self, mem, rng):
+        vals = rng.normal(size=16).astype(np.float32)
+        addr = mem.alloc_array(vals)
+        out = ls.ld1(mem, addr, np.ones(16, dtype=bool), np.float32)
+        assert np.array_equal(out, vals)
+
+
+class TestStructureLoadStore:
+    @pytest.mark.parametrize("n", [2, 3, 4])
+    def test_ldn_deinterleaves(self, mem, rng, n):
+        lanes = 8
+        flat = rng.normal(size=lanes * n)
+        addr = mem.alloc_array(flat)
+        pred = np.ones(lanes, dtype=bool)
+        vecs = ls.ldn(mem, addr, pred, np.float64, n)
+        for k in range(n):
+            assert np.array_equal(vecs[k], flat[k::n]), k
+
+    @pytest.mark.parametrize("n", [2, 3, 4])
+    def test_stn_interleaves(self, mem, rng, n):
+        lanes = 4
+        vecs = [rng.normal(size=lanes) for _ in range(n)]
+        addr = mem.alloc(lanes * n * 8)
+        ls.stn(mem, addr, np.ones(lanes, dtype=bool), vecs)
+        flat = mem.read_array(addr, np.float64, lanes * n)
+        for k in range(n):
+            assert np.array_equal(flat[k::n], vecs[k]), k
+
+    def test_ld2_st2_complex_roundtrip(self, mem, rng):
+        """The Section IV-B idiom: ld2d splits re/im, st2d reassembles."""
+        z = rng.normal(size=8) + 1j * rng.normal(size=8)
+        interleaved = np.empty(16)
+        interleaved[0::2], interleaved[1::2] = z.real, z.imag
+        addr = mem.alloc_array(interleaved)
+        pred = np.ones(8, dtype=bool)
+        re, im = ls.ldn(mem, addr, pred, np.float64, 2)
+        assert np.array_equal(re, z.real) and np.array_equal(im, z.imag)
+        out_addr = mem.alloc(16 * 8)
+        ls.stn(mem, out_addr, pred, [re, im])
+        assert np.array_equal(mem.read_array(out_addr, np.float64, 16),
+                              interleaved)
+
+    def test_partial_structure_predicate_per_structure(self, mem, rng):
+        flat = rng.normal(size=16)
+        addr = mem.alloc_array(flat)
+        pred = np.array([True] * 3 + [False] * 5)
+        re, im = ls.ldn(mem, addr, pred, np.float64, 2)
+        assert np.array_equal(re[:3], flat[0:6:2])
+        assert np.all(re[3:] == 0.0) and np.all(im[3:] == 0.0)
+
+    def test_illegal_n(self, mem):
+        with pytest.raises(ValueError):
+            ls.ldn(mem, 64, np.ones(4, dtype=bool), np.float64, 5)
+        with pytest.raises(ValueError):
+            ls.stn(mem, 64, np.ones(4, dtype=bool), [np.zeros(4)])
+
+
+class TestGatherScatter:
+    def test_gather_with_scale(self, mem, rng):
+        vals = rng.normal(size=16)
+        base = mem.alloc_array(vals)
+        offsets = np.array([0, 3, 7, 15])
+        pred = np.ones(4, dtype=bool)
+        out = ls.ld1_gather(mem, base, offsets, pred, np.float64, scale=8)
+        assert np.array_equal(out, vals[offsets])
+
+    def test_scatter(self, mem, rng):
+        base = mem.alloc(16 * 8)
+        vals = rng.normal(size=4)
+        offsets = np.array([1, 5, 9, 13])
+        ls.st1_scatter(mem, base, offsets, np.ones(4, dtype=bool), vals,
+                       scale=8)
+        back = mem.read_array(base, np.float64, 16)
+        assert np.array_equal(back[offsets], vals)
+
+    def test_gather_active_oob_faults(self, mem):
+        with pytest.raises(MemoryError_):
+            ls.ld1_gather(mem, 0, np.array([10 ** 9]), np.array([True]),
+                          np.float64)

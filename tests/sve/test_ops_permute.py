@@ -1,0 +1,160 @@
+"""Permutation semantics, incl. the Grid block permutes used by cshift."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.sve.ops import permute as pm
+
+_v8 = hnp.arrays(np.float64, 8, elements=st.floats(-100, 100))
+
+
+class TestZipUzpTrn:
+    @given(a=_v8, b=_v8)
+    @settings(max_examples=50, deadline=None)
+    def test_zip_uzp_inverse(self, a, b):
+        lo, hi = pm.zip1(a, b), pm.zip2(a, b)
+        assert np.array_equal(pm.uzp1(lo, hi), a)
+        assert np.array_equal(pm.uzp2(lo, hi), b)
+
+    @given(a=_v8, b=_v8)
+    @settings(max_examples=50, deadline=None)
+    def test_uzp_zip_inverse(self, a, b):
+        even, odd = pm.uzp1(a, b), pm.uzp2(a, b)
+        assert np.array_equal(pm.zip1(even, odd), a)
+        assert np.array_equal(pm.zip2(even, odd), b)
+
+    def test_zip1_values(self):
+        a = np.arange(4)
+        b = np.arange(10, 14)
+        assert np.array_equal(pm.zip1(a, b), [0, 10, 1, 11])
+        assert np.array_equal(pm.zip2(a, b), [2, 12, 3, 13])
+
+    def test_trn_values(self):
+        a = np.arange(4)
+        b = np.arange(10, 14)
+        assert np.array_equal(pm.trn1(a, b), [0, 10, 2, 12])
+        assert np.array_equal(pm.trn2(a, b), [1, 11, 3, 13])
+
+    def test_trn_self_broadcast_pairs(self):
+        """trn1(y,y)/trn2(y,y) broadcast re/im into both pair slots —
+        the Section V-E building block."""
+        y = np.array([1.0, 2.0, 3.0, 4.0])
+        assert np.array_equal(pm.trn1(y, y), [1, 1, 3, 3])
+        assert np.array_equal(pm.trn2(y, y), [2, 2, 4, 4])
+
+
+class TestExtTbl:
+    def test_ext_rotation(self):
+        a = np.arange(4)
+        b = np.arange(10, 14)
+        out = pm.ext(a, b, 2 * 8, esize=8)
+        assert np.array_equal(out, [2, 3, 10, 11])
+
+    def test_ext_zero_offset_identity(self):
+        a = np.arange(4)
+        assert np.array_equal(pm.ext(a, a, 0, 8), a)
+
+    def test_ext_misaligned_offset(self):
+        with pytest.raises(ValueError):
+            pm.ext(np.arange(4), np.arange(4), 3, esize=8)
+
+    def test_ext_out_of_range(self):
+        with pytest.raises(ValueError):
+            pm.ext(np.arange(4), np.arange(4), 5 * 8, esize=8)
+
+    def test_tbl_lookup_and_oor_zero(self):
+        a = np.array([10.0, 11.0, 12.0, 13.0])
+        idx = np.array([3, 0, 99, -1])
+        assert np.array_equal(pm.tbl(a, idx), [13.0, 10.0, 0.0, 0.0])
+
+    def test_tbl_swap_pairs(self):
+        """TBL with idx^1 swaps re/im — used by the sve-real backend."""
+        a = np.arange(8, dtype=np.float64)
+        idx = np.arange(8) ^ 1
+        assert np.array_equal(pm.tbl(a, idx), [1, 0, 3, 2, 5, 4, 7, 6])
+
+
+class TestMisc:
+    def test_rev(self):
+        assert np.array_equal(pm.rev(np.arange(5)), [4, 3, 2, 1, 0])
+
+    def test_dup_lane(self):
+        a = np.array([5.0, 6.0, 7.0])
+        assert np.array_equal(pm.dup_lane(a, 1), [6.0, 6.0, 6.0])
+
+    def test_sel(self):
+        pred = np.array([True, False, True])
+        assert np.array_equal(
+            pm.sel(pred, np.array([1, 2, 3]), np.array([9, 9, 9])),
+            [1, 9, 3],
+        )
+
+    def test_splice(self):
+        pred = np.array([False, True, True, False])
+        a = np.arange(4)
+        b = np.arange(10, 14)
+        assert np.array_equal(pm.splice(pred, a, b), [1, 2, 10, 11])
+
+    def test_splice_empty_predicate(self):
+        pred = np.zeros(4, dtype=bool)
+        out = pm.splice(pred, np.arange(4), np.arange(10, 14))
+        assert np.array_equal(out, [10, 11, 12, 13])
+
+    def test_compact(self):
+        pred = np.array([False, True, False, True])
+        out = pm.compact(pred, np.array([1.0, 2.0, 3.0, 4.0]))
+        assert np.array_equal(out, [2.0, 4.0, 0.0, 0.0])
+
+    def test_insr(self):
+        assert np.array_equal(pm.insr(np.array([1, 2, 3]), 9), [9, 1, 2])
+
+    def test_lasta_lastb(self):
+        pred = np.array([True, True, False, False])
+        a = np.array([10, 20, 30, 40])
+        assert pm.lastb(pred, a) == 20
+        assert pm.lasta(pred, a) == 30
+        # No active elements: architected fallbacks.
+        none = np.zeros(4, dtype=bool)
+        assert pm.lastb(none, a) == 40
+        assert pm.lasta(none, a) == 10
+
+
+class TestGridPermutes:
+    @pytest.mark.parametrize("lanes", [2, 4, 8, 16])
+    def test_involution(self, lanes, rng):
+        x = rng.normal(size=lanes)
+        levels = int(np.log2(lanes))
+        for level in range(levels):
+            once = pm.permute_block(x, level)
+            assert np.array_equal(pm.permute_block(once, level), x)
+
+    def test_permute0_swaps_halves(self):
+        x = np.arange(8)
+        assert np.array_equal(pm.permute_block(x, 0), [4, 5, 6, 7, 0, 1, 2, 3])
+
+    def test_permute1_swaps_quarters(self):
+        x = np.arange(8)
+        assert np.array_equal(pm.permute_block(x, 1), [2, 3, 0, 1, 6, 7, 4, 5])
+
+    def test_permute2_swaps_pairs(self):
+        x = np.arange(8)
+        assert np.array_equal(pm.permute_block(x, 2), [1, 0, 3, 2, 5, 4, 7, 6])
+
+    def test_too_deep(self):
+        with pytest.raises(ValueError):
+            pm.permute_block(np.arange(4), 2)
+
+    def test_indices_consistent(self):
+        x = np.arange(16, dtype=np.float64) * 1.5
+        for level in range(4):
+            idx = pm.permute_indices(16, level)
+            assert np.array_equal(x[idx], pm.permute_block(x, level))
+
+    def test_is_bijection(self):
+        for lanes in (2, 4, 8, 16, 32):
+            for level in range(int(np.log2(lanes))):
+                idx = pm.permute_indices(lanes, level)
+                assert sorted(idx) == list(range(lanes))

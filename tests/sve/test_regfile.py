@@ -1,0 +1,169 @@
+"""Register-file tests: raw-byte storage, reinterpretation, predicates,
+flags."""
+
+import numpy as np
+import pytest
+
+from repro.sve.regfile import Flags, PRegisterFile, XRegisterFile, ZRegisterFile
+from repro.sve.types import EType
+from repro.sve.vl import VL
+
+
+class TestZRegisterFile:
+    def test_initial_zero(self, vl):
+        z = ZRegisterFile(vl)
+        assert np.all(z.read(0, EType.F64) == 0.0)
+
+    def test_write_read_roundtrip(self, vl, rng):
+        z = ZRegisterFile(vl)
+        vals = rng.normal(size=vl.lanes(8))
+        z.write(3, EType.F64, vals)
+        assert np.array_equal(z.read(3, EType.F64), vals)
+
+    def test_reinterpretation_is_bitcast(self, vl):
+        """Reading a register at a different width reinterprets bytes —
+        the hardware behaviour the raw-byte storage models."""
+        z = ZRegisterFile(vl)
+        vals = np.arange(vl.lanes(8), dtype=np.float64)
+        z.write(0, EType.F64, vals)
+        as_f32 = z.read(0, EType.F32)
+        assert np.array_equal(as_f32, vals.view(np.float32))
+
+    def test_read_returns_copy(self, vl):
+        z = ZRegisterFile(vl)
+        a = z.read(0, EType.F64)
+        a[:] = 99.0
+        assert np.all(z.read(0, EType.F64) == 0.0)
+
+    def test_wrong_lane_count_rejected(self, vl):
+        z = ZRegisterFile(vl)
+        with pytest.raises(ValueError):
+            z.write(0, EType.F64, np.zeros(vl.lanes(8) + 1))
+
+    def test_register_index_bounds(self, vl):
+        z = ZRegisterFile(vl)
+        with pytest.raises(IndexError):
+            z.read(32, EType.F64)
+        with pytest.raises(IndexError):
+            z.write(-1, EType.F64, np.zeros(vl.lanes(8)))
+
+    def test_bytes_roundtrip(self, vl, rng):
+        z = ZRegisterFile(vl)
+        raw = rng.integers(0, 256, size=vl.bytes).astype(np.uint8)
+        z.write_bytes(7, raw)
+        assert np.array_equal(z.read_bytes(7), raw)
+
+    def test_zero(self, vl):
+        z = ZRegisterFile(vl)
+        z.write(1, EType.F64, np.ones(vl.lanes(8)))
+        z.zero(1)
+        assert np.all(z.read(1, EType.F64) == 0.0)
+
+
+class TestPRegisterFile:
+    def test_element_encoding_canonical(self, vl):
+        """PTRUE-style predicates set only each element's lowest byte."""
+        p = PRegisterFile(vl)
+        active = np.ones(vl.lanes(8), dtype=bool)
+        p.write_elements(0, 8, active)
+        bits = p.read_bits(0)
+        assert bits[::8].all()
+        # Other byte positions are zero.
+        for off in range(1, 8):
+            assert not bits[off::8].any()
+
+    def test_element_view_by_width(self, vl):
+        """A .d predicate seen at .s granularity: every second 32-bit
+        element is active (the element's low byte governs)."""
+        p = PRegisterFile(vl)
+        p.write_elements(0, 8, np.ones(vl.lanes(8), dtype=bool))
+        as_s = p.read_elements(0, 4)
+        assert as_s[0::2].all()
+        assert not as_s[1::2].any()
+
+    def test_partial_predicate(self, vl):
+        p = PRegisterFile(vl)
+        lanes = vl.lanes(8)
+        active = np.zeros(lanes, dtype=bool)
+        active[: max(1, lanes // 2)] = True
+        p.write_elements(2, 8, active)
+        assert np.array_equal(p.read_elements(2, 8), active)
+
+    def test_wrong_size_rejected(self, vl):
+        p = PRegisterFile(vl)
+        with pytest.raises(ValueError):
+            p.write_elements(0, 8, np.ones(vl.lanes(8) + 1, dtype=bool))
+
+    def test_index_bounds(self, vl):
+        p = PRegisterFile(vl)
+        with pytest.raises(IndexError):
+            p.read_bits(16)
+
+
+class TestXRegisterFile:
+    def test_xzr_reads_zero(self):
+        x = XRegisterFile()
+        assert x.read(31) == 0
+
+    def test_xzr_write_discarded(self):
+        x = XRegisterFile()
+        x.write(31, 42)
+        assert x.read(31) == 0
+
+    def test_64bit_wraparound(self):
+        x = XRegisterFile()
+        x.write(0, (1 << 64) + 5)
+        assert x.read(0) == 5
+        x.write(1, -1)
+        assert x.read(1) == (1 << 64) - 1
+
+    def test_read_signed(self):
+        x = XRegisterFile()
+        x.write(0, -7)
+        assert x.read_signed(0) == -7
+        x.write(1, 7)
+        assert x.read_signed(1) == 7
+
+    def test_bounds(self):
+        x = XRegisterFile()
+        with pytest.raises(IndexError):
+            x.read(33)
+
+
+class TestFlags:
+    def test_predicate_flags(self):
+        f = Flags()
+        f.set_from_predicate(np.array([True, True, False, False]))
+        assert f.n and not f.z and f.c  # first set, some active, last clear
+        assert f.condition("mi")
+        f.set_from_predicate(np.array([False, False, False, False]))
+        assert not f.n and f.z and f.c
+        assert not f.condition("mi")
+        f.set_from_predicate(np.array([True, True, True, True]))
+        assert f.n and not f.z and not f.c
+
+    def test_scalar_cmp_flags(self):
+        f = Flags()
+        f.set_from_sub(5, 5)
+        assert f.z and f.condition("eq") and not f.condition("lo")
+        f.set_from_sub(3, 5)
+        assert f.condition("lo") and f.condition("lt") and f.condition("ne")
+        f.set_from_sub(7, 5)
+        assert f.condition("hi") and f.condition("hs") and f.condition("gt")
+
+    def test_unsigned_vs_signed(self):
+        f = Flags()
+        big = (1 << 64) - 1  # -1 signed, huge unsigned
+        f.set_from_sub(big, 1)
+        assert f.condition("hi")  # unsigned: huge > 1
+        assert f.condition("lt")  # signed: -1 < 1
+
+    def test_all_condition_codes_defined(self):
+        f = Flags()
+        for cond in ("eq ne cs hs cc lo mi pl vs vc hi ls ge lt gt le "
+                     "al").split():
+            assert isinstance(f.condition(cond), bool)
+
+    def test_unknown_condition(self):
+        with pytest.raises(ValueError):
+            Flags().condition("xx")

@@ -1,0 +1,165 @@
+"""Tracer, cost-model and fault-injection tests."""
+
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro.sve import costmodel
+from repro.sve.decoder import assemble
+from repro.sve.faults import PRISTINE, FaultModel, armclang_18_3
+from repro.sve.machine import Machine
+from repro.sve.tracer import Tracer, categorize
+from repro.sve.vl import VL
+
+
+class TestTracer:
+    def test_counts_and_categories(self):
+        m = Machine(VL(512), tracer=Tracer())
+        m.run(assemble("""
+            ptrue p0.d
+            fmov z0.d, #1.0
+            fcmla z1.d, p0/m, z0.d, z0.d, #0
+            ret
+        """))
+        t = m.tracer
+        assert t.total == 4
+        assert t.by_mnemonic["fcmla"] == 1
+        assert t.by_category["complex"] == 1
+        assert t.by_category["predicate"] == 1
+
+    def test_branch_condition_in_key(self):
+        m = Machine(VL(128), tracer=Tracer())
+        m.run(assemble("""
+            mov x0, #1
+            cmp x0, x0
+            b.ne .Lskip
+            mov x1, #2
+        .Lskip:
+            ret
+        """))
+        assert m.tracer.by_mnemonic["b.ne"] == 1
+
+    def test_stream_recording(self):
+        m = Machine(VL(128), tracer=Tracer(record_stream=True))
+        m.run(assemble("mov x0, #1\nret\n"))
+        assert m.tracer.stream[0].startswith("mov")
+
+    def test_data_processing_count_excludes_control(self):
+        t = Tracer()
+        t.by_category.update({"fp": 5, "control": 3, "scalar": 2, "load": 1})
+        assert t.data_processing_count() == 6
+
+    def test_reset(self):
+        t = Tracer()
+        t.total = 5
+        t.by_mnemonic["x"] = 5
+        t.reset()
+        assert t.total == 0 and not t.by_mnemonic
+
+    def test_categorize(self):
+        assert categorize("fcmla") == "complex"
+        assert categorize("ld2d") == "load"
+        assert categorize("whilelo") == "predicate"
+        assert categorize("mov") == "scalar"
+
+    def test_report_format(self):
+        t = Tracer()
+        t.by_mnemonic["fmul"] = 3
+        t.total = 3
+        rep = t.report()
+        assert "fmul" in rep and "TOTAL" in rep
+
+
+class TestCostModel:
+    def test_profiles_registered(self):
+        assert set(costmodel.PROFILES) == {"fast-fcmla", "slow-fcmla",
+                                           "uniform"}
+
+    def test_fcmla_cost_differs_by_profile(self):
+        hist = Counter({"fcmla": 10})
+        fast = costmodel.estimate_cycles(hist, costmodel.FAST_FCMLA)
+        slow = costmodel.estimate_cycles(hist, costmodel.SLOW_FCMLA)
+        assert slow > fast
+
+    def test_structure_ldst_premium(self):
+        p = costmodel.FAST_FCMLA
+        assert p.cost_of("ld2d") > p.cost_of("ld1d")
+
+    def test_uniform_profile(self):
+        hist = Counter({"fmul": 3, "ld1d": 2, "b": 1})
+        assert costmodel.estimate_cycles(hist, costmodel.UNIFORM) == 6
+
+    def test_report_breakdown(self):
+        hist = Counter({"fcmla": 4, "ld1d": 2})
+        rep = costmodel.CostReport.from_histogram(hist, costmodel.FAST_FCMLA)
+        assert rep.cycles == pytest.approx(
+            4 * costmodel.FAST_FCMLA.fcmla + 2 * costmodel.FAST_FCMLA.load
+        )
+        assert set(rep.by_mnemonic) == {"fcmla", "ld1d"}
+
+    def test_vl_independent_per_instruction(self):
+        """Cost is per instruction; VL scaling enters through the
+        retired-instruction count (1/VL), not the per-op cost."""
+        hist = Counter({"fmul": 100})
+        assert costmodel.estimate_cycles(hist) == \
+            costmodel.estimate_cycles(hist)
+
+
+class TestFaultModel:
+    def test_pristine_is_identity(self):
+        active = np.array([True, False, True])
+        out = PRISTINE.filter_predicate("whilelo", active, VL(1024))
+        assert np.array_equal(out, active)
+        assert PRISTINE.is_pristine
+
+    def test_armclang_fault_fires_only_at_its_vl(self):
+        fm = armclang_18_3()
+        partial = np.array([True] * 3 + [False] * 13)
+        ok = fm.filter_predicate("whilelo", partial, VL(512))
+        assert np.array_equal(ok, partial)
+        bad = fm.filter_predicate("whilelo", partial, VL(1024))
+        assert not np.array_equal(bad, partial)
+        assert "whilelo-dropfirst-vl1024" in fm.fired
+
+    def test_full_predicate_unaffected_at_1024(self):
+        fm = armclang_18_3()
+        full = np.ones(16, dtype=bool)
+        out = fm.filter_predicate("whilelo", full, VL(1024))
+        assert np.array_equal(out, full)
+
+    def test_2048_drops_last_partial(self):
+        fm = armclang_18_3()
+        partial = np.array([True] * 5 + [False] * 27)
+        out = fm.filter_predicate("whilelo", partial, VL(2048))
+        assert out.sum() == 4 and not out[4]
+
+    def test_nonpow2_brkn_fault(self):
+        fm = armclang_18_3()
+        partial = np.array([True, False, True])
+        out = fm.filter_predicate("brkns", partial, VL(384))
+        assert not out.any()
+
+    def test_fired_counter(self):
+        fm = armclang_18_3()
+        partial = np.array([True, False])
+        fm.filter_predicate("whilelo", partial, VL(1024))
+        fm.filter_predicate("whilelo", partial, VL(1024))
+        assert fm.fired["whilelo-dropfirst-vl1024"] == 2
+
+    def test_machine_integration(self):
+        """A kernel with a ragged tail goes wrong at VL1024 under the
+        fault model and is correct without it — the V-D signature."""
+        from repro.armie import run_kernel
+        from repro.vectorizer import ir
+        from repro.vectorizer.autovec import vectorize
+
+        rng = np.random.default_rng(0)
+        x, y = rng.normal(size=21), rng.normal(size=21)
+        k = ir.mult_real_kernel()
+        prog = vectorize(k)
+        good = run_kernel(prog, k, [x, y], 1024)
+        assert np.array_equal(good.output, x * y)
+        bad = run_kernel(prog, k, [x, y], 1024, fault_model=armclang_18_3())
+        assert not np.array_equal(bad.output, x * y)
+        assert bad.faults_fired

@@ -1,0 +1,65 @@
+"""Element-type tests."""
+
+import numpy as np
+import pytest
+
+from repro.sve.types import (
+    EType,
+    FLOAT_BY_SUFFIX,
+    INT_BY_SUFFIX,
+    SIZE_BY_SUFFIX,
+    SUFFIX_BY_SIZE,
+    UINT_BY_SUFFIX,
+    float_etype,
+    uint_etype,
+)
+
+
+class TestEType:
+    def test_float_types(self):
+        assert EType.F64.dtype == np.float64
+        assert EType.F32.dtype == np.float32
+        assert EType.F16.dtype == np.float16
+        assert all(t.is_float for t in (EType.F64, EType.F32, EType.F16))
+
+    def test_sizes_and_bits(self):
+        assert EType.F64.size == 8 and EType.F64.bits == 64
+        assert EType.F16.size == 2 and EType.F16.bits == 16
+        assert EType.I8.size == 1
+
+    def test_signedness(self):
+        assert EType.I32.is_signed
+        assert EType.F64.is_signed
+        assert not EType.U32.is_signed
+
+    def test_suffixes(self):
+        assert EType.F64.suffix == "d"
+        assert EType.F32.suffix == "s"
+        assert EType.F16.suffix == "h"
+        assert EType.U8.suffix == "b"
+
+
+class TestSuffixMaps:
+    @pytest.mark.parametrize("suffix,size", [("d", 8), ("s", 4), ("h", 2),
+                                             ("b", 1)])
+    def test_size_by_suffix(self, suffix, size):
+        assert SIZE_BY_SUFFIX[suffix] == size
+        assert SUFFIX_BY_SIZE[size] == suffix
+
+    def test_float_by_suffix(self):
+        assert FLOAT_BY_SUFFIX["d"] is EType.F64
+        assert "b" not in FLOAT_BY_SUFFIX  # no 8-bit float
+
+    def test_int_maps_consistent(self):
+        for suffix in "dshb":
+            assert INT_BY_SUFFIX[suffix].size == SIZE_BY_SUFFIX[suffix]
+            assert UINT_BY_SUFFIX[suffix].size == SIZE_BY_SUFFIX[suffix]
+            assert INT_BY_SUFFIX[suffix].is_signed
+            assert not UINT_BY_SUFFIX[suffix].is_signed
+
+    @pytest.mark.parametrize("esize", [1, 2, 4, 8])
+    def test_helpers(self, esize):
+        assert uint_etype(esize).size == esize
+        if esize > 1:
+            assert float_etype(esize).size == esize
+            assert float_etype(esize).is_float

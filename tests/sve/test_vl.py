@@ -1,0 +1,68 @@
+"""Vector-length model tests."""
+
+import pytest
+
+from repro.sve.vl import GRID_ENABLED_VLS, LEGAL_VLS, POW2_VLS, VL, pick_vl
+
+
+class TestLegalVLs:
+    def test_range(self):
+        assert LEGAL_VLS[0] == 128
+        assert LEGAL_VLS[-1] == 2048
+        assert all(v % 128 == 0 for v in LEGAL_VLS)
+
+    def test_count(self):
+        # 128..2048 in steps of 128: 16 legal lengths.
+        assert len(LEGAL_VLS) == 16
+
+    def test_grid_enabled_subset(self):
+        # Section V-B: Grid enables 128/256/512.
+        assert GRID_ENABLED_VLS == (128, 256, 512)
+        assert set(GRID_ENABLED_VLS) <= set(LEGAL_VLS)
+
+    def test_pow2_subset(self):
+        assert set(POW2_VLS) <= set(LEGAL_VLS)
+
+
+class TestVL:
+    @pytest.mark.parametrize("bits", LEGAL_VLS)
+    def test_legal_construction(self, bits):
+        assert VL(bits).bits == bits
+
+    @pytest.mark.parametrize("bits", [0, 64, 100, 129, 2176, -128, 4096])
+    def test_illegal_construction(self, bits):
+        with pytest.raises(ValueError):
+            VL(bits)
+
+    def test_bytes(self):
+        assert VL(512).bytes == 64
+        assert VL(128).bytes == 16
+
+    @pytest.mark.parametrize("bits,esize,lanes", [
+        (128, 8, 2), (128, 4, 4), (128, 2, 8), (128, 1, 16),
+        (512, 8, 8), (512, 4, 16),
+        (2048, 8, 32),
+    ])
+    def test_lanes(self, bits, esize, lanes):
+        assert VL(bits).lanes(esize) == lanes
+
+    def test_lanes_illegal_esize(self):
+        with pytest.raises(ValueError):
+            VL(512).lanes(3)
+
+    @pytest.mark.parametrize("bits", POW2_VLS)
+    def test_complex_lanes_half_of_real(self, bits):
+        v = VL(bits)
+        assert v.complex_lanes(8) * 2 == v.lanes(8)
+        # One complex double per 128 bits.
+        assert v.complex_lanes(8) == bits // 128
+
+    def test_pick_vl(self):
+        assert pick_vl(384).bits == 384
+        with pytest.raises(ValueError):
+            pick_vl(200)
+
+    def test_frozen(self):
+        v = VL(256)
+        with pytest.raises(Exception):
+            v.bits = 512

@@ -1,0 +1,67 @@
+"""Tests for the shared benchmark infrastructure."""
+
+import numpy as np
+import pytest
+
+from repro.bench.tables import Table
+from repro.bench.workloads import complex_arrays, dslash_setup, real_arrays
+
+
+class TestTable:
+    def test_render_basic(self):
+        t = Table(["name", "value"], title="demo")
+        t.add("alpha", 1)
+        t.add("beta", 2.5)
+        out = t.render()
+        assert "== demo ==" in out
+        assert "alpha" in out and "2.5" in out
+
+    def test_alignment(self):
+        t = Table(["l", "r"], align=["l", "r"])
+        t.add("x", 1)
+        line = t.render().splitlines()[-1]
+        assert line.startswith("x")
+        assert line.rstrip().endswith("1")
+
+    def test_wrong_cell_count(self):
+        t = Table(["a", "b"])
+        with pytest.raises(ValueError):
+            t.add(1)
+
+    def test_wrong_align_length(self):
+        with pytest.raises(ValueError):
+            Table(["a"], align=["l", "r"])
+
+    def test_float_formatting(self):
+        t = Table(["v"])
+        t.add(0.0)
+        t.add(1.23456789e-7)
+        t.add(123456.789)
+        lines = t.render().splitlines()
+        assert "0" in lines[-3]
+        assert "e-07" in lines[-2]
+        assert "e+05" in lines[-1] or "1.235e" in lines[-1]
+
+    def test_column_width_adapts(self):
+        t = Table(["c"])
+        t.add("a-very-long-cell-value")
+        header = t.render().splitlines()[0]
+        assert len(header) >= len("a-very-long-cell-value")
+
+
+class TestWorkloads:
+    def test_real_arrays_seeded(self):
+        a1, b1 = real_arrays(10, seed=3)
+        a2, b2 = real_arrays(10, seed=3)
+        assert np.array_equal(a1, a2) and np.array_equal(b1, b2)
+
+    def test_complex_arrays(self):
+        x, y = complex_arrays(5, seed=1)
+        assert x.dtype == np.complex128 and x.shape == (5,)
+        assert not np.array_equal(x, y)
+
+    def test_dslash_setup(self):
+        s = dslash_setup("avx", dims=(2, 2, 2, 2))
+        out = s.run()
+        assert out.norm2() > 0
+        assert s.flops == 1320 * 16

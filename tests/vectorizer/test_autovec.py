@@ -1,0 +1,294 @@
+"""Auto-vectorizer tests: correctness at every VL plus the paper's
+instruction-mix claims."""
+
+import numpy as np
+import pytest
+
+from repro.armie import run_kernel, sweep_vls
+from repro.sve.vl import POW2_VLS, VL
+from repro.vectorizer import ir
+from repro.vectorizer.autovec import VectorizeError, vectorize, vectorize_fixed
+
+
+@pytest.fixture(scope="module")
+def data():
+    rng = np.random.default_rng(7)
+    n = 261
+    return {
+        "x": rng.normal(size=n),
+        "y": rng.normal(size=n),
+        "xc": rng.normal(size=n) + 1j * rng.normal(size=n),
+        "yc": rng.normal(size=n) + 1j * rng.normal(size=n),
+    }
+
+
+class TestRealPath:
+    def test_correct_all_vls(self, data):
+        k = ir.mult_real_kernel()
+        for vlb, res in sweep_vls(vectorize(k), k,
+                                  [data["x"], data["y"]]).items():
+            assert np.array_equal(res.output, data["x"] * data["y"]), vlb
+
+    def test_loop_shape_matches_listing_iva(self):
+        """Same loop scaffolding as the paper's Section IV-A output."""
+        hist = vectorize(ir.mult_real_kernel()).static_histogram()
+        assert hist["whilelo"] == 2
+        assert hist["brkns"] == 1
+        assert hist["ptrue"] == 1
+        assert hist["incd"] == 1
+        assert hist["b.mi"] == 1
+        assert hist["ld1d"] == 2 and hist["st1d"] == 1 and hist["fmul"] == 1
+
+    def test_fma_fusion(self, data):
+        """a*b + c lowers to a single fmla, not fmul + fadd."""
+        k = ir.Kernel(name="fma", scalar_type="f64",
+                      inputs=[ir.Array("a"), ir.Array("b")],
+                      expr=ir.Add(ir.Mul(ir.Load(0), ir.Load(1)), ir.Load(1)))
+        hist = vectorize(k).static_histogram()
+        assert hist.get("fmla", 0) == 1
+        assert "fadd" not in hist and "fmul" not in hist
+        res = run_kernel(vectorize(k), k, [data["x"], data["y"]], 512)
+        assert np.allclose(res.output, data["x"] * data["y"] + data["y"])
+
+    def test_fmls_fusion(self, data):
+        k = ir.Kernel(name="fms", scalar_type="f64",
+                      inputs=[ir.Array("a"), ir.Array("b")],
+                      expr=ir.Sub(ir.Load(1), ir.Mul(ir.Load(0), ir.Load(1))))
+        hist = vectorize(k).static_histogram()
+        assert hist.get("fmls", 0) == 1
+        res = run_kernel(vectorize(k), k, [data["x"], data["y"]], 256)
+        assert np.allclose(res.output,
+                           data["y"] - data["x"] * data["y"])
+
+    def test_const_hoisted_out_of_loop(self):
+        k = ir.axpy_kernel(2.5, "f64")
+        prog = vectorize(k)
+        # fmov appears exactly once (before the loop), not per iteration.
+        assert prog.static_histogram()["fmov"] == 1
+        res = run_kernel(prog, k, [np.ones(100), np.ones(100)], 512)
+        assert res.histogram["fmov"] == 1
+
+    def test_f32_kernels(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=101).astype(np.float32)
+        y = rng.normal(size=101).astype(np.float32)
+        k = ir.mult_real_kernel("f32")
+        res = run_kernel(vectorize(k), k, [x, y], 512)
+        assert np.allclose(res.output, x * y, rtol=1e-6)
+
+    def test_common_subexpression_loads(self):
+        """x is loaded once per iteration even when referenced twice."""
+        k = ir.Kernel(name="sq", scalar_type="f64",
+                      inputs=[ir.Array("x")],
+                      expr=ir.Mul(ir.Load(0), ir.Load(0)))
+        assert vectorize(k).static_histogram()["ld1d"] == 1
+
+
+class TestComplexAutovecPath:
+    """complex_isa=False: the LLVM 5 behaviour of Section IV-B."""
+
+    def test_correct_all_vls(self, data):
+        k = ir.mult_cplx_kernel()
+        prog = vectorize(k, complex_isa=False)
+        for vlb, res in sweep_vls(prog, k, [data["xc"], data["yc"]]).items():
+            assert np.allclose(res.output, data["xc"] * data["yc"],
+                               rtol=1e-13), vlb
+
+    def test_never_emits_fcmla(self):
+        """The paper's central compiler finding: "The compiler does not
+        exploit the full SVE ISA"."""
+        for k in (ir.mult_cplx_kernel(), ir.axpy_kernel(1 + 1j),
+                  ir.conj_mul_kernel()):
+            hist = vectorize(k, complex_isa=False).static_histogram()
+            assert "fcmla" not in hist, k.name
+            assert "fcadd" not in hist, k.name
+
+    def test_structure_loads_used(self):
+        hist = vectorize(ir.mult_cplx_kernel(),
+                         complex_isa=False).static_histogram()
+        assert hist["ld2d"] == 2 and hist["st2d"] == 1
+
+    def test_instruction_mix_matches_listing_ivb(self):
+        """Per complex multiply: 2 fmul + fmla + fnmls (+2 movprfx) —
+        the exact data-processing mix of the Section IV-B listing."""
+        hist = vectorize(ir.mult_cplx_kernel(),
+                         complex_isa=False).static_histogram()
+        assert hist["fmul"] == 2
+        assert hist["fmla"] == 1
+        assert hist["fnmls"] == 1
+        assert hist["movprfx"] == 2
+
+    def test_movprfx_optional(self, data):
+        k = ir.mult_cplx_kernel()
+        prog = vectorize(k, complex_isa=False, use_movprfx=False)
+        assert "movprfx" not in prog.static_histogram()
+        res = run_kernel(prog, k, [data["xc"], data["yc"]], 512)
+        assert np.allclose(res.output, data["xc"] * data["yc"], rtol=1e-13)
+
+    def test_conj_and_neg(self, data):
+        k = ir.Kernel(name="cn", scalar_type="c128",
+                      inputs=[ir.Array("x"), ir.Array("y")],
+                      expr=ir.Neg(ir.Mul(ir.Conj(ir.Load(0)), ir.Load(1))))
+        res = run_kernel(vectorize(k, complex_isa=False), k,
+                         [data["xc"], data["yc"]], 256)
+        assert np.allclose(res.output, -np.conj(data["xc"]) * data["yc"],
+                           rtol=1e-13)
+
+    def test_complex_add_sub(self, data):
+        k = ir.Kernel(name="as", scalar_type="c128",
+                      inputs=[ir.Array("x"), ir.Array("y")],
+                      expr=ir.Sub(ir.Add(ir.Load(0), ir.Load(1)), ir.Load(0)))
+        res = run_kernel(vectorize(k, complex_isa=False), k,
+                         [data["xc"], data["yc"]], 512)
+        assert np.allclose(res.output, data["yc"], rtol=1e-13)
+
+
+class TestComplexIsaPath:
+    """complex_isa=True: the FCMLA lowering of Section IV-C."""
+
+    def test_correct_all_vls(self, data):
+        k = ir.mult_cplx_kernel()
+        prog = vectorize(k, complex_isa=True)
+        for vlb, res in sweep_vls(prog, k, [data["xc"], data["yc"]]).items():
+            assert np.allclose(res.output, data["xc"] * data["yc"],
+                               rtol=1e-13), vlb
+
+    def test_two_fcmla_contiguous_loads(self):
+        hist = vectorize(ir.mult_cplx_kernel(),
+                         complex_isa=True).static_histogram()
+        assert hist["fcmla"] == 2
+        assert hist["ld1d"] == 2 and hist["st1d"] == 1
+        assert "ld2d" not in hist  # interleaved layout, no split
+
+    def test_loop_shape_matches_listing_ivc(self):
+        hist = vectorize(ir.mult_cplx_kernel(),
+                         complex_isa=True).static_histogram()
+        assert hist["whilelo"] == 1  # at loop top
+        assert hist["cmp"] == 1 and hist["b.lo"] == 1
+        assert "brkns" not in hist
+
+    def test_conjugate_fused_rotations(self, data):
+        k = ir.conj_mul_kernel()
+        prog = vectorize(k, complex_isa=True)
+        assert prog.static_histogram()["fcmla"] == 2
+        res = run_kernel(prog, k, [data["xc"], data["yc"]], 512)
+        assert np.allclose(res.output, np.conj(data["xc"]) * data["yc"],
+                           rtol=1e-13)
+
+    def test_conj_on_second_operand(self, data):
+        """x * conj(y) reverses roles to conj(y) * x (commutative)."""
+        k = ir.Kernel(name="xcy", scalar_type="c128",
+                      inputs=[ir.Array("x"), ir.Array("y")],
+                      expr=ir.Mul(ir.Load(0), ir.Conj(ir.Load(1))))
+        res = run_kernel(vectorize(k, complex_isa=True), k,
+                         [data["xc"], data["yc"]], 256)
+        assert np.allclose(res.output, data["xc"] * np.conj(data["yc"]),
+                           rtol=1e-13)
+
+    def test_fused_cmadd(self, data):
+        k = ir.axpy_kernel(0.5 + 2j)
+        prog = vectorize(k, complex_isa=True)
+        res = run_kernel(prog, k, [data["xc"], data["yc"]], 512)
+        assert np.allclose(res.output, (0.5 + 2j) * data["xc"] + data["yc"],
+                           rtol=1e-13)
+
+    def test_fused_cmsub(self, data):
+        k = ir.Kernel(name="cms", scalar_type="c128",
+                      inputs=[ir.Array("x"), ir.Array("y")],
+                      expr=ir.Sub(ir.Load(1), ir.Mul(ir.Load(0), ir.Load(1))))
+        res = run_kernel(vectorize(k, complex_isa=True), k,
+                         [data["xc"], data["yc"]], 512)
+        assert np.allclose(res.output,
+                           data["yc"] - data["xc"] * data["yc"], rtol=1e-13)
+
+    def test_bare_conj_rejected(self):
+        """Conjugation is only reachable fused into a multiply
+        (Eq. (2)); a bare Conj has no FCMLA lowering."""
+        k = ir.Kernel(name="bare", scalar_type="c128",
+                      inputs=[ir.Array("x")], expr=ir.Conj(ir.Load(0)))
+        with pytest.raises(VectorizeError, match="Conj"):
+            vectorize(k, complex_isa=True)
+
+    def test_fewer_data_instructions_than_autovec(self):
+        """The FCMLA path needs fewer data-processing instructions per
+        complex multiply than the real-arithmetic expansion — the
+        premise of the paper's ACLE decision (Section V-A)."""
+        k = ir.mult_cplx_kernel()
+        data_mnems = ("fmul", "fmla", "fnmls", "fcmla", "movprfx",
+                      "fadd", "fsub")
+        def count(prog):
+            hist = prog.static_histogram()
+            return sum(hist.get(m, 0) for m in data_mnems)
+        assert count(vectorize(k, complex_isa=True)) < \
+            count(vectorize(k, complex_isa=False))
+
+
+class TestFixedVLPath:
+    """Section IV-D: loop-free register-sized kernels."""
+
+    @pytest.mark.parametrize("vl_bits", POW2_VLS)
+    def test_complex_isa_fixed(self, vl_bits, rng):
+        nc = VL(vl_bits).complex_lanes(8)
+        x = rng.normal(size=nc) + 1j * rng.normal(size=nc)
+        y = rng.normal(size=nc) + 1j * rng.normal(size=nc)
+        k = ir.mult_cplx_kernel()
+        res = run_kernel(vectorize_fixed(k, complex_isa=True), k, [x, y],
+                         vl_bits, n=nc)
+        assert np.allclose(res.output, x * y, rtol=1e-13)
+
+    def test_no_loop_instructions(self):
+        hist = vectorize_fixed(ir.mult_cplx_kernel()).static_histogram()
+        assert "whilelo" not in hist
+        assert "b.lo" not in hist and "b.mi" not in hist
+        assert "incd" not in hist
+
+    def test_matches_listing_ivd_shape(self):
+        hist = vectorize_fixed(ir.mult_cplx_kernel(),
+                               complex_isa=True).static_histogram()
+        assert hist["ptrue"] == 1
+        assert hist["fcmla"] == 2
+        assert hist["ld1d"] == 2 and hist["st1d"] == 1
+
+    def test_fixed_real(self, rng):
+        lanes = VL(512).lanes(8)
+        x, y = rng.normal(size=lanes), rng.normal(size=lanes)
+        k = ir.mult_real_kernel()
+        res = run_kernel(vectorize_fixed(k), k, [x, y], 512, n=lanes)
+        assert np.array_equal(res.output, x * y)
+
+    def test_fixed_structure_path(self, rng):
+        nc = VL(512).complex_lanes(8)
+        x = rng.normal(size=nc) + 1j * rng.normal(size=nc)
+        y = rng.normal(size=nc) + 1j * rng.normal(size=nc)
+        k = ir.mult_cplx_kernel()
+        prog = vectorize_fixed(k, complex_isa=False)
+        assert prog.static_histogram()["ld2d"] == 2
+        res = run_kernel(prog, k, [x, y], 512, n=nc)
+        assert np.allclose(res.output, x * y, rtol=1e-13)
+
+    def test_wrong_vl_gives_wrong_answer(self, rng):
+        """Section IV-D caveat: "the resulting binaries will only be
+        operating correctly on matching SVE hardware"."""
+        nc512 = VL(512).complex_lanes(8)
+        x = rng.normal(size=nc512) + 1j * rng.normal(size=nc512)
+        y = rng.normal(size=nc512) + 1j * rng.normal(size=nc512)
+        k = ir.mult_cplx_kernel()
+        prog = vectorize_fixed(k, complex_isa=True)
+        res = run_kernel(prog, k, [x, y], 128, n=nc512)  # wrong hardware
+        assert not np.allclose(res.output, x * y)
+
+
+class TestRegisterPressure:
+    def test_too_many_live_inputs_exhausts_registers(self):
+        """Loads are CSE-pinned per iteration, so a kernel touching
+        more distinct arrays than there are vector registers cannot be
+        allocated (a diagnostic, not a crash)."""
+        n_in = 40
+        expr = ir.Load(0)
+        for i in range(1, n_in):
+            expr = ir.Add(expr, ir.Load(i))
+        k = ir.Kernel(name="wide", scalar_type="f64",
+                      inputs=[ir.Array(f"x{i}") for i in range(n_in)],
+                      expr=expr)
+        with pytest.raises(VectorizeError, match="register"):
+            vectorize(k)

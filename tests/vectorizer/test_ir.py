@@ -1,0 +1,95 @@
+"""Kernel-IR tests: validation, operator sugar, reference evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.vectorizer import ir
+
+
+class TestValidation:
+    def test_unknown_scalar_type(self):
+        with pytest.raises(ValueError):
+            ir.Kernel(name="k", scalar_type="f80", inputs=[],
+                      expr=ir.Const(1.0))
+
+    def test_load_out_of_range(self):
+        with pytest.raises(ValueError):
+            ir.Kernel(name="k", scalar_type="f64", inputs=[ir.Array("x")],
+                      expr=ir.Load(1))
+
+    def test_conj_in_real_kernel(self):
+        with pytest.raises(ValueError, match="Conj"):
+            ir.Kernel(name="k", scalar_type="f64", inputs=[ir.Array("x")],
+                      expr=ir.Conj(ir.Load(0)))
+
+    def test_complex_const_in_real_kernel(self):
+        with pytest.raises(ValueError):
+            ir.Kernel(name="k", scalar_type="f32", inputs=[],
+                      expr=ir.Const(1j))
+
+    def test_default_output(self):
+        k = ir.mult_real_kernel()
+        assert k.output.name == "z" and not k.output.const
+
+    def test_non_expr_rejected(self):
+        with pytest.raises(TypeError):
+            ir.Kernel(name="k", scalar_type="f64", inputs=[],
+                      expr="not an expr")
+
+
+class TestOperatorSugar:
+    def test_operators_build_nodes(self):
+        e = ir.Load(0) * ir.Load(1) + ir.Load(0) - 2.0
+        assert isinstance(e, ir.Sub)
+        assert isinstance(e.a, ir.Add)
+        assert isinstance(e.a.a, ir.Mul)
+        assert e.b == ir.Const(2.0)
+
+    def test_neg(self):
+        e = -ir.Load(0)
+        assert isinstance(e, ir.Neg)
+
+    def test_bad_operand_type(self):
+        with pytest.raises(TypeError):
+            ir.Load(0) + "three"
+
+
+class TestReferenceEval:
+    def test_real(self, rng):
+        x, y = rng.normal(size=5), rng.normal(size=5)
+        k = ir.mult_real_kernel()
+        assert np.allclose(ir.reference_eval(k, [x, y]), x * y)
+
+    def test_complex_tree(self, rng):
+        x = rng.normal(size=5) + 1j * rng.normal(size=5)
+        y = rng.normal(size=5) + 1j * rng.normal(size=5)
+        k = ir.Kernel(
+            name="t", scalar_type="c128",
+            inputs=[ir.Array("x"), ir.Array("y")],
+            expr=ir.Sub(ir.Mul(ir.Conj(ir.Load(0)), ir.Load(1)),
+                        ir.Neg(ir.Const(2 + 1j))),
+        )
+        assert np.allclose(ir.reference_eval(k, [x, y]),
+                           np.conj(x) * y + (2 + 1j))
+
+    def test_dtype_properties(self):
+        k64 = ir.mult_cplx_kernel("c64")
+        assert k64.dtype == np.complex64
+        assert k64.real_dtype == np.float32
+        assert k64.is_complex
+        kf = ir.mult_real_kernel("f32")
+        assert kf.real_dtype == np.float32 and not kf.is_complex
+
+
+class TestReadyMadeKernels:
+    def test_axpy(self, rng):
+        x = rng.normal(size=4) + 1j * rng.normal(size=4)
+        y = rng.normal(size=4) + 1j * rng.normal(size=4)
+        k = ir.axpy_kernel(2 - 1j)
+        assert np.allclose(ir.reference_eval(k, [x, y]), (2 - 1j) * x + y)
+
+    def test_conj_mul(self, rng):
+        x = rng.normal(size=4) + 1j * rng.normal(size=4)
+        y = rng.normal(size=4) + 1j * rng.normal(size=4)
+        k = ir.conj_mul_kernel()
+        assert np.allclose(ir.reference_eval(k, [x, y]), np.conj(x) * y)

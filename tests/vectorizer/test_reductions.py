@@ -1,0 +1,76 @@
+"""Reduction-kernel codegen tests (dot products, norms)."""
+
+import numpy as np
+import pytest
+
+from repro.sve.vl import POW2_VLS
+from repro.vectorizer.reductions import dot_program, norm2_program, run_dot
+
+
+class TestRealDot:
+    @pytest.mark.parametrize("vl", POW2_VLS)
+    @pytest.mark.parametrize("n", [1, 7, 64, 501])
+    def test_matches_numpy(self, vl, n, rng):
+        x, y = rng.normal(size=n), rng.normal(size=n)
+        got = run_dot(x, y, vl)
+        assert np.isclose(got, x @ y, rtol=1e-12)
+
+    def test_instruction_shape(self):
+        hist = dot_program("f64").static_histogram()
+        assert hist["fmla"] == 1  # accumulate in-register
+        assert hist["faddv"] == 1  # single horizontal collapse
+        assert hist["ld1d"] == 2
+
+    def test_norm2_program(self, rng):
+        from repro.sve.machine import Machine
+        from repro.sve.memory import Memory
+        from repro.sve.vl import VL
+
+        x = rng.normal(size=333)
+        mem = Memory()
+        ax = mem.alloc_array(x)
+        az = mem.alloc(256)
+        m = Machine(VL(512), memory=mem)
+        m.call(norm2_program(), 333, ax, 0, az)
+        assert np.isclose(m.read_fp_scalar(0), (x ** 2).sum(), rtol=1e-12)
+
+
+class TestComplexDot:
+    @pytest.mark.parametrize("vl", POW2_VLS)
+    @pytest.mark.parametrize("n", [1, 5, 64, 257])
+    def test_conjugated_inner_product(self, vl, n, rng):
+        x = rng.normal(size=n) + 1j * rng.normal(size=n)
+        y = rng.normal(size=n) + 1j * rng.normal(size=n)
+        got = run_dot(x, y, vl)
+        assert np.isclose(got, np.vdot(x, y), rtol=1e-12)
+
+    def test_norm_is_real_positive(self, rng):
+        x = rng.normal(size=100) + 1j * rng.normal(size=100)
+        got = run_dot(x, x, 512)
+        assert got.real > 0
+        assert abs(got.imag) < 1e-10 * got.real
+
+    def test_uses_conjugating_rotations(self):
+        hist = dot_program("c128").static_histogram()
+        assert hist["fcmla"] == 2
+        # Even/odd split for the final re/im extraction.
+        assert hist["cmpeq"] == 1 and hist["cmpne"] == 1
+        assert hist["faddv"] == 2
+
+    def test_unknown_type(self):
+        with pytest.raises(ValueError):
+            dot_program("f16")
+
+
+class TestFaultSensitivity:
+    def test_cg_reduction_breaks_under_toolchain_fault(self, rng):
+        """The reduction kernel is exactly the kind of code whose
+        VL-specific failures the paper observed (Section V-D)."""
+        from repro.sve.faults import armclang_18_3
+
+        n = 21  # ragged at VL1024
+        x, y = rng.normal(size=n), rng.normal(size=n)
+        ok = run_dot(x, y, 1024)
+        assert np.isclose(ok, x @ y)
+        bad = run_dot(x, y, 1024, fault_model=armclang_18_3())
+        assert not np.isclose(bad, x @ y)

@@ -1,0 +1,103 @@
+"""Verification-harness tests: the Section V-D result shape."""
+
+import numpy as np
+import pytest
+
+from repro.sve.faults import armclang_18_3
+from repro.verification import ALL_CASES, run_suite
+from repro.verification.cases import Case
+
+
+class TestCaseRegistry:
+    def test_at_least_forty_cases(self):
+        """"We have selected 40 representative tests and benchmarks"."""
+        assert len(ALL_CASES) >= 40
+
+    def test_unique_names(self):
+        names = [c.name for c in ALL_CASES]
+        assert len(set(names)) == len(names)
+
+    def test_categories_cover_stack(self):
+        cats = {c.category for c in ALL_CASES}
+        assert cats == {"kernel", "acle", "simd", "grid", "physics"}
+
+    def test_kernel_cases_fault_sensitive(self):
+        for c in ALL_CASES:
+            if c.category == "kernel":
+                assert c.fault_sensitive, c.name
+            else:
+                assert not c.fault_sensitive, c.name
+
+
+class TestPristineToolchain:
+    """All cases pass at the paper's Grid-enabled vector lengths."""
+
+    @pytest.mark.parametrize("case", ALL_CASES, ids=lambda c: c.name)
+    def test_case_at_vl256(self, case):
+        case.run(256)
+
+    def test_full_sweep_vl128_512(self):
+        rep = run_suite(vls=(128, 512),
+                        categories=("kernel", "acle", "simd"))
+        assert rep.failed == 0, rep.format_table()
+
+
+class TestFaultyToolchain:
+    """The paper's finding: "The majority of tests and benchmarks
+    complete with success. However, some tests fail due to incorrect
+    results for some choices of the SVE vector length"."""
+
+    @pytest.fixture(scope="class")
+    def report(self):
+        return run_suite(vls=(512, 1024, 2048),
+                         fault_model_factory=armclang_18_3,
+                         categories=("kernel", "acle", "simd"))
+
+    def test_majority_pass(self, report):
+        assert report.passed > report.failed
+        assert report.passed / report.total > 0.6
+
+    def test_some_failures_exist(self, report):
+        assert report.failed > 0
+
+    def test_failures_vl_specific(self, report):
+        """Failures occur only at the faulty vector lengths."""
+        fail_vls = {f.vl_bits for f in report.failures()}
+        assert 512 not in fail_vls
+        assert fail_vls <= {1024, 2048}
+
+    def test_only_fault_sensitive_cases_fail(self, report):
+        sensitive = {c.name for c in ALL_CASES if c.fault_sensitive}
+        for f in report.failures():
+            assert f.name in sensitive
+
+    def test_full_trip_counts_survive_at_1024(self, report):
+        """The 1024-bit defect only corrupts partial predicates, so
+        even-trip-count kernels still pass there."""
+        cell = {(r.name, r.vl_bits): r.passed for r in report.results}
+        assert cell[("mult_real_even_trip", 1024)]
+        assert not cell[("mult_real_partial_tail", 1024)]
+
+
+class TestReportFormatting:
+    def test_table_contains_matrix(self):
+        rep = run_suite(vls=(128,), categories=("acle",))
+        table = rep.format_table()
+        assert "VL128" in table and "pass" in table and "TOTAL" in table
+
+    def test_by_vl(self):
+        rep = run_suite(vls=(128, 256), categories=("acle",))
+        by = rep.by_vl()
+        assert set(by) == {128, 256}
+        for passed, total in by.values():
+            assert passed == total
+
+    def test_failure_records_traceback(self):
+        def boom(vl_bits, fm):
+            raise AssertionError("intentional")
+
+        case = Case(name="boom", category="kernel", fn=boom)
+        rep = run_suite(vls=(128,), cases=[case])
+        assert rep.failed == 1
+        assert "intentional" in rep.failures()[0].error
+        assert "FAIL" in rep.format_table()
