@@ -65,6 +65,7 @@ def run_kernel(
     n: Optional[int] = None,
     fault_model: Optional[FaultModel] = None,
     max_steps: int = 10_000_000,
+    memory: Optional[Memory] = None,
 ) -> EmulationResult:
     """Execute a vectorized kernel against numpy input arrays.
 
@@ -72,6 +73,10 @@ def run_kernel(
     placed in simulator memory (complex arrays interleaved), the kernel
     is called with ``(n, in0, in1, ..., out)``, and the output array is
     read back (and de-interleaved for complex kernels).
+
+    ``memory`` substitutes the simulator memory (it must be empty and
+    large enough) — resilience campaigns pass a bit-flipping
+    :class:`~repro.resilience.inject.FaultyMemory` here.
     """
     vl = vl if isinstance(vl, VL) else VL(vl)
     if len(arrays) != len(kernel.inputs):
@@ -81,7 +86,8 @@ def run_kernel(
         )
     if n is None:
         n = len(arrays[0]) if arrays else 0
-    mem = Memory(size=max(1 << 20, 64 * n * 16 + (1 << 16)))
+    mem = memory if memory is not None else \
+        Memory(size=max(1 << 20, 64 * n * 16 + (1 << 16)))
     addrs = [mem.alloc_array(_to_memory_layout(a, kernel)) for a in arrays]
     out_elems = n * (2 if kernel.is_complex else 1)
     out_addr = mem.alloc(max(out_elems, 1) * kernel.real_dtype.itemsize

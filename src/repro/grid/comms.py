@@ -12,11 +12,26 @@ The distributed circular shift reuses :func:`repro.grid.cshift.
 cshift_local`, handing it the +dim neighbour rank's field for the
 boundary lanes — so the virtual-node lane permutes and the rank halo
 logic compose exactly as they do in Grid.
+
+Resilience
+----------
+Production halo exchange runs for days over flaky interconnects, so the
+wire path here is byte-level and self-healing: every message can carry
+a CRC-32 (``checksum_halos=True``), a :class:`repro.resilience.inject.
+CommsFaultInjector` can drop/corrupt/truncate/duplicate messages, and a
+detected-bad message is retransmitted with exponential backoff up to
+``max_retries`` times before :class:`HaloExchangeError` is raised.
+Without checksums the same faults are applied *silently*: a dropped or
+truncated message is zero-filled, a corrupted one is used as-is — the
+classic silent-data-corruption failure mode the checksummed path
+exists to prevent.  With no injector and no faults the checksummed
+path is bit-identical to the plain one.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import zlib
+from dataclasses import dataclass
 from typing import Optional
 
 import numpy as np
@@ -28,18 +43,42 @@ from repro.grid.cshift import cshift_local
 from repro.grid.lattice import Lattice
 
 
+class HaloExchangeError(RuntimeError):
+    """A halo message could not be delivered intact within the retry
+    budget (detected, but unrecovered)."""
+
+
 @dataclass
 class CommsStats:
-    """Accounting of simulated network traffic."""
+    """Accounting of simulated network traffic and link health.
+
+    The resilience counters record only what the *protocol* can
+    observe: CRC mismatches, timeouts, retransmissions.  Whether a
+    fault actually fired is known to the injector (and its campaign),
+    not to the receiver.
+    """
 
     messages: int = 0
     complex_sent: int = 0
     bytes_sent: int = 0
+    # -- self-healing path ---------------------------------------------
+    retries: int = 0
+    detected_corruptions: int = 0
+    detected_drops: int = 0
+    duplicates_discarded: int = 0
+    recovered_messages: int = 0
+    unrecovered_failures: int = 0
+    backoff_units: int = 0
 
     def record(self, n_complex: int, compressed: bool, dtype) -> None:
         self.messages += 1
         self.complex_sent += n_complex
         self.bytes_sent += compression.wire_bytes(n_complex, compressed, dtype)
+
+    @property
+    def detected_failures(self) -> int:
+        """All protocol-visible delivery failures."""
+        return self.detected_corruptions + self.detected_drops
 
 
 class RankGeometry:
@@ -68,13 +107,31 @@ class DistributedLattice:
 
     Each rank holds a :class:`Lattice` over a local
     :class:`GridCartesian` (same backend and SIMD layout everywhere).
+
+    Parameters
+    ----------
+    checksum_halos:
+        Verify every halo message with a CRC-32 and retransmit on
+        mismatch/timeout (the self-healing path).
+    comms_faults:
+        Optional fault injector (duck-typed: ``deliver(payload,
+        message, attempt, stats) -> list[np.ndarray]``) applied to
+        every wire message.  ``None`` means a perfect network.
+    max_retries:
+        Retransmissions allowed per message before the exchange gives
+        up and raises :class:`HaloExchangeError` (checksummed path
+        only).
     """
 
     def __init__(self, gdims, backend, mpi_layout, tensor_shape,
                  simd_layout=None, compress_halos: bool = False,
-                 dtype=np.complex128) -> None:
+                 dtype=np.complex128, checksum_halos: bool = False,
+                 comms_faults=None, max_retries: int = 3) -> None:
         self.ranks = RankGeometry(mpi_layout)
         self.compress_halos = compress_halos
+        self.checksum_halos = checksum_halos
+        self.comms_faults = comms_faults
+        self.max_retries = int(max_retries)
         self.stats = CommsStats()
         self.grids = []
         self.locals: list[Lattice] = []
@@ -85,6 +142,22 @@ class DistributedLattice:
             self.locals.append(Lattice(grid, tensor_shape))
         self.gdims = self.grids[0].gdims
         self.tensor_shape = self.locals[0].tensor_shape
+
+    def clone_empty(self) -> "DistributedLattice":
+        """A new distributed field sharing geometry, comms config and
+        stats with ``self`` but holding no local lattices yet."""
+        out = DistributedLattice.__new__(DistributedLattice)
+        out.ranks = self.ranks
+        out.compress_halos = self.compress_halos
+        out.checksum_halos = self.checksum_halos
+        out.comms_faults = self.comms_faults
+        out.max_retries = self.max_retries
+        out.stats = self.stats
+        out.grids = self.grids
+        out.gdims = self.gdims
+        out.tensor_shape = self.tensor_shape
+        out.locals = []
+        return out
 
     # ------------------------------------------------------------------
     # Global <-> local data movement
@@ -120,25 +193,94 @@ class DistributedLattice:
         return out
 
     # ------------------------------------------------------------------
+    # The wire: byte-level transmit with detection and retry
+    # ------------------------------------------------------------------
+    def _transmit(self, payload: np.ndarray) -> np.ndarray:
+        """Send one message through the (possibly faulty) link.
+
+        ``payload`` is the flat uint8 wire image.  Returns the received
+        bytes.  With checksums enabled a bad delivery is detected and
+        retransmitted (bounded, exponential backoff); without them the
+        receiver has no way to know and degrades silently.
+        """
+        injector = self.comms_faults
+        if injector is None and not self.checksum_halos:
+            return payload
+        # record() has already counted this message; its 0-based ordinal:
+        msg_id = self.stats.messages - 1
+        for attempt in range(self.max_retries + 1):
+            if injector is None:
+                copies = [payload]
+            else:
+                copies = injector.deliver(payload, message=msg_id,
+                                          attempt=attempt, stats=self.stats)
+            if not self.checksum_halos:
+                # No detection: take the first delivery at face value.
+                if not copies:
+                    return np.zeros_like(payload)  # "timeout" -> zeros
+                got = copies[0]
+                if got.size < payload.size:  # truncated -> zero-padded
+                    got = np.concatenate(
+                        [got, np.zeros(payload.size - got.size,
+                                       dtype=np.uint8)]
+                    )
+                return got[:payload.size]
+            # Checksummed path: CRC over the intact payload travels in
+            # the (never-corrupted) message envelope.
+            crc = zlib.crc32(payload.tobytes())
+            good = None
+            for i, got in enumerate(copies):
+                ok = (got.size == payload.size
+                      and zlib.crc32(got.tobytes()) == crc)
+                if ok and good is None:
+                    good = got
+                elif i > 0:
+                    self.stats.duplicates_discarded += 1
+            if good is not None:
+                if attempt > 0:
+                    self.stats.recovered_messages += 1
+                return good
+            if not copies:
+                self.stats.detected_drops += 1
+            else:
+                self.stats.detected_corruptions += 1
+            if attempt < self.max_retries:
+                self.stats.retries += 1
+                self.stats.backoff_units += 1 << attempt
+        self.stats.unrecovered_failures += 1
+        raise HaloExchangeError(
+            f"halo message {msg_id} undeliverable after "
+            f"{self.max_retries} retries"
+        )
+
+    # ------------------------------------------------------------------
     # Halo exchange + shift
     # ------------------------------------------------------------------
     def _exchanged_field(self, src_rank: int, dim: int) -> np.ndarray:
         """The +dim neighbour's local field, through the (optionally
-        compressing) wire.  Volume is accounted as the genuine halo —
-        one boundary slab — although the simulation hands over the full
-        array for simplicity."""
+        compressing, optionally checksummed) wire.  Volume is accounted
+        as the genuine halo — one boundary slab — although the
+        simulation hands over the full array for simplicity."""
         nbr = self.ranks.neighbour(src_rank, dim, +1)
         data = self.locals[nbr].data
         grid = self.grids[src_rank]
         halo_sites = grid.lsites // grid.ldims[dim]
         n_complex = halo_sites * int(np.prod(self.tensor_shape))
         self.stats.record(n_complex, self.compress_halos, grid.dtype)
+        pristine = self.comms_faults is None
         if not self.compress_halos:
-            return data
-        wire = compression.compress_complex(data)
-        return compression.decompress_complex(wire, grid.dtype).reshape(
-            data.shape
-        )
+            if pristine and not self.checksum_halos:
+                return data
+            wire = np.ascontiguousarray(data).view(np.uint8).ravel()
+            received = self._transmit(wire)
+            return received.copy().view(grid.dtype).reshape(data.shape)
+        wire16 = compression.compress_complex(data)
+        wire = np.ascontiguousarray(wire16).view(np.uint8).ravel()
+        received = self._transmit(wire) if not pristine or \
+            self.checksum_halos else wire
+        return compression.decompress_complex(
+            received.copy().view(np.float16), grid.dtype
+        ).reshape(data.shape)
 
     def cshift(self, dim: int, shift: int) -> "DistributedLattice":
         """Distributed circular shift: ``out(x) = in(x + shift e_dim)``.
@@ -150,14 +292,7 @@ class DistributedLattice:
         g0 = self.grids[0]
         gshift = shift % self.gdims[dim]
         rank_steps, local_shift = divmod(gshift, g0.ldims[dim])
-        out = DistributedLattice.__new__(DistributedLattice)
-        out.ranks = self.ranks
-        out.compress_halos = self.compress_halos
-        out.stats = self.stats
-        out.grids = self.grids
-        out.gdims = self.gdims
-        out.tensor_shape = self.tensor_shape
-        out.locals = []
+        out = self.clone_empty()
         for r in range(self.ranks.nranks):
             # The data for rank r comes from the rank `rank_steps`
             # ahead (plus a local shift with that rank's +dim halo).
@@ -177,13 +312,7 @@ class DistributedLattice:
     # Field arithmetic (rank-local + allreduce)
     # ------------------------------------------------------------------
     def binary(self, other: "DistributedLattice", fn) -> "DistributedLattice":
-        out = DistributedLattice.__new__(DistributedLattice)
-        out.ranks = self.ranks
-        out.compress_halos = self.compress_halos
-        out.stats = self.stats
-        out.grids = self.grids
-        out.gdims = self.gdims
-        out.tensor_shape = self.tensor_shape
+        out = self.clone_empty()
         out.locals = [fn(a, b) for a, b in zip(self.locals, other.locals)]
         return out
 
@@ -194,13 +323,7 @@ class DistributedLattice:
         return self.binary(other, lambda a, b: a - b)
 
     def __mul__(self, scalar):
-        out = DistributedLattice.__new__(DistributedLattice)
-        out.ranks = self.ranks
-        out.compress_halos = self.compress_halos
-        out.stats = self.stats
-        out.grids = self.grids
-        out.gdims = self.gdims
-        out.tensor_shape = self.tensor_shape
+        out = self.clone_empty()
         out.locals = [a * scalar for a in self.locals]
         return out
 

@@ -44,13 +44,7 @@ class DistributedWilson:
                            for mu in range(self.ndim)]
 
     def _zero_like(self, psi: DistributedLattice) -> DistributedLattice:
-        out = DistributedLattice.__new__(DistributedLattice)
-        out.ranks = psi.ranks
-        out.compress_halos = psi.compress_halos
-        out.stats = psi.stats
-        out.grids = psi.grids
-        out.gdims = psi.gdims
-        out.tensor_shape = psi.tensor_shape
+        out = psi.clone_empty()
         out.locals = [lat.new_like() for lat in psi.locals]
         return out
 
@@ -101,13 +95,18 @@ class DistributedWilson:
 
 
 def distribute_gauge(links, gdims, backend, mpi_layout,
-                     simd_layout=None, compress_halos: bool = False) -> list:
+                     simd_layout=None, compress_halos: bool = False,
+                     checksum_halos: bool = False, comms_faults=None,
+                     max_retries: int = 3) -> list:
     """Scatter single-rank gauge links into distributed fields."""
     out = []
     for u in links:
         dl = DistributedLattice(gdims, backend, mpi_layout, (3, 3),
                                 simd_layout=simd_layout,
-                                compress_halos=compress_halos)
+                                compress_halos=compress_halos,
+                                checksum_halos=checksum_halos,
+                                comms_faults=comms_faults,
+                                max_retries=max_retries)
         dl.scatter(u.to_canonical())
         out.append(dl)
     return out

@@ -10,6 +10,7 @@ is solved through the normal equations ``M^dagger M x = M^dagger b``
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -18,13 +19,24 @@ from repro.grid.lattice import Lattice
 
 @dataclass
 class SolverResult:
-    """Convergence record of one solve."""
+    """Convergence record of one solve.
+
+    ``breakdown`` is empty for a normal run; on a numeric breakdown
+    (zero denominator, non-finite residual) it names the hazard and the
+    result is returned non-converged with the last finite iterate —
+    NaNs are never propagated to the caller.
+    """
 
     x: Lattice
     converged: bool
     iterations: int
     residual: float
     residual_history: list = field(default_factory=list)
+    breakdown: str = ""
+
+
+def _finite_nonzero(value: float) -> bool:
+    return math.isfinite(value) and value != 0.0
 
 
 def conjugate_gradient(
@@ -49,10 +61,21 @@ def conjugate_gradient(
     history = [rr ** 0.5 / bnorm]
     for it in range(1, max_iter + 1):
         ap = op(p)
-        alpha = rr / p.inner_product(ap).real
+        denom = p.inner_product(ap).real
+        if not _finite_nonzero(denom):
+            return SolverResult(x=x, converged=False, iterations=it,
+                                residual=history[-1],
+                                residual_history=history,
+                                breakdown=f"cg: pAp denominator {denom!r}")
+        alpha = rr / denom
         x = x + p * alpha
         r = r - ap * alpha
         rr_new = r.norm2()
+        if not math.isfinite(rr_new):
+            return SolverResult(x=x, converged=False, iterations=it,
+                                residual=history[-1],
+                                residual_history=history,
+                                breakdown="cg: non-finite residual norm")
         rel = rr_new ** 0.5 / bnorm
         history.append(rel)
         if rel <= tol:
@@ -96,33 +119,55 @@ def bicgstab(
         return SolverResult(x=b.new_like(), converged=True, iterations=0,
                             residual=0.0)
     history = [r.norm2() ** 0.5 / bnorm]
+    breakdown = ""
     for it in range(1, max_iter + 1):
         rho_new = r0.inner_product(r)
-        if rho_new == 0:
+        if not _finite_nonzero(abs(rho_new)):
+            breakdown = f"bicgstab: rho breakdown ({rho_new!r})"
+            break
+        if not _finite_nonzero(abs(omega)):
+            breakdown = f"bicgstab: omega breakdown ({omega!r})"
             break
         beta = (rho_new / rho) * (alpha / omega)
         p = r + (p - v * omega) * beta
         v = op(p)
-        alpha = rho_new / r0.inner_product(v)
+        r0v = r0.inner_product(v)
+        if not _finite_nonzero(abs(r0v)):
+            breakdown = f"bicgstab: (r0, v) denominator {r0v!r}"
+            break
+        alpha = rho_new / r0v
         s = r - v * alpha
-        if s.norm2() ** 0.5 / bnorm <= tol:
+        s_rel = s.norm2() ** 0.5 / bnorm
+        if not math.isfinite(s_rel):
+            breakdown = "bicgstab: non-finite intermediate residual"
+            break
+        if s_rel <= tol:
             x = x + p * alpha
-            history.append(s.norm2() ** 0.5 / bnorm)
+            history.append(s_rel)
             return SolverResult(x=x, converged=True, iterations=it,
                                 residual=history[-1],
                                 residual_history=history)
         t = op(s)
-        omega = t.inner_product(s) / t.inner_product(t)
+        tt = t.inner_product(t)
+        if not _finite_nonzero(abs(tt)):
+            breakdown = f"bicgstab: (t, t) denominator {tt!r}"
+            break
+        omega = t.inner_product(s) / tt
         x = x + p * alpha + s * omega
         r = s - t * omega
         rel = r.norm2() ** 0.5 / bnorm
+        if not math.isfinite(rel):
+            breakdown = "bicgstab: non-finite residual norm"
+            break
         history.append(rel)
         if rel <= tol:
             return SolverResult(x=x, converged=True, iterations=it,
                                 residual=rel, residual_history=history)
         rho = rho_new
-    return SolverResult(x=x, converged=False, iterations=max_iter,
-                        residual=history[-1], residual_history=history)
+    return SolverResult(x=x, converged=False,
+                        iterations=it if breakdown else max_iter,
+                        residual=history[-1], residual_history=history,
+                        breakdown=breakdown)
 
 
 def minimal_residual(
@@ -142,18 +187,25 @@ def minimal_residual(
         return SolverResult(x=b.new_like(), converged=True, iterations=0,
                             residual=0.0)
     history = [r.norm2() ** 0.5 / bnorm]
+    breakdown = ""
     for it in range(1, max_iter + 1):
         ar = op(r)
         denom = ar.norm2()
-        if denom == 0:
+        if not _finite_nonzero(denom):
+            breakdown = f"mr: |Ar|^2 denominator {denom!r}"
             break
         alpha = overrelax * ar.inner_product(r) / denom
         x = x + r * alpha
         r = r - ar * alpha
         rel = r.norm2() ** 0.5 / bnorm
+        if not math.isfinite(rel):
+            breakdown = "mr: non-finite residual norm"
+            break
         history.append(rel)
         if rel <= tol:
             return SolverResult(x=x, converged=True, iterations=it,
                                 residual=rel, residual_history=history)
-    return SolverResult(x=x, converged=False, iterations=max_iter,
-                        residual=history[-1], residual_history=history)
+    return SolverResult(x=x, converged=False,
+                        iterations=it if breakdown else max_iter,
+                        residual=history[-1], residual_history=history,
+                        breakdown=breakdown)

@@ -1,0 +1,65 @@
+"""Resilience layer: fault injection, self-healing comms, FT solvers.
+
+Section V-D of the paper is itself a fault story — ~40 Grid tests run
+under an immature toolchain, with VL-dependent predication failures.
+Production lattice-QCD runs (Grid at scale) add the system-level fault
+classes: silent data corruption in memory, dropped or mangled halo
+messages, solver breakdowns.  This package generalizes the V-D
+methodology from toolchain bugs to system faults:
+
+* :mod:`repro.resilience.inject` — seeded, deterministic fault
+  campaigns: memory/field bit flips (SDC), comms faults
+  (drop/corrupt/truncate/duplicate), toolchain predicate defects.
+* :mod:`repro.resilience.ft_solver` — fault-tolerant Krylov solvers:
+  NaN/Inf guards, breakdown detection, periodic true-residual
+  recomputation, restart from the last verified-good iterate.
+* :mod:`repro.resilience.campaign` — campaign verification: each
+  {case x VL x campaign} cell classified {pass, fail, detected,
+  recovered}; ``fail`` means *silent corruption*, the outcome the
+  layer exists to eliminate.
+
+The companion mechanisms live in the layers they protect: checksummed
+retrying halo exchange in :mod:`repro.grid.comms`, numeric-breakdown
+guards in :mod:`repro.grid.solver`, graceful backend degradation in
+:mod:`repro.simd.resilient`.
+"""
+
+from repro.resilience.inject import (
+    CommsFault,
+    CommsFaultInjector,
+    FaultCampaign,
+    FaultEvent,
+    FaultyMemory,
+    flip_field_bit,
+)
+from repro.resilience.ft_solver import (
+    FTSolverResult,
+    ft_bicgstab,
+    ft_conjugate_gradient,
+    ft_mixed_precision_cgne,
+    ft_solve_wilson_cgne,
+)
+from repro.resilience.campaign import (
+    CAMPAIGN_CASES,
+    SilentCorruption,
+    default_campaign_factory,
+    run_default_campaign,
+)
+
+__all__ = [
+    "FaultCampaign",
+    "FaultEvent",
+    "CommsFault",
+    "CommsFaultInjector",
+    "FaultyMemory",
+    "flip_field_bit",
+    "FTSolverResult",
+    "ft_conjugate_gradient",
+    "ft_bicgstab",
+    "ft_solve_wilson_cgne",
+    "ft_mixed_precision_cgne",
+    "CAMPAIGN_CASES",
+    "SilentCorruption",
+    "default_campaign_factory",
+    "run_default_campaign",
+]

@@ -1,0 +1,290 @@
+"""Seeded, deterministic fault-injection campaigns.
+
+The three system-fault classes a production lattice-QCD run meets:
+
+* **Memory SDC** — a bit flips in DRAM or a register file and a load
+  returns a wrong value.  :class:`FaultyMemory` wraps the simulator
+  memory of :mod:`repro.sve.memory` and flips one bit of a scheduled
+  read; :func:`flip_field_bit` corrupts lattice field data in place.
+* **Comms faults** — halo messages dropped, corrupted, truncated or
+  duplicated on the wire.  :class:`CommsFaultInjector` plugs into
+  :class:`repro.grid.comms.DistributedLattice`.
+* **Toolchain defects** — the paper's own Section V-D class, already
+  modelled by :mod:`repro.sve.faults`; campaigns absorb the ``fired``
+  counters of a :class:`~repro.sve.faults.FaultModel` so all three
+  classes report uniformly.
+
+Everything is driven by one :class:`FaultCampaign` with a seed: the
+same seed replays the identical fault schedule, which is what makes
+campaign results reproducible and regressions bisectable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.sve.faults import FaultModel
+from repro.sve.memory import Memory
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One fault that actually fired during a campaign run."""
+
+    kind: str      # 'memory-bitflip' | 'field-bitflip' | 'comms-*' | ...
+    target: str    # what it hit (message id, read ordinal, field name)
+    detail: str = ""
+
+
+class FaultCampaign:
+    """A seeded fault schedule plus the ledger of what happened.
+
+    The campaign records three independent streams:
+
+    * ``events`` — faults that fired (ground truth, known only to the
+      injectors),
+    * ``detections`` — faults some mechanism noticed,
+    * ``recoveries`` — detected faults that were repaired.
+
+    Classification of an experiment cell (see
+    :mod:`repro.resilience.campaign`) compares the three: a fired
+    fault with no detection and a wrong answer is a *silent
+    corruption*.
+    """
+
+    def __init__(self, seed: int = 0, name: str = "") -> None:
+        self.seed = int(seed)
+        self.name = name or f"campaign-{seed}"
+        self.rng = np.random.default_rng(self.seed)
+        self.events: list[FaultEvent] = []
+        self.detections: list[str] = []
+        self.recoveries: list[str] = []
+
+    # ------------------------------------------------------------------
+    # Ledger
+    # ------------------------------------------------------------------
+    def record_fired(self, kind: str, target: str, detail: str = "") -> None:
+        self.events.append(FaultEvent(kind=kind, target=target,
+                                      detail=detail))
+
+    def record_detected(self, what: str) -> None:
+        self.detections.append(what)
+
+    def record_recovered(self, what: str) -> None:
+        self.recoveries.append(what)
+
+    @property
+    def fired(self) -> int:
+        return len(self.events)
+
+    @property
+    def detected(self) -> int:
+        return len(self.detections)
+
+    @property
+    def recovered(self) -> int:
+        return len(self.recoveries)
+
+    def absorb_toolchain(self, fault_model: Optional[FaultModel]) -> None:
+        """Fold a toolchain fault model's ``fired`` counters into the
+        event ledger (one event per defect that fired)."""
+        if fault_model is None:
+            return
+        for defect, count in fault_model.fired.items():
+            self.record_fired("toolchain-predicate", defect,
+                              detail=f"fired {count}x")
+
+    def reset(self) -> "FaultCampaign":
+        """Clear the ledger and rewind the RNG to the seed, so the
+        identical schedule replays."""
+        self.rng = np.random.default_rng(self.seed)
+        self.events.clear()
+        self.detections.clear()
+        self.recoveries.clear()
+        return self
+
+    def summary(self) -> dict:
+        return {
+            "name": self.name,
+            "seed": self.seed,
+            "fired": self.fired,
+            "detected": self.detected,
+            "recovered": self.recovered,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        s = self.summary()
+        return (f"<FaultCampaign {s['name']} fired={s['fired']} "
+                f"detected={s['detected']} recovered={s['recovered']}>")
+
+
+# ======================================================================
+# Comms faults
+# ======================================================================
+
+@dataclass(frozen=True)
+class CommsFault:
+    """One scheduled wire fault.
+
+    ``message`` is the global message ordinal it targets (the
+    :class:`~repro.grid.comms.CommsStats` message counter at send
+    time).  A *transient* fault fires only on the first delivery
+    attempt — a retransmission goes through clean, so the self-healing
+    path can recover.  A ``persistent`` fault fires on every attempt,
+    modelling a broken link: detectable, not recoverable.
+    """
+
+    kind: str                 # 'drop' | 'corrupt' | 'truncate' | 'duplicate'
+    message: int
+    persistent: bool = False
+
+    KINDS = ("drop", "corrupt", "truncate", "duplicate")
+
+    def __post_init__(self) -> None:
+        if self.kind not in self.KINDS:
+            raise ValueError(f"unknown comms fault kind {self.kind!r}; "
+                             f"known: {self.KINDS}")
+
+
+class CommsFaultInjector:
+    """Applies scheduled :class:`CommsFault` to wire messages.
+
+    Plugs into ``DistributedLattice(comms_faults=...)``; the comms
+    layer calls :meth:`deliver` once per transmission attempt and
+    receives zero or more payload copies back.
+    """
+
+    def __init__(self, campaign: FaultCampaign,
+                 faults: list = ()) -> None:
+        self.campaign = campaign
+        self.faults = list(faults)
+
+    @classmethod
+    def random_schedule(
+        cls, campaign: FaultCampaign, n_messages: int, rate: float = 0.05,
+        kinds=CommsFault.KINDS, persistent_fraction: float = 0.0,
+    ) -> "CommsFaultInjector":
+        """A seeded random schedule over the first ``n_messages``."""
+        rng = campaign.rng
+        faults = []
+        for msg in range(n_messages):
+            if rng.random() < rate:
+                kind = str(rng.choice(list(kinds)))
+                persistent = bool(rng.random() < persistent_fraction)
+                faults.append(CommsFault(kind=kind, message=msg,
+                                         persistent=persistent))
+        return cls(campaign, faults)
+
+    def deliver(self, payload: np.ndarray, message: int, attempt: int,
+                stats=None) -> list:
+        """One transmission attempt: returns the delivered copies
+        (empty list = dropped)."""
+        copies = [payload]
+        for f in self.faults:
+            if f.message != message or (attempt > 0 and not f.persistent):
+                continue
+            tag = f"msg{message}" + ("/persistent" if f.persistent else "")
+            if f.kind == "drop":
+                self.campaign.record_fired("comms-drop", tag)
+                return []
+            if f.kind == "corrupt":
+                corrupted = payload.copy()
+                pos = int(self.campaign.rng.integers(corrupted.size))
+                bit = int(self.campaign.rng.integers(8))
+                corrupted[pos] ^= np.uint8(1 << bit)
+                self.campaign.record_fired(
+                    "comms-corrupt", tag, detail=f"byte {pos} bit {bit}"
+                )
+                copies = [corrupted if c is payload else c for c in copies]
+            elif f.kind == "truncate":
+                cut = int(self.campaign.rng.integers(1, max(payload.size, 2)))
+                self.campaign.record_fired(
+                    "comms-truncate", tag, detail=f"lost {cut} bytes"
+                )
+                copies = [c[:-cut] if c is payload else c for c in copies]
+            elif f.kind == "duplicate":
+                self.campaign.record_fired("comms-duplicate", tag)
+                copies = copies + [copies[0]]
+        return copies
+
+
+# ======================================================================
+# Memory faults (SDC)
+# ======================================================================
+
+class FaultyMemory(Memory):
+    """Simulator memory whose scheduled reads suffer one-bit SDC.
+
+    ``flip_reads`` maps a read ordinal (counting every
+    :meth:`read_array` / :meth:`gather_elements` call) to the fault;
+    the flipped byte/bit position is drawn from the campaign RNG, so
+    one seed gives one reproducible corruption pattern.  Writes and
+    memory contents stay pristine — the model is a disturbed load,
+    the dominant DRAM SDC presentation.
+    """
+
+    def __init__(self, size: int, campaign: FaultCampaign,
+                 flip_reads=()) -> None:
+        super().__init__(size)
+        self.campaign = campaign
+        self.flip_reads = set(int(i) for i in flip_reads)
+        self.reads = 0
+
+    def _maybe_flip(self, out: np.ndarray, what: str) -> np.ndarray:
+        ordinal = self.reads
+        self.reads += 1
+        if ordinal not in self.flip_reads or out.nbytes == 0:
+            return out
+        raw = out.view(np.uint8).reshape(-1)
+        pos = int(self.campaign.rng.integers(raw.size))
+        bit = int(self.campaign.rng.integers(8))
+        raw[pos] ^= np.uint8(1 << bit)
+        self.campaign.record_fired(
+            "memory-bitflip", f"read#{ordinal}",
+            detail=f"{what}: byte {pos} bit {bit}"
+        )
+        return out
+
+    def read_array(self, addr, dtype, count):
+        out = super().read_array(addr, dtype, count)
+        return self._maybe_flip(out, f"read_array@{addr}")
+
+    def gather_elements(self, addrs, active, dtype):
+        out = super().gather_elements(addrs, active, dtype)
+        return self._maybe_flip(out, "gather")
+
+
+# ======================================================================
+# Field faults (SDC in lattice data)
+# ======================================================================
+
+def flip_field_bit(lat, campaign: FaultCampaign, index: int = None,
+                   bit: int = None, name: str = "field"):
+    """Flip one bit of one real component of a lattice field in place.
+
+    Works on anything with ``.data`` holding a complex numpy array
+    (:class:`repro.grid.lattice.Lattice`) — for a
+    ``DistributedLattice`` pass one of its ``.locals``.  Returns
+    ``(index, bit)`` so a test can re-derive the blast radius.
+    """
+    data = lat.data
+    if data.dtype == np.complex128:
+        width, uint = 64, np.uint64
+        fview = data.view(np.uint64).reshape(-1)
+    elif data.dtype == np.complex64:
+        width, uint = 32, np.uint32
+        fview = data.view(np.uint32).reshape(-1)
+    else:
+        raise TypeError(f"cannot flip bits of dtype {data.dtype}")
+    if index is None:
+        index = int(campaign.rng.integers(fview.size))
+    if bit is None:
+        # Prefer high mantissa / exponent bits: visible, finite-ish.
+        bit = int(campaign.rng.integers(width // 2, width - 1))
+    fview[index] ^= uint(1) << uint(bit)
+    campaign.record_fired("field-bitflip", name,
+                          detail=f"element {index} bit {bit}")
+    return index, bit

@@ -26,7 +26,18 @@ from repro.simd.generic import GenericBackend
 from repro.simd.fixed import FIXED_FAMILIES, FixedWidthBackend
 from repro.simd.sve_acle import SveAcleBackend
 from repro.simd.sve_real import SveRealBackend
-from repro.simd.registry import available_backends, get_backend
+from repro.simd.resilient import (
+    BackendDegradedWarning,
+    DegradeEvent,
+    ResilientBackend,
+)
+from repro.simd.registry import (
+    available_backends,
+    fallback_enabled,
+    fallback_policy,
+    get_backend,
+    set_fallback_policy,
+)
 
 __all__ = [
     "SimdBackend",
@@ -35,6 +46,12 @@ __all__ = [
     "FIXED_FAMILIES",
     "SveAcleBackend",
     "SveRealBackend",
+    "ResilientBackend",
+    "BackendDegradedWarning",
+    "DegradeEvent",
     "available_backends",
     "get_backend",
+    "set_fallback_policy",
+    "fallback_enabled",
+    "fallback_policy",
 ]

@@ -9,20 +9,52 @@ Keys:
 
 where ``<bits>`` is a legal SVE vector length (the paper enables 128,
 256 and 512 in Grid; wider lengths work here too).
+
+A process-wide **fallback policy** (off by default) makes every
+non-generic backend resilient: an op that raises degrades the instance
+to ``generic`` with a recorded :class:`~repro.simd.resilient.
+BackendDegradedWarning` instead of crashing the run.  Enable with
+:func:`set_fallback_policy` or scoped via :func:`fallback_policy`.
 """
 
 from __future__ import annotations
 
 import re
+from contextlib import contextmanager
 
 from repro.simd.backend import SimdBackend
 from repro.simd.fixed import FIXED_FAMILIES, FixedWidthBackend
 from repro.simd.generic import GenericBackend
+from repro.simd.resilient import ResilientBackend
 from repro.simd.sve_acle import SveAcleBackend
 from repro.simd.sve_real import SveRealBackend
 
 _SVE_RE = re.compile(r"^sve(\d+)-(acle|real)$")
 _GENERIC_RE = re.compile(r"^generic(\d*)$")
+
+_FALLBACK_ENABLED = False
+
+
+def set_fallback_policy(enabled: bool) -> None:
+    """Globally enable/disable graceful backend degradation."""
+    global _FALLBACK_ENABLED
+    _FALLBACK_ENABLED = bool(enabled)
+
+
+def fallback_enabled() -> bool:
+    """Whether new backends are wrapped for graceful degradation."""
+    return _FALLBACK_ENABLED
+
+
+@contextmanager
+def fallback_policy(enabled: bool):
+    """Scoped fallback policy (restores the previous setting)."""
+    previous = _FALLBACK_ENABLED
+    set_fallback_policy(enabled)
+    try:
+        yield
+    finally:
+        set_fallback_policy(previous)
 
 
 def available_backends(sve_vls=(128, 256, 512)) -> list[str]:
@@ -34,8 +66,23 @@ def available_backends(sve_vls=(128, 256, 512)) -> list[str]:
     return keys
 
 
-def get_backend(key: str) -> SimdBackend:
-    """Instantiate a backend from its registry key."""
+def get_backend(key: str, resilient: bool = None) -> SimdBackend:
+    """Instantiate a backend from its registry key.
+
+    ``resilient`` overrides the process-wide fallback policy for this
+    instance: ``True`` wraps the backend in a
+    :class:`~repro.simd.resilient.ResilientBackend`, ``False`` never
+    wraps, ``None`` (default) follows :func:`fallback_enabled`.
+    Generic backends are never wrapped (they *are* the fallback).
+    """
+    backend = _construct(key)
+    wrap = _FALLBACK_ENABLED if resilient is None else resilient
+    if wrap and not isinstance(backend, GenericBackend):
+        return ResilientBackend(backend)
+    return backend
+
+
+def _construct(key: str) -> SimdBackend:
     m = _GENERIC_RE.match(key)
     if m:
         bits = int(m.group(1)) if m.group(1) else 256

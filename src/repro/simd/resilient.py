@@ -1,0 +1,99 @@
+"""Graceful backend degradation.
+
+A production run must not die because one vector backend hits a bad
+instruction path (the Section V-D story: an immature toolchain whose
+codegen is wrong for some vector lengths).  :class:`ResilientBackend`
+wraps a primary backend; the first operation that raises degrades the
+instance to an architecture-independent ``generic`` backend of the
+same register width — numerically identical by construction (all
+backends implement the same mathematics) — records the event, and
+emits a :class:`BackendDegradedWarning`.  While the primary is
+healthy the proxy is a pure pass-through, so pristine results are
+bit-identical with or without the wrapper.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass
+
+from repro.simd.backend import SimdBackend
+from repro.simd.generic import GenericBackend
+
+
+class BackendDegradedWarning(UserWarning):
+    """A SIMD backend raised and the run fell back to ``generic``."""
+
+
+@dataclass(frozen=True)
+class DegradeEvent:
+    """Record of one backend degradation."""
+
+    backend: str
+    op: str
+    error: str
+
+
+#: All operations a backend exposes (the Section II-C surface).
+_OPS = (
+    "mul", "madd", "msub", "conj_mul", "conj_madd",
+    "mul_real_part", "madd_real_part",
+    "add", "sub", "times_i", "times_minus_i", "conj", "neg", "scale",
+    "permute", "reduce_sum", "to_half", "from_half",
+)
+
+
+class ResilientBackend(SimdBackend):
+    """Proxy backend that degrades to ``generic`` instead of crashing.
+
+    Degradation is sticky: once the primary has raised, every later
+    call goes to the fallback (re-trying a broken backend mid-solve
+    would mix two code paths within one field).
+    """
+
+    def __init__(self, primary: SimdBackend,
+                 fallback: SimdBackend = None) -> None:
+        self.primary = primary
+        self.fallback = fallback or GenericBackend(primary.width_bits)
+        if self.fallback.clanes() != primary.clanes():
+            raise ValueError(
+                f"fallback lane count {self.fallback.clanes()} != "
+                f"primary {primary.clanes()}"
+            )
+        self.name = f"resilient({primary.name})"
+        self.width_bits = primary.width_bits
+        self.degraded = False
+        self.events: list[DegradeEvent] = []
+
+    def _dispatch(self, op: str, *args, **kwargs):
+        if not self.degraded:
+            try:
+                return getattr(self.primary, op)(*args, **kwargs)
+            except Exception as exc:  # noqa: BLE001 - any backend fault
+                self.degraded = True
+                event = DegradeEvent(backend=self.primary.name, op=op,
+                                     error=f"{type(exc).__name__}: {exc}")
+                self.events.append(event)
+                warnings.warn(
+                    f"backend {self.primary.name!r} failed in {op!r} "
+                    f"({event.error}); degrading to "
+                    f"{self.fallback.name!r}",
+                    BackendDegradedWarning,
+                    stacklevel=3,
+                )
+        return getattr(self.fallback, op)(*args, **kwargs)
+
+
+def _make_op(op: str):
+    def method(self, *args, **kwargs):
+        return self._dispatch(op, *args, **kwargs)
+    method.__name__ = op
+    method.__doc__ = f"``{op}`` with graceful degradation."
+    return method
+
+
+for _op in _OPS:
+    setattr(ResilientBackend, _op, _make_op(_op))
+del _op
+# The abstract-method set was computed before the ops were attached.
+ResilientBackend.__abstractmethods__ = frozenset()

@@ -86,6 +86,22 @@ class FaultModel:
     faults: tuple[PredicateFault, ...] = ()
     fired: dict = field(default_factory=dict)
 
+    def reset(self) -> "FaultModel":
+        """Clear the ``fired`` counters.
+
+        Models are often reused across suite runs (one model, many
+        cells); without a reset the counters accumulate forever and
+        per-run attribution becomes meaningless.  Returns ``self`` so
+        call sites can write ``model.reset()`` inline.
+        """
+        self.fired.clear()
+        return self
+
+    @property
+    def total_fired(self) -> int:
+        """Total fault activations since construction or last reset."""
+        return sum(self.fired.values())
+
     def filter_predicate(
         self, mnemonic: str, active: np.ndarray, vl: VL
     ) -> np.ndarray:

@@ -12,6 +12,24 @@ under a chosen toolchain fault model and formats the pass/fail report.
 """
 
 from repro.verification.cases import ALL_CASES, Case
-from repro.verification.suite import SuiteReport, run_suite
+from repro.verification.suite import (
+    CAMPAIGN_OUTCOMES,
+    CampaignCellResult,
+    CampaignReport,
+    SilentCorruption,
+    SuiteReport,
+    run_campaign_suite,
+    run_suite,
+)
 
-__all__ = ["ALL_CASES", "Case", "SuiteReport", "run_suite"]
+__all__ = [
+    "ALL_CASES",
+    "Case",
+    "SuiteReport",
+    "run_suite",
+    "CAMPAIGN_OUTCOMES",
+    "CampaignCellResult",
+    "CampaignReport",
+    "SilentCorruption",
+    "run_campaign_suite",
+]

@@ -1,0 +1,91 @@
+"""fp16 wire-compression edge cases: inf, NaN, saturation overflow
+and subnormal round-trips."""
+
+import numpy as np
+import pytest
+
+from repro.grid import compression
+
+
+def roundtrip(buf, dtype=np.complex128):
+    return compression.decompress_complex(
+        compression.compress_complex(np.asarray(buf, dtype=dtype)), dtype)
+
+
+class TestNonFinite:
+    def test_inf_survives(self):
+        got = roundtrip([complex(np.inf, 0.0), complex(0.0, -np.inf)])
+        assert got[0].real == np.inf
+        assert got[1].imag == -np.inf
+
+    def test_nan_survives(self):
+        got = roundtrip([complex(np.nan, 1.0)])
+        assert np.isnan(got[0].real)
+        assert got[0].imag == 1.0
+
+    def test_overflow_saturates_to_inf(self):
+        # |x| > 65504 cannot be represented in fp16: the codec lets it
+        # overflow to inf (loud) instead of silently wrapping.
+        big = compression.FP16_MAX * 4.0
+        got = roundtrip([complex(big, -big)])
+        assert got[0].real == np.inf
+        assert got[0].imag == -np.inf
+
+    def test_just_below_max_is_finite(self):
+        got = roundtrip([complex(65000.0, 0.0)])
+        assert np.isfinite(got[0].real)
+        assert abs(got[0].real - 65000.0) <= 65000.0 * compression.FP16_EPS
+
+    def test_error_bound_is_inf_on_overflow(self):
+        buf = np.array([complex(1e6, 0.0)])
+        assert compression.compression_error_bound(buf) == np.inf
+
+
+class TestSubnormals:
+    def test_subnormal_roundtrip(self):
+        # Below the fp16 normal floor (~6.1e-5) but above the subnormal
+        # floor (~6e-8): representable with reduced precision.
+        val = 1e-6
+        got = roundtrip([complex(val, -val)])
+        assert got[0].real != 0.0
+        assert abs(got[0].real - val) <= 2.0 ** -24
+        assert abs(got[0].imag + val) <= 2.0 ** -24
+
+    def test_underflow_flushes_to_zero(self):
+        got = roundtrip([complex(1e-9, 0.0)])
+        assert got[0].real == 0.0
+
+    def test_signed_zero(self):
+        got = roundtrip([complex(-0.0, 0.0)])
+        assert got[0] == 0.0
+        assert np.signbit(got[0].real)
+
+    def test_error_bound_holds_near_the_floor(self):
+        buf = np.array([complex(1e-6, 3e-7), complex(-5e-7, 1e-5)])
+        bound = compression.compression_error_bound(buf)
+        err = np.abs(roundtrip(buf) - buf).max()
+        assert err <= bound
+
+
+class TestComplex64Path:
+    def test_roundtrip(self):
+        buf = np.array([1.5 - 2.25j, 0.125 + 0j], dtype=np.complex64)
+        got = roundtrip(buf, dtype=np.complex64)
+        assert got.dtype == np.complex64
+        np.testing.assert_array_equal(got, buf)
+
+    def test_inf_and_nan(self):
+        buf = np.array([complex(np.inf, np.nan)], dtype=np.complex64)
+        got = roundtrip(buf, dtype=np.complex64)
+        assert got[0].real == np.inf and np.isnan(got[0].imag)
+
+
+class TestRejections:
+    def test_compress_rejects_real(self):
+        with pytest.raises(TypeError, match="expected complex"):
+            compression.compress_complex(np.zeros(4))
+
+    def test_decompress_rejects_real_target(self):
+        with pytest.raises(TypeError, match="complex target"):
+            compression.decompress_complex(
+                np.zeros(4, dtype=np.float16), np.float64)

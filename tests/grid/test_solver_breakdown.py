@@ -1,0 +1,80 @@
+"""Numeric-breakdown guards in the plain Krylov solvers: a zero or
+non-finite recursion scalar must yield a diagnostic non-converged
+result, never NaN-poisoned garbage."""
+
+import numpy as np
+import pytest
+
+from repro.grid.cartesian import GridCartesian
+from repro.grid.random import random_gauge, random_spinor
+from repro.grid.solver import bicgstab, conjugate_gradient, minimal_residual
+from repro.grid.wilson import WilsonDirac
+from repro.simd import get_backend
+
+
+@pytest.fixture(scope="module")
+def b():
+    be = get_backend("generic256")
+    g = GridCartesian([4, 4, 4, 4], be)
+    return random_spinor(g, seed=5)
+
+
+def zero_op(v):
+    return v.new_like()
+
+
+def nan_op(v):
+    out = v.copy()
+    out.data[:] = np.nan
+    return out
+
+
+class TestConjugateGradient:
+    def test_zero_denominator_is_diagnosed(self, b):
+        res = conjugate_gradient(zero_op, b, tol=1e-8, max_iter=10)
+        assert not res.converged
+        assert "denominator" in res.breakdown
+        assert np.all(np.isfinite(res.x.data))
+
+    def test_nan_operator_is_diagnosed(self, b):
+        res = conjugate_gradient(nan_op, b, tol=1e-8, max_iter=10)
+        assert not res.converged
+        assert res.breakdown
+        assert np.all(np.isfinite(res.x.data))
+
+    def test_healthy_solve_reports_no_breakdown(self, b):
+        be = b.grid.backend
+        g = GridCartesian([4, 4, 4, 4], be)
+        dirac = WilsonDirac(random_gauge(g, seed=11), mass=0.3)
+        res = conjugate_gradient(dirac.mdag_m, dirac.apply_dagger(b),
+                                 tol=1e-8)
+        assert res.converged
+        assert res.breakdown == ""
+
+
+class TestBiCGSTAB:
+    def test_zero_operator_is_diagnosed(self, b):
+        res = bicgstab(zero_op, b, tol=1e-8, max_iter=10)
+        assert not res.converged
+        assert res.breakdown
+        assert np.all(np.isfinite(res.x.data))
+
+    def test_nan_operator_is_diagnosed(self, b):
+        res = bicgstab(nan_op, b, tol=1e-8, max_iter=10)
+        assert not res.converged
+        assert res.breakdown
+        assert np.all(np.isfinite(res.x.data))
+
+
+class TestMinimalResidual:
+    def test_zero_operator_is_diagnosed(self, b):
+        res = minimal_residual(zero_op, b, tol=1e-8, max_iter=10)
+        assert not res.converged
+        assert res.breakdown
+        assert np.all(np.isfinite(res.x.data))
+
+    def test_nan_operator_is_diagnosed(self, b):
+        res = minimal_residual(nan_op, b, tol=1e-8, max_iter=10)
+        assert not res.converged
+        assert res.breakdown
+        assert np.all(np.isfinite(res.x.data))

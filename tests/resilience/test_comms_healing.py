@@ -1,0 +1,149 @@
+"""Self-healing halo exchange: CRC detection, retransmission,
+and the silent-corruption failure mode it prevents."""
+
+import numpy as np
+import pytest
+
+from repro.grid.cartesian import GridCartesian
+from repro.grid.comms import DistributedLattice, HaloExchangeError
+from repro.grid.random import random_spinor
+from repro.resilience.inject import (
+    CommsFault,
+    CommsFaultInjector,
+    FaultCampaign,
+)
+from repro.simd import get_backend
+
+DIMS = [4, 4, 4, 4]
+MPI = [2, 1, 1, 1]
+
+
+def make_field(be, **kwargs):
+    g = GridCartesian(DIMS, be)
+    psi = random_spinor(g, seed=23)
+    dl = DistributedLattice(DIMS, be, MPI, (4, 3), **kwargs)
+    return dl.scatter(psi.to_canonical()), psi.to_canonical()
+
+
+@pytest.fixture(scope="module")
+def be():
+    return get_backend("generic256")
+
+
+@pytest.fixture(scope="module")
+def reference(be):
+    """Fault-free distributed cshift, the ground truth."""
+    dl, _ = make_field(be)
+    return dl.cshift(0, 1).gather()
+
+
+def injector(faults, seed=0):
+    return CommsFaultInjector(FaultCampaign(seed=seed), faults)
+
+
+class TestPristineBitIdentity:
+    """Enabling checksums must not change fault-free results at all."""
+
+    def test_cshift_bit_identical(self, be, reference):
+        dl, _ = make_field(be, checksum_halos=True)
+        got = dl.cshift(0, 1).gather()
+        assert np.array_equal(got, reference)
+        assert dl.stats.detected_failures == 0
+        assert dl.stats.retries == 0
+
+    def test_compressed_cshift_bit_identical(self, be):
+        plain, _ = make_field(be, compress_halos=True)
+        summed, _ = make_field(be, compress_halos=True,
+                               checksum_halos=True)
+        assert np.array_equal(plain.cshift(0, 1).gather(),
+                              summed.cshift(0, 1).gather())
+
+    def test_gather_scatter_roundtrip(self, be):
+        dl, canon = make_field(be, checksum_halos=True)
+        assert np.array_equal(dl.gather(), canon)
+
+
+class TestChecksummedHealing:
+    def test_corrupted_halo_is_caught_and_healed(self, be, reference):
+        """The satellite case: a corrupted buffer must be detected by
+        the CRC and repaired by retransmission."""
+        dl, _ = make_field(be, checksum_halos=True,
+                           comms_faults=injector(
+                               [CommsFault("corrupt", message=0)]))
+        got = dl.cshift(0, 1).gather()
+        assert np.array_equal(got, reference)
+        assert dl.stats.detected_corruptions >= 1
+        assert dl.stats.retries >= 1
+        assert dl.stats.recovered_messages >= 1
+        assert dl.stats.unrecovered_failures == 0
+
+    def test_transient_drop_is_healed(self, be, reference):
+        dl, _ = make_field(be, checksum_halos=True,
+                           comms_faults=injector(
+                               [CommsFault("drop", message=1)]))
+        got = dl.cshift(0, 1).gather()
+        assert np.array_equal(got, reference)
+        assert dl.stats.detected_drops >= 1
+        assert dl.stats.recovered_messages >= 1
+
+    def test_truncation_is_healed(self, be, reference):
+        dl, _ = make_field(be, checksum_halos=True,
+                           comms_faults=injector(
+                               [CommsFault("truncate", message=0)]))
+        assert np.array_equal(dl.cshift(0, 1).gather(), reference)
+        assert dl.stats.detected_corruptions >= 1
+
+    def test_duplicates_are_discarded(self, be, reference):
+        dl, _ = make_field(be, checksum_halos=True,
+                           comms_faults=injector(
+                               [CommsFault("duplicate", message=0)]))
+        assert np.array_equal(dl.cshift(0, 1).gather(), reference)
+        assert dl.stats.duplicates_discarded >= 1
+
+    def test_persistent_drop_raises_after_retries(self, be):
+        dl, _ = make_field(be, checksum_halos=True, max_retries=2,
+                           comms_faults=injector(
+                               [CommsFault("drop", message=0,
+                                           persistent=True)]))
+        with pytest.raises(HaloExchangeError, match="undeliverable"):
+            dl.cshift(0, 1)
+        assert dl.stats.unrecovered_failures == 1
+        assert dl.stats.retries == 2
+        # Exponential backoff: 1 + 2 units for two retries.
+        assert dl.stats.backoff_units == 3
+
+    def test_compressed_and_checksummed_heals(self, be):
+        clean, _ = make_field(be, compress_halos=True)
+        want = clean.cshift(0, 1).gather()
+        dl, _ = make_field(be, compress_halos=True, checksum_halos=True,
+                           comms_faults=injector(
+                               [CommsFault("corrupt", message=0)]))
+        assert np.array_equal(dl.cshift(0, 1).gather(), want)
+        assert dl.stats.detected_corruptions >= 1
+
+
+class TestSilentDegradationWithoutChecksums:
+    """The same faults without the CRC path: nothing is detected and
+    the answer is silently wrong — the failure mode the self-healing
+    layer exists to eliminate."""
+
+    def test_corruption_goes_unnoticed(self, be, reference):
+        dl, _ = make_field(be, comms_faults=injector(
+            [CommsFault("corrupt", message=0)]))
+        got = dl.cshift(0, 1).gather()
+        assert not np.array_equal(got, reference)
+        assert dl.stats.detected_failures == 0
+
+    def test_drop_becomes_zeros(self, be, reference):
+        dl, _ = make_field(be, comms_faults=injector(
+            [CommsFault("drop", message=0, persistent=True)]))
+        got = dl.cshift(0, 1).gather()       # no exception, wrong data
+        assert not np.array_equal(got, reference)
+        assert dl.stats.detected_failures == 0
+
+    def test_truncation_zero_pads(self, be, reference):
+        dl, _ = make_field(be, comms_faults=injector(
+            [CommsFault("truncate", message=0, persistent=True)]))
+        got = dl.cshift(0, 1).gather()
+        assert not np.array_equal(got, reference)
+        assert dl.stats.detected_failures == 0

@@ -1,0 +1,196 @@
+"""Fault-injection primitives: campaigns, comms faults, memory SDC,
+field bit flips."""
+
+import numpy as np
+import pytest
+
+from repro.resilience.inject import (
+    CommsFault,
+    CommsFaultInjector,
+    FaultCampaign,
+    FaultyMemory,
+    flip_field_bit,
+)
+from repro.grid.cartesian import GridCartesian
+from repro.grid.lattice import Lattice
+from repro.simd import get_backend
+from repro.sve.faults import armclang_18_3
+
+
+class TestFaultCampaign:
+    def test_ledger_counts(self):
+        c = FaultCampaign(seed=1)
+        assert (c.fired, c.detected, c.recovered) == (0, 0, 0)
+        c.record_fired("comms-drop", "msg0")
+        c.record_detected("crc mismatch")
+        c.record_recovered("retransmission")
+        assert (c.fired, c.detected, c.recovered) == (1, 1, 1)
+        assert c.events[0].kind == "comms-drop"
+        s = c.summary()
+        assert s["fired"] == 1 and s["seed"] == 1
+
+    def test_reset_rewinds_rng(self):
+        c = FaultCampaign(seed=42)
+        first = [int(c.rng.integers(1000)) for _ in range(5)]
+        c.record_fired("x", "y")
+        c.reset()
+        assert c.fired == 0
+        again = [int(c.rng.integers(1000)) for _ in range(5)]
+        assert first == again
+
+    def test_same_seed_same_schedule(self):
+        a, b = FaultCampaign(seed=7), FaultCampaign(seed=7)
+        assert [int(a.rng.integers(100)) for _ in range(10)] == \
+               [int(b.rng.integers(100)) for _ in range(10)]
+
+    def test_absorb_toolchain(self):
+        c = FaultCampaign(seed=0)
+        fm = armclang_18_3()
+        fm.fired["whilelo-drop-first"] = 3
+        c.absorb_toolchain(fm)
+        assert c.fired == 1
+        assert c.events[0].kind == "toolchain-predicate"
+        c.absorb_toolchain(None)  # no-op
+        assert c.fired == 1
+
+
+class TestCommsFault:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown comms fault kind"):
+            CommsFault("mangle", message=0)
+
+    def test_kinds_accepted(self):
+        for kind in CommsFault.KINDS:
+            CommsFault(kind, message=0)
+
+
+class TestCommsFaultInjector:
+    def payload(self):
+        return np.arange(64, dtype=np.uint8)
+
+    def test_clean_message_passes_through(self):
+        inj = CommsFaultInjector(FaultCampaign(seed=0),
+                                 [CommsFault("drop", message=3)])
+        copies = inj.deliver(self.payload(), message=0, attempt=0)
+        assert len(copies) == 1
+        assert copies[0] is not None
+        np.testing.assert_array_equal(copies[0], self.payload())
+
+    def test_transient_drop_fires_once(self):
+        c = FaultCampaign(seed=0)
+        inj = CommsFaultInjector(c, [CommsFault("drop", message=2)])
+        assert inj.deliver(self.payload(), message=2, attempt=0) == []
+        # Retransmission (attempt 1) goes through.
+        assert len(inj.deliver(self.payload(), message=2, attempt=1)) == 1
+        assert c.fired == 1
+
+    def test_persistent_drop_fires_every_attempt(self):
+        c = FaultCampaign(seed=0)
+        inj = CommsFaultInjector(
+            c, [CommsFault("drop", message=2, persistent=True)])
+        for attempt in range(4):
+            assert inj.deliver(self.payload(), message=2,
+                               attempt=attempt) == []
+        assert c.fired == 4
+
+    def test_corrupt_flips_exactly_one_bit(self):
+        c = FaultCampaign(seed=5)
+        inj = CommsFaultInjector(c, [CommsFault("corrupt", message=0)])
+        got = inj.deliver(self.payload(), message=0, attempt=0)[0]
+        diff = np.bitwise_xor(got, self.payload())
+        assert np.count_nonzero(diff) == 1
+        assert bin(int(diff[diff != 0][0])).count("1") == 1
+
+    def test_truncate_shortens(self):
+        c = FaultCampaign(seed=5)
+        inj = CommsFaultInjector(c, [CommsFault("truncate", message=0)])
+        got = inj.deliver(self.payload(), message=0, attempt=0)[0]
+        assert got.size < 64
+
+    def test_duplicate_delivers_two_copies(self):
+        c = FaultCampaign(seed=5)
+        inj = CommsFaultInjector(c, [CommsFault("duplicate", message=0)])
+        copies = inj.deliver(self.payload(), message=0, attempt=0)
+        assert len(copies) == 2
+        np.testing.assert_array_equal(copies[0], copies[1])
+
+    def test_random_schedule_deterministic(self):
+        f1 = CommsFaultInjector.random_schedule(
+            FaultCampaign(seed=9), n_messages=100, rate=0.2).faults
+        f2 = CommsFaultInjector.random_schedule(
+            FaultCampaign(seed=9), n_messages=100, rate=0.2).faults
+        assert f1 == f2
+        assert len(f1) > 0
+
+
+class TestFaultyMemory:
+    def test_scheduled_read_is_corrupted(self):
+        c = FaultCampaign(seed=3)
+        mem = FaultyMemory(1 << 16, c, flip_reads={1})
+        data = np.arange(8, dtype=np.float64)
+        mem.write_array(0, data)
+        clean = mem.read_array(0, np.float64, 8)       # read 0: clean
+        np.testing.assert_array_equal(clean, data)
+        dirty = mem.read_array(0, np.float64, 8)       # read 1: flipped
+        assert not np.array_equal(dirty, data)
+        # Exactly one bit differs in the byte image.
+        diff = np.bitwise_xor(dirty.view(np.uint8), data.view(np.uint8))
+        assert int(np.unpackbits(diff).sum()) == 1
+        assert c.fired == 1
+        assert c.events[0].kind == "memory-bitflip"
+
+    def test_memory_contents_stay_pristine(self):
+        c = FaultCampaign(seed=3)
+        mem = FaultyMemory(1 << 16, c, flip_reads={0})
+        data = np.arange(8, dtype=np.float64)
+        mem.write_array(0, data)
+        mem.read_array(0, np.float64, 8)               # disturbed load
+        clean = mem.read_array(0, np.float64, 8)       # memory unharmed
+        np.testing.assert_array_equal(clean, data)
+
+    def test_same_seed_same_flip(self):
+        def run(seed):
+            c = FaultCampaign(seed=seed)
+            mem = FaultyMemory(1 << 16, c, flip_reads={0})
+            mem.write_array(0, np.zeros(16))
+            return mem.read_array(0, np.float64, 16)
+        np.testing.assert_array_equal(run(11), run(11))
+        assert not np.array_equal(run(11), run(12))
+
+
+class TestFlipFieldBit:
+    def lattice(self, dtype=np.complex128):
+        be = get_backend("generic256")
+        g = GridCartesian([4, 4, 4, 4], be, dtype=dtype)
+        lat = Lattice(g, (4, 3))
+        lat.data[:] = 1.0 + 1.0j
+        return lat
+
+    def test_flips_exactly_one_bit(self):
+        lat = self.lattice()
+        before = lat.data.copy()
+        c = FaultCampaign(seed=2)
+        idx, bit = flip_field_bit(lat, c, index=5, bit=52)
+        assert (idx, bit) == (5, 52)
+        diff = np.bitwise_xor(lat.data.view(np.uint64).reshape(-1),
+                              before.view(np.uint64).reshape(-1))
+        assert np.count_nonzero(diff) == 1
+        assert c.fired == 1 and c.events[0].kind == "field-bitflip"
+
+    def test_random_position_is_seeded(self):
+        a, b = self.lattice(), self.lattice()
+        ia = flip_field_bit(a, FaultCampaign(seed=4))
+        ib = flip_field_bit(b, FaultCampaign(seed=4))
+        assert ia == ib
+        np.testing.assert_array_equal(a.data, b.data)
+
+    def test_complex64_field(self):
+        lat = self.lattice(dtype=np.complex64)
+        flip_field_bit(lat, FaultCampaign(seed=2), index=0, bit=30)
+        assert lat.data.reshape(-1)[0] != np.complex64(1 + 1j)
+
+    def test_rejects_other_dtypes(self):
+        class Fake:
+            data = np.zeros(4, dtype=np.float64)
+        with pytest.raises(TypeError, match="cannot flip bits"):
+            flip_field_bit(Fake(), FaultCampaign(seed=0))
