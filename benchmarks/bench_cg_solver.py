@@ -5,7 +5,6 @@ spent in solving a linear set of equations, for which iterative solvers
 like Conjugate Gradient are used."
 """
 
-import numpy as np
 import pytest
 
 from repro.bench.tables import Table

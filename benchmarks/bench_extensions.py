@@ -9,11 +9,9 @@ gather-precomputation design choice.
 import numpy as np
 import pytest
 
-from repro.bench.tables import Table
 from repro.grid.cartesian import GridCartesian
 from repro.grid.clover import WilsonClover
 from repro.grid.cshift import cshift
-from repro.grid.lattice import Lattice
 from repro.grid.montecarlo import Metropolis
 from repro.grid.random import random_gauge, random_spinor
 from repro.grid.stencil import HaloStencil, stencil_cshift

@@ -11,7 +11,7 @@ import numpy as np
 import pytest
 
 from repro.bench.tables import Table
-from repro.grid.cartesian import GridCartesian, default_simd_layout
+from repro.grid.cartesian import GridCartesian
 from repro.grid.cshift import cshift
 from repro.grid.lattice import Lattice
 from repro.grid.stencil import HaloStencil

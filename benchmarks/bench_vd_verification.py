@@ -12,7 +12,7 @@ import pytest
 
 from repro.bench.tables import Table
 from repro.sve.faults import armclang_18_3
-from repro.verification import ALL_CASES, run_suite
+from repro.verification import run_suite
 
 #: The paper verified at the Grid-enabled lengths; we extend the sweep
 #: to the lengths where the modelled defects live.

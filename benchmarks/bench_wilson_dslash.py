@@ -7,7 +7,6 @@ instruction profile on the SVE backends (simulator-speed, small
 lattice), converting timings with the standard 1320 flop/site count.
 """
 
-import numpy as np
 import pytest
 
 from repro.bench.tables import Table

@@ -14,7 +14,6 @@ Usage::
 import sys
 import time
 
-import numpy as np
 
 from repro.bench.tables import Table
 from repro.grid.cartesian import GridCartesian

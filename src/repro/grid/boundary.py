@@ -19,7 +19,6 @@ from __future__ import annotations
 import numpy as np
 
 from repro.grid.cartesian import GridCartesian
-from repro.grid.lattice import Lattice
 from repro.grid.wilson import WilsonDirac
 
 #: The physical choice: periodic space, anti-periodic time.

@@ -32,7 +32,6 @@ from __future__ import annotations
 
 import zlib
 from dataclasses import dataclass
-from typing import Optional
 
 import numpy as np
 

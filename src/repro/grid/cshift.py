@@ -32,6 +32,8 @@ import numpy as np
 
 from repro.grid.coordinates import indices_of
 from repro.grid.lattice import Lattice
+from repro.perf import config as _perf_config
+from repro.perf.counters import counters as _perf_counters
 
 
 def _lane_rotation_map(grid, dim: int, k: int) -> np.ndarray:
@@ -57,6 +59,62 @@ def _apply_lane_rotation(lat_data: np.ndarray, grid, dim: int, k: int) -> np.nda
     return np.take(lat_data, src, axis=-1)
 
 
+def _shift_groups(grid, dim: int, s: int) -> list:
+    """The gather recipe for a shift: per virtual-node group ``k``,
+    the output sites, the source sites, and the boundary-lane mask.
+
+    Depends only on (grid geometry, dim, s) — never on field data — so
+    the performance engine memoizes it per grid instance; the gauge
+    links and every CG iteration replay the same handful of shifts.
+    """
+    L = grid.odims[dim]
+    S = grid.simd_layout[dim]
+    ocoor = grid.ocoor_table()
+    o_d = ocoor[:, dim]
+    vc_d = grid.vcoor_table()[:, dim]
+    groups = []
+    for k in np.unique((o_d + s) // L):
+        k = int(k)
+        sel = np.nonzero((o_d + s) // L == k)[0]
+        src_ocoor = ocoor[sel].copy()
+        src_ocoor[:, dim] = (o_d[sel] + s) - k * L
+        src_osites = indices_of(src_ocoor, grid.odims)
+        # Output lane (dim-coordinate v) crossed the rank boundary
+        # iff v + k >= S.
+        groups.append((k, sel, src_osites, (vc_d + k) >= S))
+    return groups
+
+
+def _as_range(idx: np.ndarray):
+    """``idx`` as a :class:`slice` when it is a contiguous ascending
+    range (a plain-slice index is a view, not a gather copy)."""
+    if len(idx) and idx[-1] - idx[0] == len(idx) - 1 \
+            and np.array_equal(idx, np.arange(idx[0], idx[-1] + 1)):
+        return slice(int(idx[0]), int(idx[-1]) + 1)
+    return idx
+
+
+def _shift_plan(grid, dim: int, s: int) -> list:
+    """Memoized :func:`_shift_groups` (engine on), per grid instance.
+
+    Index arrays that turn out to be contiguous ranges (the
+    slowest-varying dimension always produces these) are stored as
+    slices, turning the gather+scatter into a view plus one copy.
+    """
+    plans = grid.__dict__.get("_cshift_plans")
+    if plans is None:
+        plans = grid.__dict__.setdefault("_cshift_plans", {})
+    plan = plans.get((dim, s))
+    if plan is not None:
+        _perf_counters().bump("cshift_plan_hits")
+        return plan
+    _perf_counters().bump("cshift_plan_misses")
+    plan = [(k, _as_range(sel), _as_range(src), nbr)
+            for k, sel, src, nbr in _shift_groups(grid, dim, s)]
+    plans[(dim, s)] = plan
+    return plan
+
+
 def cshift_local(lat: Lattice, dim: int, shift: int,
                  boundary_from: Optional[np.ndarray] = None) -> Lattice:
     """``out(x) = in(x + shift * e_dim)`` with periodic wrap.
@@ -70,33 +128,29 @@ def cshift_local(lat: Lattice, dim: int, shift: int,
     grid = lat.grid
     if not 0 <= dim < grid.ndim:
         raise ValueError(f"no dimension {dim} in {grid.ndim}-d grid")
-    L = grid.odims[dim]
-    S = grid.simd_layout[dim]
     ld = grid.ldims[dim]
     s = shift % ld
-    out = lat.new_like()
     if s == 0 and boundary_from is None:
+        out = lat.new_like()
         out.data = lat.data.copy()
         return out
 
-    ocoor = grid.ocoor_table()
-    o_d = ocoor[:, dim]
-    vc_d = grid.vcoor_table()[:, dim]
+    if _perf_config().enabled:
+        groups = _shift_plan(grid, dim, s)
+        # The groups partition the outer-site axis, so every slot is
+        # written below — skip the zero fill.
+        out = Lattice(grid, lat.tensor_shape,
+                      np.empty(lat.data.shape, dtype=lat.data.dtype))
+    else:
+        groups = _shift_groups(grid, dim, s)
+        out = lat.new_like()
 
-    for k in np.unique((o_d + s) // L):
-        k = int(k)
-        sel = np.nonzero((o_d + s) // L == k)[0]
-        src_ocoor = ocoor[sel].copy()
-        src_ocoor[:, dim] = (o_d[sel] + s) - k * L
-        src_osites = indices_of(src_ocoor, grid.odims)
+    for k, sel, src_osites, nbr_lanes in groups:
         rotated = _apply_lane_rotation(lat.data[src_osites], grid, dim, k)
         if boundary_from is not None and k > 0:
             rotated_nbr = _apply_lane_rotation(
                 boundary_from[src_osites], grid, dim, k
             )
-            # Output lane (dim-coordinate v) crossed the rank boundary
-            # iff v + k >= S.
-            nbr_lanes = (vc_d + k) >= S
             rotated = np.where(nbr_lanes, rotated_nbr, rotated)
         out.data[sel] = rotated
     return out

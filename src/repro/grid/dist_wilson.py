@@ -11,12 +11,12 @@ from __future__ import annotations
 
 from typing import Sequence
 
-import numpy as np
 
 from repro.grid import gamma as g
 from repro.grid.comms import DistributedLattice
 from repro.grid.tensor import su3_dagger_mul_vec, su3_mul_vec
 from repro.grid.wilson import SPINOR
+from repro.perf.fused import engine_active, fused_dhop_rank
 
 
 class DistributedWilson:
@@ -54,10 +54,20 @@ class DistributedWilson:
             raise ValueError("distributed Wilson operator acts on spinors")
         out = self._zero_like(psi)
         for mu in range(self.ndim):
+            # Halo exchange stays serial and ordered (comms protocol);
+            # only the rank-local arithmetic below is fused/tiled.
             fwd = psi.cshift(mu, +1)
             bwd = psi.cshift(mu, -1)
             for r in range(self.ranks.nranks):
                 be = psi.grids[r].backend
+                if engine_active(be):
+                    fused_dhop_rank(
+                        out.locals[r].data,
+                        self.links[mu].locals[r].data,
+                        self.links_back[mu].locals[r].data,
+                        fwd.locals[r].data, bwd.locals[r].data, mu,
+                    )
+                    continue
                 acc = out.locals[r].data
                 h = g.project(be, fwd.locals[r].data, mu, +1)
                 uh = su3_mul_vec(be, self.links[mu].locals[r].data, h)

@@ -8,7 +8,6 @@ circular shifts that the SIMD backends accelerate.
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.grid.cartesian import GridCartesian
 from repro.grid.cshift import cshift

@@ -23,13 +23,13 @@ from __future__ import annotations
 
 from typing import Callable, Optional, Sequence
 
-import numpy as np
 
 from repro.grid import gamma as g
 from repro.grid.cartesian import GridCartesian
 from repro.grid.cshift import cshift
 from repro.grid.lattice import Lattice
 from repro.grid.tensor import su3_dagger_mul_vec, su3_mul_vec
+from repro.perf.fused import engine_active, fused_dhop
 
 #: Spinor tensor shape: (spin, colour).
 SPINOR = (4, 3)
@@ -69,6 +69,10 @@ class WilsonDirac:
     def dhop(self, psi: Lattice) -> Lattice:
         """Apply the hopping term ``D_h`` of Eq. (1)."""
         self._check(psi)
+        if engine_active(self.grid.backend):
+            # Fused+tiled engine sweep — bit-identical to the layered
+            # path below (see repro.perf.fused for the argument).
+            return fused_dhop(self, psi)
         be = self.grid.backend
         out = Lattice(self.grid, SPINOR)
         acc = out.data

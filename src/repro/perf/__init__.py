@@ -1,0 +1,95 @@
+"""The performance engine.
+
+Three layers, mirroring the paper's performance argument (instruction
+economy on the complex hot path) in software:
+
+* :mod:`repro.perf.trace_cache` — kernel trace caching: decoded and
+  lowered SVE programs are memoized per (kernel, options) and their
+  executor traces per (VL, dtype), so repeated ``run_kernel`` calls
+  skip assembly, decode and re-lowering entirely.
+* :mod:`repro.perf.parallel` + :mod:`repro.perf.fused` — tiled lattice
+  sweeps: the Wilson-Dslash sweep is split into per-slice tiles over a
+  ``concurrent.futures`` pool with a deterministic reduction order,
+  and the per-tile body is a fused project/SU(3)/reconstruct path that
+  is bit-identical to the layered reference.
+* :mod:`repro.perf.harness` — the benchmark-regression harness CI
+  gates on (see ``benchmarks/bench_regression.py``).
+
+The engine is governed by one process-global :class:`PerfConfig`:
+``perf.disabled()`` restores the exact pre-engine code paths (that is
+what the harness measures the engine against).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+from repro.perf.counters import PerfCounters, counters, reset_counters
+
+__all__ = [
+    "PerfConfig",
+    "PerfCounters",
+    "config",
+    "configured",
+    "counters",
+    "disabled",
+    "reset_counters",
+    "set_enabled",
+    "set_workers",
+]
+
+
+@dataclass
+class PerfConfig:
+    """Process-global switches for the performance engine.
+
+    ``enabled`` gates every engine path at once — caches, fusion and
+    tiling; with it off, the original (pre-engine) code runs
+    unchanged.  ``workers`` is the tile pool width for lattice sweeps
+    (1 = serial).  ``tile_min_sites`` keeps tiny lattices serial where
+    pool dispatch would cost more than it saves.
+    """
+
+    enabled: bool = True
+    workers: int = 1
+    tile_min_sites: int = 128
+
+
+_CONFIG = PerfConfig()
+
+
+def config() -> PerfConfig:
+    """The live engine configuration (mutate via the setters below)."""
+    return _CONFIG
+
+
+def set_enabled(flag: bool) -> None:
+    _CONFIG.enabled = bool(flag)
+
+
+def set_workers(n: int) -> None:
+    if n < 1:
+        raise ValueError(f"workers must be >= 1, got {n}")
+    _CONFIG.workers = int(n)
+
+
+@contextmanager
+def configured(enabled=None, workers=None, tile_min_sites=None):
+    """Temporarily override engine settings (restored on exit)."""
+    old = (_CONFIG.enabled, _CONFIG.workers, _CONFIG.tile_min_sites)
+    try:
+        if enabled is not None:
+            _CONFIG.enabled = bool(enabled)
+        if workers is not None:
+            set_workers(workers)
+        if tile_min_sites is not None:
+            _CONFIG.tile_min_sites = int(tile_min_sites)
+        yield _CONFIG
+    finally:
+        _CONFIG.enabled, _CONFIG.workers, _CONFIG.tile_min_sites = old
+
+
+def disabled():
+    """The engine-off reference configuration (pre-engine code paths)."""
+    return configured(enabled=False, workers=1)

@@ -1,0 +1,82 @@
+"""Process-global performance counters.
+
+Every engine layer increments these instead of keeping private tallies,
+so the regression harness (and the trace-cache tests) can assert
+cache-hit rates across a whole sweep with one read.  Counters are
+plain integers guarded by a lock — they are touched from tile worker
+threads.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field, fields
+
+
+@dataclass
+class PerfCounters:
+    """Cumulative engine counters since the last :func:`reset_counters`.
+
+    * ``program_hits`` / ``program_misses`` — memoized vectorize +
+      assemble lookups (per kernel signature and codegen options).
+    * ``trace_hits`` / ``trace_misses`` / ``trace_invalidations`` —
+      executor-trace lookups per (kernel, VL, dtype); a VL or dtype
+      change invalidates and recounts as a miss.
+    * ``cshift_plan_hits`` / ``cshift_plan_misses`` — cached gather
+      plans for lattice neighbour shifts.
+    * ``fused_dhop_calls`` — Wilson-Dslash sweeps taken by the fused
+      engine path; ``tiles_dispatched`` — tile bodies executed (equal
+      to fused calls when running serial).
+    """
+
+    program_hits: int = 0
+    program_misses: int = 0
+    trace_hits: int = 0
+    trace_misses: int = 0
+    trace_invalidations: int = 0
+    cshift_plan_hits: int = 0
+    cshift_plan_misses: int = 0
+    fused_dhop_calls: int = 0
+    tiles_dispatched: int = 0
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
+
+    def bump(self, name: str, n: int = 1) -> None:
+        with self._lock:
+            setattr(self, name, getattr(self, name) + n)
+
+    def as_dict(self) -> dict:
+        return {
+            f.name: getattr(self, f.name) for f in fields(self) if f.name != "_lock"
+        }
+
+    @staticmethod
+    def _rate(hits: int, misses: int) -> float:
+        total = hits + misses
+        return hits / total if total else 0.0
+
+    def program_hit_rate(self) -> float:
+        return self._rate(self.program_hits, self.program_misses)
+
+    def trace_hit_rate(self) -> float:
+        return self._rate(self.trace_hits, self.trace_misses)
+
+    def cshift_plan_hit_rate(self) -> float:
+        return self._rate(self.cshift_plan_hits, self.cshift_plan_misses)
+
+
+_COUNTERS = PerfCounters()
+
+
+def counters() -> PerfCounters:
+    """The live counter block."""
+    return _COUNTERS
+
+
+def reset_counters() -> None:
+    """Zero every counter (does not touch the caches themselves)."""
+    with _COUNTERS._lock:
+        for f in fields(_COUNTERS):
+            if f.name != "_lock":
+                setattr(_COUNTERS, f.name, 0)

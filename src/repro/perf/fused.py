@@ -1,0 +1,206 @@
+"""Fused, tiled Wilson-Dslash for numpy-semantics backends.
+
+The layered reference path (``grid/wilson.py``) issues one backend
+call per tensor element — project, nine ``madd`` per half-spinor SU(3)
+multiply, reconstruct, accumulate — each validating its operands and
+materialising intermediates.  This module fuses the whole
+project/SU(3)/reconstruct chain for one (direction, sign) into a
+handful of whole-tile numpy expressions, and tiles the outer-site axis
+over the :mod:`repro.perf.parallel` pool.
+
+**Bit-identity contract.**  Every expression below reproduces the
+reference accumulation element-for-element:
+
+* the per-element accumulation order is unchanged — colour index ``b``
+  ascending inside the SU(3) multiply, then (mu, sign) in sweep order;
+* each fused step computes exactly the reference's IEEE operation
+  (``acc + u*v``, ``x * dtype(1j)``, …) on the same dtype, since the
+  numpy backends' ops are those expressions verbatim
+  (:class:`repro.simd.backend.NumpyArithmeticMixin`);
+* tiles partition the outer-site axis, and the computation is
+  elementwise in outer sites once the neighbour gathers (done
+  full-lattice, before tiling) are in hand — so the tile split cannot
+  reorder anything.
+
+The path is only taken for backends whose arithmetic is *exactly* the
+numpy mixin (``generic``/``fixed``); instruction-counting SVE backends
+and resilient proxies keep the layered path, which is also what
+``perf.disabled()`` forces.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.grid.lattice import Lattice
+from repro.perf import config
+from repro.perf.counters import counters
+from repro.perf.parallel import run_tiles, tiles_for
+from repro.simd.fixed import FixedWidthBackend
+from repro.simd.generic import GenericBackend
+
+#: Spinor tensor shape (mirrors ``repro.grid.wilson.SPINOR``; not
+#: imported from there to keep this module import-cycle free).
+SPINOR = (4, 3)
+
+#: Backends whose arithmetic ops are literally the numpy expressions
+#: the fused path inlines.  Exact types only: subclasses may override
+#: an op (fault-injecting backends do) and must keep the layered path.
+_FUSED_SAFE = (GenericBackend, FixedWidthBackend)
+
+
+def fused_dhop_supported(backend) -> bool:
+    """True when ``backend``'s ops are the plain numpy semantics."""
+    return type(backend) in _FUSED_SAFE
+
+
+def _su3_halfspinor(U: np.ndarray, h: np.ndarray,
+                    dagger: bool) -> np.ndarray:
+    """``uh_{s,a} = sum_b U[a,b] h_{s,b}`` (or ``conj(U[b,a])``).
+
+    Accumulates with ``b`` ascending — the reference's inner-loop
+    order in :func:`repro.grid.tensor.su3_mul_vec` — so every element
+    sees the identical IEEE sum ``((0 + t0) + t1) + t2``.
+    """
+    out = np.zeros_like(h)
+    tmp = np.empty_like(h)
+    Uc = np.conj(U) if dagger else None
+    for b in range(3):
+        if dagger:
+            u = Uc[:, b, :, :]  # row b of U^T, conjugated
+        else:
+            u = U[:, :, b, :]  # column b of U
+        np.multiply(u[:, None, :, :], h[:, :, b, None, :], out=tmp)
+        np.add(out, tmp, out=out)
+    return out
+
+
+def _accumulate_direction(acc: np.ndarray, U: np.ndarray,
+                          nbr: np.ndarray, mu: int, sign: int) -> None:
+    """Add one hopping-term direction into ``acc`` in place.
+
+    Fuses project -> SU(3) (or adjoint) -> reconstruct for direction
+    ``mu`` with projector sign ``sign`` (+1 forward / -1 backward; the
+    backward direction uses the adjoint link).  Formula-for-formula
+    this is :func:`repro.grid.gamma.project` /
+    :func:`~repro.grid.gamma.reconstruct` with the mixin ops inlined;
+    the ``out=`` forms change where results land, never how they are
+    computed.
+    """
+    I = nbr.dtype.type(1j)
+    NI = nbr.dtype.type(-1j)
+    p0, p1, p2, p3 = nbr[:, 0], nbr[:, 1], nbr[:, 2], nbr[:, 3]
+    h = np.empty((nbr.shape[0], 2) + nbr.shape[2:], dtype=nbr.dtype)
+    h0, h1 = h[:, 0], h[:, 1]
+    if mu == 0:
+        # h0 = p0 ± p3*i ; h1 = p1 ± p2*i
+        np.multiply(p3, I, out=h0)
+        np.multiply(p2, I, out=h1)
+        op = np.add if sign > 0 else np.subtract
+        op(p0, h0, out=h0)
+        op(p1, h1, out=h1)
+    elif mu == 1:
+        # h0 = p0 ∓ p3 ; h1 = p1 ± p2
+        if sign > 0:
+            np.subtract(p0, p3, out=h0)
+            np.add(p1, p2, out=h1)
+        else:
+            np.add(p0, p3, out=h0)
+            np.subtract(p1, p2, out=h1)
+    elif mu == 2:
+        # h0 = p0 ± p2*i ; h1 = p1 ± p3*(-i)
+        np.multiply(p2, I, out=h0)
+        np.multiply(p3, NI, out=h1)
+        op = np.add if sign > 0 else np.subtract
+        op(p0, h0, out=h0)
+        op(p1, h1, out=h1)
+    elif mu == 3:
+        # h0 = p0 ± p2 ; h1 = p1 ± p3
+        op = np.add if sign > 0 else np.subtract
+        op(p0, p2, out=h0)
+        op(p1, p3, out=h1)
+    else:
+        raise ValueError(f"no direction {mu}")
+    uh = _su3_halfspinor(U, h, dagger=sign < 0)
+    u0, u1 = uh[:, 0], uh[:, 1]
+    a0, a1, a2, a3 = acc[:, 0], acc[:, 1], acc[:, 2], acc[:, 3]
+    np.add(a0, u0, out=a0)
+    np.add(a1, u1, out=a1)
+    t = h0  # the half-spinor buffer is dead: reuse it as scratch
+    if mu == 0:
+        f = NI if sign > 0 else I
+        np.multiply(u1, f, out=t)
+        np.add(a2, t, out=a2)
+        np.multiply(u0, f, out=t)
+        np.add(a3, t, out=a3)
+    elif mu == 1:
+        # acc2 ± h1, acc3 ∓ h0 (x + (-y) == x - y exactly in IEEE-754)
+        if sign > 0:
+            np.add(a2, u1, out=a2)
+            np.subtract(a3, u0, out=a3)
+        else:
+            np.subtract(a2, u1, out=a2)
+            np.add(a3, u0, out=a3)
+    elif mu == 2:
+        fa, fb = (NI, I) if sign > 0 else (I, NI)
+        np.multiply(u0, fa, out=t)
+        np.add(a2, t, out=a2)
+        np.multiply(u1, fb, out=t)
+        np.add(a3, t, out=a3)
+    else:  # mu == 3
+        if sign > 0:
+            np.add(a2, u0, out=a2)
+            np.add(a3, u1, out=a3)
+        else:
+            np.subtract(a2, u0, out=a2)
+            np.subtract(a3, u1, out=a3)
+
+
+def fused_dhop(dirac, psi: Lattice) -> Lattice:
+    """The engine's Wilson hopping term (``WilsonDirac.dhop``).
+
+    Gathers every neighbour field first (full lattice, through the
+    plan-cached cshift), then sweeps tiles of the outer-site axis
+    through the fused accumulation — bit-identical to the layered
+    reference, serial or tiled.
+    """
+    grid = dirac.grid
+    counters().bump("fused_dhop_calls")
+    out = Lattice(grid, SPINOR)
+    gathers = []
+    for mu in range(grid.ndim):
+        gathers.append((
+            dirac.links[mu].data,
+            dirac._cshift(psi, mu, +1).data,
+            dirac._links_back[mu].data,
+            dirac._cshift(psi, mu, -1).data,
+        ))
+    acc = out.data
+
+    def body(sl) -> None:
+        a = acc[sl]
+        for mu, (u_fwd, psi_fwd, u_bwd, psi_bwd) in enumerate(gathers):
+            _accumulate_direction(a, u_fwd[sl], psi_fwd[sl], mu, +1)
+            _accumulate_direction(a, u_bwd[sl], psi_bwd[sl], mu, -1)
+
+    run_tiles(body, tiles_for(grid.osites))
+    return out
+
+
+def fused_dhop_rank(acc: np.ndarray, links_mu: np.ndarray,
+                    links_back_mu: np.ndarray, fwd: np.ndarray,
+                    bwd: np.ndarray, mu: int) -> None:
+    """One rank-local (mu, fwd+bwd) accumulation for the distributed
+    operator; tiled over the rank's outer sites."""
+
+    def body(sl) -> None:
+        a = acc[sl]
+        _accumulate_direction(a, links_mu[sl], fwd[sl], mu, +1)
+        _accumulate_direction(a, links_back_mu[sl], bwd[sl], mu, -1)
+
+    run_tiles(body, tiles_for(acc.shape[0]))
+
+
+def engine_active(backend) -> bool:
+    """Engine enabled *and* the backend is fused-safe."""
+    return config().enabled and fused_dhop_supported(backend)

@@ -1,0 +1,86 @@
+"""Tiled execution over a thread pool, bit-identical to serial.
+
+The lattice sweeps this feeds (:mod:`repro.perf.fused`) write disjoint
+outer-site slices of a preallocated output, so tiles are data-parallel
+with no reduction step at all — the "deterministic reduction order" is
+the trivial one: every element is written by exactly one tile, and the
+within-tile accumulation order is the same as the serial sweep's.
+Thread scheduling therefore cannot perturb results; ``workers=4`` and
+``workers=1`` are bit-identical by construction.
+
+The pool is process-global and lazily grown: numpy releases the GIL
+inside the fused tile bodies, so tiles overlap on multicore hosts and
+degrade gracefully to serial-equivalent cost on one core.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Optional, Sequence
+
+from repro.perf import config
+from repro.perf.counters import counters
+
+_POOL: Optional[ThreadPoolExecutor] = None
+_POOL_WIDTH = 0
+_POOL_LOCK = threading.Lock()
+
+
+def _pool(workers: int) -> ThreadPoolExecutor:
+    """The shared tile pool, re-created wider when first needed."""
+    global _POOL, _POOL_WIDTH
+    with _POOL_LOCK:
+        if _POOL is None or _POOL_WIDTH < workers:
+            if _POOL is not None:
+                _POOL.shutdown(wait=True)
+            _POOL = ThreadPoolExecutor(
+                max_workers=workers, thread_name_prefix="repro-tile"
+            )
+            _POOL_WIDTH = workers
+        return _POOL
+
+
+def tiles_for(
+    n_sites: int,
+    workers: Optional[int] = None,
+    min_sites: Optional[int] = None,
+) -> list:
+    """Split ``range(n_sites)`` into contiguous per-tile slices.
+
+    The split depends only on (n_sites, workers, min_sites) — never on
+    timing — and tiles are contiguous, so each worker touches one
+    stretch of the outer-site axis (the cache-friendly order the
+    serial sweep uses too).
+    """
+    cfg = config()
+    workers = cfg.workers if workers is None else workers
+    min_sites = cfg.tile_min_sites if min_sites is None else min_sites
+    if workers <= 1 or n_sites < max(min_sites, 2):
+        return [slice(0, n_sites)]
+    n_tiles = min(workers, max(1, n_sites // max(1, min_sites // 2)))
+    base, extra = divmod(n_sites, n_tiles)
+    out, start = [], 0
+    for i in range(n_tiles):
+        size = base + (1 if i < extra else 0)
+        out.append(slice(start, start + size))
+        start += size
+    return out
+
+
+def run_tiles(body: Callable, tiles: Sequence, workers: Optional[int] = None) -> None:
+    """Run ``body(tile_slice)`` for every tile.
+
+    One tile (or one worker) short-circuits to a plain call — the
+    serial path never pays pool overhead.  Exceptions propagate to the
+    caller exactly as they would serially.
+    """
+    counters().bump("tiles_dispatched", len(tiles))
+    workers = config().workers if workers is None else workers
+    if len(tiles) == 1 or workers <= 1:
+        for t in tiles:
+            body(t)
+        return
+    pool = _pool(workers)
+    for fut in [pool.submit(body, t) for t in tiles]:
+        fut.result()

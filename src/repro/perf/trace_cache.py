@@ -1,0 +1,200 @@
+"""Kernel trace caching: vectorize/assemble/decode exactly once.
+
+Every pre-engine call site did ``run_kernel(vectorize(kernel), ...)``:
+lowering the IR, printing assembly text, re-parsing and re-decoding it
+— per invocation.  This module memoizes the whole pipeline:
+
+* **program cache** — per kernel *signature* (structure + codegen
+  options), the lowered-and-decoded :class:`Program`.  The IR is first
+  canonicalised by :mod:`repro.vectorizer.passes`, so mul+add chains
+  reach the FMA-fusing lowering in fusable shape.
+* **trace plans** — per (kernel, VL, dtype), the resolved execution
+  plan: the shared program plus the :class:`~repro.sve.vl.VL` it runs
+  at.  A repeated ``run`` with the same key is a *trace hit* (the
+  executor also reuses the handler trace resolved on the program by
+  :mod:`repro.sve.machine`); asking for a different VL or dtype
+  invalidates the hot trace and rebuilds a plan — results stay
+  correct, the counters record the churn.
+
+With the engine disabled (``perf.disabled()``) every entry point falls
+through to the uncached pre-engine pipeline.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from repro.armie.emulator import EmulationResult, run_kernel
+from repro.perf import config
+from repro.perf.counters import counters
+from repro.sve.program import Program
+from repro.sve.vl import VL
+from repro.vectorizer.autovec import vectorize, vectorize_fixed
+from repro.vectorizer.ir import Kernel
+from repro.vectorizer.passes import simplify
+
+
+def kernel_signature(kernel: Kernel, complex_isa: bool = False,
+                     use_movprfx: bool = True, fixed: bool = False,
+                     optimize: bool = True) -> tuple:
+    """A structural cache key for (kernel, codegen options).
+
+    IR nodes are frozen dataclasses, so ``repr(expr)`` is a faithful
+    structural fingerprint; two kernels with the same expression tree,
+    scalar type and arity share a program regardless of identity.
+    """
+    return (
+        kernel.name,
+        kernel.scalar_type,
+        len(kernel.inputs),
+        repr(kernel.expr),
+        bool(complex_isa),
+        bool(use_movprfx),
+        bool(fixed),
+        bool(optimize),
+    )
+
+
+@dataclass
+class TracePlan:
+    """The resolved per-(kernel, VL, dtype) execution plan."""
+
+    program: Program
+    vl: VL
+    dtype: str  # the kernel scalar type the plan was built for
+
+
+class TraceCache:
+    """Program + trace-plan store (one process-global instance)."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._programs: dict = {}
+        self._plans: dict = {}
+        self._hot: dict = {}  # sig -> (vl_bits, dtype) of the hot trace
+
+    # -- programs ------------------------------------------------------
+    def program(self, kernel: Kernel, complex_isa: bool = False,
+                use_movprfx: bool = True, fixed: bool = False,
+                optimize: bool = True) -> Program:
+        """The lowered+decoded program for ``kernel`` (memoized)."""
+        if not config().enabled:
+            return _compile(kernel, complex_isa, use_movprfx, fixed,
+                            optimize)
+        sig = kernel_signature(kernel, complex_isa, use_movprfx, fixed,
+                               optimize)
+        with self._lock:
+            prog = self._programs.get(sig)
+        if prog is not None:
+            counters().bump("program_hits")
+            return prog
+        counters().bump("program_misses")
+        prog = _compile(kernel, complex_isa, use_movprfx, fixed, optimize)
+        with self._lock:
+            self._programs.setdefault(sig, prog)
+        return prog
+
+    # -- trace plans ---------------------------------------------------
+    def plan(self, kernel: Kernel, vl: Union[VL, int],
+             complex_isa: bool = False, use_movprfx: bool = True,
+             fixed: bool = False, optimize: bool = True) -> TracePlan:
+        """The per-(kernel, VL, dtype) plan; counts hits/invalidations."""
+        vl_bits = vl.bits if isinstance(vl, VL) else int(vl)
+        sig = kernel_signature(kernel, complex_isa, use_movprfx, fixed,
+                               optimize)
+        key = (sig, vl_bits, kernel.scalar_type)
+        with self._lock:
+            plan = self._plans.get(key)
+            hot = self._hot.get(sig)
+        if plan is not None and hot == (vl_bits, kernel.scalar_type):
+            counters().bump("trace_hits")
+            return plan
+        if hot is not None and hot != (vl_bits, kernel.scalar_type):
+            # The kernel's hot trace was resolved for another VL/dtype:
+            # it cannot be replayed here and must be rebuilt.
+            counters().bump("trace_invalidations")
+        counters().bump("trace_misses")
+        program = self.program(kernel, complex_isa, use_movprfx, fixed,
+                               optimize)
+        plan = TracePlan(program=program, vl=VL(vl_bits),
+                         dtype=kernel.scalar_type)
+        with self._lock:
+            self._plans[key] = plan
+            self._hot[sig] = (vl_bits, kernel.scalar_type)
+        return plan
+
+    # -- maintenance ---------------------------------------------------
+    def clear(self) -> None:
+        with self._lock:
+            self._programs.clear()
+            self._plans.clear()
+            self._hot.clear()
+
+    def sizes(self) -> dict:
+        with self._lock:
+            return {"programs": len(self._programs),
+                    "plans": len(self._plans)}
+
+
+def _compile(kernel: Kernel, complex_isa: bool, use_movprfx: bool,
+             fixed: bool, optimize: bool) -> Program:
+    if optimize:
+        kernel = simplify(kernel).kernel
+    if fixed:
+        return vectorize_fixed(kernel, complex_isa=complex_isa)
+    return vectorize(kernel, complex_isa=complex_isa,
+                     use_movprfx=use_movprfx)
+
+
+_CACHE = TraceCache()
+
+
+def trace_cache() -> TraceCache:
+    """The process-global trace cache."""
+    return _CACHE
+
+
+def clear_cache() -> None:
+    _CACHE.clear()
+
+
+def cached_vectorize(kernel: Kernel, complex_isa: bool = False,
+                     use_movprfx: bool = True, fixed: bool = False,
+                     optimize: bool = True) -> Program:
+    """Drop-in for :func:`repro.vectorizer.autovec.vectorize` that
+    memoizes the lowered program (plus the simplifier pass)."""
+    return _CACHE.program(kernel, complex_isa=complex_isa,
+                          use_movprfx=use_movprfx, fixed=fixed,
+                          optimize=optimize)
+
+
+def cached_run_kernel(
+    kernel: Kernel,
+    arrays: Sequence[np.ndarray],
+    vl: Union[VL, int],
+    n: Optional[int] = None,
+    complex_isa: bool = False,
+    use_movprfx: bool = True,
+    fixed: bool = False,
+    optimize: bool = True,
+    **run_kwargs,
+) -> EmulationResult:
+    """``run_kernel(vectorize(kernel), ...)`` through the trace cache.
+
+    Identical results to the uncached pipeline (the simplifier is
+    IEEE-exact and the executor is deterministic); repeated calls with
+    the same (kernel, VL, dtype) skip lowering, assembly, decode and
+    handler resolution.
+    """
+    if not config().enabled:
+        prog = _compile(kernel, complex_isa, use_movprfx, fixed, optimize)
+        return run_kernel(prog, kernel, arrays, vl, n=n, **run_kwargs)
+    plan = _CACHE.plan(kernel, vl, complex_isa=complex_isa,
+                       use_movprfx=use_movprfx, fixed=fixed,
+                       optimize=optimize)
+    return run_kernel(plan.program, kernel, arrays, plan.vl, n=n,
+                      **run_kwargs)

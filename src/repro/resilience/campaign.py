@@ -24,7 +24,6 @@ from typing import Callable
 
 import numpy as np
 
-from repro.armie import run_kernel
 from repro.grid.cartesian import GridCartesian
 from repro.grid.comms import DistributedLattice, HaloExchangeError
 from repro.grid.dist_wilson import DistributedWilson, distribute_gauge
@@ -39,12 +38,12 @@ from repro.resilience.inject import (
     FaultyMemory,
     flip_field_bit,
 )
+from repro.perf.trace_cache import cached_run_kernel
 from repro.simd import get_backend
 from repro.simd.generic import GenericBackend
 from repro.simd.resilient import BackendDegradedWarning, ResilientBackend
 from repro.sve.faults import armclang_18_3
 from repro.vectorizer import ir
-from repro.vectorizer.autovec import vectorize
 from repro.verification.suite import SilentCorruption, run_campaign_suite
 
 
@@ -210,8 +209,7 @@ def case_memory_bitflip_kernel(vl_bits, campaign, resilient):
     kernel = ir.mult_real_kernel()
     size = max(1 << 20, 64 * n * 16 + (1 << 16))
     mem = FaultyMemory(size, campaign, flip_reads={8})
-    res = run_kernel(vectorize(kernel), kernel, [x, y], vl_bits,
-                     memory=mem)
+    res = cached_run_kernel(kernel, [x, y], vl_bits, memory=mem)
     want = x * y
     got = res.output
     if resilient and not np.array_equal(got, want):
@@ -240,8 +238,7 @@ def case_toolchain_predicate_kernel(vl_bits, campaign, resilient):
     x, y = rng.normal(size=n), rng.normal(size=n)
     kernel = ir.mult_real_kernel()
     fm = armclang_18_3()
-    res = run_kernel(vectorize(kernel), kernel, [x, y], vl_bits,
-                     fault_model=fm)
+    res = cached_run_kernel(kernel, [x, y], vl_bits, fault_model=fm)
     campaign.absorb_toolchain(fm)
     want = x * y
     got = res.output

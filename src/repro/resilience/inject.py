@@ -21,7 +21,7 @@ campaign results reproducible and regressions bisectable.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 import numpy as np

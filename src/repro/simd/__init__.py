@@ -30,6 +30,7 @@ from repro.simd.resilient import (
     BackendDegradedWarning,
     DegradeEvent,
     ResilientBackend,
+    reset_all_degraded,
 )
 from repro.simd.registry import (
     available_backends,
@@ -49,6 +50,7 @@ __all__ = [
     "ResilientBackend",
     "BackendDegradedWarning",
     "DegradeEvent",
+    "reset_all_degraded",
     "available_backends",
     "get_backend",
     "set_fallback_policy",

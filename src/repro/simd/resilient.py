@@ -15,10 +15,15 @@ bit-identical with or without the wrapper.
 from __future__ import annotations
 
 import warnings
+import weakref
 from dataclasses import dataclass
 
 from repro.simd.backend import SimdBackend
 from repro.simd.generic import GenericBackend
+
+#: Every live proxy, so a campaign rerun can clear sticky degradation
+#: without holding references (see :func:`reset_all_degraded`).
+_INSTANCES: "weakref.WeakSet[ResilientBackend]" = weakref.WeakSet()
 
 
 class BackendDegradedWarning(UserWarning):
@@ -64,6 +69,19 @@ class ResilientBackend(SimdBackend):
         self.width_bits = primary.width_bits
         self.degraded = False
         self.events: list[DegradeEvent] = []
+        _INSTANCES.add(self)
+
+    def reset(self) -> "ResilientBackend":
+        """Clear sticky degradation: route to the primary again.
+
+        Degradation is intentionally sticky *within* a run (see the
+        class docstring), but a campaign rerun must start from a
+        healthy backend or every post-fault cell inherits the
+        fallback.  Returns ``self`` for inline use.
+        """
+        self.degraded = False
+        self.events.clear()
+        return self
 
     def _dispatch(self, op: str, *args, **kwargs):
         if not self.degraded:
@@ -97,3 +115,15 @@ for _op in _OPS:
 del _op
 # The abstract-method set was computed before the ops were attached.
 ResilientBackend.__abstractmethods__ = frozenset()
+
+
+def reset_all_degraded() -> int:
+    """Reset every live :class:`ResilientBackend`; returns how many
+    were degraded.  Called between campaign-suite runs so one run's
+    backend fault cannot leak a sticky fallback into the next."""
+    n = 0
+    for be in list(_INSTANCES):
+        if be.degraded:
+            n += 1
+        be.reset()
+    return n

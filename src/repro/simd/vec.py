@@ -26,7 +26,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro import acle
-from repro.acle.context import SVEContext, current_context
+from repro.acle.context import current_context
 from repro.sve.vl import VL
 
 

@@ -29,7 +29,6 @@ from repro.sve.decoder import (
     MemOp,
     Pattern,
     POp,
-    RegList,
     ShiftSpec,
     VOp,
     XOp,
@@ -54,6 +53,28 @@ class SimulationError(RuntimeError):
     """Raised for unimplemented instructions or runaway programs."""
 
 
+#: Class-wide dispatch table, built once on first Machine construction
+#: (it is pure — every handler takes ``(machine, insn)``), so creating a
+#: machine per kernel invocation no longer rebuilds ~130 entries.
+_DISPATCH_TABLE: Optional[dict] = None
+
+
+def _resolve_trace(program: Program, dispatch: dict) -> tuple:
+    """Pre-resolve every instruction of ``program`` to its handler.
+
+    The resolved trace is cached on the program object, so repeated
+    executions of the same (cached) program skip the per-step dispatch
+    lookup — the executor's share of the trace-cache fast path.
+    """
+    cached = getattr(program, "_trace", None)
+    if cached is not None and cached[0] is dispatch:
+        return cached[1]
+    handlers = tuple(dispatch.get(insn.mnemonic)
+                     for insn in program.instructions)
+    program._trace = (dispatch, handlers)
+    return handlers
+
+
 class Machine:
     """Architectural state + executor for one SVE hardware thread."""
 
@@ -74,8 +95,7 @@ class Machine:
         self.faults = fault_model
         self.pc = 0
         self.steps = 0
-        self._dispatch: dict[str, Callable[[Instruction], Optional[int]]] = {}
-        self._build_dispatch()
+        self._dispatch = _dispatch_table()
 
     # ==================================================================
     # Public API
@@ -87,16 +107,27 @@ class Machine:
         """
         self.pc = 0
         start_steps = self.steps
+        handlers = _resolve_trace(program, self._dispatch)
+        n_insns = len(program)
+        instructions = program.instructions
+        self._program = program
         while True:
-            if self.pc >= len(program):
+            if self.pc >= n_insns:
                 break  # fell off the end: treat as return
-            insn = program.instructions[self.pc]
+            insn = instructions[self.pc]
             if insn.mnemonic == "ret":
                 self.steps += 1
                 if self.tracer is not None:
                     self.tracer.record(insn, self.vl)
                 break
-            next_pc = self.execute(insn, program)
+            handler = handlers[self.pc]
+            if handler is None:
+                raise SimulationError(
+                    f"unimplemented instruction: {insn.text!r}"
+                )
+            next_pc = handler(self, insn)
+            if self.tracer is not None:
+                self.tracer.record(insn, self.vl)
             self.steps += 1
             if self.steps - start_steps > max_steps:
                 raise SimulationError(
@@ -120,7 +151,7 @@ class Machine:
         handler = self._dispatch.get(insn.mnemonic)
         if handler is None:
             raise SimulationError(f"unimplemented instruction: {insn.text!r}")
-        result = handler(insn)
+        result = handler(self, insn)
         if self.tracer is not None:
             self.tracer.record(insn, self.vl)
         return result
@@ -174,131 +205,6 @@ class Machine:
         if self.faults is not None:
             return self.faults.filter_predicate(mnemonic, active, self.vl)
         return active
-
-    # ==================================================================
-    # Dispatch construction
-    # ==================================================================
-    def _build_dispatch(self) -> None:
-        d = self._dispatch
-        # Scalar control / ALU.
-        d["mov"] = self._i_mov
-        d["movprfx"] = self._i_movprfx
-        d["add"] = self._i_add
-        d["sub"] = self._i_sub
-        d["mul"] = self._i_mul
-        d["lsl"] = self._i_lsl
-        d["lsr"] = self._i_lsr
-        d["cmp"] = self._i_cmp
-        d["b"] = self._i_b
-        d["cbz"] = self._i_cbz
-        d["cbnz"] = self._i_cbnz
-        d["nop"] = lambda insn: None
-        d["rdvl"] = self._i_rdvl
-        d["ldr"] = self._i_ldr
-        d["str"] = self._i_str
-        # Predicate generation / logic.
-        d["ptrue"] = self._i_ptrue
-        d["pfalse"] = self._i_pfalse
-        d["whilelo"] = self._i_whilelo
-        d["whilelt"] = self._i_whilelt
-        d["brkn"] = self._i_brkn
-        d["brkns"] = self._i_brkn
-        d["brka"] = self._i_brka
-        d["brkas"] = self._i_brka
-        d["brkb"] = self._i_brkb
-        d["brkbs"] = self._i_brkb
-        d["pnext"] = self._i_pnext
-        d["pfirst"] = self._i_pfirst
-        d["ptest"] = self._i_ptest
-        d["cntp"] = self._i_cntp
-        d["and"] = self._i_and
-        d["orr"] = self._i_orr
-        d["eor"] = self._i_eor
-        d["bic"] = self._i_bic
-        d["ands"] = self._i_and
-        d["orrs"] = self._i_orr
-        d["eors"] = self._i_eor
-        d["bics"] = self._i_bic
-        # Element counters.
-        for suf in "bhwd":
-            d[f"cnt{suf}"] = self._i_cntx
-            d[f"inc{suf}"] = self._i_incx
-            d[f"dec{suf}"] = self._i_decx
-        # Vector moves / immediates.
-        d["dup"] = self._i_dup
-        d["fdup"] = self._i_fdup
-        d["fmov"] = self._i_fdup
-        d["index"] = self._i_index
-        d["sel"] = self._i_sel
-        # FP arithmetic.
-        d["fadd"] = self._i_fbin(arith.fadd)
-        d["fsub"] = self._i_fbin(arith.fsub)
-        d["fmul"] = self._i_fbin(arith.fmul)
-        d["fdiv"] = self._i_fbin(arith.fdiv)
-        d["fmax"] = self._i_fbin(arith.fmax)
-        d["fmin"] = self._i_fbin(arith.fmin)
-        d["fneg"] = self._i_funary(arith.fneg)
-        d["fabs"] = self._i_funary(arith.fabs_)
-        d["fsqrt"] = self._i_funary(arith.fsqrt)
-        d["fmla"] = self._i_fma(arith.fmla)
-        d["fmls"] = self._i_fma(arith.fmls)
-        d["fnmla"] = self._i_fma(arith.fnmla)
-        d["fnmls"] = self._i_fma(arith.fnmls)
-        d["fmad"] = self._i_fma(arith.fmad)
-        d["fmsb"] = self._i_fma(arith.fmsb)
-        # Complex arithmetic.
-        d["fcmla"] = self._i_fcmla
-        d["fcadd"] = self._i_fcadd
-        # Vector compares -> predicates (all set NZCV).
-        import operator
-
-        for mnem, fn, is_fp in (
-            ("fcmeq", operator.eq, True), ("fcmne", operator.ne, True),
-            ("fcmgt", operator.gt, True), ("fcmge", operator.ge, True),
-            ("fcmlt", operator.lt, True), ("fcmle", operator.le, True),
-            ("cmpeq", operator.eq, False), ("cmpne", operator.ne, False),
-            ("cmpgt", operator.gt, False), ("cmpge", operator.ge, False),
-            ("cmplt", operator.lt, False), ("cmple", operator.le, False),
-        ):
-            d[mnem] = self._i_vcompare(fn, is_fp)
-        for mnem, fn in (("cmplo", np.less), ("cmpls", np.less_equal),
-                         ("cmphi", np.greater), ("cmphs", np.greater_equal)):
-            d[mnem] = self._i_vcompare(fn, is_fp=False, unsigned=True)
-        # Conversions.
-        d["fcvt"] = self._i_fcvt
-        d["scvtf"] = self._i_scvtf
-        d["fcvtzs"] = self._i_fcvtzs
-        # Loads/stores (contiguous + structure), prefetches as no-ops.
-        for n in "1234":
-            for suf in "bhwd":
-                d[f"ld{n}{suf}"] = self._i_ldn
-                d[f"st{n}{suf}"] = self._i_stn
-        for suf in "bhwd":
-            d[f"prf{suf}"] = lambda insn: None
-            d[f"stnt1{suf}"] = self._i_stn
-            d[f"ldnt1{suf}"] = self._i_ldn
-        # Permutes.
-        d["zip1"] = self._i_perm2(permute.zip1)
-        d["zip2"] = self._i_perm2(permute.zip2)
-        d["uzp1"] = self._i_perm2(permute.uzp1)
-        d["uzp2"] = self._i_perm2(permute.uzp2)
-        d["trn1"] = self._i_perm2(permute.trn1)
-        d["trn2"] = self._i_perm2(permute.trn2)
-        d["rev"] = self._i_rev
-        d["ext"] = self._i_ext
-        d["tbl"] = self._i_tbl
-        d["splice"] = self._i_splice
-        d["compact"] = self._i_compact
-        d["insr"] = self._i_insr
-        d["lasta"] = self._i_lasta
-        d["lastb"] = self._i_lastb
-        # Reductions.
-        d["faddv"] = self._i_faddv
-        d["fadda"] = self._i_fadda
-        d["fmaxv"] = self._i_freduce(reduce.fmaxv)
-        d["fminv"] = self._i_freduce(reduce.fminv)
-        d["saddv"] = self._i_saddv
-        d["uaddv"] = self._i_saddv
 
     # ==================================================================
     # Scalar handlers
@@ -652,8 +558,9 @@ class Machine:
     # ==================================================================
     # FP arithmetic handler factories
     # ==================================================================
-    def _i_fbin(self, fn):
-        def handler(insn: Instruction) -> None:
+    @staticmethod
+    def _i_fbin(fn):
+        def handler(self, insn: Instruction) -> None:
             ops = insn.operands
             if len(ops) == 3 and not isinstance(ops[1], POp):
                 dst, a, b = ops
@@ -673,8 +580,9 @@ class Machine:
                 self._wzf(dst, fn(av, bv, pred=active, old=old))
         return handler
 
-    def _i_funary(self, fn):
-        def handler(insn: Instruction) -> None:
+    @staticmethod
+    def _i_funary(fn):
+        def handler(self, insn: Instruction) -> None:
             if len(insn.operands) == 2:
                 dst, a = insn.operands
                 self._wzf(dst, fn(self._zf(a)))
@@ -686,8 +594,9 @@ class Machine:
                 self._wzf(dst, fn(self._zf(a), pred=active, old=old))
         return handler
 
-    def _i_fma(self, fn):
-        def handler(insn: Instruction) -> None:
+    @staticmethod
+    def _i_fma(fn):
+        def handler(self, insn: Instruction) -> None:
             dst, pg, a, b = insn.operands
             esize = self._esize(dst)
             active = self._pred(pg, esize)
@@ -709,10 +618,11 @@ class Machine:
             old = self._zi(ZOp(dst.idx, dst.suffix))
             self._wzi(dst, np.where(active, fn(self._zi(a), bv), old))
 
-    def _i_vcompare(self, fn, is_fp: bool, unsigned: bool = False):
+    @staticmethod
+    def _i_vcompare(fn, is_fp: bool, unsigned: bool = False):
         """Vector compare: ``cmp<cc> pd.T, pg/z, zn.T, zm.T|#imm``."""
 
-        def handler(insn: Instruction) -> None:
+        def handler(self, insn: Instruction) -> None:
             dst, pg, a, b = insn.operands
             esize = self._esize(dst)
             governing = self._pred(pg, esize)
@@ -864,8 +774,9 @@ class Machine:
     # ==================================================================
     # Permutes
     # ==================================================================
-    def _i_perm2(self, fn):
-        def handler(insn: Instruction) -> None:
+    @staticmethod
+    def _i_perm2(fn):
+        def handler(self, insn: Instruction) -> None:
             dst, a, b = insn.operands
             self._wzu(dst, fn(self._zu(a), self._zu(b)))
         return handler
@@ -948,8 +859,9 @@ class Machine:
         val = reduce.fadda(active, init_v, self._zf(src))
         self._write_fp_scalar(VOp(dst.idx, dst.suffix), float(val))
 
-    def _i_freduce(self, fn):
-        def handler(insn: Instruction) -> None:
+    @staticmethod
+    def _i_freduce(fn):
+        def handler(self, insn: Instruction) -> None:
             dst, pg, src = insn.operands
             esize = self._esize(src)
             active = self._pred(pg, esize)
@@ -969,3 +881,136 @@ class Machine:
             self.z.write(dst.idx, UINT_BY_SUFFIX["d"], vec)
         else:
             self.x.write(dst.idx, val)
+
+# ======================================================================
+# Dispatch construction (module level: the table is shared by every
+# Machine instance — handlers are plain ``(machine, insn)`` callables)
+# ======================================================================
+
+def _dispatch_table() -> dict:
+    global _DISPATCH_TABLE
+    if _DISPATCH_TABLE is not None:
+        return _DISPATCH_TABLE
+    M = Machine
+    d: dict[str, Callable] = {}
+    # Scalar control / ALU.
+    d["mov"] = M._i_mov
+    d["movprfx"] = M._i_movprfx
+    d["add"] = M._i_add
+    d["sub"] = M._i_sub
+    d["mul"] = M._i_mul
+    d["lsl"] = M._i_lsl
+    d["lsr"] = M._i_lsr
+    d["cmp"] = M._i_cmp
+    d["b"] = M._i_b
+    d["cbz"] = M._i_cbz
+    d["cbnz"] = M._i_cbnz
+    d["nop"] = lambda machine, insn: None
+    d["rdvl"] = M._i_rdvl
+    d["ldr"] = M._i_ldr
+    d["str"] = M._i_str
+    # Predicate generation / logic.
+    d["ptrue"] = M._i_ptrue
+    d["pfalse"] = M._i_pfalse
+    d["whilelo"] = M._i_whilelo
+    d["whilelt"] = M._i_whilelt
+    d["brkn"] = M._i_brkn
+    d["brkns"] = M._i_brkn
+    d["brka"] = M._i_brka
+    d["brkas"] = M._i_brka
+    d["brkb"] = M._i_brkb
+    d["brkbs"] = M._i_brkb
+    d["pnext"] = M._i_pnext
+    d["pfirst"] = M._i_pfirst
+    d["ptest"] = M._i_ptest
+    d["cntp"] = M._i_cntp
+    d["and"] = M._i_and
+    d["orr"] = M._i_orr
+    d["eor"] = M._i_eor
+    d["bic"] = M._i_bic
+    d["ands"] = M._i_and
+    d["orrs"] = M._i_orr
+    d["eors"] = M._i_eor
+    d["bics"] = M._i_bic
+    # Element counters.
+    for suf in "bhwd":
+        d[f"cnt{suf}"] = M._i_cntx
+        d[f"inc{suf}"] = M._i_incx
+        d[f"dec{suf}"] = M._i_decx
+    # Vector moves / immediates.
+    d["dup"] = M._i_dup
+    d["fdup"] = M._i_fdup
+    d["fmov"] = M._i_fdup
+    d["index"] = M._i_index
+    d["sel"] = M._i_sel
+    # FP arithmetic.
+    d["fadd"] = M._i_fbin(arith.fadd)
+    d["fsub"] = M._i_fbin(arith.fsub)
+    d["fmul"] = M._i_fbin(arith.fmul)
+    d["fdiv"] = M._i_fbin(arith.fdiv)
+    d["fmax"] = M._i_fbin(arith.fmax)
+    d["fmin"] = M._i_fbin(arith.fmin)
+    d["fneg"] = M._i_funary(arith.fneg)
+    d["fabs"] = M._i_funary(arith.fabs_)
+    d["fsqrt"] = M._i_funary(arith.fsqrt)
+    d["fmla"] = M._i_fma(arith.fmla)
+    d["fmls"] = M._i_fma(arith.fmls)
+    d["fnmla"] = M._i_fma(arith.fnmla)
+    d["fnmls"] = M._i_fma(arith.fnmls)
+    d["fmad"] = M._i_fma(arith.fmad)
+    d["fmsb"] = M._i_fma(arith.fmsb)
+    # Complex arithmetic.
+    d["fcmla"] = M._i_fcmla
+    d["fcadd"] = M._i_fcadd
+    # Vector compares -> predicates (all set NZCV).
+    import operator
+
+    for mnem, fn, is_fp in (
+        ("fcmeq", operator.eq, True), ("fcmne", operator.ne, True),
+        ("fcmgt", operator.gt, True), ("fcmge", operator.ge, True),
+        ("fcmlt", operator.lt, True), ("fcmle", operator.le, True),
+        ("cmpeq", operator.eq, False), ("cmpne", operator.ne, False),
+        ("cmpgt", operator.gt, False), ("cmpge", operator.ge, False),
+        ("cmplt", operator.lt, False), ("cmple", operator.le, False),
+    ):
+        d[mnem] = M._i_vcompare(fn, is_fp)
+    for mnem, fn in (("cmplo", np.less), ("cmpls", np.less_equal),
+                     ("cmphi", np.greater), ("cmphs", np.greater_equal)):
+        d[mnem] = M._i_vcompare(fn, is_fp=False, unsigned=True)
+    # Conversions.
+    d["fcvt"] = M._i_fcvt
+    d["scvtf"] = M._i_scvtf
+    d["fcvtzs"] = M._i_fcvtzs
+    # Loads/stores (contiguous + structure), prefetches as no-ops.
+    for n in "1234":
+        for suf in "bhwd":
+            d[f"ld{n}{suf}"] = M._i_ldn
+            d[f"st{n}{suf}"] = M._i_stn
+    for suf in "bhwd":
+        d[f"prf{suf}"] = lambda machine, insn: None
+        d[f"stnt1{suf}"] = M._i_stn
+        d[f"ldnt1{suf}"] = M._i_ldn
+    # Permutes.
+    d["zip1"] = M._i_perm2(permute.zip1)
+    d["zip2"] = M._i_perm2(permute.zip2)
+    d["uzp1"] = M._i_perm2(permute.uzp1)
+    d["uzp2"] = M._i_perm2(permute.uzp2)
+    d["trn1"] = M._i_perm2(permute.trn1)
+    d["trn2"] = M._i_perm2(permute.trn2)
+    d["rev"] = M._i_rev
+    d["ext"] = M._i_ext
+    d["tbl"] = M._i_tbl
+    d["splice"] = M._i_splice
+    d["compact"] = M._i_compact
+    d["insr"] = M._i_insr
+    d["lasta"] = M._i_lasta
+    d["lastb"] = M._i_lastb
+    # Reductions.
+    d["faddv"] = M._i_faddv
+    d["fadda"] = M._i_fadda
+    d["fmaxv"] = M._i_freduce(reduce.fmaxv)
+    d["fminv"] = M._i_freduce(reduce.fminv)
+    d["saddv"] = M._i_saddv
+    d["uaddv"] = M._i_saddv
+    _DISPATCH_TABLE = d
+    return d

@@ -33,8 +33,10 @@ from repro.vectorizer.ir import (
     reference_eval,
 )
 from repro.vectorizer.autovec import VectorizeError, vectorize
+from repro.vectorizer.passes import OptResult, PassStats, optimize_kernel, simplify
 
 __all__ = [
     "Add", "Array", "Conj", "Const", "Kernel", "Load", "Mul", "Neg", "Sub",
     "reference_eval", "vectorize", "VectorizeError",
+    "OptResult", "PassStats", "optimize_kernel", "simplify",
 ]

@@ -1,0 +1,136 @@
+"""IR simplification passes run before lowering.
+
+The lowering in :mod:`repro.vectorizer.autovec` fuses ``acc + b*c``
+into a single predicated FMA (fmla/fmls, or FCMLA pairs on the
+complex-ISA path) — the software analogue of the paper's chained-FCMLA
+instruction-economy argument.  It only recognises the literal
+``Add(x, Mul(a, b))`` / ``Sub(x, Mul(a, b))`` shapes, though, so this
+module canonicalises expressions toward them and folds what can be
+folded at compile time.
+
+Every rewrite here is IEEE-exact, not merely algebraic:
+
+* ``Neg(Neg(x)) -> x`` and ``Conj(Conj(x)) -> x`` (involutions);
+* ``Add(x, Neg(y)) -> Sub(x, y)`` and ``Sub(x, Neg(y)) -> Add(x, y)``
+  (IEEE-754 defines ``x + (-y)`` and ``x - y`` identically) — this is
+  what exposes ``acc - b*c`` hiding under a negation to the fmls
+  lowering;
+* constant folding, evaluated **in the kernel's dtype** so an f32
+  kernel folds in f32 exactly as the machine would have computed it;
+* ``Mul(Const(1), x) -> x`` and (real kernels) ``Mul(Const(-1), x) ->
+  Neg(x)``.
+
+Rules like ``x + 0 -> x`` or ``x * 0 -> 0`` are deliberately absent:
+they are wrong for signed zeros / non-finite inputs, and bit-identity
+with the unoptimised lowering is the contract the trace cache relies
+on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.vectorizer import ir
+
+
+@dataclass
+class PassStats:
+    """What the simplifier did to one kernel expression."""
+
+    folded: int = 0       # constant subtrees collapsed
+    fused: int = 0        # Add/Sub(Neg) rewrites exposing FMA shapes
+    eliminated: int = 0   # involutions and identity multiplies removed
+
+    def total(self) -> int:
+        return self.folded + self.fused + self.eliminated
+
+
+@dataclass
+class OptResult:
+    kernel: ir.Kernel
+    stats: PassStats = field(default_factory=PassStats)
+
+
+def _fold_const(kernel: ir.Kernel, value) -> ir.Const:
+    """Fold to a Const in the kernel dtype (bit-exact vs. runtime)."""
+    v = kernel.dtype.type(value)
+    return ir.Const(complex(v) if kernel.is_complex else float(v))
+
+
+def simplify(kernel: ir.Kernel) -> OptResult:
+    """Return an equivalent kernel with a canonicalised expression."""
+    stats = PassStats()
+    dt = kernel.dtype.type
+
+    def rw(e: ir.Expr) -> ir.Expr:
+        if isinstance(e, (ir.Load, ir.Const)):
+            return e
+        if isinstance(e, ir.Neg):
+            a = rw(e.a)
+            if isinstance(a, ir.Neg):
+                stats.eliminated += 1
+                return a.a
+            if isinstance(a, ir.Const):
+                stats.folded += 1
+                return _fold_const(kernel, -dt(a.value))
+            return ir.Neg(a)
+        if isinstance(e, ir.Conj):
+            a = rw(e.a)
+            if isinstance(a, ir.Conj):
+                stats.eliminated += 1
+                return a.a
+            if isinstance(a, ir.Const):
+                stats.folded += 1
+                return _fold_const(kernel, np.conj(dt(a.value)))
+            return ir.Conj(a)
+        if isinstance(e, ir.Add):
+            a, b = rw(e.a), rw(e.b)
+            if isinstance(a, ir.Const) and isinstance(b, ir.Const):
+                stats.folded += 1
+                return _fold_const(kernel, dt(a.value) + dt(b.value))
+            # x + (-y) == x - y exactly; exposes fmls to the lowering.
+            if isinstance(b, ir.Neg):
+                stats.fused += 1
+                return ir.Sub(a, b.a)
+            if isinstance(a, ir.Neg):
+                stats.fused += 1
+                return ir.Sub(b, a.a)
+            return ir.Add(a, b)
+        if isinstance(e, ir.Sub):
+            a, b = rw(e.a), rw(e.b)
+            if isinstance(a, ir.Const) and isinstance(b, ir.Const):
+                stats.folded += 1
+                return _fold_const(kernel, dt(a.value) - dt(b.value))
+            # x - (-y) == x + y exactly; exposes fmla to the lowering.
+            if isinstance(b, ir.Neg):
+                stats.fused += 1
+                return ir.Add(a, b.a)
+            return ir.Sub(a, b)
+        if isinstance(e, ir.Mul):
+            a, b = rw(e.a), rw(e.b)
+            if isinstance(a, ir.Const) and isinstance(b, ir.Const):
+                stats.folded += 1
+                return _fold_const(kernel, dt(a.value) * dt(b.value))
+            for c, x in ((a, b), (b, a)):
+                if isinstance(c, ir.Const):
+                    if dt(c.value) == dt(1):
+                        stats.eliminated += 1
+                        return x
+                    # Neg has no complex-ISA lowering; real kernels only.
+                    if not kernel.is_complex and dt(c.value) == dt(-1):
+                        stats.eliminated += 1
+                        return rw(ir.Neg(x))
+            return ir.Mul(a, b)
+        raise TypeError(f"not an expression node: {e!r}")
+
+    expr = rw(kernel.expr)
+    if stats.total() == 0:
+        return OptResult(kernel, stats)
+    return OptResult(replace(kernel, expr=expr), stats)
+
+
+def optimize_kernel(kernel: ir.Kernel) -> ir.Kernel:
+    """:func:`simplify`, returning just the kernel."""
+    return simplify(kernel).kernel

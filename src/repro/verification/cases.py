@@ -18,7 +18,7 @@ Categories mirror what Grid's own test battery covers:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import Callable
 
 import numpy as np
 

@@ -257,28 +257,42 @@ def run_campaign_suite(
     vl_bits)`` builds a fresh seeded
     :class:`~repro.resilience.inject.FaultCampaign` per cell, so every
     cell's fault schedule is independent and reproducible.
+
+    Each invocation starts from a clean slate: sticky
+    :class:`~repro.simd.resilient.ResilientBackend` degradations from
+    a previous run are reset (degradation is sticky *within* a run by
+    design, but must not leak across reruns), and the process-wide
+    fallback policy is restored on exit even if a case flips it.
     """
+    from repro.simd.registry import fallback_enabled, set_fallback_policy
+    from repro.simd.resilient import reset_all_degraded
+
+    reset_all_degraded()
+    policy_before = fallback_enabled()
     first = campaign_factory(cases[0].name, vls[0]) if cases else None
     report = CampaignReport(
         campaign=first.name if first is not None else "empty",
         resilient=resilient,
     )
-    for case in cases:
-        for vl_bits in vls:
-            campaign = campaign_factory(case.name, vl_bits)
-            t0 = time.perf_counter()
-            error: Optional[BaseException] = None
-            try:
-                case.fn(vl_bits, campaign, resilient)
-            except Exception as exc:  # noqa: BLE001 - classified below
-                error = exc
-            report.cells.append(CampaignCellResult(
-                name=case.name, category=case.category, vl_bits=vl_bits,
-                outcome=_classify(campaign, error),
-                seconds=time.perf_counter() - t0,
-                fired=campaign.fired, detected=campaign.detected,
-                recovered=campaign.recovered,
-                detail="" if error is None else
-                f"{type(error).__name__}: {error}",
-            ))
+    try:
+        for case in cases:
+            for vl_bits in vls:
+                campaign = campaign_factory(case.name, vl_bits)
+                t0 = time.perf_counter()
+                error: Optional[BaseException] = None
+                try:
+                    case.fn(vl_bits, campaign, resilient)
+                except Exception as exc:  # noqa: BLE001 - classified below
+                    error = exc
+                report.cells.append(CampaignCellResult(
+                    name=case.name, category=case.category, vl_bits=vl_bits,
+                    outcome=_classify(campaign, error),
+                    seconds=time.perf_counter() - t0,
+                    fired=campaign.fired, detected=campaign.detected,
+                    recovered=campaign.recovered,
+                    detail="" if error is None else
+                    f"{type(error).__name__}: {error}",
+                ))
+    finally:
+        set_fallback_policy(policy_before)
     return report

@@ -1,6 +1,5 @@
 """Command-line front-end tests (the ``armie -vl`` work-alike)."""
 
-import numpy as np
 import pytest
 
 from repro.armie.cli import build_parser, main

@@ -7,7 +7,6 @@ Section V-D rests on.
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -1,7 +1,6 @@
 """Random-field determinism and checksum tests."""
 
 import numpy as np
-import pytest
 
 from repro.grid.cartesian import GridCartesian
 from repro.grid.checksum import field_checksum, scalar_checksum

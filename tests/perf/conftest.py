@@ -1,0 +1,16 @@
+import pytest
+
+import repro.perf as perf
+from repro.perf.counters import reset_counters
+from repro.perf.trace_cache import clear_cache
+
+
+@pytest.fixture(autouse=True)
+def clean_engine():
+    """Default engine config, empty caches and zeroed counters per test."""
+    clear_cache()
+    reset_counters()
+    with perf.configured(enabled=True, workers=1, tile_min_sites=128):
+        yield
+    clear_cache()
+    reset_counters()

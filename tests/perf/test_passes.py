@@ -1,0 +1,104 @@
+"""The IR simplifier: IEEE-exact rewrites only, FMA shapes exposed,
+and bit-identical execution of optimized vs unoptimized kernels."""
+
+import numpy as np
+
+import repro.perf as perf
+from repro.perf.trace_cache import cached_run_kernel
+from repro.vectorizer import ir
+from repro.vectorizer.passes import simplify
+
+
+def _kernel(expr, scalar_type="c128", n_inputs=2):
+    return ir.Kernel(
+        name="t",
+        scalar_type=scalar_type,
+        inputs=[ir.Array(f"a{i}") for i in range(n_inputs)],
+        expr=expr,
+        output=ir.Array("z", const=False),
+    )
+
+
+def _arrays(kernel, n=97, seed=3):
+    rng = np.random.default_rng(seed)
+    out = []
+    for _ in kernel.inputs:
+        a = rng.normal(size=n)
+        if kernel.is_complex:
+            a = a + 1j * rng.normal(size=n)
+        out.append(a.astype(kernel.dtype))
+    return out
+
+
+class TestRewrites:
+    def test_add_neg_becomes_sub(self):
+        """``x + (-(c*y))`` is the fmls shape hiding under a Neg."""
+        k = _kernel(ir.Add(ir.Load(0),
+                           ir.Neg(ir.Mul(ir.Const(0.75 + 0.5j),
+                                         ir.Load(1)))))
+        res = simplify(k)
+        assert res.stats.fused == 1
+        assert isinstance(res.kernel.expr, ir.Sub)
+        assert isinstance(res.kernel.expr.b, ir.Mul)
+
+    def test_sub_neg_becomes_add(self):
+        k = _kernel(ir.Sub(ir.Load(0), ir.Neg(ir.Load(1))))
+        res = simplify(k)
+        assert res.stats.fused == 1
+        assert isinstance(res.kernel.expr, ir.Add)
+
+    def test_double_neg_eliminated(self):
+        k = _kernel(ir.Neg(ir.Neg(ir.Load(0))), n_inputs=1)
+        res = simplify(k)
+        assert res.stats.eliminated == 1
+        assert isinstance(res.kernel.expr, ir.Load)
+
+    def test_mul_by_one_eliminated(self):
+        k = _kernel(ir.Mul(ir.Const(1.0), ir.Load(0)), n_inputs=1)
+        res = simplify(k)
+        assert res.stats.eliminated == 1
+        assert isinstance(res.kernel.expr, ir.Load)
+
+    def test_const_folding_uses_kernel_dtype(self):
+        """An f32 kernel folds constants in f32 — exactly what the
+        machine would have computed at run time."""
+        k = _kernel(ir.Mul(ir.Const(1.0 / 3.0), ir.Const(3.0)),
+                    scalar_type="f32", n_inputs=1)
+        res = simplify(k)
+        assert res.stats.folded == 1
+        want = float(np.float32(1.0 / 3.0) * np.float32(3.0))
+        assert res.kernel.expr.value == want
+
+    def test_no_unsafe_zero_rules(self):
+        """``x + 0`` and ``x * 0`` must survive: they are not IEEE
+        no-ops (signed zeros, NaN/inf propagation)."""
+        add0 = simplify(_kernel(ir.Add(ir.Load(0), ir.Const(0.0)),
+                                n_inputs=1))
+        mul0 = simplify(_kernel(ir.Mul(ir.Load(0), ir.Const(0.0)),
+                                n_inputs=1))
+        assert isinstance(add0.kernel.expr, ir.Add)
+        assert isinstance(mul0.kernel.expr, ir.Mul)
+
+
+class TestBitIdenticalExecution:
+    def test_optimized_kernels_run_bit_identical(self):
+        kernels = [
+            (ir.axpy_kernel(0.5 - 0.25j), False),
+            (ir.axpy_kernel(0.5 - 0.25j), True),
+            (ir.conj_mul_kernel(), True),
+            (_kernel(ir.Add(ir.Load(0),
+                            ir.Neg(ir.Mul(ir.Const(0.75 + 0.5j),
+                                          ir.Load(1))))), False),
+            (_kernel(ir.Mul(ir.Const(1.0), ir.Load(0)),
+                     scalar_type="f64", n_inputs=1), False),
+        ]
+        with perf.disabled():  # compile both ways, no memoization
+            for kernel, cisa in kernels:
+                arrs = _arrays(kernel)
+                opt = cached_run_kernel(kernel, arrs, 256,
+                                        complex_isa=cisa,
+                                        optimize=True).output
+                raw = cached_run_kernel(kernel, arrs, 256,
+                                        complex_isa=cisa,
+                                        optimize=False).output
+                assert np.array_equal(opt, raw), kernel.name

@@ -5,7 +5,6 @@ import pytest
 
 from repro.sve.decoder import assemble
 from repro.sve.machine import Machine, SimulationError
-from repro.sve.memory import Memory
 from repro.sve.types import EType
 from repro.sve.vl import VL
 

@@ -1,7 +1,6 @@
 """Real-arithmetic instruction semantics, with hypothesis properties."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 from hypothesis.extra import numpy as hnp

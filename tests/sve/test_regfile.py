@@ -6,7 +6,6 @@ import pytest
 
 from repro.sve.regfile import Flags, PRegisterFile, XRegisterFile, ZRegisterFile
 from repro.sve.types import EType
-from repro.sve.vl import VL
 
 
 class TestZRegisterFile:

@@ -7,7 +7,7 @@ import pytest
 
 from repro.sve import costmodel
 from repro.sve.decoder import assemble
-from repro.sve.faults import PRISTINE, FaultModel, armclang_18_3
+from repro.sve.faults import PRISTINE, armclang_18_3
 from repro.sve.machine import Machine
 from repro.sve.tracer import Tracer, categorize
 from repro.sve.vl import VL

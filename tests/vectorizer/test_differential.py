@@ -8,7 +8,6 @@ the numpy reference evaluator.  This is the compiler-testing technique
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -1,6 +1,5 @@
 """Verification-harness tests: the Section V-D result shape."""
 
-import numpy as np
 import pytest
 
 from repro.sve.faults import armclang_18_3
