@@ -69,13 +69,21 @@ def main(argv=None) -> int:
         metavar="LIST",
         help="comma-separated campaign VLs (e.g. 128,256,512)",
     )
+    ap.add_argument(
+        "--no-overlap",
+        action="store_true",
+        help="run the suite with the comms-overlap engine disabled "
+        "(the nightly matrix runs both; overlap_dslash still measures "
+        "both paths internally)",
+    )
     args = ap.parse_args(argv)
 
     vls = None
     if args.vls:
         vls = tuple(int(v) for v in args.vls.split(","))
 
-    report = harness.run_suite(full=args.full, workers=args.workers, vls=vls)
+    report = harness.run_suite(full=args.full, workers=args.workers, vls=vls,
+                               overlap=not args.no_overlap)
     report["created"] = datetime.date.today().isoformat()
     print(harness.format_report(report))
 

@@ -1,0 +1,139 @@
+"""Overlapped halo exchange and multi-RHS batched solves.
+
+Section II-A: "A significant fraction of time-to-solution of LQCD
+applications is spent in solving a linear set of equations" — and
+propagator workloads solve many such systems on the *same* gauge
+configuration (one per spin-colour source component).  This example
+shows the two amortisations this reproduction implements for that
+workload:
+
+1. **Communication/computation overlap** — the distributed Wilson
+   operator posts all halos up front and hides the (simulated) wire
+   latency behind interior compute, bit-identically to the ordered
+   serial exchange.
+2. **Multi-RHS batching** — stacking sources into one `(nrhs, 4, 3)`
+   batch makes one halo exchange and one neighbour gather serve every
+   right-hand side, and the block CG solver issues one batched
+   operator application per iteration for the whole batch.
+
+Usage::
+
+    python examples/multi_rhs_solver.py
+"""
+
+import time
+
+import numpy as np
+
+import repro.perf as perf
+from repro.bench.tables import Table
+from repro.grid.cartesian import GridCartesian
+from repro.grid.comms import DistributedLattice, LatencyModel
+from repro.grid.dist_wilson import DistributedWilson, distribute_gauge
+from repro.grid.multirhs import split_rhs, stack_rhs
+from repro.grid.random import random_gauge, random_spinor
+from repro.grid.solver import solve_wilson_cgne, solve_wilson_cgne_batched
+from repro.grid.wilson import WilsonDirac
+from repro.simd import get_backend
+
+DIMS = [4, 4, 4, 4]
+MPI = [2, 1, 1, 1]
+NRHS = 4
+
+
+def overlap_demo(be, links, psi) -> None:
+    """Ordered vs overlapped halo exchange under simulated latency."""
+    model = LatencyModel(latency_s=5e-4)
+    dlinks = distribute_gauge(links, DIMS, be, MPI)
+    w = DistributedWilson(dlinks, mass=0.1)
+    dpsi = DistributedLattice(DIMS, be, MPI, (4, 3),
+                              latency=model).scatter(psi.to_canonical())
+
+    results = {}
+    for label, overlap in (("ordered", False), ("overlapped", True)):
+        with perf.configured(enabled=True, overlap_comms=overlap):
+            w.dhop(dpsi)  # warm the gather plans
+            t0 = time.perf_counter()
+            out = w.dhop(dpsi)
+            results[label] = (time.perf_counter() - t0, out.gather())
+
+    t_ord, ordered = results["ordered"]
+    t_ovl, overlapped = results["overlapped"]
+    table = Table(
+        ["schedule", "wall [ms]", "bit-identical"],
+        title=f"Halo exchange under {model.latency_s * 1e3:.1f} ms "
+              "simulated latency",
+        align=["l", "r", "l"],
+    )
+    table.add("ordered serial", f"{t_ord * 1e3:8.2f}", "reference")
+    table.add("overlapped", f"{t_ovl * 1e3:8.2f}",
+              str(np.array_equal(ordered, overlapped)))
+    print(table.render())
+    print(f"  overlap speedup: {t_ord / t_ovl:.2f}x "
+          f"(latency hidden behind interior compute)\n")
+
+
+def batching_demo(be, links, sources) -> None:
+    """One exchange serves the whole batch; block CG solves it."""
+    dlinks = distribute_gauge(links, DIMS, be, MPI)
+    w = DistributedWilson(dlinks, mass=0.1)
+    singles = [DistributedLattice(DIMS, be, MPI, (4, 3)).scatter(
+        s.to_canonical()) for s in sources]
+    batch = stack_rhs(singles)
+
+    with perf.configured(enabled=True):
+        singles[0].stats.reset()
+        w.dhop(singles[0])
+        m_single = singles[0].stats.messages
+        batch.stats.reset()
+        w.dhop(batch)
+        m_batch = batch.stats.messages
+    print(f"halo messages, 1 RHS : {m_single}")
+    print(f"halo messages, {len(sources)} RHS : {m_batch}  "
+          "(batched dhop — same exchange serves every column)\n")
+
+
+def block_solve_demo(be, links, sources) -> None:
+    """Block CGNE vs the per-RHS solve loop (single rank)."""
+    dirac = WilsonDirac(links, mass=0.3)
+    with perf.configured(enabled=True):
+        t0 = time.perf_counter()
+        solos = [solve_wilson_cgne(dirac, s, tol=1e-7) for s in sources]
+        t_loop = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        res = solve_wilson_cgne_batched(dirac, stack_rhs(sources), tol=1e-7)
+        t_batch = time.perf_counter() - t0
+
+    table = Table(
+        ["solve", "operator applications", "wall [ms]", "max residual"],
+        title=f"CGNE, {len(sources)} right-hand sides",
+        align=["l", "r", "r", "r"],
+    )
+    table.add("per-RHS loop", f"{sum(s.iterations for s in solos)}",
+              f"{t_loop * 1e3:8.1f}",
+              f"{max(s.residual for s in solos):.2e}")
+    table.add("block CG", f"{res.iterations}", f"{t_batch * 1e3:8.1f}",
+              f"{res.residual:.2e}")
+    print(table.render())
+    worst = max(
+        (c - s.x).norm2() ** 0.5 / s.x.norm2() ** 0.5
+        for c, s in zip(split_rhs(res.x), solos)
+    )
+    print(f"  max relative difference vs per-RHS solutions: {worst:.2e}")
+    print(f"  loop/batch wall ratio: {t_loop / t_batch:.2f}x\n")
+
+
+def main() -> None:
+    be = get_backend("generic256")
+    grid = GridCartesian(DIMS, be)
+    links = random_gauge(grid, seed=11)
+    psi = random_spinor(grid, seed=7)
+    sources = [random_spinor(grid, seed=40 + j) for j in range(NRHS)]
+
+    overlap_demo(be, links, psi)
+    batching_demo(be, links, sources)
+    block_solve_demo(be, links, sources)
+
+
+if __name__ == "__main__":
+    main()

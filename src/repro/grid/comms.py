@@ -26,10 +26,27 @@ truncated message is zero-filled, a corrupted one is used as-is — the
 classic silent-data-corruption failure mode the checksummed path
 exists to prevent.  With no injector and no faults the checksummed
 path is bit-identical to the plain one.
+
+Asynchronous exchange
+---------------------
+Real halo exchange is non-blocking (``MPI_Isend``/``MPI_Irecv``); Grid
+hides it behind interior compute.  Here the split is explicit:
+:meth:`DistributedLattice._post_halo` performs the deterministic wire
+work (accounting, compression, checksum/retry) immediately and hands
+back a :class:`HaloHandle` whose *availability* is delayed by a
+pluggable :class:`LatencyModel`; :class:`AsyncCommsQueue` tracks the
+in-flight set and blocks in ``wait``.  With no latency model (the
+default) a wait returns instantly and the behaviour is exactly the old
+synchronous exchange.  The overlap engine (:mod:`repro.grid.overlap`)
+posts every halo up front and computes interior sites while the
+messages are "in flight", which is what makes the overlap observable
+and benchmarkable without real MPI.
 """
 
 from __future__ import annotations
 
+import time
+import weakref
 import zlib
 from dataclasses import dataclass
 
@@ -40,11 +57,128 @@ from repro.grid.cartesian import GridCartesian
 from repro.grid.coordinates import coordinate_table, index_of, indices_of
 from repro.grid.cshift import cshift_local
 from repro.grid.lattice import Lattice
+from repro.perf.counters import counters as _perf_counters
 
 
 class HaloExchangeError(RuntimeError):
     """A halo message could not be delivered intact within the retry
     budget (detected, but unrecovered)."""
+
+
+#: Live distributed lattices, for :func:`reset_all_comms` (weakly held
+#: so benchmark/test fixtures can reset stray state without keeping
+#: lattices alive).
+_LIVE_COMMS: "weakref.WeakSet" = weakref.WeakSet()
+
+
+def reset_all_comms() -> int:
+    """Clear the comms state of every live :class:`DistributedLattice`:
+    traffic/resilience counters and any halo still in the in-flight
+    queue.  Returns how many lattices were touched.  Called between
+    benchmark repetitions and campaign runs (the comms analogue of
+    :func:`repro.simd.resilient.reset_all_degraded`) so one run's
+    counters cannot bleed into the next's gated metrics."""
+    n = 0
+    for dl in list(_LIVE_COMMS):
+        dl.stats.reset()
+        dl.comms_queue.reset()
+        n += 1
+    return n
+
+
+@dataclass(frozen=True)
+class LatencyModel:
+    """Simulated wire latency for the async halo exchange.
+
+    A posted message becomes available ``latency_s + nbytes *
+    seconds_per_byte`` after its post (an alpha-beta network model).
+    The *content* of the message is computed deterministically at post
+    time; the model delays only availability — so results are
+    bit-identical at any latency, while wall-clock behaviour shows the
+    serial-vs-overlapped difference the benchmarks measure.
+    """
+
+    latency_s: float = 0.0
+    seconds_per_byte: float = 0.0
+
+    def delay_for(self, nbytes: int) -> float:
+        return self.latency_s + nbytes * self.seconds_per_byte
+
+
+class HaloHandle:
+    """One in-flight halo message (the simulated ``MPI_Request``)."""
+
+    __slots__ = ("data", "ready_at", "nbytes", "tag", "done")
+
+    def __init__(self, data, ready_at: float, nbytes: int, tag: str) -> None:
+        self.data = data
+        self.ready_at = ready_at
+        self.nbytes = nbytes
+        self.tag = tag
+        self.done = False
+
+
+class AsyncCommsQueue:
+    """The in-flight halo queue: post now, wait later.
+
+    Tracks how many messages are simultaneously outstanding
+    (``max_in_flight`` — 1 for the ordered serial exchange, up to
+    2·ndim·nranks for the overlap engine) and how long ``wait``
+    actually blocked (``wait_seconds`` — the latency the overlap
+    failed to hide).
+    """
+
+    def __init__(self, latency: LatencyModel = None) -> None:
+        self.latency = latency
+        self.in_flight: list = []
+        self.posted = 0
+        self.completed = 0
+        self.max_in_flight = 0
+        self.wait_seconds = 0.0
+
+    def post(self, data, nbytes: int, tag: str = "") -> HaloHandle:
+        delay = self.latency.delay_for(nbytes) if self.latency else 0.0
+        handle = HaloHandle(data, time.perf_counter() + delay,
+                            int(nbytes), tag)
+        self.in_flight.append(handle)
+        self.posted += 1
+        self.max_in_flight = max(self.max_in_flight, len(self.in_flight))
+        _perf_counters().bump("halo_posts")
+        return handle
+
+    def wait(self, handle: HaloHandle):
+        """Block until ``handle`` lands; returns the received data."""
+        if not handle.done:
+            remaining = handle.ready_at - time.perf_counter()
+            if remaining > 0:
+                t0 = time.perf_counter()
+                if remaining > 1e-3:
+                    time.sleep(remaining - 5e-4)
+                while time.perf_counter() < handle.ready_at:
+                    pass  # sub-millisecond tail: spin for accuracy
+                self.wait_seconds += time.perf_counter() - t0
+            handle.done = True
+            self.in_flight.remove(handle)
+            self.completed += 1
+            _perf_counters().bump("halo_waits")
+        return handle.data
+
+    def drain(self) -> None:
+        """Complete every outstanding message."""
+        for handle in list(self.in_flight):
+            self.wait(handle)
+
+    @property
+    def pending(self) -> int:
+        return len(self.in_flight)
+
+    def reset(self) -> None:
+        """Discard in-flight messages and zero the queue counters."""
+        self.in_flight.clear()
+        self.posted = 0
+        self.completed = 0
+        self.max_in_flight = 0
+        self.wait_seconds = 0.0
 
 
 @dataclass
@@ -78,6 +212,19 @@ class CommsStats:
     def detected_failures(self) -> int:
         """All protocol-visible delivery failures."""
         return self.detected_corruptions + self.detected_drops
+
+    def reset(self) -> None:
+        """Zero every counter (between benchmark reps / campaign runs)."""
+        self.messages = 0
+        self.complex_sent = 0
+        self.bytes_sent = 0
+        self.retries = 0
+        self.detected_corruptions = 0
+        self.detected_drops = 0
+        self.duplicates_discarded = 0
+        self.recovered_messages = 0
+        self.unrecovered_failures = 0
+        self.backoff_units = 0
 
 
 class RankGeometry:
@@ -120,18 +267,27 @@ class DistributedLattice:
         Retransmissions allowed per message before the exchange gives
         up and raises :class:`HaloExchangeError` (checksummed path
         only).
+    latency:
+        Optional :class:`LatencyModel` delaying halo availability
+        (``None`` means a zero-latency wire, i.e. the old synchronous
+        behaviour).
     """
 
     def __init__(self, gdims, backend, mpi_layout, tensor_shape,
                  simd_layout=None, compress_halos: bool = False,
                  dtype=np.complex128, checksum_halos: bool = False,
-                 comms_faults=None, max_retries: int = 3) -> None:
+                 comms_faults=None, max_retries: int = 3,
+                 latency: LatencyModel = None) -> None:
         self.ranks = RankGeometry(mpi_layout)
         self.compress_halos = compress_halos
         self.checksum_halos = checksum_halos
         self.comms_faults = comms_faults
         self.max_retries = int(max_retries)
+        self.latency = latency
         self.stats = CommsStats()
+        self.comms_queue = AsyncCommsQueue(latency)
+        self._shift_params: dict = {}
+        self._halo_sizes: dict = {}
         self.grids = []
         self.locals: list[Lattice] = []
         for r in range(self.ranks.nranks):
@@ -141,21 +297,34 @@ class DistributedLattice:
             self.locals.append(Lattice(grid, tensor_shape))
         self.gdims = self.grids[0].gdims
         self.tensor_shape = self.locals[0].tensor_shape
+        _LIVE_COMMS.add(self)
 
-    def clone_empty(self) -> "DistributedLattice":
-        """A new distributed field sharing geometry, comms config and
-        stats with ``self`` but holding no local lattices yet."""
+    def clone_empty(self, tensor_shape=None) -> "DistributedLattice":
+        """A new distributed field sharing geometry, comms config,
+        stats and the in-flight queue with ``self`` but holding no
+        local lattices yet.  ``tensor_shape`` overrides the per-site
+        tensor (used by the multi-RHS batch type); the halo-size cache
+        is shared only when the tensor is unchanged."""
         out = DistributedLattice.__new__(DistributedLattice)
         out.ranks = self.ranks
         out.compress_halos = self.compress_halos
         out.checksum_halos = self.checksum_halos
         out.comms_faults = self.comms_faults
         out.max_retries = self.max_retries
+        out.latency = self.latency
         out.stats = self.stats
+        out.comms_queue = self.comms_queue
+        out._shift_params = self._shift_params
         out.grids = self.grids
         out.gdims = self.gdims
-        out.tensor_shape = self.tensor_shape
+        if tensor_shape is None:
+            out.tensor_shape = self.tensor_shape
+            out._halo_sizes = self._halo_sizes
+        else:
+            out.tensor_shape = tuple(int(t) for t in tensor_shape)
+            out._halo_sizes = {}
         out.locals = []
+        _LIVE_COMMS.add(out)
         return out
 
     # ------------------------------------------------------------------
@@ -255,31 +424,71 @@ class DistributedLattice:
     # ------------------------------------------------------------------
     # Halo exchange + shift
     # ------------------------------------------------------------------
-    def _exchanged_field(self, src_rank: int, dim: int) -> np.ndarray:
-        """The +dim neighbour's local field, through the (optionally
-        compressing, optionally checksummed) wire.  Volume is accounted
-        as the genuine halo — one boundary slab — although the
-        simulation hands over the full array for simplicity."""
+    def _halo_sizes_for(self, dim: int):
+        """Memoized (n_complex, wire_bytes) of one +dim halo message."""
+        sizes = self._halo_sizes.get(dim)
+        if sizes is None:
+            grid = self.grids[0]
+            halo_sites = grid.lsites // grid.ldims[dim]
+            n_complex = halo_sites * int(np.prod(self.tensor_shape))
+            sizes = (n_complex, compression.wire_bytes(
+                n_complex, self.compress_halos, grid.dtype))
+            self._halo_sizes[dim] = sizes
+        return sizes
+
+    def _post_halo(self, src_rank: int, dim: int) -> HaloHandle:
+        """Post the +dim neighbour's field exchange for ``src_rank`` to
+        the in-flight queue.  Volume is accounted as the genuine halo —
+        one boundary slab — although the simulation hands over the full
+        array for simplicity.
+
+        Every deterministic step of the wire path — accounting,
+        compression, fault injection, checksum verification, retry —
+        runs *here at post time*; the latency model delays only the
+        availability of the (already final) received data.  That is
+        what makes the overlapped exchange bit-identical to the
+        ordered one by construction.
+        """
         nbr = self.ranks.neighbour(src_rank, dim, +1)
         data = self.locals[nbr].data
         grid = self.grids[src_rank]
-        halo_sites = grid.lsites // grid.ldims[dim]
-        n_complex = halo_sites * int(np.prod(self.tensor_shape))
+        n_complex, nbytes = self._halo_sizes_for(dim)
         self.stats.record(n_complex, self.compress_halos, grid.dtype)
         pristine = self.comms_faults is None
+        tag = f"r{src_rank}+d{dim}"
         if not self.compress_halos:
             if pristine and not self.checksum_halos:
-                return data
+                return self.comms_queue.post(data, nbytes, tag)
             wire = np.ascontiguousarray(data).view(np.uint8).ravel()
             received = self._transmit(wire)
-            return received.copy().view(grid.dtype).reshape(data.shape)
+            out = received.copy().view(grid.dtype).reshape(data.shape)
+            return self.comms_queue.post(out, nbytes, tag)
         wire16 = compression.compress_complex(data)
         wire = np.ascontiguousarray(wire16).view(np.uint8).ravel()
         received = self._transmit(wire) if not pristine or \
             self.checksum_halos else wire
-        return compression.decompress_complex(
+        out = compression.decompress_complex(
             received.copy().view(np.float16), grid.dtype
         ).reshape(data.shape)
+        return self.comms_queue.post(out, nbytes, tag)
+
+    def _exchanged_field(self, src_rank: int, dim: int) -> np.ndarray:
+        """The +dim neighbour's local field, through the (optionally
+        compressing, optionally checksummed) wire — the ordered
+        synchronous exchange: post, then immediately wait."""
+        return self.comms_queue.wait(self._post_halo(src_rank, dim))
+
+    def _dist_shift_params(self, dim: int, shift: int):
+        """Memoized (rank_steps, local_shift) decomposition of a
+        global shift — the distributed half of the per-geometry plan
+        cache (the rank-local half lives in :mod:`repro.grid.cshift`)."""
+        key = (dim, shift)
+        params = self._shift_params.get(key)
+        if params is None:
+            gshift = shift % self.gdims[dim]
+            params = divmod(gshift, self.grids[0].ldims[dim])
+            self._shift_params[key] = params
+        return params
 
     def cshift(self, dim: int, shift: int) -> "DistributedLattice":
         """Distributed circular shift: ``out(x) = in(x + shift e_dim)``.
@@ -288,9 +497,7 @@ class DistributedLattice:
         steps, so arbitrary shifts work; each rank then shifts locally
         with its +dim neighbour's data covering the boundary lanes.
         """
-        g0 = self.grids[0]
-        gshift = shift % self.gdims[dim]
-        rank_steps, local_shift = divmod(gshift, g0.ldims[dim])
+        rank_steps, local_shift = self._dist_shift_params(dim, shift)
         out = self.clone_empty()
         for r in range(self.ranks.nranks):
             # The data for rank r comes from the rank `rank_steps`

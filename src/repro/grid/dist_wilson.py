@@ -5,6 +5,17 @@ domain decomposition (simulated halo exchange, optionally fp16
 compressed), the virtual-node SIMD layout within each rank, and the
 vector backend below that.  Tests assert bit-identical agreement with
 the single-rank :class:`repro.grid.wilson.WilsonDirac`.
+
+Two engine upgrades sit on top of the ordered reference sweep:
+
+* **Overlap** — with the engine on (and ``perf.config().
+  overlap_comms``), :func:`repro.grid.overlap.overlapped_dhop` posts
+  every halo up front and hides the simulated wire latency behind
+  interior compute, bit-identically to the ordered path.
+* **Multi-RHS batching** — a field whose tensor is ``(nrhs, 4, 3)``
+  (see :mod:`repro.grid.multirhs`) is swept column-by-column over one
+  shared set of halo exchanges and neighbour gathers, so ``nrhs``
+  right-hand sides cost exactly the halo messages of one.
 """
 
 from __future__ import annotations
@@ -13,9 +24,11 @@ from typing import Sequence
 
 
 from repro.grid import gamma as g
-from repro.grid.comms import DistributedLattice
+from repro.grid.comms import DistributedLattice, LatencyModel
+from repro.grid.overlap import overlap_active, overlapped_dhop
 from repro.grid.tensor import su3_dagger_mul_vec, su3_mul_vec
-from repro.grid.wilson import SPINOR
+from repro.grid.wilson import SPINOR, is_spinor_batch
+from repro.perf.counters import counters as _perf_counters
 from repro.perf.fused import engine_active, fused_dhop_rank
 
 
@@ -48,36 +61,60 @@ class DistributedWilson:
         out.locals = [lat.new_like() for lat in psi.locals]
         return out
 
+    def _check(self, psi: DistributedLattice) -> int:
+        """Validate the field; returns the batch width (0 = plain)."""
+        if psi.tensor_shape == SPINOR:
+            return 0
+        if is_spinor_batch(psi.tensor_shape):
+            return psi.tensor_shape[0]
+        raise ValueError(
+            "distributed Wilson operator acts on spinors "
+            f"{SPINOR} or (nrhs,) + {SPINOR}, got {psi.tensor_shape}"
+        )
+
     def dhop(self, psi: DistributedLattice) -> DistributedLattice:
         """Apply Eq. (1) with halo exchange at rank boundaries."""
-        if psi.tensor_shape != SPINOR:
-            raise ValueError("distributed Wilson operator acts on spinors")
+        ncols = self._check(psi)
+        if overlap_active(psi):
+            # Post-all-halos / interior / shells schedule — same
+            # message order and per-site arithmetic as the ordered
+            # sweep below (see repro.grid.overlap for the argument).
+            return overlapped_dhop(self, psi)
+        if ncols:
+            _perf_counters().bump("batched_dhop_calls")
         out = self._zero_like(psi)
         for mu in range(self.ndim):
             # Halo exchange stays serial and ordered (comms protocol);
             # only the rank-local arithmetic below is fused/tiled.
+            # A batched psi shares this one exchange across columns.
             fwd = psi.cshift(mu, +1)
             bwd = psi.cshift(mu, -1)
             for r in range(self.ranks.nranks):
                 be = psi.grids[r].backend
                 if engine_active(be):
-                    fused_dhop_rank(
-                        out.locals[r].data,
-                        self.links[mu].locals[r].data,
-                        self.links_back[mu].locals[r].data,
-                        fwd.locals[r].data, bwd.locals[r].data, mu,
-                    )
+                    for acc, pf, pb in _columns(
+                        out.locals[r].data, fwd.locals[r].data,
+                        bwd.locals[r].data, ncols,
+                    ):
+                        fused_dhop_rank(
+                            acc,
+                            self.links[mu].locals[r].data,
+                            self.links_back[mu].locals[r].data,
+                            pf, pb, mu,
+                        )
                     continue
-                acc = out.locals[r].data
-                h = g.project(be, fwd.locals[r].data, mu, +1)
-                uh = su3_mul_vec(be, self.links[mu].locals[r].data, h)
-                acc = be.add(acc, g.reconstruct(be, uh, mu, +1))
-                h = g.project(be, bwd.locals[r].data, mu, -1)
-                uh = su3_dagger_mul_vec(
-                    be, self.links_back[mu].locals[r].data, h
-                )
-                acc = be.add(acc, g.reconstruct(be, uh, mu, -1))
-                out.locals[r].data = acc
+                for acc, pf, pb in _columns(
+                    out.locals[r].data, fwd.locals[r].data,
+                    bwd.locals[r].data, ncols,
+                ):
+                    h = g.project(be, pf, mu, +1)
+                    uh = su3_mul_vec(be, self.links[mu].locals[r].data, h)
+                    acc2 = be.add(acc, g.reconstruct(be, uh, mu, +1))
+                    h = g.project(be, pb, mu, -1)
+                    uh = su3_dagger_mul_vec(
+                        be, self.links_back[mu].locals[r].data, h
+                    )
+                    acc[...] = be.add(acc2, g.reconstruct(be, uh, mu, -1))
         return out
 
     def apply(self, psi: DistributedLattice) -> DistributedLattice:
@@ -89,25 +126,47 @@ class DistributedWilson:
 
     def apply_dagger(self, psi: DistributedLattice) -> DistributedLattice:
         """``M^dagger`` via gamma5-hermiticity, rank by rank."""
+        ncols = self._check(psi)
         tmp = self._zero_like(psi)
         for r, lat in enumerate(psi.locals):
             be = psi.grids[r].backend
-            tmp.locals[r].data = g.gamma5_apply(be, lat.data)
+            _gamma5_into(be, tmp.locals[r].data, lat.data, ncols)
         tmp = self.apply(tmp)
         out = self._zero_like(psi)
         for r, lat in enumerate(tmp.locals):
             be = psi.grids[r].backend
-            out.locals[r].data = g.gamma5_apply(be, lat.data)
+            _gamma5_into(be, out.locals[r].data, lat.data, ncols)
         return out
 
     def mdag_m(self, psi: DistributedLattice) -> DistributedLattice:
         return self.apply_dagger(self.apply(psi))
 
 
+def _columns(acc, fwd, bwd, ncols: int):
+    """Column views of (output, fwd, bwd) data — one triple for a plain
+    spinor field, one per RHS for a batch (tensor ``(nrhs, 4, 3)``)."""
+    if not ncols:
+        yield acc, fwd, bwd
+        return
+    for j in range(ncols):
+        yield acc[:, j], fwd[:, j], bwd[:, j]
+
+
+def _gamma5_into(be, out, data, ncols: int) -> None:
+    """``out = gamma_5 data`` (column-wise for a batch; gamma acts on
+    the spin axis, which sits behind the batch axis)."""
+    if not ncols:
+        out[...] = g.gamma5_apply(be, data)
+        return
+    for j in range(ncols):
+        out[:, j] = g.gamma5_apply(be, data[:, j])
+
+
 def distribute_gauge(links, gdims, backend, mpi_layout,
                      simd_layout=None, compress_halos: bool = False,
                      checksum_halos: bool = False, comms_faults=None,
-                     max_retries: int = 3) -> list:
+                     max_retries: int = 3,
+                     latency: LatencyModel = None) -> list:
     """Scatter single-rank gauge links into distributed fields."""
     out = []
     for u in links:
@@ -116,7 +175,8 @@ def distribute_gauge(links, gdims, backend, mpi_layout,
                                 compress_halos=compress_halos,
                                 checksum_halos=checksum_halos,
                                 comms_faults=comms_faults,
-                                max_retries=max_retries)
+                                max_retries=max_retries,
+                                latency=latency)
         dl.scatter(u.to_canonical())
         out.append(dl)
     return out

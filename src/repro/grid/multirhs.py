@@ -1,0 +1,132 @@
+"""Multi-RHS batched spinor fields.
+
+Grid amortises everything it can across right-hand sides: one halo
+exchange, one set of neighbour gathers and one pass over the gauge
+links serve a whole batch of sources (propagator workloads solve 12+
+systems on the same configuration).  This module is that batch type
+for the reproduction: a *batch* is an ordinary :class:`Lattice` /
+:class:`DistributedLattice` whose tensor is ``(nrhs, 4, 3)`` — column
+``j`` of the batch is bit-for-bit the single-RHS field ``j``, stored
+with the batch axis ahead of spin/colour so the lane axis stays
+innermost and every per-column view is a plain stride.
+
+The Wilson operators dispatch on this tensor shape (see
+:meth:`repro.grid.wilson.WilsonDirac.dhop` and the distributed
+equivalent): gathers and halo messages are issued once per sweep, the
+arithmetic loops over column views — so ``nrhs`` right-hand sides cost
+exactly 1× the halo messages of one (asserted by the `halo_messages`
+benchmark).  The per-column helpers below give the block solver its
+column-wise scalar recursions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.grid.comms import DistributedLattice
+from repro.grid.lattice import Lattice
+from repro.grid.wilson import is_spinor_batch
+
+
+def nrhs(batch) -> int:
+    """Batch width of a stacked field."""
+    if not is_spinor_batch(batch.tensor_shape):
+        raise ValueError(f"not a spinor batch: tensor {batch.tensor_shape}")
+    return batch.tensor_shape[0]
+
+
+def stack_rhs(fields):
+    """Stack single-RHS spinor fields into one batch field.
+
+    All fields must share the grid (and, distributed, the comms
+    config).  Column ``j`` of the result equals ``fields[j]``
+    bit-for-bit.
+    """
+    if not fields:
+        raise ValueError("need at least one field to stack")
+    first = fields[0]
+    n = len(fields)
+    if isinstance(first, DistributedLattice):
+        out = first.clone_empty(tensor_shape=(n,) + first.tensor_shape)
+        for r in range(first.ranks.nranks):
+            data = np.stack([f.locals[r].data for f in fields], axis=1)
+            out.locals.append(Lattice(out.grids[r], out.tensor_shape, data))
+        return out
+    data = np.stack([f.data for f in fields], axis=1)
+    return Lattice(first.grid, (n,) + first.tensor_shape, data)
+
+
+def split_rhs(batch):
+    """Inverse of :func:`stack_rhs`: independent single-RHS copies."""
+    n = nrhs(batch)
+    single = batch.tensor_shape[1:]
+    if isinstance(batch, DistributedLattice):
+        outs = []
+        for j in range(n):
+            f = batch.clone_empty(tensor_shape=single)
+            for r in range(batch.ranks.nranks):
+                f.locals.append(Lattice(
+                    f.grids[r], single,
+                    np.ascontiguousarray(batch.locals[r].data[:, j]),
+                ))
+            outs.append(f)
+        return outs
+    return [Lattice(batch.grid, single,
+                    np.ascontiguousarray(batch.data[:, j]))
+            for j in range(n)]
+
+
+def batch_copy(batch):
+    """A deep copy of a batch (or any) field."""
+    if isinstance(batch, DistributedLattice):
+        out = batch.clone_empty()
+        out.locals = [lat.copy() for lat in batch.locals]
+        return out
+    return batch.copy()
+
+
+def batch_zero_like(batch):
+    """A zero field with ``batch``'s geometry and tensor."""
+    if isinstance(batch, DistributedLattice):
+        out = batch.clone_empty()
+        out.locals = [lat.new_like() for lat in batch.locals]
+        return out
+    return batch.new_like()
+
+
+# ----------------------------------------------------------------------
+# Per-column reductions and updates (the block solver's kernels)
+# ----------------------------------------------------------------------
+def _col_blocks(batch, j: int):
+    """The column-``j`` data blocks (one per rank)."""
+    if isinstance(batch, DistributedLattice):
+        return [lat.data[:, j] for lat in batch.locals]
+    return [batch.data[:, j]]
+
+
+def col_inner(a, b, j: int) -> complex:
+    """``<a_j, b_j>`` — rank-local dots + simulated allreduce."""
+    return sum(complex(np.vdot(x, y))
+               for x, y in zip(_col_blocks(a, j), _col_blocks(b, j)))
+
+
+def col_norm2(a, j: int) -> float:
+    return float(col_inner(a, a, j).real)
+
+
+def col_axpy(y, alpha, x, j: int) -> None:
+    """``y_j += alpha * x_j`` in place (other columns untouched)."""
+    for yb, xb in zip(_col_blocks(y, j), _col_blocks(x, j)):
+        yb += alpha * xb
+
+
+def col_xpby(y, x, beta, j: int) -> None:
+    """``y_j = x_j + beta * y_j`` in place (the CG direction update)."""
+    for yb, xb in zip(_col_blocks(y, j), _col_blocks(x, j)):
+        yb[...] = xb + beta * yb
+
+
+def col_copy(dst, src, j: int) -> None:
+    """``dst_j = src_j`` in place."""
+    for db, sb in zip(_col_blocks(dst, j), _col_blocks(src, j)):
+        db[...] = sb

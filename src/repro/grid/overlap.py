@@ -1,0 +1,198 @@
+"""Communication/computation overlap for the distributed Wilson-Dslash.
+
+The ordered path in :class:`repro.grid.dist_wilson.DistributedWilson`
+completes every halo exchange before touching a single site, so each
+message's latency lands on the critical path.  Grid instead posts all
+halos up front and computes the *interior* — the sites whose stencil
+never crosses a rank boundary — while the messages are in flight,
+finishing the boundary *shells* as halos arrive.  This module is that
+schedule over the simulated comms layer of :mod:`repro.grid.comms`:
+
+1. **Post** every one of the 2·ndim·nranks halo messages through the
+   :class:`~repro.grid.comms.AsyncCommsQueue`, in exactly the message
+   order of the ordered path (mu ascending, forward then backward,
+   rank ascending) — so traffic accounting, CRC/retry behaviour and
+   seeded fault schedules are identical to the ordered exchange.
+2. **Interior** — fill the halo-independent part of each neighbour
+   buffer (the ``k == 0`` virtual-node groups of the cached cshift
+   plan) and sweep the interior sites through the fused accumulation
+   body, tiled over the PR 2 thread pool.
+3. **Shells** — for each dimension in ascending order, wait for its
+   halos, blend the boundary lanes into the ``k >= 1`` buffer groups,
+   and sweep the sites whose highest halo-dependent dimension it is.
+
+**Bit-identity.**  Each neighbour buffer is filled with values bitwise
+equal to the ordered path's shifted field (same gather plan, same lane
+rotations, same ``np.where`` blend); the wire content of each message
+is computed deterministically at post time (the latency model delays
+only availability); and interior + shells partition the outer-site
+axis, so every output site is written once, by the same
+:func:`~repro.perf.fused._accumulate_direction` sequence (mu
+ascending, +1 then -1) the fused ordered path runs.  Overlapped and
+ordered dhop therefore agree to the last bit at any latency, which the
+test suite asserts across VLs, rank layouts, compressed/checksummed
+halos and injected comms faults.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.grid.cshift import _apply_lane_rotation
+from repro.grid.cshift import _shift_plan as _local_shift_plan
+from repro.grid.stencil import halo_dependency
+from repro.perf import config
+from repro.perf.counters import counters
+from repro.perf.fused import _accumulate_direction, fused_dhop_supported
+from repro.perf.parallel import run_tiles, tiles_for
+
+#: Spinor tensor shape (kept local for import-cycle freedom).
+SPINOR = (4, 3)
+
+
+def overlap_active(dist) -> bool:
+    """True when the overlap engine should take this distributed sweep:
+    engine on, overlap knob on, and a fused-safe backend (the shell
+    sweep reuses the fused accumulation body)."""
+    cfg = config()
+    return (cfg.enabled and cfg.overlap_comms
+            and fused_dhop_supported(dist.grids[0].backend))
+
+
+class DistHaloPlan:
+    """Geometry-only recipe for one overlapped sweep.
+
+    Holds, per (direction, sign): the rank-step/local-shift
+    decomposition and the cached cshift group plan; plus the
+    interior/shell partition of the outer-site axis.  Depends only on
+    the grid geometry and rank layout — never on field data — so it is
+    memoized per grid instance alongside the cshift plans.
+    """
+
+    def __init__(self, dist) -> None:
+        grid = dist.grids[0]
+        self.ndim = grid.ndim
+        self.shift_params = {}
+        self.groups = {}
+        for mu in range(self.ndim):
+            for sign in (+1, -1):
+                rank_steps, s = dist._dist_shift_params(mu, sign)
+                self.shift_params[(mu, sign)] = (rank_steps, s)
+                if s != 0:
+                    self.groups[(mu, sign)] = _local_shift_plan(grid, mu, s)
+        self.interior, self.shells = halo_dependency(grid)
+
+
+def halo_plan_for(dist) -> DistHaloPlan:
+    """The (memoized) overlap plan for ``dist``'s geometry."""
+    grid = dist.grids[0]
+    plan = grid.__dict__.get("_dist_halo_plan")
+    if plan is None:
+        plan = DistHaloPlan(dist)
+        grid.__dict__["_dist_halo_plan"] = plan
+    return plan
+
+
+def overlapped_dhop(op, psi):
+    """Apply ``op``'s hopping term with halo exchange hidden behind
+    interior compute.  ``op`` is a :class:`~repro.grid.dist_wilson.
+    DistributedWilson`; ``psi`` a spinor or multi-RHS batch field."""
+    counters().bump("overlap_dhop_calls")
+    plan = halo_plan_for(psi)
+    ndim = op.ndim
+    nranks = psi.ranks.nranks
+    grid = psi.grids[0]
+    ncols = psi.tensor_shape[0] if len(psi.tensor_shape) == 3 else 0
+    if ncols:
+        counters().bump("batched_dhop_calls")
+    out = op._zero_like(psi)
+
+    # -- Phase 1: post every halo, in the ordered path's message order.
+    srcs = {}
+    handles = {}
+    for mu in range(ndim):
+        for sign in (+1, -1):
+            rank_steps, s = plan.shift_params[(mu, sign)]
+            for r in range(nranks):
+                srcs[(mu, sign, r)] = psi.ranks.neighbour(r, mu, rank_steps)
+            if s == 0:
+                continue
+            for r in range(nranks):
+                handles[(mu, sign, r)] = psi._post_halo(
+                    srcs[(mu, sign, r)], mu
+                )
+
+    # -- Phase 2: halo-independent buffer groups + interior sweep.
+    bufs: list = [dict() for _ in range(nranks)]
+    for mu in range(ndim):
+        for sign in (+1, -1):
+            _steps, s = plan.shift_params[(mu, sign)]
+            for r in range(nranks):
+                src_data = psi.locals[srcs[(mu, sign, r)]].data
+                if s == 0:
+                    # Whole-rank renumbering: the "shifted" field is the
+                    # source rank's field verbatim (read-only use).
+                    bufs[r][(mu, sign)] = src_data
+                    continue
+                buf = np.empty_like(src_data)
+                for k, sel, src_osites, _nbr in plan.groups[(mu, sign)]:
+                    if k == 0:  # no rotation, no boundary lanes
+                        buf[sel] = src_data[src_osites]
+                bufs[r][(mu, sign)] = buf
+
+    links = [op.links[mu].locals for mu in range(ndim)]
+    links_back = [op.links_back[mu].locals for mu in range(ndim)]
+
+    def accumulate(r: int, idx: np.ndarray) -> None:
+        """Full 8-direction accumulation for the sites ``idx`` of rank
+        ``r`` — gather-to-scratch, accumulate in the reference order,
+        scatter back (fancy indexing copies, so in-place on a gather
+        view would be lost)."""
+        if idx.size == 0:
+            return
+        acc = out.locals[r].data
+        a = acc[idx]
+        for mu in range(ndim):
+            u_f = links[mu][r].data[idx]
+            u_b = links_back[mu][r].data[idx]
+            n_f = bufs[r][(mu, +1)][idx]
+            n_b = bufs[r][(mu, -1)][idx]
+            if ncols:
+                for j in range(ncols):
+                    _accumulate_direction(a[:, j], u_f, n_f[:, j], mu, +1)
+                    _accumulate_direction(a[:, j], u_b, n_b[:, j], mu, -1)
+            else:
+                _accumulate_direction(a, u_f, n_f, mu, +1)
+                _accumulate_direction(a, u_b, n_b, mu, -1)
+        acc[idx] = a
+
+    interior = plan.interior
+    for r in range(nranks):
+        run_tiles(lambda sl, r=r: accumulate(r, interior[sl]),
+                  tiles_for(interior.size))
+
+    # -- Phase 3: complete each dimension's halos, then its shell.
+    for d in range(ndim):
+        for sign in (+1, -1):
+            _steps, s = plan.shift_params[(d, sign)]
+            if s == 0:
+                continue
+            for r in range(nranks):
+                halo = psi.comms_queue.wait(handles[(d, sign, r)])
+                buf = bufs[r][(d, sign)]
+                src_data = psi.locals[srcs[(d, sign, r)]].data
+                for k, sel, src_osites, nbr_lanes in plan.groups[(d, sign)]:
+                    if k == 0:
+                        continue
+                    rotated = _apply_lane_rotation(
+                        src_data[src_osites], grid, d, k
+                    )
+                    rotated_nbr = _apply_lane_rotation(
+                        halo[src_osites], grid, d, k
+                    )
+                    buf[sel] = np.where(nbr_lanes, rotated_nbr, rotated)
+        shell = plan.shells[d]
+        for r in range(nranks):
+            run_tiles(lambda sl, r=r: accumulate(r, shell[sl]),
+                      tiles_for(shell.size))
+    return out

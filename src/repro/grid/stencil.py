@@ -21,7 +21,7 @@ import numpy as np
 
 from repro.grid.cartesian import GridCartesian
 from repro.grid.coordinates import indices_of
-from repro.grid.cshift import _lane_rotation_map
+from repro.grid.cshift import _lane_rotation_map, _shift_plan
 from repro.grid.lattice import Lattice
 
 
@@ -108,3 +108,43 @@ def stencil_cshift(stencil: HaloStencil, lat: Lattice, dim: int,
     out = lat.new_like()
     out.data = stencil.gather(lat, dim, shift)
     return out
+
+
+def halo_dependency(grid: GridCartesian):
+    """Interior/boundary-shell split of the outer-site axis for the
+    rank-decomposed ±1 stencil.
+
+    A destination outer site *depends on the dim-``d`` halo* when the
+    shift-by-±1 gather along ``d`` sources any of its lanes across the
+    local (rank) boundary — i.e. the site lands in a ``k >= 1``
+    virtual-node group of that shift.  Returns ``(interior, shells)``:
+
+    * ``interior`` — outer sites touching no halo in any direction
+      (computable while every halo is still in flight);
+    * ``shells[d]`` — outer sites whose *highest* halo-dependent
+      dimension is ``d`` (computable once the halos for dimensions
+      ``<= d`` have landed).
+
+    Together they partition ``range(osites)``, which is what lets the
+    overlap engine (:mod:`repro.grid.overlap`) write every output site
+    exactly once — bit-identity to the ordered sweep by disjointness.
+    Dimensions whose local shift is zero (``ldims[d] == 1``: the whole
+    extent lives on other ranks and the "shift" is a rank renumbering)
+    contribute no halo dependence.
+    """
+    ndim = grid.ndim
+    depends = np.zeros((ndim, grid.osites), dtype=bool)
+    for dim in range(ndim):
+        for sign in (+1, -1):
+            s = (sign % grid.gdims[dim]) % grid.ldims[dim]
+            if s == 0:
+                continue
+            for k, sel, _src, nbr_lanes in _shift_plan(grid, dim, s):
+                if k != 0 and np.any(nbr_lanes):
+                    depends[dim, sel] = True
+    interior = np.nonzero(~depends.any(axis=0))[0]
+    shells = []
+    for d in range(ndim):
+        higher = depends[d + 1:].any(axis=0)
+        shells.append(np.nonzero(depends[d] & ~higher)[0])
+    return interior, shells

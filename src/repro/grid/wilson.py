@@ -35,6 +35,13 @@ from repro.perf.fused import engine_active, fused_dhop
 SPINOR = (4, 3)
 
 
+def is_spinor_batch(tensor_shape: tuple) -> bool:
+    """True for a multi-RHS batch tensor ``(nrhs, 4, 3)`` (see
+    :mod:`repro.grid.multirhs`)."""
+    return len(tensor_shape) == 3 and tensor_shape[1:] == SPINOR \
+        and tensor_shape[0] >= 1
+
+
 class WilsonDirac:
     """Wilson fermion matrix over a gauge configuration.
 
@@ -67,29 +74,35 @@ class WilsonDirac:
 
     # ------------------------------------------------------------------
     def dhop(self, psi: Lattice) -> Lattice:
-        """Apply the hopping term ``D_h`` of Eq. (1)."""
-        self._check(psi)
+        """Apply the hopping term ``D_h`` of Eq. (1).
+
+        A multi-RHS batch (tensor ``(nrhs, 4, 3)``) is swept column by
+        column over one shared set of neighbour gathers.
+        """
+        ncols = self._check(psi)
         if engine_active(self.grid.backend):
             # Fused+tiled engine sweep — bit-identical to the layered
             # path below (see repro.perf.fused for the argument).
             return fused_dhop(self, psi)
         be = self.grid.backend
-        out = Lattice(self.grid, SPINOR)
-        acc = out.data
+        out = Lattice(self.grid, psi.tensor_shape)
         for mu in range(self.grid.ndim):
-            # Forward: U_{x,mu} (1 + gamma_mu) psi_{x+mu}
+            # One gather per direction, shared across the batch.
             psi_fwd = self._cshift(psi, mu, +1)
-            h = g.project(be, psi_fwd.data, mu, +1)
-            uh = su3_mul_vec(be, self.links[mu].data, h)
-            full = g.reconstruct(be, uh, mu, +1)
-            acc = be.add(acc, full)
-            # Backward: U^+_{x-mu,mu} (1 - gamma_mu) psi_{x-mu}
             psi_bwd = self._cshift(psi, mu, -1)
-            h = g.project(be, psi_bwd.data, mu, -1)
-            uh = su3_dagger_mul_vec(be, self._links_back[mu].data, h)
-            full = g.reconstruct(be, uh, mu, -1)
-            acc = be.add(acc, full)
-        out.data = acc
+            cols = range(ncols) if ncols else (slice(None),)
+            for j in cols:
+                acc = out.data[:, j]
+                # Forward: U_{x,mu} (1 + gamma_mu) psi_{x+mu}
+                h = g.project(be, psi_fwd.data[:, j], mu, +1)
+                uh = su3_mul_vec(be, self.links[mu].data, h)
+                full = g.reconstruct(be, uh, mu, +1)
+                acc2 = be.add(acc, full)
+                # Backward: U^+_{x-mu,mu} (1 - gamma_mu) psi_{x-mu}
+                h = g.project(be, psi_bwd.data[:, j], mu, -1)
+                uh = su3_dagger_mul_vec(be, self._links_back[mu].data, h)
+                full = g.reconstruct(be, uh, mu, -1)
+                out.data[:, j] = be.add(acc2, full)
         return out
 
     def apply(self, psi: Lattice) -> Lattice:
@@ -101,14 +114,23 @@ class WilsonDirac:
     # Grid naming convenience.
     M = apply
 
+    def _gamma5(self, psi: Lattice) -> Lattice:
+        """``gamma_5 psi``, column-wise for a batch (gamma acts on the
+        spin axis, which sits behind the batch axis)."""
+        be = self.grid.backend
+        ncols = self._check(psi)
+        if not ncols:
+            return Lattice(self.grid, psi.tensor_shape,
+                           g.gamma5_apply(be, psi.data))
+        out = Lattice(self.grid, psi.tensor_shape)
+        for j in range(ncols):
+            out.data[:, j] = g.gamma5_apply(be, psi.data[:, j])
+        return out
+
     def apply_dagger(self, psi: Lattice) -> Lattice:
         """``M^dagger psi`` via gamma5-hermiticity:
         ``M^dagger = gamma_5 M gamma_5``."""
-        self._check(psi)
-        be = self.grid.backend
-        tmp = Lattice(self.grid, SPINOR, g.gamma5_apply(be, psi.data))
-        tmp = self.apply(tmp)
-        return Lattice(self.grid, SPINOR, g.gamma5_apply(be, tmp.data))
+        return self._gamma5(self.apply(self._gamma5(psi)))
 
     Mdag = apply_dagger
 
@@ -127,11 +149,14 @@ class WilsonDirac:
         """
         return 1320
 
-    def _check(self, psi: Lattice) -> None:
-        if psi.tensor_shape != SPINOR:
+    def _check(self, psi: Lattice) -> int:
+        """Validate the field; returns the batch width (0 = plain)."""
+        if psi.tensor_shape != SPINOR and \
+                not is_spinor_batch(psi.tensor_shape):
             raise ValueError(
-                f"Wilson operator acts on spinors {SPINOR}, got "
-                f"{psi.tensor_shape}"
+                f"Wilson operator acts on spinors {SPINOR} or batches "
+                f"(nrhs,) + {SPINOR}, got {psi.tensor_shape}"
             )
         if psi.grid.odims != self.grid.odims:
             raise ValueError("spinor lives on a different grid")
+        return psi.tensor_shape[0] if len(psi.tensor_shape) == 3 else 0

@@ -36,6 +36,7 @@ __all__ = [
     "disabled",
     "reset_counters",
     "set_enabled",
+    "set_overlap_comms",
     "set_workers",
 ]
 
@@ -48,12 +49,17 @@ class PerfConfig:
     tiling; with it off, the original (pre-engine) code runs
     unchanged.  ``workers`` is the tile pool width for lattice sweeps
     (1 = serial).  ``tile_min_sites`` keeps tiny lattices serial where
-    pool dispatch would cost more than it saves.
+    pool dispatch would cost more than it saves.  ``overlap_comms``
+    lets the distributed Wilson operator hide halo exchange behind
+    interior compute (:mod:`repro.grid.overlap`); it only takes effect
+    when ``enabled`` is also set, so ``disabled()`` restores the
+    ordered serial exchange.
     """
 
     enabled: bool = True
     workers: int = 1
     tile_min_sites: int = 128
+    overlap_comms: bool = True
 
 
 _CONFIG = PerfConfig()
@@ -74,10 +80,16 @@ def set_workers(n: int) -> None:
     _CONFIG.workers = int(n)
 
 
+def set_overlap_comms(flag: bool) -> None:
+    _CONFIG.overlap_comms = bool(flag)
+
+
 @contextmanager
-def configured(enabled=None, workers=None, tile_min_sites=None):
+def configured(enabled=None, workers=None, tile_min_sites=None,
+               overlap_comms=None):
     """Temporarily override engine settings (restored on exit)."""
-    old = (_CONFIG.enabled, _CONFIG.workers, _CONFIG.tile_min_sites)
+    old = (_CONFIG.enabled, _CONFIG.workers, _CONFIG.tile_min_sites,
+           _CONFIG.overlap_comms)
     try:
         if enabled is not None:
             _CONFIG.enabled = bool(enabled)
@@ -85,9 +97,12 @@ def configured(enabled=None, workers=None, tile_min_sites=None):
             set_workers(workers)
         if tile_min_sites is not None:
             _CONFIG.tile_min_sites = int(tile_min_sites)
+        if overlap_comms is not None:
+            _CONFIG.overlap_comms = bool(overlap_comms)
         yield _CONFIG
     finally:
-        _CONFIG.enabled, _CONFIG.workers, _CONFIG.tile_min_sites = old
+        (_CONFIG.enabled, _CONFIG.workers, _CONFIG.tile_min_sites,
+         _CONFIG.overlap_comms) = old
 
 
 def disabled():

@@ -27,6 +27,12 @@ class PerfCounters:
     * ``fused_dhop_calls`` — Wilson-Dslash sweeps taken by the fused
       engine path; ``tiles_dispatched`` — tile bodies executed (equal
       to fused calls when running serial).
+    * ``overlap_dhop_calls`` — distributed sweeps taken by the
+      comms/compute overlap engine (:mod:`repro.grid.overlap`);
+      ``halo_posts`` / ``halo_waits`` — async halo messages posted to
+      and completed from the in-flight queue.
+    * ``batched_dhop_calls`` — multi-RHS sweeps that amortised one set
+      of neighbour gathers over a whole RHS batch.
     """
 
     program_hits: int = 0
@@ -38,6 +44,10 @@ class PerfCounters:
     cshift_plan_misses: int = 0
     fused_dhop_calls: int = 0
     tiles_dispatched: int = 0
+    overlap_dhop_calls: int = 0
+    halo_posts: int = 0
+    halo_waits: int = 0
+    batched_dhop_calls: int = 0
     _lock: threading.Lock = field(
         default_factory=threading.Lock, repr=False, compare=False
     )

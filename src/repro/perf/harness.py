@@ -37,10 +37,14 @@ import numpy as np
 import repro.perf as perf
 from repro.bench.workloads import dslash_setup
 from repro.grid.cartesian import GridCartesian
-from repro.grid.comms import DistributedLattice
+from repro.grid.comms import DistributedLattice, LatencyModel, reset_all_comms
 from repro.grid.dist_wilson import DistributedWilson, distribute_gauge
+from repro.grid.multirhs import split_rhs, stack_rhs
 from repro.grid.random import random_gauge, random_spinor
-from repro.grid.solver import conjugate_gradient
+from repro.grid.solver import (
+    batched_conjugate_gradient,
+    conjugate_gradient,
+)
 from repro.grid.wilson import WilsonDirac
 from repro.perf.counters import counters, reset_counters
 from repro.perf.trace_cache import cached_run_kernel, clear_cache, trace_cache
@@ -184,6 +188,147 @@ def bench_halo(dims=(4, 4, 4, 4), mpi=(2, 1, 1, 1)) -> BenchRecord:
     return rec
 
 
+def bench_overlap_dslash(dims=(4, 4, 4, 4), mpi=(2, 1, 1, 1),
+                         latency_s: float = 1e-3,
+                         reps: int = 9) -> BenchRecord:
+    """Distributed dhop under the simulated-latency comms model:
+    ordered serial exchange vs the overlap engine.
+
+    The ordered path pays every message's latency on the critical path
+    (post, then immediately wait, 2·ndim·nranks times); the overlap
+    engine posts everything up front and hides the latency behind
+    interior compute.  Bit-identity of the two outputs is exact-gated;
+    the speedup is min-gated (the acceptance floor is 1.15x)."""
+    be = get_backend("generic256")
+    grid = GridCartesian(list(dims), be)
+    links = random_gauge(grid, seed=11)
+    psi = random_spinor(grid, seed=7)
+    model = LatencyModel(latency_s=latency_s)
+    dlinks = distribute_gauge(links, list(dims), be, list(mpi))
+    w = DistributedWilson(dlinks, mass=0.1)
+    dpsi = DistributedLattice(list(dims), be, list(mpi), (4, 3),
+                              latency=model).scatter(psi.to_canonical())
+    reset_all_comms()
+    with perf.configured(enabled=True, overlap_comms=False):
+        ordered = w.dhop(dpsi).gather()
+        t_ordered = _median_wall(lambda: w.dhop(dpsi), reps)
+    wait_ordered = dpsi.comms_queue.wait_seconds
+    reset_all_comms()
+    with perf.configured(enabled=True, overlap_comms=True):
+        overlapped = w.dhop(dpsi).gather()
+        t_overlap = _median_wall(lambda: w.dhop(dpsi), reps)
+    wait_overlap = dpsi.comms_queue.wait_seconds
+    max_in_flight = dpsi.comms_queue.max_in_flight
+    reset_all_comms()
+    rec = BenchRecord(name="overlap_dslash",
+                      wall_seconds=t_ordered + t_overlap)
+    rec.metric("speedup_overlap", round(t_ordered / t_overlap, 3), "min")
+    rec.metric("bit_identical",
+               bool(np.array_equal(ordered, overlapped)), "exact")
+    rec.metric("max_in_flight", int(max_in_flight), "info")
+    rec.info.update({
+        "dims": list(dims), "mpi": list(mpi), "latency_s": latency_s,
+        "reps": reps, "wall_ordered": t_ordered, "wall_overlap": t_overlap,
+        "wait_seconds_ordered_total": wait_ordered,
+        "wait_seconds_overlap_total": wait_overlap,
+    })
+    return rec
+
+
+def bench_halo_messages(dims=(4, 4, 4, 4), mpi=(2, 1, 1, 1),
+                        nrhs: int = 4, reps: int = 5) -> BenchRecord:
+    """Halo-traffic amortisation of the multi-RHS batch: one batched
+    dhop over ``nrhs`` right-hand sides must issue exactly the halo
+    messages of a single-RHS dhop (ratio 1.0, exact-gated — the
+    counters are deterministic), and beat the ``nrhs``-iteration loop
+    in wall time (info until a baseline lands)."""
+    be = get_backend("generic256")
+    grid = GridCartesian(list(dims), be)
+    links = random_gauge(grid, seed=11)
+    dlinks = distribute_gauge(links, list(dims), be, list(mpi))
+    w = DistributedWilson(dlinks, mass=0.1)
+    singles = [
+        DistributedLattice(list(dims), be, list(mpi), (4, 3)).scatter(
+            random_spinor(grid, seed=20 + j).to_canonical())
+        for j in range(nrhs)
+    ]
+    batch = stack_rhs(singles)
+    with perf.configured(enabled=True):
+        singles[0].stats.reset()
+        w.dhop(singles[0])
+        m_single = singles[0].stats.messages
+        b_single = singles[0].stats.bytes_sent
+        batch.stats.reset()
+        w.dhop(batch)
+        m_batch = batch.stats.messages
+        b_batch = batch.stats.bytes_sent
+
+        def loop():
+            for f in singles:
+                w.dhop(f)
+
+        t_loop = _median_wall(loop, reps)
+        t_batch = _median_wall(lambda: w.dhop(batch), reps)
+    reset_all_comms()
+    rec = BenchRecord(name="halo_messages", wall_seconds=t_loop + t_batch)
+    rec.metric("messages_single", int(m_single), "exact")
+    rec.metric("message_ratio_batch", round(m_batch / m_single, 4), "exact")
+    rec.metric("batch_vs_loop_speedup", round(t_loop / t_batch, 3), "info")
+    rec.metric("bytes_ratio_batch", round(b_batch / b_single, 4), "info")
+    rec.info.update({
+        "dims": list(dims), "mpi": list(mpi), "nrhs": nrhs,
+        "messages_batch": int(m_batch), "bytes_single": int(b_single),
+        "bytes_batch": int(b_batch), "wall_loop": t_loop,
+        "wall_batch": t_batch,
+    })
+    return rec
+
+
+def bench_block_cg(dims=(4, 4, 4, 4), nrhs: int = 4, tol: float = 1e-7,
+                   max_iter: int = 500) -> BenchRecord:
+    """Block (batched multi-RHS) CG vs the per-RHS solve loop.
+
+    Both run engine-on over the same normal-equations systems; the
+    block solver issues one batched operator application per iteration
+    for the whole batch.  Equivalence to the per-RHS solutions and the
+    wall-time saving are recorded (info until a baseline lands)."""
+    be = get_backend("generic256")
+    grid = GridCartesian(list(dims), be)
+    dirac = WilsonDirac(random_gauge(grid, seed=11), mass=0.3)
+    bs = [random_spinor(grid, seed=30 + j) for j in range(nrhs)]
+    rhss = [dirac.apply_dagger(b) for b in bs]
+    with perf.configured(enabled=True):
+        t0 = time.perf_counter()
+        solos = [conjugate_gradient(dirac.mdag_m, r, tol=tol,
+                                    max_iter=max_iter) for r in rhss]
+        t_loop = time.perf_counter() - t0
+        batch = stack_rhs(rhss)
+        t0 = time.perf_counter()
+        res = batched_conjugate_gradient(dirac.mdag_m, batch, tol=tol,
+                                         max_iter=max_iter)
+        t_batch = time.perf_counter() - t0
+    cols = split_rhs(res.x)
+    max_diff = max(
+        (c - s.x).norm2() ** 0.5 / max(s.x.norm2() ** 0.5, 1e-300)
+        for c, s in zip(cols, solos)
+    )
+    rec = BenchRecord(name="block_cg", wall_seconds=t_loop + t_batch)
+    rec.metric("all_converged",
+               bool(res.converged and all(s.converged for s in solos)),
+               "info")
+    rec.metric("batched_applications", int(res.iterations), "info")
+    rec.metric("loop_applications",
+               int(sum(s.iterations for s in solos)), "info")
+    rec.metric("batch_vs_loop_speedup", round(t_loop / t_batch, 3), "info")
+    rec.info.update({
+        "dims": list(dims), "nrhs": nrhs, "tol": tol,
+        "max_rel_diff_vs_solo": float(max_diff),
+        "col_iterations": list(res.col_iterations),
+        "wall_loop": t_loop, "wall_batch": t_batch,
+    })
+    return rec
+
+
 def bench_campaign(vls: Sequence[int] = (256,)) -> BenchRecord:
     """The default fault-injection campaign (smoke: one VL).
 
@@ -298,27 +443,46 @@ def bench_trace_cache(vls: Sequence[int] = (256, 512), n: int = 257,
 # ======================================================================
 
 def run_suite(full: bool = False, workers: int = 4,
-              vls: Optional[Sequence[int]] = None) -> dict:
+              vls: Optional[Sequence[int]] = None,
+              overlap: bool = True) -> dict:
     """Run the pinned suite; returns the report as a plain dict.
 
     ``full`` widens the campaign/trace-cache VL sweeps and the dslash
     lattice (the nightly configuration); the default is the quick CI
-    gate.  ``vls`` overrides the campaign VL set.
+    gate.  ``vls`` overrides the campaign VL set.  ``overlap=False``
+    runs the whole suite with the comms-overlap engine off (the
+    nightly matrix exercises both), except ``bench_overlap_dslash``
+    which toggles it internally by design.
+
+    Every benchmark starts from a clean slate: perf counters, live
+    comms stats and any in-flight async halos are reset between
+    entries so one bench's traffic can never leak into the next
+    record's counters.
     """
     campaign_vls = tuple(vls) if vls else ((256, 1024) if full else (256,))
     cache_vls = (128, 256, 512) if full else (256, 512)
     dims = (8, 8, 8, 8)
     reps = 25 if full else 15
-    records = [
-        bench_dslash(dims=dims, workers=workers, reps=reps),
-        bench_cg(workers=workers),
-        bench_halo(),
-        bench_campaign(vls=campaign_vls),
-        bench_trace_cache(vls=cache_vls),
+    benches = [
+        lambda: bench_dslash(dims=dims, workers=workers, reps=reps),
+        lambda: bench_cg(workers=workers),
+        bench_halo,
+        bench_overlap_dslash,
+        bench_halo_messages,
+        bench_block_cg,
+        lambda: bench_campaign(vls=campaign_vls),
+        lambda: bench_trace_cache(vls=cache_vls),
     ]
+    records = []
+    with perf.configured(overlap_comms=overlap):
+        for bench in benches:
+            reset_counters()
+            reset_all_comms()
+            records.append(bench())
     report = {
         "schema": SCHEMA_VERSION,
         "suite": "full" if full else "quick",
+        "overlap": overlap,
         "workers": workers,
         "python": platform.python_version(),
         "numpy": np.__version__,

@@ -261,13 +261,18 @@ def run_campaign_suite(
     Each invocation starts from a clean slate: sticky
     :class:`~repro.simd.resilient.ResilientBackend` degradations from
     a previous run are reset (degradation is sticky *within* a run by
-    design, but must not leak across reruns), and the process-wide
-    fallback policy is restored on exit even if a case flips it.
+    design, but must not leak across reruns), live comms stats and any
+    in-flight async halos from earlier distributed work are cleared
+    (so a campaign's traffic accounting starts at zero), and the
+    process-wide fallback policy is restored on exit even if a case
+    flips it.
     """
+    from repro.grid.comms import reset_all_comms
     from repro.simd.registry import fallback_enabled, set_fallback_policy
     from repro.simd.resilient import reset_all_degraded
 
     reset_all_degraded()
+    reset_all_comms()
     policy_before = fallback_enabled()
     first = campaign_factory(cases[0].name, vls[0]) if cases else None
     report = CampaignReport(
