@@ -1,0 +1,237 @@
+"""The scoped :class:`ExecutionPolicy` — one immutable record of every
+execution decision.
+
+Before the engine existed, execution toggles were smeared across
+module globals: ``perf._CONFIG`` (enabled/workers/tile_min_sites/
+overlap_comms), ``simd.registry._FALLBACK_ENABLED``, and per-call
+latency/fault-injector arguments.  A production system serving many
+concurrent workloads cannot be driven by mutable module globals — two
+threads flipping ``set_enabled`` race each other, and a library call
+that wants the reference path has to save/mutate/restore process
+state.
+
+This module replaces all of that with a single frozen dataclass and a
+``contextvars``-based scope stack:
+
+* :func:`base_policy` — the process-wide default, mutated only through
+  :func:`set_base_policy` / :func:`update_base_policy` (the legacy
+  setters in :mod:`repro.perf` and :mod:`repro.simd.registry` are thin
+  deprecation shims over these).
+* :func:`scope` — a context manager pushing a scoped override;
+  **nestable** (inner scopes start from the currently resolved policy)
+  and **thread-isolated** (a ``ContextVar`` means a scope entered in
+  one thread is invisible to every other thread, which sees the base
+  policy).
+* :func:`current_policy` — the resolution point every engine decision
+  reads.  Resolution order: innermost active :func:`scope` override,
+  else the base policy.  Explicit function arguments (e.g. a
+  ``workers=`` override passed straight to a tiling helper) beat both.
+
+Because the policy is frozen and hashable it doubles as a cache key:
+:mod:`repro.engine.plan` resolves one :class:`~repro.engine.plan.
+KernelPlan` per (grid, kind, policy) and replays it until the policy
+changes.
+
+This module imports nothing from the rest of :mod:`repro` — it is the
+bottom of the engine's dependency stack.
+"""
+
+from __future__ import annotations
+
+import threading
+import warnings
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass, fields, replace
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class ExecutionPolicy:
+    """Every execution toggle, in one immutable value.
+
+    Parameters
+    ----------
+    enabled:
+        The engine master switch.  Off restores the exact pre-engine
+        code paths everywhere at once — layered arithmetic, serial
+        sweeps, no caches — which is what the benchmark harness
+        measures the engine against.
+    fused:
+        Take the fused project/SU(3)/reconstruct Wilson-Dslash body
+        (:mod:`repro.perf.fused`) on fused-safe backends.  Only
+        effective while ``enabled``.
+    workers:
+        Tile-pool width for lattice sweeps (1 = serial).
+    tile_min_sites:
+        Lattices smaller than this stay serial (pool dispatch would
+        cost more than it saves).
+    overlap_comms:
+        Hide distributed halo exchange behind interior compute
+        (:mod:`repro.grid.overlap`).  Only effective while ``enabled``.
+    batching:
+        Amortise one set of halo exchanges / neighbour gathers over a
+        whole multi-RHS batch (:mod:`repro.grid.multirhs`).  With it
+        off, a batched field is swept column by column — bit-identical
+        output, ``nrhs`` times the messages.  Deliberately *not* gated
+        on ``enabled``: the amortisation is a dispatch choice, not an
+        engine arithmetic path, and the pre-engine reference shares
+        gathers too.
+    caches:
+        Consult *and populate* the engine's derived-data caches: the
+        kernel trace cache, cshift gather plans, distributed
+        shift-parameter and halo-size memos, overlap halo plans, and
+        resolved kernel plans.  Only effective while ``enabled``.
+        One knob governs every cache uniformly — see DESIGN §10.3;
+        all of them hold pure geometry/codegen derivations, so this
+        never affects results, only whether they are recomputed.
+    fallback:
+        Wrap non-generic SIMD backends for graceful degradation
+        (:class:`repro.simd.resilient.ResilientBackend`).
+    backend:
+        Default backend registry key for call sites that do not name
+        one explicitly (:func:`repro.simd.registry.get_backend` with
+        ``key=None``).
+    latency:
+        Default :class:`repro.grid.comms.LatencyModel` (or ``None``
+        for a zero-latency wire) inherited by newly constructed
+        distributed lattices that do not pass their own.
+    comms_faults:
+        Default comms fault injector inherited the same way (``None``
+        means a perfect network).
+    """
+
+    enabled: bool = True
+    fused: bool = True
+    workers: int = 1
+    tile_min_sites: int = 128
+    overlap_comms: bool = True
+    batching: bool = True
+    caches: bool = True
+    fallback: bool = False
+    backend: str = "generic256"
+    latency: Optional[object] = None
+    comms_faults: Optional[object] = None
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.tile_min_sites < 0:
+            raise ValueError(
+                f"tile_min_sites must be >= 0, got {self.tile_min_sites}"
+            )
+
+    # -- resolved (effective) views ------------------------------------
+    @property
+    def fused_active(self) -> bool:
+        """Fusion is taken only with the engine on."""
+        return self.enabled and self.fused
+
+    @property
+    def overlap_active(self) -> bool:
+        """Overlap is taken only with the engine on."""
+        return self.enabled and self.overlap_comms
+
+    @property
+    def caches_active(self) -> bool:
+        """Caches are consulted/populated only with the engine on."""
+        return self.enabled and self.caches
+
+    def replace(self, **overrides) -> "ExecutionPolicy":
+        """A copy with ``overrides`` applied (the policy is frozen)."""
+        return replace(self, **overrides)
+
+
+#: Names accepted by :func:`scope` / :func:`update_base_policy`.
+POLICY_FIELDS = tuple(f.name for f in fields(ExecutionPolicy))
+
+_BASE_LOCK = threading.Lock()
+_BASE_POLICY = ExecutionPolicy()
+
+#: The scope stack.  A ``ContextVar`` (not ``threading.local``) so that
+#: freshly spawned threads see the *default* (``None`` -> base policy)
+#: rather than inheriting a stale override, and ``asyncio`` tasks, if
+#: ever used, each get their own stack.
+_SCOPED: ContextVar[Optional[ExecutionPolicy]] = ContextVar(
+    "repro_engine_policy", default=None
+)
+
+
+def base_policy() -> ExecutionPolicy:
+    """The process-wide default policy (what :func:`current_policy`
+    resolves to outside any :func:`scope`)."""
+    return _BASE_POLICY
+
+
+def set_base_policy(policy: ExecutionPolicy) -> ExecutionPolicy:
+    """Replace the process-wide default policy; returns the previous
+    one.  Prefer :func:`scope` — a global mutation is visible to every
+    thread and survives until explicitly undone."""
+    global _BASE_POLICY
+    if not isinstance(policy, ExecutionPolicy):
+        raise TypeError(f"expected ExecutionPolicy, got {type(policy)!r}")
+    with _BASE_LOCK:
+        previous = _BASE_POLICY
+        _BASE_POLICY = policy
+    return previous
+
+
+def update_base_policy(**overrides) -> ExecutionPolicy:
+    """Apply field overrides to the base policy (returns the previous
+    base).  This is the engine-sanctioned mutation point the legacy
+    setter shims delegate to."""
+    global _BASE_POLICY
+    with _BASE_LOCK:
+        previous = _BASE_POLICY
+        _BASE_POLICY = previous.replace(**overrides)
+    return previous
+
+
+def current_policy() -> ExecutionPolicy:
+    """The policy in effect here and now: the innermost active
+    :func:`scope` override, else the base policy."""
+    scoped = _SCOPED.get()
+    return scoped if scoped is not None else _BASE_POLICY
+
+
+@contextmanager
+def scope(policy: Optional[ExecutionPolicy] = None, **overrides):
+    """Push a scoped policy override (restored on exit, exception-safe).
+
+    Two forms:
+
+    * ``scope(enabled=False, workers=1)`` — field overrides applied to
+      the *currently resolved* policy, so nested scopes compose: an
+      inner ``scope(workers=4)`` keeps the outer scope's other fields.
+    * ``scope(policy)`` — an explicit :class:`ExecutionPolicy` replaces
+      the resolved policy wholesale (further ``**overrides`` apply on
+      top of it).
+
+    Scopes are thread-isolated: a scope entered on one thread is
+    invisible to every other thread (including tile-pool workers),
+    which resolve the base policy.
+    """
+    if policy is None:
+        policy = current_policy().replace(**overrides)
+    else:
+        if not isinstance(policy, ExecutionPolicy):
+            raise TypeError(
+                f"expected ExecutionPolicy, got {type(policy)!r}"
+            )
+        if overrides:
+            policy = policy.replace(**overrides)
+    token = _SCOPED.set(policy)
+    try:
+        yield policy
+    finally:
+        _SCOPED.reset(token)
+
+
+def warn_deprecated_setter(old: str, new: str) -> None:
+    """Emit the standard shim warning (used by the legacy setters in
+    :mod:`repro.perf` and :mod:`repro.simd.registry`)."""
+    warnings.warn(
+        f"{old} is deprecated; use {new} instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )

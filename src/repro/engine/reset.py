@@ -1,0 +1,59 @@
+"""``engine.reset_all()`` — one clean-slate call for the whole stack.
+
+Before the engine, every harness and campaign runner composed the
+reset ritual by hand: ``reset_all_comms()`` for live distributed
+lattices, ``reset_all_degraded()`` for sticky backend degradations,
+``clear_cache()`` for the kernel trace cache, ``reset_counters()`` for
+the perf tallies — four imports, easy to miss one and leak state into
+the next run's gated metrics.  :func:`reset_all` composes all of them
+(plus the engine's own plan caches) behind one call, which
+``run_campaign_suite`` and the bench harness now use.
+
+Imports are function-level: this module is reachable from
+``repro.engine`` (which the grid/perf/simd layers import), so it must
+not pull those layers in at import time.
+"""
+
+from __future__ import annotations
+
+
+def reset_all(counters: bool = True, caches: bool = True) -> dict:
+    """Reset every piece of cross-run engine state; returns a summary.
+
+    * live comms: traffic/resilience stats and in-flight halo queues
+      (:func:`repro.grid.comms.reset_all_comms`);
+    * sticky backend degradations
+      (:func:`repro.simd.resilient.reset_all_degraded`);
+    * with ``caches`` (default): the kernel trace cache
+      (:func:`repro.perf.trace_cache.clear_cache`), every grid-hosted
+      plan cache (:func:`repro.engine.plan.clear_plan_caches`) and the
+      distributed shift/halo memos — cache invalidation never changes
+      results, only forces re-derivation;
+    * with ``counters`` (default): the process-global perf counters
+      (:func:`repro.perf.counters.reset_counters`).
+    """
+    from repro.grid.comms import invalidate_comms_plans, reset_all_comms
+    from repro.simd.resilient import reset_all_degraded
+
+    summary = {
+        "comms_reset": reset_all_comms(),
+        "backends_restored": reset_all_degraded(),
+        "plan_hosts_cleared": 0,
+        "comms_plans_cleared": 0,
+        "trace_cache_cleared": False,
+        "counters_reset": False,
+    }
+    if caches:
+        from repro.engine.plan import clear_plan_caches
+        from repro.perf.trace_cache import clear_cache
+
+        clear_cache()
+        summary["plan_hosts_cleared"] = clear_plan_caches()
+        summary["comms_plans_cleared"] = invalidate_comms_plans()
+        summary["trace_cache_cleared"] = True
+    if counters:
+        from repro.perf.counters import reset_counters
+
+        reset_counters()
+        summary["counters_reset"] = True
+    return summary

@@ -1,0 +1,170 @@
+"""One solver entry parameterized by operator + method + policy.
+
+Pre-engine, each solver family had its own Wilson-specific wrapper —
+``solve_wilson_cgne``, ``solve_wilson_cgne_batched``,
+``ft_solve_wilson_cgne``, ``ft_solve_wilson_cgne_batched``,
+``mixed_precision_cgne``, ``ft_mixed_precision_cgne`` — six entry
+points repeating the same prepare-RHS / run-recursion / true-residual
+shape.  :func:`solve_fermion` collapses them onto one core
+parameterized by
+
+* an **operator** satisfying the :class:`~repro.engine.operators.
+  FermionOperator` protocol (``apply`` / ``apply_dagger`` /
+  ``mdag_m``),
+* a **method** (``"cg"`` = CGNE on the normal equations,
+  ``"bicgstab"``, ``"mr"``, ``"mixed"``),
+* ``ft=True`` for the fault-tolerant variants (drift detection +
+  checkpoint restart; extra keyword arguments such as
+  ``recompute_interval`` are forwarded), and
+* an optional **policy** scoped around the whole solve.
+
+Batched right-hand sides (tensor ``(nrhs, 4, 3)``) are detected by
+shape and routed to the block recursions, exactly as the legacy
+batched wrappers did.  The Krylov recursions themselves stay in
+:mod:`repro.grid.solver` / :mod:`repro.resilience.ft_solver` — they
+are numerically pinned (the FT variants are bit-identical to the
+plain ones on pristine runs) and this module must not perturb them;
+what is unified is the *entry*: RHS preparation, dispatch, and the
+true-residual report, each reproduced expression-for-expression from
+the wrapper it replaces so results stay bit-identical.
+
+All grid/resilience imports are function-level: the grid layer
+imports the engine, not vice versa.
+"""
+
+from __future__ import annotations
+
+from contextlib import nullcontext
+
+from repro.engine.policy import ExecutionPolicy, scope
+
+#: Legal ``method`` values.
+METHODS = ("cg", "bicgstab", "mr", "mixed")
+
+
+def _true_residual_single(operator, b, result):
+    """The legacy single-RHS true-residual report (bit-exact: no guard
+    on ``|b|`` — the zero-RHS case never reaches here)."""
+    result.residual = (
+        (b - operator.apply(result.x)).norm2() ** 0.5 / b.norm2() ** 0.5
+    )
+    return result
+
+
+def _true_residual_batched(operator, b, result):
+    """The legacy batched true-residual report (bit-exact, including
+    the ``1e-300`` guard the batched wrappers used)."""
+    from repro.grid.multirhs import col_norm2, nrhs
+
+    diff = b - operator.apply(result.x)
+    result.col_residuals = [
+        col_norm2(diff, j) ** 0.5 / max(col_norm2(b, j) ** 0.5, 1e-300)
+        for j in range(nrhs(b))
+    ]
+    result.residual = max(result.col_residuals)
+    return result
+
+
+def _solve_cg(operator, b, batched, ft, tol, max_iter, campaign, kwargs):
+    """CGNE: CG on ``M^dagger M x = M^dagger b``."""
+    rhs = operator.apply_dagger(b)
+    if batched:
+        if ft:
+            from repro.resilience.ft_solver import (
+                ft_batched_conjugate_gradient,
+            )
+
+            result = ft_batched_conjugate_gradient(
+                operator.mdag_m, rhs, tol=tol, max_iter=max_iter,
+                campaign=campaign, **kwargs)
+        else:
+            from repro.grid.solver import batched_conjugate_gradient
+
+            result = batched_conjugate_gradient(
+                operator.mdag_m, rhs, tol=tol, max_iter=max_iter, **kwargs)
+        return _true_residual_batched(operator, b, result)
+    if ft:
+        from repro.resilience.ft_solver import ft_conjugate_gradient
+
+        result = ft_conjugate_gradient(
+            operator.mdag_m, rhs, tol=tol, max_iter=max_iter,
+            campaign=campaign, **kwargs)
+    else:
+        from repro.grid.solver import conjugate_gradient
+
+        result = conjugate_gradient(operator.mdag_m, rhs, tol=tol,
+                                    max_iter=max_iter, **kwargs)
+    return _true_residual_single(operator, b, result)
+
+
+def _solve_direct(operator, b, method, ft, tol, max_iter, campaign,
+                  kwargs):
+    """BiCGSTAB / MR on ``M`` directly (single RHS)."""
+    if method == "bicgstab":
+        if ft:
+            from repro.resilience.ft_solver import ft_bicgstab
+
+            return ft_bicgstab(operator.apply, b, tol=tol,
+                               max_iter=max_iter, campaign=campaign,
+                               **kwargs)
+        from repro.grid.solver import bicgstab
+
+        return bicgstab(operator.apply, b, tol=tol, max_iter=max_iter,
+                        **kwargs)
+    if ft:
+        raise ValueError("no fault-tolerant minimal-residual variant")
+    from repro.grid.solver import minimal_residual
+
+    return minimal_residual(operator.apply, b, tol=tol, max_iter=max_iter,
+                            **kwargs)
+
+
+def _solve_mixed(operator, b, ft, tol, max_iter, campaign, kwargs):
+    """Mixed-precision defect correction (``max_iter`` is unused; the
+    mixed solvers take ``max_outer``/``max_inner`` via ``kwargs``)."""
+    if ft:
+        from repro.resilience.ft_solver import ft_mixed_precision_cgne
+
+        return ft_mixed_precision_cgne(operator, b, tol=tol,
+                                       campaign=campaign, **kwargs)
+    from repro.grid.mixedprec import mixed_precision_cgne
+
+    return mixed_precision_cgne(operator, b, tol=tol, **kwargs)
+
+
+def solve_fermion(operator, b, method: str = "cg", ft: bool = False,
+                  tol: float = 1e-8, max_iter: int = 1000,
+                  campaign=None, policy: ExecutionPolicy = None,
+                  **kwargs):
+    """Solve ``M x = b`` for any :class:`~repro.engine.operators.
+    FermionOperator`.
+
+    Returns the method family's native result type
+    (:class:`~repro.grid.solver.SolverResult`, ``BlockSolverResult``,
+    the FT extensions, or
+    :class:`~repro.grid.mixedprec.MixedPrecisionResult`) — identical,
+    field for field and bit for bit, to the legacy wrapper it
+    replaces.  ``policy`` (if given) is scoped around the whole solve;
+    ``campaign`` and extra keyword arguments are forwarded to the FT
+    recursions.
+    """
+    if method not in METHODS:
+        raise ValueError(f"unknown method {method!r}; known: {METHODS}")
+    from repro.grid.wilson import is_spinor_batch
+
+    batched = is_spinor_batch(b.tensor_shape)
+    ctx = scope(policy) if policy is not None else nullcontext()
+    with ctx:
+        if method == "cg":
+            return _solve_cg(operator, b, batched, ft, tol, max_iter,
+                             campaign, kwargs)
+        if batched:
+            raise ValueError(
+                f"method {method!r} has no batched variant; split the "
+                f"batch or use method='cg'"
+            )
+        if method == "mixed":
+            return _solve_mixed(operator, b, ft, tol, max_iter, campaign,
+                                kwargs)
+        return _solve_direct(operator, b, method, ft, tol, max_iter,
+                             campaign, kwargs)

@@ -52,6 +52,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.engine.policy import current_policy
 from repro.grid import compression
 from repro.grid.cartesian import GridCartesian
 from repro.grid.coordinates import coordinate_table, index_of, indices_of
@@ -82,6 +83,21 @@ def reset_all_comms() -> int:
     for dl in list(_LIVE_COMMS):
         dl.stats.reset()
         dl.comms_queue.reset()
+        n += 1
+    return n
+
+
+def invalidate_comms_plans() -> int:
+    """Drop the memoized shift decompositions and halo message sizes of
+    every live :class:`DistributedLattice` (both are pure geometry, so
+    this forces re-derivation without changing any result).  Part of
+    :func:`repro.engine.reset_all` — these memos are caches and are
+    treated uniformly with the trace and plan caches.  Returns how many
+    lattices were touched."""
+    n = 0
+    for dl in list(_LIVE_COMMS):
+        dl._shift_params.clear()
+        dl._halo_sizes.clear()
         n += 1
     return n
 
@@ -271,6 +287,12 @@ class DistributedLattice:
         Optional :class:`LatencyModel` delaying halo availability
         (``None`` means a zero-latency wire, i.e. the old synchronous
         behaviour).
+
+    ``comms_faults`` and ``latency`` default to the corresponding
+    fields of the current :class:`repro.engine.ExecutionPolicy` when
+    not given explicitly, so whole campaigns can be scoped onto a
+    degraded network with ``engine.scope(latency=..., comms_faults=...)``
+    instead of threading the models through every constructor.
     """
 
     def __init__(self, gdims, backend, mpi_layout, tensor_shape,
@@ -278,6 +300,11 @@ class DistributedLattice:
                  dtype=np.complex128, checksum_halos: bool = False,
                  comms_faults=None, max_retries: int = 3,
                  latency: LatencyModel = None) -> None:
+        policy = current_policy()
+        if comms_faults is None:
+            comms_faults = policy.comms_faults
+        if latency is None:
+            latency = policy.latency
         self.ranks = RankGeometry(mpi_layout)
         self.compress_halos = compress_halos
         self.checksum_halos = checksum_halos
@@ -425,15 +452,20 @@ class DistributedLattice:
     # Halo exchange + shift
     # ------------------------------------------------------------------
     def _halo_sizes_for(self, dim: int):
-        """Memoized (n_complex, wire_bytes) of one +dim halo message."""
-        sizes = self._halo_sizes.get(dim)
+        """(n_complex, wire_bytes) of one +dim halo message — memoized
+        only while the engine's cache knob is on (cache semantics are
+        uniform across the stack: with ``caches_active`` off, no cache
+        is consulted or populated)."""
+        caching = current_policy().caches_active
+        sizes = self._halo_sizes.get(dim) if caching else None
         if sizes is None:
             grid = self.grids[0]
             halo_sites = grid.lsites // grid.ldims[dim]
             n_complex = halo_sites * int(np.prod(self.tensor_shape))
             sizes = (n_complex, compression.wire_bytes(
                 n_complex, self.compress_halos, grid.dtype))
-            self._halo_sizes[dim] = sizes
+            if caching:
+                self._halo_sizes[dim] = sizes
         return sizes
 
     def _post_halo(self, src_rank: int, dim: int) -> HaloHandle:
@@ -479,15 +511,18 @@ class DistributedLattice:
         return self.comms_queue.wait(self._post_halo(src_rank, dim))
 
     def _dist_shift_params(self, dim: int, shift: int):
-        """Memoized (rank_steps, local_shift) decomposition of a
-        global shift — the distributed half of the per-geometry plan
-        cache (the rank-local half lives in :mod:`repro.grid.cshift`)."""
+        """(rank_steps, local_shift) decomposition of a global shift —
+        the distributed half of the per-geometry plan cache (the
+        rank-local half lives in :mod:`repro.grid.cshift`), memoized
+        under the same engine cache knob as every other plan cache."""
         key = (dim, shift)
-        params = self._shift_params.get(key)
+        caching = current_policy().caches_active
+        params = self._shift_params.get(key) if caching else None
         if params is None:
             gshift = shift % self.gdims[dim]
             params = divmod(gshift, self.grids[0].ldims[dim])
-            self._shift_params[key] = params
+            if caching:
+                self._shift_params[key] = params
         return params
 
     def cshift(self, dim: int, shift: int) -> "DistributedLattice":

@@ -30,9 +30,10 @@ from typing import Optional
 
 import numpy as np
 
+from repro.engine.plan import register_plan_host
+from repro.engine.policy import current_policy
 from repro.grid.coordinates import indices_of
 from repro.grid.lattice import Lattice
-from repro.perf import config as _perf_config
 from repro.perf.counters import counters as _perf_counters
 
 
@@ -95,7 +96,7 @@ def _as_range(idx: np.ndarray):
 
 
 def _shift_plan(grid, dim: int, s: int) -> list:
-    """Memoized :func:`_shift_groups` (engine on), per grid instance.
+    """Memoized :func:`_shift_groups` (caches on), per grid instance.
 
     Index arrays that turn out to be contiguous ranges (the
     slowest-varying dimension always produces these) are stored as
@@ -104,6 +105,7 @@ def _shift_plan(grid, dim: int, s: int) -> list:
     plans = grid.__dict__.get("_cshift_plans")
     if plans is None:
         plans = grid.__dict__.setdefault("_cshift_plans", {})
+        register_plan_host(grid)
     plan = plans.get((dim, s))
     if plan is not None:
         _perf_counters().bump("cshift_plan_hits")
@@ -135,7 +137,7 @@ def cshift_local(lat: Lattice, dim: int, shift: int,
         out.data = lat.data.copy()
         return out
 
-    if _perf_config().enabled:
+    if current_policy().caches_active:
         groups = _shift_plan(grid, dim, s)
         # The groups partition the outer-site axis, so every slot is
         # written below — skip the zero fill.

@@ -8,10 +8,11 @@ the single-rank :class:`repro.grid.wilson.WilsonDirac`.
 
 Two engine upgrades sit on top of the ordered reference sweep:
 
-* **Overlap** — with the engine on (and ``perf.config().
-  overlap_comms``), :func:`repro.grid.overlap.overlapped_dhop` posts
-  every halo up front and hides the simulated wire latency behind
-  interior compute, bit-identically to the ordered path.
+* **Overlap** — when the engine's resolved
+  :class:`~repro.engine.plan.KernelPlan` says so,
+  :func:`repro.grid.overlap.overlapped_dhop` posts every halo up front
+  and hides the simulated wire latency behind interior compute,
+  bit-identically to the ordered path.
 * **Multi-RHS batching** — a field whose tensor is ``(nrhs, 4, 3)``
   (see :mod:`repro.grid.multirhs`) is swept column-by-column over one
   shared set of halo exchanges and neighbour gathers, so ``nrhs``
@@ -23,13 +24,15 @@ from __future__ import annotations
 from typing import Sequence
 
 
+from repro.engine.operators import OperatorGeometry
+from repro.engine.plan import kernel_plan
 from repro.grid import gamma as g
 from repro.grid.comms import DistributedLattice, LatencyModel
-from repro.grid.overlap import overlap_active, overlapped_dhop
+from repro.grid.overlap import overlapped_dhop
 from repro.grid.tensor import su3_dagger_mul_vec, su3_mul_vec
 from repro.grid.wilson import SPINOR, is_spinor_batch
 from repro.perf.counters import counters as _perf_counters
-from repro.perf.fused import engine_active, fused_dhop_rank
+from repro.perf.fused import fused_dhop_rank
 
 
 class DistributedWilson:
@@ -73,13 +76,28 @@ class DistributedWilson:
         )
 
     def dhop(self, psi: DistributedLattice) -> DistributedLattice:
-        """Apply Eq. (1) with halo exchange at rank boundaries."""
+        """Apply Eq. (1) with halo exchange at rank boundaries.
+
+        Dispatch is resolved once by the execution engine (every rank
+        shares one backend object, so one :class:`~repro.engine.plan.
+        KernelPlan` covers the whole sweep): overlapped vs ordered
+        exchange, fused vs layered rank-local arithmetic, and batched
+        vs column-by-column multi-RHS handling.  Every route is
+        bit-identical.
+        """
         ncols = self._check(psi)
-        if overlap_active(psi):
+        plan = kernel_plan(psi.grids[0], "dist-dhop")
+        if ncols and not plan.batched:
+            # Batching off: nrhs independent sweeps, each paying its
+            # own halo exchange (the unamortised reference).
+            from repro.grid.multirhs import split_rhs, stack_rhs
+
+            return stack_rhs([self.dhop(c) for c in split_rhs(psi)])
+        if plan.overlap:
             # Post-all-halos / interior / shells schedule — same
             # message order and per-site arithmetic as the ordered
             # sweep below (see repro.grid.overlap for the argument).
-            return overlapped_dhop(self, psi)
+            return overlapped_dhop(self, psi, kplan=plan)
         if ncols:
             _perf_counters().bump("batched_dhop_calls")
         out = self._zero_like(psi)
@@ -89,9 +107,10 @@ class DistributedWilson:
             # A batched psi shares this one exchange across columns.
             fwd = psi.cshift(mu, +1)
             bwd = psi.cshift(mu, -1)
+            plan.stages.bump("exchange", 2)
             for r in range(self.ranks.nranks):
                 be = psi.grids[r].backend
-                if engine_active(be):
+                if plan.fused:
                     for acc, pf, pb in _columns(
                         out.locals[r].data, fwd.locals[r].data,
                         bwd.locals[r].data, ncols,
@@ -100,7 +119,7 @@ class DistributedWilson:
                             acc,
                             self.links[mu].locals[r].data,
                             self.links_back[mu].locals[r].data,
-                            pf, pb, mu,
+                            pf, pb, mu, plan=plan,
                         )
                     continue
                 for acc, pf, pb in _columns(
@@ -140,6 +159,34 @@ class DistributedWilson:
 
     def mdag_m(self, psi: DistributedLattice) -> DistributedLattice:
         return self.apply_dagger(self.apply(psi))
+
+    # ------------------------------------------------------------------
+    # FermionOperator protocol metadata
+    # ------------------------------------------------------------------
+    @property
+    def geometry(self) -> OperatorGeometry:
+        """Where and on what this operator acts (protocol metadata);
+        ``gdims`` is the *global* lattice, ``nranks`` the simulated
+        rank decomposition."""
+        grid = self.links[0].grids[0]
+        return OperatorGeometry(
+            gdims=tuple(self.links[0].gdims),
+            tensor_shape=SPINOR,
+            dtype=str(grid.dtype),
+            backend=grid.backend.name,
+            nranks=self.ranks.nranks,
+        )
+
+    def flops_per_site(self) -> int:
+        """Same 1320-flop Wilson-dslash count as the single-rank
+        operator; the decomposition moves data, not arithmetic."""
+        return 1320
+
+    def bytes_per_site(self) -> int:
+        """Same nominal traffic as the single-rank operator (8 spinor
+        + 8 link reads, one spinor write), per local site."""
+        grid = self.links[0].grids[0]
+        return (8 * 12 + 8 * 9 + 12) * grid.dtype.itemsize
 
 
 def _columns(acc, fwd, bwd, ncols: int):

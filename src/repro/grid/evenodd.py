@@ -92,6 +92,27 @@ class SchurWilson:
         """``S^dagger S`` — hermitian positive definite on odd sites."""
         return self.schur_dagger(self.schur(psi_o))
 
+    # FermionOperator protocol: the operator this object *is* for a
+    # solver is the Schur complement on odd-support fields.
+    apply = schur
+    apply_dagger = schur_dagger
+    mdag_m = schur_norm
+
+    @property
+    def geometry(self):
+        """Protocol metadata — the Schur operator acts on (the
+        odd-parity half of) the same grid as the underlying Wilson
+        operator."""
+        return self.dirac.geometry
+
+    def flops_per_site(self) -> int:
+        """Two half-volume hops per Schur application ~ one full dhop
+        plus the diagonal updates; the community dslash count stands."""
+        return self.dirac.flops_per_site()
+
+    def bytes_per_site(self) -> int:
+        return self.dirac.bytes_per_site()
+
     # ------------------------------------------------------------------
     # The full preconditioned solve
     # ------------------------------------------------------------------

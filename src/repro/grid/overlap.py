@@ -38,12 +38,13 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.engine.plan import fused_safe_backend, register_plan_host
+from repro.engine.policy import current_policy
 from repro.grid.cshift import _apply_lane_rotation
 from repro.grid.cshift import _shift_plan as _local_shift_plan
 from repro.grid.stencil import halo_dependency
-from repro.perf import config
 from repro.perf.counters import counters
-from repro.perf.fused import _accumulate_direction, fused_dhop_supported
+from repro.perf.fused import _accumulate_direction
 from repro.perf.parallel import run_tiles, tiles_for
 
 #: Spinor tensor shape (kept local for import-cycle freedom).
@@ -52,11 +53,13 @@ SPINOR = (4, 3)
 
 def overlap_active(dist) -> bool:
     """True when the overlap engine should take this distributed sweep:
-    engine on, overlap knob on, and a fused-safe backend (the shell
-    sweep reuses the fused accumulation body)."""
-    cfg = config()
-    return (cfg.enabled and cfg.overlap_comms
-            and fused_dhop_supported(dist.grids[0].backend))
+    overlap resolved on in the current policy and a fused-safe backend
+    (the shell sweep reuses the fused accumulation body).  Historical
+    gate; the distributed operator now reads ``plan.overlap`` off its
+    :class:`~repro.engine.plan.KernelPlan`, which resolves to exactly
+    this condition."""
+    return (current_policy().overlap_active
+            and fused_safe_backend(dist.grids[0].backend))
 
 
 class DistHaloPlan:
@@ -84,21 +87,36 @@ class DistHaloPlan:
 
 
 def halo_plan_for(dist) -> DistHaloPlan:
-    """The (memoized) overlap plan for ``dist``'s geometry."""
+    """The overlap plan for ``dist``'s geometry, memoized per grid
+    instance under the engine's uniform cache knob (with
+    ``caches_active`` off the plan is re-derived per sweep and nothing
+    is stored)."""
     grid = dist.grids[0]
+    if not current_policy().caches_active:
+        return DistHaloPlan(dist)
     plan = grid.__dict__.get("_dist_halo_plan")
     if plan is None:
         plan = DistHaloPlan(dist)
         grid.__dict__["_dist_halo_plan"] = plan
+        register_plan_host(grid)
     return plan
 
 
-def overlapped_dhop(op, psi):
+def overlapped_dhop(op, psi, kplan=None):
     """Apply ``op``'s hopping term with halo exchange hidden behind
     interior compute.  ``op`` is a :class:`~repro.grid.dist_wilson.
-    DistributedWilson`; ``psi`` a spinor or multi-RHS batch field."""
+    DistributedWilson`; ``psi`` a spinor or multi-RHS batch field.
+    ``kplan`` (a resolved :class:`~repro.engine.plan.KernelPlan`) pins
+    the tile split and feeds the per-stage counters."""
     counters().bump("overlap_dhop_calls")
     plan = halo_plan_for(psi)
+    workers = None if kplan is None else kplan.workers
+    min_sites = None if kplan is None else kplan.tile_min_sites
+
+    def sweep(body, n_sites: int) -> None:
+        run_tiles(body, tiles_for(n_sites, workers=workers,
+                                  min_sites=min_sites),
+                  workers=workers)
     ndim = op.ndim
     nranks = psi.ranks.nranks
     grid = psi.grids[0]
@@ -121,6 +139,8 @@ def overlapped_dhop(op, psi):
                 handles[(mu, sign, r)] = psi._post_halo(
                     srcs[(mu, sign, r)], mu
                 )
+    if kplan is not None:
+        kplan.stages.bump("post", len(handles))
 
     # -- Phase 2: halo-independent buffer groups + interior sweep.
     bufs: list = [dict() for _ in range(nranks)]
@@ -168,8 +188,9 @@ def overlapped_dhop(op, psi):
 
     interior = plan.interior
     for r in range(nranks):
-        run_tiles(lambda sl, r=r: accumulate(r, interior[sl]),
-                  tiles_for(interior.size))
+        sweep(lambda sl, r=r: accumulate(r, interior[sl]), interior.size)
+    if kplan is not None:
+        kplan.stages.bump("interior", nranks)
 
     # -- Phase 3: complete each dimension's halos, then its shell.
     for d in range(ndim):
@@ -193,6 +214,7 @@ def overlapped_dhop(op, psi):
                     buf[sel] = np.where(nbr_lanes, rotated_nbr, rotated)
         shell = plan.shells[d]
         for r in range(nranks):
-            run_tiles(lambda sl, r=r: accumulate(r, shell[sl]),
-                      tiles_for(shell.size))
+            sweep(lambda sl, r=r: accumulate(r, shell[sl]), shell.size)
+        if kplan is not None:
+            kplan.stages.bump("shell", nranks)
     return out

@@ -99,14 +99,17 @@ def conjugate_gradient(
 
 def solve_wilson_cgne(dirac, b: Lattice, tol: float = 1e-8,
                       max_iter: int = 1000) -> SolverResult:
-    """Solve ``M x = b`` via CG on the normal equations."""
-    rhs = dirac.apply_dagger(b)
-    result = conjugate_gradient(dirac.mdag_m, rhs, tol=tol,
-                                max_iter=max_iter)
-    # Report the true residual of the original system.
-    true_r = (b - dirac.apply(result.x)).norm2() ** 0.5 / b.norm2() ** 0.5
-    result.residual = true_r
-    return result
+    """Solve ``M x = b`` via CG on the normal equations.
+
+    Delegates to the unified solver entry
+    (:func:`repro.engine.solve_fermion` with ``method="cg"``), which
+    reproduces this wrapper's RHS preparation and true-residual report
+    bit for bit.
+    """
+    from repro.engine.solve import solve_fermion
+
+    return solve_fermion(dirac, b, method="cg", tol=tol,
+                         max_iter=max_iter)
 
 
 # ----------------------------------------------------------------------
@@ -221,17 +224,15 @@ def solve_wilson_cgne_batched(dirac, b, tol: float = 1e-8,
     hand sides, then :func:`batched_conjugate_gradient` runs them to
     tolerance together.  Reports per-column true residuals of the
     original system.
+
+    Delegates to the unified solver entry
+    (:func:`repro.engine.solve_fermion`, which detects the batch by
+    tensor shape), bit-identically.
     """
-    rhs = dirac.apply_dagger(b)
-    result = batched_conjugate_gradient(dirac.mdag_m, rhs, tol=tol,
-                                        max_iter=max_iter)
-    diff = b - dirac.apply(result.x)
-    result.col_residuals = [
-        col_norm2(diff, j) ** 0.5 / max(col_norm2(b, j) ** 0.5, 1e-300)
-        for j in range(nrhs(b))
-    ]
-    result.residual = max(result.col_residuals)
-    return result
+    from repro.engine.solve import solve_fermion
+
+    return solve_fermion(dirac, b, method="cg", tol=tol,
+                         max_iter=max_iter)
 
 
 def bicgstab(

@@ -24,12 +24,14 @@ from __future__ import annotations
 from typing import Callable, Optional, Sequence
 
 
+from repro.engine.operators import OperatorGeometry
+from repro.engine.plan import kernel_plan
 from repro.grid import gamma as g
 from repro.grid.cartesian import GridCartesian
 from repro.grid.cshift import cshift
 from repro.grid.lattice import Lattice
 from repro.grid.tensor import su3_dagger_mul_vec, su3_mul_vec
-from repro.perf.fused import engine_active, fused_dhop
+from repro.perf.fused import fused_dhop
 
 #: Spinor tensor shape: (spin, colour).
 SPINOR = (4, 3)
@@ -76,14 +78,26 @@ class WilsonDirac:
     def dhop(self, psi: Lattice) -> Lattice:
         """Apply the hopping term ``D_h`` of Eq. (1).
 
-        A multi-RHS batch (tensor ``(nrhs, 4, 3)``) is swept column by
-        column over one shared set of neighbour gathers.
+        Dispatch is resolved by the execution engine: the grid's
+        :class:`~repro.engine.plan.KernelPlan` (cached per policy)
+        decides between the fused+tiled sweep and the layered
+        reference, and whether a multi-RHS batch (tensor
+        ``(nrhs, 4, 3)``) shares one set of neighbour gathers or is
+        swept column by column.  Every route is bit-identical.
         """
         ncols = self._check(psi)
-        if engine_active(self.grid.backend):
+        plan = kernel_plan(self.grid, "dhop")
+        if ncols and not plan.batched:
+            # Batching off: apply column by column (nrhs independent
+            # sweeps, nrhs x the gathers — the unamortised reference).
+            from repro.grid.multirhs import split_rhs, stack_rhs
+
+            return stack_rhs([self.dhop(c) for c in split_rhs(psi)])
+        if plan.fused:
             # Fused+tiled engine sweep — bit-identical to the layered
             # path below (see repro.perf.fused for the argument).
-            return fused_dhop(self, psi)
+            return fused_dhop(self, psi, plan=plan)
+        plan.stages.bump("layered_sweeps")
         be = self.grid.backend
         out = Lattice(self.grid, psi.tensor_shape)
         for mu in range(self.grid.ndim):
@@ -139,6 +153,18 @@ class WilsonDirac:
         return self.apply_dagger(self.apply(psi))
 
     # ------------------------------------------------------------------
+    # FermionOperator protocol metadata
+    # ------------------------------------------------------------------
+    @property
+    def geometry(self) -> OperatorGeometry:
+        """Where and on what this operator acts (protocol metadata)."""
+        return OperatorGeometry(
+            gdims=tuple(self.grid.gdims),
+            tensor_shape=SPINOR,
+            dtype=str(self.grid.dtype),
+            backend=self.grid.backend.name,
+        )
+
     def flops_per_site(self) -> int:
         """Nominal floating-point operations per lattice site of dhop.
 
@@ -148,6 +174,14 @@ class WilsonDirac:
         to Flop/s.
         """
         return 1320
+
+    def bytes_per_site(self) -> int:
+        """Nominal dhop memory traffic per site: read 8 neighbour
+        spinors (12 complex each) and 8 links (9 complex each), write
+        one spinor — the count used for arithmetic-intensity
+        estimates (perfect caching assumed)."""
+        n_complex = 8 * 12 + 8 * 9 + 12
+        return n_complex * self.grid.dtype.itemsize
 
     def _check(self, psi: Lattice) -> int:
         """Validate the field; returns the batch width (0 = plain)."""

@@ -15,9 +15,20 @@ economy on the complex hot path) in software:
 * :mod:`repro.perf.harness` — the benchmark-regression harness CI
   gates on (see ``benchmarks/bench_regression.py``).
 
-The engine is governed by one process-global :class:`PerfConfig`:
-``perf.disabled()`` restores the exact pre-engine code paths (that is
-what the harness measures the engine against).
+Since the unified execution engine landed, the knobs live in the
+scoped :class:`repro.engine.ExecutionPolicy` — this module is a
+*compatibility facade* over it:
+
+* :func:`config` returns a read-only :class:`PerfConfig` snapshot of
+  the currently resolved policy;
+* :func:`configured` / :func:`disabled` are thin wrappers over
+  :func:`repro.engine.scope` (scoped, nestable, thread-isolated);
+* the mutating setters (:func:`set_enabled`, :func:`set_workers`,
+  :func:`set_overlap_comms`) emit :class:`DeprecationWarning` and
+  delegate to :func:`repro.engine.update_base_policy`.
+
+``perf.disabled()`` still restores the exact pre-engine code paths
+(that is what the harness measures the engine against).
 """
 
 from __future__ import annotations
@@ -25,6 +36,12 @@ from __future__ import annotations
 from contextlib import contextmanager
 from dataclasses import dataclass
 
+from repro.engine.policy import (
+    current_policy,
+    scope as _scope,
+    update_base_policy,
+    warn_deprecated_setter,
+)
 from repro.perf.counters import PerfCounters, counters, reset_counters
 
 __all__ = [
@@ -41,9 +58,9 @@ __all__ = [
 ]
 
 
-@dataclass
+@dataclass(frozen=True)
 class PerfConfig:
-    """Process-global switches for the performance engine.
+    """A read-only snapshot of the engine fields this facade exposes.
 
     ``enabled`` gates every engine path at once — caches, fusion and
     tiling; with it off, the original (pre-engine) code runs
@@ -54,6 +71,11 @@ class PerfConfig:
     interior compute (:mod:`repro.grid.overlap`); it only takes effect
     when ``enabled`` is also set, so ``disabled()`` restores the
     ordered serial exchange.
+
+    This used to be *the* mutable process-global configuration; it is
+    now derived per call from :func:`repro.engine.current_policy` and
+    frozen — mutate via ``engine.scope(...)`` (scoped) or the
+    deprecated setters (process-wide).
     """
 
     enabled: bool = True
@@ -62,47 +84,62 @@ class PerfConfig:
     overlap_comms: bool = True
 
 
-_CONFIG = PerfConfig()
-
-
 def config() -> PerfConfig:
-    """The live engine configuration (mutate via the setters below)."""
-    return _CONFIG
+    """The engine configuration in effect here and now (a snapshot of
+    the resolved :class:`repro.engine.ExecutionPolicy`)."""
+    policy = current_policy()
+    return PerfConfig(
+        enabled=policy.enabled,
+        workers=policy.workers,
+        tile_min_sites=policy.tile_min_sites,
+        overlap_comms=policy.overlap_comms,
+    )
 
 
 def set_enabled(flag: bool) -> None:
-    _CONFIG.enabled = bool(flag)
+    """Deprecated: use ``engine.scope(enabled=...)`` (scoped) or
+    ``engine.update_base_policy(enabled=...)`` (process-wide)."""
+    warn_deprecated_setter("repro.perf.set_enabled", "repro.engine.scope(enabled=...)")
+    update_base_policy(enabled=bool(flag))
 
 
 def set_workers(n: int) -> None:
+    """Deprecated: use ``engine.scope(workers=...)``."""
+    warn_deprecated_setter("repro.perf.set_workers", "repro.engine.scope(workers=...)")
     if n < 1:
         raise ValueError(f"workers must be >= 1, got {n}")
-    _CONFIG.workers = int(n)
+    update_base_policy(workers=int(n))
 
 
 def set_overlap_comms(flag: bool) -> None:
-    _CONFIG.overlap_comms = bool(flag)
+    """Deprecated: use ``engine.scope(overlap_comms=...)``."""
+    warn_deprecated_setter(
+        "repro.perf.set_overlap_comms", "repro.engine.scope(overlap_comms=...)"
+    )
+    update_base_policy(overlap_comms=bool(flag))
 
 
 @contextmanager
-def configured(enabled=None, workers=None, tile_min_sites=None,
-               overlap_comms=None):
-    """Temporarily override engine settings (restored on exit)."""
-    old = (_CONFIG.enabled, _CONFIG.workers, _CONFIG.tile_min_sites,
-           _CONFIG.overlap_comms)
-    try:
-        if enabled is not None:
-            _CONFIG.enabled = bool(enabled)
-        if workers is not None:
-            set_workers(workers)
-        if tile_min_sites is not None:
-            _CONFIG.tile_min_sites = int(tile_min_sites)
-        if overlap_comms is not None:
-            _CONFIG.overlap_comms = bool(overlap_comms)
-        yield _CONFIG
-    finally:
-        (_CONFIG.enabled, _CONFIG.workers, _CONFIG.tile_min_sites,
-         _CONFIG.overlap_comms) = old
+def configured(enabled=None, workers=None, tile_min_sites=None, overlap_comms=None):
+    """Temporarily override engine settings (restored on exit).
+
+    A thin wrapper over :func:`repro.engine.scope` — nestable and
+    thread-isolated, unlike the process-global mutation it performed
+    before the engine unification.
+    """
+    overrides = {}
+    if enabled is not None:
+        overrides["enabled"] = bool(enabled)
+    if workers is not None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        overrides["workers"] = int(workers)
+    if tile_min_sites is not None:
+        overrides["tile_min_sites"] = int(tile_min_sites)
+    if overlap_comms is not None:
+        overrides["overlap_comms"] = bool(overlap_comms)
+    with _scope(**overrides):
+        yield config()
 
 
 def disabled():

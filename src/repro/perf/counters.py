@@ -33,6 +33,10 @@ class PerfCounters:
       and completed from the in-flight queue.
     * ``batched_dhop_calls`` — multi-RHS sweeps that amortised one set
       of neighbour gathers over a whole RHS batch.
+    * ``plan_hits`` / ``plan_misses`` — resolved
+      :class:`repro.engine.plan.KernelPlan` lookups per (grid, kind,
+      policy); a miss is one policy resolution, a hit is a cached
+      dispatch decision reused.
     """
 
     program_hits: int = 0
@@ -48,6 +52,8 @@ class PerfCounters:
     halo_posts: int = 0
     halo_waits: int = 0
     batched_dhop_calls: int = 0
+    plan_hits: int = 0
+    plan_misses: int = 0
     _lock: threading.Lock = field(
         default_factory=threading.Lock, repr=False, compare=False
     )
@@ -74,6 +80,9 @@ class PerfCounters:
 
     def cshift_plan_hit_rate(self) -> float:
         return self._rate(self.cshift_plan_hits, self.cshift_plan_misses)
+
+    def plan_hit_rate(self) -> float:
+        return self._rate(self.plan_hits, self.plan_misses)
 
 
 _COUNTERS = PerfCounters()

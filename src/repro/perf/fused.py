@@ -32,26 +32,25 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.engine.plan import fused_safe_backend
+from repro.engine.policy import current_policy
 from repro.grid.lattice import Lattice
-from repro.perf import config
 from repro.perf.counters import counters
 from repro.perf.parallel import run_tiles, tiles_for
-from repro.simd.fixed import FixedWidthBackend
-from repro.simd.generic import GenericBackend
 
 #: Spinor tensor shape (mirrors ``repro.grid.wilson.SPINOR``; not
 #: imported from there to keep this module import-cycle free).
 SPINOR = (4, 3)
 
-#: Backends whose arithmetic ops are literally the numpy expressions
-#: the fused path inlines.  Exact types only: subclasses may override
-#: an op (fault-injecting backends do) and must keep the layered path.
-_FUSED_SAFE = (GenericBackend, FixedWidthBackend)
-
 
 def fused_dhop_supported(backend) -> bool:
-    """True when ``backend``'s ops are the plain numpy semantics."""
-    return type(backend) in _FUSED_SAFE
+    """True when ``backend``'s ops are the plain numpy semantics.
+
+    The authoritative check lives in the engine's plan layer
+    (:func:`repro.engine.plan.fused_safe_backend`); this alias keeps
+    the historical name importable.
+    """
+    return fused_safe_backend(backend)
 
 
 def _su3_halfspinor(U: np.ndarray, h: np.ndarray,
@@ -156,7 +155,7 @@ def _accumulate_direction(acc: np.ndarray, U: np.ndarray,
             np.subtract(a3, u1, out=a3)
 
 
-def fused_dhop(dirac, psi: Lattice) -> Lattice:
+def fused_dhop(dirac, psi: Lattice, plan=None) -> Lattice:
     """The engine's Wilson hopping term (``WilsonDirac.dhop``).
 
     Gathers every neighbour field first (full lattice, through the
@@ -166,6 +165,11 @@ def fused_dhop(dirac, psi: Lattice) -> Lattice:
     ``(nrhs, 4, 3)``) shares the gathers and loops the accumulation
     over column views, so the neighbour indexing is paid once per
     sweep, not once per RHS.
+
+    ``plan`` (a resolved :class:`repro.engine.plan.KernelPlan`) pins
+    the tile split to the plan's ``workers``/``tile_min_sites`` and
+    feeds its per-stage counters; without one the split falls back to
+    the current policy.
     """
     grid = dirac.grid
     ncols = psi.tensor_shape[0] if len(psi.tensor_shape) == 3 else 0
@@ -181,6 +185,8 @@ def fused_dhop(dirac, psi: Lattice) -> Lattice:
             dirac._links_back[mu].data,
             dirac._cshift(psi, mu, -1).data,
         ))
+    if plan is not None:
+        plan.stages.bump("gather", 2 * grid.ndim)
     acc = out.data
 
     def body(sl) -> None:
@@ -196,13 +202,20 @@ def fused_dhop(dirac, psi: Lattice) -> Lattice:
                 _accumulate_direction(a, u_fwd[sl], psi_fwd[sl], mu, +1)
                 _accumulate_direction(a, u_bwd[sl], psi_bwd[sl], mu, -1)
 
-    run_tiles(body, tiles_for(grid.osites))
+    if plan is None:
+        tiles = tiles_for(grid.osites)
+        run_tiles(body, tiles)
+    else:
+        tiles = tiles_for(grid.osites, workers=plan.workers,
+                          min_sites=plan.tile_min_sites)
+        run_tiles(body, tiles, workers=plan.workers)
+        plan.stages.bump("compute", len(tiles))
     return out
 
 
 def fused_dhop_rank(acc: np.ndarray, links_mu: np.ndarray,
                     links_back_mu: np.ndarray, fwd: np.ndarray,
-                    bwd: np.ndarray, mu: int) -> None:
+                    bwd: np.ndarray, mu: int, plan=None) -> None:
     """One rank-local (mu, fwd+bwd) accumulation for the distributed
     operator; tiled over the rank's outer sites."""
 
@@ -211,9 +224,20 @@ def fused_dhop_rank(acc: np.ndarray, links_mu: np.ndarray,
         _accumulate_direction(a, links_mu[sl], fwd[sl], mu, +1)
         _accumulate_direction(a, links_back_mu[sl], bwd[sl], mu, -1)
 
-    run_tiles(body, tiles_for(acc.shape[0]))
+    if plan is None:
+        run_tiles(body, tiles_for(acc.shape[0]))
+    else:
+        tiles = tiles_for(acc.shape[0], workers=plan.workers,
+                          min_sites=plan.tile_min_sites)
+        run_tiles(body, tiles, workers=plan.workers)
+        plan.stages.bump("compute", len(tiles))
 
 
 def engine_active(backend) -> bool:
-    """Engine enabled *and* the backend is fused-safe."""
-    return config().enabled and fused_dhop_supported(backend)
+    """Engine fusion resolved on *and* the backend is fused-safe.
+
+    Historical gate kept for compatibility; new code asks the engine
+    for a :class:`~repro.engine.plan.KernelPlan` and reads
+    ``plan.fused`` instead.
+    """
+    return current_policy().fused_active and fused_safe_backend(backend)

@@ -473,11 +473,15 @@ def run_suite(full: bool = False, workers: int = 4,
         lambda: bench_campaign(vls=campaign_vls),
         lambda: bench_trace_cache(vls=cache_vls),
     ]
+    from repro.engine.reset import reset_all
+
     records = []
     with perf.configured(overlap_comms=overlap):
         for bench in benches:
-            reset_counters()
-            reset_all_comms()
+            # One clean slate per bench: counters, comms state, sticky
+            # degradations and every cache (trace, kernel-plan, cshift,
+            # dist halo memos) via the engine's composed reset.
+            reset_all()
             records.append(bench())
     report = {
         "schema": SCHEMA_VERSION,

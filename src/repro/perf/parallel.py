@@ -19,7 +19,7 @@ import threading
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Optional, Sequence
 
-from repro.perf import config
+from repro.engine.policy import current_policy
 from repro.perf.counters import counters
 
 _POOL: Optional[ThreadPoolExecutor] = None
@@ -53,9 +53,9 @@ def tiles_for(
     stretch of the outer-site axis (the cache-friendly order the
     serial sweep uses too).
     """
-    cfg = config()
-    workers = cfg.workers if workers is None else workers
-    min_sites = cfg.tile_min_sites if min_sites is None else min_sites
+    policy = current_policy()
+    workers = policy.workers if workers is None else workers
+    min_sites = policy.tile_min_sites if min_sites is None else min_sites
     if workers <= 1 or n_sites < max(min_sites, 2):
         return [slice(0, n_sites)]
     n_tiles = min(workers, max(1, n_sites // max(1, min_sites // 2)))
@@ -76,7 +76,7 @@ def run_tiles(body: Callable, tiles: Sequence, workers: Optional[int] = None) ->
     caller exactly as they would serially.
     """
     counters().bump("tiles_dispatched", len(tiles))
-    workers = config().workers if workers is None else workers
+    workers = current_policy().workers if workers is None else workers
     if len(tiles) == 1 or workers <= 1:
         for t in tiles:
             body(t)

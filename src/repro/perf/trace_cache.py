@@ -16,8 +16,11 @@ lowering the IR, printing assembly text, re-parsing and re-decoding it
   invalidates the hot trace and rebuilds a plan — results stay
   correct, the counters record the churn.
 
-With the engine disabled (``perf.disabled()``) every entry point falls
-through to the uncached pre-engine pipeline.
+Caching is gated on the engine policy's ``caches_active`` (``enabled
+and caches``): under ``perf.disabled()`` — or ``engine.scope(
+caches=False)`` — every entry point falls through to the uncached
+pre-engine pipeline, neither consulting nor populating the cache, the
+same uniform semantics every other plan cache in the stack follows.
 """
 
 from __future__ import annotations
@@ -29,7 +32,7 @@ from typing import Optional, Sequence, Union
 import numpy as np
 
 from repro.armie.emulator import EmulationResult, run_kernel
-from repro.perf import config
+from repro.engine.policy import current_policy
 from repro.perf.counters import counters
 from repro.sve.program import Program
 from repro.sve.vl import VL
@@ -82,7 +85,7 @@ class TraceCache:
                 use_movprfx: bool = True, fixed: bool = False,
                 optimize: bool = True) -> Program:
         """The lowered+decoded program for ``kernel`` (memoized)."""
-        if not config().enabled:
+        if not current_policy().caches_active:
             return _compile(kernel, complex_isa, use_movprfx, fixed,
                             optimize)
         sig = kernel_signature(kernel, complex_isa, use_movprfx, fixed,
@@ -190,7 +193,7 @@ def cached_run_kernel(
     the same (kernel, VL, dtype) skip lowering, assembly, decode and
     handler resolution.
     """
-    if not config().enabled:
+    if not current_policy().caches_active:
         prog = _compile(kernel, complex_isa, use_movprfx, fixed, optimize)
         return run_kernel(prog, kernel, arrays, vl, n=n, **run_kwargs)
     plan = _CACHE.plan(kernel, vl, complex_isa=complex_isa,

@@ -470,31 +470,33 @@ def _restart_column(op, b, x, r, p, rr, good_x, j: int) -> None:
 def ft_solve_wilson_cgne_batched(dirac, b, tol: float = 1e-8,
                                  max_iter: int = 1000, campaign=None,
                                  **ft_kwargs) -> FTBlockSolverResult:
-    """Solve ``M x_j = b_j`` for a whole batch via fault-tolerant CGNE."""
-    rhs = dirac.apply_dagger(b)
-    result = ft_batched_conjugate_gradient(
-        dirac.mdag_m, rhs, tol=tol, max_iter=max_iter,
-        campaign=campaign, **ft_kwargs)
-    diff = b - dirac.apply(result.x)
-    result.col_residuals = [
-        col_norm2(diff, j) ** 0.5 / max(col_norm2(b, j) ** 0.5, 1e-300)
-        for j in range(nrhs(b))
-    ]
-    result.residual = max(result.col_residuals)
-    return result
+    """Solve ``M x_j = b_j`` for a whole batch via fault-tolerant CGNE.
+
+    Delegates to the unified solver entry
+    (:func:`repro.engine.solve_fermion` with ``ft=True``),
+    bit-identically.
+    """
+    from repro.engine.solve import solve_fermion
+
+    return solve_fermion(dirac, b, method="cg", ft=True, tol=tol,
+                         max_iter=max_iter, campaign=campaign,
+                         **ft_kwargs)
 
 
 def ft_solve_wilson_cgne(dirac, b: Lattice, tol: float = 1e-8,
                          max_iter: int = 1000, campaign=None,
                          **ft_kwargs) -> FTSolverResult:
-    """Solve ``M x = b`` via fault-tolerant CG on the normal equations."""
-    rhs = dirac.apply_dagger(b)
-    result = ft_conjugate_gradient(dirac.mdag_m, rhs, tol=tol,
-                                   max_iter=max_iter, campaign=campaign,
-                                   **ft_kwargs)
-    true_r = (b - dirac.apply(result.x)).norm2() ** 0.5 / b.norm2() ** 0.5
-    result.residual = true_r
-    return result
+    """Solve ``M x = b`` via fault-tolerant CG on the normal equations.
+
+    Delegates to the unified solver entry
+    (:func:`repro.engine.solve_fermion` with ``ft=True``),
+    bit-identically.
+    """
+    from repro.engine.solve import solve_fermion
+
+    return solve_fermion(dirac, b, method="cg", ft=True, tol=tol,
+                         max_iter=max_iter, campaign=campaign,
+                         **ft_kwargs)
 
 
 def ft_mixed_precision_cgne(

@@ -10,11 +10,14 @@ Keys:
 where ``<bits>`` is a legal SVE vector length (the paper enables 128,
 256 and 512 in Grid; wider lengths work here too).
 
-A process-wide **fallback policy** (off by default) makes every
+A **fallback policy** (off by default, the ``fallback`` field of the
+engine's :class:`~repro.engine.ExecutionPolicy`) makes every
 non-generic backend resilient: an op that raises degrades the instance
 to ``generic`` with a recorded :class:`~repro.simd.resilient.
-BackendDegradedWarning` instead of crashing the run.  Enable with
-:func:`set_fallback_policy` or scoped via :func:`fallback_policy`.
+BackendDegradedWarning` instead of crashing the run.  Enable scoped
+via ``engine.scope(fallback=True)`` (:func:`fallback_policy` is the
+pre-engine spelling of the same thing); :func:`set_fallback_policy`
+remains as a deprecated process-wide shim.
 """
 
 from __future__ import annotations
@@ -22,6 +25,12 @@ from __future__ import annotations
 import re
 from contextlib import contextmanager
 
+from repro.engine.policy import (
+    current_policy,
+    scope as _engine_scope,
+    update_base_policy,
+    warn_deprecated_setter,
+)
 from repro.simd.backend import SimdBackend
 from repro.simd.fixed import FIXED_FAMILIES, FixedWidthBackend
 from repro.simd.generic import GenericBackend
@@ -32,29 +41,27 @@ from repro.simd.sve_real import SveRealBackend
 _SVE_RE = re.compile(r"^sve(\d+)-(acle|real)$")
 _GENERIC_RE = re.compile(r"^generic(\d*)$")
 
-_FALLBACK_ENABLED = False
-
 
 def set_fallback_policy(enabled: bool) -> None:
-    """Globally enable/disable graceful backend degradation."""
-    global _FALLBACK_ENABLED
-    _FALLBACK_ENABLED = bool(enabled)
+    """Deprecated: use ``engine.scope(fallback=...)`` (scoped) or
+    ``engine.update_base_policy(fallback=...)`` (process-wide)."""
+    warn_deprecated_setter("repro.simd.registry.set_fallback_policy",
+                           "repro.engine.scope(fallback=...)")
+    update_base_policy(fallback=bool(enabled))
 
 
 def fallback_enabled() -> bool:
-    """Whether new backends are wrapped for graceful degradation."""
-    return _FALLBACK_ENABLED
+    """Whether new backends are wrapped for graceful degradation
+    (the resolved engine policy's ``fallback`` field)."""
+    return current_policy().fallback
 
 
 @contextmanager
 def fallback_policy(enabled: bool):
-    """Scoped fallback policy (restores the previous setting)."""
-    previous = _FALLBACK_ENABLED
-    set_fallback_policy(enabled)
-    try:
+    """Scoped fallback policy — a thin wrapper over
+    ``engine.scope(fallback=...)`` (nestable, thread-isolated)."""
+    with _engine_scope(fallback=bool(enabled)):
         yield
-    finally:
-        set_fallback_policy(previous)
 
 
 def available_backends(sve_vls=(128, 256, 512)) -> list[str]:
@@ -66,17 +73,21 @@ def available_backends(sve_vls=(128, 256, 512)) -> list[str]:
     return keys
 
 
-def get_backend(key: str, resilient: bool = None) -> SimdBackend:
+def get_backend(key: str = None, resilient: bool = None) -> SimdBackend:
     """Instantiate a backend from its registry key.
 
-    ``resilient`` overrides the process-wide fallback policy for this
+    ``key=None`` resolves the current engine policy's ``backend``
+    field — the scoped default for call sites that do not name one.
+    ``resilient`` overrides the policy's fallback setting for this
     instance: ``True`` wraps the backend in a
     :class:`~repro.simd.resilient.ResilientBackend`, ``False`` never
     wraps, ``None`` (default) follows :func:`fallback_enabled`.
     Generic backends are never wrapped (they *are* the fallback).
     """
+    if key is None:
+        key = current_policy().backend
     backend = _construct(key)
-    wrap = _FALLBACK_ENABLED if resilient is None else resilient
+    wrap = fallback_enabled() if resilient is None else resilient
     if wrap and not isinstance(backend, GenericBackend):
         return ResilientBackend(backend)
     return backend

@@ -258,22 +258,22 @@ def run_campaign_suite(
     :class:`~repro.resilience.inject.FaultCampaign` per cell, so every
     cell's fault schedule is independent and reproducible.
 
-    Each invocation starts from a clean slate: sticky
+    Each invocation starts from a clean slate via
+    :func:`repro.engine.reset_all`: sticky
     :class:`~repro.simd.resilient.ResilientBackend` degradations from
     a previous run are reset (degradation is sticky *within* a run by
     design, but must not leak across reruns), live comms stats and any
     in-flight async halos from earlier distributed work are cleared
     (so a campaign's traffic accounting starts at zero), and the
-    process-wide fallback policy is restored on exit even if a case
-    flips it.
+    base policy's fallback setting is restored on exit even if a case
+    flips it.  Counters and caches are left alone — a campaign may be
+    invoked mid-benchmark and must not zero the caller's tallies.
     """
-    from repro.grid.comms import reset_all_comms
-    from repro.simd.registry import fallback_enabled, set_fallback_policy
-    from repro.simd.resilient import reset_all_degraded
+    from repro.engine.policy import base_policy, update_base_policy
+    from repro.engine.reset import reset_all
 
-    reset_all_degraded()
-    reset_all_comms()
-    policy_before = fallback_enabled()
+    reset_all(counters=False, caches=False)
+    policy_before = base_policy().fallback
     first = campaign_factory(cases[0].name, vls[0]) if cases else None
     report = CampaignReport(
         campaign=first.name if first is not None else "empty",
@@ -299,5 +299,5 @@ def run_campaign_suite(
                     f"{type(error).__name__}: {error}",
                 ))
     finally:
-        set_fallback_policy(policy_before)
+        update_base_policy(fallback=policy_before)
     return report

@@ -1,0 +1,51 @@
+"""The execution-globals AST lint: flags direct mutation in any
+spelling, honours the allowlist, and passes on the current tree."""
+
+import importlib.util
+import pathlib
+
+ROOT = pathlib.Path(__file__).resolve().parents[2]
+
+spec = importlib.util.spec_from_file_location(
+    "lint_execution_globals", ROOT / "tools" / "lint_execution_globals.py")
+lint = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(lint)
+
+
+def _msgs(source):
+    return [msg for _, msg in lint.check_source("x.py", source)]
+
+
+class TestDetection:
+    def test_plain_assignment_flagged(self):
+        assert _msgs("_BASE_POLICY = None")
+
+    def test_attribute_assignment_flagged(self):
+        assert _msgs("import repro.engine.policy as p\np._BASE_POLICY = 1")
+
+    def test_augmented_and_annotated_flagged(self):
+        assert _msgs("_CONFIG += 1")
+        assert _msgs("_FALLBACK_ENABLED: bool = True")
+
+    def test_tuple_target_flagged(self):
+        assert _msgs("a, _SCOPED = 1, 2")
+
+    def test_global_declaration_flagged(self):
+        assert _msgs("def f():\n    global _BASE_POLICY")
+
+    def test_deletion_flagged(self):
+        assert _msgs("del _CONFIG")
+
+    def test_reads_are_fine(self):
+        assert not _msgs("x = _BASE_POLICY\nprint(_CONFIG)")
+
+    def test_unrelated_names_are_fine(self):
+        assert not _msgs("_BASE_POLICY_COPY = 1\nconfig = 2")
+
+
+class TestRepoState:
+    def test_allowlist_covers_engine_and_shims(self):
+        assert "src/repro/engine/policy.py" in lint.ALLOWLIST
+
+    def test_current_tree_is_clean(self):
+        assert lint.lint_paths(ROOT, lint.DEFAULT_TREES) == []
