@@ -76,20 +76,53 @@ def main(argv=None) -> int:
         "(the nightly matrix runs both; overlap_dslash still measures "
         "both paths internally)",
     )
+    ap.add_argument(
+        "--telemetry",
+        action="store_true",
+        help="run the suite under engine.scope(telemetry='trace') and "
+        "write the JSONL-span, Chrome-trace and Prometheus artifacts "
+        "next to the BENCH_<date>.json report",
+    )
     args = ap.parse_args(argv)
 
     vls = None
     if args.vls:
         vls = tuple(int(v) for v in args.vls.split(","))
 
-    report = harness.run_suite(full=args.full, workers=args.workers, vls=vls,
-                               overlap=not args.no_overlap)
+    span_sink = [] if args.telemetry else None
+    if args.telemetry:
+        from repro import engine
+
+        with engine.scope(telemetry="trace"):
+            report = harness.run_suite(full=args.full,
+                                       workers=args.workers, vls=vls,
+                                       overlap=not args.no_overlap,
+                                       span_sink=span_sink)
+    else:
+        report = harness.run_suite(full=args.full, workers=args.workers,
+                                   vls=vls, overlap=not args.no_overlap)
     report["created"] = datetime.date.today().isoformat()
     print(harness.format_report(report))
 
     out = args.out or f"BENCH_{report['created']}.json"
     harness.write_report(report, out)
     print(f"\nartifact: {out}")
+
+    if args.telemetry:
+        from repro import telemetry
+
+        stem = out[:-5] if out.endswith(".json") else out
+        jsonl = f"{stem}.spans.jsonl"
+        chrome = f"{stem}.trace.json"
+        prom = f"{stem}.prom"
+        n = telemetry.write_jsonl(span_sink, jsonl)
+        telemetry.write_chrome_trace(span_sink, chrome)
+        telemetry.write_prometheus(telemetry.registry(), prom)
+        print(f"telemetry: {n} spans -> {jsonl}, {chrome}; "
+              f"metrics -> {prom}")
+        print("\n# roofline\n" + telemetry.roofline_table(span_sink))
+        print("\n# convergence\n"
+              + telemetry.convergence_table(span_sink))
 
     if args.write_baseline:
         harness.write_report(report, args.write_baseline)

@@ -1,0 +1,118 @@
+#!/usr/bin/env python
+"""Telemetry overhead gate: instrumented seams must stay near-free.
+
+Runs one pinned workload — repeated Wilson-Dslash sweeps plus one CGNE
+solve on a 4^4 lattice — under ``telemetry="off"`` and under full
+``telemetry="trace"``, interleaved to cancel machine drift, and
+compares the *best* (minimum) wall time per level: scheduler and
+neighbour noise only ever add time, so the minima estimate the true
+cost of each level while medians on a shared CI runner swing by more
+than the effect being measured.  The gate fails when the traced
+minimum exceeds the untraced minimum by more than ``--gate`` (default
+10%); the disabled-mode cost (one policy flag check per seam, zero
+allocations) is pinned separately by call-count in
+``tests/telemetry/test_overhead.py``.
+
+Usage::
+
+    python benchmarks/bench_telemetry_overhead.py
+    python benchmarks/bench_telemetry_overhead.py --reps 9 --gate 0.10
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro import engine
+from repro.grid.cartesian import GridCartesian
+from repro.grid.random import random_gauge, random_spinor
+from repro.grid.solver import conjugate_gradient
+from repro.grid.wilson import WilsonDirac
+from repro.simd import get_backend
+
+
+def build_workload(dhop_reps: int = 40):
+    """One deterministic dhop + CG workload over a 4^4 lattice."""
+    grid = GridCartesian([4, 4, 4, 4], get_backend("generic256"))
+    w = WilsonDirac(random_gauge(grid, seed=11), mass=0.3)
+    b = random_spinor(grid, seed=5)
+
+    def workload() -> None:
+        psi = b
+        for _ in range(dhop_reps):
+            psi = w.dhop(psi)
+        conjugate_gradient(w.mdag_m, b, tol=1e-8, max_iter=60)
+
+    return workload
+
+
+def measure(workload, level: str, reps: int) -> list:
+    """Per-rep wall times of ``workload`` at one telemetry level.
+
+    Each rep starts from a clean slate (``reset_all`` outside the
+    timed region) so cache warm-up and buffered spans cannot leak
+    between levels.
+    """
+    times = []
+    for _ in range(reps):
+        with engine.scope(telemetry=level):
+            engine.reset_all()
+            t0 = time.perf_counter()
+            workload()
+            times.append(time.perf_counter() - t0)
+    return times
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument(
+        "--reps",
+        type=int,
+        default=9,
+        help="interleaved repetitions per level (default 9)",
+    )
+    ap.add_argument(
+        "--gate",
+        type=float,
+        default=0.10,
+        help="max traced/untraced median overhead (default 0.10)",
+    )
+    ap.add_argument(
+        "--dhop-reps",
+        type=int,
+        default=40,
+        help="dhop applications per workload rep (default 40)",
+    )
+    args = ap.parse_args(argv)
+
+    workload = build_workload(dhop_reps=args.dhop_reps)
+    workload()  # warm every cache before either level is timed
+
+    # Interleave one rep per level per round: slow machine drift (CI
+    # neighbours, thermal throttling) then biases both medians alike.
+    off, on = [], []
+    for _ in range(args.reps):
+        off += measure(workload, "off", 1)
+        on += measure(workload, "trace", 1)
+
+    best_off = min(off)
+    best_on = min(on)
+    overhead = best_on / best_off - 1.0
+    print(f"telemetry off  : best {best_off * 1e3:8.2f} ms  ({args.reps} reps)")
+    print(f"telemetry trace: best {best_on * 1e3:8.2f} ms  ({args.reps} reps)")
+    print(f"overhead       : {overhead:+.2%}  (gate {args.gate:.0%})")
+    if overhead > args.gate:
+        print(
+            f"FAIL: tracing overhead {overhead:+.2%} exceeds the "
+            f"{args.gate:.0%} gate",
+            file=sys.stderr,
+        )
+        return 1
+    print("gate OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

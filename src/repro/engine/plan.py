@@ -15,11 +15,14 @@ policy is frozen and hashable, so a scoped override resolves a fresh
 plan exactly once and every call under the same scope replays it (the
 ``plan_hits``/``plan_misses`` counters measure the amortisation the
 bench gate relies on).  Each plan also carries a mutable
-:class:`StageCounters` block — the per-stage instrumentation seam a
-later observability PR hooks into.
+:class:`StageCounters` block — the per-stage instrumentation seam:
+with telemetry metrics on, every stage bump also feeds the
+process-global registry as ``plan.stage.<name>``, so one snapshot
+covers every plan's stages.
 
 Import discipline: this module may import :mod:`repro.engine.policy`,
-:mod:`repro.perf.counters` and the *leaf* backend modules
+:mod:`repro.perf.counters`, :mod:`repro.telemetry.metrics` (a leaf —
+it imports nothing from :mod:`repro`) and the *leaf* backend modules
 (:mod:`repro.simd.generic` / :mod:`repro.simd.fixed`) — never
 :mod:`repro.grid` or the :mod:`repro.simd` package root, which import
 the engine back.
@@ -33,6 +36,7 @@ from dataclasses import dataclass, field
 
 from repro.engine.policy import ExecutionPolicy, current_policy
 from repro.perf.counters import counters
+from repro.telemetry.metrics import registry as telemetry_registry
 from repro.simd.fixed import FixedWidthBackend
 from repro.simd.generic import GenericBackend
 
@@ -59,13 +63,24 @@ def fused_safe_backend(backend) -> bool:
     return type(backend) in _FUSED_SAFE
 
 
+#: Memoized ``plan.stage.<name>`` counter instruments: stage names
+#: form a tiny fixed set, and ``registry().reset()`` zeroes
+#: instruments in place (registrations survive), so cached handles
+#: stay valid and the per-bump cost drops to one dict lookup + one
+#: atomic increment.
+_STAGE_INSTRUMENTS: dict = {}
+
+
 class StageCounters:
     """Per-plan, per-stage call tallies (thread-safe).
 
     Every plan owns one; kernel bodies bump named stages ("gather",
     "interior", "shell", ...) as they execute.  This is the
     instrumentation seam: an observability layer can read one object
-    per (grid, kind, policy) instead of hooking every kernel.
+    per (grid, kind, policy) instead of hooking every kernel — and
+    with telemetry metrics on, each bump is mirrored into the global
+    registry as ``plan.stage.<name>`` so stage activity survives plan
+    eviction and lands in the Prometheus export.
     """
 
     __slots__ = ("_lock", "_stages")
@@ -77,6 +92,12 @@ class StageCounters:
     def bump(self, stage: str, n: int = 1) -> None:
         with self._lock:
             self._stages[stage] = self._stages.get(stage, 0) + n
+        if current_policy().metrics_active:
+            inst = _STAGE_INSTRUMENTS.get(stage)
+            if inst is None:
+                inst = telemetry_registry().counter(f"plan.stage.{stage}")
+                _STAGE_INSTRUMENTS[stage] = inst
+            inst.inc(n)
 
     def as_dict(self) -> dict:
         with self._lock:

@@ -99,6 +99,17 @@ class ExecutionPolicy:
     comms_faults:
         Default comms fault injector inherited the same way (``None``
         means a perfect network).
+    telemetry:
+        Observability level (:mod:`repro.telemetry`).  ``"off"`` (the
+        default) keeps the hot path telemetry-free — instrumented
+        seams pay one flag check and allocate nothing; ``"metrics"``
+        feeds the typed metrics registry (counters, gauges,
+        histograms); ``"trace"`` additionally records nestable spans
+        into the in-memory trace ring buffer.  Telemetry observes and
+        never perturbs: results are bit-identical at every level.
+        Deliberately *not* gated on ``enabled`` — the reference
+        (engine-off) paths are exactly what one wants to profile
+        against.
     """
 
     enabled: bool = True
@@ -112,6 +123,10 @@ class ExecutionPolicy:
     backend: str = "generic256"
     latency: Optional[object] = None
     comms_faults: Optional[object] = None
+    telemetry: str = "off"
+
+    #: Legal ``telemetry`` levels, in increasing order of detail.
+    TELEMETRY_LEVELS = ("off", "metrics", "trace")
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -119,6 +134,11 @@ class ExecutionPolicy:
         if self.tile_min_sites < 0:
             raise ValueError(
                 f"tile_min_sites must be >= 0, got {self.tile_min_sites}"
+            )
+        if self.telemetry not in self.TELEMETRY_LEVELS:
+            raise ValueError(
+                f"telemetry must be one of {self.TELEMETRY_LEVELS}, "
+                f"got {self.telemetry!r}"
             )
 
     # -- resolved (effective) views ------------------------------------
@@ -136,6 +156,16 @@ class ExecutionPolicy:
     def caches_active(self) -> bool:
         """Caches are consulted/populated only with the engine on."""
         return self.enabled and self.caches
+
+    @property
+    def metrics_active(self) -> bool:
+        """The metrics registry is fed (``"metrics"`` or ``"trace"``)."""
+        return self.telemetry != "off"
+
+    @property
+    def trace_active(self) -> bool:
+        """Spans are recorded into the trace buffer (``"trace"``)."""
+        return self.telemetry == "trace"
 
     def replace(self, **overrides) -> "ExecutionPolicy":
         """A copy with ``overrides`` applied (the policy is frozen)."""

@@ -30,7 +30,13 @@ def reset_all(counters: bool = True, caches: bool = True) -> dict:
       distributed shift/halo memos — cache invalidation never changes
       results, only forces re-derivation;
     * with ``counters`` (default): the process-global perf counters
-      (:func:`repro.perf.counters.reset_counters`).
+      (:func:`repro.perf.counters.reset_counters`) and the whole
+      telemetry layer — every registry instrument zeroed and the span
+      ring buffer cleared (:func:`repro.telemetry.reset`).  Collector-
+      backed comms metrics are views over the live lattices, so the
+      comms reset above already zeroes them: one ``reset_all()`` call
+      leaves ``telemetry.snapshot()`` provably all-zero (the
+      reset-completeness test pins this).
     """
     from repro.grid.comms import invalidate_comms_plans, reset_all_comms
     from repro.simd.resilient import reset_all_degraded
@@ -42,6 +48,8 @@ def reset_all(counters: bool = True, caches: bool = True) -> dict:
         "comms_plans_cleared": 0,
         "trace_cache_cleared": False,
         "counters_reset": False,
+        "telemetry_metrics_reset": 0,
+        "telemetry_spans_cleared": 0,
     }
     if caches:
         from repro.engine.plan import clear_plan_caches
@@ -52,8 +60,12 @@ def reset_all(counters: bool = True, caches: bool = True) -> dict:
         summary["comms_plans_cleared"] = invalidate_comms_plans()
         summary["trace_cache_cleared"] = True
     if counters:
+        import repro.telemetry as telemetry
         from repro.perf.counters import reset_counters
 
         reset_counters()
+        tel = telemetry.reset()
         summary["counters_reset"] = True
+        summary["telemetry_metrics_reset"] = tel["metrics_reset"]
+        summary["telemetry_spans_cleared"] = tel["spans_cleared"]
     return summary

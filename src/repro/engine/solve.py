@@ -37,6 +37,9 @@ from __future__ import annotations
 from contextlib import nullcontext
 
 from repro.engine.policy import ExecutionPolicy, scope
+from repro.telemetry import metrics as _telemetry_metrics
+from repro.telemetry import reports as _telemetry_reports
+from repro.telemetry import trace as _telemetry
 
 #: Legal ``method`` values.
 METHODS = ("cg", "bicgstab", "mr", "mixed")
@@ -153,8 +156,8 @@ def solve_fermion(operator, b, method: str = "cg", ft: bool = False,
     from repro.grid.wilson import is_spinor_batch
 
     batched = is_spinor_batch(b.tensor_shape)
-    ctx = scope(policy) if policy is not None else nullcontext()
-    with ctx:
+
+    def dispatch():
         if method == "cg":
             return _solve_cg(operator, b, batched, ft, tol, max_iter,
                              campaign, kwargs)
@@ -168,3 +171,31 @@ def solve_fermion(operator, b, method: str = "cg", ft: bool = False,
                                 kwargs)
         return _solve_direct(operator, b, method, ft, tol, max_iter,
                              campaign, kwargs)
+
+    ctx = scope(policy) if policy is not None else nullcontext()
+    with ctx:
+        if not _telemetry.metrics_on():
+            return dispatch()
+        # Telemetry observes the solve: the span/metric code below runs
+        # strictly after the recursion returns and feeds nothing back,
+        # so results stay bit-identical at every telemetry level.  The
+        # envelope span is named "solve_fermion", not "solve" — the
+        # recursion it dispatches to records its own "solve" span
+        # (:func:`repro.telemetry.reports.traced_solver`), and the
+        # convergence report pulls the operator name from this
+        # envelope through the parent link.
+        label = f"{method}-ft" if ft else method
+        with _telemetry.span("solve_fermion", solver=label,
+                             operator=type(operator).__name__,
+                             batched=batched, tol=tol) as sp:
+            result = dispatch()
+            if sp is not None:
+                sp.attrs.update(
+                    _telemetry_reports.convergence_attrs(result))
+        reg = _telemetry_metrics.registry()
+        reg.counter("solve.calls").inc()
+        reg.counter("solve.iterations").inc(
+            int(getattr(result, "iterations", 0) or 0))
+        if getattr(result, "restarts", 0):
+            reg.counter("solve.restarts").inc(int(result.restarts))
+        return result

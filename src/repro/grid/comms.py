@@ -59,6 +59,8 @@ from repro.grid.coordinates import coordinate_table, index_of, indices_of
 from repro.grid.cshift import cshift_local
 from repro.grid.lattice import Lattice
 from repro.perf.counters import counters as _perf_counters
+from repro.telemetry import metrics as _telemetry_metrics
+from repro.telemetry import trace as _telemetry_trace
 
 
 class HaloExchangeError(RuntimeError):
@@ -85,6 +87,56 @@ def reset_all_comms() -> int:
         dl.comms_queue.reset()
         n += 1
     return n
+
+
+def _collect_comms_metrics() -> dict:
+    """Aggregate traffic/resilience stats and queue counters over every
+    live :class:`DistributedLattice`, as a telemetry collector.
+
+    Clones share their parent's ``stats``/``comms_queue`` objects, so
+    aggregation dedupes by object identity.  The collector is a *view*:
+    it resets with its owner (:func:`reset_all_comms`), which is what
+    lets ``engine.reset_all`` produce a provably all-zero snapshot.
+    """
+    stats_seen: dict = {}
+    queues_seen: dict = {}
+    for dl in list(_LIVE_COMMS):
+        stats_seen[id(dl.stats)] = dl.stats
+        queues_seen[id(dl.comms_queue)] = dl.comms_queue
+    out = {
+        "comms.messages": 0, "comms.complex_sent": 0,
+        "comms.bytes_sent": 0, "comms.retries": 0,
+        "comms.detected_corruptions": 0, "comms.detected_drops": 0,
+        "comms.duplicates_discarded": 0, "comms.recovered_messages": 0,
+        "comms.unrecovered_failures": 0, "comms.backoff_units": 0,
+        "comms.halo_posted": 0, "comms.halo_completed": 0,
+        "comms.halo_pending": 0, "comms.max_in_flight": 0,
+        "comms.wait_seconds": 0.0,
+    }
+    for st in stats_seen.values():
+        out["comms.messages"] += st.messages
+        out["comms.complex_sent"] += st.complex_sent
+        out["comms.bytes_sent"] += st.bytes_sent
+        out["comms.retries"] += st.retries
+        out["comms.detected_corruptions"] += st.detected_corruptions
+        out["comms.detected_drops"] += st.detected_drops
+        out["comms.duplicates_discarded"] += st.duplicates_discarded
+        out["comms.recovered_messages"] += st.recovered_messages
+        out["comms.unrecovered_failures"] += st.unrecovered_failures
+        out["comms.backoff_units"] += st.backoff_units
+    for q in queues_seen.values():
+        out["comms.halo_posted"] += q.posted
+        out["comms.halo_completed"] += q.completed
+        out["comms.halo_pending"] += q.pending
+        out["comms.max_in_flight"] = max(out["comms.max_in_flight"],
+                                         q.max_in_flight)
+        out["comms.wait_seconds"] += q.wait_seconds
+    return out
+
+
+_telemetry_metrics.registry().register_collector(
+    "comms", _collect_comms_metrics
+)
 
 
 def invalidate_comms_plans() -> int:
@@ -124,14 +176,16 @@ class LatencyModel:
 class HaloHandle:
     """One in-flight halo message (the simulated ``MPI_Request``)."""
 
-    __slots__ = ("data", "ready_at", "nbytes", "tag", "done")
+    __slots__ = ("data", "ready_at", "nbytes", "tag", "done", "posted_at")
 
-    def __init__(self, data, ready_at: float, nbytes: int, tag: str) -> None:
+    def __init__(self, data, ready_at: float, nbytes: int, tag: str,
+                 posted_at: float = 0.0) -> None:
         self.data = data
         self.ready_at = ready_at
         self.nbytes = nbytes
         self.tag = tag
         self.done = False
+        self.posted_at = posted_at
 
 
 class AsyncCommsQueue:
@@ -153,9 +207,10 @@ class AsyncCommsQueue:
         self.wait_seconds = 0.0
 
     def post(self, data, nbytes: int, tag: str = "") -> HaloHandle:
+        now = time.perf_counter()
         delay = self.latency.delay_for(nbytes) if self.latency else 0.0
-        handle = HaloHandle(data, time.perf_counter() + delay,
-                            int(nbytes), tag)
+        handle = HaloHandle(data, now + delay, int(nbytes), tag,
+                            posted_at=now)
         self.in_flight.append(handle)
         self.posted += 1
         self.max_in_flight = max(self.max_in_flight, len(self.in_flight))
@@ -165,6 +220,7 @@ class AsyncCommsQueue:
     def wait(self, handle: HaloHandle):
         """Block until ``handle`` lands; returns the received data."""
         if not handle.done:
+            blocked = 0.0
             remaining = handle.ready_at - time.perf_counter()
             if remaining > 0:
                 t0 = time.perf_counter()
@@ -172,11 +228,27 @@ class AsyncCommsQueue:
                     time.sleep(remaining - 5e-4)
                 while time.perf_counter() < handle.ready_at:
                     pass  # sub-millisecond tail: spin for accuracy
-                self.wait_seconds += time.perf_counter() - t0
+                blocked = time.perf_counter() - t0
+                self.wait_seconds += blocked
             handle.done = True
             self.in_flight.remove(handle)
             self.completed += 1
             _perf_counters().bump("halo_waits")
+            policy = current_policy()
+            if policy.metrics_active:
+                done_at = time.perf_counter()
+                _telemetry_metrics.registry().histogram(
+                    "comms.halo_inflight_seconds"
+                ).observe(done_at - handle.posted_at)
+                _telemetry_metrics.registry().histogram(
+                    "comms.halo_wait_seconds"
+                ).observe(blocked)
+                if policy.trace_active:
+                    _telemetry_trace.record_span(
+                        "halo", handle.posted_at, done_at,
+                        tag=handle.tag, nbytes=handle.nbytes,
+                        wait_seconds=blocked,
+                    )
         return handle.data
 
     def drain(self) -> None:

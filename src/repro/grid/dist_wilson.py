@@ -33,6 +33,7 @@ from repro.grid.tensor import su3_dagger_mul_vec, su3_mul_vec
 from repro.grid.wilson import SPINOR, is_spinor_batch
 from repro.perf.counters import counters as _perf_counters
 from repro.perf.fused import fused_dhop_rank
+from repro.telemetry import trace as _telemetry
 
 
 class DistributedWilson:
@@ -84,7 +85,29 @@ class DistributedWilson:
         exchange, fused vs layered rank-local arithmetic, and batched
         vs column-by-column multi-RHS handling.  Every route is
         bit-identical.
+
+        With telemetry tracing on, the sweep is wrapped in a span
+        carrying the flop/byte metadata the roofline report consumes
+        (the timer observes an unchanged body, so results stay
+        bit-identical).
         """
+        if not _telemetry.tracing():
+            return self._dhop_impl(psi)
+        ncols = (psi.tensor_shape[0]
+                 if len(psi.tensor_shape) == 3 else 0)
+        grid = self.links[0].grids[0]
+        with _telemetry.span(
+            "dhop.batched" if ncols else "dhop",
+            sites=grid.gsites * max(ncols, 1),
+            flops_per_site=self.flops_per_site(),
+            bytes_per_site=self.bytes_per_site(),
+            backend=grid.backend.name,
+            nranks=self.ranks.nranks,
+            nrhs=ncols,
+        ):
+            return self._dhop_impl(psi)
+
+    def _dhop_impl(self, psi: DistributedLattice) -> DistributedLattice:
         ncols = self._check(psi)
         plan = kernel_plan(psi.grids[0], "dist-dhop")
         if ncols and not plan.batched:

@@ -22,6 +22,7 @@ from repro.grid.cartesian import GridCartesian
 from repro.grid.lattice import Lattice
 from repro.grid.solver import conjugate_gradient
 from repro.grid.wilson import SPINOR, WilsonDirac
+from repro.telemetry.reports import traced_solver
 
 
 @dataclass
@@ -67,6 +68,7 @@ def _to_double(grid64: GridCartesian, psi32: Lattice) -> Lattice:
     return lat
 
 
+@traced_solver("mixed")
 def mixed_precision_cgne(
     dirac: WilsonDirac,
     b: Lattice,

@@ -46,6 +46,7 @@ from repro.grid.stencil import halo_dependency
 from repro.perf.counters import counters
 from repro.perf.fused import _accumulate_direction
 from repro.perf.parallel import run_tiles, tiles_for
+from repro.telemetry import trace as _telemetry
 
 #: Spinor tensor shape (kept local for import-cycle freedom).
 SPINOR = (4, 3)
@@ -128,17 +129,20 @@ def overlapped_dhop(op, psi, kplan=None):
     # -- Phase 1: post every halo, in the ordered path's message order.
     srcs = {}
     handles = {}
-    for mu in range(ndim):
-        for sign in (+1, -1):
-            rank_steps, s = plan.shift_params[(mu, sign)]
-            for r in range(nranks):
-                srcs[(mu, sign, r)] = psi.ranks.neighbour(r, mu, rank_steps)
-            if s == 0:
-                continue
-            for r in range(nranks):
-                handles[(mu, sign, r)] = psi._post_halo(
-                    srcs[(mu, sign, r)], mu
-                )
+    with _telemetry.span("overlap.post", nranks=nranks):
+        for mu in range(ndim):
+            for sign in (+1, -1):
+                rank_steps, s = plan.shift_params[(mu, sign)]
+                for r in range(nranks):
+                    srcs[(mu, sign, r)] = psi.ranks.neighbour(
+                        r, mu, rank_steps
+                    )
+                if s == 0:
+                    continue
+                for r in range(nranks):
+                    handles[(mu, sign, r)] = psi._post_halo(
+                        srcs[(mu, sign, r)], mu
+                    )
     if kplan is not None:
         kplan.stages.bump("post", len(handles))
 
@@ -187,34 +191,41 @@ def overlapped_dhop(op, psi, kplan=None):
         acc[idx] = a
 
     interior = plan.interior
-    for r in range(nranks):
-        sweep(lambda sl, r=r: accumulate(r, interior[sl]), interior.size)
+    with _telemetry.span("overlap.interior", sites=int(interior.size),
+                         nranks=nranks):
+        for r in range(nranks):
+            sweep(lambda sl, r=r: accumulate(r, interior[sl]),
+                  interior.size)
     if kplan is not None:
         kplan.stages.bump("interior", nranks)
 
     # -- Phase 3: complete each dimension's halos, then its shell.
-    for d in range(ndim):
-        for sign in (+1, -1):
-            _steps, s = plan.shift_params[(d, sign)]
-            if s == 0:
-                continue
+    with _telemetry.span("overlap.shells", nranks=nranks):
+        for d in range(ndim):
+            for sign in (+1, -1):
+                _steps, s = plan.shift_params[(d, sign)]
+                if s == 0:
+                    continue
+                for r in range(nranks):
+                    halo = psi.comms_queue.wait(handles[(d, sign, r)])
+                    buf = bufs[r][(d, sign)]
+                    src_data = psi.locals[srcs[(d, sign, r)]].data
+                    for k, sel, src_osites, nbr_lanes in \
+                            plan.groups[(d, sign)]:
+                        if k == 0:
+                            continue
+                        rotated = _apply_lane_rotation(
+                            src_data[src_osites], grid, d, k
+                        )
+                        rotated_nbr = _apply_lane_rotation(
+                            halo[src_osites], grid, d, k
+                        )
+                        buf[sel] = np.where(nbr_lanes, rotated_nbr,
+                                            rotated)
+            shell = plan.shells[d]
             for r in range(nranks):
-                halo = psi.comms_queue.wait(handles[(d, sign, r)])
-                buf = bufs[r][(d, sign)]
-                src_data = psi.locals[srcs[(d, sign, r)]].data
-                for k, sel, src_osites, nbr_lanes in plan.groups[(d, sign)]:
-                    if k == 0:
-                        continue
-                    rotated = _apply_lane_rotation(
-                        src_data[src_osites], grid, d, k
-                    )
-                    rotated_nbr = _apply_lane_rotation(
-                        halo[src_osites], grid, d, k
-                    )
-                    buf[sel] = np.where(nbr_lanes, rotated_nbr, rotated)
-        shell = plan.shells[d]
-        for r in range(nranks):
-            sweep(lambda sl, r=r: accumulate(r, shell[sl]), shell.size)
-        if kplan is not None:
-            kplan.stages.bump("shell", nranks)
+                sweep(lambda sl, r=r: accumulate(r, shell[sl]),
+                      shell.size)
+            if kplan is not None:
+                kplan.stages.bump("shell", nranks)
     return out

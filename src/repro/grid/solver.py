@@ -6,6 +6,16 @@ like Conjugate Gradient are used" (Section II-A).  CG requires a
 hermitian positive-definite operator, so the Wilson system ``M x = b``
 is solved through the normal equations ``M^dagger M x = M^dagger b``
 (CGNE); BiCGSTAB and MR work on ``M`` directly.
+
+Each recursion is wrapped by
+:func:`repro.telemetry.reports.traced_solver`: with
+``engine.scope(telemetry="trace")`` active, one ``"solve"`` span
+carrying the convergence record (iterations, residual history,
+breakdown) is emitted per run — including runs that enter through the
+bench harness or the mixed-precision inner loop rather than through
+:func:`repro.engine.solve.solve_fermion`.  With telemetry off the
+wrapper is one policy flag check; the recursion itself is untouched
+either way, so iterates stay bit-identical.
 """
 
 from __future__ import annotations
@@ -24,6 +34,7 @@ from repro.grid.multirhs import (
     col_xpby,
     nrhs,
 )
+from repro.telemetry.reports import traced_solver
 
 
 @dataclass
@@ -48,6 +59,7 @@ def _finite_nonzero(value: float) -> bool:
     return math.isfinite(value) and value != 0.0
 
 
+@traced_solver("cg")
 def conjugate_gradient(
     op: Callable[[Lattice], Lattice],
     b: Lattice,
@@ -136,6 +148,7 @@ class BlockSolverResult:
     breakdown: str = ""
 
 
+@traced_solver("block-cg")
 def batched_conjugate_gradient(
     op: Callable,
     b,
@@ -235,6 +248,7 @@ def solve_wilson_cgne_batched(dirac, b, tol: float = 1e-8,
                          max_iter=max_iter)
 
 
+@traced_solver("bicgstab")
 def bicgstab(
     op: Callable[[Lattice], Lattice],
     b: Lattice,
@@ -305,6 +319,7 @@ def bicgstab(
                         breakdown=breakdown)
 
 
+@traced_solver("mr")
 def minimal_residual(
     op: Callable[[Lattice], Lattice],
     b: Lattice,

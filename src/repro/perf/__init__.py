@@ -51,11 +51,22 @@ __all__ = [
     "configured",
     "counters",
     "disabled",
+    "get_counters",
     "reset_counters",
     "set_enabled",
     "set_overlap_comms",
     "set_workers",
 ]
+
+
+def get_counters() -> PerfCounters:
+    """Deprecated: use :func:`counters` (or ``telemetry.snapshot()``
+    for the registry view).  Kept as a shim because the counters now
+    live in the telemetry registry and this was the historical
+    accessor name some downstream scripts used."""
+    warn_deprecated_setter("repro.perf.get_counters",
+                           "repro.perf.counters")
+    return counters()
 
 
 @dataclass(frozen=True)

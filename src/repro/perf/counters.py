@@ -1,71 +1,103 @@
-"""Process-global performance counters.
+"""Process-global performance counters — a view over the telemetry
+registry.
 
-Every engine layer increments these instead of keeping private tallies,
-so the regression harness (and the trace-cache tests) can assert
-cache-hit rates across a whole sweep with one read.  Counters are
-plain integers guarded by a lock — they are touched from tile worker
-threads.
+Every engine layer increments these instead of keeping private
+tallies, so the regression harness (and the trace-cache tests) can
+assert cache-hit rates across a whole sweep with one read.  Since the
+telemetry layer landed, the backing store is the process-global
+:class:`~repro.telemetry.metrics.MetricsRegistry` (one
+:class:`~repro.telemetry.metrics.Counter` per name, prefixed
+``perf.``): the same values appear in ``telemetry.snapshot()`` and in
+the Prometheus export, and ``telemetry.reset()`` provably zeroes them
+along with everything else.  This module keeps the historical call
+surface — ``counters().bump(...)``, attribute reads,
+``as_dict()`` — as a thin facade over those instruments.
 """
 
 from __future__ import annotations
 
-import threading
-from dataclasses import dataclass, field, fields
+from repro.telemetry.metrics import registry
+
+#: Every engine counter, in declaration order.
+#:
+#: * ``program_hits`` / ``program_misses`` — memoized vectorize +
+#:   assemble lookups (per kernel signature and codegen options).
+#: * ``trace_hits`` / ``trace_misses`` / ``trace_invalidations`` —
+#:   executor-trace lookups per (kernel, VL, dtype); a VL or dtype
+#:   change invalidates and recounts as a miss.
+#: * ``cshift_plan_hits`` / ``cshift_plan_misses`` — cached gather
+#:   plans for lattice neighbour shifts.
+#: * ``fused_dhop_calls`` — Wilson-Dslash sweeps taken by the fused
+#:   engine path; ``tiles_dispatched`` — tile bodies executed (equal
+#:   to fused calls when running serial).
+#: * ``overlap_dhop_calls`` — distributed sweeps taken by the
+#:   comms/compute overlap engine (:mod:`repro.grid.overlap`);
+#:   ``halo_posts`` / ``halo_waits`` — async halo messages posted to
+#:   and completed from the in-flight queue.
+#: * ``batched_dhop_calls`` — multi-RHS sweeps that amortised one set
+#:   of neighbour gathers over a whole RHS batch.
+#: * ``plan_hits`` / ``plan_misses`` — resolved
+#:   :class:`repro.engine.plan.KernelPlan` lookups per (grid, kind,
+#:   policy); a miss is one policy resolution, a hit is a cached
+#:   dispatch decision reused.
+COUNTER_NAMES = (
+    "program_hits",
+    "program_misses",
+    "trace_hits",
+    "trace_misses",
+    "trace_invalidations",
+    "cshift_plan_hits",
+    "cshift_plan_misses",
+    "fused_dhop_calls",
+    "tiles_dispatched",
+    "overlap_dhop_calls",
+    "halo_posts",
+    "halo_waits",
+    "batched_dhop_calls",
+    "plan_hits",
+    "plan_misses",
+)
+
+#: Registry key prefix for the engine counters.
+PREFIX = "perf."
+
+#: The backing instruments, created eagerly so a snapshot taken before
+#: any engine activity already shows every counter at zero, and so
+#: ``bump`` is one dict lookup + one atomic increment (no registry
+#: lock on the hot path).
+_PERF = {
+    name: registry().counter(PREFIX + name, help="engine perf counter")
+    for name in COUNTER_NAMES
+}
 
 
-@dataclass
 class PerfCounters:
-    """Cumulative engine counters since the last :func:`reset_counters`.
+    """The historical counter facade (now registry-backed).
 
-    * ``program_hits`` / ``program_misses`` — memoized vectorize +
-      assemble lookups (per kernel signature and codegen options).
-    * ``trace_hits`` / ``trace_misses`` / ``trace_invalidations`` —
-      executor-trace lookups per (kernel, VL, dtype); a VL or dtype
-      change invalidates and recounts as a miss.
-    * ``cshift_plan_hits`` / ``cshift_plan_misses`` — cached gather
-      plans for lattice neighbour shifts.
-    * ``fused_dhop_calls`` — Wilson-Dslash sweeps taken by the fused
-      engine path; ``tiles_dispatched`` — tile bodies executed (equal
-      to fused calls when running serial).
-    * ``overlap_dhop_calls`` — distributed sweeps taken by the
-      comms/compute overlap engine (:mod:`repro.grid.overlap`);
-      ``halo_posts`` / ``halo_waits`` — async halo messages posted to
-      and completed from the in-flight queue.
-    * ``batched_dhop_calls`` — multi-RHS sweeps that amortised one set
-      of neighbour gathers over a whole RHS batch.
-    * ``plan_hits`` / ``plan_misses`` — resolved
-      :class:`repro.engine.plan.KernelPlan` lookups per (grid, kind,
-      policy); a miss is one policy resolution, a hit is a cached
-      dispatch decision reused.
+    Attribute reads (``counters().plan_hits``) and ``bump`` keep their
+    exact pre-telemetry semantics; the integers live in the telemetry
+    registry under ``perf.<name>``.
     """
 
-    program_hits: int = 0
-    program_misses: int = 0
-    trace_hits: int = 0
-    trace_misses: int = 0
-    trace_invalidations: int = 0
-    cshift_plan_hits: int = 0
-    cshift_plan_misses: int = 0
-    fused_dhop_calls: int = 0
-    tiles_dispatched: int = 0
-    overlap_dhop_calls: int = 0
-    halo_posts: int = 0
-    halo_waits: int = 0
-    batched_dhop_calls: int = 0
-    plan_hits: int = 0
-    plan_misses: int = 0
-    _lock: threading.Lock = field(
-        default_factory=threading.Lock, repr=False, compare=False
-    )
+    __slots__ = ()
 
     def bump(self, name: str, n: int = 1) -> None:
-        with self._lock:
-            setattr(self, name, getattr(self, name) + n)
+        inst = _PERF.get(name)
+        if inst is None:
+            raise AttributeError(f"unknown perf counter {name!r}")
+        inst.inc(n)
+
+    def __getattr__(self, name: str) -> int:
+        inst = _PERF.get(name)
+        if inst is None:
+            raise AttributeError(
+                f"{type(self).__name__!r} object has no attribute "
+                f"{name!r}"
+            )
+        return inst.value
 
     def as_dict(self) -> dict:
-        return {
-            f.name: getattr(self, f.name) for f in fields(self) if f.name != "_lock"
-        }
+        return {name: _PERF[name].value for name in COUNTER_NAMES}
 
     @staticmethod
     def _rate(hits: int, misses: int) -> float:
@@ -94,8 +126,7 @@ def counters() -> PerfCounters:
 
 
 def reset_counters() -> None:
-    """Zero every counter (does not touch the caches themselves)."""
-    with _COUNTERS._lock:
-        for f in fields(_COUNTERS):
-            if f.name != "_lock":
-                setattr(_COUNTERS, f.name, 0)
+    """Zero every engine counter (does not touch the caches
+    themselves, nor any non-``perf.`` metric in the registry)."""
+    for inst in _PERF.values():
+        inst.reset()

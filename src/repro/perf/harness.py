@@ -444,7 +444,8 @@ def bench_trace_cache(vls: Sequence[int] = (256, 512), n: int = 257,
 
 def run_suite(full: bool = False, workers: int = 4,
               vls: Optional[Sequence[int]] = None,
-              overlap: bool = True) -> dict:
+              overlap: bool = True,
+              span_sink: Optional[list] = None) -> dict:
     """Run the pinned suite; returns the report as a plain dict.
 
     ``full`` widens the campaign/trace-cache VL sweeps and the dslash
@@ -457,7 +458,12 @@ def run_suite(full: bool = False, workers: int = 4,
     Every benchmark starts from a clean slate: perf counters, live
     comms stats and any in-flight async halos are reset between
     entries so one bench's traffic can never leak into the next
-    record's counters.
+    record's counters.  Because that per-bench ``reset_all()`` also
+    clears the telemetry trace buffer, a caller recording spans passes
+    ``span_sink`` (a list): each bench's spans are drained into it
+    *before* the next reset, so an instrumented suite run keeps its
+    full trace (``benchmarks/bench_regression.py --telemetry`` uses
+    this to write the JSONL/Chrome artifacts).
     """
     campaign_vls = tuple(vls) if vls else ((256, 1024) if full else (256,))
     cache_vls = (128, 256, 512) if full else (256, 512)
@@ -475,6 +481,8 @@ def run_suite(full: bool = False, workers: int = 4,
     ]
     from repro.engine.reset import reset_all
 
+    from repro.telemetry import drain_spans
+
     records = []
     with perf.configured(overlap_comms=overlap):
         for bench in benches:
@@ -483,6 +491,10 @@ def run_suite(full: bool = False, workers: int = 4,
             # dist halo memos) via the engine's composed reset.
             reset_all()
             records.append(bench())
+            if span_sink is not None:
+                # Rescue this bench's spans before the next reset_all()
+                # clears the trace buffer.
+                span_sink.extend(drain_spans())
     report = {
         "schema": SCHEMA_VERSION,
         "suite": "full" if full else "quick",

@@ -48,6 +48,9 @@ from repro.grid.multirhs import (
 )
 from repro.grid.solver import BlockSolverResult, SolverResult
 from repro.grid.wilson import WilsonDirac
+from repro.telemetry import metrics as _telemetry_metrics
+from repro.telemetry import trace as _telemetry
+from repro.telemetry.reports import traced_solver
 
 
 @dataclass
@@ -65,8 +68,14 @@ def _record(campaign, events: list, what: str, recovered: bool) -> None:
         campaign.record_detected(what)
         if recovered:
             campaign.record_recovered(what)
+    # Telemetry observes the ledger entry (every FT restart/rollback
+    # goes through here); it feeds nothing back into the recursion.
+    if _telemetry.metrics_on():
+        _telemetry_metrics.registry().counter("ft.restarts").inc()
+        _telemetry.event("ft.restart", what=what, recovered=recovered)
 
 
+@traced_solver("cg-ft")
 def ft_conjugate_gradient(
     op: Callable[[Lattice], Lattice],
     b: Lattice,
@@ -176,6 +185,7 @@ def ft_conjugate_gradient(
                           true_residual_checks=checks)
 
 
+@traced_solver("bicgstab-ft")
 def ft_bicgstab(
     op: Callable[[Lattice], Lattice],
     b: Lattice,
@@ -316,6 +326,7 @@ class FTBlockSolverResult(BlockSolverResult):
     true_residual_checks: int = 0
 
 
+@traced_solver("block-cg-ft")
 def ft_batched_conjugate_gradient(
     op: Callable,
     b,
@@ -499,6 +510,7 @@ def ft_solve_wilson_cgne(dirac, b: Lattice, tol: float = 1e-8,
                          **ft_kwargs)
 
 
+@traced_solver("mixed-ft")
 def ft_mixed_precision_cgne(
     dirac: WilsonDirac,
     b: Lattice,

@@ -28,6 +28,8 @@ import numpy as np
 
 from repro.sve.faults import FaultModel
 from repro.sve.memory import Memory
+from repro.telemetry import metrics as _telemetry_metrics
+from repro.telemetry import trace as _telemetry
 
 
 @dataclass(frozen=True)
@@ -69,12 +71,25 @@ class FaultCampaign:
     def record_fired(self, kind: str, target: str, detail: str = "") -> None:
         self.events.append(FaultEvent(kind=kind, target=target,
                                       detail=detail))
+        # The ledger is ground truth; telemetry only mirrors it.
+        if _telemetry.metrics_on():
+            _telemetry_metrics.registry().counter("fault.fired").inc()
+            _telemetry.event("fault.fired", campaign=self.name,
+                             kind=kind, target=target)
 
     def record_detected(self, what: str) -> None:
         self.detections.append(what)
+        if _telemetry.metrics_on():
+            _telemetry_metrics.registry().counter("fault.detected").inc()
+            _telemetry.event("fault.detected", campaign=self.name,
+                             what=what)
 
     def record_recovered(self, what: str) -> None:
         self.recoveries.append(what)
+        if _telemetry.metrics_on():
+            _telemetry_metrics.registry().counter("fault.recovered").inc()
+            _telemetry.event("fault.recovered", campaign=self.name,
+                             what=what)
 
     @property
     def fired(self) -> int:

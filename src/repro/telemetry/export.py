@@ -1,0 +1,188 @@
+"""Exporters: JSONL spans, Chrome ``trace_event``, Prometheus textfile.
+
+Three consumer-facing formats for one instrumented run:
+
+* **JSONL** — one span per line (the :meth:`~repro.telemetry.trace.
+  Span.as_dict` schema).  The archival format: trivially greppable,
+  streamable, and the input ``tools/teleview.py`` renders.
+* **Chrome trace** — the ``trace_event`` JSON array Chromium's
+  ``about://tracing`` (and Perfetto) load directly: complete ``"X"``
+  events for timed spans, instant ``"i"`` events for zero-duration
+  ones, microsecond timestamps, one ``tid`` row per recording thread.
+* **Prometheus textfile** — the node-exporter textfile-collector
+  format for the metrics registry: ``# HELP`` / ``# TYPE`` headers,
+  counters/gauges as single samples, histograms as cumulative
+  ``_bucket{le=...}`` series plus ``_sum``/``_count``.  Metric names
+  are sanitised (dots become underscores) and prefixed ``repro_``.
+
+Everything here is read-only over the trace buffer / registry — the
+exporters never mutate telemetry state, so exporting mid-run is safe.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+from typing import Iterable, List
+
+from repro.telemetry.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.telemetry.trace import Span
+
+#: Exporters never mutate telemetry state, but the file writes
+#: themselves are serialised so two threads exporting to the same
+#: artifact cannot interleave.
+_EXPORT_LOCK = threading.Lock()
+
+
+# ----------------------------------------------------------------------
+# JSONL
+# ----------------------------------------------------------------------
+def spans_to_jsonl(spans: Iterable[Span]) -> str:
+    """One JSON object per line, ending with a newline when non-empty."""
+    lines = [json.dumps(s.as_dict(), sort_keys=True) for s in spans]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_jsonl(spans: Iterable[Span], path: str) -> int:
+    """Write spans as JSONL; returns how many were written."""
+    spans = list(spans)
+    with _EXPORT_LOCK, open(path, "w") as fh:
+        fh.write(spans_to_jsonl(spans))
+    return len(spans)
+
+
+def read_jsonl(path: str) -> List[Span]:
+    """Load spans back from a JSONL file (inverse of
+    :func:`write_jsonl` — the round trip is exact)."""
+    out = []
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                out.append(Span.from_dict(json.loads(line)))
+    return out
+
+
+# ----------------------------------------------------------------------
+# Chrome trace_event
+# ----------------------------------------------------------------------
+def _tid_table(spans: Iterable[Span]) -> dict:
+    """Stable small integer ids per recording thread name."""
+    tids: dict = {}
+    for s in spans:
+        if s.thread not in tids:
+            tids[s.thread] = len(tids)
+    return tids
+
+
+def spans_to_chrome(spans: Iterable[Span]) -> dict:
+    """The ``trace_event`` JSON object (``{"traceEvents": [...]}``).
+
+    Timestamps are microseconds relative to the earliest span, so the
+    viewer's timeline starts at zero.
+    """
+    spans = list(spans)
+    t_base = min((s.t0 for s in spans), default=0.0)
+    tids = _tid_table(spans)
+    events = []
+    for s in spans:
+        ev = {
+            "name": s.name,
+            "cat": "repro",
+            "pid": 0,
+            "tid": tids[s.thread],
+            "ts": (s.t0 - t_base) * 1e6,
+            "args": s.attrs,
+        }
+        if s.t1 > s.t0:
+            ev["ph"] = "X"
+            ev["dur"] = (s.t1 - s.t0) * 1e6
+        else:
+            ev["ph"] = "i"
+            ev["s"] = "t"
+        events.append(ev)
+    meta = [
+        {"name": "thread_name", "ph": "M", "pid": 0, "tid": tid,
+         "args": {"name": thread}}
+        for thread, tid in tids.items()
+    ]
+    return {"traceEvents": meta + events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(spans: Iterable[Span], path: str) -> int:
+    """Write the Chrome ``trace_event`` file; returns the span count."""
+    spans = list(spans)
+    with _EXPORT_LOCK, open(path, "w") as fh:
+        json.dump(spans_to_chrome(spans), fh, indent=1)
+        fh.write("\n")
+    return len(spans)
+
+
+# ----------------------------------------------------------------------
+# Prometheus textfile
+# ----------------------------------------------------------------------
+def _prom_name(name: str) -> str:
+    """``perf.plan_hits`` -> ``repro_perf_plan_hits``."""
+    safe = "".join(c if (c.isalnum() or c == "_") else "_" for c in name)
+    return f"repro_{safe}"
+
+
+def _prom_value(value) -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, float):
+        if math.isinf(value):
+            return "+Inf" if value > 0 else "-Inf"
+        return repr(value)
+    return str(value)
+
+
+def prometheus_text(registry: MetricsRegistry) -> str:
+    """Render the registry in the Prometheus exposition format."""
+    lines = []
+    for inst in registry.instruments():
+        name = _prom_name(inst.name)
+        if isinstance(inst, Counter):
+            kind = "counter"
+        elif isinstance(inst, Gauge):
+            kind = "gauge"
+        elif isinstance(inst, Histogram):
+            kind = "histogram"
+        else:  # pragma: no cover - registry only makes these three
+            continue
+        if inst.help:
+            lines.append(f"# HELP {name} {inst.help}")
+        lines.append(f"# TYPE {name} {kind}")
+        if isinstance(inst, Histogram):
+            cumulative = inst.cumulative()
+            for bound, count in zip(inst.buckets, cumulative):
+                lines.append(
+                    f'{name}_bucket{{le="{_prom_value(float(bound))}"}} '
+                    f"{count}"
+                )
+            lines.append(f'{name}_bucket{{le="+Inf"}} {cumulative[-1]}')
+            lines.append(f"{name}_sum {_prom_value(inst.sum)}")
+            lines.append(f"{name}_count {inst.count}")
+        else:
+            lines.append(f"{name} {_prom_value(inst.value)}")
+    # Collector-backed views export as untyped samples.
+    snapshot = registry.snapshot()
+    known = set()
+    for inst in registry.instruments():
+        if isinstance(inst, Histogram):
+            known.update({f"{inst.name}.count", f"{inst.name}.sum"})
+        else:
+            known.add(inst.name)
+    for name in sorted(set(snapshot) - known):
+        lines.append(f"# TYPE {_prom_name(name)} untyped")
+        lines.append(f"{_prom_name(name)} {_prom_value(snapshot[name])}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_prometheus(registry: MetricsRegistry, path: str) -> None:
+    """Write the registry as a Prometheus textfile (atomic enough for
+    the node-exporter textfile collector: write then rename is not
+    needed for our artifact use)."""
+    with _EXPORT_LOCK, open(path, "w") as fh:
+        fh.write(prometheus_text(registry))

@@ -1,0 +1,14 @@
+"""Telemetry tests share one process-global registry and trace
+buffer; start and leave every test with both clean so no test can see
+another's spans or counts."""
+
+import pytest
+
+import repro.telemetry as telemetry
+
+
+@pytest.fixture(autouse=True)
+def clean_telemetry():
+    telemetry.reset()
+    yield
+    telemetry.reset()

@@ -1,0 +1,131 @@
+"""Exporter formats: exact JSONL round-trip, Chrome ``trace_event``
+schema, Prometheus exposition text."""
+
+import json
+
+from repro.telemetry.export import (
+    prometheus_text,
+    read_jsonl,
+    spans_to_chrome,
+    spans_to_jsonl,
+    write_chrome_trace,
+    write_jsonl,
+    write_prometheus,
+)
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.trace import Span
+
+
+def _spans():
+    return [
+        Span(name="dhop", t0=1.0, t1=1.5, span_id=1, parent_id=0,
+             thread="MainThread", attrs={"backend": "generic256"}),
+        Span(name="halo", t0=1.1, t1=1.2, span_id=2, parent_id=1,
+             thread="worker-0", attrs={"nbytes": 768}),
+        Span(name="ft.restart", t0=1.3, t1=1.3, span_id=3, parent_id=1,
+             thread="MainThread", attrs={}),
+    ]
+
+
+class TestJsonl:
+    def test_round_trip_is_exact(self, tmp_path):
+        path = str(tmp_path / "run.jsonl")
+        original = _spans()
+        assert write_jsonl(original, path) == 3
+        loaded = read_jsonl(path)
+        assert [s.as_dict() for s in loaded] == [
+            s.as_dict() for s in original
+        ]
+
+    def test_one_object_per_line(self):
+        text = spans_to_jsonl(_spans())
+        lines = text.strip().splitlines()
+        assert len(lines) == 3
+        assert all(json.loads(ln)["name"] for ln in lines)
+
+    def test_empty_input_empty_output(self, tmp_path):
+        assert spans_to_jsonl([]) == ""
+        path = str(tmp_path / "empty.jsonl")
+        assert write_jsonl([], path) == 0
+        assert read_jsonl(path) == []
+
+
+class TestChromeTrace:
+    def test_schema(self, tmp_path):
+        doc = spans_to_chrome(_spans())
+        events = doc["traceEvents"]
+        by_name = {}
+        for ev in events:
+            by_name.setdefault(ev["name"], []).append(ev)
+        # Timed spans are complete "X" events with relative-µs times.
+        (dhop,) = by_name["dhop"]
+        assert dhop["ph"] == "X"
+        assert dhop["ts"] == 0.0  # earliest span anchors the timeline
+        assert abs(dhop["dur"] - 5e5) < 1e-6
+        # Zero-duration spans are instant events.
+        (restart,) = by_name["ft.restart"]
+        assert restart["ph"] == "i"
+        assert "dur" not in restart
+        # One thread_name metadata event per recording thread.
+        meta = by_name["thread_name"]
+        assert {m["args"]["name"] for m in meta} == {
+            "MainThread", "worker-0",
+        }
+        assert len({m["tid"] for m in meta}) == 2
+        # The file loads back as plain JSON.
+        path = str(tmp_path / "run.trace.json")
+        write_chrome_trace(_spans(), path)
+        with open(path) as fh:
+            assert json.load(fh) == doc
+
+    def test_attrs_become_args(self):
+        doc = spans_to_chrome(_spans())
+        (halo,) = [e for e in doc["traceEvents"] if e["name"] == "halo"]
+        assert halo["args"] == {"nbytes": 768}
+
+
+class TestPrometheus:
+    def test_counter_and_gauge_samples(self):
+        reg = MetricsRegistry()
+        reg.counter("solve.calls", help="solver invocations").inc(3)
+        reg.gauge("comms.pending").set(2)
+        text = prometheus_text(reg)
+        assert "# HELP repro_solve_calls solver invocations" in text
+        assert "# TYPE repro_solve_calls counter" in text
+        assert "repro_solve_calls 3" in text
+        assert "# TYPE repro_comms_pending gauge" in text
+        assert "repro_comms_pending 2" in text
+
+    def test_histogram_is_cumulative_with_inf_bucket(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", buckets=(0.1, 1.0))
+        for v in (0.05, 0.5, 5.0):
+            h.observe(v)
+        text = prometheus_text(reg)
+        assert '# TYPE repro_lat histogram' in text
+        assert 'repro_lat_bucket{le="0.1"} 1' in text
+        assert 'repro_lat_bucket{le="1.0"} 2' in text
+        assert 'repro_lat_bucket{le="+Inf"} 3' in text
+        assert "repro_lat_count 3" in text
+        assert "repro_lat_sum 5.55" in text
+
+    def test_collector_samples_export_untyped(self):
+        reg = MetricsRegistry()
+        reg.register_collector("comms", lambda: {"comms.messages": 16})
+        text = prometheus_text(reg)
+        assert "# TYPE repro_comms_messages untyped" in text
+        assert "repro_comms_messages 16" in text
+
+    def test_names_are_sanitised(self):
+        reg = MetricsRegistry()
+        reg.counter("plan.stage.gather").inc()
+        text = prometheus_text(reg)
+        assert "repro_plan_stage_gather 1" in text
+
+    def test_write_prometheus(self, tmp_path):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        path = str(tmp_path / "metrics.prom")
+        write_prometheus(reg, path)
+        with open(path) as fh:
+            assert fh.read() == prometheus_text(reg)

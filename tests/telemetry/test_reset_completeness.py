@@ -1,0 +1,89 @@
+"""The counter-reset drift audit.
+
+Every counter in the system now routes through (or is viewed by) the
+telemetry registry, so ``engine.reset_all()`` has one provable
+postcondition: a snapshot taken right after it shows **every** metric
+at zero and the trace buffer empty.  This test runs the three
+counter-feeding workloads — a distributed Wilson-Dslash (comms stats +
+halo telemetry), a CG solve (solve counters + spans), and a fault
+campaign (fault counters + events) — then resets once and sweeps the
+whole snapshot.  A future counter added outside the registry, or a
+reset path that misses one, fails here by name."""
+
+import repro.engine as engine
+import repro.telemetry as telemetry
+from repro.engine.solve import solve_fermion
+from repro.grid.cartesian import GridCartesian
+from repro.grid.comms import DistributedLattice
+from repro.grid.dist_wilson import DistributedWilson, distribute_gauge
+from repro.grid.random import random_gauge, random_spinor
+from repro.grid.wilson import WilsonDirac
+from repro.resilience.inject import FaultCampaign
+from repro.simd import get_backend
+
+DIMS = [4, 4, 4, 4]
+MPI = [2, 1, 1, 1]
+
+
+def _run_everything():
+    """Dslash + CG + campaign under full tracing; returns the
+    mid-flight snapshot (for the non-triviality check)."""
+    be = get_backend("generic256")
+    grid = GridCartesian(DIMS, be)
+    links = random_gauge(grid, seed=11)
+    psi = random_spinor(grid, seed=7)
+
+    dlinks = distribute_gauge(links, DIMS, be, MPI)
+    dw = DistributedWilson(dlinks, mass=0.1)
+    dpsi = DistributedLattice(DIMS, be, MPI, (4, 3)).scatter(
+        psi.to_canonical()
+    )
+
+    w = WilsonDirac(links, mass=0.3)
+    campaign = FaultCampaign(seed=3, name="audit")
+
+    with engine.scope(telemetry="trace"):
+        dw.dhop(dpsi)
+        solve_fermion(w, psi, method="cg", tol=1e-6, max_iter=100)
+        campaign.record_fired("field-bitflip", "psi")
+        campaign.record_detected("nan-guard")
+        campaign.record_recovered("restart")
+        return telemetry.snapshot()
+
+
+class TestResetCompleteness:
+    def test_one_reset_zeroes_every_metric_and_span(self):
+        mid = _run_everything()
+
+        # Non-trivial: each workload actually fed its counters.
+        assert mid["comms.messages"] > 0
+        assert mid["solve.calls"] == 1
+        assert mid["solve.iterations"] > 0
+        assert mid["fault.fired"] == 1
+        assert mid["fault.detected"] == 1
+        assert mid["fault.recovered"] == 1
+        assert mid["perf.halo_posts"] > 0
+        assert len(telemetry.buffer()) > 0
+
+        summary = engine.reset_all()
+        assert summary["counters_reset"] is True
+        assert summary["telemetry_metrics_reset"] > 0
+        assert summary["telemetry_spans_cleared"] > 0
+
+        after = telemetry.snapshot()
+        nonzero = {k: v for k, v in after.items() if v != 0}
+        assert nonzero == {}, f"metrics survived reset_all: {nonzero}"
+        assert len(telemetry.buffer()) == 0
+        assert telemetry.spans() == []
+
+    def test_counters_false_spares_telemetry(self):
+        telemetry.count("audit.counter", 2)
+        with engine.scope(telemetry="trace"):
+            with telemetry.span("audit.span"):
+                pass
+        summary = engine.reset_all(counters=False)
+        assert summary["counters_reset"] is False
+        assert summary["telemetry_metrics_reset"] == 0
+        assert summary["telemetry_spans_cleared"] == 0
+        assert telemetry.snapshot()["audit.counter"] == 2
+        assert [s.name for s in telemetry.spans()] == ["audit.span"]

@@ -1,0 +1,142 @@
+"""Span recording semantics: nesting, parent links, thread isolation,
+instant events, caller-timed spans, and the bounded buffer."""
+
+import threading
+
+import repro.engine as engine
+import repro.telemetry as telemetry
+from repro.telemetry.trace import NULL_SPAN, Span, TraceBuffer
+
+
+class TestSpanNesting:
+    def test_parent_links_follow_lexical_nesting(self):
+        with engine.scope(telemetry="trace"):
+            with telemetry.span("outer") as outer:
+                with telemetry.span("middle") as middle:
+                    with telemetry.span("inner") as inner:
+                        pass
+        spans = {s.name: s for s in telemetry.drain_spans()}
+        assert spans["outer"].parent_id == 0
+        assert spans["middle"].parent_id == spans["outer"].span_id
+        assert spans["inner"].parent_id == spans["middle"].span_id
+        assert (outer.span_id, middle.span_id, inner.span_id) == (
+            spans["outer"].span_id,
+            spans["middle"].span_id,
+            spans["inner"].span_id,
+        )
+
+    def test_siblings_share_a_parent(self):
+        with engine.scope(telemetry="trace"):
+            with telemetry.span("parent") as parent:
+                with telemetry.span("a"):
+                    pass
+                with telemetry.span("b"):
+                    pass
+        spans = {s.name: s for s in telemetry.drain_spans()}
+        assert spans["a"].parent_id == parent.span_id
+        assert spans["b"].parent_id == parent.span_id
+
+    def test_timing_is_monotonic_and_ordered(self):
+        with engine.scope(telemetry="trace"):
+            with telemetry.span("outer"):
+                with telemetry.span("inner"):
+                    pass
+        spans = {s.name: s for s in telemetry.drain_spans()}
+        assert spans["inner"].t1 >= spans["inner"].t0
+        assert spans["outer"].t0 <= spans["inner"].t0
+        assert spans["outer"].t1 >= spans["inner"].t1
+
+    def test_attrs_travel_and_can_be_stamped_after(self):
+        with engine.scope(telemetry="trace"):
+            with telemetry.span("work", tag="x") as sp:
+                sp.attrs["result"] = 42
+        (span,) = telemetry.drain_spans()
+        assert span.attrs == {"tag": "x", "result": 42}
+
+
+class TestThreadIsolation:
+    def test_parent_links_never_cross_threads(self):
+        """Each thread opens its own scope and its own span tree; the
+        ContextVar keeps the nesting per-thread even though both write
+        into the one buffer."""
+        barrier = threading.Barrier(2)
+
+        def worker(tag):
+            with engine.scope(telemetry="trace"):
+                with telemetry.span(f"outer-{tag}"):
+                    barrier.wait(timeout=10)  # both outers open at once
+                    with telemetry.span(f"inner-{tag}"):
+                        pass
+
+        threads = [
+            threading.Thread(target=worker, args=(t,), name=f"w{t}")
+            for t in ("a", "b")
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        spans = {s.name: s for s in telemetry.drain_spans()}
+        for tag in ("a", "b"):
+            assert (
+                spans[f"inner-{tag}"].parent_id
+                == spans[f"outer-{tag}"].span_id
+            )
+            assert spans[f"inner-{tag}"].thread == f"w{tag}"
+
+
+class TestEventsAndRecordSpan:
+    def test_event_is_zero_duration_with_parent(self):
+        with engine.scope(telemetry="trace"):
+            with telemetry.span("solve") as sp:
+                telemetry.event("ft.restart", what="drift")
+        events = [s for s in telemetry.drain_spans() if s.t0 == s.t1]
+        (ev,) = events
+        assert ev.name == "ft.restart"
+        assert ev.parent_id == sp.span_id
+        assert ev.attrs == {"what": "drift"}
+
+    def test_record_span_keeps_caller_times(self):
+        with engine.scope(telemetry="trace"):
+            telemetry.record_span("halo", 1.5, 2.25, tag="xp")
+        (span,) = telemetry.drain_spans()
+        assert (span.t0, span.t1) == (1.5, 2.25)
+        assert abs(span.duration - 0.75) < 1e-12
+
+
+class TestDisabledMode:
+    def test_span_returns_the_shared_null_singleton(self):
+        assert telemetry.span("anything", x=1) is NULL_SPAN
+        with telemetry.span("anything") as sp:
+            assert sp is None
+        assert len(telemetry.buffer()) == 0
+
+    def test_event_and_record_span_are_noops(self):
+        telemetry.event("fault.fired")
+        telemetry.record_span("halo", 0.0, 1.0)
+        assert telemetry.spans() == []
+
+    def test_metrics_level_records_no_spans(self):
+        with engine.scope(telemetry="metrics"):
+            assert telemetry.span("x") is NULL_SPAN
+            assert telemetry.metrics_on()
+            assert not telemetry.tracing()
+
+
+class TestTraceBuffer:
+    def test_bounded_with_drop_accounting(self):
+        buf = TraceBuffer(capacity=3)
+        for i in range(5):
+            buf.append(Span(name=f"s{i}", t0=float(i), t1=float(i)))
+        assert len(buf) == 3
+        assert buf.dropped == 2
+        assert [s.name for s in buf.snapshot()] == ["s2", "s3", "s4"]
+
+    def test_drain_empties_snapshot_does_not(self):
+        buf = TraceBuffer()
+        buf.append(Span(name="s", t0=0.0, t1=1.0))
+        assert len(buf.snapshot()) == 1
+        assert len(buf) == 1
+        drained = buf.drain()
+        assert [s.name for s in drained] == ["s"]
+        assert len(buf) == 0

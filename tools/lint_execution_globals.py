@@ -36,20 +36,29 @@ from pathlib import Path
 
 #: Engine-owned execution globals, plus the pre-engine toggle globals
 #: they replaced (banned everywhere so the old pattern cannot creep
-#: back in under the old names).
+#: back in under the old names), plus the telemetry layer's state —
+#: rebinding the registry or trace buffer from outside the telemetry
+#: package would silently detach every already-imported seam from the
+#: exporters.
 EXECUTION_GLOBALS = frozenset({
-    "_BASE_POLICY",        # repro.engine.policy — the base policy
-    "_SCOPED",             # repro.engine.policy — the scope stack
-    "_CONFIG",             # legacy repro.perf module global
-    "_FALLBACK_ENABLED",   # legacy repro.simd.registry module global
+    "_BASE_POLICY",          # repro.engine.policy — the base policy
+    "_SCOPED",               # repro.engine.policy — the scope stack
+    "_CONFIG",               # legacy repro.perf module global
+    "_FALLBACK_ENABLED",     # legacy repro.simd.registry module global
+    "_TELEMETRY_REGISTRY",   # repro.telemetry.metrics — the registry
+    "_TRACE_BUFFER",         # repro.telemetry.trace — the span buffer
+    "_ACTIVE_SPAN",          # repro.telemetry.trace — span nesting var
 })
 
-#: Files allowed to mutate them: the engine (owner) and the
-#: deprecation-shim modules.
+#: Files allowed to mutate them: the engine (owner), the
+#: deprecation-shim modules, and the telemetry modules that own the
+#: telemetry globals.
 ALLOWLIST = frozenset({
     "src/repro/engine/policy.py",
     "src/repro/perf/__init__.py",
     "src/repro/simd/registry.py",
+    "src/repro/telemetry/metrics.py",
+    "src/repro/telemetry/trace.py",
 })
 
 DEFAULT_TREES = ("src", "tests", "benchmarks", "examples", "tools")

@@ -1,0 +1,121 @@
+#!/usr/bin/env python
+"""Render a telemetry JSONL span artifact as plain-text reports.
+
+Offline companion to the in-process reports: the bench harness (or any
+run under ``engine.scope(telemetry="trace")``) writes its spans with
+``telemetry.write_jsonl``; this tool reloads them and renders
+
+* a per-span-name summary (count, total/mean duration),
+* the roofline report (per-operator GFLOP/s, GB/s, arithmetic
+  intensity) from the operator spans' flop/byte metadata, and
+* the solver-convergence report (iterations, residuals, FT events).
+
+Usage::
+
+    python tools/teleview.py BENCH_2026-08-05.spans.jsonl
+    python tools/teleview.py run.jsonl --roofline
+    python tools/teleview.py run.jsonl --convergence --residuals
+
+Exit status: 0 on success, 2 if the artifact cannot be read.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+# Runnable straight from a checkout: put src/ on the path if the
+# package is not installed.
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if _SRC.is_dir() and str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.telemetry import (  # noqa: E402  (path bootstrap above)
+    convergence_from_spans,
+    convergence_table,
+    read_jsonl,
+    roofline_table,
+)
+from repro.telemetry.reports import _table  # noqa: E402
+
+
+def span_summary_table(spans) -> str:
+    """Per-span-name counts and durations, busiest first."""
+    acc: dict = {}
+    for s in spans:
+        row = acc.setdefault(s.name, {"calls": 0, "seconds": 0.0})
+        row["calls"] += 1
+        row["seconds"] += s.duration
+    if not acc:
+        return "(no spans)"
+    body = [
+        [name, row["calls"], row["seconds"],
+         row["seconds"] / row["calls"]]
+        for name, row in sorted(
+            acc.items(), key=lambda kv: -kv[1]["seconds"]
+        )
+    ]
+    return _table(["span", "calls", "seconds", "mean_s"], body)
+
+
+def residual_series(spans) -> str:
+    """The residual-vs-iteration series of every solve span."""
+    rows = convergence_from_spans(spans)
+    if not rows:
+        return "(no solve spans)"
+    lines = []
+    for i, r in enumerate(rows):
+        lines.append(f"solve[{i}] {r['solver']} on {r['operator']}: "
+                     f"{r['iterations']} iters, "
+                     f"converged={r['converged']}")
+        for it, res in enumerate(r["residuals"]):
+            if isinstance(res, list):
+                text = "  ".join(f"{c:.3e}" for c in res)
+            else:
+                text = f"{res:.3e}"
+            lines.append(f"  iter {it:4d}  {text}")
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("artifact", help="JSONL span file "
+                    "(telemetry.write_jsonl output)")
+    ap.add_argument("--spans", action="store_true",
+                    help="only the per-span-name summary")
+    ap.add_argument("--roofline", action="store_true",
+                    help="only the roofline report")
+    ap.add_argument("--convergence", action="store_true",
+                    help="only the convergence report")
+    ap.add_argument("--residuals", action="store_true",
+                    help="with the convergence report, print the full "
+                    "residual-vs-iteration series")
+    args = ap.parse_args(argv)
+
+    try:
+        spans = read_jsonl(args.artifact)
+    except (OSError, ValueError) as exc:
+        print(f"teleview: cannot read {args.artifact}: {exc}",
+              file=sys.stderr)
+        return 2
+
+    chosen = args.spans or args.roofline or args.convergence
+    out = [f"# {args.artifact}: {len(spans)} spans"]
+    if args.spans or not chosen:
+        out += ["", "## spans", span_summary_table(spans)]
+    if args.roofline or not chosen:
+        out += ["", "## roofline", roofline_table(spans)]
+    if args.convergence or not chosen:
+        out += ["", "## convergence", convergence_table(spans)]
+        if args.residuals:
+            out += ["", residual_series(spans)]
+    print("\n".join(out))
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:  # e.g. `teleview ... | head`
+        sys.exit(0)
