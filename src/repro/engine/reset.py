@@ -24,6 +24,10 @@ def reset_all(counters: bool = True, caches: bool = True) -> dict:
       (:func:`repro.grid.comms.reset_all_comms`);
     * sticky backend degradations
       (:func:`repro.simd.resilient.reset_all_degraded`);
+    * every registered circuit breaker — a breaker left open by a
+      failed supervised solve would otherwise force the *next* run
+      down the degradation ladder from its first attempt
+      (:func:`repro.resilience.breaker.reset_breakers`);
     * with ``caches`` (default): the kernel trace cache
       (:func:`repro.perf.trace_cache.clear_cache`), every grid-hosted
       plan cache (:func:`repro.engine.plan.clear_plan_caches`) and the
@@ -39,11 +43,13 @@ def reset_all(counters: bool = True, caches: bool = True) -> dict:
       reset-completeness test pins this).
     """
     from repro.grid.comms import invalidate_comms_plans, reset_all_comms
+    from repro.resilience.breaker import reset_breakers
     from repro.simd.resilient import reset_all_degraded
 
     summary = {
         "comms_reset": reset_all_comms(),
         "backends_restored": reset_all_degraded(),
+        "breakers_tripped": reset_breakers(),
         "plan_hosts_cleared": 0,
         "comms_plans_cleared": 0,
         "trace_cache_cleared": False,

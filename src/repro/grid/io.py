@@ -11,11 +11,24 @@ SciDAC).  This module implements a simple format in that family:
 so a configuration written under one SIMD layout / rank decomposition
 reads back bit-identically under any other — the layout-transparency
 contract of the canonical ordering, applied to persistence.
+
+Durability: :func:`save_gauge` writes atomically (temp file in the
+same directory, flush + fsync, then :func:`os.replace`), so a crash
+mid-save can never leave a torn file under the target name — the old
+configuration, if any, survives intact.  The header additionally
+carries a CRC-32 of the whole binary payload; :func:`load_gauge`
+verifies it before any parsing of the link data, so truncation or bit
+rot is rejected up front rather than discovered (or missed) by the
+per-link checks.  Files written before the CRC existed (no
+``payload_crc`` header line) still load.
 """
 
 from __future__ import annotations
 
+import os
+import zlib
 from dataclasses import dataclass
+from typing import Optional
 
 import numpy as np
 
@@ -40,6 +53,7 @@ class ConfigHeader:
     plaquette: float
     checksums: list
     note: str = ""
+    payload_crc: Optional[int] = None
 
     def render(self) -> str:
         lines = [
@@ -48,6 +62,10 @@ class ConfigHeader:
             f"dtype = {self.dtype}",
             f"plaquette = {self.plaquette!r}",
             f"checksums = {' '.join(self.checksums)}",
+        ]
+        if self.payload_crc is not None:
+            lines.append(f"payload_crc = {self.payload_crc}")
+        lines += [
             f"note = {self.note}",
             "END_HEADER",
         ]
@@ -76,24 +94,65 @@ class ConfigHeader:
                 plaquette=float(fields["plaquette"]),
                 checksums=fields["checksums"].split(),
                 note=fields.get("note", ""),
+                payload_crc=(int(fields["payload_crc"])
+                             if "payload_crc" in fields else None),
             )
-        except KeyError as e:
+        except (KeyError, ValueError) as e:
+            if isinstance(e, ValueError):
+                raise ConfigFormatError(f"malformed header field: {e}") \
+                    from None
             raise ConfigFormatError(f"header missing field {e}") from None
 
 
+def atomic_write(path, data: bytes) -> None:
+    """Write ``data`` to ``path`` atomically: temp file in the same
+    directory, flush + fsync, then :func:`os.replace`.  A crash at any
+    point leaves either the old file or the new one under ``path``,
+    never a torn mixture."""
+    path = os.fspath(path)
+    directory = os.path.dirname(path) or "."
+    tmp = f"{path}.tmp.{os.getpid()}"
+    try:
+        with open(tmp, "wb") as f:
+            f.write(data)
+            f.flush()
+            os.fsync(f.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    try:  # pragma: no cover - platform-dependent
+        dfd = os.open(directory, os.O_RDONLY)
+        try:
+            os.fsync(dfd)
+        finally:
+            os.close(dfd)
+    except OSError:
+        pass
+
+
 def save_gauge(path, links, grid: GridCartesian, note: str = "") -> ConfigHeader:
-    """Write gauge links to ``path`` in canonical site order."""
+    """Write gauge links to ``path`` in canonical site order.
+
+    The write is atomic (see :func:`atomic_write`) and the header
+    carries a CRC-32 of the binary payload, so a crash mid-save leaves
+    the previous file intact and any later corruption of the payload
+    is caught by :func:`load_gauge` before parsing."""
+    payload = b"".join(
+        np.ascontiguousarray(u.to_canonical()).tobytes() for u in links
+    )
     header = ConfigHeader(
         dims=list(grid.ldims),
         dtype=str(grid.dtype),
         plaquette=plaquette(links, grid),
         checksums=[field_checksum(u) for u in links],
         note=note,
+        payload_crc=zlib.crc32(payload),
     )
-    with open(path, "wb") as f:
-        f.write(header.render().encode())
-        for u in links:
-            f.write(np.ascontiguousarray(u.to_canonical()).tobytes())
+    atomic_write(path, header.render().encode() + payload)
     return header
 
 
@@ -119,6 +178,11 @@ def load_gauge(path, grid: GridCartesian, verify: bool = True) -> list:
             f"file dtype {header.dtype} != grid dtype {grid.dtype}"
         )
     body = raw[end:]
+    if verify and header.payload_crc is not None and \
+            zlib.crc32(body) != header.payload_crc:
+        raise ConfigFormatError(
+            "payload CRC mismatch (truncated or bit-rotted file?)"
+        )
     per_link = grid.lsites * 9 * grid.dtype.itemsize
     if len(body) != grid.ndim * per_link:
         raise ConfigFormatError(

@@ -358,6 +358,78 @@ def bench_campaign(vls: Sequence[int] = (256,)) -> BenchRecord:
     return rec
 
 
+def bench_supervisor(dims=(4, 4, 4, 4), tol: float = 1e-8,
+                     max_iter: int = 200) -> BenchRecord:
+    """The supervised-solve envelope: pass-through and kill/resume.
+
+    Two cells.  No-fault: ``supervised_solve`` must converge in one
+    attempt on rung zero with a result bit-identical to the direct
+    ``solve_fermion`` call (exact-gated; the wall-time ratio is info —
+    ``bench_supervisor_overhead.py`` gates it properly with
+    interleaved minima).  Kill/resume: a ``KillAtIteration`` crash
+    against a durable checkpoint store must resume from a saved
+    iterate, and the post-crash attempt must need strictly fewer
+    iterations than the cold solve (exact-gated booleans — the whole
+    point of durability is never starting over).
+    """
+    import tempfile
+
+    from repro.engine.solve import solve_fermion
+    from repro.resilience.checkpoint import CheckpointStore
+    from repro.resilience.inject import FaultCampaign, KillAtIteration
+    from repro.resilience.supervisor import supervised_solve
+
+    be = get_backend("generic256")
+    grid = GridCartesian(list(dims), be)
+    w = WilsonDirac(random_gauge(grid, seed=11), mass=0.1)
+    b = random_spinor(grid, seed=5)
+    kw = {"method": "cg", "ft": True, "tol": tol, "max_iter": max_iter}
+
+    t0 = time.perf_counter()
+    ref = solve_fermion(w, b, **kw)
+    t_direct = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    sup = supervised_solve(w, b, **kw)
+    t_sup = time.perf_counter() - t0
+
+    kill_at = max(2, int(ref.iterations * 0.6))
+    t0 = time.perf_counter()
+    with tempfile.TemporaryDirectory() as tmp:
+        campaign = FaultCampaign(seed=0, name="bench-supervisor")
+        kill = KillAtIteration(campaign, kill_at)
+        resumed = supervised_solve(
+            w, b, store=CheckpointStore(tmp), recompute_interval=3,
+            campaign=campaign,
+            on_checkpoint=lambda it, x, r: kill.check(it), **kw)
+    t_resume = time.perf_counter() - t0
+
+    rec = BenchRecord(name="supervisor",
+                      wall_seconds=t_direct + t_sup + t_resume)
+    rec.metric("bit_identical",
+               bool(np.array_equal(ref.x.data, sup.result.x.data)),
+               "exact")
+    rec.metric("attempts_no_fault", int(len(sup.attempts)), "exact")
+    rec.metric("resume_recovered", bool(resumed.converged), "exact")
+    rec.metric("resumed_from_checkpoint",
+               bool(resumed.attempts[-1].resumed_from is not None),
+               "exact")
+    rec.metric("resume_beats_cold_restart",
+               bool(resumed.attempts[-1].iterations < ref.iterations),
+               "exact")
+    rec.metric("envelope_wall_ratio",
+               round(t_sup / t_direct, 3), "info")
+    rec.info.update({
+        "dims": list(dims), "tol": tol,
+        "cold_iterations": int(ref.iterations),
+        "kill_at": kill_at,
+        "resumed_from": resumed.attempts[-1].resumed_from,
+        "resume_attempt_iterations": int(resumed.attempts[-1].iterations),
+        "attempt_outcomes": [a.outcome for a in resumed.attempts],
+        "wall_direct": t_direct, "wall_supervised": t_sup,
+    })
+    return rec
+
+
 def bench_trace_cache(vls: Sequence[int] = (256, 512), n: int = 257,
                       hot_reps: int = 5) -> BenchRecord:
     """Kernel trace caching: cold compile+decode vs hot replay.
@@ -477,6 +549,7 @@ def run_suite(full: bool = False, workers: int = 4,
         bench_halo_messages,
         bench_block_cg,
         lambda: bench_campaign(vls=campaign_vls),
+        bench_supervisor,
         lambda: bench_trace_cache(vls=cache_vls),
     ]
     from repro.engine.reset import reset_all

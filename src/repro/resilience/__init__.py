@@ -17,6 +17,14 @@ methodology from toolchain bugs to system faults:
   {case x VL x campaign} cell classified {pass, fail, detected,
   recovered}; ``fail`` means *silent corruption*, the outcome the
   layer exists to eliminate.
+* :mod:`repro.resilience.checkpoint` — the durable checkpoint store:
+  atomic fsync'd writes, CRC-verified loads, quarantine of corrupt
+  files, newest-valid-wins resume.
+* :mod:`repro.resilience.supervisor` — the supervised solve runtime:
+  retry with seeded backoff, watchdogs (deadline / iteration budget /
+  stall / divergence), the degradation ladder, checkpoint/resume.
+* :mod:`repro.resilience.breaker` — per-subsystem circuit breakers
+  (closed / open / half-open) feeding the degradation decisions.
 
 The companion mechanisms live in the layers they protect: checksummed
 retrying halo exchange in :mod:`repro.grid.comms`, numeric-breakdown
@@ -24,13 +32,33 @@ guards in :mod:`repro.grid.solver`, graceful backend degradation in
 :mod:`repro.simd.resilient`.
 """
 
+from repro.resilience.breaker import (
+    CircuitBreaker,
+    all_breakers,
+    breaker,
+    reset_breakers,
+)
+from repro.resilience.checkpoint import (
+    CheckpointStore,
+    checkpoint_key,
+)
 from repro.resilience.inject import (
     CommsFault,
     CommsFaultInjector,
     FaultCampaign,
     FaultEvent,
     FaultyMemory,
+    KillAtIteration,
+    SimulatedCrash,
+    bit_rot_file,
     flip_field_bit,
+    torn_write_file,
+    truncate_file,
+)
+from repro.resilience.supervisor import (
+    DEGRADATION_LADDER,
+    SuperviseResult,
+    supervised_solve,
 )
 from repro.resilience.ft_solver import (
     FTSolverResult,
@@ -41,8 +69,10 @@ from repro.resilience.ft_solver import (
 )
 from repro.resilience.campaign import (
     CAMPAIGN_CASES,
+    CHAOS_CASES,
     SilentCorruption,
     default_campaign_factory,
+    run_chaos_campaign,
     run_default_campaign,
 )
 
@@ -52,14 +82,30 @@ __all__ = [
     "CommsFault",
     "CommsFaultInjector",
     "FaultyMemory",
+    "KillAtIteration",
+    "SimulatedCrash",
     "flip_field_bit",
+    "bit_rot_file",
+    "torn_write_file",
+    "truncate_file",
     "FTSolverResult",
     "ft_conjugate_gradient",
     "ft_bicgstab",
     "ft_solve_wilson_cgne",
     "ft_mixed_precision_cgne",
+    "CheckpointStore",
+    "checkpoint_key",
+    "CircuitBreaker",
+    "breaker",
+    "all_breakers",
+    "reset_breakers",
+    "DEGRADATION_LADDER",
+    "SuperviseResult",
+    "supervised_solve",
     "CAMPAIGN_CASES",
+    "CHAOS_CASES",
     "SilentCorruption",
     "default_campaign_factory",
     "run_default_campaign",
+    "run_chaos_campaign",
 ]

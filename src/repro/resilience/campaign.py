@@ -17,6 +17,7 @@ supplies the cases and the seeded per-cell campaign factory.
 from __future__ import annotations
 
 import math
+import tempfile
 import warnings
 import zlib
 from dataclasses import dataclass
@@ -31,13 +32,23 @@ from repro.grid.random import random_gauge, random_spinor
 from repro.grid.solver import conjugate_gradient
 from repro.grid.wilson import WilsonDirac
 from repro.resilience.ft_solver import ft_conjugate_gradient
+from repro.resilience.checkpoint import (
+    CheckpointStore,
+    checkpoint_key,
+    read_checkpoint,
+)
 from repro.resilience.inject import (
     CommsFault,
     CommsFaultInjector,
     FaultCampaign,
     FaultyMemory,
+    KillAtIteration,
+    SimulatedCrash,
+    bit_rot_file,
     flip_field_bit,
+    torn_write_file,
 )
+from repro.resilience.supervisor import supervised_solve
 from repro.perf.trace_cache import cached_run_kernel
 from repro.simd import get_backend
 from repro.simd.generic import GenericBackend
@@ -302,7 +313,160 @@ def case_backend_crash_fallback(vl_bits, campaign, resilient):
         raise SilentCorruption("backend fallback produced wrong result")
 
 
+# ======================================================================
+# Disk faults: checkpoint bit rot, torn gauge archives
+# ======================================================================
+
+@_campaign_case("disk")
+def case_checkpoint_bitrot(vl_bits, campaign, resilient):
+    """Storage rots the newest solver checkpoint.
+
+    Resilient mode loads through the CRC-verifying store: the rotted
+    file is quarantined and the previous checkpoint takes over.  The
+    naive reader trusts the bytes and resumes from corrupt state —
+    silent corruption.
+    """
+    be = get_backend(f"generic{vl_bits}")
+    g = GridCartesian([4, 4, 4, 4], be)
+    states = {it: random_spinor(g, seed=it).to_canonical()
+              for it in (10, 20)}
+    with tempfile.TemporaryDirectory() as d:
+        store = CheckpointStore(
+            d, campaign=campaign if resilient else None)
+        for it, arr in states.items():
+            store.save("solve", {"x": arr}, iteration=it)
+        bit_rot_file(store.list("solve")[0], campaign)
+        if resilient:
+            ck = store.load_latest("solve")
+            if ck is None or not np.array_equal(ck.arrays["x"],
+                                                states[ck.iteration]):
+                raise SilentCorruption(
+                    "checkpoint fallback returned wrong state")
+        else:
+            ck = read_checkpoint(store.list("solve")[0], verify=False)
+            if not np.array_equal(ck.arrays["x"], states[20]):
+                raise SilentCorruption(
+                    "resumed from bit-rotted checkpoint undetected")
+
+
+@_campaign_case("disk")
+def case_gauge_archive_torn_write(vl_bits, campaign, resilient):
+    """A gauge archive suffers a torn write (zero-padded tail).
+
+    Resilient mode verifies on load (payload CRC, per-link checksums,
+    plaquette), detects the damage and recovers from the replica every
+    archive pipeline keeps; the naive reader deserialises zeroed links
+    without complaint.
+    """
+    from repro.grid.io import ConfigFormatError, load_gauge, save_gauge
+
+    be = get_backend(f"generic{vl_bits}")
+    g = GridCartesian([4, 4, 4, 4], be)
+    links = random_gauge(g, seed=13)
+    with tempfile.TemporaryDirectory() as d:
+        primary = f"{d}/cfg.lat"
+        replica = f"{d}/cfg.replica.lat"
+        save_gauge(primary, links, g)
+        save_gauge(replica, links, g)
+        torn_write_file(primary, campaign)
+        if resilient:
+            try:
+                got = load_gauge(primary, g, verify=True)
+            except ConfigFormatError as exc:
+                campaign.record_detected(f"gauge archive: {exc}")
+                got = load_gauge(replica, g, verify=True)
+                campaign.record_recovered(
+                    "gauge archive: replica restored")
+        else:
+            got = load_gauge(primary, g, verify=False)
+        for a, u in zip(got, links):
+            if not np.array_equal(a.data, u.data):
+                raise SilentCorruption(
+                    "torn gauge archive loaded undetected")
+
+
+# ======================================================================
+# Crash mid-solve: kill + checkpoint rot, supervised vs naive
+# ======================================================================
+
+@_campaign_case("crash")
+def case_supervised_kill_resume(vl_bits, campaign, resilient):
+    """The composed chaos cell: a solve is killed mid-flight AND the
+    newest durable checkpoint is bit-rotted at the moment of death.
+
+    The supervised runtime quarantines the rotted file, resumes from
+    the older valid checkpoint and converges (``recovered``).  The
+    naive restart script trusts the newest checkpoint's bytes and
+    resumes from corrupt state without noticing.
+    """
+    be = get_backend(f"generic{vl_bits}")
+    g = GridCartesian([4, 4, 4, 4], be)
+    w = WilsonDirac(random_gauge(g, seed=17), mass=0.1)
+    b = random_spinor(g, seed=18)
+    tol = 1e-8
+    with tempfile.TemporaryDirectory() as d:
+        store = CheckpointStore(
+            d, campaign=campaign if resilient else None)
+        key = checkpoint_key(w, b, tol)
+        kill = KillAtIteration(campaign, iteration=6, name="cgne")
+
+        def chaos(it, x, true_rel):
+            # At the kill point, rot the newest on-disk checkpoint
+            # first: the crash and the storage fault land together.
+            if it >= kill.iteration and not kill.exhausted:
+                paths = store.list(key)
+                if paths:
+                    bit_rot_file(paths[0], campaign)
+            kill.check(it)
+
+        if resilient:
+            sup = supervised_solve(
+                w, b, tol=tol, store=store, campaign=campaign,
+                recompute_interval=3, on_checkpoint=chaos)
+            assert kill.exhausted, "solve converged before the kill"
+            if not sup.converged:
+                raise AssertionError("supervised solve did not converge")
+            true_rel = (b - w.apply(sup.result.x)).norm2() ** 0.5 \
+                / b.norm2() ** 0.5
+            if not math.isfinite(true_rel) or true_rel > 100.0 * tol:
+                raise SilentCorruption(
+                    f"supervised answer wrong: true residual "
+                    f"{true_rel:.3e}")
+        else:
+            from repro.engine.solve import solve_fermion
+
+            truth = {}
+
+            def naive_hook(it, x, true_rel):
+                chaos(it, x, true_rel)
+                arr = x.to_canonical()
+                truth[it] = arr
+                store.save(key, {"x": arr}, iteration=it,
+                           residual=true_rel, tol=tol)
+
+            try:
+                solve_fermion(w, b, method="cg", ft=True, tol=tol,
+                              recompute_interval=3,
+                              good_hook=naive_hook)
+            except SimulatedCrash:
+                # The naive restart: take the newest checkpoint at
+                # face value.  Its payload is rotted.
+                ck = read_checkpoint(store.list(key)[0], verify=False)
+                if not np.array_equal(ck.arrays["x"],
+                                      truth[ck.iteration]):
+                    raise SilentCorruption(
+                        "restarted from rotted checkpoint undetected"
+                    ) from None
+
+
 CAMPAIGN_CASES: tuple[CampaignCase, ...] = tuple(_REGISTRY)
+
+#: The composed chaos subset the CI smoke job runs: comms corruption,
+#: disk rot on checkpoints and archives, and the kill+rot crash cell.
+CHAOS_CASES: tuple[CampaignCase, ...] = tuple(
+    c for c in _REGISTRY
+    if c.category in ("disk", "crash") or c.name == "comms_corrupt_transient"
+)
 
 
 # ======================================================================
@@ -327,5 +491,16 @@ def run_default_campaign(seed: int = 0, resilient: bool = True,
                          vls=(256, 1024)):
     """The bundled campaign (all fault classes) over the given VLs."""
     return run_campaign_suite(CAMPAIGN_CASES,
+                              default_campaign_factory(seed),
+                              vls=vls, resilient=resilient)
+
+
+def run_chaos_campaign(seed: int = 0, resilient: bool = True,
+                       vls=(256,)):
+    """The composed chaos smoke: wire corruption + disk rot + crash
+    cells in one seeded run (the CI chaos job's entry point).  Gate
+    with :func:`repro.verification.suite.gate_outcomes` — with
+    resilience on, no cell may end in silent corruption."""
+    return run_campaign_suite(CHAOS_CASES,
                               default_campaign_factory(seed),
                               vls=vls, resilient=resilient)

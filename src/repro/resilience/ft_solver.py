@@ -86,6 +86,7 @@ def ft_conjugate_gradient(
     max_restarts: int = 3,
     drift_factor: float = 100.0,
     campaign=None,
+    good_hook: Callable = None,
 ) -> FTSolverResult:
     """CG with NaN guards, drift detection and checkpoint restart.
 
@@ -94,6 +95,15 @@ def ft_conjugate_gradient(
     non-finite, or exceeds ``drift_factor`` times the recursive
     residual, the state is declared corrupted and the solve restarts
     from the last iterate that passed a true-residual check.
+
+    ``good_hook(it, x, true_rel)``, if given, fires at exactly the
+    verified-good points — right after a true-residual check promotes
+    the iterate to ``good_x`` — which is where the supervisor persists
+    durable checkpoints: anything it captures there is state the
+    in-memory restart machinery itself would trust.  The hook observes
+    (it must not mutate ``x``) and feeds nothing back, so the iterates
+    are bit-identical with or without it; exceptions it raises (e.g. a
+    simulated crash) propagate to the caller.
     """
     x = b.new_like() if x0 is None else x0.copy()
     r = b - op(x) if x0 is not None else b.copy()
@@ -171,6 +181,8 @@ def ft_conjugate_gradient(
                     restarts=restarts, detected_events=events,
                     true_residual_checks=checks)
             good_x = x.copy()
+            if good_hook is not None:
+                good_hook(it, x, true_rel)
             if rel <= tol:
                 return FTSolverResult(
                     x=x, converged=True, iterations=it, residual=true_rel,

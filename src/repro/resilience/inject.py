@@ -13,6 +13,17 @@ The three system-fault classes a production lattice-QCD run meets:
   modelled by :mod:`repro.sve.faults`; campaigns absorb the ``fired``
   counters of a :class:`~repro.sve.faults.FaultModel` so all three
   classes report uniformly.
+* **Disk faults** — archived bytes rot (:func:`bit_rot_file`), files
+  are truncated (:func:`truncate_file`), or an in-place writer dies
+  mid-write leaving a zero-padded prefix (:func:`torn_write_file`).
+  These exercise the durable tier: gauge archives
+  (:mod:`repro.grid.io`) and the checkpoint store
+  (:mod:`repro.resilience.checkpoint`).
+* **Crashes** — :class:`KillAtIteration` raises
+  :class:`SimulatedCrash` at a scheduled solver iteration, modelling a
+  node loss mid-solve; the supervised runtime
+  (:mod:`repro.resilience.supervisor`) must resume from the newest
+  durable checkpoint.
 
 Everything is driven by one :class:`FaultCampaign` with a seed: the
 same seed replays the identical fault schedule, which is what makes
@@ -270,6 +281,123 @@ class FaultyMemory(Memory):
     def gather_elements(self, addrs, active, dtype):
         out = super().gather_elements(addrs, active, dtype)
         return self._maybe_flip(out, "gather")
+
+
+# ======================================================================
+# Disk faults (bit rot, truncation, torn writes)
+# ======================================================================
+
+def bit_rot_file(path, campaign: FaultCampaign, offset: int = None,
+                 bit: int = None) -> int:
+    """Flip one bit of the file at ``path`` in place (storage bit rot).
+
+    With ``offset`` unset the position is drawn from the campaign RNG
+    over the *second half* of the file — the payload region of every
+    format in this codebase (headers are a few hundred bytes, payloads
+    kilobytes), so the rot lands where only a payload checksum can
+    catch it.  Returns the flipped offset."""
+    import os
+
+    size = os.path.getsize(path)
+    if size == 0:
+        raise ValueError(f"{path}: cannot rot an empty file")
+    if offset is None:
+        offset = int(campaign.rng.integers(size // 2, size))
+    if bit is None:
+        bit = int(campaign.rng.integers(8))
+    with open(path, "r+b") as f:
+        f.seek(offset)
+        byte = f.read(1)[0]
+        f.seek(offset)
+        f.write(bytes([byte ^ (1 << bit)]))
+    campaign.record_fired("disk-bitrot", os.path.basename(path),
+                          detail=f"byte {offset} bit {bit}")
+    return offset
+
+
+def truncate_file(path, campaign: FaultCampaign, keep: int = None) -> int:
+    """Cut the tail off the file at ``path`` (interrupted copy, full
+    filesystem, lost append).  ``keep`` is the surviving byte count;
+    drawn from the campaign RNG when unset.  Returns it."""
+    import os
+
+    size = os.path.getsize(path)
+    if size < 2:
+        raise ValueError(f"{path}: too small to truncate")
+    if keep is None:
+        keep = int(campaign.rng.integers(1, size))
+    with open(path, "r+b") as f:
+        f.truncate(keep)
+    campaign.record_fired("disk-truncate", os.path.basename(path),
+                          detail=f"kept {keep} of {size} bytes")
+    return keep
+
+
+def torn_write_file(path, campaign: FaultCampaign, cut: int = None) -> int:
+    """Model a non-atomic in-place writer dying mid-write: the file
+    keeps its length but everything past ``cut`` is zeros (the
+    preallocated-but-unwritten tail).  This is exactly the failure the
+    atomic temp-file/rename discipline of :func:`repro.grid.io.
+    atomic_write` makes impossible.  Returns the cut offset."""
+    import os
+
+    size = os.path.getsize(path)
+    if size < 2:
+        raise ValueError(f"{path}: too small to tear")
+    if cut is None:
+        cut = int(campaign.rng.integers(1, size))
+    with open(path, "r+b") as f:
+        f.seek(cut)
+        f.write(b"\x00" * (size - cut))
+    campaign.record_fired("disk-torn-write", os.path.basename(path),
+                          detail=f"zeroed past byte {cut} of {size}")
+    return cut
+
+
+# ======================================================================
+# Crash simulation
+# ======================================================================
+
+class SimulatedCrash(RuntimeError):
+    """The process 'dies' here: raised by :class:`KillAtIteration` to
+    model node loss / OOM-kill / power cut mid-solve.  Recovery code
+    must treat it like any crash — nothing after the raise point ran."""
+
+
+class KillAtIteration:
+    """Kill the solve when its iteration counter reaches ``iteration``.
+
+    ``times`` controls how many attempts die (default 1: the classic
+    crash-then-restart scenario; higher values force the supervisor
+    down its degradation ladder).  The schedule records each kill into
+    the campaign ledger — the ground truth the classifier compares
+    detections against."""
+
+    def __init__(self, campaign: FaultCampaign, iteration: int,
+                 times: int = 1, name: str = "solve") -> None:
+        self.campaign = campaign
+        self.iteration = int(iteration)
+        self.times = int(times)
+        self.name = name
+        self.kills = 0
+
+    @property
+    def exhausted(self) -> bool:
+        return self.kills >= self.times
+
+    def check(self, iteration: int) -> None:
+        """Raise :class:`SimulatedCrash` when the schedule says so."""
+        if self.exhausted or iteration < self.iteration:
+            return
+        self.kills += 1
+        self.campaign.record_fired(
+            "crash-kill", self.name,
+            detail=f"killed at iteration {iteration} "
+                   f"(kill {self.kills}/{self.times})",
+        )
+        raise SimulatedCrash(
+            f"simulated crash at iteration {iteration} of {self.name}"
+        )
 
 
 # ======================================================================

@@ -1,0 +1,398 @@
+"""The supervised solve runtime: retry, resume, degrade, survive.
+
+:func:`repro.engine.solve_fermion` runs one attempt of one solver
+under one policy; the fault-tolerant recursions underneath it survive
+*in-process* hazards (SDC, breakdown, drift).  What neither survives
+is the attempt itself dying — a crash, a deadline overrun, a solver
+that stalls under an aggressive configuration.  :func:`supervised_solve`
+is the envelope that turns one fragile attempt into a run that ends in
+a classified outcome:
+
+* **Durable checkpoint/restart** — for fault-tolerant single-RHS CG,
+  every verified-good iterate (the ``good_hook`` seam of
+  :func:`~repro.resilience.ft_solver.ft_conjugate_gradient`) is
+  persisted through a :class:`~repro.resilience.checkpoint.
+  CheckpointStore`; each new attempt resumes from the newest valid
+  checkpoint instead of iteration zero.
+* **Watchdogs** — a per-attempt wall-clock deadline (checked at the
+  checkpoint seam, so a hung attempt is abandoned at the next
+  verified-good point), a per-attempt iteration budget, and
+  post-attempt classification of non-convergence into *stall*
+  (residual plateau), *divergence* (non-finite residual) or
+  *iteration-budget*.
+* **Seeded backoff** — retry delays grow exponentially with
+  deterministic jitter drawn from a seeded RNG (the campaign seed by
+  default), so a chaos run replays the identical schedule.
+* **The degradation ladder** — each non-crash failure escalates to the
+  next rung of :data:`DEGRADATION_LADDER`, a nested
+  ``engine.scope(...)`` override that trades performance for safety:
+  overlapped comms → ordered, fused kernels → layered, batched RHS →
+  per-column, and finally the reference path (engine off, mixed
+  precision collapsed to double).  Every rung computes bit-identical
+  numbers — the ladder changes *how*, never *what*.
+* **Circuit breakers** — attempt failures feed the per-operator
+  breaker (:mod:`repro.resilience.breaker`); a breaker left open by
+  previous failed solves makes the next call skip the as-configured
+  rung entirely and start degraded.
+
+On a pristine run the supervisor is a pass-through: one attempt, rung
+zero (no overrides), and the underlying result — bit-identical to
+calling :func:`solve_fermion` directly, checkpointing or not (the hook
+observes, copies, and feeds nothing back).
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from contextlib import ExitStack
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.engine.policy import scope
+from repro.resilience.breaker import breaker
+from repro.resilience.checkpoint import CheckpointStore, checkpoint_key
+from repro.resilience.inject import SimulatedCrash
+from repro.telemetry import metrics as _telemetry_metrics
+from repro.telemetry import trace as _telemetry
+
+
+class AttemptTimeout(RuntimeError):
+    """An attempt overran its wall-clock deadline and was abandoned."""
+
+
+@dataclass(frozen=True)
+class Rung:
+    """One step of the degradation ladder.
+
+    ``overrides`` feed ``engine.scope``; ``method`` (if set) replaces
+    a ``"mixed"`` solve — the last rung falls back to full double
+    precision, the safest arithmetic the stack has.
+    """
+
+    name: str
+    overrides: tuple = ()
+    method: Optional[str] = None
+
+    def scope_kwargs(self) -> dict:
+        return dict(self.overrides)
+
+
+#: Progressively safer execution configurations.  Later rungs disable
+#: more machinery; every rung is bit-identical in results (DESIGN §12).
+DEGRADATION_LADDER = (
+    Rung("as-configured"),
+    Rung("ordered-comms", (("overlap_comms", False),)),
+    Rung("layered-kernels", (("overlap_comms", False), ("fused", False))),
+    Rung("per-column", (("overlap_comms", False), ("fused", False),
+                        ("batching", False))),
+    Rung("reference", (("overlap_comms", False), ("fused", False),
+                       ("batching", False), ("enabled", False)),
+         method="cg"),
+)
+
+#: Outcomes that indicate the *configuration* may be at fault and the
+#: ladder should escalate.  A crash (node loss) says nothing about the
+#: configuration — the next attempt resumes at the same rung.
+_ESCALATE = frozenset(
+    {"stall", "divergence", "timeout", "iteration-budget", "error"}
+)
+
+
+@dataclass(frozen=True)
+class AttemptReport:
+    """What one attempt did, for the supervision ledger."""
+
+    attempt: int
+    rung: str
+    outcome: str          # converged | crash | timeout | stall |
+    #                       divergence | iteration-budget | error
+    iterations: int = 0
+    residual: float = float("nan")
+    resumed_from: Optional[int] = None
+    backoff: float = 0.0
+    detail: str = ""
+
+
+@dataclass
+class SuperviseResult:
+    """The supervised run: final result plus the attempt ledger."""
+
+    result: object = None
+    converged: bool = False
+    attempts: list = field(default_factory=list)
+    total_iterations: int = 0
+    checkpoints_saved: int = 0
+    resumes: int = 0
+    key: str = ""
+
+    @property
+    def rungs_used(self) -> list:
+        return [a.rung for a in self.attempts]
+
+
+def _count(name: str, n: int = 1) -> None:
+    if _telemetry.metrics_on():
+        _telemetry_metrics.registry().counter(name).inc(n)
+
+
+def _last_scalar(entry) -> float:
+    """A residual-history entry as one scalar (batched histories hold
+    per-column lists)."""
+    if isinstance(entry, (list, tuple)):
+        return max(entry) if entry else 0.0
+    return entry
+
+
+def classify_attempt(result, stall_window: int = 8,
+                     stall_improvement: float = 0.99) -> str:
+    """Post-attempt watchdog: name why a finished attempt is not done.
+
+    ``stall``: over the last ``stall_window`` recorded residuals the
+    best improvement factor is worse than ``stall_improvement`` — the
+    recursion is treading water and more iterations of the same
+    configuration will not help.  ``divergence``: the residual went
+    non-finite (the FT recursions bound this, the plain ones do not).
+    Otherwise ``iteration-budget``: still progressing, just out of
+    iterations.
+    """
+    if getattr(result, "converged", False):
+        return "converged"
+    residual = getattr(result, "residual", float("nan"))
+    if residual is not None and not math.isfinite(_last_scalar(residual)):
+        return "divergence"
+    history = getattr(result, "residual_history", None) or []
+    if len(history) > stall_window:
+        recent = [_last_scalar(h) for h in history[-(stall_window + 1):]]
+        if all(math.isfinite(r) for r in recent) and recent[0] > 0:
+            if min(recent[1:]) > stall_improvement * recent[0]:
+                return "stall"
+    return "iteration-budget"
+
+
+def backoff_schedule(rng, attempt: int, base: float, factor: float,
+                     jitter: float) -> float:
+    """Delay before retry ``attempt`` (1-based): exponential growth
+    with multiplicative jitter in ``[1, 1+jitter]`` drawn from the
+    seeded ``rng`` — deterministic per seed, desynchronised across
+    seeds (the thundering-herd cure)."""
+    if base <= 0.0:
+        return 0.0
+    return base * factor ** (attempt - 1) * (1.0 + jitter * rng.random())
+
+
+def supervised_solve(
+    operator,
+    b,
+    method: str = "cg",
+    ft: bool = True,
+    tol: float = 1e-8,
+    max_iter: int = 1000,
+    campaign=None,
+    policy=None,
+    store: Optional[CheckpointStore] = None,
+    max_attempts: int = 5,
+    deadline: Optional[float] = None,
+    iteration_budget: Optional[int] = None,
+    stall_window: int = 8,
+    stall_improvement: float = 0.99,
+    backoff_base: float = 0.0,
+    backoff_factor: float = 2.0,
+    backoff_jitter: float = 0.25,
+    seed: Optional[int] = None,
+    ladder: tuple = DEGRADATION_LADDER,
+    on_checkpoint: Optional[Callable] = None,
+    sleep: Callable = time.sleep,
+    **kwargs,
+) -> SuperviseResult:
+    """Run :func:`~repro.engine.solve.solve_fermion` under supervision.
+
+    Parameters beyond the ``solve_fermion`` surface:
+
+    ``store``
+        A :class:`~repro.resilience.checkpoint.CheckpointStore`;
+        enables durable checkpoint/resume (fault-tolerant single-RHS
+        ``"cg"`` only — the one family with a verified-good seam).
+    ``max_attempts`` / ``deadline`` / ``iteration_budget``
+        The retry budget, per-attempt wall-clock limit (seconds), and
+        per-attempt iteration cap.
+    ``backoff_base`` / ``backoff_factor`` / ``backoff_jitter`` / ``seed``
+        Retry-delay schedule; the jitter RNG seeds from ``seed``, else
+        the campaign's seed, else 0 — same seed, same schedule.  The
+        default ``backoff_base=0.0`` disables sleeping (tests and
+        in-process retries want throughput, not politeness).
+    ``ladder``
+        The degradation rungs (see :data:`DEGRADATION_LADDER`).
+    ``on_checkpoint``
+        Observer called ``(iteration, x, true_rel)`` at each
+        verified-good point *before* the checkpoint is written —
+        the seam fault campaigns hang a
+        :class:`~repro.resilience.inject.KillAtIteration` on (a crash
+        there models dying before the save hit disk).
+    ``sleep``
+        Injectable clock for the backoff (tests pass a recorder).
+
+    Returns a :class:`SuperviseResult`; ``.result`` is the underlying
+    solver result of the final attempt (bit-identical to an
+    unsupervised solve when nothing went wrong).
+    """
+    import numpy as np
+
+    if max_attempts < 1:
+        raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+    from repro.engine.solve import solve_fermion
+    from repro.grid.wilson import is_spinor_batch
+
+    batched = is_spinor_batch(b.tensor_shape)
+    if seed is None:
+        seed = campaign.seed if campaign is not None else 0
+    rng = np.random.default_rng(seed)
+    attempt_iters = (max_iter if iteration_budget is None
+                     else min(max_iter, int(iteration_budget)))
+
+    br = breaker(f"solve.{type(operator).__name__}")
+    sup = SuperviseResult()
+    # An already-open breaker (earlier solves kept failing) starts the
+    # run pre-degraded: skip the as-configured rung.
+    rung_idx = 0 if br.allow() else min(1, len(ladder) - 1)
+
+    with _telemetry.span("supervised_solve",
+                         operator=type(operator).__name__, method=method,
+                         max_attempts=max_attempts):
+        first_failure_at = None
+        for attempt in range(1, max_attempts + 1):
+            rung = ladder[rung_idx]
+            eff_method = (rung.method
+                          if rung.method is not None and method == "mixed"
+                          else method)
+            attempt_kwargs = dict(kwargs)
+            if eff_method != method:
+                # Collapsing mixed -> double drops the kwargs only the
+                # mixed defect-correction loop understands.
+                for k in ("max_outer", "max_inner", "inner_tol"):
+                    attempt_kwargs.pop(k, None)
+            ckpt_on = (store is not None and eff_method == "cg" and ft
+                       and not batched)
+            resumed_from = None
+            base_it = 0
+            if ckpt_on:
+                if not sup.key:
+                    sup.key = checkpoint_key(operator, b, tol)
+                ck = store.load_latest(sup.key)
+                if ck is not None:
+                    attempt_kwargs["x0"] = b.new_like().from_canonical(
+                        ck.arrays["x"])
+                    base_it = resumed_from = ck.iteration
+                    sup.resumes += 1
+                    _count("supervisor.resumes")
+
+            t0 = time.monotonic()
+
+            def good_hook(it, x, true_rel, _base=base_it, _t0=t0):
+                # Order matters: a simulated crash fires *before* the
+                # save (the state at this point never reached disk); a
+                # deadline overrun aborts *after* it (graceful abandon
+                # keeps the verified progress for the next attempt).
+                if on_checkpoint is not None:
+                    on_checkpoint(_base + it, x, true_rel)
+                store.save(sup.key, {"x": x.to_canonical()},
+                           iteration=_base + it, residual=true_rel,
+                           tol=tol)
+                sup.checkpoints_saved += 1
+                if deadline is not None and \
+                        time.monotonic() - _t0 > deadline:
+                    raise AttemptTimeout(
+                        f"attempt exceeded {deadline}s deadline"
+                    )
+
+            if ckpt_on:
+                attempt_kwargs["good_hook"] = good_hook
+
+            _count("supervisor.attempts")
+            result, outcome, detail = None, "error", ""
+            try:
+                with ExitStack() as stack:
+                    # The user policy scopes first, rung overrides
+                    # nest inside it (scope overrides compose with the
+                    # resolved policy) — passing ``policy`` down to
+                    # solve_fermion instead would *replace* the
+                    # resolved policy and silently undo the ladder.
+                    if policy is not None:
+                        stack.enter_context(scope(policy))
+                    if rung.overrides:
+                        stack.enter_context(
+                            scope(**rung.scope_kwargs()))
+                    result = solve_fermion(
+                        operator, b, method=eff_method, ft=ft, tol=tol,
+                        max_iter=attempt_iters, campaign=campaign,
+                        **attempt_kwargs)
+                outcome = classify_attempt(
+                    result, stall_window=stall_window,
+                    stall_improvement=stall_improvement)
+            except SimulatedCrash as exc:
+                outcome, detail = "crash", str(exc)
+                _count("supervisor.crashes")
+            except AttemptTimeout as exc:
+                outcome, detail = "timeout", str(exc)
+            except Exception as exc:  # noqa: BLE001 - supervised runtime
+                outcome, detail = "error", f"{type(exc).__name__}: {exc}"
+
+            iters = int(getattr(result, "iterations", 0) or 0)
+            sup.total_iterations += iters
+            sup.attempts.append(AttemptReport(
+                attempt=attempt, rung=rung.name, outcome=outcome,
+                iterations=iters,
+                residual=_last_scalar(
+                    getattr(result, "residual", float("nan"))),
+                resumed_from=resumed_from, detail=detail))
+            _telemetry.event("supervisor.attempt", attempt=attempt,
+                             rung=rung.name, outcome=outcome,
+                             iterations=iters)
+
+            if outcome == "converged":
+                sup.result = result
+                sup.converged = True
+                br.record_success()
+                _count("supervisor.converged")
+                if first_failure_at is not None:
+                    if campaign is not None:
+                        campaign.record_recovered(
+                            f"supervisor: converged on attempt "
+                            f"{attempt} after "
+                            f"{sup.attempts[-2].outcome}"
+                        )
+                    if _telemetry.metrics_on():
+                        _telemetry_metrics.registry().histogram(
+                            "supervisor.recovery_time").observe(
+                            time.monotonic() - first_failure_at)
+                return sup
+
+            sup.result = result
+            br.record_failure(outcome)
+            if campaign is not None:
+                # The injector records the *fired* crash (ground
+                # truth); catching it here is the *detection* — the
+                # two ledger streams the classifier compares.
+                campaign.record_detected(
+                    f"supervisor: attempt {attempt} {outcome}"
+                    + (f" ({detail})" if detail else "")
+                )
+            if first_failure_at is None:
+                first_failure_at = time.monotonic()
+            if attempt == max_attempts:
+                break
+            _count("supervisor.retries")
+            if outcome in _ESCALATE and rung_idx < len(ladder) - 1:
+                rung_idx += 1
+                _count("supervisor.degradations")
+                _telemetry.event("supervisor.degrade",
+                                 to=ladder[rung_idx].name, why=outcome)
+            delay = backoff_schedule(rng, attempt, backoff_base,
+                                     backoff_factor, backoff_jitter)
+            if delay > 0.0:
+                sup.attempts[-1] = AttemptReport(
+                    **{**sup.attempts[-1].__dict__, "backoff": delay})
+                sleep(delay)
+
+    _count("supervisor.exhausted")
+    return sup

@@ -30,6 +30,22 @@ class BackendDegradedWarning(UserWarning):
     """A SIMD backend raised and the run fell back to ``generic``."""
 
 
+def _feed_breaker(backend_name: str, error: str) -> None:
+    """Report the degradation to the per-subsystem circuit breaker.
+
+    Sticky degradation already *is* an open breaker for this instance;
+    the registry entry makes the event visible to the supervisor and
+    telemetry.  Function-level import: :mod:`repro.resilience` sits
+    above this layer, so importing it here at module scope would be a
+    cycle.  One failure opens the breaker — same semantics as the
+    sticky fallback itself.
+    """
+    from repro.resilience.breaker import breaker
+
+    breaker(f"simd.{backend_name}",
+            failure_threshold=1).record_failure(error)
+
+
 @dataclass(frozen=True)
 class DegradeEvent:
     """Record of one backend degradation."""
@@ -92,6 +108,7 @@ class ResilientBackend(SimdBackend):
                 event = DegradeEvent(backend=self.primary.name, op=op,
                                      error=f"{type(exc).__name__}: {exc}")
                 self.events.append(event)
+                _feed_breaker(self.primary.name, event.error)
                 warnings.warn(
                     f"backend {self.primary.name!r} failed in {op!r} "
                     f"({event.error}); degrading to "

@@ -235,6 +235,24 @@ class CampaignReport:
         return "\n".join(lines)
 
 
+def gate_outcomes(
+    report: "CampaignReport",
+    allowed: Sequence[str] = ("pass", "recovered", "detected"),
+) -> list:
+    """Cells whose outcome is not in ``allowed`` — the CI chaos gate.
+
+    The default allows everything except ``fail``: a chaos run may
+    sail through, recover, or at least *notice* its faults, but a
+    silent corruption fails the build.  Returns the offending cells
+    (empty list = gate passed) so the caller can print them.
+    """
+    for a in allowed:
+        if a not in CAMPAIGN_OUTCOMES:
+            raise ValueError(f"unknown outcome {a!r}; known: "
+                             f"{CAMPAIGN_OUTCOMES}")
+    return [c for c in report.cells if c.outcome not in allowed]
+
+
 def _classify(campaign, error: Optional[BaseException]) -> str:
     if error is None:
         return "recovered" if campaign.recovered > 0 else "pass"

@@ -1,0 +1,138 @@
+"""Durability tests for gauge-configuration I/O.
+
+The hazard model: a process dies mid-save, or the archived bytes rot
+on disk.  :func:`save_gauge` must be atomic (a crash never tears the
+file under the target name) and :func:`load_gauge` must reject any
+payload whose CRC-32 no longer matches the header — *before* the
+per-link checks, so even corruption the rounded per-link checksums
+would mask is caught.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.grid.cartesian import GridCartesian
+from repro.grid.io import (
+    ConfigFormatError,
+    ConfigHeader,
+    atomic_write,
+    load_gauge,
+    save_gauge,
+)
+from repro.grid.random import random_gauge
+from repro.simd import get_backend
+
+DIMS = [4, 4, 4, 4]
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return GridCartesian(DIMS, get_backend("generic256"))
+
+
+@pytest.fixture(scope="module")
+def hot(grid):
+    return random_gauge(grid, seed=17)
+
+
+def _links_equal(a, b):
+    return all(np.array_equal(x.data, y.data) for x, y in zip(a, b))
+
+
+class TestAtomicSave:
+    def test_no_stray_temp_files(self, grid, hot, tmp_path):
+        save_gauge(tmp_path / "cfg.bin", hot, grid)
+        assert sorted(os.listdir(tmp_path)) == ["cfg.bin"]
+
+    def test_crash_during_write_preserves_old_file(self, grid, hot,
+                                                   tmp_path, monkeypatch):
+        path = tmp_path / "cfg.bin"
+        save_gauge(path, hot, grid, note="good")
+        good = path.read_bytes()
+
+        def boom(tmp, dst):
+            raise OSError("simulated crash before rename")
+
+        monkeypatch.setattr(os, "replace", boom)
+        cold = random_gauge(grid, seed=99)
+        with pytest.raises(OSError):
+            save_gauge(path, cold, grid, note="never lands")
+        monkeypatch.undo()
+        # The old file is untouched and no temp debris remains.
+        assert path.read_bytes() == good
+        assert sorted(os.listdir(tmp_path)) == ["cfg.bin"]
+        assert _links_equal(load_gauge(path, grid), hot)
+
+    def test_atomic_write_cleans_temp_on_failure(self, tmp_path,
+                                                 monkeypatch):
+        def boom(tmp, dst):
+            raise OSError("no rename")
+
+        monkeypatch.setattr(os, "replace", boom)
+        with pytest.raises(OSError):
+            atomic_write(tmp_path / "x.bin", b"payload")
+        monkeypatch.undo()
+        assert os.listdir(tmp_path) == []
+
+
+class TestPayloadCRC:
+    def test_round_trip_carries_crc(self, grid, hot, tmp_path):
+        path = tmp_path / "cfg.bin"
+        header = save_gauge(path, hot, grid)
+        assert header.payload_crc is not None
+        assert _links_equal(load_gauge(path, grid), hot)
+
+    def test_bit_rot_rejected_before_link_checks(self, grid, hot,
+                                                 tmp_path):
+        path = tmp_path / "cfg.bin"
+        save_gauge(path, hot, grid)
+        raw = bytearray(path.read_bytes())
+        end = raw.index(b"END_HEADER")
+        # Flip one low mantissa bit deep in the payload: the rounded
+        # per-link checksum would not notice, the CRC must.
+        raw[end + 4096] ^= 0x01
+        path.write_bytes(bytes(raw))
+        with pytest.raises(ConfigFormatError, match="CRC"):
+            load_gauge(path, grid)
+
+    def test_truncation_rejected(self, grid, hot, tmp_path):
+        path = tmp_path / "cfg.bin"
+        save_gauge(path, hot, grid)
+        raw = path.read_bytes()
+        path.write_bytes(raw[:-64])
+        with pytest.raises(ConfigFormatError):
+            load_gauge(path, grid)
+
+    def test_verify_false_skips_crc(self, grid, hot, tmp_path):
+        path = tmp_path / "cfg.bin"
+        save_gauge(path, hot, grid)
+        raw = bytearray(path.read_bytes())
+        end = raw.index(b"END_HEADER")
+        raw[end + 4096] ^= 0x01
+        path.write_bytes(bytes(raw))
+        load_gauge(path, grid, verify=False)  # no exception
+
+    def test_legacy_file_without_crc_still_loads(self, grid, hot,
+                                                 tmp_path):
+        path = tmp_path / "cfg.bin"
+        header = save_gauge(path, hot, grid)
+        raw = path.read_bytes()
+        end = raw.index(b"END_HEADER")
+        end = raw.index(b"\n", end) + 1
+        legacy_header = ConfigHeader(
+            dims=header.dims, dtype=header.dtype,
+            plaquette=header.plaquette, checksums=header.checksums,
+            note=header.note, payload_crc=None,
+        )
+        assert b"payload_crc" not in legacy_header.render().encode()
+        path.write_bytes(legacy_header.render().encode() + raw[end:])
+        assert _links_equal(load_gauge(path, grid), hot)
+
+    def test_header_round_trips_crc(self):
+        h = ConfigHeader(dims=[4, 4, 4, 4], dtype="complex128",
+                         plaquette=0.5, checksums=["ab", "cd"],
+                         payload_crc=123456789)
+        back = ConfigHeader.parse(h.render())
+        assert back.payload_crc == 123456789

@@ -1,0 +1,198 @@
+"""Circuit breaker state machine, registry, and simd wiring."""
+
+import numpy as np
+import pytest
+
+import repro.telemetry as telemetry
+from repro.resilience.breaker import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    CircuitBreaker,
+    all_breakers,
+    breaker,
+    reset_breakers,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_registry():
+    reset_breakers()
+    yield
+    reset_breakers()
+
+
+class TestStateMachine:
+    def test_starts_closed_and_allows(self):
+        br = CircuitBreaker("t")
+        assert br.state == CLOSED
+        assert br.allow()
+
+    def test_opens_at_threshold(self):
+        br = CircuitBreaker("t", failure_threshold=3)
+        br.record_failure()
+        br.record_failure()
+        assert br.state == CLOSED
+        br.record_failure()
+        assert br.state == OPEN
+        assert not br.allow()
+
+    def test_success_resets_consecutive_count(self):
+        br = CircuitBreaker("t", failure_threshold=2)
+        br.record_failure()
+        br.record_success()
+        br.record_failure()
+        assert br.state == CLOSED  # never two consecutive
+
+    def test_cooldown_is_count_based(self):
+        br = CircuitBreaker("t", failure_threshold=1, cooldown=3)
+        br.record_failure()
+        # Exactly `cooldown` denials, then probation.
+        assert [br.allow() for _ in range(3)] == [False] * 3
+        assert br.state == HALF_OPEN
+        assert br.allow()  # probe admitted
+
+    def test_probation_success_closes(self):
+        br = CircuitBreaker("t", failure_threshold=1, cooldown=1,
+                            probation_probes=2)
+        br.record_failure()
+        br.allow()
+        assert br.state == HALF_OPEN
+        br.record_success()
+        assert br.state == HALF_OPEN
+        br.record_success()
+        assert br.state == CLOSED
+        assert br.allow()
+
+    def test_probe_failure_reopens_and_recools(self):
+        br = CircuitBreaker("t", failure_threshold=1, cooldown=2)
+        br.record_failure()
+        br.allow(), br.allow()
+        assert br.state == HALF_OPEN
+        br.record_failure("probe still broken")
+        assert br.state == OPEN
+        # The cooldown restarted: two more denials to reach probation.
+        assert not br.allow()
+        assert br.state == OPEN
+        assert not br.allow()
+        assert br.state == HALF_OPEN
+
+    def test_transitions_ledgered(self):
+        br = CircuitBreaker("t", failure_threshold=1, cooldown=1)
+        br.record_failure("x")
+        br.allow()
+        br.record_success()
+        path = [(e.frm, e.to) for e in br.events]
+        assert path == [(CLOSED, OPEN), (OPEN, HALF_OPEN),
+                        (HALF_OPEN, CLOSED)]
+
+    def test_reset_returns_to_pristine(self):
+        br = CircuitBreaker("t", failure_threshold=1)
+        br.record_failure()
+        br.reset()
+        assert br.state == CLOSED
+        assert br.events == []
+        assert br.allow()
+
+    def test_validation(self):
+        for kw in ({"failure_threshold": 0}, {"cooldown": 0},
+                   {"probation_probes": 0}):
+            with pytest.raises(ValueError):
+                CircuitBreaker("t", **kw)
+
+    def test_deterministic_replay(self):
+        """Same event sequence -> same state path, twice."""
+        def run():
+            br = CircuitBreaker("t", failure_threshold=2, cooldown=2)
+            ops = ["f", "f", "a", "a", "a", "s", "f", "a", "a", "a"]
+            trace = []
+            for op in ops:
+                if op == "f":
+                    br.record_failure()
+                elif op == "s":
+                    br.record_success()
+                else:
+                    br.allow()
+                trace.append(br.state)
+            return trace
+
+        assert run() == run()
+
+
+class TestRegistry:
+    def test_get_or_create(self):
+        assert breaker("a") is breaker("a")
+        assert breaker("a") is not breaker("b")
+
+    def test_same_respec_is_noop(self):
+        breaker("a", failure_threshold=5)
+        assert breaker("a", failure_threshold=5).failure_threshold == 5
+
+    def test_conflicting_respec_raises(self):
+        breaker("a", failure_threshold=5)
+        with pytest.raises(ValueError):
+            breaker("a", failure_threshold=2)
+
+    def test_reset_breakers_counts_tripped(self):
+        breaker("ok")
+        breaker("bad", failure_threshold=1).record_failure()
+        assert reset_breakers() == 1
+        assert all_breakers() == {}
+
+
+class TestTelemetry:
+    def test_transition_counters(self):
+        from repro import engine
+
+        with engine.scope(telemetry="metrics"):
+            br = breaker("t", failure_threshold=1, cooldown=1)
+            br.record_failure()
+            br.allow()
+            br.record_success()
+            snap = telemetry.snapshot()
+        assert snap["breaker.opened"] == 1
+        assert snap["breaker.half_open"] == 1
+        assert snap["breaker.closed"] == 1
+
+    def test_collector_reports_live_state(self):
+        breaker("bad", failure_threshold=1).record_failure()
+        breaker("probing", failure_threshold=1, cooldown=1)
+        b = breaker("probing")
+        b.record_failure()
+        b.allow()
+        snap = telemetry.snapshot()
+        assert snap["breaker.live"] == 2
+        assert snap["breaker.open_now"] == 1
+        assert snap["breaker.half_open_now"] == 1
+
+    def test_collector_zero_after_reset(self):
+        breaker("bad", failure_threshold=1).record_failure()
+        reset_breakers()
+        telemetry.reset()
+        snap = telemetry.snapshot()
+        assert snap["breaker.live"] == 0
+        assert snap["breaker.open_now"] == 0
+        assert snap["breaker.half_open_now"] == 0
+
+
+class TestSimdWiring:
+    def test_backend_degradation_opens_breaker(self):
+        from repro.simd import get_backend
+        from repro.simd.resilient import (
+            BackendDegradedWarning,
+            ResilientBackend,
+        )
+
+        primary = get_backend("generic256")
+        rb = ResilientBackend(primary)
+
+        def boom(*a, **k):
+            raise RuntimeError("illegal instruction")
+
+        primary.mul = boom
+        a = np.ones((4, 2), dtype=np.complex128)
+        with pytest.warns(BackendDegradedWarning):
+            rb.mul(a, a)
+        br = all_breakers()[f"simd.{primary.name}"]
+        assert br.state == OPEN
+        assert rb.degraded

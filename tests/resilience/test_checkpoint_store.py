@@ -1,0 +1,197 @@
+"""Durable checkpoint store: round trips, atomicity, quarantine,
+retention, keying."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.grid.cartesian import GridCartesian
+from repro.grid.random import random_gauge, random_spinor
+from repro.grid.wilson import WilsonDirac
+from repro.resilience.checkpoint import (
+    Checkpoint,
+    CheckpointCorrupt,
+    CheckpointStore,
+    checkpoint_key,
+    load_gauge_state,
+    policy_fingerprint,
+    read_checkpoint,
+    save_gauge_state,
+)
+from repro.resilience.inject import FaultCampaign
+from repro.simd import get_backend
+
+
+@pytest.fixture
+def store(tmp_path):
+    return CheckpointStore(tmp_path / "ckpt", retention=3)
+
+
+def _arrays(seed=0, n=64):
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(n, 4, 3)) + 1j * rng.normal(size=(n, 4, 3))
+    return {"x": x, "history": rng.random(7)}
+
+
+class TestRoundTrip:
+    def test_save_load_bit_identical(self, store):
+        arrays = _arrays(1)
+        store.save("k", arrays, iteration=10, residual=1e-3, tol=1e-8)
+        ck = store.load_latest("k")
+        assert ck is not None
+        assert ck.iteration == 10
+        assert ck.residual == 1e-3
+        assert ck.tol == 1e-8
+        assert ck.key == "k"
+        assert set(ck.arrays) == {"x", "history"}
+        for name in arrays:
+            assert np.array_equal(ck.arrays[name], arrays[name])
+            assert ck.arrays[name].dtype == arrays[name].dtype
+
+    def test_policy_fingerprint_recorded(self, store):
+        store.save("k", _arrays(), iteration=1)
+        ck = store.load_latest("k")
+        assert ck.policy == policy_fingerprint()
+        assert "backend=" in ck.policy
+
+    def test_newest_wins(self, store):
+        store.save("k", _arrays(1), iteration=10)
+        store.save("k", _arrays(2), iteration=20)
+        assert store.load_latest("k").iteration == 20
+
+    def test_missing_key_returns_none(self, store):
+        assert store.load_latest("nothing") is None
+
+    def test_same_iteration_overwrites_atomically(self, store):
+        store.save("k", _arrays(1), iteration=10)
+        store.save("k", _arrays(2), iteration=10)
+        ck = store.load_latest("k")
+        assert np.array_equal(ck.arrays["x"], _arrays(2)["x"])
+        assert len(store.list("k")) == 1
+
+    def test_keys_are_isolated(self, store):
+        store.save("a", _arrays(1), iteration=5)
+        store.save("b", _arrays(2), iteration=9)
+        assert store.load_latest("a").iteration == 5
+        assert store.load_latest("b").iteration == 9
+
+
+class TestRetention:
+    def test_prune_keeps_newest(self, store):
+        for it in (10, 20, 30, 40, 50):
+            store.save("k", _arrays(it), iteration=it)
+        paths = store.list("k")
+        assert len(paths) == 3
+        assert store.load_latest("k").iteration == 50
+        iters = [read_checkpoint(p).iteration for p in paths]
+        assert iters == [50, 40, 30]
+
+    def test_retention_validated(self, tmp_path):
+        with pytest.raises(ValueError):
+            CheckpointStore(tmp_path, retention=0)
+
+
+class TestQuarantine:
+    def _corrupt_payload(self, path):
+        raw = bytearray(open(path, "rb").read())
+        end = raw.index(b"END_CKPT")
+        end = raw.index(b"\n", end) + 1
+        raw[end + 8] ^= 0x10
+        open(path, "wb").write(bytes(raw))
+
+    def test_bit_rot_falls_back_to_older(self, store):
+        store.save("k", _arrays(1), iteration=10)
+        store.save("k", _arrays(2), iteration=20)
+        newest = store.list("k")[0]
+        self._corrupt_payload(newest)
+        ck = store.load_latest("k")
+        assert ck.iteration == 10
+        assert np.array_equal(ck.arrays["x"], _arrays(1)["x"])
+        assert store.quarantines == 1
+        assert len(store.quarantined()) == 1
+        assert not os.path.exists(newest)
+
+    def test_truncation_detected(self, store):
+        store.save("k", _arrays(1), iteration=10)
+        path = store.list("k")[0]
+        raw = open(path, "rb").read()
+        open(path, "wb").write(raw[:-32])
+        assert store.load_latest("k") is None
+        assert store.quarantines == 1
+
+    def test_campaign_ledger_fed(self, store):
+        campaign = FaultCampaign(seed=0)
+        store.campaign = campaign
+        store.save("k", _arrays(1), iteration=10)
+        store.save("k", _arrays(2), iteration=20)
+        self._corrupt_payload(store.list("k")[0])
+        ck = store.load_latest("k")
+        assert ck.iteration == 10
+        assert campaign.detected == 1
+        assert campaign.recovered == 1
+
+    def test_unverified_read_returns_corrupt_data(self, store):
+        """The naive reader the CRC exists to replace: it happily
+        returns rotted bytes."""
+        store.save("k", _arrays(1), iteration=10)
+        path = store.list("k")[0]
+        self._corrupt_payload(path)
+        with pytest.raises(CheckpointCorrupt):
+            read_checkpoint(path, verify=True)
+        naive = read_checkpoint(path, verify=False)
+        assert not np.array_equal(naive.arrays["x"], _arrays(1)["x"])
+
+    def test_garbage_file_quarantined(self, store):
+        store.save("k", _arrays(1), iteration=10)
+        d = os.path.dirname(store.list("k")[0])
+        open(os.path.join(d, "ckpt-00000099.ckpt"), "wb").write(
+            b"\x00" * 128)
+        ck = store.load_latest("k")
+        assert ck.iteration == 10
+        assert store.quarantines == 1
+
+
+class TestKeying:
+    def test_key_changes_with_inputs(self):
+        be = get_backend("generic256")
+        grid = GridCartesian([4, 4, 4, 4], be)
+        w1 = WilsonDirac(random_gauge(grid, seed=1), mass=0.1)
+        w2 = WilsonDirac(random_gauge(grid, seed=2), mass=0.1)
+        b1 = random_spinor(grid, seed=3)
+        b2 = random_spinor(grid, seed=4)
+        k = checkpoint_key(w1, b1, 1e-8)
+        assert k == checkpoint_key(w1, b1, 1e-8)  # stable
+        assert k != checkpoint_key(w2, b1, 1e-8)  # gauge hash
+        assert k != checkpoint_key(w1, b2, 1e-8)  # source hash
+        assert k != checkpoint_key(w1, b1, 1e-6)  # tolerance
+        assert "WilsonDirac" in k
+
+    def test_key_mismatch_inside_file_quarantined(self, store):
+        store.save("a", _arrays(1), iteration=5)
+        # Copy a's checkpoint into b's directory (simulated mis-file).
+        src = store.list("a")[0]
+        ck = Checkpoint(key="a", iteration=5, residual=0.0, tol=0.0)
+        bdir = store._keydir("b")
+        os.makedirs(bdir, exist_ok=True)
+        os.replace(src, os.path.join(bdir, "ckpt-00000005.ckpt"))
+        assert ck.key == "a"
+        assert store.load_latest("b") is None
+        assert store.quarantines == 1
+
+
+class TestGaugeState:
+    def test_gauge_round_trip(self, store):
+        be = get_backend("generic256")
+        grid = GridCartesian([4, 4, 4, 4], be)
+        links = random_gauge(grid, seed=11)
+        save_gauge_state(store, "gauge", links)
+        back = load_gauge_state(store, "gauge", grid)
+        assert back is not None
+        for a, b in zip(back, links):
+            assert np.array_equal(a.data, b.data)
+
+    def test_missing_gauge_returns_none(self, store):
+        be = get_backend("generic256")
+        grid = GridCartesian([4, 4, 4, 4], be)
+        assert load_gauge_state(store, "nope", grid) is None

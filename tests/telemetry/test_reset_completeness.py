@@ -5,10 +5,12 @@ telemetry registry, so ``engine.reset_all()`` has one provable
 postcondition: a snapshot taken right after it shows **every** metric
 at zero and the trace buffer empty.  This test runs the three
 counter-feeding workloads — a distributed Wilson-Dslash (comms stats +
-halo telemetry), a CG solve (solve counters + spans), and a fault
-campaign (fault counters + events) — then resets once and sweeps the
-whole snapshot.  A future counter added outside the registry, or a
-reset path that misses one, fails here by name."""
+halo telemetry), a CG solve (solve counters + spans), a fault
+campaign (fault counters + events), and a supervised solve with a
+checkpoint store and a tripped circuit breaker (supervisor/checkpoint
+counters + breaker state) — then resets once and sweeps the whole
+snapshot.  A future counter added outside the registry, or a reset
+path that misses one, fails here by name."""
 
 import repro.engine as engine
 import repro.telemetry as telemetry
@@ -18,16 +20,19 @@ from repro.grid.comms import DistributedLattice
 from repro.grid.dist_wilson import DistributedWilson, distribute_gauge
 from repro.grid.random import random_gauge, random_spinor
 from repro.grid.wilson import WilsonDirac
+from repro.resilience.breaker import all_breakers, breaker
+from repro.resilience.checkpoint import CheckpointStore
 from repro.resilience.inject import FaultCampaign
+from repro.resilience.supervisor import supervised_solve
 from repro.simd import get_backend
 
 DIMS = [4, 4, 4, 4]
 MPI = [2, 1, 1, 1]
 
 
-def _run_everything():
-    """Dslash + CG + campaign under full tracing; returns the
-    mid-flight snapshot (for the non-triviality check)."""
+def _run_everything(ckpt_dir):
+    """Dslash + CG + campaign + supervised solve under full tracing;
+    returns the mid-flight snapshot (for the non-triviality check)."""
     be = get_backend("generic256")
     grid = GridCartesian(DIMS, be)
     links = random_gauge(grid, seed=11)
@@ -48,33 +53,51 @@ def _run_everything():
         campaign.record_fired("field-bitflip", "psi")
         campaign.record_detected("nan-guard")
         campaign.record_recovered("restart")
+        # Supervised solve: checkpoint saves + supervisor counters,
+        # and a breaker tripped open by a starved retry loop.
+        supervised_solve(w, psi, tol=1e-6,
+                         store=CheckpointStore(ckpt_dir),
+                         recompute_interval=5, max_iter=100)
+        supervised_solve(w, psi, tol=1e-14, max_iter=1,
+                         max_attempts=3)
+        breaker("audit.subsystem", failure_threshold=1).record_failure()
         return telemetry.snapshot()
 
 
 class TestResetCompleteness:
-    def test_one_reset_zeroes_every_metric_and_span(self):
-        mid = _run_everything()
+    def test_one_reset_zeroes_every_metric_and_span(self, tmp_path):
+        mid = _run_everything(tmp_path)
 
         # Non-trivial: each workload actually fed its counters.
         assert mid["comms.messages"] > 0
-        assert mid["solve.calls"] == 1
+        assert mid["solve.calls"] >= 1
         assert mid["solve.iterations"] > 0
         assert mid["fault.fired"] == 1
         assert mid["fault.detected"] == 1
         assert mid["fault.recovered"] == 1
         assert mid["perf.halo_posts"] > 0
+        assert mid["supervisor.attempts"] >= 4
+        assert mid["supervisor.retries"] >= 2
+        assert mid["checkpoint.saves"] >= 1
+        assert mid["breaker.opened"] >= 1
+        assert mid["breaker.live"] >= 2
+        assert mid["breaker.open_now"] >= 1
         assert len(telemetry.buffer()) > 0
 
         summary = engine.reset_all()
         assert summary["counters_reset"] is True
         assert summary["telemetry_metrics_reset"] > 0
         assert summary["telemetry_spans_cleared"] > 0
+        assert summary["breakers_tripped"] >= 1
 
         after = telemetry.snapshot()
         nonzero = {k: v for k, v in after.items() if v != 0}
         assert nonzero == {}, f"metrics survived reset_all: {nonzero}"
         assert len(telemetry.buffer()) == 0
         assert telemetry.spans() == []
+        # The breaker registry itself is empty, not just closed: a
+        # rerun cannot inherit stale thresholds or probation state.
+        assert all_breakers() == {}
 
     def test_counters_false_spares_telemetry(self):
         telemetry.count("audit.counter", 2)
