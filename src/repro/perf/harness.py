@@ -430,6 +430,44 @@ def bench_supervisor(dims=(4, 4, 4, 4), tol: float = 1e-8,
     return rec
 
 
+def bench_scenarios(seed: int = 0, max_cells: int = 12) -> BenchRecord:
+    """A pinned slice of the scenario matrix (DESIGN §13).
+
+    Runs the first ``max_cells`` fault-free and disk-fault cells of
+    the seed-0 pairwise sample — the deterministic core of the CI
+    ``scenario-matrix`` job — and gates on the machine-independent
+    quantities: cell/outcome counts (exact: the sample is a pure
+    function of (spec, seed)) and zero silent corruptions.  The
+    memory/comms fault cells are excluded here on purpose: their
+    outcome texture is the full matrix job's concern; this bench pins
+    the bit-identity core and tracks its wall cost.
+    """
+    from repro.scenarios.defaults import default_spec
+    from repro.scenarios.runner import run_cases
+    from repro.scenarios.sampler import filter_cases, pairwise_sample
+
+    spec = default_spec()
+    cases = filter_cases(pairwise_sample(spec, seed=seed),
+                         "!fault=memory,!fault=comms")[:max_cells]
+    t0 = time.perf_counter()
+    matrix = run_cases(spec, cases, mode="bench", seed=seed)
+    wall = time.perf_counter() - t0
+    counts = matrix.counts()
+    hashed = sum(1 for c in matrix.cells.values() if c.hash)
+    rec = BenchRecord(name="scenarios", wall_seconds=wall)
+    rec.metric("cells", len(matrix.cells), "exact")
+    rec.metric("executed", matrix.executed, "exact")
+    rec.metric("outcome_pass", counts["pass"], "exact")
+    rec.metric("outcome_recovered", counts["recovered"], "exact")
+    rec.metric("silent_corruptions", counts["fail"], "exact")
+    rec.metric("bit_identity_hashed", hashed, "exact")
+    rec.info.update({"seed": seed, "max_cells": max_cells,
+                     "counts": counts,
+                     "seconds_per_cell": round(
+                         wall / max(1, matrix.executed), 4)})
+    return rec
+
+
 def bench_trace_cache(vls: Sequence[int] = (256, 512), n: int = 257,
                       hot_reps: int = 5) -> BenchRecord:
     """Kernel trace caching: cold compile+decode vs hot replay.
@@ -551,6 +589,7 @@ def run_suite(full: bool = False, workers: int = 4,
         lambda: bench_campaign(vls=campaign_vls),
         bench_supervisor,
         lambda: bench_trace_cache(vls=cache_vls),
+        bench_scenarios,
     ]
     from repro.engine.reset import reset_all
 

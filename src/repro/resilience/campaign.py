@@ -81,13 +81,19 @@ def _campaign_case(category: str):
     return deco
 
 
-def _sync_comms(campaign: FaultCampaign, stats) -> None:
+def sync_comms_stats(campaign: FaultCampaign, stats) -> None:
     """Fold the protocol-visible comms counters into the campaign
-    ledger (the comms layer has no campaign handle by design)."""
+    ledger (the comms layer has no campaign handle by design).  Also
+    used by the scenario matrix runner (:mod:`repro.scenarios.runner`),
+    whose comms cells follow the same protocol."""
     for _ in range(stats.detected_failures):
         campaign.record_detected("comms: bad delivery (CRC/timeout)")
     for _ in range(stats.recovered_messages):
         campaign.record_recovered("comms: retransmission succeeded")
+
+
+#: Backwards-compatible private alias (pre-scenario-matrix spelling).
+_sync_comms = sync_comms_stats
 
 
 # ======================================================================

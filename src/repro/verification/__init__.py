@@ -12,12 +12,20 @@ under a chosen toolchain fault model and formats the pass/fail report.
 """
 
 from repro.verification.cases import ALL_CASES, Case
+from repro.verification.outcomes import (
+    OUTCOMES,
+    Outcome,
+    classify_cell,
+    is_regression,
+    outcome_rank,
+)
 from repro.verification.suite import (
     CAMPAIGN_OUTCOMES,
     CampaignCellResult,
     CampaignReport,
     SilentCorruption,
     SuiteReport,
+    gate_outcomes,
     run_campaign_suite,
     run_suite,
 )
@@ -28,8 +36,14 @@ __all__ = [
     "SuiteReport",
     "run_suite",
     "CAMPAIGN_OUTCOMES",
+    "OUTCOMES",
+    "Outcome",
     "CampaignCellResult",
     "CampaignReport",
     "SilentCorruption",
+    "classify_cell",
+    "gate_outcomes",
+    "is_regression",
+    "outcome_rank",
     "run_campaign_suite",
 ]

@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Optional, Sequence
 
 from repro.verification.cases import ALL_CASES, Case
+from repro.verification.outcomes import OUTCOMES, classify_cell
 
 
 class SilentCorruption(AssertionError):
@@ -141,8 +142,11 @@ def run_suite(
 # Campaign verification: {case x VL x campaign} -> outcome
 # ======================================================================
 
-#: The four campaign-cell outcomes, in "goodness" order.
-CAMPAIGN_OUTCOMES = ("pass", "recovered", "detected", "fail")
+#: The four campaign-cell outcomes, in "goodness" order — the string
+#: view of the shared :class:`~repro.verification.outcomes.Outcome`
+#: vocabulary (one definition; the scenario matrix differ speaks the
+#: same one, so the two harnesses cannot drift).
+CAMPAIGN_OUTCOMES = tuple(o.value for o in OUTCOMES)
 
 
 @dataclass
@@ -254,12 +258,9 @@ def gate_outcomes(
 
 
 def _classify(campaign, error: Optional[BaseException]) -> str:
-    if error is None:
-        return "recovered" if campaign.recovered > 0 else "pass"
-    if isinstance(error, SilentCorruption) and campaign.detected == 0:
-        return "fail"
-    # Wrong-but-noticed, or a loud crash: the run knows it failed.
-    return "detected"
+    """String view of the shared classifier (see
+    :func:`repro.verification.outcomes.classify_cell`)."""
+    return classify_cell(campaign, error).value
 
 
 def run_campaign_suite(

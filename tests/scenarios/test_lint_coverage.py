@@ -1,0 +1,26 @@
+"""The execution-globals lint covers the scenarios package: a
+violation planted under ``src/repro/scenarios/`` is flagged by the
+default tree list the CI lint job runs."""
+
+import importlib.util
+import pathlib
+
+ROOT = pathlib.Path(__file__).resolve().parents[2]
+
+spec = importlib.util.spec_from_file_location(
+    "lint_execution_globals", ROOT / "tools" / "lint_execution_globals.py")
+lint = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(lint)
+
+
+def test_default_trees_reach_scenarios(tmp_path):
+    bad = tmp_path / "src" / "repro" / "scenarios" / "planted.py"
+    bad.parent.mkdir(parents=True)
+    bad.write_text("_BASE_POLICY = None\n")
+    violations = lint.lint_paths(tmp_path, lint.DEFAULT_TREES)
+    assert any("scenarios/planted.py" in rel for rel, _, _ in violations)
+
+
+def test_real_scenarios_tree_is_clean():
+    violations = lint.lint_paths(ROOT, ("src/repro/scenarios",))
+    assert violations == []

@@ -1,0 +1,161 @@
+"""The result matrix, the baseline differ, and the CI gate — on
+hand-built fixtures."""
+
+import pytest
+
+from repro.scenarios.matrix import (
+    SKIP,
+    Cell,
+    ResultMatrix,
+    diff_matrices,
+    gate_diff,
+)
+from repro.verification.outcomes import Outcome
+
+ENV = {"python": "3.12.0", "numpy": "2.0.0", "machine": "x86_64"}
+
+
+def matrix(cells, env=ENV) -> ResultMatrix:
+    m = ResultMatrix(spec="fixture", mode="custom", seed=0, env=dict(env))
+    for cell in cells:
+        m.add(cell)
+    return m
+
+
+class TestCell:
+    def test_vocabulary_enforced(self):
+        with pytest.raises(ValueError):
+            Cell(key="k", status="flaky")
+        Cell(key="k", status=SKIP)  # skip is the one non-outcome status
+
+    def test_ok_semantics(self):
+        assert Cell(key="k", status="pass").ok
+        assert Cell(key="k", status="recovered").ok
+        assert Cell(key="k", status="detected").ok
+        assert Cell(key="k", status=SKIP).ok
+        assert not Cell(key="k", status="fail").ok
+
+    def test_surprising_xfail(self):
+        went_better = Cell(key="k", status="pass", xfail=True,
+                           expect="detected")
+        as_expected = Cell(key="k", status="detected", xfail=True,
+                           expect="detected")
+        assert went_better.surprising
+        assert not as_expected.surprising
+
+    def test_duplicate_key_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            matrix([Cell(key="k", status="pass"),
+                    Cell(key="k", status="pass")])
+
+
+class TestRoundTrip:
+    def test_json_round_trip(self, tmp_path):
+        m = matrix([
+            Cell(key="a", status="pass", hash="abc123", seconds=0.5),
+            Cell(key="b", status="detected", detail="boom"),
+            Cell(key="c", status=SKIP, reason="declared hole"),
+            Cell(key="d", status="detected", xfail=True,
+                 expect="detected", reason="known"),
+        ])
+        path = tmp_path / "m.json"
+        m.save(str(path))
+        got = ResultMatrix.load(str(path))
+        assert got.env == ENV
+        assert {k: c.status for k, c in got.cells.items()} == \
+            {k: c.status for k, c in m.cells.items()}
+        assert got.cells["a"].hash == "abc123"
+        assert got.cells["d"].xfail and got.cells["d"].expect == "detected"
+        assert got.counts() == m.counts()
+        assert got.executed == 3
+
+    def test_schema_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="schema"):
+            ResultMatrix.from_json({"schema": 999, "cells": {}})
+
+
+class TestDiffClassification:
+    def test_unchanged(self):
+        base = matrix([Cell(key="a", status="pass", hash="h1")])
+        diff = diff_matrices(base, matrix(
+            [Cell(key="a", status="pass", hash="h1")]))
+        assert diff.clean and not diff.promotable
+        assert diff.unchanged == 1
+
+    def test_regression_every_downward_step(self):
+        order = [o.value for o in Outcome]
+        for i, old in enumerate(order):
+            for new in order[i + 1:]:
+                base = matrix([Cell(key="a", status=old)])
+                cur = matrix([Cell(key="a", status=new)])
+                diff = diff_matrices(base, cur)
+                assert diff.regressions == [("a", old, new)], (old, new)
+                assert not diff.clean
+                assert gate_diff(diff)
+
+    def test_new_pass_prompts_promote_not_failure(self):
+        base = matrix([Cell(key="a", status="detected", xfail=True,
+                            expect="detected")])
+        diff = diff_matrices(base, matrix([Cell(key="a", status="pass")]))
+        assert diff.new_passes == [("a", "detected")]
+        assert diff.clean and diff.promotable
+        assert not gate_diff(diff)
+        assert "promote" in diff.format_report()
+
+    def test_improvement_below_pass(self):
+        base = matrix([Cell(key="a", status="detected")])
+        diff = diff_matrices(base, matrix(
+            [Cell(key="a", status="recovered")]))
+        assert diff.improved == [("a", "detected", "recovered")]
+        assert diff.clean and diff.promotable
+
+    def test_hash_drift_fails_gate(self):
+        base = matrix([Cell(key="a", status="pass", hash="h1")])
+        diff = diff_matrices(base, matrix(
+            [Cell(key="a", status="pass", hash="h2")]))
+        assert diff.hash_drifts == [("a", "h1", "h2")]
+        assert not diff.clean
+        assert any("bit-identity" in f for f in gate_diff(diff))
+
+    def test_hash_ignored_across_numeric_environments(self):
+        base = matrix([Cell(key="a", status="pass", hash="h1")])
+        cur = matrix([Cell(key="a", status="pass", hash="h2")],
+                     env={**ENV, "numpy": "2.1.0"})
+        diff = diff_matrices(base, cur)
+        assert not diff.hashes_compared
+        assert diff.hash_drifts == []
+        assert diff.clean
+        assert "not compared" in diff.format_report()
+        # Outcome regressions still gate across environments.
+        cur_bad = matrix([Cell(key="a", status="fail")],
+                         env={**ENV, "numpy": "2.1.0"})
+        assert gate_diff(diff_matrices(base, cur_bad))
+
+    def test_added_and_removed(self):
+        base = matrix([Cell(key="a", status="pass"),
+                       Cell(key="b", status="pass")])
+        cur = matrix([Cell(key="a", status="pass"),
+                      Cell(key="c", status="recovered")])
+        diff = diff_matrices(base, cur)
+        assert diff.added == ["c"]
+        assert diff.removed == ["b"]
+        assert any("disappeared" in f for f in gate_diff(diff))
+
+    def test_new_cell_failing_on_arrival_gates(self):
+        base = matrix([Cell(key="a", status="pass")])
+        cur = matrix([Cell(key="a", status="pass"),
+                      Cell(key="b", status="fail", detail="sdc")])
+        diff = diff_matrices(base, cur)
+        assert diff.new_failures == ["b"]
+        assert any("arrival" in f for f in gate_diff(diff))
+
+    def test_skip_transitions(self):
+        base = matrix([Cell(key="a", status=SKIP),
+                       Cell(key="b", status="pass")])
+        cur = matrix([Cell(key="a", status="pass"),
+                      Cell(key="b", status=SKIP)])
+        diff = diff_matrices(base, cur)
+        # Coverage appearing where the baseline had a declared hole is
+        # added; a running cell going dark is a removal (gated).
+        assert diff.added == ["a"]
+        assert diff.removed == ["b"]

@@ -1,0 +1,106 @@
+"""Case generation: cartesian completeness, pairwise coverage, and
+seeded determinism."""
+
+from repro.scenarios.defaults import default_spec
+from repro.scenarios.sampler import (
+    cartesian_cases,
+    feasible_pairs,
+    filter_cases,
+    pairwise_sample,
+)
+from tests.scenarios.test_spec import tiny_spec
+
+
+def _pairs_of(case):
+    vals = case.values
+    return {(vals[i], vals[j])
+            for i in range(len(vals)) for j in range(i + 1, len(vals))}
+
+
+class TestCartesian:
+    def test_tiny_cube_exact(self):
+        spec = tiny_spec()
+        cases = cartesian_cases(spec)
+        # 2*2*2 = 8 minus the two (b, *, fused) constrained cells.
+        assert len(cases) == 6
+        keys = {c.key for c in cases}
+        assert "op=b|vl=128|fused=on" not in keys
+        assert "op=a|vl=256|fused=on" in keys  # skipped, not pruned
+
+    def test_stable_order(self):
+        spec = tiny_spec()
+        assert [c.key for c in cartesian_cases(spec)] == \
+            [c.key for c in cartesian_cases(spec)]
+
+    def test_default_cube_respects_constraints(self):
+        spec = default_spec()
+        for case in cartesian_cases(spec):
+            assert spec.allowed(case)
+            if case["fault"] == "comms":
+                assert case["operator"] == "wilson-dist"
+            if case["fault"] == "memory":
+                assert case["operator"] != "wilson-dist"
+
+
+class TestPairwiseCoverage:
+    def test_every_feasible_pair_covered_tiny(self):
+        spec = tiny_spec()
+        sample = pairwise_sample(spec, seed=3)
+        covered = set()
+        for case in sample:
+            covered |= _pairs_of(case)
+        assert feasible_pairs(spec) <= covered
+
+    def test_every_feasible_pair_covered_default(self):
+        spec = default_spec()
+        cube = cartesian_cases(spec)
+        sample = pairwise_sample(spec, seed=0, cube=cube)
+        covered = set()
+        for case in sample:
+            covered |= _pairs_of(case)
+        assert feasible_pairs(spec, cube) <= covered
+        # The sample is a real compression of the cube.
+        assert len(sample) < len(cube) // 10
+
+    def test_sample_draws_only_legal_cells(self):
+        spec = default_spec()
+        for case in pairwise_sample(spec, seed=1):
+            assert spec.allowed(case)
+
+
+class TestDeterminism:
+    def test_same_seed_same_cells(self):
+        spec = default_spec()
+        a = [c.key for c in pairwise_sample(spec, seed=7, min_cases=64)]
+        b = [c.key for c in pairwise_sample(spec, seed=7, min_cases=64)]
+        assert a == b
+
+    def test_different_seed_different_padding(self):
+        spec = default_spec()
+        a = {c.key for c in pairwise_sample(spec, seed=0, min_cases=64)}
+        b = {c.key for c in pairwise_sample(spec, seed=1, min_cases=64)}
+        assert a != b
+
+    def test_min_cases_pads_with_distinct_cells(self):
+        spec = tiny_spec()
+        sample = pairwise_sample(spec, seed=0, min_cases=6)
+        assert len(sample) == 6  # the whole (constrained) cube
+        assert len({c.key for c in sample}) == 6
+
+    def test_min_cases_caps_at_cube_size(self):
+        spec = tiny_spec()
+        assert len(pairwise_sample(spec, seed=0, min_cases=500)) == 6
+
+
+class TestFilter:
+    def test_conjunction_and_negation(self):
+        spec = tiny_spec()
+        cube = cartesian_cases(spec)
+        got = filter_cases(cube, "op=a,!vl=256")
+        assert {c.key for c in got} == {"op=a|vl=128|fused=on",
+                                       "op=a|vl=128|fused=off"}
+
+    def test_empty_expression_keeps_all(self):
+        spec = tiny_spec()
+        cube = cartesian_cases(spec)
+        assert filter_cases(cube, "") == cube

@@ -1,0 +1,109 @@
+"""The declarative cube: axes, cases, constraints, skip/xfail rules."""
+
+import pytest
+
+from repro.scenarios.spec import (
+    Axis,
+    Case,
+    Constraint,
+    Rule,
+    ScenarioSpec,
+    skip_rule,
+    xfail_rule,
+)
+
+
+def tiny_spec() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="tiny",
+        axes=(
+            Axis("op", ("a", "b")),
+            Axis("vl", (128, 256)),
+            Axis("fused", (True, False)),
+        ),
+        constraints=(
+            Constraint(reason="b is never fused",
+                       forbids=lambda c: c["op"] == "b" and c["fused"]),
+        ),
+        rules=(
+            skip_rule("vl 256 unsupported on a",
+                      lambda c: c["op"] == "a" and c["vl"] == 256),
+            xfail_rule("b at 128 known-detected",
+                       lambda c: c["op"] == "b" and c["vl"] == 128,
+                       expect="detected"),
+        ),
+    )
+
+
+class TestAxis:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="no values"):
+            Axis("x", ())
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            Axis("x", (1, 1))
+
+
+class TestCase:
+    def test_key_renders_in_axis_order(self):
+        case = Case((("op", "a"), ("vl", 128), ("fused", True)))
+        assert case.key == "op=a|vl=128|fused=on"
+
+    def test_booleans_render_on_off(self):
+        assert Case((("x", False),)).key == "x=off"
+
+    def test_mapping_access(self):
+        case = Case((("op", "a"), ("vl", 128)))
+        assert case["vl"] == 128
+        assert case.get("nope") is None
+        assert "op" in case
+        assert case.as_dict() == {"op": "a", "vl": 128}
+
+    def test_immutable_and_hashable(self):
+        case = Case((("op", "a"),))
+        with pytest.raises(AttributeError):
+            case.values = ()
+        assert case == Case((("op", "a"),))
+        assert hash(case) == hash(Case((("op", "a"),)))
+
+
+class TestSpec:
+    def test_case_binding_validates_values(self):
+        spec = tiny_spec()
+        case = spec.case(op="a", vl=128, fused=True)
+        assert case.key == "op=a|vl=128|fused=on"
+        with pytest.raises(ValueError, match="no value"):
+            spec.case(op="z", vl=128, fused=True)
+        with pytest.raises(ValueError, match="missing axis"):
+            spec.case(op="a", vl=128)
+        with pytest.raises(ValueError, match="unknown axes"):
+            spec.case(op="a", vl=128, fused=True, extra=1)
+
+    def test_duplicate_axis_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate axis"):
+            ScenarioSpec(name="bad",
+                         axes=(Axis("x", (1,)), Axis("x", (2,))))
+
+    def test_constraints_prune(self):
+        spec = tiny_spec()
+        assert not spec.allowed(spec.case(op="b", vl=128, fused=True))
+        assert spec.allowed(spec.case(op="b", vl=128, fused=False))
+
+    def test_skip_and_xfail_resolution(self):
+        spec = tiny_spec()
+        skip = spec.skip_for(spec.case(op="a", vl=256, fused=True))
+        assert skip is not None and "unsupported" in skip.reason
+        xfail = spec.xfail_for(spec.case(op="b", vl=128, fused=False))
+        assert xfail is not None and xfail.expect == "detected"
+        assert spec.skip_for(spec.case(op="a", vl=128, fused=True)) is None
+
+
+class TestRule:
+    def test_xfail_requires_expected_outcome(self):
+        with pytest.raises(ValueError, match="expected outcome"):
+            Rule(kind="xfail", reason="r", when=lambda c: True)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="skip|xfail"):
+            Rule(kind="flaky", reason="r", when=lambda c: True)
