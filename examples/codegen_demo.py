@@ -1,0 +1,117 @@
+"""The compiled-kernel pipeline end-to-end: IR, source, cache, disk.
+
+The engine's ``codegen`` knob swaps the interpreted fused
+Wilson-Dslash body for a generated, ``exec``-compiled straight-line
+kernel (DESIGN.md §14).  This demo walks the whole pipeline:
+
+1. generate the per-direction kernel source and show its shape
+   (loop-unrolled, preallocated scratch, ``out=`` everywhere),
+2. run the same Dslash layered, fused and compiled — byte-identical
+   all three ways — and time the difference,
+3. watch the cache counters across cold compile / warm memo hit /
+   caches-off bypass,
+4. round-trip the on-disk source store, corrupt an entry, and watch
+   the verifier quarantine it and recompile.
+
+Usage::
+
+    python examples/codegen_demo.py
+"""
+
+import os
+import tempfile
+import time
+
+import numpy as np
+
+import repro.engine as engine
+import repro.telemetry as telemetry
+from repro.codegen import (
+    dhop_dir_source,
+    disk_dir,
+    kernel_for,
+    set_disk_dir,
+    source_key,
+)
+from repro.grid.cartesian import GridCartesian
+from repro.grid.random import random_gauge, random_spinor
+from repro.grid.wilson import WilsonDirac
+from repro.simd import get_backend
+
+DIMS = [8, 8, 8, 8]
+
+
+def codegen_counts() -> dict:
+    return {k.split(".", 1)[1]: v for k, v in telemetry.snapshot().items()
+            if k.startswith("codegen.") and v}
+
+
+def main() -> None:
+    engine.reset_all()
+    grid = GridCartesian(DIMS, get_backend("generic256"))
+    w = WilsonDirac(random_gauge(grid, seed=11), mass=0.3)
+    b = random_spinor(grid, seed=5)
+
+    # -- 1. the generated source ------------------------------------
+    src = dhop_dir_source(0)
+    lines = src.splitlines()
+    print(f"# dhop-dir0: {len(lines)} lines of straight-line numpy")
+    print("\n".join(lines[:6]))
+    print("    ...")
+    body = [ln for ln in lines if "out=" in ln]
+    print(f"# {len(body)} out=-form ops, e.g.: {body[0].strip()}")
+    print(f"# cache key: {source_key('dhop-dir0', 4, np.complex128)}")
+
+    # -- 2. layered vs fused vs compiled ----------------------------
+    with engine.scope(enabled=False):
+        t0 = time.perf_counter()
+        ref = w.dhop(b)
+        t_layered = time.perf_counter() - t0
+    with engine.scope(fused=True, codegen="off"):
+        fused = w.dhop(b)
+    with engine.scope(codegen="memory"):
+        w.dhop(b)  # cold call pays the one compile
+        t0 = time.perf_counter()
+        compiled = w.dhop(b)
+        t_compiled = time.perf_counter() - t0
+    assert compiled.data.tobytes() == ref.data.tobytes()
+    assert compiled.data.tobytes() == fused.data.tobytes()
+    print("\n# bit-identical: layered == fused == compiled")
+    print(f"# layered {t_layered * 1e3:7.2f} ms"
+          f" -> compiled {t_compiled * 1e3:7.2f} ms"
+          f" ({t_layered / t_compiled:.2f}x)")
+
+    # -- 3. cache counters ------------------------------------------
+    print(f"\n# after the sweeps above: {codegen_counts()}")
+    with engine.scope(codegen="memory", caches=False):
+        w.dhop(b)  # memo bypassed: a counted miss that recompiles
+    print(f"# after one caches=False sweep: {codegen_counts()}")
+
+    # -- 4. disk store + quarantine ---------------------------------
+    with tempfile.TemporaryDirectory() as tmp:
+        prev = set_disk_dir(tmp)
+        try:
+            engine.reset_all()
+            kernel_for("dhop-dir0", 4, np.complex128, "disk")
+            engine.reset_all()  # "new process": memo gone, disk not
+            warm = kernel_for("dhop-dir0", 4, np.complex128, "disk")
+            print(f"\n# disk store: origin={warm.origin!r} "
+                  f"counters={codegen_counts()}")
+
+            (entry,) = [f for f in os.listdir(tmp) if f.endswith(".py")]
+            with open(os.path.join(tmp, entry), "w") as f:
+                f.write("garbage")  # bit rot
+            engine.reset_all()
+            fresh = kernel_for("dhop-dir0", 4, np.complex128, "disk")
+            qdir = os.path.join(disk_dir(), "quarantine")
+            print(f"# corrupt entry: origin={fresh.origin!r}, "
+                  f"quarantined={os.listdir(qdir)} "
+                  f"counters={codegen_counts()}")
+        finally:
+            set_disk_dir(prev)
+
+    engine.reset_all()
+
+
+if __name__ == "__main__":
+    main()

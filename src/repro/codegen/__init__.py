@@ -1,0 +1,56 @@
+"""Codegen backend: the vectorizer IR lowered to compiled kernels.
+
+The pipeline that turns the repro's compiler stack into the thing
+that runs the hot path:
+
+1. :mod:`repro.codegen.wilson_ir` — the fused Wilson-Dslash bodies
+   restated as :mod:`repro.vectorizer.ir` expression statements,
+   unrolled over colour/spin;
+2. :mod:`repro.vectorizer.passes` — the IEEE-exact simplifier
+   canonicalises each statement (``x + (-y) -> x - y``, involution
+   elimination, exact const folding);
+3. :mod:`repro.codegen.lower` + :mod:`repro.codegen.dslash` — the
+   canonical trees become straight-line ``np.<op>(..., out=)`` source
+   with preallocated scratch, assembled into one ``exec``-compiled
+   ``kernel`` per (kind, geometry);
+4. :mod:`repro.codegen.cache` — compiled callables memoized in memory
+   and optionally persisted as verified, quarantine-guarded source on
+   disk;
+5. :mod:`repro.codegen.runtime` — ``compiled_dhop`` /
+   ``compiled_dhop_rank``, the plan-dispatched peers of the fused
+   path.
+
+Enable with ``engine.scope(codegen="memory")`` (or ``"disk"``); the
+result is bit-identical to the layered reference.
+"""
+
+from repro.codegen.cache import (
+    CODEGEN_COUNTER_NAMES,
+    CompiledKernel,
+    clear_codegen_cache,
+    codegen_cache_size,
+    default_disk_dir,
+    disk_dir,
+    kernel_for,
+    set_disk_dir,
+    source_key,
+)
+from repro.codegen.dslash import dhop_dir_source, dhop_source, generate_source
+from repro.codegen.runtime import compiled_dhop, compiled_dhop_rank
+
+__all__ = [
+    "CODEGEN_COUNTER_NAMES",
+    "CompiledKernel",
+    "clear_codegen_cache",
+    "codegen_cache_size",
+    "compiled_dhop",
+    "compiled_dhop_rank",
+    "default_disk_dir",
+    "dhop_dir_source",
+    "dhop_source",
+    "disk_dir",
+    "generate_source",
+    "kernel_for",
+    "set_disk_dir",
+    "source_key",
+]

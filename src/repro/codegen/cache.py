@@ -1,0 +1,259 @@
+"""Compiled-kernel cache: in-memory memo + optional on-disk source.
+
+``kernel_for`` is the codegen pipeline's single entry point: resolve a
+source key, consult the in-memory memo, optionally consult the
+on-disk source store, and only then generate + ``exec``-compile.  The
+disk layer reuses the resilience checkpoint idioms (PR 6): writes are
+atomic-rename (:func:`repro.grid.io.atomic_write`), filenames are
+hashes, every entry carries a content hash that is verified on load,
+and a corrupt entry is *quarantined* — moved to
+``<dir>/quarantine/`` — never silently used and never re-read.
+
+Cache discipline mirrors the engine's other derived-data caches:
+
+* ``caches=False`` (the policy's uniform ``caches`` knob, e.g. under
+  ``perf.disabled()``) bypasses the memo entirely — every call counts
+  a miss and recompiles, so cache state can never leak into an
+  engine-off run;
+* :func:`clear_codegen_cache` empties the memo (wired into
+  ``engine.reset_all``); the disk store deliberately survives a
+  process-level reset — that is its whole point — and is invalidated
+  by key (IR/source version bumps), not by deletion.
+
+Telemetry: ``codegen.compile`` / ``codegen.hit`` / ``codegen.miss`` /
+``codegen.disk_hit`` (+ ``disk_store`` / ``quarantined``) are eager
+registry counters (zero before first use, zeroed by
+``telemetry.reset()``), and each real compile runs under a
+``codegen.compile`` span.
+
+This module owns process-global execution state (the memo and the
+disk-dir override): ``tools/lint_execution_globals.py`` bans touching
+``_MEMORY`` / ``_DISK`` from anywhere else.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import threading
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.codegen.dslash import generate_source
+from repro.codegen.wilson_ir import IR_VERSION
+from repro.telemetry import trace as _telemetry
+from repro.telemetry.metrics import registry as _registry
+
+#: Bump when the cache-entry layout (not the IR) changes.
+SOURCE_VERSION = 1
+
+#: First line of every disk entry; anything else is not ours.
+MAGIC = "# REPRO-CODEGEN v1"
+
+#: Registry key prefix for the codegen cache counters.
+PREFIX = "codegen."
+
+#: Counter short names, in declaration order.
+#:
+#: * ``compile`` — generate + ``exec`` actually ran (cold path).
+#: * ``hit`` / ``miss`` — in-memory memo lookups.
+#: * ``disk_hit`` — a miss served from a verified disk entry.
+#: * ``disk_store`` — a fresh compile persisted to disk.
+#: * ``quarantined`` — corrupt disk entries moved aside.
+CODEGEN_COUNTER_NAMES = (
+    "compile", "hit", "miss", "disk_hit", "disk_store", "quarantined",
+)
+
+#: Eager instruments (the ``perf.`` counters' pattern): visible at
+#: zero before any codegen activity, zeroed by ``telemetry.reset()``.
+_CODEGEN = {
+    name: _registry().counter(PREFIX + name, help="codegen cache counter")
+    for name in CODEGEN_COUNTER_NAMES
+}
+
+
+def _count(name: str, n: int = 1) -> None:
+    _CODEGEN[name].inc(n)
+
+
+@dataclass(frozen=True)
+class CompiledKernel:
+    """One compiled codegen artifact."""
+
+    key: str
+    source: str
+    fn: object = field(compare=False)
+    origin: str = "compiled"  # "compiled" | "disk"
+
+
+_LOCK = threading.RLock()
+
+#: key -> CompiledKernel.  Execution state: cleared by
+#: ``engine.reset_all``; bypassed when the policy's ``caches`` knob is
+#: off.
+_MEMORY: dict = {}
+
+#: Disk-store override (``{"dir": path-or-None}``); tests point it at
+#: a tmpdir via :func:`set_disk_dir`.
+_DISK: dict = {"dir": None}
+
+
+def source_key(kind: str, ndim: int, dtype) -> str:
+    """The cache key: kernel kind + grid geometry + lattice dtype +
+    generator versions.  This is the ``KernelPlan``-signature half
+    that determines the generated source (the policy half only picks
+    *whether* and *where* to cache)."""
+    return (f"{kind}|ndim={ndim}|dtype={np.dtype(dtype).name}"
+            f"|ir=v{IR_VERSION}|src=v{SOURCE_VERSION}")
+
+
+def default_disk_dir() -> str:
+    env = os.environ.get("REPRO_CODEGEN_DIR")
+    if env:
+        return env
+    base = os.environ.get("XDG_CACHE_HOME") or os.path.join(
+        os.path.expanduser("~"), ".cache")
+    return os.path.join(base, "repro-codegen")
+
+
+def disk_dir() -> str:
+    return _DISK["dir"] or default_disk_dir()
+
+
+def set_disk_dir(path) -> object:
+    """Point the disk store somewhere else (``None`` restores the
+    default); returns the previous override for restore-in-finally."""
+    prev = _DISK["dir"]
+    _DISK["dir"] = os.fspath(path) if path is not None else None
+    return prev
+
+
+def _entry_path(key: str) -> str:
+    name = hashlib.sha256(key.encode()).hexdigest()[:24]
+    return os.path.join(disk_dir(), f"{name}.py")
+
+
+def _exec_source(key: str, source: str):
+    ns: dict = {}
+    code = compile(source, f"<codegen:{key}>", "exec")
+    exec(code, ns)
+    fn = ns.get("kernel")
+    if not callable(fn):
+        raise ValueError("generated source defines no kernel()")
+    return fn
+
+
+def _compile(key: str, kind: str, ndim: int) -> CompiledKernel:
+    with _telemetry.span("codegen.compile", key=key, kind=kind):
+        source = generate_source(kind, ndim)
+        fn = _exec_source(key, source)
+    _count("compile")
+    return CompiledKernel(key=key, source=source, fn=fn)
+
+
+def _encode_entry(key: str, source: str) -> bytes:
+    digest = hashlib.sha256(source.encode()).hexdigest()
+    header = f"{MAGIC}\n# key: {key}\n# sha256: {digest}\n"
+    return (header + source).encode()
+
+
+def _quarantine(path: str, reason: str) -> None:
+    qdir = os.path.join(disk_dir(), "quarantine")
+    os.makedirs(qdir, exist_ok=True)
+    try:
+        os.replace(path, os.path.join(qdir, os.path.basename(path)))
+    except OSError:  # pragma: no cover - racing removal
+        return
+    _count("quarantined")
+    _telemetry.event("codegen.quarantine", path=path, reason=reason)
+
+
+def _load_disk(key: str, path: str):
+    """Verified disk lookup: the parsed source and compiled function,
+    or ``None`` (corrupt entries are quarantined on the way out)."""
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            text = f.read()
+    except FileNotFoundError:
+        return None
+    except OSError as exc:
+        _quarantine(path, reason=f"unreadable: {exc}")
+        return None
+    lines = text.split("\n", 3)
+    if len(lines) < 4 or lines[0] != MAGIC:
+        _quarantine(path, reason="bad magic")
+        return None
+    if lines[1] != f"# key: {key}":
+        _quarantine(path, reason="key mismatch")
+        return None
+    source = lines[3]
+    digest = hashlib.sha256(source.encode()).hexdigest()
+    if lines[2] != f"# sha256: {digest}":
+        _quarantine(path, reason="content hash mismatch")
+        return None
+    try:
+        fn = _exec_source(key, source)
+    except Exception as exc:
+        _quarantine(path, reason=f"exec failed: {exc}")
+        return None
+    return CompiledKernel(key=key, source=source, fn=fn, origin="disk")
+
+
+def _store_disk(key: str, source: str, path: str) -> None:
+    from repro.grid.io import atomic_write
+
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    atomic_write(path, _encode_entry(key, source))
+    _count("disk_store")
+
+
+def kernel_for(kind: str, ndim: int, dtype, mode: str,
+               caches: bool = True) -> CompiledKernel:
+    """The compiled kernel for ``(kind, ndim, dtype)`` under cache
+    ``mode`` (``"memory"`` or ``"disk"``).
+
+    ``caches=False`` (the plan's uniform caches knob) skips the memo
+    in both directions — every call is a counted miss that recompiles
+    (and, in disk mode, re-verifies the disk entry).
+    """
+    if mode not in ("memory", "disk"):
+        raise ValueError(f"codegen cache mode must be 'memory' or "
+                         f"'disk', got {mode!r}")
+    key = source_key(kind, ndim, dtype)
+    if caches:
+        with _LOCK:
+            ck = _MEMORY.get(key)
+        if ck is not None:
+            _count("hit")
+            return ck
+    _count("miss")
+    ck = None
+    if mode == "disk":
+        path = _entry_path(key)
+        ck = _load_disk(key, path)
+        if ck is not None:
+            _count("disk_hit")
+    if ck is None:
+        ck = _compile(key, kind, ndim)
+        if mode == "disk":
+            _store_disk(key, ck.source, _entry_path(key))
+    if caches:
+        with _LOCK:
+            _MEMORY[key] = ck
+    return ck
+
+
+def clear_codegen_cache() -> int:
+    """Empty the in-memory memo; returns how many entries were
+    evicted.  Part of ``engine.reset_all(caches=True)``.  The disk
+    store is left alone — persistence across resets is its job."""
+    with _LOCK:
+        n = len(_MEMORY)
+        _MEMORY.clear()
+    return n
+
+
+def codegen_cache_size() -> int:
+    with _LOCK:
+        return len(_MEMORY)

@@ -1,0 +1,137 @@
+"""Lower simplified IR statements to straight-line numpy source.
+
+Each :class:`repro.codegen.wilson_ir.Statement` becomes a short run of
+``np.<op>(a, b, out=dest)`` calls — the ufunc-with-``out`` forms the
+fused path uses, so the generated code performs the identical IEEE
+operations in the identical order.  Expression temporaries come from a
+:class:`ScratchPool` of named, function-level buffers: the assembled
+kernel allocates each buffer once at entry and the emitted statements
+reuse them, so the hot loop never allocates.
+
+The lowering is deliberately dumb — all the intelligence lives in
+:mod:`repro.vectorizer.passes`, which each statement's kernel is run
+through first.  That keeps this module a thin, per-node translation
+that a second backend (e.g. the vectorizer's SVE ACLE emitter) can
+replace without touching the IR construction.
+"""
+
+from __future__ import annotations
+
+from repro.vectorizer import ir, passes
+
+#: IR binary node -> numpy ufunc used by the emitted source.
+BINARY_OPS = {
+    ir.Add: "np.add",
+    ir.Sub: "np.subtract",
+    ir.Mul: "np.multiply",
+}
+
+#: IR unary node -> numpy ufunc.
+UNARY_OPS = {
+    ir.Neg: "np.negative",
+    ir.Conj: "np.conjugate",
+}
+
+
+class ScratchPool:
+    """Names for reusable element-wise temporaries.
+
+    ``acquire``/``release`` hand out ``_t0, _t1, ...``; ``size`` after
+    emission is the high-water mark, which the kernel assembler turns
+    into that many up-front ``np.empty`` allocations.
+    """
+
+    def __init__(self, prefix: str = "_t") -> None:
+        self._prefix = prefix
+        self._free: list = []
+        self._made = 0
+
+    def acquire(self) -> str:
+        if self._free:
+            return self._free.pop()
+        name = f"{self._prefix}{self._made}"
+        self._made += 1
+        return name
+
+    def release(self, name: str) -> None:
+        self._free.append(name)
+
+    @property
+    def size(self) -> int:
+        return self._made
+
+    def names(self) -> list:
+        return [f"{self._prefix}{i}" for i in range(self._made)]
+
+
+class ConstTable:
+    """Interns scalar constants as ``_k<i>`` names.
+
+    The assembled kernel declares ``_k<i> = _dt(<literal>)`` at entry,
+    so every constant is cast to the runtime dtype exactly once — the
+    reference's ``dtype.type(1j)`` idiom.
+    """
+
+    def __init__(self) -> None:
+        self._names: dict = {}
+        self._values: list = []
+
+    def name(self, value) -> str:
+        key = repr(value)
+        if key not in self._names:
+            self._names[key] = f"_k{len(self._values)}"
+            self._values.append(value)
+        return self._names[key]
+
+    def declarations(self) -> list:
+        return [f"_k{i} = _dt({value!r})"
+                for i, value in enumerate(self._values)]
+
+
+def lower_statement(stmt, consts: ConstTable, pool: ScratchPool) -> tuple:
+    """Lower one statement: ``(lines, pass_stats)``.
+
+    The statement's kernel is simplified first
+    (:func:`repro.vectorizer.passes.simplify`); the canonical tree is
+    then walked post-order, binary/unary nodes becoming
+    ``out=``-form ufunc calls whose temporaries come from ``pool``.
+    """
+    result = passes.simplify(stmt.kernel)
+    lines: list = []
+
+    def src(e: ir.Load) -> str:
+        return stmt.args[e.arg]
+
+    def val(e: ir.Expr) -> tuple:
+        """Value name for an operand: views/constants in place,
+        compound subtrees computed into a pool temporary."""
+        if isinstance(e, ir.Load):
+            return src(e), None
+        if isinstance(e, ir.Const):
+            return consts.name(e.value), None
+        tmp = pool.acquire()
+        emit(e, tmp)
+        return tmp, tmp
+
+    def emit(e: ir.Expr, dest: str) -> None:
+        if type(e) in BINARY_OPS:
+            va, ta = val(e.a)
+            vb, tb = val(e.b)
+            lines.append(f"{BINARY_OPS[type(e)]}({va}, {vb}, out={dest})")
+            for t in (ta, tb):
+                if t is not None:
+                    pool.release(t)
+        elif type(e) in UNARY_OPS:
+            va, ta = val(e.a)
+            lines.append(f"{UNARY_OPS[type(e)]}({va}, out={dest})")
+            if ta is not None:
+                pool.release(ta)
+        elif isinstance(e, ir.Load):
+            lines.append(f"np.copyto({dest}, {src(e)})")
+        elif isinstance(e, ir.Const):
+            lines.append(f"{dest}[...] = {consts.name(e.value)}")
+        else:
+            raise TypeError(f"cannot lower {e!r}")
+
+    emit(result.kernel.expr, stmt.dest)
+    return lines, result.stats

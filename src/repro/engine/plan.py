@@ -121,6 +121,11 @@ class KernelPlan:
       batch; off means column-by-column sweeps.
     * ``workers`` / ``tile_min_sites`` — tile-pool shape for the sweep.
     * ``caches`` — consult/populate derived-data caches.
+    * ``codegen`` — compiled-kernel mode (``"off"`` / ``"memory"`` /
+      ``"disk"``); non-off means the sweep body is a generated,
+      ``exec``-compiled kernel from the :mod:`repro.codegen` cache
+      (resolved off unless the backend is fused-safe).  Takes
+      precedence over ``fused`` at dispatch.
     * ``policy`` — the policy this plan was resolved under (the cache
       key half that isn't the grid).
     * ``stages`` — mutable per-stage counters (see
@@ -135,6 +140,7 @@ class KernelPlan:
     tile_min_sites: int
     caches: bool
     policy: ExecutionPolicy
+    codegen: str = "off"
     stages: StageCounters = field(
         default_factory=StageCounters, compare=False, repr=False
     )
@@ -153,6 +159,7 @@ def _resolve(kind: str, backend, policy: ExecutionPolicy) -> KernelPlan:
         tile_min_sites=policy.tile_min_sites,
         caches=policy.caches_active,
         policy=policy,
+        codegen=policy.codegen if (policy.codegen_active and safe) else "off",
     )
 
 

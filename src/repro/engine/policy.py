@@ -99,6 +99,15 @@ class ExecutionPolicy:
     comms_faults:
         Default comms fault injector inherited the same way (``None``
         means a perfect network).
+    codegen:
+        Compiled-kernel mode for the hot path (:mod:`repro.codegen`).
+        ``"off"`` (the default) keeps the interpreted fused/layered
+        bodies; ``"memory"`` lowers the vectorizer IR to generated,
+        ``exec``-compiled straight-line kernels memoized in process;
+        ``"disk"`` additionally persists the generated source in a
+        verified on-disk store.  Only effective while ``enabled`` and
+        on fused-safe backends; results are bit-identical in every
+        mode.
     telemetry:
         Observability level (:mod:`repro.telemetry`).  ``"off"`` (the
         default) keeps the hot path telemetry-free — instrumented
@@ -123,10 +132,14 @@ class ExecutionPolicy:
     backend: str = "generic256"
     latency: Optional[object] = None
     comms_faults: Optional[object] = None
+    codegen: str = "off"
     telemetry: str = "off"
 
     #: Legal ``telemetry`` levels, in increasing order of detail.
     TELEMETRY_LEVELS = ("off", "metrics", "trace")
+
+    #: Legal ``codegen`` modes, in increasing order of persistence.
+    CODEGEN_MODES = ("off", "memory", "disk")
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -139,6 +152,11 @@ class ExecutionPolicy:
             raise ValueError(
                 f"telemetry must be one of {self.TELEMETRY_LEVELS}, "
                 f"got {self.telemetry!r}"
+            )
+        if self.codegen not in self.CODEGEN_MODES:
+            raise ValueError(
+                f"codegen must be one of {self.CODEGEN_MODES}, "
+                f"got {self.codegen!r}"
             )
 
     # -- resolved (effective) views ------------------------------------
@@ -156,6 +174,11 @@ class ExecutionPolicy:
     def caches_active(self) -> bool:
         """Caches are consulted/populated only with the engine on."""
         return self.enabled and self.caches
+
+    @property
+    def codegen_active(self) -> bool:
+        """Compiled kernels are taken only with the engine on."""
+        return self.enabled and self.codegen != "off"
 
     @property
     def metrics_active(self) -> bool:

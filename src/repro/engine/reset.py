@@ -30,9 +30,12 @@ def reset_all(counters: bool = True, caches: bool = True) -> dict:
       (:func:`repro.resilience.breaker.reset_breakers`);
     * with ``caches`` (default): the kernel trace cache
       (:func:`repro.perf.trace_cache.clear_cache`), every grid-hosted
-      plan cache (:func:`repro.engine.plan.clear_plan_caches`) and the
-      distributed shift/halo memos — cache invalidation never changes
-      results, only forces re-derivation;
+      plan cache (:func:`repro.engine.plan.clear_plan_caches`), the
+      distributed shift/halo memos, and the codegen compiled-kernel
+      memo (:func:`repro.codegen.clear_codegen_cache`; the on-disk
+      source store survives — persistence across process resets is
+      its job) — cache invalidation never changes results, only
+      forces re-derivation;
     * with ``counters`` (default): the process-global perf counters
       (:func:`repro.perf.counters.reset_counters`) and the whole
       telemetry layer — every registry instrument zeroed and the span
@@ -53,6 +56,7 @@ def reset_all(counters: bool = True, caches: bool = True) -> dict:
         "plan_hosts_cleared": 0,
         "comms_plans_cleared": 0,
         "trace_cache_cleared": False,
+        "codegen_cache_cleared": 0,
         "counters_reset": False,
         "telemetry_metrics_reset": 0,
         "telemetry_spans_cleared": 0,
@@ -61,10 +65,13 @@ def reset_all(counters: bool = True, caches: bool = True) -> dict:
         from repro.engine.plan import clear_plan_caches
         from repro.perf.trace_cache import clear_cache
 
+        from repro.codegen import clear_codegen_cache
+
         clear_cache()
         summary["plan_hosts_cleared"] = clear_plan_caches()
         summary["comms_plans_cleared"] = invalidate_comms_plans()
         summary["trace_cache_cleared"] = True
+        summary["codegen_cache_cleared"] = clear_codegen_cache()
     if counters:
         import repro.telemetry as telemetry
         from repro.perf.counters import reset_counters

@@ -133,7 +133,7 @@ class DistributedWilson:
             plan.stages.bump("exchange", 2)
             for r in range(self.ranks.nranks):
                 be = psi.grids[r].backend
-                if plan.fused:
+                if plan.fused or plan.codegen != "off":
                     for acc, pf, pb in _columns(
                         out.locals[r].data, fwd.locals[r].data,
                         bwd.locals[r].data, ncols,

@@ -167,6 +167,19 @@ def overlapped_dhop(op, psi, kplan=None):
     links = [op.links[mu].locals for mu in range(ndim)]
     links_back = [op.links_back[mu].locals for mu in range(ndim)]
 
+    codegen_fns = None
+    if kplan is not None and kplan.codegen != "off":
+        # Generated per-direction kernels replace the interpreted
+        # accumulation body; schedule and message order are untouched.
+        from repro.codegen import kernel_for
+
+        dt = out.locals[0].data.dtype
+        codegen_fns = [
+            kernel_for(f"dhop-dir{mu}", 4, dt, kplan.codegen,
+                       caches=kplan.caches).fn
+            for mu in range(ndim)
+        ]
+
     def accumulate(r: int, idx: np.ndarray) -> None:
         """Full 8-direction accumulation for the sites ``idx`` of rank
         ``r`` — gather-to-scratch, accumulate in the reference order,
@@ -181,7 +194,14 @@ def overlapped_dhop(op, psi, kplan=None):
             u_b = links_back[mu][r].data[idx]
             n_f = bufs[r][(mu, +1)][idx]
             n_b = bufs[r][(mu, -1)][idx]
-            if ncols:
+            if codegen_fns is not None:
+                if ncols:
+                    for j in range(ncols):
+                        codegen_fns[mu](a[:, j], u_f, n_f[:, j],
+                                        u_b, n_b[:, j])
+                else:
+                    codegen_fns[mu](a, u_f, n_f, u_b, n_b)
+            elif ncols:
                 for j in range(ncols):
                     _accumulate_direction(a[:, j], u_f, n_f[:, j], mu, +1)
                     _accumulate_direction(a[:, j], u_b, n_b[:, j], mu, -1)

@@ -113,6 +113,12 @@ class WilsonDirac:
             from repro.grid.multirhs import split_rhs, stack_rhs
 
             return stack_rhs([self.dhop(c) for c in split_rhs(psi)])
+        if plan.codegen != "off":
+            # Generated, exec-compiled sweep from the codegen cache —
+            # bit-identical to both paths below (tests/codegen pins it).
+            from repro.codegen import compiled_dhop
+
+            return compiled_dhop(self, psi, plan=plan)
         if plan.fused:
             # Fused+tiled engine sweep — bit-identical to the layered
             # path below (see repro.perf.fused for the argument).

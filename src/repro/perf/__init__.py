@@ -131,7 +131,8 @@ def set_overlap_comms(flag: bool) -> None:
 
 
 @contextmanager
-def configured(enabled=None, workers=None, tile_min_sites=None, overlap_comms=None):
+def configured(enabled=None, workers=None, tile_min_sites=None,
+               overlap_comms=None, fused=None, codegen=None):
     """Temporarily override engine settings (restored on exit).
 
     A thin wrapper over :func:`repro.engine.scope` — nestable and
@@ -149,6 +150,10 @@ def configured(enabled=None, workers=None, tile_min_sites=None, overlap_comms=No
         overrides["tile_min_sites"] = int(tile_min_sites)
     if overlap_comms is not None:
         overrides["overlap_comms"] = bool(overlap_comms)
+    if fused is not None:
+        overrides["fused"] = bool(fused)
+    if codegen is not None:
+        overrides["codegen"] = str(codegen)
     with _scope(**overrides):
         yield config()
 

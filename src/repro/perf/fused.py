@@ -217,7 +217,17 @@ def fused_dhop_rank(acc: np.ndarray, links_mu: np.ndarray,
                     links_back_mu: np.ndarray, fwd: np.ndarray,
                     bwd: np.ndarray, mu: int, plan=None) -> None:
     """One rank-local (mu, fwd+bwd) accumulation for the distributed
-    operator; tiled over the rank's outer sites."""
+    operator; tiled over the rank's outer sites.
+
+    With the plan's ``codegen`` mode active the body is the generated
+    per-direction kernel instead of the interpreted fusion — same
+    tiling, bit-identical accumulation."""
+    if plan is not None and plan.codegen != "off":
+        from repro.codegen import compiled_dhop_rank
+
+        compiled_dhop_rank(acc, links_mu, links_back_mu, fwd, bwd, mu,
+                           plan=plan)
+        return
 
     def body(sl) -> None:
         a = acc[sl]

@@ -50,6 +50,7 @@ def _sve_probe_shape(case) -> bool:
     return (case["operator"] == "wilson" and case["fused"] is False
             and case["workers"] == 1 and case["caches"] is True
             and case["batching"] is True and case["overlap"] is True
+            and case["codegen"] == "off"
             and case["telemetry"] == "off" and case["fault"] == "none")
 
 
@@ -70,6 +71,7 @@ def default_spec() -> ScenarioSpec:
             Axis("overlap", (True, False)),
             Axis("batching", (True, False)),
             Axis("caches", (True, False)),
+            Axis("codegen", ("off", "memory", "disk")),
             Axis("workers", (1, 4)),
             Axis("telemetry", ("off", "metrics")),
             Axis("fault", ("none", "memory", "comms", "disk")),

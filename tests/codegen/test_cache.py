@@ -1,0 +1,201 @@
+"""The codegen cache: memo semantics, disk round-trips, corruption
+quarantine, and the counters that make all of it observable.
+
+The disk layer reuses the resilience-checkpoint discipline: atomic
+writes, hash filenames, verify-on-load, quarantine-never-trust.
+"""
+
+import hashlib
+import os
+
+import numpy as np
+import pytest
+
+import repro.engine as engine
+import repro.telemetry as telemetry
+from repro.codegen import (
+    clear_codegen_cache,
+    codegen_cache_size,
+    default_disk_dir,
+    disk_dir,
+    kernel_for,
+    set_disk_dir,
+    source_key,
+)
+from repro.codegen.cache import MAGIC, _entry_path
+
+
+@pytest.fixture(autouse=True)
+def _isolated(tmp_path):
+    """Fresh memo + counters, and a private disk store per test."""
+    engine.reset_all()
+    prev = set_disk_dir(tmp_path / "store")
+    yield
+    set_disk_dir(prev)
+    engine.reset_all()
+
+
+def _codegen_counts():
+    snap = telemetry.snapshot()
+    return {k.split(".", 1)[1]: v for k, v in snap.items()
+            if k.startswith("codegen.")}
+
+
+class TestMemory:
+    def test_miss_compile_then_hit(self):
+        a = kernel_for("dhop-dir0", 4, np.complex128, "memory")
+        b = kernel_for("dhop-dir0", 4, np.complex128, "memory")
+        assert b is a and a.origin == "compiled"
+        assert codegen_cache_size() == 1
+        c = _codegen_counts()
+        assert (c["miss"], c["compile"], c["hit"]) == (1, 1, 1)
+
+    def test_distinct_signatures_get_distinct_entries(self):
+        kernel_for("dhop-dir0", 4, np.complex128, "memory")
+        kernel_for("dhop-dir0", 4, np.complex64, "memory")
+        kernel_for("dhop-dir1", 4, np.complex128, "memory")
+        assert codegen_cache_size() == 3
+        assert _codegen_counts()["compile"] == 3
+
+    def test_caches_off_recompiles_every_call(self):
+        a = kernel_for("dhop-dir0", 4, np.complex128, "memory",
+                       caches=False)
+        b = kernel_for("dhop-dir0", 4, np.complex128, "memory",
+                       caches=False)
+        assert a is not b
+        assert a.source == b.source  # determinism still holds
+        assert codegen_cache_size() == 0  # memo never populated
+        c = _codegen_counts()
+        assert (c["miss"], c["compile"], c["hit"]) == (2, 2, 0)
+
+    def test_reset_all_clears_the_memo(self):
+        kernel_for("dhop-dir0", 4, np.complex128, "memory")
+        summary = engine.reset_all()
+        assert summary["codegen_cache_cleared"] == 1
+        assert codegen_cache_size() == 0
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError, match="codegen cache mode"):
+            kernel_for("dhop-dir0", 4, np.complex128, "off")
+
+
+class TestDisk:
+    def test_round_trip_across_memo_clear(self):
+        cold = kernel_for("dhop-dir0", 4, np.complex128, "disk")
+        key = source_key("dhop-dir0", 4, np.complex128)
+        path = _entry_path(key)
+        assert os.path.exists(path)
+        assert _codegen_counts()["disk_store"] == 1
+
+        clear_codegen_cache()  # a "new process"
+        warm = kernel_for("dhop-dir0", 4, np.complex128, "disk")
+        assert warm.origin == "disk"
+        assert warm.source == cold.source
+        c = _codegen_counts()
+        assert c["disk_hit"] == 1
+        assert c["compile"] == 1  # the disk hit did NOT recompile
+
+    def test_disk_entry_actually_computes(self):
+        clear_codegen_cache()
+        kernel_for("dhop-dir0", 4, np.complex128, "disk")
+        clear_codegen_cache()
+        fn = kernel_for("dhop-dir0", 4, np.complex128, "disk").fn
+        rng = np.random.default_rng(1)
+        shape = (8, 4, 3, 2)
+
+        def mk(*s):
+            return (rng.normal(size=s)
+                    + 1j * rng.normal(size=s)).astype(np.complex128)
+
+        acc = np.zeros(shape, dtype=np.complex128)
+        out = fn(acc, mk(8, 3, 3, 2), mk(*shape), mk(8, 3, 3, 2),
+                 mk(*shape))
+        assert out is acc and np.isfinite(out.view(np.float64)).all()
+        assert np.abs(out).max() > 0
+
+    def test_entry_format_is_verifiable(self):
+        kernel_for("dhop-dir1", 4, np.complex128, "disk")
+        key = source_key("dhop-dir1", 4, np.complex128)
+        with open(_entry_path(key), encoding="utf-8") as f:
+            magic, keyline, hashline, body = f.read().split("\n", 3)
+        assert magic == MAGIC
+        assert keyline == f"# key: {key}"
+        digest = hashlib.sha256(body.encode()).hexdigest()
+        assert hashline == f"# sha256: {digest}"
+
+    def test_default_dir_resolution(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CODEGEN_DIR", str(tmp_path / "env"))
+        assert default_disk_dir() == str(tmp_path / "env")
+        monkeypatch.delenv("REPRO_CODEGEN_DIR")
+        monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path / "xdg"))
+        assert default_disk_dir() == str(
+            tmp_path / "xdg" / "repro-codegen")
+        # set_disk_dir overrides everything and hands back the prior
+        # override for restore-in-finally.
+        prev = set_disk_dir(tmp_path / "explicit")
+        try:
+            assert disk_dir() == str(tmp_path / "explicit")
+        finally:
+            set_disk_dir(prev)
+
+
+class TestQuarantine:
+    def _seed_entry(self, kind="dhop-dir0"):
+        kernel_for(kind, 4, np.complex128, "disk")
+        clear_codegen_cache()
+        key = source_key(kind, 4, np.complex128)
+        return key, _entry_path(key)
+
+    def _assert_quarantined_then_recovered(self, path):
+        ck = kernel_for("dhop-dir0", 4, np.complex128, "disk")
+        c = _codegen_counts()
+        assert c["quarantined"] == 1
+        # The corrupt entry was moved aside, never deleted, never used.
+        qpath = os.path.join(disk_dir(), "quarantine",
+                             os.path.basename(path))
+        assert os.path.exists(qpath)
+        # ...and the miss fell through to a fresh compile + re-store.
+        assert ck.origin == "compiled"
+        assert c["compile"] == 2 and c["disk_store"] == 2
+        assert os.path.exists(path)
+
+    def test_truncated_entry_is_quarantined(self):
+        _, path = self._seed_entry()
+        with open(path, "w", encoding="utf-8") as f:
+            f.write("garbage")
+        self._assert_quarantined_then_recovered(path)
+
+    def test_flipped_content_fails_the_hash(self):
+        _, path = self._seed_entry()
+        text = open(path, encoding="utf-8").read()
+        with open(path, "w", encoding="utf-8") as f:
+            f.write(text.replace("np.add", "np.subtract", 1))
+        self._assert_quarantined_then_recovered(path)
+
+    def test_key_mismatch_is_quarantined(self):
+        key, path = self._seed_entry()
+        text = open(path, encoding="utf-8").read()
+        with open(path, "w", encoding="utf-8") as f:
+            f.write(text.replace(f"# key: {key}",
+                                 "# key: somebody-else", 1))
+        self._assert_quarantined_then_recovered(path)
+
+    def test_unexecutable_entry_is_quarantined(self):
+        key, path = self._seed_entry()
+        bad_src = "x = 1\n"  # valid python, defines no kernel()
+        digest = hashlib.sha256(bad_src.encode()).hexdigest()
+        with open(path, "w", encoding="utf-8") as f:
+            f.write(f"{MAGIC}\n# key: {key}\n# sha256: {digest}\n"
+                    + bad_src)
+        self._assert_quarantined_then_recovered(path)
+
+    def test_quarantine_emits_the_event(self):
+        _, path = self._seed_entry()
+        with open(path, "w", encoding="utf-8") as f:
+            f.write("garbage")
+        with engine.scope(telemetry="trace"):
+            kernel_for("dhop-dir0", 4, np.complex128, "disk")
+        events = [s for s in telemetry.spans()
+                  if s.name == "codegen.quarantine"]
+        assert len(events) == 1
+        assert "bad magic" in events[0].attrs["reason"]

@@ -1,0 +1,132 @@
+"""The ``codegen`` policy knob: validation, scoping, plan resolution,
+and dispatch precedence.
+
+The knob follows the engine's uniform rules — scoped and nestable via
+``engine.scope``, inert under ``enabled=False``, resolved into the
+``KernelPlan`` only for fused-safe backends, and uniformly subject to
+the ``caches`` knob.
+"""
+
+import numpy as np
+import pytest
+
+import repro.engine as engine
+import repro.perf as perf
+import repro.telemetry as telemetry
+from repro.bench.workloads import dslash_setup
+from repro.engine.policy import ExecutionPolicy
+from repro.simd import get_backend
+from repro.simd.generic import GenericBackend
+
+
+@pytest.fixture(autouse=True)
+def _clean():
+    engine.reset_all()
+    yield
+    engine.reset_all()
+
+
+class TestPolicyKnob:
+    def test_default_is_off(self):
+        assert ExecutionPolicy().codegen == "off"
+        assert engine.current_policy().codegen == "off"
+
+    def test_invalid_mode_rejected_at_construction(self):
+        with pytest.raises(ValueError, match="codegen"):
+            ExecutionPolicy(codegen="jit")
+        with pytest.raises(ValueError, match="codegen"):
+            with engine.scope(codegen="on"):
+                pass  # pragma: no cover
+
+    def test_scope_nesting_restores(self):
+        with engine.scope(codegen="disk"):
+            assert engine.current_policy().codegen == "disk"
+            with engine.scope(codegen="memory"):
+                assert engine.current_policy().codegen == "memory"
+            assert engine.current_policy().codegen == "disk"
+        assert engine.current_policy().codegen == "off"
+
+    def test_codegen_active_requires_enabled(self):
+        assert ExecutionPolicy(codegen="memory").codegen_active
+        assert not ExecutionPolicy(codegen="off").codegen_active
+        assert not ExecutionPolicy(
+            enabled=False, codegen="memory").codegen_active
+
+
+class TestPlanResolution:
+    def test_plan_carries_the_mode(self):
+        setup = dslash_setup("generic256")
+        with engine.scope(codegen="disk", caches=False):
+            plan = engine.kernel_plan(setup.grid)
+        assert plan.codegen == "disk"
+
+    def test_disabled_engine_resolves_off(self):
+        setup = dslash_setup("generic256")
+        with engine.scope(enabled=False, codegen="memory",
+                          caches=False):
+            plan = engine.kernel_plan(setup.grid)
+        assert plan.codegen == "off"
+
+    def test_unsafe_backend_resolves_off(self):
+        # Same guard as the fused path: a GenericBackend *subclass*
+        # may override ops, so the generated plain-numpy body would
+        # silently bypass them.
+        class Shadow(GenericBackend):
+            pass
+
+        from repro.engine.plan import _resolve
+
+        policy = ExecutionPolicy(codegen="memory")
+        assert _resolve("dhop", Shadow(256), policy).codegen == "off"
+        assert _resolve(
+            "dhop", get_backend("generic256"), policy).codegen == "memory"
+
+
+class TestDispatch:
+    def test_codegen_takes_precedence_over_fused(self):
+        setup = dslash_setup("generic256")
+        with engine.scope(fused=True, codegen="memory"):
+            setup.run()
+        snap = telemetry.snapshot()
+        assert snap["perf.codegen_dhop_calls"] == 1
+        assert snap["perf.fused_dhop_calls"] == 0
+        assert snap["codegen.compile"] == 1
+
+    def test_disabled_runs_the_layered_path(self):
+        setup = dslash_setup("generic256")
+        with engine.scope(codegen="memory"):
+            with perf.disabled():
+                setup.run()
+        snap = telemetry.snapshot()
+        assert snap["perf.codegen_dhop_calls"] == 0
+        assert snap["codegen.compile"] == 0
+
+    def test_caches_off_still_computes_but_recompiles(self):
+        setup = dslash_setup("generic256")
+        with engine.scope(codegen="memory"):
+            ref = setup.run().data.tobytes()
+        engine.reset_all()
+        with engine.scope(codegen="memory", caches=False):
+            a = setup.run().data.tobytes()
+            b = setup.run().data.tobytes()
+        assert a == ref and b == ref
+        snap = telemetry.snapshot()
+        # Every sweep recompiled: the memo is bypassed in both
+        # directions under the uniform caches knob.
+        assert snap["codegen.hit"] == 0
+        assert snap["codegen.compile"] == snap["codegen.miss"] >= 2
+
+    def test_batched_rhs_goes_through_the_compiled_path(self):
+        from repro.grid.multirhs import stack_rhs
+        from repro.grid.random import random_spinor
+        setup = dslash_setup("generic256")
+        multi = stack_rhs([random_spinor(setup.grid, seed=s)
+                           for s in (1, 2, 3)])
+        with perf.disabled():
+            ref = setup.dirac.dhop(multi).data.tobytes()
+        with engine.scope(codegen="memory"):
+            got = setup.dirac.dhop(multi).data.tobytes()
+        assert got == ref
+        snap = telemetry.snapshot()
+        assert snap["perf.codegen_dhop_calls"] == 1
+        assert snap["perf.batched_dhop_calls"] == 1

@@ -1,0 +1,101 @@
+"""Generated-source contract: determinism, structure, and keying.
+
+The cache's whole correctness story rests on the generator being a
+pure function of ``(kind, ndim)`` — same plan signature, byte-identical
+source — so these tests pin that before anything touches a cache.
+"""
+
+import numpy as np
+import pytest
+
+from repro.codegen import (
+    dhop_dir_source,
+    dhop_source,
+    generate_source,
+    source_key,
+)
+
+
+class TestDeterminism:
+    def test_dhop_source_is_byte_identical_across_calls(self):
+        assert dhop_source() == dhop_source()
+        assert generate_source("dhop") == generate_source("dhop")
+
+    def test_dir_sources_are_byte_identical_across_calls(self):
+        for mu in range(4):
+            a = dhop_dir_source(mu)
+            b = generate_source(f"dhop-dir{mu}")
+            assert a == b == dhop_dir_source(mu), mu
+
+    def test_directions_generate_distinct_bodies(self):
+        sources = {dhop_dir_source(mu) for mu in range(4)}
+        assert len(sources) == 4
+
+    def test_source_is_dtype_independent(self):
+        # The dtype lives in the cache key, not the source: the
+        # generated body casts constants through the accumulator's
+        # dtype at call time (``_dt = acc.dtype.type``).
+        src = dhop_source()
+        assert "_dt = acc.dtype.type" in src
+        assert "complex64" not in src and "complex128" not in src
+
+
+class TestStructure:
+    def test_module_shape(self):
+        src = dhop_source()
+        assert "import numpy as np" in src
+        assert "def kernel(acc, uf0, pf0, ub0, pb0" in src
+        assert "# simplifier:" in src
+        assert src.rstrip().endswith("return acc")
+
+    def test_dir_kernel_signature(self):
+        src = dhop_dir_source(2)
+        assert "def kernel(acc, u_fwd, psi_fwd, u_bwd, psi_bwd):" in src
+
+    def test_straight_line_no_dispatch(self):
+        # The whole point: no loops, no per-call dispatch, out= into
+        # preallocated scratch.
+        src = dhop_source()
+        body = src.split("def kernel", 1)[1]
+        assert "for " not in body
+        assert "if " not in body
+        assert "out=" in body
+
+    def test_leading_zero_addend_survives_simplification(self):
+        # The SU(3) sum must keep its ``0 + t`` head for IEEE -0.0
+        # bit-identity with the layered reference; a simplifier that
+        # folded x+0 would break it, so pin its presence.
+        src = dhop_dir_source(0)
+        assert "_k" in src  # interned constants present
+        assert "np.add(_k" in src
+
+
+class TestValidation:
+    def test_unknown_kind_raises(self):
+        with pytest.raises(ValueError):
+            generate_source("clover")
+
+    def test_dhop_ndim_bounds(self):
+        with pytest.raises(ValueError):
+            dhop_source(ndim=0)
+        with pytest.raises(ValueError):
+            dhop_source(ndim=5)
+
+    def test_bad_direction_raises(self):
+        with pytest.raises(ValueError):
+            generate_source("dhop-dir7")
+
+
+class TestSourceKey:
+    def test_key_separates_kind_ndim_dtype(self):
+        keys = {
+            source_key("dhop", 4, np.complex128),
+            source_key("dhop", 3, np.complex128),
+            source_key("dhop", 4, np.complex64),
+            source_key("dhop-dir0", 4, np.complex128),
+        }
+        assert len(keys) == 4
+
+    def test_key_pins_generator_versions(self):
+        key = source_key("dhop", 4, np.complex128)
+        assert "|ir=v" in key and "|src=v" in key

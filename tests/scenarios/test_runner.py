@@ -20,7 +20,8 @@ def _case(**overrides):
     spec = default_spec()
     bindings = dict(operator="wilson", family="generic", vl=128,
                     fused=True, overlap=True, batching=True, caches=True,
-                    workers=1, telemetry="off", fault="none")
+                    codegen="off", workers=1, telemetry="off",
+                    fault="none")
     bindings.update(overrides)
     return spec, spec.case(**bindings)
 

@@ -49,6 +49,11 @@ def _run_everything(ckpt_dir):
 
     with engine.scope(telemetry="trace"):
         dw.dhop(dpsi)
+        # Compiled-kernel path: codegen.miss + codegen.compile (and
+        # the compile span) on the cold call, codegen.hit on the warm.
+        with engine.scope(codegen="memory"):
+            w.dhop(psi)
+            w.dhop(psi)
         solve_fermion(w, psi, method="cg", tol=1e-6, max_iter=100)
         campaign.record_fired("field-bitflip", "psi")
         campaign.record_detected("nan-guard")
@@ -76,6 +81,10 @@ class TestResetCompleteness:
         assert mid["fault.detected"] == 1
         assert mid["fault.recovered"] == 1
         assert mid["perf.halo_posts"] > 0
+        assert mid["codegen.compile"] >= 1
+        assert mid["codegen.miss"] >= 1
+        assert mid["codegen.hit"] >= 1
+        assert mid["perf.codegen_dhop_calls"] >= 2
         assert mid["supervisor.attempts"] >= 4
         assert mid["supervisor.retries"] >= 2
         assert mid["checkpoint.saves"] >= 1
@@ -89,6 +98,7 @@ class TestResetCompleteness:
         assert summary["telemetry_metrics_reset"] > 0
         assert summary["telemetry_spans_cleared"] > 0
         assert summary["breakers_tripped"] >= 1
+        assert summary["codegen_cache_cleared"] >= 1
 
         after = telemetry.snapshot()
         nonzero = {k: v for k, v in after.items() if v != 0}

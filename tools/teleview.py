@@ -59,6 +59,20 @@ def span_summary_table(spans) -> str:
     return _table(["span", "calls", "seconds", "mean_s"], body)
 
 
+def codegen_table(spans) -> str:
+    """Compile activity of the codegen cache: one row per
+    ``codegen.compile`` span (a cold compile; warm hits never open a
+    span, so an empty table on a warmed-up run is the success case)."""
+    rows = [s for s in spans if s.name == "codegen.compile"]
+    if not rows:
+        return "(no codegen compiles — cache was warm or codegen off)"
+    body = [[s.attrs.get("kind", "?"), s.attrs.get("key", "?"),
+             s.duration] for s in rows]
+    total = sum(s.duration for s in rows)
+    body.append(["TOTAL", f"{len(rows)} compiles", total])
+    return _table(["kind", "key", "seconds"], body)
+
+
 def residual_series(spans) -> str:
     """The residual-vs-iteration series of every solve span."""
     rows = convergence_from_spans(spans)
@@ -88,6 +102,8 @@ def main(argv=None) -> int:
                     help="only the roofline report")
     ap.add_argument("--convergence", action="store_true",
                     help="only the convergence report")
+    ap.add_argument("--codegen", action="store_true",
+                    help="only the codegen compile report")
     ap.add_argument("--residuals", action="store_true",
                     help="with the convergence report, print the full "
                     "residual-vs-iteration series")
@@ -100,12 +116,15 @@ def main(argv=None) -> int:
               file=sys.stderr)
         return 2
 
-    chosen = args.spans or args.roofline or args.convergence
+    chosen = (args.spans or args.roofline or args.convergence
+              or args.codegen)
     out = [f"# {args.artifact}: {len(spans)} spans"]
     if args.spans or not chosen:
         out += ["", "## spans", span_summary_table(spans)]
     if args.roofline or not chosen:
         out += ["", "## roofline", roofline_table(spans)]
+    if args.codegen or not chosen:
+        out += ["", "## codegen", codegen_table(spans)]
     if args.convergence or not chosen:
         out += ["", "## convergence", convergence_table(spans)]
         if args.residuals:
