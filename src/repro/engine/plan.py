@@ -126,6 +126,11 @@ class KernelPlan:
       ``exec``-compiled kernel from the :mod:`repro.codegen` cache
       (resolved off unless the backend is fused-safe).  Takes
       precedence over ``fused`` at dispatch.
+    * ``transport`` — (dist only) the halo/sweep backend:
+      ``"in-process"`` (the bit-identical reference) or ``"shmem"``
+      (the multiprocessing rank runtime).  Resolved like ``codegen``:
+      the policy knob takes effect only where it applies (the
+      rank-decomposed sweep, engine on).
     * ``policy`` — the policy this plan was resolved under (the cache
       key half that isn't the grid).
     * ``stages`` — mutable per-stage counters (see
@@ -141,6 +146,7 @@ class KernelPlan:
     caches: bool
     policy: ExecutionPolicy
     codegen: str = "off"
+    transport: str = "in-process"
     stages: StageCounters = field(
         default_factory=StageCounters, compare=False, repr=False
     )
@@ -150,16 +156,21 @@ def _resolve(kind: str, backend, policy: ExecutionPolicy) -> KernelPlan:
     """Derive the plan for (kind, backend, policy) — the one place the
     scattered dispatch conditions used to live."""
     safe = fused_safe_backend(backend)
+    transport = (policy.transport
+                 if (kind == "dist-dhop" and policy.transport_active)
+                 else "in-process")
     return KernelPlan(
         kind=kind,
         fused=policy.fused_active and safe,
-        overlap=(kind == "dist-dhop" and policy.overlap_active and safe),
+        overlap=(kind == "dist-dhop" and policy.overlap_active and safe
+                 and transport == "in-process"),
         batched=policy.batching,
         workers=policy.workers if policy.enabled else 1,
         tile_min_sites=policy.tile_min_sites,
         caches=policy.caches_active,
         policy=policy,
         codegen=policy.codegen if (policy.codegen_active and safe) else "off",
+        transport=transport,
     )
 
 

@@ -119,6 +119,15 @@ class ExecutionPolicy:
         Deliberately *not* gated on ``enabled`` — the reference
         (engine-off) paths are exactly what one wants to profile
         against.
+    transport:
+        Distributed halo/sweep backend (:mod:`repro.grid.comms`).
+        ``"in-process"`` (the default) is the bit-identical reference:
+        simulated ranks exchanged inside one process.  ``"shmem"``
+        runs the multiprocessing rank runtime — one OS process per
+        rank over ``multiprocessing.shared_memory`` segments — for
+        real parallel wall-clock.  Only effective while ``enabled``
+        and only on the distributed hopping sweep; results are
+        bit-identical across backends.
     """
 
     enabled: bool = True
@@ -134,12 +143,17 @@ class ExecutionPolicy:
     comms_faults: Optional[object] = None
     codegen: str = "off"
     telemetry: str = "off"
+    transport: str = "in-process"
 
     #: Legal ``telemetry`` levels, in increasing order of detail.
     TELEMETRY_LEVELS = ("off", "metrics", "trace")
 
     #: Legal ``codegen`` modes, in increasing order of persistence.
     CODEGEN_MODES = ("off", "memory", "disk")
+
+    #: Legal ``transport`` backends (mirrors
+    #: :data:`repro.grid.comms.transport.TRANSPORTS`).
+    TRANSPORTS = ("in-process", "shmem")
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -157,6 +171,11 @@ class ExecutionPolicy:
             raise ValueError(
                 f"codegen must be one of {self.CODEGEN_MODES}, "
                 f"got {self.codegen!r}"
+            )
+        if self.transport not in self.TRANSPORTS:
+            raise ValueError(
+                f"transport must be one of {self.TRANSPORTS}, "
+                f"got {self.transport!r}"
             )
 
     # -- resolved (effective) views ------------------------------------
@@ -179,6 +198,12 @@ class ExecutionPolicy:
     def codegen_active(self) -> bool:
         """Compiled kernels are taken only with the engine on."""
         return self.enabled and self.codegen != "off"
+
+    @property
+    def transport_active(self) -> bool:
+        """A non-reference transport is taken only with the engine
+        on."""
+        return self.enabled and self.transport != "in-process"
 
     @property
     def metrics_active(self) -> bool:

@@ -36,6 +36,12 @@ def reset_all(counters: bool = True, caches: bool = True) -> dict:
       source store survives — persistence across process resets is
       its job) — cache invalidation never changes results, only
       forces re-derivation;
+    * transport runtimes: every live shared-memory rank runtime is
+      shut down — workers joined, every ``multiprocessing.
+      shared_memory`` segment unlinked — so a reset can never leak an
+      orphaned segment (:func:`repro.grid.comms.
+      shutdown_transport_runtimes`; lazy — nothing is imported or done
+      when the shmem backend was never used);
     * with ``counters`` (default): the process-global perf counters
       (:func:`repro.perf.counters.reset_counters`) and the whole
       telemetry layer — every registry instrument zeroed and the span
@@ -45,14 +51,21 @@ def reset_all(counters: bool = True, caches: bool = True) -> dict:
       leaves ``telemetry.snapshot()`` provably all-zero (the
       reset-completeness test pins this).
     """
-    from repro.grid.comms import invalidate_comms_plans, reset_all_comms
+    from repro.grid.comms import (
+        invalidate_comms_plans,
+        reset_all_comms,
+        shutdown_transport_runtimes,
+    )
     from repro.resilience.breaker import reset_breakers
     from repro.simd.resilient import reset_all_degraded
 
+    transports = shutdown_transport_runtimes()
     summary = {
         "comms_reset": reset_all_comms(),
         "backends_restored": reset_all_degraded(),
         "breakers_tripped": reset_breakers(),
+        "transport_runtimes_closed": transports["runtimes"],
+        "transport_segments_released": transports["segments"],
         "plan_hosts_cleared": 0,
         "comms_plans_cleared": 0,
         "trace_cache_cleared": False,

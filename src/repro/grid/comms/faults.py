@@ -1,0 +1,45 @@
+"""The fault-hook seam between transports and the resilience layer.
+
+Transports never import :mod:`repro.resilience`; they see only the
+duck-typed hook surface defined here: ``deliver(payload, message,
+attempt, stats) -> list[np.ndarray]`` — zero copies is a drop, one is
+a delivery (possibly corrupted or truncated), several are duplicates.
+:class:`repro.resilience.inject.CommsFaultInjector` implements it; so
+does the :class:`NullFaultHook` perfect link.
+
+:func:`adapt_fault_hook` normalises whatever the policy or constructor
+handed over (``None``, an injector, anything with ``deliver``) into
+that surface, and is what the shared-memory rank workers use on the
+injector pickled across the process boundary — the resilience layer's
+drop/corrupt/retry machinery applied, unchanged, to real wire traffic.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class NullFaultHook:
+    """The perfect link: every payload is delivered verbatim."""
+
+    def deliver(self, payload, message: int, attempt: int,
+                stats) -> list:
+        return [payload]
+
+
+def adapt_fault_hook(injector) -> Optional[object]:
+    """Normalise ``injector`` to the fault-hook surface (or ``None``).
+
+    ``None`` stays ``None`` — the wire keeps its pristine fast path —
+    and anything exposing ``deliver`` passes through untouched.  A
+    non-conforming object fails loudly here, at the seam, instead of
+    deep inside a rank worker's retry loop.
+    """
+    if injector is None:
+        return None
+    if not callable(getattr(injector, "deliver", None)):
+        raise TypeError(
+            "comms fault injector must expose deliver(payload, "
+            f"message, attempt, stats); got {type(injector)!r}"
+        )
+    return injector

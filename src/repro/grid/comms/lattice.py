@@ -2,11 +2,15 @@
 
 The coarsest parallelization level of Section II-A: "a set of
 sub-lattices is distributed over (a very large number of) different
-processes, e.g., different MPI ranks."  Here the "ranks" are in-process
-sub-lattices of one :class:`DistributedLattice`; the exchange is a
-deterministic buffer copy, optionally through the fp16 compression Grid
-applies to network data (Section V-B), with the transferred volume
-accounted so benchmarks can report wire bytes.
+processes, e.g., different MPI ranks."  Each "rank" is a sub-lattice
+of one :class:`DistributedLattice`; how bytes move between ranks is
+the business of the pluggable :class:`~repro.grid.comms.transport.
+Transport` — the in-process reference copies buffers through the
+byte-level wire codec (:mod:`repro.grid.comms.wire`), the
+shared-memory backend (:mod:`repro.grid.comms.shmem`) runs real rank
+processes over ``multiprocessing.shared_memory`` segments.  The
+transferred volume is accounted either way so benchmarks can report
+wire bytes.
 
 The distributed circular shift reuses :func:`repro.grid.cshift.
 cshift_local`, handing it the +dim neighbour rank's field for the
@@ -15,39 +19,31 @@ logic compose exactly as they do in Grid.
 
 Resilience
 ----------
-Production halo exchange runs for days over flaky interconnects, so the
-wire path here is byte-level and self-healing: every message can carry
+Production halo exchange runs for days over flaky interconnects, so
+the wire path is byte-level and self-healing: every message can carry
 a CRC-32 (``checksum_halos=True``), a :class:`repro.resilience.inject.
-CommsFaultInjector` can drop/corrupt/truncate/duplicate messages, and a
-detected-bad message is retransmitted with exponential backoff up to
-``max_retries`` times before :class:`HaloExchangeError` is raised.
-Without checksums the same faults are applied *silently*: a dropped or
-truncated message is zero-filled, a corrupted one is used as-is — the
-classic silent-data-corruption failure mode the checksummed path
-exists to prevent.  With no injector and no faults the checksummed
-path is bit-identical to the plain one.
+CommsFaultInjector` can drop/corrupt/truncate/duplicate messages, and
+a detected-bad message is retransmitted with exponential backoff up to
+``max_retries`` times before :class:`~repro.grid.comms.wire.
+HaloExchangeError` is raised.  Without checksums the same faults are
+applied *silently*: a dropped or truncated message is zero-filled, a
+corrupted one is used as-is — the classic silent-data-corruption
+failure mode the checksummed path exists to prevent.  With no injector
+and no faults the checksummed path is bit-identical to the plain one.
 
-Asynchronous exchange
----------------------
-Real halo exchange is non-blocking (``MPI_Isend``/``MPI_Irecv``); Grid
-hides it behind interior compute.  Here the split is explicit:
-:meth:`DistributedLattice._post_halo` performs the deterministic wire
-work (accounting, compression, checksum/retry) immediately and hands
-back a :class:`HaloHandle` whose *availability* is delayed by a
-pluggable :class:`LatencyModel`; :class:`AsyncCommsQueue` tracks the
-in-flight set and blocks in ``wait``.  With no latency model (the
-default) a wait returns instantly and the behaviour is exactly the old
-synchronous exchange.  The overlap engine (:mod:`repro.grid.overlap`)
-posts every halo up front and computes interior sites while the
-messages are "in flight", which is what makes the overlap observable
-and benchmarkable without real MPI.
+Transport selection
+-------------------
+Which backend a lattice talks through is a scoped policy knob: the
+``transport`` property resolves ``engine.scope(transport=...)`` into a
+live backend instance on demand (memoized per backend name, shared
+with clones), so existing code switches to the shared-memory rank
+runtime with no changes beyond the scope.  A ``transport=`` ctor
+argument pins a lattice to one backend regardless of policy.
 """
 
 from __future__ import annotations
 
-import time
 import weakref
-import zlib
 from dataclasses import dataclass
 
 import numpy as np
@@ -55,18 +51,17 @@ import numpy as np
 from repro.engine.policy import current_policy
 from repro.grid import compression
 from repro.grid.cartesian import GridCartesian
+from repro.grid.comms.queue import AsyncCommsQueue, HaloHandle, LatencyModel
+from repro.grid.comms.transport import Transport, make_transport
 from repro.grid.coordinates import coordinate_table, index_of, indices_of
 from repro.grid.cshift import cshift_local
 from repro.grid.lattice import Lattice
-from repro.perf.counters import counters as _perf_counters
 from repro.telemetry import metrics as _telemetry_metrics
-from repro.telemetry import trace as _telemetry_trace
 
-
-class HaloExchangeError(RuntimeError):
-    """A halo message could not be delivered intact within the retry
-    budget (detected, but unrecovered)."""
-
+__all__ = [
+    "CommsStats", "RankGeometry", "DistributedLattice",
+    "reset_all_comms", "invalidate_comms_plans",
+]
 
 #: Live distributed lattices, for :func:`reset_all_comms` (weakly held
 #: so benchmark/test fixtures can reset stray state without keeping
@@ -77,14 +72,16 @@ _LIVE_COMMS: "weakref.WeakSet" = weakref.WeakSet()
 def reset_all_comms() -> int:
     """Clear the comms state of every live :class:`DistributedLattice`:
     traffic/resilience counters and any halo still in the in-flight
-    queue.  Returns how many lattices were touched.  Called between
-    benchmark repetitions and campaign runs (the comms analogue of
-    :func:`repro.simd.resilient.reset_all_degraded`) so one run's
-    counters cannot bleed into the next's gated metrics."""
+    queue of any of its transports.  Returns how many lattices were
+    touched.  Called between benchmark repetitions and campaign runs
+    (the comms analogue of :func:`repro.simd.resilient.
+    reset_all_degraded`) so one run's counters cannot bleed into the
+    next's gated metrics."""
     n = 0
     for dl in list(_LIVE_COMMS):
         dl.stats.reset()
-        dl.comms_queue.reset()
+        for tr in dl._transports.values():
+            tr.reset()
         n += 1
     return n
 
@@ -93,7 +90,7 @@ def _collect_comms_metrics() -> dict:
     """Aggregate traffic/resilience stats and queue counters over every
     live :class:`DistributedLattice`, as a telemetry collector.
 
-    Clones share their parent's ``stats``/``comms_queue`` objects, so
+    Clones share their parent's ``stats`` and transport table, so
     aggregation dedupes by object identity.  The collector is a *view*:
     it resets with its owner (:func:`reset_all_comms`), which is what
     lets ``engine.reset_all`` produce a provably all-zero snapshot.
@@ -102,7 +99,8 @@ def _collect_comms_metrics() -> dict:
     queues_seen: dict = {}
     for dl in list(_LIVE_COMMS):
         stats_seen[id(dl.stats)] = dl.stats
-        queues_seen[id(dl.comms_queue)] = dl.comms_queue
+        for tr in dl._transports.values():
+            queues_seen[id(tr.queue)] = tr.queue
     out = {
         "comms.messages": 0, "comms.complex_sent": 0,
         "comms.bytes_sent": 0, "comms.retries": 0,
@@ -154,121 +152,6 @@ def invalidate_comms_plans() -> int:
     return n
 
 
-@dataclass(frozen=True)
-class LatencyModel:
-    """Simulated wire latency for the async halo exchange.
-
-    A posted message becomes available ``latency_s + nbytes *
-    seconds_per_byte`` after its post (an alpha-beta network model).
-    The *content* of the message is computed deterministically at post
-    time; the model delays only availability — so results are
-    bit-identical at any latency, while wall-clock behaviour shows the
-    serial-vs-overlapped difference the benchmarks measure.
-    """
-
-    latency_s: float = 0.0
-    seconds_per_byte: float = 0.0
-
-    def delay_for(self, nbytes: int) -> float:
-        return self.latency_s + nbytes * self.seconds_per_byte
-
-
-class HaloHandle:
-    """One in-flight halo message (the simulated ``MPI_Request``)."""
-
-    __slots__ = ("data", "ready_at", "nbytes", "tag", "done", "posted_at")
-
-    def __init__(self, data, ready_at: float, nbytes: int, tag: str,
-                 posted_at: float = 0.0) -> None:
-        self.data = data
-        self.ready_at = ready_at
-        self.nbytes = nbytes
-        self.tag = tag
-        self.done = False
-        self.posted_at = posted_at
-
-
-class AsyncCommsQueue:
-    """The in-flight halo queue: post now, wait later.
-
-    Tracks how many messages are simultaneously outstanding
-    (``max_in_flight`` — 1 for the ordered serial exchange, up to
-    2·ndim·nranks for the overlap engine) and how long ``wait``
-    actually blocked (``wait_seconds`` — the latency the overlap
-    failed to hide).
-    """
-
-    def __init__(self, latency: LatencyModel = None) -> None:
-        self.latency = latency
-        self.in_flight: list = []
-        self.posted = 0
-        self.completed = 0
-        self.max_in_flight = 0
-        self.wait_seconds = 0.0
-
-    def post(self, data, nbytes: int, tag: str = "") -> HaloHandle:
-        now = time.perf_counter()
-        delay = self.latency.delay_for(nbytes) if self.latency else 0.0
-        handle = HaloHandle(data, now + delay, int(nbytes), tag,
-                            posted_at=now)
-        self.in_flight.append(handle)
-        self.posted += 1
-        self.max_in_flight = max(self.max_in_flight, len(self.in_flight))
-        _perf_counters().bump("halo_posts")
-        return handle
-
-    def wait(self, handle: HaloHandle):
-        """Block until ``handle`` lands; returns the received data."""
-        if not handle.done:
-            blocked = 0.0
-            remaining = handle.ready_at - time.perf_counter()
-            if remaining > 0:
-                t0 = time.perf_counter()
-                if remaining > 1e-3:
-                    time.sleep(remaining - 5e-4)
-                while time.perf_counter() < handle.ready_at:
-                    pass  # sub-millisecond tail: spin for accuracy
-                blocked = time.perf_counter() - t0
-                self.wait_seconds += blocked
-            handle.done = True
-            self.in_flight.remove(handle)
-            self.completed += 1
-            _perf_counters().bump("halo_waits")
-            policy = current_policy()
-            if policy.metrics_active:
-                done_at = time.perf_counter()
-                _telemetry_metrics.registry().histogram(
-                    "comms.halo_inflight_seconds"
-                ).observe(done_at - handle.posted_at)
-                _telemetry_metrics.registry().histogram(
-                    "comms.halo_wait_seconds"
-                ).observe(blocked)
-                if policy.trace_active:
-                    _telemetry_trace.record_span(
-                        "halo", handle.posted_at, done_at,
-                        tag=handle.tag, nbytes=handle.nbytes,
-                        wait_seconds=blocked,
-                    )
-        return handle.data
-
-    def drain(self) -> None:
-        """Complete every outstanding message."""
-        for handle in list(self.in_flight):
-            self.wait(handle)
-
-    @property
-    def pending(self) -> int:
-        return len(self.in_flight)
-
-    def reset(self) -> None:
-        """Discard in-flight messages and zero the queue counters."""
-        self.in_flight.clear()
-        self.posted = 0
-        self.completed = 0
-        self.max_in_flight = 0
-        self.wait_seconds = 0.0
-
-
 @dataclass
 class CommsStats:
     """Accounting of simulated network traffic and link health.
@@ -300,6 +183,20 @@ class CommsStats:
     def detected_failures(self) -> int:
         """All protocol-visible delivery failures."""
         return self.detected_corruptions + self.detected_drops
+
+    def merge(self, other: "CommsStats") -> None:
+        """Fold another stats block into this one (rank workers keep
+        local stats; the parent merges them after each sweep)."""
+        self.messages += other.messages
+        self.complex_sent += other.complex_sent
+        self.bytes_sent += other.bytes_sent
+        self.retries += other.retries
+        self.detected_corruptions += other.detected_corruptions
+        self.detected_drops += other.detected_drops
+        self.duplicates_discarded += other.duplicates_discarded
+        self.recovered_messages += other.recovered_messages
+        self.unrecovered_failures += other.unrecovered_failures
+        self.backoff_units += other.backoff_units
 
     def reset(self) -> None:
         """Zero every counter (between benchmark reps / campaign runs)."""
@@ -337,7 +234,7 @@ class RankGeometry:
 
 
 class DistributedLattice:
-    """One logical lattice split over simulated ranks.
+    """One logical lattice split over ranks.
 
     Each rank holds a :class:`Lattice` over a local
     :class:`GridCartesian` (same backend and SIMD layout everywhere).
@@ -353,12 +250,19 @@ class DistributedLattice:
         every wire message.  ``None`` means a perfect network.
     max_retries:
         Retransmissions allowed per message before the exchange gives
-        up and raises :class:`HaloExchangeError` (checksummed path
-        only).
+        up and raises :class:`~repro.grid.comms.wire.HaloExchangeError`
+        (checksummed path only).
     latency:
         Optional :class:`LatencyModel` delaying halo availability
         (``None`` means a zero-latency wire, i.e. the old synchronous
         behaviour).
+    transport:
+        Pin this lattice to one backend: a name from
+        :data:`repro.grid.comms.transport.TRANSPORTS` or a ready
+        :class:`Transport` instance.  The default (``None``) resolves
+        the backend dynamically from the scoped policy knob on every
+        use, so ``engine.scope(transport="shmem")`` re-routes existing
+        lattices too.
 
     ``comms_faults`` and ``latency`` default to the corresponding
     fields of the current :class:`repro.engine.ExecutionPolicy` when
@@ -371,7 +275,7 @@ class DistributedLattice:
                  simd_layout=None, compress_halos: bool = False,
                  dtype=np.complex128, checksum_halos: bool = False,
                  comms_faults=None, max_retries: int = 3,
-                 latency: LatencyModel = None) -> None:
+                 latency: LatencyModel = None, transport=None) -> None:
         policy = current_policy()
         if comms_faults is None:
             comms_faults = policy.comms_faults
@@ -384,7 +288,12 @@ class DistributedLattice:
         self.max_retries = int(max_retries)
         self.latency = latency
         self.stats = CommsStats()
-        self.comms_queue = AsyncCommsQueue(latency)
+        self._transports: dict = {}
+        self._pinned_transport = None
+        if transport is not None:
+            self._pinned_transport = make_transport(transport, latency)
+            self._transports[self._pinned_transport.name] = \
+                self._pinned_transport
         self._shift_params: dict = {}
         self._halo_sizes: dict = {}
         self.grids = []
@@ -398,12 +307,39 @@ class DistributedLattice:
         self.tensor_shape = self.locals[0].tensor_shape
         _LIVE_COMMS.add(self)
 
+    # ------------------------------------------------------------------
+    # Transport resolution
+    # ------------------------------------------------------------------
+    @property
+    def transport(self) -> Transport:
+        """The live backend this lattice talks through *right now*:
+        the pinned one if the ctor fixed it, otherwise the scoped
+        ``ExecutionPolicy.transport`` knob (falling back to the
+        in-process reference whenever the engine is disabled).
+        Instances are memoized per backend name and shared with
+        clones, so counters and in-flight queues stay coherent."""
+        if self._pinned_transport is not None:
+            return self._pinned_transport
+        policy = current_policy()
+        name = policy.transport if policy.transport_active else "in-process"
+        tr = self._transports.get(name)
+        if tr is None:
+            tr = make_transport(name, self.latency)
+            self._transports[name] = tr
+        return tr
+
+    @property
+    def comms_queue(self) -> AsyncCommsQueue:
+        """The current transport's in-flight halo queue (historical
+        attribute, preserved as a view)."""
+        return self.transport.queue
+
     def clone_empty(self, tensor_shape=None) -> "DistributedLattice":
         """A new distributed field sharing geometry, comms config,
-        stats and the in-flight queue with ``self`` but holding no
-        local lattices yet.  ``tensor_shape`` overrides the per-site
-        tensor (used by the multi-RHS batch type); the halo-size cache
-        is shared only when the tensor is unchanged."""
+        stats and transports (hence in-flight queues) with ``self``
+        but holding no local lattices yet.  ``tensor_shape`` overrides
+        the per-site tensor (used by the multi-RHS batch type); the
+        halo-size cache is shared only when the tensor is unchanged."""
         out = DistributedLattice.__new__(DistributedLattice)
         out.ranks = self.ranks
         out.compress_halos = self.compress_halos
@@ -412,7 +348,8 @@ class DistributedLattice:
         out.max_retries = self.max_retries
         out.latency = self.latency
         out.stats = self.stats
-        out.comms_queue = self.comms_queue
+        out._transports = self._transports
+        out._pinned_transport = self._pinned_transport
         out._shift_params = self._shift_params
         out.grids = self.grids
         out.gdims = self.gdims
@@ -424,6 +361,19 @@ class DistributedLattice:
             out._halo_sizes = {}
         out.locals = []
         _LIVE_COMMS.add(out)
+        return out
+
+    def new_like(self) -> "DistributedLattice":
+        """A zero field on the same geometry (what the Krylov solvers
+        ask of any field type)."""
+        out = self.clone_empty()
+        out.locals = [lat.new_like() for lat in self.locals]
+        return out
+
+    def copy(self) -> "DistributedLattice":
+        """A deep copy of the field data (shared geometry/comms)."""
+        out = self.clone_empty()
+        out.locals = [lat.copy() for lat in self.locals]
         return out
 
     # ------------------------------------------------------------------
@@ -460,68 +410,7 @@ class DistributedLattice:
         return out
 
     # ------------------------------------------------------------------
-    # The wire: byte-level transmit with detection and retry
-    # ------------------------------------------------------------------
-    def _transmit(self, payload: np.ndarray) -> np.ndarray:
-        """Send one message through the (possibly faulty) link.
-
-        ``payload`` is the flat uint8 wire image.  Returns the received
-        bytes.  With checksums enabled a bad delivery is detected and
-        retransmitted (bounded, exponential backoff); without them the
-        receiver has no way to know and degrades silently.
-        """
-        injector = self.comms_faults
-        if injector is None and not self.checksum_halos:
-            return payload
-        # record() has already counted this message; its 0-based ordinal:
-        msg_id = self.stats.messages - 1
-        for attempt in range(self.max_retries + 1):
-            if injector is None:
-                copies = [payload]
-            else:
-                copies = injector.deliver(payload, message=msg_id,
-                                          attempt=attempt, stats=self.stats)
-            if not self.checksum_halos:
-                # No detection: take the first delivery at face value.
-                if not copies:
-                    return np.zeros_like(payload)  # "timeout" -> zeros
-                got = copies[0]
-                if got.size < payload.size:  # truncated -> zero-padded
-                    got = np.concatenate(
-                        [got, np.zeros(payload.size - got.size,
-                                       dtype=np.uint8)]
-                    )
-                return got[:payload.size]
-            # Checksummed path: CRC over the intact payload travels in
-            # the (never-corrupted) message envelope.
-            crc = zlib.crc32(payload.tobytes())
-            good = None
-            for i, got in enumerate(copies):
-                ok = (got.size == payload.size
-                      and zlib.crc32(got.tobytes()) == crc)
-                if ok and good is None:
-                    good = got
-                elif i > 0:
-                    self.stats.duplicates_discarded += 1
-            if good is not None:
-                if attempt > 0:
-                    self.stats.recovered_messages += 1
-                return good
-            if not copies:
-                self.stats.detected_drops += 1
-            else:
-                self.stats.detected_corruptions += 1
-            if attempt < self.max_retries:
-                self.stats.retries += 1
-                self.stats.backoff_units += 1 << attempt
-        self.stats.unrecovered_failures += 1
-        raise HaloExchangeError(
-            f"halo message {msg_id} undeliverable after "
-            f"{self.max_retries} retries"
-        )
-
-    # ------------------------------------------------------------------
-    # Halo exchange + shift
+    # Halo exchange + shift (delegated to the transport)
     # ------------------------------------------------------------------
     def _halo_sizes_for(self, dim: int):
         """(n_complex, wire_bytes) of one +dim halo message — memoized
@@ -541,46 +430,17 @@ class DistributedLattice:
         return sizes
 
     def _post_halo(self, src_rank: int, dim: int) -> HaloHandle:
-        """Post the +dim neighbour's field exchange for ``src_rank`` to
-        the in-flight queue.  Volume is accounted as the genuine halo —
-        one boundary slab — although the simulation hands over the full
-        array for simplicity.
-
-        Every deterministic step of the wire path — accounting,
-        compression, fault injection, checksum verification, retry —
-        runs *here at post time*; the latency model delays only the
-        availability of the (already final) received data.  That is
-        what makes the overlapped exchange bit-identical to the
-        ordered one by construction.
-        """
-        nbr = self.ranks.neighbour(src_rank, dim, +1)
-        data = self.locals[nbr].data
-        grid = self.grids[src_rank]
-        n_complex, nbytes = self._halo_sizes_for(dim)
-        self.stats.record(n_complex, self.compress_halos, grid.dtype)
-        pristine = self.comms_faults is None
-        tag = f"r{src_rank}+d{dim}"
-        if not self.compress_halos:
-            if pristine and not self.checksum_halos:
-                return self.comms_queue.post(data, nbytes, tag)
-            wire = np.ascontiguousarray(data).view(np.uint8).ravel()
-            received = self._transmit(wire)
-            out = received.copy().view(grid.dtype).reshape(data.shape)
-            return self.comms_queue.post(out, nbytes, tag)
-        wire16 = compression.compress_complex(data)
-        wire = np.ascontiguousarray(wire16).view(np.uint8).ravel()
-        received = self._transmit(wire) if not pristine or \
-            self.checksum_halos else wire
-        out = compression.decompress_complex(
-            received.copy().view(np.float16), grid.dtype
-        ).reshape(data.shape)
-        return self.comms_queue.post(out, nbytes, tag)
+        """Post the +dim neighbour-field exchange for ``src_rank``
+        through the current transport (historical entry point,
+        preserved as a delegation)."""
+        return self.transport.post_halo(self, src_rank, dim)
 
     def _exchanged_field(self, src_rank: int, dim: int) -> np.ndarray:
         """The +dim neighbour's local field, through the (optionally
         compressing, optionally checksummed) wire — the ordered
         synchronous exchange: post, then immediately wait."""
-        return self.comms_queue.wait(self._post_halo(src_rank, dim))
+        transport = self.transport
+        return transport.wait(transport.post_halo(self, src_rank, dim))
 
     def _dist_shift_params(self, dim: int, shift: int):
         """(rank_steps, local_shift) decomposition of a global shift —

@@ -116,6 +116,15 @@ class DistributedWilson:
             from repro.grid.multirhs import split_rhs, stack_rhs
 
             return stack_rhs([self.dhop(c) for c in split_rhs(psi)])
+        if plan.transport != "in-process":
+            # A real transport backend owns the whole sweep: halo
+            # traffic crosses an actual process boundary and the
+            # rank-local arithmetic runs where the shards live.  The
+            # backend may decline (None) — e.g. a geometry it cannot
+            # host — and the reference path below takes over.
+            hopped = psi.transport.run_dhop(self, psi, plan)
+            if hopped is not None:
+                return hopped
         if plan.overlap:
             # Post-all-halos / interior / shells schedule — same
             # message order and per-site arithmetic as the ordered

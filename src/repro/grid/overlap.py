@@ -127,6 +127,10 @@ def overlapped_dhop(op, psi, kplan=None):
     out = op._zero_like(psi)
 
     # -- Phase 1: post every halo, in the ordered path's message order.
+    # One transport resolution covers the whole sweep: post and wait
+    # go through the same backend even if the policy scope changes
+    # mid-flight.
+    transport = psi.transport
     srcs = {}
     handles = {}
     with _telemetry.span("overlap.post", nranks=nranks):
@@ -140,8 +144,8 @@ def overlapped_dhop(op, psi, kplan=None):
                 if s == 0:
                     continue
                 for r in range(nranks):
-                    handles[(mu, sign, r)] = psi._post_halo(
-                        srcs[(mu, sign, r)], mu
+                    handles[(mu, sign, r)] = transport.post_halo(
+                        psi, srcs[(mu, sign, r)], mu
                     )
     if kplan is not None:
         kplan.stages.bump("post", len(handles))
@@ -227,7 +231,7 @@ def overlapped_dhop(op, psi, kplan=None):
                 if s == 0:
                     continue
                 for r in range(nranks):
-                    halo = psi.comms_queue.wait(handles[(d, sign, r)])
+                    halo = transport.wait(handles[(d, sign, r)])
                     buf = bufs[r][(d, sign)]
                     src_data = psi.locals[srcs[(d, sign, r)]].data
                     for k, sel, src_osites, nbr_lanes in \

@@ -27,6 +27,7 @@ README's *Performance* section for re-baselining instructions.
 from __future__ import annotations
 
 import json
+import os
 import platform
 import time
 from dataclasses import dataclass, field
@@ -342,6 +343,72 @@ def bench_halo_messages(dims=(4, 4, 4, 4), mpi=(2, 1, 1, 1),
     return rec
 
 
+def bench_transport(dims=(8, 8, 8, 8), mpi=(4, 1, 1, 1),
+                    reps: int = 5) -> BenchRecord:
+    """The shared-memory rank runtime vs the in-process reference.
+
+    Parity is exact-gated: the shmem dhop must be bit-identical to the
+    in-process sweep and issue exactly its halo messages — the wire is
+    real but the protocol is the same.  The wall-clock ratios (shmem
+    vs in-process, and 4 rank workers vs 1) are info-gated: they are
+    machine-dependent — real parallel speedup needs real cores, and CI
+    runners vary — so ``cpu_count`` rides along in the record and a
+    baseline should be promoted from the target machine before
+    tightening either gate to ``min``.  Teardown is exact-gated too:
+    after the bench's reset no shared-memory segment may survive."""
+    import repro.engine as engine
+    from repro.grid.comms.shmem import live_segments, wire_bytes_for
+
+    be = get_backend("generic256")
+    grid = GridCartesian(list(dims), be)
+    links = random_gauge(grid, seed=11)
+    psi = random_spinor(grid, seed=7)
+    dlinks = distribute_gauge(links, list(dims), be, list(mpi))
+    w = DistributedWilson(dlinks, mass=0.1)
+    dpsi = DistributedLattice(list(dims), be, list(mpi),
+                              (4, 3)).scatter(psi.to_canonical())
+    solo_links = distribute_gauge(links, list(dims), be, [1, 1, 1, 1])
+    w1 = DistributedWilson(solo_links, mass=0.1)
+    dpsi1 = DistributedLattice(list(dims), be, [1, 1, 1, 1],
+                               (4, 3)).scatter(psi.to_canonical())
+    with perf.configured(enabled=True):
+        ref = w.dhop(dpsi).gather()
+        m_ref = dpsi.stats.messages
+        t_inproc = _median_wall(lambda: w.dhop(dpsi), reps)
+        with engine.scope(transport="shmem"):
+            dpsi.stats.reset()
+            got = w.dhop(dpsi).gather()
+            m_shm = dpsi.stats.messages
+            t_shm = _median_wall(lambda: w.dhop(dpsi), reps)
+            w1.dhop(dpsi1)  # start the 1-rank runtime off the clock
+            t_shm_1rank = _median_wall(lambda: w1.dhop(dpsi1), reps)
+    wire_bytes = wire_bytes_for(dpsi)
+    engine.reset_all()
+    rec = BenchRecord(name="transport", wall_seconds=t_inproc + t_shm)
+    rec.metric("bit_identical", bool(np.array_equal(ref, got)), "exact")
+    rec.metric("message_ratio_shmem",
+               round(m_shm / m_ref, 4) if m_ref else 1.0, "exact")
+    rec.metric("shmem_vs_inprocess_speedup",
+               round(t_inproc / t_shm, 3), "info")
+    rec.metric("shmem_4rank_vs_1rank_speedup",
+               round(t_shm_1rank / t_shm, 3), "info")
+    rec.metric("segments_after_reset", len(live_segments()), "exact")
+    rec.info.update({
+        "dims": list(dims), "mpi": list(mpi), "reps": reps,
+        "cpu_count": os.cpu_count(),
+        "wall_inprocess": t_inproc, "wall_shmem": t_shm,
+        "wall_shmem_1rank": t_shm_1rank,
+        "wire_bytes_per_sweep": int(wire_bytes),
+        "messages_per_sweep": int(m_shm),
+        "promote_note": (
+            "speedup metrics stay info-gated until a baseline is "
+            "promoted from a machine with enough cores for the rank "
+            "workers (cpu_count above)"
+        ),
+    })
+    return rec
+
+
 def bench_block_cg(dims=(4, 4, 4, 4), nrhs: int = 4, tol: float = 1e-7,
                    max_iter: int = 500) -> BenchRecord:
     """Block (batched multi-RHS) CG vs the per-RHS solve loop.
@@ -650,6 +717,7 @@ def run_suite(full: bool = False, workers: int = 4,
         bench_halo,
         bench_overlap_dslash,
         bench_halo_messages,
+        bench_transport,
         bench_block_cg,
         lambda: bench_campaign(vls=campaign_vls),
         bench_supervisor,

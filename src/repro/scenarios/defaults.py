@@ -51,7 +51,9 @@ def _sve_probe_shape(case) -> bool:
             and case["workers"] == 1 and case["caches"] is True
             and case["batching"] is True and case["overlap"] is True
             and case["codegen"] == "off"
-            and case["telemetry"] == "off" and case["fault"] == "none")
+            and case["telemetry"] == "off"
+            and case["transport"] == "in-process"
+            and case["fault"] == "none")
 
 
 def default_spec() -> ScenarioSpec:
@@ -74,6 +76,7 @@ def default_spec() -> ScenarioSpec:
             Axis("codegen", ("off", "memory", "disk")),
             Axis("workers", (1, 4)),
             Axis("telemetry", ("off", "metrics")),
+            Axis("transport", ("in-process", "shmem")),
             Axis("fault", ("none", "memory", "comms", "disk")),
         ),
         constraints=(
@@ -100,6 +103,18 @@ def default_spec() -> ScenarioSpec:
                 ),
                 forbids=lambda c: (c["fault"] == "memory"
                                    and c["operator"] == "wilson-dist"),
+            ),
+            Constraint(
+                reason=(
+                    "the shared-memory rank runtime hosts the "
+                    "distributed operator only, and its wire faults "
+                    "are exercised by the dedicated transport tests "
+                    "(a seeded injector cannot cross a process "
+                    "boundary deterministically)"
+                ),
+                forbids=lambda c: (c["transport"] == "shmem"
+                                   and (c["operator"] != "wilson-dist"
+                                        or c["fault"] != "none")),
             ),
         ),
         rules=(

@@ -97,6 +97,7 @@ def policy_overrides(case: Case) -> dict:
         "codegen": case.get("codegen", "off"),
         "workers": case["workers"],
         "telemetry": case["telemetry"],
+        "transport": case.get("transport", "in-process"),
         "backend": backend_key(case),
     }
     if case["workers"] > 1:

@@ -21,7 +21,7 @@ def _case(**overrides):
     bindings = dict(operator="wilson", family="generic", vl=128,
                     fused=True, overlap=True, batching=True, caches=True,
                     codegen="off", workers=1, telemetry="off",
-                    fault="none")
+                    transport="in-process", fault="none")
     bindings.update(overrides)
     return spec, spec.case(**bindings)
 

@@ -49,6 +49,11 @@ def _run_everything(ckpt_dir):
 
     with engine.scope(telemetry="trace"):
         dw.dhop(dpsi)
+        # Shared-memory transport: rank-runtime counters, the segment
+        # gauge, halo-wait observations — and live segments + worker
+        # processes the reset must tear down.
+        with engine.scope(transport="shmem"):
+            dw.dhop(dpsi)
         # Compiled-kernel path: codegen.miss + codegen.compile (and
         # the compile span) on the cold call, codegen.hit on the warm.
         with engine.scope(codegen="memory"):
@@ -91,7 +96,15 @@ class TestResetCompleteness:
         assert mid["breaker.opened"] >= 1
         assert mid["breaker.live"] >= 2
         assert mid["breaker.open_now"] >= 1
+        assert mid["transport.shmem.sweeps"] >= 1
+        assert mid["transport.shmem.messages"] > 0
+        assert mid["transport.shmem.bytes"] > 0
+        assert mid["transport.shmem.segments"] > 0
+        assert mid["comms.halo_wait_seconds.count"] > 0
         assert len(telemetry.buffer()) > 0
+        from repro.grid.comms.shmem import live_segments
+
+        assert live_segments() != []
 
         summary = engine.reset_all()
         assert summary["counters_reset"] is True
@@ -99,6 +112,11 @@ class TestResetCompleteness:
         assert summary["telemetry_spans_cleared"] > 0
         assert summary["breakers_tripped"] >= 1
         assert summary["codegen_cache_cleared"] >= 1
+        # The rank runtime is gone: workers joined, every shared-memory
+        # segment unlinked — a reset can never leak an orphan.
+        assert summary["transport_runtimes_closed"] >= 1
+        assert summary["transport_segments_released"] > 0
+        assert live_segments() == []
 
         after = telemetry.snapshot()
         nonzero = {k: v for k, v in after.items() if v != 0}
