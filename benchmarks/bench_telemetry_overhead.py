@@ -13,10 +13,22 @@ minimum exceeds the untraced minimum by more than ``--gate`` (default
 allocations) is pinned separately by call-count in
 ``tests/telemetry/test_overhead.py``.
 
+``--transport shmem`` measures the same question across the process
+boundary: repeated distributed Wilson-Dslash sweeps through the
+shared-memory rank runtime, off vs trace (worker span collection +
+reply shipping + parent-side merge).  The runtime stays warm across
+reps — ``reset_all`` would tear the worker pool down and the first
+timed sweep would pay a respawn — and telemetry state is drained
+between reps instead.  This variant is **informational** (reported,
+never failed): worker scheduling noise on shared CI runners has not
+been characterised yet; promote it to a hard gate by passing
+``--gate`` explicitly once it has.
+
 Usage::
 
     python benchmarks/bench_telemetry_overhead.py
     python benchmarks/bench_telemetry_overhead.py --reps 9 --gate 0.10
+    python benchmarks/bench_telemetry_overhead.py --transport shmem
 """
 
 from __future__ import annotations
@@ -65,6 +77,50 @@ def measure(workload, level: str, reps: int) -> list:
     return times
 
 
+def build_shmem_workload(dhop_reps: int = 40):
+    """Repeated distributed dhop sweeps through the rank runtime."""
+    from repro.grid.comms import DistributedLattice
+    from repro.grid.dist_wilson import DistributedWilson, distribute_gauge
+
+    dims, mpi = [4, 4, 4, 4], [2, 1, 1, 1]
+    be = get_backend("generic256")
+    grid = GridCartesian(dims, be)
+    dw = DistributedWilson(
+        distribute_gauge(random_gauge(grid, seed=11), dims, be, mpi),
+        mass=0.3,
+    )
+    dpsi = DistributedLattice(dims, be, mpi, (4, 3)).scatter(
+        random_spinor(grid, seed=5).to_canonical()
+    )
+
+    def workload() -> None:
+        x = dpsi
+        for _ in range(dhop_reps):
+            x = dw.dhop(x)
+
+    return workload
+
+
+def measure_shmem(workload, level: str, reps: int) -> list:
+    """Per-rep wall times over the shared-memory transport.
+
+    The rank runtime stays warm across reps (``reset_all`` would join
+    the workers and the first timed sweep would pay a pool respawn);
+    instead, the telemetry layer alone is drained between reps so
+    buffered spans and merge-layer state cannot leak between levels.
+    """
+    from repro import telemetry
+
+    times = []
+    for _ in range(reps):
+        with engine.scope(telemetry=level, transport="shmem"):
+            telemetry.reset()
+            t0 = time.perf_counter()
+            workload()
+            times.append(time.perf_counter() - t0)
+    return times
+
+
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument(
@@ -76,8 +132,9 @@ def main(argv=None) -> int:
     ap.add_argument(
         "--gate",
         type=float,
-        default=0.10,
-        help="max traced/untraced median overhead (default 0.10)",
+        default=None,
+        help="max traced/untraced overhead (default 0.10 in-process; "
+        "the shmem variant is informational unless a gate is given)",
     )
     ap.add_argument(
         "--dhop-reps",
@@ -85,28 +142,57 @@ def main(argv=None) -> int:
         default=40,
         help="dhop applications per workload rep (default 40)",
     )
+    ap.add_argument(
+        "--transport",
+        choices=("in-process", "shmem"),
+        default="in-process",
+        help="workload transport: the in-process reference path "
+        "(gated) or the shared-memory rank runtime (informational)",
+    )
     args = ap.parse_args(argv)
 
-    workload = build_workload(dhop_reps=args.dhop_reps)
-    workload()  # warm every cache before either level is timed
+    shmem = args.transport == "shmem"
+    if shmem:
+        workload = build_shmem_workload(dhop_reps=args.dhop_reps)
+        with engine.scope(transport="shmem"):
+            workload()  # warm: spawn the worker pool, load segments
+        run = measure_shmem
+    else:
+        workload = build_workload(dhop_reps=args.dhop_reps)
+        workload()  # warm every cache before either level is timed
+        run = measure
+    gate = args.gate if args.gate is not None else \
+        (None if shmem else 0.10)
 
     # Interleave one rep per level per round: slow machine drift (CI
     # neighbours, thermal throttling) then biases both medians alike.
     off, on = [], []
-    for _ in range(args.reps):
-        off += measure(workload, "off", 1)
-        on += measure(workload, "trace", 1)
+    try:
+        for _ in range(args.reps):
+            off += run(workload, "off", 1)
+            on += run(workload, "trace", 1)
+    finally:
+        if shmem:
+            engine.reset_all()  # join workers, unlink segments
 
     best_off = min(off)
     best_on = min(on)
     overhead = best_on / best_off - 1.0
-    print(f"telemetry off  : best {best_off * 1e3:8.2f} ms  ({args.reps} reps)")
-    print(f"telemetry trace: best {best_on * 1e3:8.2f} ms  ({args.reps} reps)")
-    print(f"overhead       : {overhead:+.2%}  (gate {args.gate:.0%})")
-    if overhead > args.gate:
+    label = f"[{args.transport}]"
+    print(f"telemetry off  : best {best_off * 1e3:8.2f} ms  "
+          f"({args.reps} reps) {label}")
+    print(f"telemetry trace: best {best_on * 1e3:8.2f} ms  "
+          f"({args.reps} reps) {label}")
+    if gate is None:
+        print(f"overhead       : {overhead:+.2%}  (informational — "
+              "pass --gate to enforce; promote once CI worker-"
+              "scheduling variance is characterised)")
+        return 0
+    print(f"overhead       : {overhead:+.2%}  (gate {gate:.0%})")
+    if overhead > gate:
         print(
             f"FAIL: tracing overhead {overhead:+.2%} exceeds the "
-            f"{args.gate:.0%} gate",
+            f"{gate:.0%} gate",
             file=sys.stderr,
         )
         return 1

@@ -44,11 +44,13 @@ def reset_all(counters: bool = True, caches: bool = True) -> dict:
       when the shmem backend was never used);
     * with ``counters`` (default): the process-global perf counters
       (:func:`repro.perf.counters.reset_counters`) and the whole
-      telemetry layer — every registry instrument zeroed and the span
-      ring buffer cleared (:func:`repro.telemetry.reset`).  Collector-
-      backed comms metrics are views over the live lattices, so the
-      comms reset above already zeroes them: one ``reset_all()`` call
-      leaves ``telemetry.snapshot()`` provably all-zero (the
+      telemetry layer — every registry instrument zeroed, the span
+      ring buffer cleared, the failure flight recorder emptied and the
+      cross-rank merge state (per-rank metrics, tails, round counter)
+      dropped (:func:`repro.telemetry.reset`).  Collector-backed comms
+      metrics are views over the live lattices, so the comms reset
+      above already zeroes them: one ``reset_all()`` call leaves
+      ``telemetry.snapshot()`` provably all-zero (the
       reset-completeness test pins this).
     """
     from repro.grid.comms import (
@@ -73,6 +75,8 @@ def reset_all(counters: bool = True, caches: bool = True) -> dict:
         "counters_reset": False,
         "telemetry_metrics_reset": 0,
         "telemetry_spans_cleared": 0,
+        "telemetry_flightrec_cleared": 0,
+        "telemetry_rank_state_cleared": 0,
     }
     if caches:
         from repro.engine.plan import clear_plan_caches
@@ -94,4 +98,7 @@ def reset_all(counters: bool = True, caches: bool = True) -> dict:
         summary["counters_reset"] = True
         summary["telemetry_metrics_reset"] = tel["metrics_reset"]
         summary["telemetry_spans_cleared"] = tel["spans_cleared"]
+        summary["telemetry_flightrec_cleared"] = tel["flightrec_cleared"]
+        summary["telemetry_rank_state_cleared"] = \
+            tel["rank_state_cleared"]
     return summary

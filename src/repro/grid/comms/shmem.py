@@ -72,8 +72,11 @@ from repro.grid.comms.faults import adapt_fault_hook
 from repro.grid.comms.queue import LatencyModel
 from repro.grid.comms.transport import Transport
 from repro.grid.comms.wire import exchange_field
+from repro.telemetry import flightrec as _telemetry_flightrec
+from repro.telemetry import merge as _telemetry_merge
 from repro.telemetry import metrics as _telemetry_metrics
 from repro.telemetry import trace as _telemetry_trace
+from repro.telemetry.rankcollect import RankCollector
 
 #: Seconds the parent waits for one worker reply before declaring the
 #: runtime dead (a generous bound — one rank sweep is milliseconds).
@@ -138,6 +141,11 @@ def _worker_grid(cache: dict, cmd: dict):
 def _worker_dhop(rank: int, cmd: dict, sems: dict, seg_cache: dict,
                  grid_cache: dict) -> dict:
     """One rank's share of a distributed hopping sweep."""
+    # The collector anchors the round at command receipt — build it
+    # first so ``round_t0`` precedes every recorded span.  With the
+    # knob off the sweep pays one ``is None`` check per seam.
+    collector = (RankCollector(rank)
+                 if cmd.get("telemetry") == "trace" else None)
     from repro.engine.plan import fused_safe_backend
     from repro.grid import gamma as g
     from repro.grid.comms.lattice import CommsStats
@@ -180,9 +188,13 @@ def _worker_dhop(rank: int, cmd: dict, sems: dict, seg_cache: dict,
         fields = []
         for key, name in (cmd["consume_f"][mu], cmd["consume_b"][mu]):
             filled, empty = sems[tuple(key)]
-            t0 = time.monotonic()
+            t0 = time.perf_counter()
             filled.acquire()
-            waited += time.monotonic() - t0
+            t1 = time.perf_counter()
+            waited += t1 - t0
+            if collector is not None:
+                collector.record("rank.mailbox_wait", t0, t1,
+                                 mu=mu, kind=key[2])
             # Read in place: the producer cannot rewrite this mailbox
             # until the next command round, which starts only after
             # every reply has reached the parent.
@@ -207,10 +219,18 @@ def _worker_dhop(rank: int, cmd: dict, sems: dict, seg_cache: dict,
         n_complex = halo_sites * int(np.prod(tensor)) if tensor else \
             halo_sites
         stats.record(n_complex, compress, dtype)
-        return exchange_field(field, compress=compress,
-                              checksum=checksum, injector=injector,
-                              stats=stats, max_retries=max_retries,
-                              dtype=dtype)
+        if collector is None:
+            return exchange_field(field, compress=compress,
+                                  checksum=checksum, injector=injector,
+                                  stats=stats, max_retries=max_retries,
+                                  dtype=dtype)
+        t0 = time.perf_counter()
+        out = exchange_field(field, compress=compress,
+                             checksum=checksum, injector=injector,
+                             stats=stats, max_retries=max_retries,
+                             dtype=dtype)
+        collector.record("rank.wire", t0, time.perf_counter(), mu=mu)
+        return out
 
     acc[...] = 0
     # Worker compute runs the in-process reference semantics: no
@@ -218,6 +238,7 @@ def _worker_dhop(rank: int, cmd: dict, sems: dict, seg_cache: dict,
     with _engine_scope(enabled=True, workers=1, transport="in-process",
                        comms_faults=None, latency=None, telemetry="off"):
         for mu in range(ndim):
+            t_dir = time.perf_counter() if collector is not None else 0.0
             gd = grid.gdims[mu]
             ld = grid.ldims[mu]
             steps_f, sf = divmod(1 % gd, ld)
@@ -250,7 +271,13 @@ def _worker_dhop(rank: int, cmd: dict, sems: dict, seg_cache: dict,
                     h = g.project(be, pb_c, mu, -1)
                     uh = su3_dagger_mul_vec(be, links_back[mu], h)
                     acc_c[...] = be.add(a2, g.reconstruct(be, uh, mu, -1))
-    return {"ok": True, "stats": stats, "wait_seconds": waited}
+            if collector is not None:
+                collector.record("rank.dhop_dir", t_dir,
+                                 time.perf_counter(), mu=mu,
+                                 fused=fused)
+    return {"ok": True, "stats": stats, "wait_seconds": waited,
+            "telemetry": None if collector is None
+            else collector.payload()}
 
 
 def _worker_main(rank: int, conn, sems: dict) -> None:
@@ -291,6 +318,7 @@ class _RankRuntime:
         self.nranks = int(nranks)
         self.ndim = int(ndim)
         self.poisoned = False
+        self.rounds = 0           # lockstep rounds driven (telemetry)
         methods = mp.get_all_start_methods()
         self.ctx = mp.get_context("fork" if "fork" in methods
                                   else "spawn")
@@ -399,8 +427,13 @@ class _RankRuntime:
                     role = ("mbox", dst, mu, kind)
                     mbox[(dst, mu, kind)] = self._segment(role,
                                                           nbytes).name
+        policy = current_policy()
         base = {
             "op": "dhop",
+            # Workers collect spans only when told to: the command is
+            # how the parent's scoped policy crosses the process
+            # boundary (workers never see the parent's ContextVar).
+            "telemetry": "trace" if policy.trace_active else "off",
             "gdims": tuple(int(d) for d in g0.gdims),
             "mpi_layout": tuple(int(m) for m in ranks.mpi_layout),
             "simd_layout": tuple(int(s) for s in g0.simd_layout),
@@ -417,6 +450,7 @@ class _RankRuntime:
             "fused": bool(plan is None
                           or plan.fused or plan.codegen != "off"),
         }
+        send_times = []
         for r in range(self.nranks):
             nxt = {mu: ranks.neighbour(r, mu, +1)
                    for mu in range(self.ndim)}
@@ -441,6 +475,10 @@ class _RankRuntime:
                                 for mu in range(self.ndim)]
             cmd["consume_b"] = [((r, mu, "b"), mbox[(r, mu, "b")])
                                 for mu in range(self.ndim)]
+            # The send timestamp is the clock-normalisation anchor for
+            # this rank's spans: taken immediately before the pipe
+            # write so the residual offset error is one pipe delivery.
+            send_times.append(time.perf_counter())
             self.pipes[r].send(cmd)
         replies = []
         for r in range(self.nranks):
@@ -461,7 +499,9 @@ class _RankRuntime:
             )
         for rep in replies:
             psi.stats.merge(rep["stats"])
-        self._observe(psi, replies)
+        round_index = self.rounds
+        self.rounds += 1
+        self._observe(psi, replies, send_times, round_index)
         from repro.grid.lattice import Lattice
 
         out = psi.clone_empty()
@@ -473,8 +513,11 @@ class _RankRuntime:
                                       data=data))
         return out
 
-    def _observe(self, psi, replies) -> None:
-        """Feed transport counters and the PR 5 halo-wait histograms."""
+    def _observe(self, psi, replies, send_times, round_index) -> None:
+        """Feed transport counters, the PR 5 halo-wait histograms, and
+        the cross-rank merge layer (per-rank labelled tallies at
+        ``metrics``; shipped worker spans into the unified timeline at
+        ``trace``)."""
         policy = current_policy()
         if not policy.metrics_active:
             return
@@ -492,6 +535,26 @@ class _RankRuntime:
         hist = reg.histogram("comms.halo_wait_seconds")
         for rep in replies:
             hist.observe(rep["wait_seconds"])
+        # Per-rank tallies come from the replies the protocol already
+        # carries, so the ``metrics`` level needs no worker-side work.
+        for r, rep in enumerate(replies):
+            _telemetry_merge.record_rank_metrics(r, {
+                "rank.messages": rep["stats"].messages,
+                "rank.bytes": rep["stats"].bytes_sent,
+                "rank.wait_seconds": rep["wait_seconds"],
+                "rank.sweeps": 1,
+            })
+        merged = 0
+        if policy.trace_active:
+            merged = _telemetry_merge.ingest_round(
+                [rep.get("telemetry") for rep in replies],
+                send_times, round_index,
+            )
+        _telemetry_flightrec.record(
+            "shmem.round", round=round_index, nranks=self.nranks,
+            spans_merged=merged,
+            max_wait_s=max(rep["wait_seconds"] for rep in replies),
+        )
 
     # -- teardown -------------------------------------------------------
     def close(self) -> int:

@@ -27,7 +27,10 @@ reset by :func:`repro.engine.reset.reset_all` via
 :func:`reset_breakers`, and export their state through the telemetry
 registry: transition counters (``breaker.opened`` / ``breaker.closed``
 / ``breaker.half_open``) plus a collector view of how many breakers
-are currently in each state.
+are currently in each state.  Every transition also lands in the
+failure flight recorder (:mod:`repro.telemetry.flightrec`), so a
+post-mortem bundle shows the breaker history leading up to a failed
+solve.
 
 Import discipline: only the telemetry layer (which imports nothing
 from :mod:`repro`), so any layer — including :mod:`repro.simd` — can
@@ -39,6 +42,7 @@ from __future__ import annotations
 import threading
 from dataclasses import dataclass
 
+from repro.telemetry import flightrec as _flightrec
 from repro.telemetry import metrics as _telemetry_metrics
 from repro.telemetry import trace as _telemetry
 
@@ -96,6 +100,8 @@ class CircuitBreaker:
             _telemetry_metrics.registry().counter(label).inc()
             _telemetry.event("breaker.transition", breaker=self.name,
                              frm=frm, to=to, reason=reason)
+            _flightrec.record("breaker.transition", breaker=self.name,
+                              frm=frm, to=to, reason=reason)
 
     # ------------------------------------------------------------------
     def allow(self) -> bool:

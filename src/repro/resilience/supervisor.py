@@ -53,6 +53,7 @@ from repro.engine.policy import scope
 from repro.resilience.breaker import breaker
 from repro.resilience.checkpoint import CheckpointStore, checkpoint_key
 from repro.resilience.inject import SimulatedCrash
+from repro.telemetry import flightrec as _flightrec
 from repro.telemetry import metrics as _telemetry_metrics
 from repro.telemetry import trace as _telemetry
 
@@ -125,6 +126,11 @@ class SuperviseResult:
     checkpoints_saved: int = 0
     resumes: int = 0
     key: str = ""
+    #: The post-mortem bundle (and where it was written, if a
+    #: ``postmortem_dir`` was given) — populated only when telemetry is
+    #: on and the run escalated or failed; ``None``/empty otherwise.
+    postmortem: Optional[dict] = None
+    postmortem_path: str = ""
 
     @property
     def rungs_used(self) -> list:
@@ -203,6 +209,7 @@ def supervised_solve(
     ladder: tuple = DEGRADATION_LADDER,
     on_checkpoint: Optional[Callable] = None,
     sleep: Callable = time.sleep,
+    postmortem_dir: Optional[str] = None,
     **kwargs,
 ) -> SuperviseResult:
     """Run :func:`~repro.engine.solve.solve_fermion` under supervision.
@@ -231,6 +238,15 @@ def supervised_solve(
         there models dying before the save hit disk).
     ``sleep``
         Injectable clock for the backoff (tests pass a recorder).
+    ``postmortem_dir``
+        Directory for failure post-mortem bundles.  Whenever the run
+        escalates or fails (any non-converged attempt) *and* telemetry
+        is on, the flight recorder's bundle
+        (:func:`repro.telemetry.flightrec.postmortem_bundle`) is
+        attached as ``SuperviseResult.postmortem``; with a directory
+        it is also written to disk (``SuperviseResult.postmortem_path``)
+        for ``tools/teleview.py --postmortem``.  ``None`` keeps the
+        bundle in-memory only.
 
     Returns a :class:`SuperviseResult`; ``.result`` is the underlying
     solver result of the final attempt (bit-identical to an
@@ -255,6 +271,29 @@ def supervised_solve(
     # An already-open breaker (earlier solves kept failing) starts the
     # run pre-degraded: skip the as-configured rung.
     rung_idx = 0 if br.allow() else min(1, len(ladder) - 1)
+
+    def _finalise(reason: str) -> SuperviseResult:
+        """Attach (and optionally write) the failure post-mortem.
+        A pristine run — every attempt converged, nothing escalated —
+        attaches nothing; with telemetry off this is a no-op."""
+        failed = any(a.outcome != "converged" for a in sup.attempts)
+        if not failed or not _telemetry.metrics_on():
+            return sup
+        _flightrec.record("supervisor.postmortem", reason=reason,
+                          attempts=len(sup.attempts))
+        sup.postmortem = _flightrec.postmortem_bundle(
+            supervise=sup, reason=reason)
+        if postmortem_dir is not None:
+            import os
+
+            os.makedirs(postmortem_dir, exist_ok=True)
+            stem = "".join(c if (c.isalnum() or c in "-_") else "-"
+                           for c in reason)
+            sup.postmortem_path = _flightrec.write_postmortem(
+                sup.postmortem,
+                os.path.join(postmortem_dir,
+                             f"postmortem-{stem or 'solve'}.json"))
+        return sup
 
     with _telemetry.span("supervised_solve",
                          operator=type(operator).__name__, method=method,
@@ -285,6 +324,9 @@ def supervised_solve(
                     base_it = resumed_from = ck.iteration
                     sup.resumes += 1
                     _count("supervisor.resumes")
+                    _flightrec.record("supervisor.resume",
+                                      attempt=attempt,
+                                      iteration=ck.iteration)
 
             t0 = time.monotonic()
 
@@ -348,6 +390,9 @@ def supervised_solve(
             _telemetry.event("supervisor.attempt", attempt=attempt,
                              rung=rung.name, outcome=outcome,
                              iterations=iters)
+            _flightrec.record("supervisor.attempt", attempt=attempt,
+                              rung=rung.name, outcome=outcome,
+                              iterations=iters, detail=detail)
 
             if outcome == "converged":
                 sup.result = result
@@ -365,7 +410,7 @@ def supervised_solve(
                         _telemetry_metrics.registry().histogram(
                             "supervisor.recovery_time").observe(
                             time.monotonic() - first_failure_at)
-                return sup
+                return _finalise(f"recovered-attempt-{attempt}")
 
             sup.result = result
             br.record_failure(outcome)
@@ -387,6 +432,8 @@ def supervised_solve(
                 _count("supervisor.degradations")
                 _telemetry.event("supervisor.degrade",
                                  to=ladder[rung_idx].name, why=outcome)
+                _flightrec.record("supervisor.degrade",
+                                  to=ladder[rung_idx].name, why=outcome)
             delay = backoff_schedule(rng, attempt, backoff_base,
                                      backoff_factor, backoff_jitter)
             if delay > 0.0:
@@ -395,4 +442,4 @@ def supervised_solve(
                 sleep(delay)
 
     _count("supervisor.exhausted")
-    return sup
+    return _finalise(f"exhausted-{sup.attempts[-1].outcome}")

@@ -75,7 +75,7 @@ def default_spec() -> ScenarioSpec:
             Axis("caches", (True, False)),
             Axis("codegen", ("off", "memory", "disk")),
             Axis("workers", (1, 4)),
-            Axis("telemetry", ("off", "metrics")),
+            Axis("telemetry", ("off", "metrics", "trace")),
             Axis("transport", ("in-process", "shmem")),
             Axis("fault", ("none", "memory", "comms", "disk")),
         ),

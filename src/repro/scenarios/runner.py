@@ -309,6 +309,18 @@ def _run_memory_fault(case: Case, campaign) -> None:
     * the solver **claims** convergence but the true residual (checked
       against the clean operator) is wrong — ``fail``, the one genuine
       silent-corruption mode.
+
+    The drift detector runs at ``drift_factor=10`` here, tighter than
+    the library default of 100.  The detector's acceptance bound lives
+    in the normal-equations metric (CGNE recurses on ``M^dagger M``);
+    the corruption check below measures the original-system residual,
+    which conditioning amplifies.  With both thresholds at 100x the
+    two bounds coincide in *different* metrics, and a flip landing
+    just inside the detector's contract can sit just above the check
+    — a seed-dependent false ``fail`` for a solve that met its
+    documented guarantee.  The 10x detector margin leaves the
+    corruption threshold meaning what it says: ``fail`` requires the
+    detector to miss by an order of magnitude.
     """
     import math
 
@@ -320,7 +332,7 @@ def _run_memory_fault(case: Case, campaign) -> None:
     wrapped = _BitFlipOperator(op, campaign, at_call=5)
     result = solve_fermion(wrapped, b, method="cg", ft=True, tol=tol,
                            max_iter=400, recompute_interval=8,
-                           campaign=campaign)
+                           drift_factor=10.0, campaign=campaign)
     converged = bool(np.all(result.converged))
     if not converged:
         campaign.record_detected(

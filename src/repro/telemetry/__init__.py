@@ -37,6 +37,20 @@ from repro.telemetry.export import (
     write_jsonl,
     write_prometheus,
 )
+from repro.telemetry.flightrec import (
+    FlightRecorder,
+    format_postmortem,
+    postmortem_bundle,
+    write_postmortem,
+)
+from repro.telemetry.merge import (
+    ingest_round,
+    rank_metrics,
+    rank_spans,
+    rank_tails,
+    ranks_seen,
+    reset_rank_state,
+)
 from repro.telemetry.metrics import (
     Counter,
     Gauge,
@@ -48,6 +62,9 @@ from repro.telemetry.reports import (
     convergence_attrs,
     convergence_from_spans,
     convergence_table,
+    imbalance_from_spans,
+    imbalance_summary,
+    imbalance_table,
     roofline_from_spans,
     roofline_table,
     traced_solver,
@@ -74,7 +91,12 @@ __all__ = [
     "spans_to_jsonl", "write_chrome_trace", "write_jsonl",
     "write_prometheus",
     "convergence_attrs", "convergence_from_spans", "convergence_table",
+    "imbalance_from_spans", "imbalance_summary", "imbalance_table",
     "roofline_from_spans", "roofline_table", "traced_solver",
+    "FlightRecorder", "format_postmortem", "postmortem_bundle",
+    "write_postmortem",
+    "ingest_round", "rank_metrics", "rank_spans", "rank_tails",
+    "ranks_seen", "reset_rank_state",
     "count", "observe", "set_gauge", "snapshot", "reset",
 ]
 
@@ -103,10 +125,16 @@ def snapshot() -> dict:
 
 
 def reset() -> dict:
-    """Zero the metrics registry and clear the trace buffer; returns
-    ``{"metrics_reset": n, "spans_cleared": m}``.  Wired into
-    ``engine.reset_all`` so one call provably clears everything."""
+    """Zero the metrics registry, clear the trace buffer, empty the
+    flight-recorder ring and drop the cross-rank merge state; returns
+    ``{"metrics_reset": n, "spans_cleared": m, "flightrec_cleared": k,
+    "rank_state_cleared": r}``.  Wired into ``engine.reset_all`` so
+    one call provably clears everything."""
+    from repro.telemetry import flightrec as _flightrec
+
     return {
         "metrics_reset": registry().reset(),
         "spans_cleared": buffer().clear(),
+        "flightrec_cleared": _flightrec.clear(),
+        "rank_state_cleared": reset_rank_state(),
     }

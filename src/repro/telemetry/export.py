@@ -67,12 +67,22 @@ def read_jsonl(path: str) -> List[Span]:
 # ----------------------------------------------------------------------
 # Chrome trace_event
 # ----------------------------------------------------------------------
+def _span_pid(span: Span) -> int:
+    """The process row a span renders into: merged rank spans (the
+    shared-memory runtime's workers, tagged ``attrs["rank"]`` by the
+    merge layer) each get their own process group ``rank + 1``; every
+    parent-process span stays on pid 0."""
+    rank = span.attrs.get("rank")
+    return 0 if rank is None else int(rank) + 1
+
+
 def _tid_table(spans: Iterable[Span]) -> dict:
-    """Stable small integer ids per recording thread name."""
+    """Stable small integer ids per (pid, thread name) row."""
     tids: dict = {}
     for s in spans:
-        if s.thread not in tids:
-            tids[s.thread] = len(tids)
+        key = (_span_pid(s), s.thread)
+        if key not in tids:
+            tids[key] = len(tids)
     return tids
 
 
@@ -80,7 +90,10 @@ def spans_to_chrome(spans: Iterable[Span]) -> dict:
     """The ``trace_event`` JSON object (``{"traceEvents": [...]}``).
 
     Timestamps are microseconds relative to the earliest span, so the
-    viewer's timeline starts at zero.
+    viewer's timeline starts at zero.  A merged cross-rank run renders
+    as one process group per rank (``rank 0`` .. ``rank N-1``) plus
+    the ``parent`` group — the unified timeline the shared-memory
+    runtime's telemetry is merged for.
     """
     spans = list(spans)
     t_base = min((s.t0 for s in spans), default=0.0)
@@ -90,8 +103,8 @@ def spans_to_chrome(spans: Iterable[Span]) -> dict:
         ev = {
             "name": s.name,
             "cat": "repro",
-            "pid": 0,
-            "tid": tids[s.thread],
+            "pid": _span_pid(s),
+            "tid": tids[(_span_pid(s), s.thread)],
             "ts": (s.t0 - t_base) * 1e6,
             "args": s.attrs,
         }
@@ -103,10 +116,16 @@ def spans_to_chrome(spans: Iterable[Span]) -> dict:
             ev["s"] = "t"
         events.append(ev)
     meta = [
-        {"name": "thread_name", "ph": "M", "pid": 0, "tid": tid,
+        {"name": "thread_name", "ph": "M", "pid": pid, "tid": tid,
          "args": {"name": thread}}
-        for thread, tid in tids.items()
+        for (pid, thread), tid in tids.items()
     ]
+    for pid in sorted({pid for pid, _ in tids}):
+        meta.append({
+            "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+            "args": {"name": "parent" if pid == 0
+                     else f"rank {pid - 1}"},
+        })
     return {"traceEvents": meta + events, "displayTimeUnit": "ms"}
 
 
@@ -138,8 +157,22 @@ def _prom_value(value) -> str:
     return str(value)
 
 
-def prometheus_text(registry: MetricsRegistry) -> str:
-    """Render the registry in the Prometheus exposition format."""
+def prometheus_text(registry: MetricsRegistry,
+                    rank_metrics: dict = None) -> str:
+    """Render the registry in the Prometheus exposition format.
+
+    ``rank_metrics`` maps rank id -> ``{metric name: value}`` — the
+    merge layer's per-rank tallies (:func:`repro.telemetry.merge.
+    rank_metrics`), rendered as ``rank``-labelled samples
+    (``repro_rank_messages{rank="2"} 17``).  ``None`` (the default)
+    pulls the live merge-layer store, so an instrumented shmem run
+    exports its per-rank series with no extra plumbing; pass ``{}``
+    to suppress them.
+    """
+    if rank_metrics is None:
+        from repro.telemetry import merge
+
+        rank_metrics = merge.rank_metrics()
     lines = []
     for inst in registry.instruments():
         name = _prom_name(inst.name)
@@ -177,12 +210,26 @@ def prometheus_text(registry: MetricsRegistry) -> str:
     for name in sorted(set(snapshot) - known):
         lines.append(f"# TYPE {_prom_name(name)} untyped")
         lines.append(f"{_prom_name(name)} {_prom_value(snapshot[name])}")
+    # Per-rank series: one labelled sample per (metric, rank), the
+    # TYPE header emitted once per metric name.
+    by_metric: dict = {}
+    for rank in sorted(rank_metrics):
+        for name, value in rank_metrics[rank].items():
+            by_metric.setdefault(name, []).append((int(rank), value))
+    for name in sorted(by_metric):
+        lines.append(f"# TYPE {_prom_name(name)} untyped")
+        for rank, value in sorted(by_metric[name]):
+            lines.append(
+                f'{_prom_name(name)}{{rank="{rank}"}} '
+                f"{_prom_value(value)}"
+            )
     return "\n".join(lines) + ("\n" if lines else "")
 
 
-def write_prometheus(registry: MetricsRegistry, path: str) -> None:
+def write_prometheus(registry: MetricsRegistry, path: str,
+                     rank_metrics: dict = None) -> None:
     """Write the registry as a Prometheus textfile (atomic enough for
     the node-exporter textfile collector: write then rename is not
     needed for our artifact use)."""
     with _EXPORT_LOCK, open(path, "w") as fh:
-        fh.write(prometheus_text(registry))
+        fh.write(prometheus_text(registry, rank_metrics=rank_metrics))

@@ -1,0 +1,244 @@
+"""The failure flight recorder: a bounded ring of recent happenings,
+dumped as a post-mortem bundle when a supervised solve goes wrong.
+
+Spans answer "how long did things take"; the flight recorder answers
+the question an operator actually asks after a failed run: *what was
+the system doing just before it died?*  It keeps a fixed-size ring of
+recent **events** — supervisor attempts and degradations, circuit-
+breaker transitions, rank-round merges — each a plain dict with a
+monotonic timestamp and a sequence number, recorded only while
+``ExecutionPolicy.telemetry`` is not ``"off"`` (off stays
+zero-overhead: one resolved-policy flag check, no allocation).
+
+When a supervised solve escalates or fails,
+:func:`repro.resilience.supervisor.supervised_solve` calls
+:func:`postmortem_bundle`, which freezes everything an investigation
+needs into one JSON-serialisable dict:
+
+* the recorder's event ring (breaker trips, attempt outcomes,
+  degradation-ladder steps, in firing order);
+* the last-N spans of the live trace buffer (the in-process
+  timeline's tail);
+* the merge layer's per-rank tails — what every shared-memory rank
+  was doing in its most recent rounds
+  (:func:`repro.telemetry.merge.rank_tails`);
+* the supervision ledger: attempt table, rungs used, checkpoint
+  lineage (store key, saves, resumes);
+* a full metrics snapshot.
+
+``tools/teleview.py --postmortem bundle.json`` renders the same
+bundle offline via :func:`format_postmortem`.
+
+The ring is process-global, cleared by :func:`clear` (composed into
+:func:`repro.telemetry.reset`, so ``engine.reset_all`` provably
+empties it — the reset-completeness audit sweeps the collector view
+registered below).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections import deque
+from threading import Lock
+from typing import Optional
+
+from repro.telemetry.metrics import registry
+from repro.telemetry.trace import buffer, metrics_on
+
+#: Ring capacity: enough for every attempt/breaker/round event of a
+#: long supervised run while bounding the bundle to a few hundred kB.
+DEFAULT_CAPACITY = 256
+
+#: Bundle schema marker (teleview refuses files without it).
+BUNDLE_KIND = "repro-postmortem"
+BUNDLE_VERSION = 1
+
+
+class FlightRecorder:
+    """A thread-safe bounded event ring (oldest events drop first)."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        self._lock = Lock()
+        self._events: deque = deque(maxlen=capacity)
+        self._seq = 0
+        self.dropped = 0
+
+    def record(self, kind: str, **data) -> None:
+        with self._lock:
+            self._seq += 1
+            if len(self._events) == self._events.maxlen:
+                self.dropped += 1
+            self._events.append({
+                "seq": self._seq,
+                "t": time.perf_counter(),
+                "kind": kind,
+                **data,
+            })
+
+    def events(self) -> list:
+        """The buffered events, oldest first (ring unchanged)."""
+        with self._lock:
+            return [dict(e) for e in self._events]
+
+    def clear(self) -> int:
+        """Empty the ring and restart the sequence — a cleared
+        recorder is indistinguishable from a fresh one."""
+        with self._lock:
+            n = len(self._events)
+            self._events.clear()
+            self._seq = 0
+            self.dropped = 0
+            return n
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+
+#: The process-global recorder (mutate only through this module).
+_FLIGHT_RECORDER = FlightRecorder()
+
+
+def recorder() -> FlightRecorder:
+    """The live flight recorder."""
+    return _FLIGHT_RECORDER
+
+
+def record(kind: str, **data) -> None:
+    """Record one event — no-op while ``telemetry="off"`` (one
+    resolved-policy flag check, nothing allocated)."""
+    if not metrics_on():
+        return
+    _FLIGHT_RECORDER.record(kind, **data)
+
+
+def events() -> list:
+    """The recorded events, oldest first."""
+    return _FLIGHT_RECORDER.events()
+
+
+def clear() -> int:
+    """Empty the ring; returns how many events were dropped.  Wired
+    into :func:`repro.telemetry.reset`."""
+    return _FLIGHT_RECORDER.clear()
+
+
+# ----------------------------------------------------------------------
+# Post-mortem bundles
+# ----------------------------------------------------------------------
+
+def postmortem_bundle(supervise=None, reason: str = "",
+                      last_spans: int = 64) -> dict:
+    """Freeze the current telemetry state into one post-mortem dict.
+
+    ``supervise`` is a :class:`~repro.resilience.supervisor.
+    SuperviseResult` (or ``None`` for a free-standing dump); its
+    attempt ledger and checkpoint lineage become the bundle's
+    supervision section.  Everything in the bundle is
+    JSON-serialisable.
+    """
+    from repro.telemetry import merge
+
+    tail = buffer().snapshot()[-last_spans:]
+    bundle = {
+        "kind": BUNDLE_KIND,
+        "version": BUNDLE_VERSION,
+        "reason": reason,
+        "events": events(),
+        "spans": [s.as_dict() for s in tail],
+        "rank_tails": {str(r): t
+                       for r, t in merge.rank_tails().items()},
+        "metrics": registry().snapshot(),
+    }
+    if supervise is not None:
+        bundle["supervise"] = {
+            "converged": bool(supervise.converged),
+            "attempts": [
+                {"attempt": a.attempt, "rung": a.rung,
+                 "outcome": a.outcome, "iterations": a.iterations,
+                 "residual": repr(a.residual),
+                 "resumed_from": a.resumed_from,
+                 "backoff": a.backoff, "detail": a.detail}
+                for a in supervise.attempts
+            ],
+            "rungs_used": list(supervise.rungs_used),
+            "total_iterations": supervise.total_iterations,
+            "checkpoint": {
+                "key": supervise.key,
+                "saves": supervise.checkpoints_saved,
+                "resumes": supervise.resumes,
+            },
+        }
+    return bundle
+
+
+def write_postmortem(bundle: dict, path: str) -> str:
+    """Persist a bundle as pretty-printed JSON; returns ``path``."""
+    with open(path, "w") as fh:
+        json.dump(bundle, fh, indent=1, sort_keys=True, default=str)
+        fh.write("\n")
+    return str(path)
+
+
+def format_postmortem(bundle: dict) -> str:
+    """Render a bundle as the plain-text report teleview prints."""
+    lines = [f"# post-mortem (reason: {bundle.get('reason') or '?'})"]
+    sup = bundle.get("supervise")
+    if sup:
+        ck = sup.get("checkpoint", {})
+        lines += [
+            "",
+            "## supervision",
+            f"converged: {sup.get('converged')}   "
+            f"total iterations: {sup.get('total_iterations')}   "
+            f"rungs: {' -> '.join(sup.get('rungs_used', [])) or '-'}",
+            f"checkpoints: key={ck.get('key') or '-'} "
+            f"saves={ck.get('saves', 0)} resumes={ck.get('resumes', 0)}",
+        ]
+        for a in sup.get("attempts", ()):
+            resumed = (f" (resumed from it {a['resumed_from']})"
+                       if a.get("resumed_from") is not None else "")
+            detail = f" — {a['detail']}" if a.get("detail") else ""
+            lines.append(
+                f"  attempt {a['attempt']} [{a['rung']}]: "
+                f"{a['outcome']} after {a['iterations']} iters"
+                f"{resumed}{detail}"
+            )
+    evs = bundle.get("events", ())
+    lines += ["", f"## flight recorder ({len(evs)} events)"]
+    for e in evs:
+        extra = {k: v for k, v in e.items()
+                 if k not in ("seq", "t", "kind")}
+        text = "  ".join(f"{k}={v}" for k, v in sorted(extra.items()))
+        lines.append(f"  [{e.get('seq', '?'):>4}] {e.get('kind')}"
+                     + (f"  {text}" if text else ""))
+    spans = bundle.get("spans", ())
+    lines += ["", f"## trace tail ({len(spans)} spans)"]
+    by_name: dict = {}
+    for s in spans:
+        row = by_name.setdefault(s["name"], [0, 0.0])
+        row[0] += 1
+        row[1] += s["t1"] - s["t0"]
+    for name in sorted(by_name):
+        calls, secs = by_name[name]
+        lines.append(f"  {name}: {calls} spans, {secs:.6f}s")
+    tails = bundle.get("rank_tails", {})
+    if tails:
+        lines += ["", f"## rank tails ({len(tails)} ranks)"]
+        for r in sorted(tails, key=lambda k: int(k)):
+            tail = tails[r]
+            last = tail[-1]["name"] if tail else "-"
+            lines.append(f"  rank {r}: {len(tail)} recent spans, "
+                         f"last={last}")
+    return "\n".join(lines)
+
+
+def _collect_flightrec_metrics() -> dict:
+    """Collector view so the reset-completeness sweep sees a
+    non-empty ring by name."""
+    return {"flightrec.events": len(_FLIGHT_RECORDER)}
+
+
+registry().register_collector("telemetry.flightrec",
+                              _collect_flightrec_metrics)

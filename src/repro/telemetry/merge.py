@@ -1,0 +1,203 @@
+"""Cross-rank merge: one unified timeline from per-rank payloads.
+
+The shared-memory rank runtime ships each round's worker-side spans
+and tallies back over the lockstep reply channel
+(:mod:`repro.telemetry.rankcollect`).  This module is the parent-side
+half: it
+
+* **normalises clocks** — worker spans are ``time.perf_counter``
+  seconds on the *worker's* clock; :func:`ingest_round` maps them onto
+  the parent's clock by anchoring each worker's ``round_t0`` (command
+  receipt) to the parent's command-send timestamp for that rank.  The
+  residual error is the one-way pipe delivery delay — bounded,
+  one-sided (merged rank spans can only appear *earlier* than true
+  parent time, never later), and irrelevant to every derived report
+  (durations are clock-offset-invariant);
+* **lands rank spans in the ordinary trace buffer** — each payload
+  becomes one ``rank.round`` span (parented under the currently open
+  parent span, so the whole round nests inside
+  ``transport.shmem.dhop``) plus its recorded children, every one
+  tagged ``attrs["rank"]`` / ``attrs["round"]`` and recorded on a
+  synthetic ``rank-<r>`` thread — which is what gives the Chrome
+  export one row per rank and the JSONL artifact a ``rank`` label for
+  free;
+* **accumulates per-rank metrics** — reply-channel tallies (messages,
+  bytes, halo wait) keyed by rank, exported as ``rank``-labelled
+  Prometheus samples by :func:`repro.telemetry.export.prometheus_text`;
+* **keeps per-rank tails** — a short ring of each rank's most recent
+  normalised spans, the "what was every rank doing just before it
+  died" section of the flight recorder's post-mortem bundle
+  (:mod:`repro.telemetry.flightrec`).
+
+All state here is process-global and cleared by
+:func:`reset_rank_state`, which :func:`repro.telemetry.reset` (and so
+``engine.reset_all``) composes — the reset-completeness audit sweeps
+the collector view registered below.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Dict, Iterable, List, Optional
+
+from repro.telemetry.metrics import registry
+from repro.telemetry.trace import (
+    Span,
+    active_span_id,
+    buffer,
+    new_span_id,
+)
+
+#: Spans kept per rank for the flight recorder's post-mortem tails.
+TAIL_CAPACITY = 32
+
+_MERGE_LOCK = threading.Lock()
+
+#: rank -> accumulated {metric name: value} (counters add up across
+#: rounds; the ``rank.`` prefix keeps them out of the unlabelled
+#: registry namespace).
+_RANK_METRICS: Dict[int, dict] = {}
+
+#: rank -> deque of the rank's most recent normalised span dicts.
+_RANK_TAILS: Dict[int, deque] = {}
+
+#: Rounds merged since the last reset (collector-exported below).
+_ROUNDS_MERGED = 0
+
+
+def record_rank_metrics(rank: int, updates: dict) -> None:
+    """Accumulate reply-channel tallies for one rank (values add)."""
+    rank = int(rank)
+    with _MERGE_LOCK:
+        acc = _RANK_METRICS.setdefault(rank, {})
+        for name, value in updates.items():
+            acc[name] = acc.get(name, 0) + value
+
+
+def rank_metrics() -> Dict[int, dict]:
+    """Accumulated per-rank metric values, ``{rank: {name: value}}``
+    (snapshot copy)."""
+    with _MERGE_LOCK:
+        return {r: dict(vals) for r, vals in _RANK_METRICS.items()}
+
+
+def rank_tails() -> Dict[int, List[dict]]:
+    """Each rank's most recent normalised spans (snapshot copy,
+    oldest first) — the per-rank section of a post-mortem bundle."""
+    with _MERGE_LOCK:
+        return {r: [dict(s) for s in tail]
+                for r, tail in _RANK_TAILS.items()}
+
+
+def rounds_merged() -> int:
+    """How many lockstep rounds have been merged since reset."""
+    return _ROUNDS_MERGED
+
+
+def ranks_seen() -> List[int]:
+    """Every rank that has shipped telemetry since the last reset."""
+    with _MERGE_LOCK:
+        return sorted(set(_RANK_METRICS) | set(_RANK_TAILS))
+
+
+def reset_rank_state() -> int:
+    """Drop every piece of merge-layer state (metrics, tails, round
+    counter); returns how many ranks had state.  Composed into
+    :func:`repro.telemetry.reset`."""
+    global _ROUNDS_MERGED
+    with _MERGE_LOCK:
+        n = len(set(_RANK_METRICS) | set(_RANK_TAILS))
+        _RANK_METRICS.clear()
+        _RANK_TAILS.clear()
+        _ROUNDS_MERGED = 0
+    return n
+
+
+def ingest_round(payloads: Iterable[Optional[dict]],
+                 send_times: List[float],
+                 round_index: int) -> int:
+    """Merge one lockstep round's worker payloads into the timeline.
+
+    ``payloads`` holds one :meth:`~repro.telemetry.rankcollect.
+    RankCollector.payload` dict per reporting rank (``None`` entries —
+    a rank that recorded nothing — are skipped without complaint: a
+    silent rank is a report finding, not a merge error).
+    ``send_times[r]`` is the parent's ``perf_counter`` just before
+    rank ``r``'s command went down the pipe — the normalisation
+    anchor.  Returns how many spans were appended to the trace buffer.
+    """
+    global _ROUNDS_MERGED
+    parent_id = active_span_id()
+    buf = buffer()
+    appended = 0
+    for payload in payloads:
+        if not payload:
+            continue
+        rank = int(payload["rank"])
+        offset = send_times[rank] - payload["round_t0"]
+        thread = f"rank-{rank}"
+        round_span = Span(
+            name="rank.round",
+            t0=payload["round_t0"] + offset,
+            t1=payload["round_t1"] + offset,
+            span_id=new_span_id(),
+            parent_id=parent_id,
+            thread=thread,
+            attrs={"rank": rank, "round": round_index,
+                   "dropped": payload.get("dropped", 0)},
+        )
+        buf.append(round_span)
+        appended += 1
+        merged = [round_span.as_dict()]
+        for rec in payload.get("spans", ()):
+            sp = Span(
+                name=rec["name"],
+                t0=rec["t0"] + offset,
+                t1=rec["t1"] + offset,
+                span_id=new_span_id(),
+                parent_id=round_span.span_id,
+                thread=thread,
+                attrs={**rec.get("attrs", {}),
+                       "rank": rank, "round": round_index},
+            )
+            buf.append(sp)
+            merged.append(sp.as_dict())
+            appended += 1
+        with _MERGE_LOCK:
+            tail = _RANK_TAILS.setdefault(
+                rank, deque(maxlen=TAIL_CAPACITY))
+            tail.extend(merged)
+        if payload.get("metrics"):
+            record_rank_metrics(rank, payload["metrics"])
+    with _MERGE_LOCK:
+        _ROUNDS_MERGED += 1
+    return appended
+
+
+def rank_spans(spans: Iterable[Span],
+               rank: Optional[int] = None) -> List[Span]:
+    """The merged rank spans in ``spans`` (optionally one rank's)."""
+    out = []
+    for s in spans:
+        r = s.attrs.get("rank")
+        if r is None:
+            continue
+        if rank is None or r == rank:
+            out.append(s)
+    return out
+
+
+def _collect_merge_metrics() -> dict:
+    """Collector view over the merge-layer state, so the
+    reset-completeness sweep catches any leak by name."""
+    with _MERGE_LOCK:
+        return {
+            "rank.ranks_tracked": len(
+                set(_RANK_METRICS) | set(_RANK_TAILS)),
+            "rank.rounds_merged": _ROUNDS_MERGED,
+        }
+
+
+registry().register_collector("telemetry.rankmerge",
+                              _collect_merge_metrics)

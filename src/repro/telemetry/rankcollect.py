@@ -1,0 +1,89 @@
+"""Per-rank span collection inside rank-worker processes.
+
+The shared-memory rank runtime (:mod:`repro.grid.comms.shmem`) runs
+each rank as an OS process, so the parent's trace buffer — a plain
+in-process ring — never sees what a rank does between command receipt
+and reply.  A :class:`RankCollector` is the worker-side half of the
+distributed telemetry story: a **bounded, allocation-cheap** span
+store the worker fills with explicit start/stop timestamps on its own
+``time.perf_counter`` clock, then flattens into a picklable payload
+that rides the existing lockstep reply channel back to the parent.
+
+The parent-side half lives in :mod:`repro.telemetry.merge`: it
+normalises the worker clock against the parent's command-send
+timestamps and lands the spans in the ordinary trace buffer, tagged
+with the recording rank.
+
+Design constraints (mirroring the in-process tracer):
+
+* **Zero overhead when off** — a worker only builds a collector when
+  the command explicitly carries ``telemetry="trace"``; with the knob
+  off the sweep code pays one ``is None`` check per seam and takes no
+  timestamps.
+* **Bounded** — at most ``capacity`` spans per round; excess records
+  are counted in ``dropped``, never stored (a runaway sweep cannot
+  grow a worker's memory or the reply payload without bound).
+* **Observe-only** — nothing recorded here feeds back into the sweep;
+  rank numerics are bit-identical with collection on or off (pinned
+  by ``tests/telemetry/test_distributed.py``).
+
+Spans are plain dicts (``name``/``t0``/``t1``/``attrs``) rather than
+:class:`~repro.telemetry.trace.Span` objects: the payload crosses a
+process boundary by pickle, and span ids / parent links only make
+sense once the parent assigns them at merge time.
+"""
+
+from __future__ import annotations
+
+import time
+
+#: Per-round span cap: a 4-d sweep records ``1 + 3 * ndim`` spans plus
+#: wire retries, so 1024 leaves two orders of magnitude of headroom
+#: while bounding the reply payload to ~100 kB worst case.
+DEFAULT_CAPACITY = 1024
+
+
+class RankCollector:
+    """One command round's span store inside a rank worker.
+
+    Built at command receipt (``round_t0`` anchors the clock
+    normalisation — see :func:`repro.telemetry.merge.ingest_round`),
+    filled with :meth:`record` during the sweep, and flattened with
+    :meth:`payload` into the lockstep reply.
+    """
+
+    __slots__ = ("rank", "capacity", "round_t0", "spans", "dropped")
+
+    def __init__(self, rank: int, capacity: int = DEFAULT_CAPACITY) -> None:
+        self.rank = int(rank)
+        self.capacity = int(capacity)
+        self.round_t0 = time.perf_counter()
+        self.spans: list = []
+        self.dropped = 0
+
+    def record(self, name: str, t0: float, t1: float, **attrs) -> None:
+        """Store one caller-timed span (worker-clock seconds)."""
+        if len(self.spans) >= self.capacity:
+            self.dropped += 1
+            return
+        self.spans.append({"name": name, "t0": t0, "t1": t1,
+                           "attrs": attrs})
+
+    def payload(self) -> dict:
+        """The picklable reply-channel payload for this round.
+
+        ``round_t0``/``round_t1`` bracket the worker's whole command
+        on its own clock — the anchor the parent-side merge uses to
+        translate every span into parent time.
+        """
+        return {
+            "rank": self.rank,
+            "round_t0": self.round_t0,
+            "round_t1": time.perf_counter(),
+            "spans": self.spans,
+            "dropped": self.dropped,
+            "metrics": {
+                "rank.spans_recorded": len(self.spans),
+                "rank.spans_dropped": self.dropped,
+            },
+        }

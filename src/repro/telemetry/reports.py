@@ -45,6 +45,14 @@ FT_EVENT_NAMES = (
     "fault.fired", "fault.detected", "fault.recovered",
 )
 
+#: Merged rank-worker span names (see :mod:`repro.telemetry.merge`):
+#: the whole command round, per-direction compute (codec included —
+#: the receiver applies the wire codec lazily inside the sweep), and
+#: mailbox-arrival waits.
+RANK_ROUND_SPAN = "rank.round"
+RANK_COMPUTE_SPAN_NAMES = ("rank.dhop_dir",)
+RANK_WAIT_SPAN_NAMES = ("rank.mailbox_wait",)
+
 
 def convergence_attrs(result) -> dict:
     """The solver-result fields :func:`convergence_from_spans`
@@ -199,6 +207,96 @@ def convergence_from_spans(spans: Iterable[Span]) -> List[dict]:
     return out
 
 
+def imbalance_from_spans(spans: Iterable[Span]) -> List[dict]:
+    """One load-imbalance row per merged lockstep round.
+
+    Consumes the rank spans the merge layer lands in the timeline
+    (``rank.round`` / ``rank.dhop_dir`` / ``rank.mailbox_wait``, each
+    tagged ``rank`` and ``round``) and answers the scaling question
+    per round: how evenly did the ranks work, how long did each sit
+    waiting on halos, and which rank set the round's critical path.
+
+    Each row: ``round``, ``nranks``, per-rank ``walls`` / ``compute``
+    / ``wait`` maps, ``slowest_rank`` (longest round wall — the
+    straggler every other rank lockstepped behind), ``compute_spread``
+    (max/min rank compute, 1.0 = perfectly balanced), ``wait_skew``
+    (max − min mailbox wait, seconds).  A rank that reported no spans
+    in a round simply has no entry in the maps — missing, not zero.
+    """
+    rounds: dict = {}
+    for s in spans:
+        rank = s.attrs.get("rank")
+        rnd = s.attrs.get("round")
+        if rank is None or rnd is None:
+            continue
+        row = rounds.setdefault(rnd, {})
+        per = row.setdefault(rank, {"wall": 0.0, "compute": 0.0,
+                                    "wait": 0.0})
+        if s.name == RANK_ROUND_SPAN:
+            per["wall"] += s.duration
+        elif s.name in RANK_COMPUTE_SPAN_NAMES:
+            per["compute"] += s.duration
+        elif s.name in RANK_WAIT_SPAN_NAMES:
+            per["wait"] += s.duration
+    out = []
+    for rnd in sorted(rounds):
+        per = rounds[rnd]
+        walls = {r: v["wall"] for r, v in per.items() if v["wall"] > 0}
+        compute = {r: v["compute"] for r, v in per.items()
+                   if v["compute"] > 0}
+        waits = {r: v["wait"] for r, v in per.items()}
+        slowest = (max(walls, key=walls.get) if walls
+                   else max(compute, key=compute.get) if compute
+                   else None)
+        spread = (max(compute.values()) / min(compute.values())
+                  if compute and min(compute.values()) > 0 else 0.0)
+        skew = ((max(waits.values()) - min(waits.values()))
+                if waits else 0.0)
+        out.append({
+            "round": rnd,
+            "nranks": len(per),
+            "walls": walls,
+            "compute": compute,
+            "wait": waits,
+            "slowest_rank": slowest,
+            "compute_spread": spread,
+            "wait_skew": skew,
+        })
+    return out
+
+
+def imbalance_summary(spans: Iterable[Span]) -> dict:
+    """Aggregate imbalance attribution across every merged round.
+
+    ``slowest_rank`` is the rank that set the critical path in the
+    most rounds (ties broken toward the lower rank id for a
+    deterministic report); ``slowest_rounds`` counts how often.
+    """
+    rows = imbalance_from_spans(spans)
+    tally: dict = {}
+    compute: dict = {}
+    wait: dict = {}
+    for row in rows:
+        if row["slowest_rank"] is not None:
+            tally[row["slowest_rank"]] = (
+                tally.get(row["slowest_rank"], 0) + 1)
+        for r, v in row["compute"].items():
+            compute[r] = compute.get(r, 0.0) + v
+        for r, v in row["wait"].items():
+            wait[r] = wait.get(r, 0.0) + v
+    slowest = (min((r for r in tally
+                    if tally[r] == max(tally.values()))) if tally
+               else None)
+    return {
+        "rounds": len(rows),
+        "ranks": sorted(set(compute) | set(wait)),
+        "slowest_rank": slowest,
+        "slowest_rounds": tally.get(slowest, 0),
+        "compute_seconds": compute,
+        "wait_seconds": wait,
+    }
+
+
 # ----------------------------------------------------------------------
 # Plain-text rendering (shared by tools/teleview.py and the examples)
 # ----------------------------------------------------------------------
@@ -240,6 +338,40 @@ def roofline_table(spans: Iterable[Span]) -> str:
         for r in rows
     ]
     return _table(headers, body)
+
+
+def imbalance_table(spans: Iterable[Span]) -> str:
+    """The load-imbalance report as an aligned plain-text table,
+    footed by the cross-round slowest-rank attribution."""
+    rows = imbalance_from_spans(spans)
+    if not rows:
+        return "(no merged rank spans — run under " \
+               "engine.scope(transport=\"shmem\", telemetry=\"trace\"))"
+    headers = ["round", "ranks", "slowest", "wall_max_s",
+               "compute_spread", "wait_skew_s"]
+    body = []
+    for r in rows:
+        wall_max = max(r["walls"].values()) if r["walls"] else 0.0
+        body.append([
+            r["round"], r["nranks"],
+            "-" if r["slowest_rank"] is None
+            else f"rank {r['slowest_rank']}",
+            wall_max, r["compute_spread"], r["wait_skew"],
+        ])
+    summary = imbalance_summary(spans)
+    foot = [
+        "",
+        f"slowest rank: {summary['slowest_rank']} "
+        f"(critical path in {summary['slowest_rounds']} of "
+        f"{summary['rounds']} rounds)",
+    ]
+    for rank in summary["ranks"]:
+        foot.append(
+            f"  rank {rank}: compute "
+            f"{summary['compute_seconds'].get(rank, 0.0):.6f}s, "
+            f"halo wait {summary['wait_seconds'].get(rank, 0.0):.6f}s"
+        )
+    return _table(headers, body) + "\n" + "\n".join(foot)
 
 
 def convergence_table(spans: Iterable[Span]) -> str:

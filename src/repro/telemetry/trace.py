@@ -221,6 +221,19 @@ def record_span(name: str, t0: float, t1: float, **attrs) -> None:
     ))
 
 
+def new_span_id() -> int:
+    """A fresh span id from the process-global sequence (the merge
+    layer builds :class:`Span` objects for rank-shipped records and
+    needs ids that cannot collide with locally recorded spans)."""
+    return next(_IDS)
+
+
+def active_span_id() -> int:
+    """The innermost open span of this thread/task (0 when none) —
+    what merged rank spans parent themselves under."""
+    return _ACTIVE_SPAN.get() or 0
+
+
 def buffer() -> TraceBuffer:
     """The live trace buffer."""
     return _TRACE_BUFFER

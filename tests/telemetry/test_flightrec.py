@@ -1,0 +1,165 @@
+"""The failure flight recorder: gating, the bounded ring, and
+post-mortem bundles from real supervised solves (including a
+KillAtIteration crash) rendered by ``tools/teleview.py --postmortem``."""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+import repro.engine as engine
+import repro.telemetry as telemetry
+from repro.grid.cartesian import GridCartesian
+from repro.grid.random import random_gauge, random_spinor
+from repro.grid.wilson import WilsonDirac
+from repro.resilience.checkpoint import CheckpointStore
+from repro.resilience.inject import FaultCampaign, KillAtIteration
+from repro.telemetry import flightrec
+from repro.telemetry.flightrec import (
+    BUNDLE_KIND,
+    BUNDLE_VERSION,
+    FlightRecorder,
+)
+from repro.resilience.supervisor import supervised_solve
+from repro.simd import get_backend
+
+TELEVIEW = Path(__file__).resolve().parents[2] / "tools" / "teleview.py"
+
+
+def _problem():
+    grid = GridCartesian([4, 4, 4, 4], get_backend("generic256"))
+    w = WilsonDirac(random_gauge(grid, seed=11), mass=0.3)
+    psi = random_spinor(grid, seed=7)
+    return w, psi
+
+
+class TestRecorder:
+    def test_off_is_a_no_op(self):
+        flightrec.record("anything", detail=1)
+        assert flightrec.events() == []
+
+    def test_metrics_level_records(self):
+        with engine.scope(telemetry="metrics"):
+            flightrec.record("supervisor.attempt", attempt=1)
+        (ev,) = flightrec.events()
+        assert ev["kind"] == "supervisor.attempt"
+        assert ev["attempt"] == 1
+        assert ev["seq"] == 1
+        assert telemetry.snapshot()["flightrec.events"] == 1
+
+    def test_ring_is_bounded_and_seq_monotonic(self):
+        rec = FlightRecorder(capacity=4)
+        for i in range(7):
+            rec.record("tick", i=i)
+        events = rec.events()
+        assert len(events) == 4
+        assert rec.dropped == 3
+        assert [e["seq"] for e in events] == [4, 5, 6, 7]
+        assert rec.clear() == 4
+        assert len(rec) == 0
+
+    def test_reset_clears_the_global_ring(self):
+        with engine.scope(telemetry="metrics"):
+            flightrec.record("tick")
+        assert telemetry.reset()["flightrec_cleared"] == 1
+        assert flightrec.events() == []
+
+
+class TestPostmortem:
+    def test_pristine_converged_run_attaches_nothing(self, tmp_path):
+        w, psi = _problem()
+        with engine.scope(telemetry="metrics"):
+            sup = supervised_solve(w, psi, tol=1e-6, max_iter=200,
+                                   postmortem_dir=str(tmp_path))
+        assert sup.converged
+        assert sup.postmortem is None
+        assert sup.postmortem_path == ""
+        assert list(tmp_path.iterdir()) == []
+
+    def test_exhausted_run_emits_a_bundle(self, tmp_path):
+        w, psi = _problem()
+        with engine.scope(telemetry="metrics"):
+            sup = supervised_solve(w, psi, tol=1e-14, max_iter=1,
+                                   max_attempts=2,
+                                   postmortem_dir=str(tmp_path))
+        assert not sup.converged
+        bundle = sup.postmortem
+        assert bundle["kind"] == BUNDLE_KIND
+        assert bundle["version"] == BUNDLE_VERSION
+        assert bundle["reason"].startswith("exhausted")
+        kinds = [e["kind"] for e in bundle["events"]]
+        assert kinds.count("supervisor.attempt") == 2
+        assert "supervisor.degrade" in kinds
+        assert kinds[-1] == "supervisor.postmortem"
+        assert bundle["supervise"]["converged"] is False
+        assert len(bundle["supervise"]["attempts"]) == 2
+        # The bundle on disk is the same JSON-serialisable dict.
+        on_disk = json.loads(Path(sup.postmortem_path).read_text())
+        assert on_disk["kind"] == BUNDLE_KIND
+        assert on_disk["reason"] == bundle["reason"]
+
+    def test_telemetry_off_emits_nothing(self, tmp_path):
+        w, psi = _problem()
+        sup = supervised_solve(w, psi, tol=1e-14, max_iter=1,
+                               max_attempts=2,
+                               postmortem_dir=str(tmp_path))
+        assert not sup.converged
+        assert sup.postmortem is None
+        assert list(tmp_path.iterdir()) == []
+
+    def test_killed_solve_bundle_renders_in_teleview(self, tmp_path):
+        # The acceptance path: a solve killed mid-run (simulated node
+        # loss at a checkpoint seam) leaves a post-mortem bundle that
+        # teleview renders.
+        w, psi = _problem()
+        campaign = FaultCampaign(seed=3, name="flightrec")
+        kill = KillAtIteration(campaign, 5)
+        store = CheckpointStore(str(tmp_path / "ckpt"))
+        with engine.scope(telemetry="trace"):
+            sup = supervised_solve(
+                w, psi, tol=1e-6, max_iter=200, campaign=campaign,
+                store=store, recompute_interval=2,
+                on_checkpoint=lambda it, x, r: kill.check(it),
+                postmortem_dir=str(tmp_path))
+        assert sup.converged  # crash, then resume and finish
+        assert sup.attempts[0].outcome == "crash"
+        bundle = sup.postmortem
+        assert bundle is not None
+        assert bundle["reason"].startswith("recovered")
+        assert any(e["kind"] == "supervisor.resume"
+                   for e in bundle["events"])
+        assert bundle["spans"]  # the trace tail came along
+
+        rendered = telemetry.format_postmortem(bundle)
+        assert "## supervision" in rendered
+        assert "crash" in rendered
+        assert "## flight recorder" in rendered
+
+        out = subprocess.run(
+            [sys.executable, str(TELEVIEW), sup.postmortem_path,
+             "--postmortem"],
+            capture_output=True, text=True)
+        assert out.returncode == 0, out.stderr
+        assert "# post-mortem (reason: recovered" in out.stdout
+        assert "supervisor.attempt" in out.stdout
+
+    def test_teleview_rejects_non_bundle(self, tmp_path):
+        path = tmp_path / "notabundle.json"
+        path.write_text(json.dumps({"kind": "something-else"}))
+        out = subprocess.run(
+            [sys.executable, str(TELEVIEW), str(path), "--postmortem"],
+            capture_output=True, text=True)
+        assert out.returncode == 2
+        assert "not a post-mortem bundle" in out.stderr
+
+    def test_breaker_transitions_land_in_the_ring(self):
+        from repro.resilience.breaker import breaker
+
+        with engine.scope(telemetry="metrics"):
+            br = breaker("flightrec.test", failure_threshold=1)
+            br.record_failure("unit test")
+        kinds = [e["kind"] for e in flightrec.events()]
+        assert "breaker.transition" in kinds
+        engine.reset_all()  # drop the tripped breaker

@@ -101,6 +101,16 @@ class TestResetCompleteness:
         assert mid["transport.shmem.bytes"] > 0
         assert mid["transport.shmem.segments"] > 0
         assert mid["comms.halo_wait_seconds.count"] > 0
+        # Distributed telemetry: the traced shmem dhop shipped worker
+        # spans through the merge layer (per-rank metrics + tails +
+        # round counter) and fed the failure flight recorder.
+        assert mid["rank.ranks_tracked"] == 2
+        assert mid["rank.rounds_merged"] >= 1
+        assert mid["flightrec.events"] >= 1
+        from repro.telemetry.merge import rank_metrics, rank_tails
+
+        assert sorted(rank_metrics()) == [0, 1]
+        assert sorted(rank_tails()) == [0, 1]
         assert len(telemetry.buffer()) > 0
         from repro.grid.comms.shmem import live_segments
 
@@ -110,6 +120,8 @@ class TestResetCompleteness:
         assert summary["counters_reset"] is True
         assert summary["telemetry_metrics_reset"] > 0
         assert summary["telemetry_spans_cleared"] > 0
+        assert summary["telemetry_flightrec_cleared"] >= 1
+        assert summary["telemetry_rank_state_cleared"] == 2
         assert summary["breakers_tripped"] >= 1
         assert summary["codegen_cache_cleared"] >= 1
         # The rank runtime is gone: workers joined, every shared-memory
@@ -123,6 +135,13 @@ class TestResetCompleteness:
         assert nonzero == {}, f"metrics survived reset_all: {nonzero}"
         assert len(telemetry.buffer()) == 0
         assert telemetry.spans() == []
+        # The distributed-telemetry stores are empty too, not merely
+        # zero-valued in the collector sweep.
+        assert rank_metrics() == {}
+        assert rank_tails() == {}
+        from repro.telemetry.flightrec import events as flightrec_events
+
+        assert flightrec_events() == []
         # The breaker registry itself is empty, not just closed: a
         # rerun cannot inherit stale thresholds or probation state.
         assert all_breakers() == {}

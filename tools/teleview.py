@@ -7,16 +7,27 @@ run under ``engine.scope(telemetry="trace")``) writes its spans with
 
 * a per-span-name summary (count, total/mean duration),
 * the roofline report (per-operator GFLOP/s, GB/s, arithmetic
-  intensity) from the operator spans' flop/byte metadata, and
-* the solver-convergence report (iterations, residuals, FT events).
+  intensity) from the operator spans' flop/byte metadata,
+* the solver-convergence report (iterations, residuals, FT events), and
+* the cross-rank load-imbalance report (``--ranks``) when the artifact
+  holds merged rank spans from a shared-memory transport run.
+
+With ``--postmortem`` the artifact is instead a failure post-mortem
+bundle (``SuperviseResult.postmortem_path`` /
+``telemetry.write_postmortem`` output) and is rendered via
+``telemetry.format_postmortem``.
 
 Usage::
 
     python tools/teleview.py BENCH_2026-08-05.spans.jsonl
     python tools/teleview.py run.jsonl --roofline
     python tools/teleview.py run.jsonl --convergence --residuals
+    python tools/teleview.py run.jsonl --ranks
+    python tools/teleview.py postmortem-exhausted-crash.json --postmortem
 
-Exit status: 0 on success, 2 if the artifact cannot be read.
+An artifact with zero spans (or with none of the span names the
+specialised reports key on) is not an error: the tool says so plainly
+and exits 0 — only an unreadable/malformed artifact exits 2.
 """
 
 from __future__ import annotations
@@ -34,9 +45,14 @@ if _SRC.is_dir() and str(_SRC) not in sys.path:
 from repro.telemetry import (  # noqa: E402  (path bootstrap above)
     convergence_from_spans,
     convergence_table,
+    format_postmortem,
+    imbalance_table,
+    rank_spans,
     read_jsonl,
+    roofline_from_spans,
     roofline_table,
 )
+from repro.telemetry.flightrec import BUNDLE_KIND  # noqa: E402
 from repro.telemetry.reports import _table  # noqa: E402
 
 
@@ -92,10 +108,30 @@ def residual_series(spans) -> str:
     return "\n".join(lines)
 
 
+def render_postmortem(path: str) -> int:
+    """Load and render a post-mortem bundle (2 on a non-bundle)."""
+    import json
+
+    try:
+        with open(path) as fh:
+            bundle = json.load(fh)
+    except (OSError, ValueError) as exc:
+        print(f"teleview: cannot read {path}: {exc}", file=sys.stderr)
+        return 2
+    if not isinstance(bundle, dict) \
+            or bundle.get("kind") != BUNDLE_KIND:
+        print(f"teleview: {path} is not a post-mortem bundle "
+              f"(expected kind={BUNDLE_KIND!r})", file=sys.stderr)
+        return 2
+    print(format_postmortem(bundle))
+    return 0
+
+
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("artifact", help="JSONL span file "
-                    "(telemetry.write_jsonl output)")
+                    "(telemetry.write_jsonl output), or a post-mortem "
+                    "bundle with --postmortem")
     ap.add_argument("--spans", action="store_true",
                     help="only the per-span-name summary")
     ap.add_argument("--roofline", action="store_true",
@@ -104,10 +140,18 @@ def main(argv=None) -> int:
                     help="only the convergence report")
     ap.add_argument("--codegen", action="store_true",
                     help="only the codegen compile report")
+    ap.add_argument("--ranks", action="store_true",
+                    help="only the cross-rank load-imbalance report")
+    ap.add_argument("--postmortem", action="store_true",
+                    help="render the artifact as a failure post-mortem "
+                    "bundle instead of a span file")
     ap.add_argument("--residuals", action="store_true",
                     help="with the convergence report, print the full "
                     "residual-vs-iteration series")
     args = ap.parse_args(argv)
+
+    if args.postmortem:
+        return render_postmortem(args.artifact)
 
     try:
         spans = read_jsonl(args.artifact)
@@ -116,19 +160,42 @@ def main(argv=None) -> int:
               file=sys.stderr)
         return 2
 
+    if not spans:
+        # An empty artifact is a finding, not a failure: say so
+        # plainly instead of printing a stack of empty tables.
+        print(f"# {args.artifact}: no spans recorded — the run "
+              "traced nothing (telemetry below \"trace\", or nothing "
+              "instrumented executed).")
+        return 0
+
     chosen = (args.spans or args.roofline or args.convergence
-              or args.codegen)
+              or args.codegen or args.ranks)
+    # In default (no-flag) mode, specialised reports that would render
+    # empty — an artifact of only unrecognised span names — collapse
+    # into one note rather than a stack of placeholder tables.
+    have = {
+        "roofline": bool(roofline_from_spans(spans)),
+        "codegen": any(s.name == "codegen.compile" for s in spans),
+        "convergence": bool(convergence_from_spans(spans)),
+        "ranks": bool(rank_spans(spans)),
+    }
     out = [f"# {args.artifact}: {len(spans)} spans"]
     if args.spans or not chosen:
         out += ["", "## spans", span_summary_table(spans)]
-    if args.roofline or not chosen:
+    if args.roofline or (not chosen and have["roofline"]):
         out += ["", "## roofline", roofline_table(spans)]
-    if args.codegen or not chosen:
+    if args.codegen or (not chosen and have["codegen"]):
         out += ["", "## codegen", codegen_table(spans)]
-    if args.convergence or not chosen:
+    if args.convergence or (not chosen and have["convergence"]):
         out += ["", "## convergence", convergence_table(spans)]
         if args.residuals:
             out += ["", residual_series(spans)]
+    if args.ranks or (not chosen and have["ranks"]):
+        out += ["", "## rank imbalance", imbalance_table(spans)]
+    if not chosen and not any(have.values()):
+        out += ["", "(no roofline / codegen / convergence / rank "
+                "activity recognised — the span summary above is "
+                "everything this artifact holds)"]
     print("\n".join(out))
     return 0
 
